@@ -1,0 +1,115 @@
+//! Criterion benches of the framework components: Ball-Larus numbering,
+//! profiled interpretation, region formation, frame construction and CGRA
+//! scheduling. These measure the tool itself (the paper's "NEEDLE is
+//! automated and has been used to analyze 225K paths" workhorse loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use needle_frames::build_frame;
+use needle_ir::interp::{Interp, NullSink};
+use needle_profile::bl::BlNumbering;
+use needle_profile::profiler::{EdgeProfiler, PathProfiler};
+use needle_profile::rank::rank_paths;
+use needle_regions::braid::build_braids;
+use needle_regions::path::PathRegion;
+use needle_regions::superblock::build_superblock;
+use needle_cgra::{schedule_frame, CgraConfig};
+
+fn workload() -> needle_workloads::Workload {
+    needle_workloads::by_name("401.bzip2").expect("suite workload")
+}
+
+fn small_workload() -> needle_workloads::Workload {
+    needle_workloads::by_name("164.gzip").expect("suite workload")
+}
+
+fn bench_bl_numbering(c: &mut Criterion) {
+    let w = workload();
+    let f = w.module.func(w.func);
+    c.bench_function("bl_numbering/bzip2_kernel", |b| {
+        b.iter(|| BlNumbering::new(black_box(f)).unwrap())
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let w = small_workload();
+    c.bench_function("interp/gzip_plain", |b| {
+        b.iter(|| {
+            let mut mem = w.memory.clone();
+            Interp::new(&w.module)
+                .run(w.func, &w.args, &mut mem, &mut NullSink)
+                .unwrap()
+        })
+    });
+    c.bench_function("interp/gzip_path_profiled", |b| {
+        b.iter(|| {
+            let mut mem = w.memory.clone();
+            let mut prof = PathProfiler::new(&w.module);
+            Interp::new(&w.module)
+                .run(w.func, &w.args, &mut mem, &mut prof)
+                .unwrap();
+            prof.profile(w.func).distinct()
+        })
+    });
+}
+
+fn bench_region_formation(c: &mut Criterion) {
+    let w = workload();
+    let f = w.module.func(w.func);
+    let mut paths = PathProfiler::new(&w.module);
+    let mut edges = EdgeProfiler::new();
+    let mut mem = w.memory.clone();
+    {
+        let mut tee = needle_ir::interp::TeeSink(&mut paths, &mut edges);
+        Interp::new(&w.module)
+            .run(w.func, &w.args, &mut mem, &mut tee)
+            .unwrap();
+    }
+    let numbering = paths.numbering(w.func).unwrap().clone();
+    let profile = paths.profile(w.func);
+    let eprofile = edges.profile(w.func);
+    c.bench_function("rank/bzip2", |b| {
+        b.iter(|| rank_paths(black_box(f), &numbering, &profile))
+    });
+    let rank = rank_paths(f, &numbering, &profile);
+    c.bench_function("braids/bzip2_top64", |b| {
+        b.iter(|| build_braids(black_box(f), &rank, 64))
+    });
+    c.bench_function("superblock/bzip2", |b| {
+        b.iter(|| build_superblock(black_box(f), &eprofile, f.entry()))
+    });
+}
+
+fn bench_frames_and_cgra(c: &mut Criterion) {
+    let w = workload();
+    let f = w.module.func(w.func);
+    let mut paths = PathProfiler::new(&w.module);
+    let mut mem = w.memory.clone();
+    Interp::new(&w.module)
+        .run(w.func, &w.args, &mut mem, &mut paths)
+        .unwrap();
+    let numbering = paths.numbering(w.func).unwrap().clone();
+    let rank = rank_paths(f, &numbering, &paths.profile(w.func));
+    let braids = build_braids(f, &rank, 64);
+    let region = braids[0].region.clone();
+    c.bench_function("frame_build/bzip2_braid", |b| {
+        b.iter(|| build_frame(black_box(f), &region).unwrap())
+    });
+    let frame = build_frame(f, &region).unwrap();
+    let cfg = CgraConfig::default();
+    c.bench_function("cgra_schedule/bzip2_braid", |b| {
+        b.iter(|| schedule_frame(&cfg, black_box(&frame)))
+    });
+    let path = PathRegion::from_rank(&rank, 0).unwrap().region;
+    c.bench_function("frame_build/bzip2_path", |b| {
+        b.iter(|| build_frame(black_box(f), &path).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bl_numbering, bench_interp, bench_region_formation, bench_frames_and_cgra
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches of the end-to-end pipeline: full analysis and full
+//! offload co-simulation on representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use needle::{analyze, simulate_offload, NeedleConfig, PredictorKind};
+use needle_regions::path::PathRegion;
+
+fn bench_analyze(c: &mut Criterion) {
+    let cfg = NeedleConfig::default();
+    for name in ["164.gzip", "179.art", "453.povray"] {
+        let w = needle_workloads::by_name(name).unwrap();
+        c.bench_function(&format!("analyze/{name}"), |b| {
+            b.iter(|| {
+                analyze(
+                    black_box(&w.module),
+                    w.func,
+                    &w.args,
+                    &w.memory,
+                    &cfg,
+                )
+                .unwrap()
+                .rank
+                .executed_paths()
+            })
+        });
+    }
+}
+
+fn bench_offload(c: &mut Criterion) {
+    let cfg = NeedleConfig::default();
+    let w = needle_workloads::by_name("164.gzip").unwrap();
+    let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg).unwrap();
+    let path = PathRegion::from_rank(&a.rank, 0).unwrap().region;
+    let braid = a.braids[0].region.clone();
+    c.bench_function("offload/gzip_path_history", |b| {
+        b.iter(|| {
+            simulate_offload(
+                &a.module,
+                a.func,
+                &w.args,
+                &w.memory,
+                black_box(&path),
+                PredictorKind::History,
+                &cfg,
+            )
+            .unwrap()
+            .commits
+        })
+    });
+    c.bench_function("offload/gzip_braid_history", |b| {
+        b.iter(|| {
+            simulate_offload(
+                &a.module,
+                a.func,
+                &w.args,
+                &w.memory,
+                black_box(&braid),
+                PredictorKind::History,
+                &cfg,
+            )
+            .unwrap()
+            .commits
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_analyze, bench_offload
+}
+criterion_main!(benches);

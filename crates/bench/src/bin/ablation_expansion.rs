@@ -1,0 +1,63 @@
+//! Ablation (§IV-A): materialized target expansion — concatenating the
+//! top-path frame across back edges into 2× and 4× offload units.
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::{emit, Prepared};
+use needle_cgra::{CgraConfig, CgraCost};
+use needle_frames::{build_frame, concat_frames};
+use needle_regions::path::PathRegion;
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let ccfg = CgraConfig::default();
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: BL-path target expansion (frame concatenation)");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "workload", "ops1", "mksp1", "mksp2", "mksp4", "cyc/it2", "cyc/it4"
+    );
+    for name in [
+        "164.gzip",
+        "179.art",
+        "197.parser",
+        "470.lbm",
+        "dwt53",
+        "streamcluster",
+    ] {
+        let p = Prepared::new(name, &cfg);
+        let f = p.analysis.module.func(p.analysis.func);
+        let region = PathRegion::from_rank(&p.analysis.rank, 0).unwrap().region;
+        let one = build_frame(f, &region).unwrap();
+        if one.loop_carried.is_empty() {
+            let _ = writeln!(out, "{name:<20}  (no loop-carried pair: not expandable)");
+            continue;
+        }
+        let two = concat_frames(&one, 2);
+        let four = concat_frames(&one, 4);
+        let c1 = CgraCost::new(&ccfg, &one);
+        let c2 = CgraCost::new(&ccfg, &two);
+        let c4 = CgraCost::new(&ccfg, &four);
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:>8} {:>8} {:>9} {:>9.1} {:>9.1}",
+            name,
+            one.num_ops(),
+            c1.schedule.cycles,
+            c2.schedule.cycles,
+            c4.schedule.cycles,
+            c2.commit_cycles as f64 / 2.0,
+            c4.commit_cycles as f64 / 4.0,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nExpansion amortizes the per-invocation live transfer: per-iteration\n\
+         cost (cyc/itN) drops as the unit grows, while the makespan grows\n\
+         sub-linearly because iterations overlap in the dataflow (the paper's\n\
+         72% offload-unit growth, Table III)."
+    );
+    emit("ablation_expansion", &out);
+}

@@ -1,0 +1,61 @@
+//! Ablation: frame-level dead code elimination — fabric area and energy
+//! recovered by pruning ops that feed no live-out, store, or guard.
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::{emit, prepare_all};
+use needle_cgra::{estimate_area, frame_energy, CgraConfig};
+use needle_frames::{build_frame, dce_frame};
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let ccfg = CgraConfig::default();
+    let all = prepare_all(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: frame DCE on top Braid frames");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>7} {:>7} {:>9} {:>11} {:>11}",
+        "workload", "ops", "removed", "alms.sav", "energy.pj", "energy.sav"
+    );
+    let mut total_removed = 0usize;
+    let mut total_ops = 0usize;
+    for p in &all {
+        let a = &p.analysis;
+        let f = a.module.func(a.func);
+        let Some(b) = a.braids.first() else { continue };
+        let Ok(mut frame) = build_frame(f, &b.region) else {
+            continue;
+        };
+        let ops_before = frame.num_ops();
+        let area_before = estimate_area(&frame).alms;
+        let e_before = frame_energy(&ccfg, &frame).total_pj();
+        let removed = dce_frame(&mut frame);
+        frame.validate().expect("DCE keeps frames valid");
+        let area_after = estimate_area(&frame).alms;
+        let e_after = frame_energy(&ccfg, &frame).total_pj();
+        let _ = writeln!(
+            out,
+            "{:<20} {:>7} {:>7} {:>9} {:>11.0} {:>10.1}%",
+            p.workload.name,
+            ops_before,
+            removed,
+            area_before - area_after,
+            e_after,
+            (e_before - e_after) / e_before.max(1.0) * 100.0,
+        );
+        total_removed += removed;
+        total_ops += ops_before;
+    }
+    let _ = writeln!(
+        out,
+        "\nSuite total: {} of {} braid-frame ops were dead ({:.1}%).\n\
+         Dataflow predication executes every mapped op, so dead ops burn real\n\
+         energy and ALMs — frame DCE is pure win for the fabric.",
+        total_removed,
+        total_ops,
+        total_removed as f64 / total_ops.max(1) as f64 * 100.0
+    );
+    emit("ablation_frame_dce", &out);
+}

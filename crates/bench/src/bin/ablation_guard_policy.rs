@@ -1,0 +1,53 @@
+//! Ablation (§V guard positioning): how guard placement affects the
+//! fabric schedule and how soon a failing invocation can be detected.
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::{emit, Prepared};
+use needle_cgra::{schedule_frame, CgraConfig};
+use needle_frames::{apply_guard_policy, build_frame, FrameOpKind, GuardPolicy};
+use needle_regions::path::PathRegion;
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let ccfg = CgraConfig::default();
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: guard placement policy (top path frame)");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>9} {:>10} {:>9} {:>10} {:>9}",
+        "workload", "emit.mksp", "emit.det", "late.mksp", "late.det", "early.mksp", "early.det"
+    );
+    for name in ["164.gzip", "401.bzip2", "453.povray", "sar-pfa-interp1", "swaptions"] {
+        let p = Prepared::new(name, &cfg);
+        let f = p.analysis.module.func(p.analysis.func);
+        let region = PathRegion::from_rank(&p.analysis.rank, 0).unwrap().region;
+        let base = build_frame(f, &region).unwrap();
+        let mut row = format!("{name:<20}");
+        for policy in [GuardPolicy::AsEmitted, GuardPolicy::Late, GuardPolicy::Early] {
+            let mut frame = base.clone();
+            apply_guard_policy(&mut frame, policy);
+            let sched = schedule_frame(&ccfg, &frame);
+            // Detection time: the latest cycle at which a guard resolves.
+            let detect = frame
+                .ops
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| matches!(o.kind, FrameOpKind::Guard { .. }))
+                .map(|(i, _)| sched.start[i] + 1)
+                .max()
+                .unwrap_or(0);
+            let _ = write!(row, " {:>10} {:>9}", sched.cycles, detect);
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    let _ = writeln!(
+        out,
+        "\nmksp = frame makespan (cycles); det = cycle by which every guard has\n\
+         resolved. Guard placement does not lengthen the dataflow (guards gate\n\
+         nothing), but early placement resolves failures sooner — the knob §V\n\
+         describes for trading speculation-failure overhead against hoisting."
+    );
+    emit("ablation_guard_policy", &out);
+}

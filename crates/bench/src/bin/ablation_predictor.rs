@@ -1,0 +1,55 @@
+//! Ablation (§V): invocation-predictor history length vs precision and
+//! path-offload performance on unpredictable workloads.
+
+use std::fmt::Write;
+
+use needle::{simulate_offload, NeedleConfig, PredictorKind};
+use needle_bench::{emit, Prepared};
+use needle_regions::path::PathRegion;
+
+fn main() {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: invocation predictor history bits (top path offload)");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>5} {:>10} {:>8} {:>8} {:>8}",
+        "workload", "bits", "precision", "perf%", "commits", "aborts"
+    );
+    for name in ["179.art", "dwt53", "fluidanimate", "sar-pfa-interp1"] {
+        for bits in [0u32, 2, 4, 8, 12] {
+            let mut cfg = NeedleConfig::default();
+            cfg.analysis.predictor_bits = bits;
+            let p = Prepared::new(name, &cfg);
+            let a = &p.analysis;
+            let path = PathRegion::from_rank(&a.rank, 0).unwrap().region;
+            let r = simulate_offload(
+                &a.module,
+                a.func,
+                &p.workload.args,
+                &p.workload.memory,
+                &path,
+                PredictorKind::History,
+                &cfg,
+            )
+            .expect("offload");
+            let _ = writeln!(
+                out,
+                "{:<20} {:>5} {:>10.2} {:>8.1} {:>8} {:>8}",
+                name,
+                bits,
+                r.precision,
+                r.perf_improvement_pct(),
+                r.commits,
+                r.aborts
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nLonger histories separate periodic invocation contexts (dwt53's\n\
+         alternating path needs ≥1 bit of outcome history); data-random\n\
+         branches (art) stay hard at any length — the paper's 'pathological\n\
+         unpredictability' class."
+    );
+    emit("ablation_predictor", &out);
+}

@@ -1,0 +1,47 @@
+//! Regenerate every table and figure into `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let targets = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig9",
+        "fig10",
+        "hls_area",
+        "sampling_bias",
+        "workload_table",
+        "ablation_guard_policy",
+        "ablation_expansion",
+        "ablation_braid_width",
+        "ablation_fabric",
+        "ablation_predictor",
+        "ablation_frame_dce",
+        "braid_vs_pathtree",
+        "train_vs_ref",
+        "multi_region",
+    ];
+    for t in targets {
+        println!("==> {t}");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(t))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("running {t} via cargo (direct spawn failed: {other:?})");
+                let s = Command::new("cargo")
+                    .args(["run", "--release", "-p", "needle-bench", "--bin", t])
+                    .status()
+                    .expect("cargo run");
+                assert!(s.success(), "{t} failed");
+            }
+        }
+    }
+    println!("All experiments regenerated under results/");
+}

@@ -1,0 +1,50 @@
+//! Figure 10 — net energy reduction when offloading the top Braid.
+
+use std::fmt::Write;
+
+use needle::{simulate_offload, NeedleConfig, PredictorKind};
+use needle_bench::{emit, prepare_all};
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let all = prepare_all(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 10: net energy reduction for Braid offload");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>9} {:>7} {:>12} {:>12}",
+        "workload", "energy%", "cov%", "baseline(uJ)", "offload(uJ)"
+    );
+    let mut sum = 0.0;
+    for p in &all {
+        let a = &p.analysis;
+        let w = &p.workload;
+        let braid = a.braids[0].region.clone();
+        let r = simulate_offload(
+            &a.module,
+            a.func,
+            &w.args,
+            &w.memory,
+            &braid,
+            PredictorKind::History,
+            &cfg,
+        )
+        .expect("offload simulation");
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9.1} {:>7.1} {:>12.1} {:>12.1}",
+            w.name,
+            r.energy_reduction_pct(),
+            r.coverage() * 100.0,
+            r.baseline_energy_pj / 1e6,
+            r.offload_energy_pj / 1e6
+        );
+        sum += r.energy_reduction_pct();
+    }
+    let _ = writeln!(
+        out,
+        "\nMean net energy reduction: {:+.1}% (paper: ~20%)",
+        sum / all.len() as f64
+    );
+    emit("fig10", &out);
+}

@@ -1,0 +1,43 @@
+//! Figure 5 — fraction of "cold" ops folded into Hyperblocks.
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::{emit, prepare_all};
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let all = prepare_all(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5: cold ops in Hyperblocks (blocks executing < {:.0}% of the seed)",
+        cfg.analysis.cold_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>10} {:>12}",
+        "workload", "hb ops", "cold ops", "cold frac"
+    );
+    for p in &all {
+        let f = p.analysis.module.func(p.analysis.func);
+        let hb = &p.analysis.hyperblock;
+        let total = hb.num_insts(f);
+        let cold = hb.cold_ops(f, &p.analysis.edge_profile, cfg.analysis.cold_fraction);
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>10} {:>12.2}",
+            p.workload.name, total, cold, p.analysis.hyperblock_cold_fraction
+        );
+    }
+    let wasteful = all
+        .iter()
+        .filter(|p| p.analysis.hyperblock_cold_fraction > 0.05)
+        .count();
+    let _ = writeln!(
+        out,
+        "\nWorkloads whose Hyperblock wastes >5% of static ops on cold blocks: {wasteful} of {}",
+        all.len()
+    );
+    emit("fig5", &out);
+}

@@ -1,0 +1,67 @@
+//! Figure 9 — performance improvement of offloading the top BL-path
+//! (oracle + history predictor) and the top Braid.
+
+use std::fmt::Write;
+
+use needle::{simulate_offload, NeedleConfig, PredictorKind};
+use needle_bench::{emit, prepare_all};
+use needle_regions::path::PathRegion;
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let all = prepare_all(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9: % cycle reduction vs host-only baseline");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>9} {:>9} {:>7} {:>8} {:>7}",
+        "workload", "path-orcl", "path-hist", "braid", "hist.prc", "cov%"
+    );
+    let mut sums = [0.0f64; 3];
+    let mut path_degrade = 0;
+    for p in &all {
+        let a = &p.analysis;
+        let w = &p.workload;
+        let path = PathRegion::from_rank(&a.rank, 0)
+            .expect("every workload executes at least one path")
+            .region;
+        let braid = a.braids[0].region.clone();
+        let run = |region, kind| {
+            simulate_offload(&a.module, a.func, &w.args, &w.memory, region, kind, &cfg)
+                .expect("offload simulation")
+        };
+        let po = run(&path, PredictorKind::Oracle);
+        let ph = run(&path, PredictorKind::History);
+        let br = run(&braid, PredictorKind::History);
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9.1} {:>9.1} {:>7.1} {:>8.2} {:>7.1}",
+            w.name,
+            po.perf_improvement_pct(),
+            ph.perf_improvement_pct(),
+            br.perf_improvement_pct(),
+            ph.precision,
+            br.coverage() * 100.0
+        );
+        sums[0] += po.perf_improvement_pct();
+        sums[1] += ph.perf_improvement_pct();
+        sums[2] += br.perf_improvement_pct();
+        if ph.perf_improvement_pct() < 0.0 {
+            path_degrade += 1;
+        }
+    }
+    let n = all.len() as f64;
+    let _ = writeln!(
+        out,
+        "\nMeans: path-oracle {:+.1}% (paper ~24%), path-history {:+.1}%, braid {:+.1}% (paper ~33%)",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n
+    );
+    let _ = writeln!(
+        out,
+        "Path offload degrades {} workloads under the history predictor (paper: 5)",
+        path_degrade
+    );
+    emit("fig9", &out);
+}

@@ -1,0 +1,51 @@
+//! §VI HLS substitute — ALM utilisation and power estimates for the
+//! synthesized Braids (Cyclone V-class device).
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::{emit, prepare_all};
+use needle_cgra::estimate_area;
+use needle_frames::build_frame;
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let all = prepare_all(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "HLS area/power estimates for top Braids (85K-ALM device)");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>8} {:>8} {:>9} {:>8}",
+        "workload", "ALMs", "util%", "power mW", "fp ops"
+    );
+    let mut under20 = 0;
+    let mut synthesized = 0;
+    for p in &all {
+        let a = &p.analysis;
+        let f = a.module.func(a.func);
+        let Some(b) = a.braids.first() else { continue };
+        let Ok(frame) = build_frame(f, &b.region) else {
+            continue;
+        };
+        synthesized += 1;
+        let est = estimate_area(&frame);
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>8.1} {:>9.1} {:>8}",
+            p.workload.name,
+            est.alms,
+            est.utilization * 100.0,
+            est.dynamic_mw,
+            frame.num_float_ops()
+        );
+        if est.utilization < 0.20 {
+            under20 += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n{synthesized} Braids synthesized; {under20} use <20% of the device \
+         (paper: all but four of 22)."
+    );
+    emit("hls_area", &out);
+}

@@ -1,0 +1,71 @@
+//! §III-A — sampling-based vs frequency-based path weights.
+//!
+//! The paper profiles the hottest path with Linux pprof sampling and
+//! compares `Psamples/Fsamples` against `Pwt/Fwt`, finding ±10–15% drift
+//! on a third of the suite. This harness repeats the experiment with a
+//! periodic-sampling profiler over the synthetic suite.
+
+use std::fmt::Write;
+
+use needle_bench::emit;
+use needle_ir::interp::{Interp, TeeSink};
+use needle_profile::profiler::PathProfiler;
+use needle_profile::rank::rank_paths;
+use needle_profile::sampling::SamplingProfiler;
+
+fn main() {
+    let mut out = String::new();
+    let _ = writeln!(out, "Sampling vs frequency-based path weight (top path share)");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>9} {:>10} {:>9}",
+        "workload", "Pwt/Fwt", "samples", "drift%"
+    );
+    let (mut higher, mut lower, mut close) = (0, 0, 0);
+    for name in needle_workloads::names() {
+        let w = needle_workloads::by_name(name).unwrap();
+        let mut paths = PathProfiler::new(&w.module);
+        let mut sampler = SamplingProfiler::new(&w.module, 101); // co-prime period
+        let mut mem = w.memory.clone();
+        {
+            let mut tee = TeeSink(&mut paths, &mut sampler);
+            Interp::new(&w.module)
+                .run(w.func, &w.args, &mut mem, &mut tee)
+                .unwrap();
+        }
+        let rank = rank_paths(
+            w.module.func(w.func),
+            paths.numbering(w.func).unwrap(),
+            &paths.profile(w.func),
+        );
+        let Some(top) = rank.top() else { continue };
+        let pwt_share = top.coverage(rank.fwt);
+        let sample_share = sampler.path_share(w.func, top);
+        let drift = if pwt_share > 0.0 {
+            (sample_share - pwt_share) / pwt_share * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9.3} {:>10.3} {:>8.1}%",
+            name, pwt_share, sample_share, drift
+        );
+        if drift > 5.0 {
+            higher += 1;
+        } else if drift < -5.0 {
+            lower += 1;
+        } else {
+            close += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nSampling over-estimates the top path on {higher} workloads, \
+         under-estimates on {lower}, within ±5% on {close}.\n\
+         (Paper: +10% on 12 workloads, −15% on 6, unchanged on 4 — block\n\
+         sharing between overlapping paths makes sampling shares drift,\n\
+         motivating the frequency-based Pwt metric.)"
+    );
+    emit("sampling_bias", &out);
+}

@@ -1,0 +1,42 @@
+//! Table I — control-flow characteristics of the hottest (inlined)
+//! function: Branch⇒Mem / Mem⇒Branch dependences, predication bits,
+//! backward branches.
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::{emit, prepare_all};
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let all = prepare_all(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table I: control-flow characteristics");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>12} {:>12} {:>10} {:>8}",
+        "workload", "branch=>mem", "mem=>branch", "pred.bits", "loops"
+    );
+    for p in &all {
+        let s = &p.analysis.stats;
+        let _ = writeln!(
+            out,
+            "{:<20} {:>12.1} {:>12.1} {:>10} {:>8}",
+            p.workload.name, s.branch_mem, s.mem_branch, s.predication_bits, s.backward_branches
+        );
+    }
+    // The paper's bucket summaries.
+    let bm_gt10 = all.iter().filter(|p| p.analysis.stats.branch_mem > 10.0).count();
+    let mb_gt10 = all.iter().filter(|p| p.analysis.stats.mem_branch > 10.0).count();
+    let mb_ge1 = all.iter().filter(|p| p.analysis.stats.mem_branch >= 1.0).count();
+    let pred_gt10 = all
+        .iter()
+        .filter(|p| p.analysis.stats.predication_bits > 10)
+        .count();
+    let _ = writeln!(out, "\nBuckets:");
+    let _ = writeln!(out, "  Branch=>Mem > 10 mem ops/branch : {bm_gt10} workloads");
+    let _ = writeln!(out, "  Mem=>Branch >= 1 load/branch    : {mb_ge1} workloads");
+    let _ = writeln!(out, "  Mem=>Branch > 10 loads/branch   : {mb_gt10} workloads");
+    let _ = writeln!(out, "  Predication bits > 10           : {pred_gt10} workloads");
+    emit("table1", &out);
+}

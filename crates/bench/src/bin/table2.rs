@@ -1,0 +1,66 @@
+//! Table II — path characteristics C1–C8 for the top-5 ranked paths.
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::{emit, prepare_all};
+use needle_frames::build_frame;
+use needle_regions::path::PathRegion;
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let all = prepare_all(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table II: path characteristics of the top-5 BL-paths");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>8} {:>6} {:>6} {:>4} {:>9} {:>5} {:>5} {:>5}",
+        "workload", "C1:exec", "C2:cov5", "C3:ins", "C4:b", "C5:in,out", "C6:phi", "C7:mem", "C8:ov"
+    );
+    for p in &all {
+        let a = &p.analysis;
+        let f = a.module.func(a.func);
+        let top = a.rank.top();
+        let (ins, branches, mem) = top
+            .map(|t| (t.ops, t.branches, t.mem_ops))
+            .unwrap_or((0, 0, 0));
+        // C5/C6 from the frames of the top-5 paths (live values, cancelled φs).
+        let mut live_in = 0usize;
+        let mut live_out = 0usize;
+        let mut phis = 0usize;
+        let mut frames = 0usize;
+        for r in 0..5 {
+            let Some(pr) = PathRegion::from_rank(&a.rank, r) else {
+                break;
+            };
+            if let Ok(frame) = build_frame(f, &pr.region) {
+                live_in += frame.live_ins.len();
+                live_out += frame.live_outs.len();
+                phis += frame.phis_cancelled;
+                frames += 1;
+            }
+        }
+        let frames = frames.max(1);
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>6.0} {:>6} {:>4} {:>5},{:>3} {:>5} {:>5} {:>5}",
+            p.workload.name,
+            a.rank.executed_paths(),
+            a.rank.top_coverage(5) * 100.0,
+            ins,
+            branches,
+            live_in / frames,
+            live_out / frames,
+            phis / frames,
+            mem,
+            a.rank.overlapping_paths(5),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nC1: distinct executed paths  C2: top-5 coverage %  C3: top-path ins\n\
+         C4: branches on the top path  C5: avg live-ins,live-outs (top-5 frames)\n\
+         C6: avg φs cancelled  C7: top-path memory ops  C8: overlapping paths in top-5"
+    );
+    emit("table2", &out);
+}

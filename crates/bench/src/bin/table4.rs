@@ -1,0 +1,59 @@
+//! Table IV — Braid characteristics.
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::{emit, prepare_all};
+use needle_frames::build_frame;
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let all = prepare_all(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table IV: Braid characteristics (top braid per workload)");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>9} {:>7} {:>6} {:>6} {:>6} {:>5} {:>9}",
+        "workload", "C1:#brds", "C2:pth", "C3:cov", "C4:ins", "C5:grd", "C6:if", "C7:in,out"
+    );
+    let mut guard_reduced = 0;
+    for p in &all {
+        let a = &p.analysis;
+        let f = a.module.func(a.func);
+        let Some(top) = a.braids.first() else {
+            let _ = writeln!(out, "{:<20} {:>9}", p.workload.name, 0);
+            continue;
+        };
+        let guards = top.region.guard_branches(f).len();
+        let ifs = top.region.internal_ifs(f).len();
+        let (li, lo) = match build_frame(f, &top.region) {
+            Ok(frame) => (frame.live_ins.len(), frame.live_outs.len()),
+            Err(_) => (0, 0),
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9} {:>7} {:>6.0} {:>6} {:>6} {:>5} {:>5},{:>3}",
+            p.workload.name,
+            a.braids.len(),
+            top.num_paths(),
+            top.coverage(a.rank.fwt) * 100.0,
+            top.region.num_insts(f),
+            guards,
+            ifs,
+            li,
+            lo,
+        );
+        let path_guards = a.rank.top().map(|t| t.branches).unwrap_or(0);
+        if (guards as u64) < path_guards {
+            guard_reduced += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nC1: braids formed  C2: paths merged into the top braid  C3: coverage %\n\
+         C4: static ins  C5: guards  C6: internal IFs  C7: live-ins,live-outs\n\
+         Braid has fewer guards than the top path's branch count in {guard_reduced} of {} workloads",
+        all.len()
+    );
+    emit("table4", &out);
+}

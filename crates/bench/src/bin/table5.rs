@@ -1,0 +1,52 @@
+//! Table V — system parameters of the simulated host and CGRA.
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::emit;
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let mut out = String::new();
+    let _ = writeln!(out, "Table V: system parameters");
+    let h = &cfg.host;
+    let _ = writeln!(out, "Host core   1 GHz embedded-class {}-way OOO", h.fetch_width);
+    let _ = writeln!(
+        out,
+        "            {} entry ROB, {} ALU, {} FPU, {} L1 ports",
+        h.rob_entries, h.alus, h.fpus, h.mem_ports
+    );
+    let _ = writeln!(
+        out,
+        "L1          64K 4-way D-cache, {} cycles; LLC NUCA, {} cycles; memory {} cycles",
+        h.l1_latency, h.l2_latency, h.mem_latency
+    );
+    let e = &cfg.energy;
+    let _ = writeln!(
+        out,
+        "Host energy front-end {} pJ/inst, window {} pJ, RF {} pJ, INT {} pJ, FPU {} pJ",
+        e.e_frontend_pj, e.e_window_pj, e.e_rf_pj, e.e_int_pj, e.e_fpu_pj
+    );
+    let _ = writeln!(
+        out,
+        "            L1 {} pJ, L2 {} pJ, DRAM {} pJ, static {} pJ/cycle",
+        e.e_l1_pj, e.e_l2_pj, e.e_mem_pj, e.e_static_per_cycle_pj
+    );
+    let c = &cfg.cgra;
+    let _ = writeln!(
+        out,
+        "CGRA        {}x{} function units, {} cycle reconfig, {} memory ports",
+        c.rows, c.cols, c.reconfig_cycles, c.mem_ports
+    );
+    let _ = writeln!(
+        out,
+        "            latencies: INT {}, FP {}, DIV {}, load {}, store {}",
+        c.int_latency, c.fp_latency, c.div_latency, c.load_latency, c.store_latency
+    );
+    let _ = writeln!(
+        out,
+        "CGRA energy network {} pJ/switch+link, {} pJ/INT, {} pJ/FPU, {} pJ latch",
+        c.e_network_pj, c.e_int_pj, c.e_fpu_pj, c.e_latch_pj
+    );
+    emit("table5", &out);
+}

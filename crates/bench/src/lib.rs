@@ -1,0 +1,124 @@
+//! `needle-bench` — the experiment harness.
+//!
+//! One binary per table/figure of the paper's evaluation regenerates the
+//! corresponding rows/series on the synthetic workload suite:
+//!
+//! | target | paper experiment |
+//! |---|---|
+//! | `table1` | Table I — control-flow characteristics |
+//! | `table2` | Table II — path characteristics (C1–C8) |
+//! | `table3` | Table III — next-path target expansion |
+//! | `table4` | Table IV — Braid characteristics |
+//! | `table5` | Table V — system parameters |
+//! | `fig4` | Figure 4 — branch-bias distribution |
+//! | `fig5` | Figure 5 — cold ops in Hyperblocks |
+//! | `fig6` | Figure 6 — path coverage by rank |
+//! | `fig9` | Figure 9 — performance improvement |
+//! | `fig10` | Figure 10 — net energy reduction (Braids) |
+//! | `hls_area` | §VI — HLS area/power for Braids |
+//! | `all_experiments` | regenerate everything into `results/` |
+//!
+//! Run with `cargo run --release -p needle-bench --bin <target>`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use needle::{analyze, Analysis, NeedleConfig};
+use needle_workloads::Workload;
+
+/// A workload with its completed profiling analysis.
+pub struct Prepared {
+    /// The workload.
+    pub workload: Workload,
+    /// Profiling + region-formation results.
+    pub analysis: Analysis,
+}
+
+impl Prepared {
+    /// Analyze one workload by name.
+    ///
+    /// # Panics
+    /// Panics when the workload name is unknown or analysis fails (the
+    /// harness treats both as fatal configuration errors).
+    pub fn new(name: &str, cfg: &NeedleConfig) -> Prepared {
+        let workload = needle_workloads::by_name(name)
+            .unwrap_or_else(|| panic!("unknown workload {name}"));
+        let analysis = analyze(
+            &workload.module,
+            workload.func,
+            &workload.args,
+            &workload.memory,
+            cfg,
+        )
+        .unwrap_or_else(|e| panic!("analysis of {name} failed: {e}"));
+        Prepared { workload, analysis }
+    }
+}
+
+/// Analyze the whole 29-workload suite.
+pub fn prepare_all(cfg: &NeedleConfig) -> Vec<Prepared> {
+    needle_workloads::names()
+        .into_iter()
+        .map(|n| Prepared::new(n, cfg))
+        .collect()
+}
+
+/// The `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Print `text` and also persist it as `results/<name>.txt`.
+pub fn emit(name: &str, text: &str) {
+    println!("{text}");
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_ok() {
+        let _ = fs::write(dir.join(format!("{name}.txt")), text);
+    }
+}
+
+/// Geometric-mean helper used by several summaries (ignores non-positive
+/// entries, mirroring the paper's geomean columns).
+pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for v in vals {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_single_workload() {
+        let p = Prepared::new("197.parser", &NeedleConfig::default());
+        assert!(p.analysis.rank.executed_paths() > 0);
+        assert_eq!(p.workload.name, "197.parser");
+    }
+
+    #[test]
+    fn geomean_behaviour() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean([0.0, -1.0]), 0.0);
+        assert!((geomean([5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_dir_is_under_workspace_root() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,134 @@
+//! FPGA area/power estimation — the §VI HLS substitute.
+//!
+//! The paper synthesizes Braid RTL for an Altera Cyclone V SoC (≈85 K
+//! adaptive logic modules) and reports ALM utilisation and Modelsim power.
+//! We cannot run vendor synthesis here, so this module estimates ALMs from
+//! the frame's op mix using published per-operator costs for Cyclone-class
+//! devices. The estimator reproduces the paper's qualitative result:
+//! integer frames stay under 20% utilisation while double-precision
+//! floating-point frames (cf. 470.lbm) dominate the device.
+
+use needle_frames::{Frame, FrameOpKind};
+use needle_ir::Op;
+
+/// Device capacity of the modelled Cyclone V SoC part.
+pub const DEVICE_ALMS: u64 = 85_000;
+
+/// Estimated synthesis results for one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaEstimate {
+    /// Adaptive logic modules consumed.
+    pub alms: u64,
+    /// Fraction of the device used (`alms / 85_000`).
+    pub utilization: f64,
+    /// Estimated dynamic power at 50 MHz fabric clock (milliwatts).
+    pub dynamic_mw: f64,
+}
+
+/// ALM cost of one operator (Cyclone-class soft logic, 64-bit datapath).
+pub fn op_alms(kind: FrameOpKind) -> u64 {
+    match kind {
+        FrameOpKind::Load | FrameOpKind::Store => 180, // LSU port share + fifo
+        FrameOpKind::Guard { .. } => 12,
+        FrameOpKind::Compute(op) => match op {
+            Op::Add | Op::Sub => 32,
+            Op::Mul => 120,          // DSP-assisted
+            Op::Div | Op::Rem => 650,
+            Op::And | Op::Or | Op::Xor => 16,
+            Op::Shl | Op::Shr => 48,
+            Op::FAdd | Op::FSub => 480,
+            Op::FMul => 340,         // hard DSP blocks absorb the multiplier
+            Op::FDiv => 1450,
+            Op::FSqrt => 1100,
+            Op::ICmp(_) => 22,
+            Op::FCmp(_) => 110,
+            Op::Select => 16,
+            Op::IToF | Op::FToI => 210,
+            Op::Gep => 40,
+            Op::Load | Op::Store | Op::Call(_) | Op::Phi => 0,
+        },
+    }
+}
+
+/// Estimate ALMs and power for `frame`.
+pub fn estimate_area(frame: &Frame) -> AreaEstimate {
+    let mut alms: u64 = 600; // frame controller, undo-log FSM, AXI interface
+    alms += frame.undo_log_size as u64 * 90; // undo-log entries (MLAB based)
+    alms += (frame.live_ins.len() + frame.live_outs.len()) as u64 * 24; // I/O regs
+    for op in &frame.ops {
+        alms += op_alms(op.kind);
+    }
+    let utilization = alms as f64 / DEVICE_ALMS as f64;
+    // Power: ~0.55 µW per ALM of active soft logic at 50 MHz plus a per-FP-op
+    // surcharge (double-precision units toggle wide datapaths).
+    let fp_ops = frame.num_float_ops() as f64;
+    let dynamic_mw = alms as f64 * 0.00055 + fp_ops * 1.9;
+    AreaEstimate {
+        alms,
+        utilization,
+        dynamic_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_frames::{FrameOp, FrameValue};
+    use needle_ir::{Constant, Type};
+    use needle_regions::OffloadRegion;
+
+    fn frame_of(kinds: Vec<FrameOpKind>) -> Frame {
+        let c = FrameValue::Const(Constant::Int(1));
+        Frame {
+            ops: kinds
+                .into_iter()
+                .map(|kind| FrameOp {
+                    kind,
+                    args: vec![c, c],
+                    ty: Type::I64,
+                    pred: None,
+                    src: None,
+                    imm: 0,
+                })
+                .collect(),
+            live_ins: vec![],
+            live_outs: vec![],
+            guards: vec![],
+            phis_cancelled: 0,
+            undo_log_size: 0,
+            loop_carried: vec![],
+            region: OffloadRegion::from_path(&[needle_ir::BlockId(0)], 1, 1.0),
+        }
+    }
+
+    #[test]
+    fn integer_frames_are_small_fp_frames_are_big() {
+        let int_frame = frame_of(vec![FrameOpKind::Compute(Op::Add); 40]);
+        let fp_frame = frame_of(vec![FrameOpKind::Compute(Op::FDiv); 40]);
+        let ei = estimate_area(&int_frame);
+        let ef = estimate_area(&fp_frame);
+        assert!(ei.utilization < 0.20, "int frame {:.3}", ei.utilization);
+        assert!(ef.utilization > 0.5, "fp frame {:.3}", ef.utilization);
+        assert!(ef.dynamic_mw > ei.dynamic_mw * 5.0);
+    }
+
+    #[test]
+    fn area_grows_monotonically_with_ops() {
+        let small = frame_of(vec![FrameOpKind::Compute(Op::Add); 5]);
+        let big = frame_of(vec![FrameOpKind::Compute(Op::Add); 50]);
+        assert!(estimate_area(&big).alms > estimate_area(&small).alms);
+    }
+
+    #[test]
+    fn per_op_costs_are_positive() {
+        for k in [
+            FrameOpKind::Load,
+            FrameOpKind::Store,
+            FrameOpKind::Guard { expected: true },
+            FrameOpKind::Compute(Op::FSqrt),
+            FrameOpKind::Compute(Op::Gep),
+        ] {
+            assert!(op_alms(k) > 0);
+        }
+    }
+}

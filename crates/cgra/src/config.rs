@@ -1,0 +1,96 @@
+//! CGRA fabric parameters (Table V of the paper).
+
+/// Configuration of the modelled CGRA fabric.
+///
+/// Defaults follow Table V: a 16×8 grid of function units, 16-cycle
+/// reconfiguration, and the published dynamic energy parameters. The fabric
+/// is uncore and cache coherent: memory operations go to the shared L2
+/// (NUCA, 20-cycle access).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgraConfig {
+    /// Function-unit grid rows.
+    pub rows: usize,
+    /// Function-unit grid columns.
+    pub cols: usize,
+    /// Cycles to load a new configuration onto the fabric.
+    pub reconfig_cycles: u64,
+    /// Memory operations the fabric can issue per cycle.
+    pub mem_ports: usize,
+    /// Integer-op latency (cycles).
+    pub int_latency: u64,
+    /// Floating-point-op latency (cycles).
+    pub fp_latency: u64,
+    /// Integer divide/remainder latency (cycles).
+    pub div_latency: u64,
+    /// Load latency seen by the dataflow graph. The fabric issues memory
+    /// operations through a small coherent access buffer that filters the
+    /// 20-cycle L2 round trip (the paper models CGRA memory operations "in
+    /// detail"; without such filtering no memory-bearing region can beat a
+    /// host whose L1 hits in 2 cycles — see DESIGN.md).
+    pub load_latency: u64,
+    /// Store latency as seen by the dataflow graph (fire-and-forget).
+    pub store_latency: u64,
+    /// Cycles to transfer one live-in/live-out value over the L2.
+    pub live_transfer_cycles: u64,
+    /// Cross-invocation pipelining depth for chained (§IV-A expanded)
+    /// invocations: successive frames overlap up to this many stages, so a
+    /// chained commit costs at least `makespan / pipeline_depth` cycles
+    /// even when recurrences and resources would allow more overlap.
+    pub pipeline_depth: u64,
+    /// Dynamic energy per network switch+link traversal (pJ).
+    pub e_network_pj: f64,
+    /// Dynamic energy per integer-FU op (pJ).
+    pub e_int_pj: f64,
+    /// Dynamic energy per FPU op (pJ).
+    pub e_fpu_pj: f64,
+    /// Dynamic energy per latch (pJ), paid once per op result.
+    pub e_latch_pj: f64,
+    /// Energy per live value transferred over the L2 (pJ).
+    pub e_live_transfer_pj: f64,
+}
+
+impl Default for CgraConfig {
+    fn default() -> CgraConfig {
+        CgraConfig {
+            rows: 16,
+            cols: 8,
+            reconfig_cycles: 16,
+            mem_ports: 4,
+            int_latency: 1,
+            fp_latency: 3,
+            div_latency: 12,
+            load_latency: 4,
+            store_latency: 1,
+            live_transfer_cycles: 1,
+            pipeline_depth: 2,
+            e_network_pj: 12.0,
+            e_int_pj: 8.0,
+            e_fpu_pj: 25.0,
+            e_latch_pj: 5.0,
+            e_live_transfer_pj: 50.0,
+        }
+    }
+}
+
+impl CgraConfig {
+    /// Total function units available.
+    pub fn num_fus(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_v() {
+        let c = CgraConfig::default();
+        assert_eq!(c.num_fus(), 128);
+        assert_eq!(c.reconfig_cycles, 16);
+        assert_eq!(c.e_network_pj, 12.0);
+        assert_eq!(c.e_int_pj, 8.0);
+        assert_eq!(c.e_fpu_pj, 25.0);
+        assert_eq!(c.e_latch_pj, 5.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-invocation dynamic energy of a scheduled frame.
+
+use needle_frames::{Frame, FrameOpKind};
+
+use crate::config::CgraConfig;
+
+/// Energy breakdown of one frame invocation (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameEnergy {
+    /// Function-unit switching energy.
+    pub fu_pj: f64,
+    /// Network switch+link energy (one traversal per dataflow operand).
+    pub network_pj: f64,
+    /// Result-latch energy (one per op).
+    pub latch_pj: f64,
+    /// Live-in/live-out transfer energy over the L2.
+    pub transfer_pj: f64,
+}
+
+impl FrameEnergy {
+    /// Total energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.fu_pj + self.network_pj + self.latch_pj + self.transfer_pj
+    }
+}
+
+/// Dynamic energy of executing `frame` once on the fabric.
+///
+/// Every op executes (dataflow predication — speculation means untaken arms
+/// still burn energy, which is exactly the Braid-vs-path trade-off the
+/// paper discusses).
+pub fn frame_energy(cfg: &CgraConfig, frame: &Frame) -> FrameEnergy {
+    let mut e = FrameEnergy::default();
+    for op in &frame.ops {
+        if crate::sched::is_pred_logic(op) {
+            // Predicate-network bit: a latch, not a function unit.
+            e.latch_pj += cfg.e_latch_pj;
+            continue;
+        }
+        let is_float = matches!(op.kind, FrameOpKind::Compute(o) if o.is_float());
+        e.fu_pj += if is_float { cfg.e_fpu_pj } else { cfg.e_int_pj };
+        // One network traversal per operand that comes from another op or a
+        // live-in (constants are baked into the FU configuration).
+        let edges = op
+            .args
+            .iter()
+            .chain(op.pred.iter())
+            .filter(|a| !matches!(a, needle_frames::FrameValue::Const(_)))
+            .count();
+        e.network_pj += edges as f64 * cfg.e_network_pj;
+        e.latch_pj += cfg.e_latch_pj;
+    }
+    e.transfer_pj =
+        (frame.live_ins.len() + frame.live_outs.len()) as f64 * cfg.e_live_transfer_pj;
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_frames::{FrameOp, FrameValue, LiveIn};
+    use needle_ir::{Constant, Op, Type, Value};
+    use needle_regions::OffloadRegion;
+
+    #[test]
+    fn energy_accounts_fu_network_latch_and_transfer() {
+        let cfg = CgraConfig::default();
+        let add = FrameOp {
+            kind: FrameOpKind::Compute(Op::Add),
+            args: vec![FrameValue::LiveIn(0), FrameValue::Const(Constant::Int(1))],
+            ty: Type::I64,
+            pred: None,
+            src: None,
+            imm: 0,
+        };
+        let fmul = FrameOp {
+            kind: FrameOpKind::Compute(Op::FMul),
+            args: vec![FrameValue::Op(0), FrameValue::Op(0)],
+            ty: Type::F64,
+            pred: None,
+            src: None,
+            imm: 0,
+        };
+        let frame = Frame {
+            ops: vec![add, fmul],
+            live_ins: vec![LiveIn {
+                value: Value::Arg(0),
+                ty: Type::I64,
+            }],
+            live_outs: vec![],
+            guards: vec![],
+            phis_cancelled: 0,
+            undo_log_size: 0,
+            loop_carried: vec![],
+            region: OffloadRegion::from_path(&[needle_ir::BlockId(0)], 1, 1.0),
+        };
+        let e = frame_energy(&cfg, &frame);
+        assert_eq!(e.fu_pj, 8.0 + 25.0);
+        // add: 1 non-const operand; fmul: 2 → 3 traversals.
+        assert_eq!(e.network_pj, 3.0 * 12.0);
+        assert_eq!(e.latch_pj, 2.0 * 5.0);
+        assert_eq!(e.transfer_pj, 1.0 * cfg.e_live_transfer_pj);
+        assert!((e.total_pj() - (33.0 + 36.0 + 10.0 + 50.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! `needle-cgra` — the coarse-grained reconfigurable array backend model.
+//!
+//! Reproduces the accelerator side of the paper's evaluation (§VI):
+//!
+//! * [`config`] — the Table V fabric: 16×8 function units, 16-cycle
+//!   reconfiguration, cache-coherent memory ports into the shared L2, and
+//!   the published dynamic energy parameters (12 pJ network switch+link,
+//!   8 pJ INT op, 25 pJ FPU op, 5 pJ latch);
+//! * [`sched`] — a resource-constrained dataflow list scheduler that maps a
+//!   software frame onto the fabric and reports the invocation makespan;
+//! * [`energy`] — per-invocation dynamic energy of a scheduled frame;
+//! * [`sim`] — the invocation-level cost model: reconfiguration, live-in /
+//!   live-out transfer over the L2, guard-failure rollback;
+//! * [`area`] — the §VI HLS substitute: an ALM-count and power estimator
+//!   for synthesized frames (Cyclone V-class device).
+
+pub mod area;
+pub mod config;
+pub mod energy;
+pub mod sched;
+pub mod sim;
+
+pub use area::{estimate_area, AreaEstimate};
+pub use config::CgraConfig;
+pub use energy::{frame_energy, FrameEnergy};
+pub use sched::{schedule_frame, Schedule};
+pub use sim::{CgraCost, InvocationKind};

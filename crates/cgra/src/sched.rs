@@ -1,0 +1,239 @@
+//! Resource-constrained dataflow scheduling of frames onto the fabric.
+
+use needle_frames::{Frame, FrameOpKind};
+use needle_ir::Op;
+
+use crate::config::CgraConfig;
+
+/// The schedule of one frame on the fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Invocation makespan in cycles (dataflow execution only; transfer and
+    /// reconfiguration overheads are added by [`crate::sim`]).
+    pub cycles: u64,
+    /// Issue cycle of each op.
+    pub start: Vec<u64>,
+    /// Peak ops in flight in any single cycle.
+    pub peak_parallelism: usize,
+    /// Average FU occupancy over the makespan (0..=1).
+    pub utilization: f64,
+}
+
+/// Whether an op belongs to the dedicated predicate network: 1-bit
+/// and/or/xor logic routed combinationally alongside data (CGRAs implement
+/// predication in the interconnect, not on function units).
+pub fn is_pred_logic(op: &needle_frames::FrameOp) -> bool {
+    matches!(op.ty, needle_ir::Type::I1)
+        && matches!(
+            op.kind,
+            FrameOpKind::Compute(Op::And) | FrameOpKind::Compute(Op::Or) | FrameOpKind::Compute(Op::Xor)
+        )
+}
+
+/// Latency of one frame op under `cfg`.
+pub fn op_latency(cfg: &CgraConfig, kind: FrameOpKind) -> u64 {
+    match kind {
+        FrameOpKind::Load => cfg.load_latency,
+        FrameOpKind::Store => cfg.store_latency,
+        FrameOpKind::Guard { .. } => cfg.int_latency,
+        FrameOpKind::Compute(op) => match op {
+            Op::Div | Op::Rem => cfg.div_latency,
+            Op::FDiv | Op::FSqrt => cfg.div_latency,
+            o if o.is_float() => cfg.fp_latency,
+            _ => cfg.int_latency,
+        },
+    }
+}
+
+/// List-schedule `frame` with the fabric's issue constraints: at most
+/// [`CgraConfig::num_fus`] ops may *start* per cycle and at most
+/// [`CgraConfig::mem_ports`] of them may be memory ops.
+///
+/// Ops become ready when all dataflow operands (including the predicate)
+/// have completed; guards never gate anything (speculative execution).
+pub fn schedule_frame(cfg: &CgraConfig, frame: &Frame) -> Schedule {
+    let n = frame.ops.len();
+    if n == 0 {
+        return Schedule {
+            cycles: 0,
+            start: Vec::new(),
+            peak_parallelism: 0,
+            utilization: 0.0,
+        };
+    }
+    let mut ready = vec![0u64; n]; // earliest issue by dataflow
+    let mut finish = vec![0u64; n];
+    let mut start = vec![0u64; n];
+    // Per-cycle issue budgets, grown on demand.
+    let mut fu_used: Vec<usize> = Vec::new();
+    let mut mem_used: Vec<usize> = Vec::new();
+    let budget = |v: &mut Vec<usize>, c: u64| -> usize {
+        let c = c as usize;
+        if v.len() <= c {
+            v.resize(c + 1, 0);
+        }
+        v[c]
+    };
+
+    for (i, op) in frame.ops.iter().enumerate() {
+        // Execution is fully speculative (§V): predicates gate only the
+        // architectural effect of stores, so pure ops do not wait for their
+        // block predicate — only data operands (and store predicates) are
+        // scheduling dependences.
+        let honors_pred = matches!(op.kind, FrameOpKind::Store);
+        for a in op
+            .args
+            .iter()
+            .chain(op.pred.iter().filter(|_| honors_pred))
+        {
+            if let Some(j) = a.as_op() {
+                ready[i] = ready[i].max(finish[j]);
+            }
+        }
+        if is_pred_logic(op) {
+            // Combinational predicate network: no FU slot, no latency.
+            start[i] = ready[i];
+            finish[i] = ready[i];
+            continue;
+        }
+        // Find the first cycle with FU (and memory-port) budget.
+        let is_mem = matches!(op.kind, FrameOpKind::Load | FrameOpKind::Store);
+        let mut c = ready[i];
+        loop {
+            let fu_ok = budget(&mut fu_used, c) < cfg.num_fus();
+            let mem_ok = !is_mem || budget(&mut mem_used, c) < cfg.mem_ports;
+            if fu_ok && mem_ok {
+                break;
+            }
+            c += 1;
+        }
+        fu_used[c as usize] += 1;
+        if is_mem {
+            mem_used[c as usize] += 1;
+        }
+        start[i] = c;
+        finish[i] = c + op_latency(cfg, op.kind);
+    }
+
+    let cycles = finish.iter().copied().max().unwrap_or(0);
+    let peak = fu_used.iter().copied().max().unwrap_or(0);
+    let utilization = if cycles == 0 {
+        0.0
+    } else {
+        n as f64 / (cycles as f64 * cfg.num_fus() as f64)
+    };
+    Schedule {
+        cycles,
+        start,
+        peak_parallelism: peak,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_frames::{FrameOp, FrameValue};
+    use needle_ir::{Constant, Type};
+    use needle_regions::OffloadRegion;
+
+    fn frame_with_ops(ops: Vec<FrameOp>) -> Frame {
+        Frame {
+            ops,
+            live_ins: vec![],
+            live_outs: vec![],
+            guards: vec![],
+            phis_cancelled: 0,
+            undo_log_size: 0,
+            loop_carried: vec![],
+            region: OffloadRegion::from_path(&[needle_ir::BlockId(0)], 1, 1.0),
+        }
+    }
+
+    fn add_op(args: Vec<FrameValue>) -> FrameOp {
+        FrameOp {
+            kind: FrameOpKind::Compute(Op::Add),
+            args,
+            ty: Type::I64,
+            pred: None,
+            src: None,
+            imm: 0,
+        }
+    }
+
+    #[test]
+    fn independent_ops_schedule_in_parallel() {
+        let cfg = CgraConfig::default();
+        let c = FrameValue::Const(Constant::Int(1));
+        let ops = (0..10).map(|_| add_op(vec![c, c])).collect();
+        let s = schedule_frame(&cfg, &frame_with_ops(ops));
+        assert_eq!(s.cycles, 1); // all start at cycle 0, 1-cycle latency
+        assert_eq!(s.peak_parallelism, 10);
+    }
+
+    #[test]
+    fn chains_serialize() {
+        let cfg = CgraConfig::default();
+        let c = FrameValue::Const(Constant::Int(1));
+        let mut ops = vec![add_op(vec![c, c])];
+        for i in 0..9 {
+            ops.push(add_op(vec![FrameValue::Op(i), c]));
+        }
+        let s = schedule_frame(&cfg, &frame_with_ops(ops));
+        assert_eq!(s.cycles, 10);
+        assert!(s.start.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn memory_ports_throttle_loads() {
+        let cfg = CgraConfig::default();
+        let addr = FrameValue::Const(Constant::Ptr(0));
+        let ops: Vec<FrameOp> = (0..8)
+            .map(|_| FrameOp {
+                kind: FrameOpKind::Load,
+                args: vec![addr],
+                ty: Type::I64,
+                pred: None,
+                src: None,
+                imm: 0,
+            })
+            .collect();
+        let s = schedule_frame(&cfg, &frame_with_ops(ops));
+        // 8 loads over 4 ports: second wave starts at cycle 1.
+        assert_eq!(s.cycles, 1 + cfg.load_latency);
+        assert_eq!(s.start.iter().filter(|c| **c == 0).count(), 4);
+        assert_eq!(s.start.iter().filter(|c| **c == 1).count(), 4);
+    }
+
+    #[test]
+    fn fu_count_bounds_issue_width() {
+        let mut cfg = CgraConfig::default();
+        cfg.rows = 2;
+        cfg.cols = 2; // 4 FUs
+        let c = FrameValue::Const(Constant::Int(1));
+        let ops = (0..9).map(|_| add_op(vec![c, c])).collect();
+        let s = schedule_frame(&cfg, &frame_with_ops(ops));
+        // 9 ops over 4 FUs/cycle: starts at cycles 0,0,0,0,1,1,1,1,2.
+        assert_eq!(s.cycles, 3);
+        assert!(s.utilization > 0.7);
+    }
+
+    #[test]
+    fn empty_frame_is_free() {
+        let s = schedule_frame(&CgraConfig::default(), &frame_with_ops(vec![]));
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.utilization, 0.0);
+    }
+
+    #[test]
+    fn latencies_differ_by_op_class() {
+        let cfg = CgraConfig::default();
+        assert_eq!(op_latency(&cfg, FrameOpKind::Compute(Op::Add)), 1);
+        assert_eq!(op_latency(&cfg, FrameOpKind::Compute(Op::FMul)), 3);
+        assert_eq!(op_latency(&cfg, FrameOpKind::Compute(Op::Div)), 12);
+        assert_eq!(op_latency(&cfg, FrameOpKind::Compute(Op::FSqrt)), 12);
+        assert_eq!(op_latency(&cfg, FrameOpKind::Load), 4);
+        assert_eq!(op_latency(&cfg, FrameOpKind::Store), 1);
+        assert_eq!(op_latency(&cfg, FrameOpKind::Guard { expected: true }), 1);
+    }
+}

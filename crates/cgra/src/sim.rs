@@ -1,0 +1,216 @@
+//! Invocation-level CGRA cost model: reconfiguration, transfers, rollback.
+
+use needle_frames::Frame;
+
+use crate::config::CgraConfig;
+use crate::energy::{frame_energy, FrameEnergy};
+use crate::sched::{schedule_frame, Schedule};
+
+/// How an invocation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvocationKind {
+    /// All guards passed; stores committed, live-outs transferred.
+    Commit,
+    /// A guard failed; undo-log rollback, host re-executes the region.
+    Abort,
+}
+
+/// Precomputed per-invocation costs of one frame on the fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgraCost {
+    /// The frame schedule on the fabric.
+    pub schedule: Schedule,
+    /// Per-invocation dynamic energy.
+    pub energy: FrameEnergy,
+    /// Cycles for a committing invocation (transfer + compute).
+    pub commit_cycles: u64,
+    /// Cycles for a committing invocation that *chains* a previous commit
+    /// across a loop back edge (§IV-A target expansion): live values stay
+    /// resident in the fabric, so only the dataflow makespan is paid.
+    pub chained_commit_cycles: u64,
+    /// Extra cycles burnt by an aborting invocation before the host takes
+    /// over (full speculative execution + rollback stores).
+    pub abort_cycles: u64,
+    /// One-time configuration cost when the frame is (re)loaded.
+    pub reconfig_cycles: u64,
+}
+
+impl CgraCost {
+    /// Build the cost model for `frame` under `cfg`.
+    pub fn new(cfg: &CgraConfig, frame: &Frame) -> CgraCost {
+        let schedule = schedule_frame(cfg, frame);
+        let energy = frame_energy(cfg, frame);
+        // Live values move over the 64-byte L2 interface in bursts of four
+        // 8-byte words after a fixed handshake.
+        let burst = |vals: usize| 2 + (vals as u64).div_ceil(4) * cfg.live_transfer_cycles;
+        let transfer = burst(frame.live_ins.len()) + burst(frame.live_outs.len());
+        let commit_cycles = transfer + schedule.cycles;
+        // Chained invocations pipeline on the fabric (§IV-A loop
+        // pipelining): throughput is bounded by resource pressure, by the
+        // loop-carried recurrence, and by the configured pipelining depth.
+        let real_ops = frame
+            .ops
+            .iter()
+            .filter(|o| !crate::sched::is_pred_logic(o))
+            .count() as u64;
+        let mem_ops = frame.num_mem_ops() as u64;
+        let resource_ii = (real_ops.div_ceil(cfg.num_fus() as u64))
+            .max(mem_ops.div_ceil(cfg.mem_ports as u64));
+        let recurrence_ii = recurrence_interval(cfg, frame);
+        let pipeline_floor = schedule.cycles.div_ceil(cfg.pipeline_depth.max(1));
+        // Each commit still pays a handshake: guard collection across the
+        // fabric plus releasing the buffered stores through the ports.
+        let commit_overhead = 2
+            + (frame.guards.len() as u64).div_ceil(4)
+            + (frame.undo_log_size as u64).div_ceil(cfg.mem_ports as u64);
+        let chained_commit_cycles = (resource_ii
+            .max(recurrence_ii)
+            .max(pipeline_floor)
+            .max(1)
+            + commit_overhead)
+            .min(schedule.cycles.max(1));
+        // Abort: live-ins were transferred, the whole frame ran (guards are
+        // only checked at the end — the paper's conservative assumption),
+        // then the undo log replays serially through the memory ports.
+        let rollback = frame.undo_log_size as u64 * cfg.store_latency.max(1);
+        let abort_cycles = burst(frame.live_ins.len()) + schedule.cycles + rollback;
+        CgraCost {
+            schedule,
+            energy,
+            commit_cycles,
+            chained_commit_cycles,
+            abort_cycles,
+            reconfig_cycles: cfg.reconfig_cycles,
+        }
+    }
+
+    /// Cycles of one invocation of the given kind (excluding
+    /// reconfiguration, which is paid once per frame residency).
+    pub fn cycles(&self, kind: InvocationKind) -> u64 {
+        match kind {
+            InvocationKind::Commit => self.commit_cycles,
+            InvocationKind::Abort => self.abort_cycles,
+        }
+    }
+
+    /// Energy of one invocation (pJ). Aborts burn the same dataflow energy
+    /// (full speculation) but skip the live-out transfer.
+    pub fn energy_pj(&self, kind: InvocationKind) -> f64 {
+        match kind {
+            InvocationKind::Commit => self.energy.total_pj(),
+            InvocationKind::Abort => self.energy.total_pj() - self.energy.transfer_pj / 2.0,
+        }
+    }
+}
+
+/// Longest-latency dependence path from any loop-carried live-in to its
+/// paired live-out: the initiation interval the recurrence forces on
+/// back-to-back chained invocations.
+fn recurrence_interval(cfg: &CgraConfig, frame: &Frame) -> u64 {
+    use needle_frames::FrameValue;
+    let mut worst = 1u64;
+    for &(li, lo) in &frame.loop_carried {
+        // dist[i]: longest latency path from the live-in to op i's output,
+        // or None when op i does not depend on the live-in.
+        let mut dist: Vec<Option<u64>> = vec![None; frame.ops.len()];
+        for (i, op) in frame.ops.iter().enumerate() {
+            let mut best: Option<u64> = None;
+            let honors_pred = matches!(op.kind, needle_frames::FrameOpKind::Store);
+            for a in op
+                .args
+                .iter()
+                .chain(op.pred.iter().filter(|_| honors_pred))
+            {
+                let d = match a {
+                    FrameValue::LiveIn(k) if *k == li => Some(0),
+                    FrameValue::Op(j) => dist[*j],
+                    _ => None,
+                };
+                if let Some(d) = d {
+                    best = Some(best.map_or(d, |b: u64| b.max(d)));
+                }
+            }
+            let lat = if crate::sched::is_pred_logic(op) {
+                0
+            } else {
+                crate::sched::op_latency(cfg, op.kind)
+            };
+            dist[i] = best.map(|d| d + lat);
+        }
+        let end = match frame.live_outs.get(lo).map(|l| l.value) {
+            Some(FrameValue::Op(j)) => dist[j].unwrap_or(1),
+            Some(FrameValue::LiveIn(k)) if k == li => 1,
+            _ => 1,
+        };
+        worst = worst.max(end.max(1));
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_frames::build_frame;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::{BlockId, Type, Value as V};
+    use needle_regions::OffloadRegion;
+
+    fn sample_frame() -> Frame {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64, Type::Ptr], Some(Type::I64));
+        let entry = fb.entry();
+        let hot = fb.block("hot");
+        let cold = fb.block("cold");
+        let done = fb.block("done");
+        fb.switch_to(entry);
+        let z = fb.mul(fb.arg(0), V::int(3));
+        let c = fb.icmp_sgt(z, V::int(0));
+        fb.cond_br(c, hot, cold);
+        fb.switch_to(hot);
+        fb.store(z, fb.arg(1));
+        fb.br(done);
+        fb.switch_to(cold);
+        fb.br(done);
+        fb.switch_to(done);
+        fb.ret(Some(z));
+        let f = fb.finish();
+        build_frame(
+            &f,
+            &OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 10, 0.8),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn commit_includes_transfers_and_compute() {
+        let cfg = CgraConfig::default();
+        let frame = sample_frame();
+        let cost = CgraCost::new(&cfg, &frame);
+        let burst = |v: usize| 2 + (v as u64 + 3) / 4 * cfg.live_transfer_cycles;
+        let expected_transfer = burst(frame.live_ins.len()) + burst(frame.live_outs.len());
+        assert_eq!(
+            cost.cycles(InvocationKind::Commit),
+            expected_transfer + cost.schedule.cycles
+        );
+        assert_eq!(cost.chained_commit_cycles, cost.schedule.cycles);
+        assert!(cost.chained_commit_cycles < cost.commit_cycles);
+        assert_eq!(cost.reconfig_cycles, 16);
+    }
+
+    #[test]
+    fn abort_costs_rollback_but_not_liveout_transfer() {
+        let cfg = CgraConfig::default();
+        let frame = sample_frame();
+        let cost = CgraCost::new(&cfg, &frame);
+        let abort = cost.cycles(InvocationKind::Abort);
+        // abort pays live-in transfer + schedule + rollback of 1 store
+        let expect = 2
+            + (frame.live_ins.len() as u64 + 3) / 4 * cfg.live_transfer_cycles
+            + cost.schedule.cycles
+            + frame.undo_log_size as u64;
+        assert_eq!(abort, expect);
+        // abort energy is strictly less than commit energy (no live-out
+        // transfer) but still positive (wasted speculation).
+        assert!(cost.energy_pj(InvocationKind::Abort) < cost.energy_pj(InvocationKind::Commit));
+        assert!(cost.energy_pj(InvocationKind::Abort) > 0.0);
+    }
+}

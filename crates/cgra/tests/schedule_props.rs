@@ -1,0 +1,110 @@
+//! Property tests for the CGRA scheduler and cost model.
+
+use proptest::prelude::*;
+
+use needle_cgra::{frame_energy, schedule_frame, CgraConfig, CgraCost, InvocationKind};
+use needle_frames::{Frame, FrameOp, FrameOpKind, FrameValue, LiveIn};
+use needle_ir::{Constant, Op, Type, Value};
+use needle_regions::OffloadRegion;
+
+/// Build a random-but-valid dataflow frame: each op draws operands from
+/// earlier ops, live-ins, or constants.
+fn random_frame(shape: &[(u8, u8)]) -> Frame {
+    let mut ops = Vec::new();
+    for (i, (kind_sel, src_sel)) in shape.iter().enumerate() {
+        let pick = |sel: u8| -> FrameValue {
+            if i == 0 || sel % 3 == 0 {
+                FrameValue::LiveIn(0)
+            } else if sel % 3 == 1 {
+                FrameValue::Const(Constant::Int(sel as i64))
+            } else {
+                FrameValue::Op((sel as usize * 7 + i) % i)
+            }
+        };
+        let kind = match kind_sel % 5 {
+            0 => FrameOpKind::Compute(Op::Add),
+            1 => FrameOpKind::Compute(Op::FMul),
+            2 => FrameOpKind::Compute(Op::Mul),
+            3 => FrameOpKind::Load,
+            _ => FrameOpKind::Compute(Op::Xor),
+        };
+        let args = match kind {
+            FrameOpKind::Load => vec![pick(*src_sel)],
+            _ => vec![pick(*src_sel), pick(src_sel.wrapping_add(1))],
+        };
+        ops.push(FrameOp {
+            kind,
+            args,
+            ty: Type::I64,
+            pred: None,
+            src: None,
+            imm: 0,
+        });
+    }
+    Frame {
+        ops,
+        live_ins: vec![LiveIn {
+            value: Value::Arg(0),
+            ty: Type::I64,
+        }],
+        live_outs: vec![],
+        guards: vec![],
+        phis_cancelled: 0,
+        undo_log_size: 0,
+        loop_carried: vec![],
+        region: OffloadRegion::from_path(&[needle_ir::BlockId(0)], 1, 1.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Schedules respect dataflow: no op starts before its operands finish.
+    #[test]
+    fn schedule_respects_dependences(shape in prop::collection::vec((0u8..=255, 0u8..=255), 1..60)) {
+        let cfg = CgraConfig::default();
+        let frame = random_frame(&shape);
+        frame.validate().unwrap();
+        let s = schedule_frame(&cfg, &frame);
+        for (i, op) in frame.ops.iter().enumerate() {
+            for a in &op.args {
+                if let FrameValue::Op(j) = a {
+                    let j_end = s.start[*j] + needle_cgra::sched::op_latency(&cfg, frame.ops[*j].kind);
+                    prop_assert!(
+                        s.start[i] >= j_end || matches!(frame.ops[*j].ty, Type::I1),
+                        "op {i} starts {} before op {j} ends {}",
+                        s.start[i], j_end
+                    );
+                }
+            }
+        }
+        prop_assert!(s.cycles >= 1);
+    }
+
+    /// More function units never slow a frame down.
+    #[test]
+    fn wider_fabric_is_monotone(shape in prop::collection::vec((0u8..=255, 0u8..=255), 1..60)) {
+        let frame = random_frame(&shape);
+        let mut narrow = CgraConfig::default();
+        narrow.rows = 2;
+        narrow.cols = 2;
+        let wide = CgraConfig::default();
+        let a = schedule_frame(&narrow, &frame).cycles;
+        let b = schedule_frame(&wide, &frame).cycles;
+        prop_assert!(b <= a, "wide {b} > narrow {a}");
+    }
+
+    /// Cost-model invariants: chained ≤ commit; abort ≥ schedule; energy
+    /// positive and additive in the op count.
+    #[test]
+    fn cost_model_invariants(shape in prop::collection::vec((0u8..=255, 0u8..=255), 1..60)) {
+        let cfg = CgraConfig::default();
+        let frame = random_frame(&shape);
+        let cost = CgraCost::new(&cfg, &frame);
+        prop_assert!(cost.chained_commit_cycles <= cost.commit_cycles);
+        prop_assert!(cost.cycles(InvocationKind::Abort) >= cost.schedule.cycles);
+        let e = frame_energy(&cfg, &frame);
+        prop_assert!(e.total_pj() > 0.0);
+        prop_assert!(e.fu_pj >= frame.ops.len() as f64 * cfg.e_int_pj.min(cfg.e_latch_pj));
+    }
+}

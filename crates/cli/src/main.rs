@@ -1,0 +1,208 @@
+//! `needle` — the command-line front end of the reproduction, mirroring
+//! the tool the paper released ("NEEDLE is automated … released as free
+//! and open source software").
+//!
+//! ```text
+//! needle list
+//! needle analyze <workload>
+//! needle offload <workload> [--path] [--oracle] [--expand N]
+//! needle print-ir <workload>
+//! needle run-ir <file> [args...]
+//! ```
+
+use std::process::ExitCode;
+
+use needle::{analyze, simulate_offload, NeedleConfig, PredictorKind};
+use needle_frames::build_frame;
+use needle_ir::interp::{Interp, Memory, NullSink};
+use needle_ir::print::{function_to_string, module_to_string};
+use needle_ir::Constant;
+use needle_regions::path::PathRegion;
+use needle_regions::path_tree::build_path_trees;
+
+const USAGE: &str = "\
+needle — profile-guided extraction of accelerator offload regions (HPCA'17)
+
+USAGE:
+  needle list
+      List the 29 synthetic suite workloads.
+  needle analyze <workload>
+      Profile a workload: hot paths, Braids, baselines, statistics.
+  needle offload <workload> [--path] [--oracle]
+      Co-simulate offloading the top Braid (default) or top BL-path,
+      with the history predictor (default) or the oracle.
+  needle print-ir <workload>
+      Print the workload's IR in textual form.
+  needle run-ir <file> [intarg...]
+      Parse a textual IR module and run its first function.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("analyze") => with_workload(&args, cmd_analyze),
+        Some("offload") => with_workload(&args, |name| cmd_offload(name, &args)),
+        Some("print-ir") => with_workload(&args, cmd_print_ir),
+        Some("run-ir") => cmd_run_ir(&args),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn with_workload(args: &[String], f: impl FnOnce(&str) -> CliResult) -> CliResult {
+    let name = args.get(1).ok_or("missing workload name (try `needle list`)")?;
+    f(name)
+}
+
+fn cmd_list() -> CliResult {
+    println!("{:<22} {:>10}", "workload", "suite");
+    for s in needle_workloads::specs() {
+        println!("{:<22} {:>10}", s.name, s.suite.to_string());
+    }
+    Ok(())
+}
+
+fn load(name: &str) -> Result<needle_workloads::Workload, Box<dyn std::error::Error>> {
+    needle_workloads::by_name(name)
+        .ok_or_else(|| format!("unknown workload {name:?} (try `needle list`)").into())
+}
+
+fn cmd_analyze(name: &str) -> CliResult {
+    let w = load(name)?;
+    let cfg = NeedleConfig::default();
+    let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg)?;
+    let f = a.module.func(a.func);
+    println!("workload {name} ({}), hot function @{}", w.suite, f.name);
+    println!(
+        "  {} blocks, {} instructions, {} conditional branches, {} loops",
+        f.num_blocks(),
+        f.num_insts(),
+        f.num_cond_branches(),
+        a.stats.backward_branches
+    );
+    println!(
+        "  inlined {} call sites; {} distinct paths executed ({} possible)",
+        a.inlined_calls,
+        a.rank.executed_paths(),
+        a.numbering.num_paths()
+    );
+    println!("\ntop paths by Pwt:");
+    for (i, p) in a.rank.paths.iter().take(5).enumerate() {
+        println!(
+            "  #{i}: id {:>6}  freq {:>8}  ops {:>4}  branches {:>2}  coverage {:>5.1}%",
+            p.id,
+            p.freq,
+            p.ops,
+            p.branches,
+            p.coverage(a.rank.fwt) * 100.0
+        );
+    }
+    println!("\ntop braids:");
+    for (i, b) in a.braids.iter().take(3).enumerate() {
+        println!(
+            "  #{i}: merges {:>3} paths  ins {:>5}  guards {}  IFs {}  coverage {:>5.1}%",
+            b.num_paths(),
+            b.region.num_insts(f),
+            b.region.guard_branches(f).len(),
+            b.region.internal_ifs(f).len(),
+            b.coverage(a.rank.fwt) * 100.0
+        );
+    }
+    let trees = build_path_trees(f, &a.rank, 64);
+    if let Some(t) = trees.first() {
+        println!(
+            "\n(top path-tree would merge {} paths with {} live-out sets)",
+            t.num_paths(),
+            t.live_out_sets()
+        );
+    }
+    println!(
+        "\nbaselines: superblock {} blocks (feasible: {}, hottest: {}); \
+         hyperblock {} blocks, {:.0}% cold ops",
+        a.superblock.blocks.len(),
+        a.superblock_feasible,
+        a.superblock_hottest,
+        a.hyperblock.blocks.len(),
+        a.hyperblock_cold_fraction * 100.0
+    );
+    if let Ok(frame) = build_frame(f, &a.braids[0].region) {
+        println!(
+            "\ntop braid frame: {} ops ({} mem, {} fp), {} guards, {} φ cancelled, \
+             undo log {}, live {} in / {} out",
+            frame.num_ops(),
+            frame.num_mem_ops(),
+            frame.num_float_ops(),
+            frame.guards.len(),
+            frame.phis_cancelled,
+            frame.undo_log_size,
+            frame.live_ins.len(),
+            frame.live_outs.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_offload(name: &str, args: &[String]) -> CliResult {
+    let use_path = args.iter().any(|a| a == "--path");
+    let kind = if args.iter().any(|a| a == "--oracle") {
+        PredictorKind::Oracle
+    } else {
+        PredictorKind::History
+    };
+    let w = load(name)?;
+    let cfg = NeedleConfig::default();
+    let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg)?;
+    let region = if use_path {
+        PathRegion::from_rank(&a.rank, 0)
+            .ok_or("no executed paths")?
+            .region
+    } else {
+        a.braids.first().ok_or("no braids formed")?.region.clone()
+    };
+    let report = simulate_offload(&a.module, a.func, &w.args, &w.memory, &region, kind, &cfg)?;
+    println!(
+        "{name}: {} region, {:?} predictor",
+        if use_path { "top-path" } else { "top-braid" },
+        kind
+    );
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_print_ir(name: &str) -> CliResult {
+    let w = load(name)?;
+    print!("{}", module_to_string(&w.module));
+    Ok(())
+}
+
+fn cmd_run_ir(args: &[String]) -> CliResult {
+    let path = args.get(1).ok_or("missing IR file path")?;
+    let text = std::fs::read_to_string(path)?;
+    let module = needle_ir::parse::parse_module(&text)?;
+    needle_ir::verify::verify_module(&module).map_err(|(f, e)| format!("{f:?}: {e}"))?;
+    let func = needle_ir::FuncId(0);
+    let call_args: Vec<Constant> = args[2..]
+        .iter()
+        .map(|a| a.parse::<i64>().map(Constant::Int))
+        .collect::<Result<_, _>>()?;
+    let mut mem = Memory::new();
+    let out = Interp::new(&module).run(func, &call_args, &mut mem, &mut NullSink)?;
+    println!("{}", function_to_string(module.func(func)));
+    match out {
+        Some(v) => println!("=> {v:?}"),
+        None => println!("=> (void)"),
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Pipeline configuration.
+
+use needle_cgra::CgraConfig;
+use needle_host::{HostConfig, HostEnergyModel};
+
+/// Knobs for the whole Needle pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct NeedleConfig {
+    /// Host core model (Table V defaults).
+    pub host: HostConfig,
+    /// CGRA fabric model (Table V defaults).
+    pub cgra: CgraConfig,
+    /// Host energy model.
+    pub energy: HostEnergyModel,
+    /// Analysis tuning.
+    pub analysis: AnalysisConfig,
+}
+
+/// Analysis-phase tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisConfig {
+    /// Inline call chains in the hot function before profiling (§II).
+    pub inline: bool,
+    /// Inlining stops once the function reaches this many instructions.
+    pub max_inline_insts: usize,
+    /// Run the [`needle_opt`] mid-end (const-fold, CSE, DCE, CFG
+    /// simplification, LICM) after inlining and before profiling. Off by
+    /// default: the synthetic suite is generated in already-optimized
+    /// shape; enable for hand-built or parsed IR.
+    pub optimize: bool,
+    /// How many top-ranked paths feed Braid construction.
+    pub braid_merge_paths: usize,
+    /// Global-history bits of the invocation predictor.
+    pub predictor_bits: u32,
+    /// Cold threshold for Hyperblock waste accounting (Figure 5): blocks
+    /// executing fewer than this fraction of the seed count are cold.
+    pub cold_fraction: f64,
+    /// Interpreter step budget per profiled run.
+    pub max_steps: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            inline: true,
+            max_inline_insts: 20_000,
+            optimize: false,
+            braid_merge_paths: 64,
+            predictor_bits: 8,
+            cold_fraction: 0.10,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_reasonable() {
+        let c = NeedleConfig::default();
+        assert!(c.analysis.inline);
+        assert_eq!(c.host.fetch_width, 4);
+        assert_eq!(c.cgra.num_fus(), 128);
+        assert!(c.analysis.cold_fraction < 1.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! `needle` — the end-to-end Needle pipeline (HPCA 2017).
+//!
+//! Ties the whole reproduction together:
+//!
+//! 1. **Analyze** ([`analysis`]): inline the hot call chain, run the
+//!    workload under the Ball-Larus path profiler and the edge profiler,
+//!    rank paths by `Pwt`, build Braids, and compute the baseline region
+//!    formations (Superblock, Hyperblock) plus the Table I control-flow
+//!    statistics — everything "Step 1" of the paper's Figure 1.
+//! 2. **Frame** ([`needle_frames`]): lower the chosen BL-path or Braid into
+//!    a software frame with guards and an undo log ("Step 2").
+//! 3. **Offload** ([`offload`]): co-simulate the host OOO core with the
+//!    CGRA running the frame — oracle or history-predictor invocation,
+//!    guard-failure rollback with host re-execution — and report the
+//!    performance and energy deltas of Figures 9 and 10 ("Step 3").
+//!
+//! # Quickstart
+//!
+//! ```
+//! use needle::{analyze, NeedleConfig};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = needle_workloads::by_name("179.art").expect("workload exists");
+//! let analysis = analyze(
+//!     &w.module,
+//!     w.func,
+//!     &w.args,
+//!     &w.memory,
+//!     &NeedleConfig::default(),
+//! )?;
+//! println!(
+//!     "top path covers {:.0}% of dynamic instructions",
+//!     analysis.rank.top_coverage(1) * 100.0
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod config;
+pub mod multi;
+pub mod offload;
+
+pub use analysis::{analyze, analyze_hottest, Analysis, AnalysisError};
+pub use config::NeedleConfig;
+pub use multi::{simulate_multi_offload, MultiOffloadReport, RegionSpec};
+pub use offload::{simulate_offload, OffloadReport, PredictorKind};

@@ -1,0 +1,548 @@
+//! Step 3: co-simulation of host + CGRA offload (Figures 9 and 10).
+//!
+//! The workload executes once on the interpreter for semantics; this module
+//! listens to the event stream and splits time between the host OOO model
+//! and the CGRA cost model. When control reaches the offload region's entry
+//! block, an invocation predictor (oracle or branch-history table, §V)
+//! decides whether to ship the frame to the accelerator:
+//!
+//! * invoked + all guards pass → the region's events are absorbed by the
+//!   accelerator (the host stalls for the frame's makespan + transfers, the
+//!   frame's memory traffic touches the shared L2);
+//! * invoked + a guard fails → the accelerator burns the full speculative
+//!   invocation plus undo-log rollback, then the region re-executes on the
+//!   host (its events are replayed into the host model);
+//! * not invoked → the region simply runs on the host.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use needle_cgra::{CgraCost, InvocationKind};
+use needle_frames::{build_frame, BuildError, Frame};
+use needle_host::{host_energy_pj, HostSim, HostStats, InvocationPredictor};
+use needle_ir::interp::{ExecError, Interp, Memory, TraceSink};
+use needle_ir::{BlockId, Constant, FuncId, InstId, Module, Terminator};
+use needle_regions::OffloadRegion;
+
+use crate::config::NeedleConfig;
+
+/// Invocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Perfect knowledge: invoke exactly when the frame will commit (the
+    /// paper's Oracle bound).
+    Oracle,
+    /// The §V branch-history invocation table.
+    History,
+}
+
+/// Outcome of comparing baseline and offloaded executions.
+#[derive(Debug, Clone)]
+pub struct OffloadReport {
+    /// Host-only run.
+    pub baseline: HostStats,
+    /// Baseline energy (pJ).
+    pub baseline_energy_pj: f64,
+    /// Host-side stats of the offloaded run (stalls included).
+    pub offload: HostStats,
+    /// Accelerator dynamic energy (pJ).
+    pub accel_energy_pj: f64,
+    /// Total offloaded-run energy (host + accelerator, pJ).
+    pub offload_energy_pj: f64,
+    /// Region-entry opportunities observed.
+    pub invocations: u64,
+    /// Invocations that ran on the accelerator and committed.
+    pub commits: u64,
+    /// Invocations that ran and rolled back.
+    pub aborts: u64,
+    /// Opportunities the predictor declined (region ran on the host).
+    pub declined: u64,
+    /// Prediction precision (1.0 for the oracle).
+    pub precision: f64,
+    /// Dynamic instructions absorbed by committed invocations.
+    pub committed_insts: u64,
+    /// Total dynamic instructions of the run.
+    pub total_insts: u64,
+    /// The frame that was offloaded.
+    pub frame: Frame,
+}
+
+impl OffloadReport {
+    /// Percent cycle reduction vs the baseline (Figure 9's metric).
+    pub fn perf_improvement_pct(&self) -> f64 {
+        if self.baseline.cycles == 0 {
+            return 0.0;
+        }
+        (self.baseline.cycles as f64 - self.offload.cycles as f64)
+            / self.baseline.cycles as f64
+            * 100.0
+    }
+
+    /// Percent energy reduction vs the baseline (Figure 10's metric).
+    pub fn energy_reduction_pct(&self) -> f64 {
+        if self.baseline_energy_pj == 0.0 {
+            return 0.0;
+        }
+        (self.baseline_energy_pj - self.offload_energy_pj) / self.baseline_energy_pj * 100.0
+    }
+
+    /// Fraction of dynamic instructions absorbed by the accelerator.
+    pub fn coverage(&self) -> f64 {
+        if self.total_insts == 0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / self.total_insts as f64
+        }
+    }
+}
+
+impl fmt::Display for OffloadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "offload: {:+.1}% cycles, {:+.1}% energy (coverage {:.1}%)",
+            self.perf_improvement_pct(),
+            self.energy_reduction_pct(),
+            self.coverage() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  baseline {} cycles / {:.1} µJ → offloaded {} cycles / {:.1} µJ",
+            self.baseline.cycles,
+            self.baseline_energy_pj / 1e6,
+            self.offload.cycles,
+            self.offload_energy_pj / 1e6
+        )?;
+        write!(
+            f,
+            "  invocations {}: {} commits, {} aborts, {} declined (precision {:.2})",
+            self.invocations, self.commits, self.aborts, self.declined, self.precision
+        )
+    }
+}
+
+/// Offload simulation failures.
+#[derive(Debug)]
+pub enum OffloadError {
+    /// The region could not be lowered to a frame.
+    Frame(BuildError),
+    /// Interpreter failure.
+    Exec(ExecError),
+}
+
+impl fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadError::Frame(e) => write!(f, "frame construction failed: {e}"),
+            OffloadError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OffloadError {}
+
+impl From<BuildError> for OffloadError {
+    fn from(e: BuildError) -> OffloadError {
+        OffloadError::Frame(e)
+    }
+}
+
+impl From<ExecError> for OffloadError {
+    fn from(e: ExecError) -> OffloadError {
+        OffloadError::Exec(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Enter(FuncId),
+    Exit(FuncId),
+    Block(FuncId, BlockId),
+    Edge(FuncId, BlockId, BlockId),
+    Mem(FuncId, InstId, u64, bool),
+}
+
+struct OffloadSim<'m> {
+    host: HostSim<'m>,
+    module: &'m Module,
+    hot: FuncId,
+    entry: BlockId,
+    exit: BlockId,
+    members: BTreeSet<BlockId>,
+    edges: BTreeSet<(BlockId, BlockId)>,
+    cost: CgraCost,
+    predictor: Option<InvocationPredictor>,
+    // tracking state
+    tracking: bool,
+    predicted: bool,
+    pending: Vec<Ev>,
+    configured: bool,
+    /// The previous invocation committed and fell straight back into the
+    /// region entry: live state is still resident on the fabric (§IV-A
+    /// target expansion), so the next commit pays only the makespan.
+    chained: bool,
+    // accounting
+    accel_energy_pj: f64,
+    invocations: u64,
+    commits: u64,
+    aborts: u64,
+    declined: u64,
+    committed_insts: u64,
+    total_insts: u64,
+}
+
+impl OffloadSim<'_> {
+    fn block_size(&self, f: FuncId, bb: BlockId) -> u64 {
+        self.module.func(f).block(bb).insts.len() as u64
+    }
+
+    fn forward(&mut self, ev: &Ev) {
+        match *ev {
+            Ev::Enter(f) => self.host.enter(f),
+            Ev::Exit(f) => self.host.exit(f),
+            Ev::Block(f, bb) => self.host.block(f, bb),
+            Ev::Edge(f, a, b) => {
+                self.host.edge(f, a, b);
+                if let Some(p) = &mut self.predictor {
+                    if let Terminator::CondBr { then_bb, .. } = self.module.func(f).block(a).term
+                    {
+                        p.note_branch(b == then_bb);
+                    }
+                }
+            }
+            Ev::Mem(f, i, addr, st) => self.host.mem(f, i, addr, st),
+        }
+    }
+
+    fn begin_tracking(&mut self, ev: Ev) {
+        self.tracking = true;
+        self.predicted = self.predictor.as_ref().map(|p| p.predict()).unwrap_or(true);
+        self.pending.clear();
+        self.pending.push(ev);
+    }
+
+    /// Close the current invocation. `commit` says whether the frame would
+    /// have committed. The last `trailing` events of `pending` belong to
+    /// the host side (the control transfer after the region) and are
+    /// forwarded even on commit.
+    fn finalize(&mut self, commit: bool, trailing: usize) {
+        self.tracking = false;
+        self.invocations += 1;
+        let pending = std::mem::take(&mut self.pending);
+        let (region_evs, trail) = pending.split_at(pending.len() - trailing);
+
+        let invoke = match &self.predictor {
+            None => commit, // oracle invokes exactly the committing runs
+            Some(_) => self.predicted,
+        };
+        if let Some(p) = &mut self.predictor {
+            let predicted = self.predicted;
+            p.update(predicted, commit);
+            // Past invocation outcomes are part of the history the §V table
+            // indexes on (they capture periodic patterns the host-visible
+            // branch stream cannot, since committed regions run uncore).
+            p.note_branch(commit);
+        }
+
+        if invoke {
+            if !self.configured {
+                self.host.stall(self.cost.reconfig_cycles);
+                self.configured = true;
+            }
+            if commit {
+                self.commits += 1;
+                let cycles = if self.chained {
+                    self.cost.chained_commit_cycles
+                } else {
+                    self.cost.cycles(InvocationKind::Commit)
+                };
+                self.host.stall(cycles);
+                self.accel_energy_pj += self.cost.energy_pj(InvocationKind::Commit);
+                // The frame's memory traffic hits the shared L2 (uncore,
+                // coherent): touch it for state + stats.
+                for ev in region_evs {
+                    match *ev {
+                        Ev::Mem(_, _, addr, st) => {
+                            self.host.hierarchy.access_l2(addr, st);
+                        }
+                        Ev::Block(f, bb) => {
+                            self.committed_insts += self.block_size(f, bb);
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                self.aborts += 1;
+                self.host.stall(self.cost.cycles(InvocationKind::Abort));
+                self.accel_energy_pj += self.cost.energy_pj(InvocationKind::Abort);
+                // Host re-executes the region.
+                let evs: Vec<Ev> = region_evs.to_vec();
+                for ev in &evs {
+                    self.forward(ev);
+                }
+            }
+        } else {
+            self.declined += 1;
+            let evs: Vec<Ev> = region_evs.to_vec();
+            for ev in &evs {
+                self.forward(ev);
+            }
+        }
+        let trail_evs: Vec<Ev> = trail.to_vec();
+        for ev in &trail_evs {
+            self.forward(ev);
+        }
+        // A committed invocation whose trailing control transfer re-enters
+        // the region keeps the fabric hot for the next invocation.
+        let reentered = trail.iter().any(
+            |e| matches!(e, Ev::Edge(f, _, to) if *f == self.hot && *to == self.entry),
+        );
+        self.chained = invoke && commit && reentered;
+    }
+
+    fn route(&mut self, ev: Ev) {
+        if let Ev::Block(f, bb) = ev {
+            self.total_insts += self.block_size(f, bb);
+        }
+        if !self.tracking {
+            if matches!(ev, Ev::Block(f, bb) if f == self.hot && bb == self.entry) {
+                self.begin_tracking(ev);
+            } else {
+                self.forward(&ev);
+            }
+            return;
+        }
+        // Tracking: buffer and look for the invocation boundary.
+        match ev {
+            Ev::Edge(f, from, to) if f == self.hot => {
+                self.pending.push(ev);
+                if from == self.exit {
+                    self.finalize(true, 1);
+                } else if !self.edges.contains(&(from, to)) {
+                    self.finalize(false, 0);
+                }
+            }
+            Ev::Exit(f) if f == self.hot => {
+                // A return inside the region: commit iff it came from the
+                // region exit block.
+                let last_block = self
+                    .pending
+                    .iter()
+                    .rev()
+                    .find_map(|e| match e {
+                        Ev::Block(_, bb) => Some(*bb),
+                        _ => None,
+                    })
+                    .unwrap_or(self.entry);
+                self.pending.push(ev);
+                self.finalize(last_block == self.exit, 1);
+            }
+            Ev::Block(f, bb) if f == self.hot && !self.members.contains(&bb) => {
+                // Shouldn't happen (divergence is caught on edges), but be
+                // safe: treat as divergence.
+                self.pending.push(ev);
+                self.finalize(false, 0);
+            }
+            _ => self.pending.push(ev),
+        }
+    }
+}
+
+impl TraceSink for OffloadSim<'_> {
+    fn enter(&mut self, func: FuncId) {
+        self.route(Ev::Enter(func));
+    }
+    fn exit(&mut self, func: FuncId) {
+        self.route(Ev::Exit(func));
+    }
+    fn block(&mut self, func: FuncId, bb: BlockId) {
+        self.route(Ev::Block(func, bb));
+    }
+    fn edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        self.route(Ev::Edge(func, from, to));
+    }
+    fn mem(&mut self, func: FuncId, inst: InstId, addr: u64, is_store: bool) {
+        self.route(Ev::Mem(func, inst, addr, is_store));
+    }
+}
+
+/// Simulate offloading `region` of `func` and compare against the
+/// host-only baseline.
+///
+/// # Errors
+/// Fails if the region cannot be framed or execution fails.
+pub fn simulate_offload(
+    module: &Module,
+    func: FuncId,
+    args: &[Constant],
+    memory: &Memory,
+    region: &OffloadRegion,
+    kind: PredictorKind,
+    cfg: &NeedleConfig,
+) -> Result<OffloadReport, OffloadError> {
+    let frame = build_frame(module.func(func), region)?;
+    let cost = CgraCost::new(&cfg.cgra, &frame);
+
+    // Baseline: host-only.
+    let mut baseline_sim = HostSim::new(module, cfg.host.clone());
+    let mut mem = memory.clone();
+    Interp::new(module)
+        .with_max_steps(cfg.analysis.max_steps)
+        .run(func, args, &mut mem, &mut baseline_sim)?;
+    let baseline = baseline_sim.finish();
+    let baseline_energy_pj = host_energy_pj(&cfg.energy, &baseline);
+
+    // Offloaded run.
+    let mut sim = OffloadSim {
+        host: HostSim::new(module, cfg.host.clone()),
+        module,
+        hot: func,
+        entry: region.entry(),
+        exit: region.exit(),
+        members: region.blocks.iter().copied().collect(),
+        edges: region.edges.clone(),
+        cost,
+        predictor: match kind {
+            PredictorKind::Oracle => None,
+            PredictorKind::History => {
+                Some(InvocationPredictor::new(cfg.analysis.predictor_bits))
+            }
+        },
+        tracking: false,
+        predicted: false,
+        pending: Vec::new(),
+        configured: false,
+        chained: false,
+        accel_energy_pj: 0.0,
+        invocations: 0,
+        commits: 0,
+        aborts: 0,
+        declined: 0,
+        committed_insts: 0,
+        total_insts: 0,
+    };
+    let mut mem = memory.clone();
+    Interp::new(module)
+        .with_max_steps(cfg.analysis.max_steps)
+        .run(func, args, &mut mem, &mut sim)?;
+    if sim.tracking {
+        // Run ended mid-region (cannot happen for well-formed regions, but
+        // drain defensively).
+        sim.finalize(false, 0);
+    }
+    let precision = sim
+        .predictor
+        .as_ref()
+        .map(|p| p.precision())
+        .unwrap_or(1.0);
+    let OffloadSim {
+        host,
+        accel_energy_pj,
+        invocations,
+        commits,
+        aborts,
+        declined,
+        committed_insts,
+        total_insts,
+        ..
+    } = sim;
+    let offload = host.finish();
+    let offload_energy_pj = host_energy_pj(&cfg.energy, &offload) + accel_energy_pj;
+
+    Ok(OffloadReport {
+        baseline,
+        baseline_energy_pj,
+        offload,
+        accel_energy_pj,
+        offload_energy_pj,
+        invocations,
+        commits,
+        aborts,
+        declined,
+        precision,
+        committed_insts,
+        total_insts,
+        frame,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use needle_regions::path::PathRegion;
+
+    fn offload_workload(name: &str, kind: PredictorKind, braid: bool) -> OffloadReport {
+        let w = needle_workloads::by_name(name).unwrap();
+        let cfg = NeedleConfig::default();
+        let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg).unwrap();
+        let region = if braid {
+            a.braids[0].region.clone()
+        } else {
+            PathRegion::from_rank(&a.rank, 0).unwrap().region
+        };
+        simulate_offload(&a.module, a.func, &w.args, &w.memory, &region, kind, &cfg).unwrap()
+    }
+
+    #[test]
+    fn predictable_fp_workload_speeds_up_with_braid() {
+        let r = offload_workload("183.equake", PredictorKind::History, true);
+        assert!(r.invocations > 1000, "invocations {}", r.invocations);
+        assert!(
+            r.commits > r.aborts,
+            "commits {} aborts {}",
+            r.commits,
+            r.aborts
+        );
+        assert!(
+            r.perf_improvement_pct() > 0.0,
+            "perf {:.1}%",
+            r.perf_improvement_pct()
+        );
+        assert!(r.coverage() > 0.3, "coverage {:.2}", r.coverage());
+    }
+
+    #[test]
+    fn oracle_never_aborts() {
+        let r = offload_workload("186.crafty", PredictorKind::Oracle, false);
+        assert_eq!(r.aborts, 0);
+        assert_eq!(r.precision, 1.0);
+        // Declined opportunities ran on the host.
+        assert_eq!(r.invocations, r.commits + r.declined);
+    }
+
+    #[test]
+    fn braid_commits_at_least_as_often_as_path() {
+        // Braids merge multiple flows of control: fewer guard failures.
+        let p = offload_workload("179.art", PredictorKind::History, false);
+        let b = offload_workload("179.art", PredictorKind::History, true);
+        let p_rate = p.commits as f64 / p.invocations.max(1) as f64;
+        let b_rate = b.commits as f64 / b.invocations.max(1) as f64;
+        assert!(
+            b_rate >= p_rate - 1e-9,
+            "braid commit rate {b_rate:.3} < path {p_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn energy_reduction_tracks_coverage() {
+        let r = offload_workload("456.hmmer", PredictorKind::History, true);
+        assert!(
+            r.energy_reduction_pct() > 0.0,
+            "energy {:.1}%",
+            r.energy_reduction_pct()
+        );
+        assert!(r.offload_energy_pj < r.baseline_energy_pj);
+        assert!(r.accel_energy_pj > 0.0);
+    }
+
+    #[test]
+    fn semantics_are_untouched_by_offload_simulation() {
+        // The memory image passed in is cloned: repeated simulations agree.
+        let a = offload_workload("429.mcf", PredictorKind::History, true);
+        let b = offload_workload("429.mcf", PredictorKind::History, true);
+        assert_eq!(a.baseline.cycles, b.baseline.cycles);
+        assert_eq!(a.offload.cycles, b.offload.cycles);
+        assert_eq!(a.commits, b.commits);
+    }
+}

@@ -1,0 +1,489 @@
+//! Frame construction from offload regions (§V, Figure 8).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use needle_ir::{BlockId, Constant, Function, InstId, Op, Terminator, Type, Value};
+use needle_regions::OffloadRegion;
+
+use crate::frame::{Frame, FrameOp, FrameOpKind, FrameValue, LiveIn, LiveOut};
+use crate::liveness::{live_ins, live_outs};
+
+/// Frame construction failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The region failed structural validation.
+    InvalidRegion(String),
+    /// The region contains a call (Needle inlines call chains before region
+    /// formation; un-inlined calls cannot be offloaded).
+    CallInRegion(InstId),
+    /// A φ inside the region had no in-region incoming edge.
+    PhiUnresolved(InstId),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InvalidRegion(m) => write!(f, "invalid region: {m}"),
+            BuildError::CallInRegion(i) => write!(f, "call {i} inside offload region"),
+            BuildError::PhiUnresolved(i) => write!(f, "phi {i} has no in-region incoming"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Build a software frame from `region` of `func`.
+///
+/// Along a single flow of control φs cancel into copies; at Braid-internal
+/// merge points they lower to predicated selects. Region branches with one
+/// side outside become [guards](FrameOpKind::Guard); branches with both
+/// sides inside drive block predicates. Stores are counted into the undo
+/// log.
+///
+/// # Errors
+/// See [`BuildError`].
+pub fn build_frame(func: &Function, region: &OffloadRegion) -> Result<Frame, BuildError> {
+    region
+        .validate(func)
+        .map_err(BuildError::InvalidRegion)?;
+
+    let ins = live_ins(func, region);
+    let mut b = Builder {
+        func,
+        region,
+        ops: Vec::new(),
+        guards: Vec::new(),
+        inst_map: HashMap::new(),
+        arg_map: HashMap::new(),
+        block_pred: HashMap::new(),
+        edge_pred: HashMap::new(),
+        phis_cancelled: 0,
+        undo_log_size: 0,
+    };
+    let live_in_meta: Vec<LiveIn> = ins
+        .iter()
+        .map(|v| LiveIn {
+            value: *v,
+            ty: func.value_type(*v),
+        })
+        .collect();
+    for (idx, v) in ins.iter().enumerate() {
+        match v {
+            Value::Arg(n) => {
+                b.arg_map.insert(*n, FrameValue::LiveIn(idx));
+            }
+            Value::Inst(id) => {
+                b.inst_map.insert(*id, FrameValue::LiveIn(idx));
+            }
+            Value::Const(_) => unreachable!("constants are never live-ins"),
+        }
+    }
+
+    b.block_pred.insert(region.entry(), FrameValue::TRUE);
+    let blocks = region.blocks.clone();
+    for &bb in &blocks {
+        b.lower_block(bb)?;
+    }
+
+    let outs = live_outs(func, region);
+    let live_outs = outs
+        .into_iter()
+        .map(|inst| LiveOut {
+            inst,
+            value: *b
+                .inst_map
+                .get(&inst)
+                .expect("live-out values are region-defined and lowered"),
+        })
+        .collect();
+
+    // Loop-carried pairs: an entry-block φ (a live-in) whose incoming value
+    // along a back edge from inside the region is one of the live-outs.
+    let live_outs: Vec<LiveOut> = live_outs;
+    let mut loop_carried = Vec::new();
+    let members: std::collections::BTreeSet<_> = region.blocks.iter().copied().collect();
+    for (li_idx, li) in ins.iter().enumerate() {
+        let Value::Inst(phi_id) = li else { continue };
+        let inst = func.inst(*phi_id);
+        if !inst.is_phi() {
+            continue;
+        }
+        for (v, pb) in inst.args.iter().zip(&inst.phi_blocks) {
+            if members.contains(pb) && !region.edges.contains(&(*pb, region.entry())) {
+                if let Value::Inst(update) = v {
+                    if let Some(lo_idx) = live_outs.iter().position(|lo| lo.inst == *update) {
+                        loop_carried.push((li_idx, lo_idx));
+                    }
+                }
+            }
+        }
+    }
+
+    let frame = Frame {
+        ops: b.ops,
+        live_ins: live_in_meta,
+        live_outs,
+        guards: b.guards,
+        phis_cancelled: b.phis_cancelled,
+        undo_log_size: b.undo_log_size,
+        loop_carried,
+        region: region.clone(),
+    };
+    debug_assert_eq!(frame.validate(), Ok(()));
+    Ok(frame)
+}
+
+struct Builder<'a> {
+    func: &'a Function,
+    region: &'a OffloadRegion,
+    ops: Vec<FrameOp>,
+    guards: Vec<usize>,
+    inst_map: HashMap<InstId, FrameValue>,
+    arg_map: HashMap<u32, FrameValue>,
+    block_pred: HashMap<BlockId, FrameValue>,
+    edge_pred: HashMap<(BlockId, BlockId), FrameValue>,
+    phis_cancelled: usize,
+    undo_log_size: usize,
+}
+
+impl Builder<'_> {
+    fn emit(&mut self, op: FrameOp) -> FrameValue {
+        self.ops.push(op);
+        FrameValue::Op(self.ops.len() - 1)
+    }
+
+    fn emit_compute(&mut self, op: Op, ty: Type, args: Vec<FrameValue>) -> FrameValue {
+        self.emit(FrameOp {
+            kind: FrameOpKind::Compute(op),
+            args,
+            ty,
+            pred: None,
+            src: None,
+            imm: 0,
+        })
+    }
+
+    fn resolve(&self, v: Value) -> FrameValue {
+        match v {
+            Value::Const(c) => FrameValue::Const(c),
+            Value::Arg(n) => *self
+                .arg_map
+                .get(&n)
+                .expect("external args are registered live-ins"),
+            Value::Inst(id) => *self
+                .inst_map
+                .get(&id)
+                .expect("region defs lowered in topo order; external defs are live-ins"),
+        }
+    }
+
+    fn not(&mut self, v: FrameValue) -> FrameValue {
+        self.emit_compute(
+            Op::Xor,
+            Type::I1,
+            vec![v, FrameValue::Const(Constant::Int(1))],
+        )
+    }
+
+    fn and(&mut self, a: FrameValue, b: FrameValue) -> FrameValue {
+        if a == FrameValue::TRUE {
+            return b;
+        }
+        if b == FrameValue::TRUE {
+            return a;
+        }
+        self.emit_compute(Op::And, Type::I1, vec![a, b])
+    }
+
+    fn or(&mut self, a: FrameValue, b: FrameValue) -> FrameValue {
+        if a == FrameValue::TRUE || b == FrameValue::TRUE {
+            return FrameValue::TRUE;
+        }
+        self.emit_compute(Op::Or, Type::I1, vec![a, b])
+    }
+
+    fn lower_block(&mut self, bb: BlockId) -> Result<(), BuildError> {
+        // Block predicate: OR of incoming in-region edge predicates
+        // (computed when the predecessors were lowered).
+        if bb != self.region.entry() {
+            let incoming: Vec<FrameValue> = self
+                .region
+                .edges
+                .iter()
+                .filter(|(_, t)| *t == bb)
+                .map(|e| self.edge_pred[e])
+                .collect();
+            let pred = incoming
+                .into_iter()
+                .reduce(|a, c| self.or(a, c))
+                .expect("validated region: non-entry blocks have incoming edges");
+            self.block_pred.insert(bb, pred);
+        }
+        let pred = self.block_pred[&bb];
+        let pred_opt = if pred == FrameValue::TRUE {
+            None
+        } else {
+            Some(pred)
+        };
+
+        // Instructions.
+        let func = self.func;
+        for &iid in &func.block(bb).insts {
+            let inst = func.inst(iid);
+            match inst.op {
+                Op::Phi => {
+                    if bb == self.region.entry() {
+                        continue; // entry φs are live-ins, registered already
+                    }
+                    let incomings: Vec<(FrameValue, FrameValue)> = inst
+                        .args
+                        .iter()
+                        .zip(&inst.phi_blocks)
+                        .filter(|(_, pb)| self.region.edges.contains(&(**pb, bb)))
+                        .map(|(v, pb)| (self.edge_pred[&(*pb, bb)], self.resolve(*v)))
+                        .collect();
+                    let fv = match incomings.len() {
+                        0 => return Err(BuildError::PhiUnresolved(iid)),
+                        1 => {
+                            // single flow of control: the φ cancels
+                            self.phis_cancelled += 1;
+                            incomings[0].1
+                        }
+                        _ => {
+                            // Braid merge: fold predicated selects. The last
+                            // incoming is the default; earlier ones select on
+                            // their edge predicate.
+                            let mut acc = incomings.last().expect("len>1").1;
+                            for (ep, v) in incomings.iter().rev().skip(1) {
+                                acc = self.emit_compute(
+                                    Op::Select,
+                                    inst.ty,
+                                    vec![*ep, *v, acc],
+                                );
+                            }
+                            acc
+                        }
+                    };
+                    self.inst_map.insert(iid, fv);
+                }
+                Op::Call(_) => return Err(BuildError::CallInRegion(iid)),
+                Op::Load => {
+                    let args = vec![self.resolve(inst.args[0])];
+                    let fv = self.emit(FrameOp {
+                        kind: FrameOpKind::Load,
+                        args,
+                        ty: inst.ty,
+                        pred: pred_opt,
+                        src: Some(iid),
+                        imm: 0,
+                    });
+                    self.inst_map.insert(iid, fv);
+                }
+                Op::Store => {
+                    self.undo_log_size += 1;
+                    let args = vec![self.resolve(inst.args[0]), self.resolve(inst.args[1])];
+                    let fv = self.emit(FrameOp {
+                        kind: FrameOpKind::Store,
+                        args,
+                        ty: inst.ty,
+                        pred: pred_opt,
+                        src: Some(iid),
+                        imm: 0,
+                    });
+                    self.inst_map.insert(iid, fv);
+                }
+                op => {
+                    let args = inst.args.iter().map(|a| self.resolve(*a)).collect();
+                    let fv = self.emit(FrameOp {
+                        kind: FrameOpKind::Compute(op),
+                        args,
+                        ty: inst.ty,
+                        pred: pred_opt,
+                        src: Some(iid),
+                        imm: inst.imm,
+                    });
+                    self.inst_map.insert(iid, fv);
+                }
+            }
+        }
+
+        // Terminator: guards and outgoing edge predicates.
+        if bb == self.region.exit() {
+            return Ok(());
+        }
+        match &func.block(bb).term {
+            Terminator::Br(t) => {
+                if self.region.edges.contains(&(bb, *t)) {
+                    self.edge_pred.insert((bb, *t), pred);
+                }
+            }
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = self.resolve(*cond);
+                let t_in = self.region.edges.contains(&(bb, *then_bb));
+                let e_in = self.region.edges.contains(&(bb, *else_bb));
+                if then_bb == else_bb {
+                    // Degenerate: effectively unconditional.
+                    if t_in {
+                        self.edge_pred.insert((bb, *then_bb), pred);
+                    }
+                } else if t_in && e_in {
+                    // Internal IF: both sides folded in; the branch becomes
+                    // dataflow predication.
+                    let ep_t = self.and(pred, c);
+                    self.edge_pred.insert((bb, *then_bb), ep_t);
+                    let nc = self.not(c);
+                    let ep_e = self.and(pred, nc);
+                    self.edge_pred.insert((bb, *else_bb), ep_e);
+                } else {
+                    // Guard: exactly one side stays inside.
+                    let expected = t_in;
+                    let g = self.emit(FrameOp {
+                        kind: FrameOpKind::Guard { expected },
+                        args: vec![c],
+                        ty: Type::I1,
+                        pred: pred_opt,
+                        src: None,
+                        imm: 0,
+                    });
+                    self.guards.push(g.as_op().expect("just emitted"));
+                    let inside = if t_in { *then_bb } else { *else_bb };
+                    self.edge_pred.insert((bb, inside), pred);
+                }
+            }
+            Terminator::Ret(_) | Terminator::Unreachable => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::Value as V;
+
+    /// Build the Figure 8-style function:
+    /// p0: z=x+y; c=a+b; w=z+c; if w>10 { s=w+1; store } else cold
+    fn figure8() -> (Function, OffloadRegion) {
+        let mut fb = FunctionBuilder::new(
+            "fig8",
+            &[Type::I64, Type::I64, Type::I64, Type::I64, Type::Ptr],
+            Some(Type::I64),
+        );
+        let entry = fb.entry();
+        let hot = fb.block("hot");
+        let cold = fb.block("cold");
+        let done = fb.block("done");
+        let (x, y, a, bv, p) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3), fb.arg(4));
+        fb.switch_to(entry);
+        let z = fb.add(x, y);
+        let c = fb.add(a, bv);
+        let w = fb.add(z, c);
+        let cnd = fb.icmp_sgt(w, V::int(10));
+        fb.cond_br(cnd, hot, cold);
+        fb.switch_to(hot);
+        let s = fb.add(w, V::int(1));
+        fb.store(s, p);
+        fb.br(done);
+        fb.switch_to(cold);
+        let t = fb.sub(w, V::int(1));
+        fb.br(done);
+        fb.switch_to(done);
+        let r = fb.phi(Type::I64, &[(hot, s), (cold, t)]);
+        fb.ret(Some(r));
+        let f = fb.finish();
+        let region = OffloadRegion::from_path(
+            &[BlockId(0), BlockId(1), BlockId(3)],
+            100,
+            0.9,
+        );
+        (f, region)
+    }
+
+    #[test]
+    fn path_frame_has_guard_and_cancelled_phi() {
+        let (f, region) = figure8();
+        let frame = build_frame(&f, &region).unwrap();
+        frame.validate().unwrap();
+        assert_eq!(frame.guards.len(), 1);
+        assert_eq!(frame.phis_cancelled, 1); // the φ at `done` cancels
+        assert_eq!(frame.undo_log_size, 1); // one store
+        assert_eq!(frame.live_ins.len(), 5); // x,y,a,b,p
+        // Live-outs: r (the φ, returned at the exit) and w (consumed by the
+        // external cold block — conservative liveness keeps it).
+        assert_eq!(frame.live_outs.len(), 2);
+        // Ops: z,c,w,cnd,guard,s,store = 7 (φ cancelled, no pred logic).
+        assert_eq!(frame.num_ops(), 7);
+        assert_eq!(frame.num_mem_ops(), 1);
+    }
+
+    #[test]
+    fn braid_frame_predicates_both_arms() {
+        let (f, _) = figure8();
+        // Braid merges hot and cold arms.
+        let mut region = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 100, 0.9);
+        region.blocks = vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)];
+        region.edges.insert((BlockId(0), BlockId(2)));
+        region.edges.insert((BlockId(2), BlockId(3)));
+        let frame = build_frame(&f, &region).unwrap();
+        frame.validate().unwrap();
+        // No guards: the only branch is internal now.
+        assert!(frame.guards.is_empty());
+        // The φ lowers to a select rather than cancelling.
+        assert_eq!(frame.phis_cancelled, 0);
+        assert!(frame
+            .ops
+            .iter()
+            .any(|o| matches!(o.kind, FrameOpKind::Compute(Op::Select))));
+        // The store in the hot arm is predicated.
+        let store = frame
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, FrameOpKind::Store))
+            .unwrap();
+        assert!(store.pred.is_some());
+    }
+
+    #[test]
+    fn call_in_region_is_rejected() {
+        let mut fb = FunctionBuilder::new("callee", &[], None);
+        fb.ret(None);
+        let callee = fb.finish();
+        let mut m = needle_ir::Module::new("t");
+        let cid = m.push(callee);
+        let mut fb = FunctionBuilder::new("caller", &[], None);
+        fb.call(cid, Type::I64, &[]);
+        fb.ret(None);
+        let f = fb.finish();
+        let region = OffloadRegion::from_path(&[BlockId(0)], 1, 1.0);
+        assert!(matches!(
+            build_frame(&f, &region),
+            Err(BuildError::CallInRegion(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_region_is_rejected() {
+        let (f, _) = figure8();
+        let bad = OffloadRegion::from_path(&[BlockId(0), BlockId(0)], 1, 0.0);
+        assert!(matches!(
+            build_frame(&f, &bad),
+            Err(BuildError::InvalidRegion(_))
+        ));
+    }
+
+    #[test]
+    fn guard_expected_direction_tracks_region_side() {
+        let (f, _) = figure8();
+        // Path through the *cold* side: guard expects `false`.
+        let region = OffloadRegion::from_path(&[BlockId(0), BlockId(2), BlockId(3)], 1, 0.1);
+        let frame = build_frame(&f, &region).unwrap();
+        let g = &frame.ops[frame.guards[0]];
+        assert_eq!(g.kind, FrameOpKind::Guard { expected: false });
+    }
+}

@@ -1,0 +1,334 @@
+//! Atomic frame execution with undo-log rollback.
+//!
+//! Executes a [`Frame`] the way the accelerator would (§V): every op runs
+//! speculatively in dataflow order, stores capture the old memory value
+//! into the undo log, and guards are checked *at the end of the invocation*
+//! (the paper's conservative assumption). If any guard failed, the undo log
+//! is replayed in reverse and the frame reports an abort — externally
+//! visible memory is untouched.
+
+use std::fmt;
+
+use needle_ir::interp::{eval_pure, Memory, Val};
+
+use crate::frame::{Frame, FrameOpKind, FrameValue};
+
+/// Result of one frame invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameOutcome {
+    /// Every guard passed: stores are committed, live-outs returned.
+    Committed {
+        /// Live-out values in [`Frame::live_outs`] order.
+        live_outs: Vec<Val>,
+        /// Stores performed (undo-log entries written).
+        stores: usize,
+    },
+    /// At least one guard failed: memory was rolled back.
+    Aborted {
+        /// Index (into [`Frame::guards`]) of the first failed guard.
+        failed_guard: usize,
+        /// Undo-log entries replayed during rollback.
+        rolled_back: usize,
+    },
+}
+
+impl FrameOutcome {
+    /// Whether the invocation committed.
+    pub fn committed(&self) -> bool {
+        matches!(self, FrameOutcome::Committed { .. })
+    }
+}
+
+/// Frame execution errors (malformed frames only; guard failures are a
+/// normal [`FrameOutcome::Aborted`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecFrameError {
+    /// The live-in vector does not match the frame's signature.
+    LiveInArity {
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ExecFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecFrameError::LiveInArity { expected, got } => {
+                write!(f, "expected {expected} live-ins, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecFrameError {}
+
+/// Execute `frame` once against `mem`.
+///
+/// # Errors
+/// Fails if `live_ins.len()` does not match the frame signature.
+pub fn run_frame(
+    frame: &Frame,
+    live_ins: &[Val],
+    mem: &mut Memory,
+) -> Result<FrameOutcome, ExecFrameError> {
+    if live_ins.len() != frame.live_ins.len() {
+        return Err(ExecFrameError::LiveInArity {
+            expected: frame.live_ins.len(),
+            got: live_ins.len(),
+        });
+    }
+    let read = |vals: &[Val], v: FrameValue| -> Val {
+        match v {
+            FrameValue::Op(i) => vals[i],
+            FrameValue::LiveIn(i) => live_ins[i],
+            FrameValue::Const(c) => Val::from(c),
+        }
+    };
+
+    let mut vals: Vec<Val> = vec![Val::Int(0); frame.ops.len()];
+    let mut undo: Vec<(u64, u64)> = Vec::new();
+    let mut failed: Option<usize> = None;
+
+    for (i, op) in frame.ops.iter().enumerate() {
+        let pred_on = op
+            .pred
+            .map(|p| read(&vals, p).as_bool())
+            .unwrap_or(true);
+        match op.kind {
+            FrameOpKind::Compute(o) => {
+                let args: Vec<Val> = op.args.iter().map(|a| read(&vals, *a)).collect();
+                vals[i] = eval_pure(o, &args, op.imm).expect("frame computes are pure");
+            }
+            FrameOpKind::Load => {
+                let addr = read(&vals, op.args[0]).as_int() as u64;
+                vals[i] = mem.load(addr, op.ty);
+            }
+            FrameOpKind::Store => {
+                if pred_on {
+                    let v = read(&vals, op.args[0]);
+                    let addr = read(&vals, op.args[1]).as_int() as u64;
+                    undo.push((addr, mem.peek(addr)));
+                    mem.store(addr, v);
+                }
+                vals[i] = Val::Int(0);
+            }
+            FrameOpKind::Guard { expected } => {
+                let actual = read(&vals, op.args[0]).as_bool();
+                let pass = !pred_on || actual == expected;
+                vals[i] = Val::Int(pass as i64);
+                if !pass && failed.is_none() {
+                    failed = Some(frame.guards.iter().position(|g| *g == i).unwrap_or(0));
+                }
+            }
+        }
+    }
+
+    match failed {
+        Some(g) => {
+            let rolled_back = undo.len();
+            for (addr, old) in undo.into_iter().rev() {
+                mem.store(addr, Val::from_bits(old, needle_ir::Type::I64));
+            }
+            Ok(FrameOutcome::Aborted {
+                failed_guard: g,
+                rolled_back,
+            })
+        }
+        None => {
+            let live_outs = frame
+                .live_outs
+                .iter()
+                .map(|lo| read(&vals, lo.value))
+                .collect();
+            Ok(FrameOutcome::Committed {
+                live_outs,
+                stores: undo.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::{BlockId, Type, Value as V};
+    use needle_regions::OffloadRegion;
+
+    use crate::build::build_frame;
+
+    /// z = x + y; if z > 10 { store z -> p; out = z * 2 } (hot path region)
+    fn guarded_frame() -> Frame {
+        let mut fb = FunctionBuilder::new("g", &[Type::I64, Type::I64, Type::Ptr], Some(Type::I64));
+        let entry = fb.entry();
+        let hot = fb.block("hot");
+        let cold = fb.block("cold");
+        let done = fb.block("done");
+        fb.switch_to(entry);
+        let z = fb.add(fb.arg(0), fb.arg(1));
+        let c = fb.icmp_sgt(z, V::int(10));
+        fb.cond_br(c, hot, cold);
+        fb.switch_to(hot);
+        fb.store(z, fb.arg(2));
+        let out = fb.mul(z, V::int(2));
+        fb.br(done);
+        fb.switch_to(cold);
+        fb.br(done);
+        fb.switch_to(done);
+        let r = fb.phi(Type::I64, &[(hot, out), (cold, V::int(0))]);
+        fb.ret(Some(r));
+        let f = fb.finish();
+        let region = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 10, 0.9);
+        build_frame(&f, &region).unwrap()
+    }
+
+    #[test]
+    fn commit_applies_stores_and_returns_live_outs() {
+        let frame = guarded_frame();
+        let mut mem = Memory::new();
+        let out = run_frame(&frame, &[Val::Int(7), Val::Int(8), Val::Int(64)], &mut mem).unwrap();
+        match out {
+            FrameOutcome::Committed { live_outs, stores } => {
+                assert_eq!(stores, 1);
+                assert_eq!(live_outs, vec![Val::Int(30)]); // (7+8)*2
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        assert_eq!(mem.load(64, Type::I64), Val::Int(15));
+    }
+
+    #[test]
+    fn abort_rolls_back_memory_exactly() {
+        let frame = guarded_frame();
+        let mut mem = Memory::new();
+        mem.store(64, Val::Int(999));
+        let before = mem.peek(64);
+        // 2 + 3 = 5, guard (z > 10) fails.
+        let out = run_frame(&frame, &[Val::Int(2), Val::Int(3), Val::Int(64)], &mut mem).unwrap();
+        match out {
+            FrameOutcome::Aborted {
+                failed_guard,
+                rolled_back,
+            } => {
+                assert_eq!(failed_guard, 0);
+                assert_eq!(rolled_back, 1); // the speculative store was undone
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(mem.peek(64), before);
+        assert!(!out.committed());
+    }
+
+    #[test]
+    fn live_in_arity_is_checked() {
+        let frame = guarded_frame();
+        let mut mem = Memory::new();
+        let err = run_frame(&frame, &[Val::Int(1)], &mut mem).unwrap_err();
+        assert_eq!(
+            err,
+            ExecFrameError::LiveInArity {
+                expected: 3,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn predicated_store_in_braid_only_fires_on_taken_arm() {
+        // Braid: if c { store 1 -> p } else { store 2 -> q }
+        let mut fb = FunctionBuilder::new("b", &[Type::I64, Type::Ptr, Type::Ptr], None);
+        let entry = fb.entry();
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let done = fb.block("done");
+        fb.switch_to(entry);
+        let c = fb.icmp_sgt(fb.arg(0), V::int(0));
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.store(V::int(1), fb.arg(1));
+        fb.br(done);
+        fb.switch_to(e);
+        fb.store(V::int(2), fb.arg(2));
+        fb.br(done);
+        fb.switch_to(done);
+        fb.ret(None);
+        let f = fb.finish();
+        let mut region = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 1, 1.0);
+        region.blocks = vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)];
+        region.edges.insert((BlockId(0), BlockId(2)));
+        region.edges.insert((BlockId(2), BlockId(3)));
+        let frame = build_frame(&f, &region).unwrap();
+
+        let mut mem = Memory::new();
+        let out = run_frame(&frame, &[Val::Int(5), Val::Int(0), Val::Int(8)], &mut mem).unwrap();
+        assert!(out.committed());
+        assert_eq!(mem.load(0, Type::I64), Val::Int(1));
+        assert_eq!(mem.load(8, Type::I64), Val::Int(0)); // untaken arm's store suppressed
+
+        let mut mem = Memory::new();
+        let out = run_frame(&frame, &[Val::Int(-5), Val::Int(0), Val::Int(8)], &mut mem).unwrap();
+        assert!(out.committed());
+        assert_eq!(mem.load(0, Type::I64), Val::Int(0));
+        assert_eq!(mem.load(8, Type::I64), Val::Int(2));
+    }
+
+    #[test]
+    fn guard_in_untaken_arm_does_not_abort() {
+        // Braid arm with a nested guard: if c { if d { .. } inside } else {}
+        // Build: entry: c = a>0; br c, t, e; t: d = a>10; br d, t2, out(!);
+        // t2: x=a+1; br done; e: br done; done.
+        let mut fb = FunctionBuilder::new("n", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let t = fb.block("t");
+        let t2 = fb.block("t2");
+        let e = fb.block("e");
+        let done = fb.block("done");
+        let out_cold = fb.block("out_cold");
+        fb.switch_to(entry);
+        let c = fb.icmp_sgt(fb.arg(0), V::int(0));
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        let d = fb.icmp_sgt(fb.arg(0), V::int(10));
+        fb.cond_br(d, t2, out_cold);
+        fb.switch_to(t2);
+        let x = fb.add(fb.arg(0), V::int(1));
+        fb.br(done);
+        fb.switch_to(e);
+        fb.br(done);
+        fb.switch_to(done);
+        let r = fb.phi(Type::I64, &[(t2, x), (e, V::int(0))]);
+        fb.ret(Some(r));
+        fb.switch_to(out_cold);
+        fb.ret(Some(V::int(-1)));
+        let f = fb.finish();
+
+        let mut region = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(2)], 1, 1.0);
+        region.blocks = vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3), BlockId(4)];
+        region.edges.insert((BlockId(0), BlockId(3)));
+        region.edges.insert((BlockId(2), BlockId(4)));
+        region.edges.insert((BlockId(3), BlockId(4)));
+        let frame = build_frame(&f, &region).unwrap();
+        assert_eq!(frame.guards.len(), 1); // the d-branch guard
+
+        // a = -3: the else arm is taken; the guard in the untaken `t` arm
+        // must not fire even though d = false.
+        let mut mem = Memory::new();
+        let out = run_frame(&frame, &[Val::Int(-3)], &mut mem).unwrap();
+        assert!(out.committed(), "predicated-off guard must pass: {out:?}");
+
+        // a = 5: t taken, d = false → genuine guard failure.
+        let out = run_frame(&frame, &[Val::Int(5)], &mut mem).unwrap();
+        assert!(!out.committed());
+
+        // a = 20: t, t2 → commit with live-out 21.
+        let out = run_frame(&frame, &[Val::Int(20)], &mut mem).unwrap();
+        match out {
+            FrameOutcome::Committed { live_outs, .. } => {
+                assert_eq!(live_outs, vec![Val::Int(21)])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Frame data structures.
+
+use needle_ir::{Constant, InstId, Op, Type, Value};
+use needle_regions::OffloadRegion;
+
+/// A value inside a frame's dataflow graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameValue {
+    /// Result of the `n`-th frame op.
+    Op(usize),
+    /// The `n`-th live-in.
+    LiveIn(usize),
+    /// An inline constant.
+    Const(Constant),
+}
+
+impl FrameValue {
+    /// The true constant, used for always-executing predicates.
+    pub const TRUE: FrameValue = FrameValue::Const(Constant::Int(1));
+
+    /// The op index, if this value is an op result.
+    pub fn as_op(self) -> Option<usize> {
+        match self {
+            FrameValue::Op(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// Frame operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameOpKind {
+    /// A pure computation cloned from the IR.
+    Compute(Op),
+    /// Speculative load: `args[0]` is the address.
+    Load,
+    /// Undo-logged store: `args[0]` value, `args[1]` address. Executes only
+    /// when the op's predicate holds.
+    Store,
+    /// Asynchronous guard on `args[0]`: the frame aborts (at commit time)
+    /// if the value is not `expected`. No op depends on a guard.
+    Guard {
+        /// The branch direction that keeps execution inside the region.
+        expected: bool,
+    },
+}
+
+/// One node of the frame dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameOp {
+    /// What the op does.
+    pub kind: FrameOpKind,
+    /// Operands.
+    pub args: Vec<FrameValue>,
+    /// Result type.
+    pub ty: Type,
+    /// Execution predicate (Braid-internal control flow); `None` means the
+    /// op always executes. Stores honour it architecturally; pure ops run
+    /// speculatively regardless.
+    pub pred: Option<FrameValue>,
+    /// Provenance: the IR instruction this op was cloned from, if any.
+    pub src: Option<InstId>,
+    /// Immediate (the [`Op::Gep`] scale).
+    pub imm: i64,
+}
+
+/// A live-in: a value defined outside the region that the frame consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveIn {
+    /// The IR value at the region boundary.
+    pub value: Value,
+    /// Its type.
+    pub ty: Type,
+}
+
+/// A live-out: a region-defined IR value consumed after the region exits,
+/// with the frame value that produces it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveOut {
+    /// The IR instruction whose value escapes.
+    pub inst: InstId,
+    /// The frame value holding it at commit.
+    pub value: FrameValue,
+}
+
+/// An accelerator-ready software frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Dataflow ops in a valid (topologically sorted) execution order.
+    pub ops: Vec<FrameOp>,
+    /// Live-ins in argument order.
+    pub live_ins: Vec<LiveIn>,
+    /// Live-outs transferred back to the host on commit.
+    pub live_outs: Vec<LiveOut>,
+    /// Indices into `ops` of the guard operations.
+    pub guards: Vec<usize>,
+    /// φs cancelled during construction (Table II C6).
+    pub phis_cancelled: usize,
+    /// Static store count = undo-log entries per invocation upper bound.
+    pub undo_log_size: usize,
+    /// Loop-carried value pairs `(live_in index, live_out index)`: the
+    /// live-out feeds the live-in on the next invocation (an entry-block φ
+    /// and its back-edge update). These bound the initiation interval when
+    /// chained invocations pipeline on the fabric.
+    pub loop_carried: Vec<(usize, usize)>,
+    /// The region this frame was built from.
+    pub region: OffloadRegion,
+}
+
+impl Frame {
+    /// Number of dataflow ops (guards included).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of memory operations.
+    pub fn num_mem_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, FrameOpKind::Load | FrameOpKind::Store))
+            .count()
+    }
+
+    /// Number of floating-point ops (for FU selection / energy).
+    pub fn num_float_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, FrameOpKind::Compute(op) if op.is_float()))
+            .count()
+    }
+
+    /// Dataflow depth: the longest dependence chain through the ops,
+    /// counting each op as one level (the critical path in "op levels").
+    pub fn dataflow_depth(&self) -> usize {
+        let mut depth = vec![0usize; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            let d = op
+                .args
+                .iter()
+                .chain(op.pred.iter())
+                .filter_map(|a| a.as_op())
+                .map(|j| depth[j])
+                .max()
+                .unwrap_or(0);
+            depth[i] = d + 1;
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Structural sanity check: every operand refers backwards.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            for a in op.args.iter().chain(op.pred.iter()) {
+                match a {
+                    FrameValue::Op(j) if *j >= i => {
+                        return Err(format!("op {i} uses forward value op{j}"));
+                    }
+                    FrameValue::LiveIn(k) if *k >= self.live_ins.len() => {
+                        return Err(format!("op {i} uses out-of-range live-in {k}"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for g in &self.guards {
+            if !matches!(self.ops.get(*g).map(|o| o.kind), Some(FrameOpKind::Guard { .. })) {
+                return Err(format!("guard index {g} is not a Guard op"));
+            }
+        }
+        for lo in &self.live_outs {
+            if let FrameValue::Op(j) = lo.value {
+                if j >= self.ops.len() {
+                    return Err(format!("live-out refers to out-of-range op {j}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn tiny_frame() -> Frame {
+        // op0 = li0 + 1 ; op1 = guard(op0 > 0) ... encoded as compute + guard
+        let add = FrameOp {
+            kind: FrameOpKind::Compute(Op::Add),
+            args: vec![FrameValue::LiveIn(0), FrameValue::Const(Constant::Int(1))],
+            ty: Type::I64,
+            pred: None,
+            src: None,
+            imm: 0,
+        };
+        let cmp = FrameOp {
+            kind: FrameOpKind::Compute(Op::ICmp(needle_ir::CmpOp::Gt)),
+            args: vec![FrameValue::Op(0), FrameValue::Const(Constant::Int(0))],
+            ty: Type::I1,
+            pred: None,
+            src: None,
+            imm: 0,
+        };
+        let guard = FrameOp {
+            kind: FrameOpKind::Guard { expected: true },
+            args: vec![FrameValue::Op(1)],
+            ty: Type::I1,
+            pred: None,
+            src: None,
+            imm: 0,
+        };
+        Frame {
+            ops: vec![add, cmp, guard],
+            live_ins: vec![LiveIn {
+                value: Value::Arg(0),
+                ty: Type::I64,
+            }],
+            live_outs: vec![LiveOut {
+                inst: InstId(0),
+                value: FrameValue::Op(0),
+            }],
+            guards: vec![2],
+            phis_cancelled: 0,
+            undo_log_size: 0,
+            loop_carried: vec![],
+            region: OffloadRegion::from_path(&[needle_ir::BlockId(0)], 1, 1.0),
+        }
+    }
+
+    #[test]
+    fn frame_metrics() {
+        let f = tiny_frame();
+        f.validate().unwrap();
+        assert_eq!(f.num_ops(), 3);
+        assert_eq!(f.num_mem_ops(), 0);
+        assert_eq!(f.num_float_ops(), 0);
+        assert_eq!(f.dataflow_depth(), 3); // add -> cmp -> guard
+    }
+
+    #[test]
+    fn validate_rejects_forward_references() {
+        let mut f = tiny_frame();
+        f.ops[0].args[0] = FrameValue::Op(2);
+        assert!(f.validate().unwrap_err().contains("forward"));
+
+        let mut f = tiny_frame();
+        f.ops[0].args[0] = FrameValue::LiveIn(5);
+        assert!(f.validate().unwrap_err().contains("live-in"));
+
+        let mut f = tiny_frame();
+        f.guards = vec![0];
+        assert!(f.validate().unwrap_err().contains("not a Guard"));
+
+        let mut f = tiny_frame();
+        f.live_outs[0].value = FrameValue::Op(99);
+        assert!(f.validate().unwrap_err().contains("out-of-range op"));
+        let _ = BTreeSet::from([1]);
+    }
+}

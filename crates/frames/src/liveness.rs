@@ -1,0 +1,215 @@
+//! Live-in / live-out analysis at region boundaries (Table II C5, IV C7).
+//!
+//! Conventions:
+//!
+//! * a φ in the *region entry block* is itself a live-in — the host passes
+//!   the already-merged value when invoking the frame;
+//! * a value flowing into an entry-block φ along a back edge from inside
+//!   the region (the loop-carried update) is a live-out — the host needs it
+//!   to re-invoke the frame for the next iteration;
+//! * constants never appear in either set.
+
+use std::collections::BTreeSet;
+
+use needle_ir::{Function, InstId, Terminator, Value};
+use needle_regions::OffloadRegion;
+
+/// IR values defined outside `region` (plus entry-block φs) that the frame
+/// consumes, in first-use order.
+pub fn live_ins(func: &Function, region: &OffloadRegion) -> Vec<Value> {
+    let defined_in: BTreeSet<InstId> = region
+        .blocks
+        .iter()
+        .flat_map(|b| func.block(*b).insts.iter().copied())
+        .collect();
+    let entry = region.entry();
+    let entry_phis: BTreeSet<InstId> = func
+        .block(entry)
+        .insts
+        .iter()
+        .copied()
+        .filter(|i| func.inst(*i).is_phi())
+        .collect();
+
+    let mut out: Vec<Value> = Vec::new();
+    let push = |v: Value, out: &mut Vec<Value>| {
+        let external = match v {
+            Value::Const(_) => false,
+            Value::Arg(_) => true,
+            Value::Inst(id) => entry_phis.contains(&id) || !defined_in.contains(&id),
+        };
+        if external && !out.contains(&v) {
+            out.push(v);
+        }
+    };
+    // Entry φs first: they are the frame's inputs in block order.
+    for &p in func.block(entry).insts.iter() {
+        if entry_phis.contains(&p) {
+            push(Value::Inst(p), &mut out);
+        }
+    }
+    for &bb in &region.blocks {
+        for &iid in &func.block(bb).insts {
+            if entry_phis.contains(&iid) {
+                continue; // handled above; constituents live outside
+            }
+            let inst = func.inst(iid);
+            if inst.is_phi() {
+                // Non-entry φ: only incomings along in-region edges matter.
+                for (v, pb) in inst.args.iter().zip(&inst.phi_blocks) {
+                    if region.edges.contains(&(*pb, bb)) {
+                        push(*v, &mut out);
+                    }
+                }
+            } else {
+                for a in &inst.args {
+                    push(*a, &mut out);
+                }
+            }
+        }
+        if let Terminator::CondBr { cond, .. } = func.block(bb).term {
+            push(cond, &mut out);
+        }
+    }
+    out
+}
+
+/// Region-defined instructions whose values are consumed outside the
+/// region: by external instructions/terminators/φs, by the exit block's
+/// terminator, or by an entry-block φ along a back edge (loop-carried).
+pub fn live_outs(func: &Function, region: &OffloadRegion) -> Vec<InstId> {
+    let members: BTreeSet<_> = region.blocks.iter().copied().collect();
+    let defined_in: BTreeSet<InstId> = region
+        .blocks
+        .iter()
+        .flat_map(|b| func.block(*b).insts.iter().copied())
+        .collect();
+    let mut live: Vec<InstId> = Vec::new();
+    let mark = |v: Value, live: &mut Vec<InstId>| {
+        if let Value::Inst(id) = v {
+            if defined_in.contains(&id) && !live.contains(&id) {
+                live.push(id);
+            }
+        }
+    };
+    for bb in func.block_ids() {
+        let inside = members.contains(&bb);
+        for &iid in &func.block(bb).insts {
+            let inst = func.inst(iid);
+            if inside {
+                // Loop-carried values: an entry-block φ fed from inside the
+                // region along a non-region (back) edge.
+                if bb == region.entry() && inst.is_phi() {
+                    for (v, pb) in inst.args.iter().zip(&inst.phi_blocks) {
+                        if members.contains(pb) && !region.edges.contains(&(*pb, bb)) {
+                            mark(*v, &mut live);
+                        }
+                    }
+                }
+                continue; // other in-region uses are internal
+            }
+            for a in &inst.args {
+                mark(*a, &mut live);
+            }
+        }
+        // Terminators of external blocks, and of the exit block (its branch
+        // condition is resolved by the host after the frame returns).
+        if !inside || bb == region.exit() {
+            match &func.block(bb).term {
+                Terminator::CondBr { cond, .. } => mark(*cond, &mut live),
+                Terminator::Ret(Some(v)) => mark(*v, &mut live),
+                _ => {}
+            }
+        }
+    }
+    live.sort();
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::Type;
+    use needle_ir::Value as V;
+
+    /// head(i=φ) -> body(x = a[i]*k) -> latch(i+1) loop; region = body..latch.
+    #[test]
+    fn loop_body_live_boundary() {
+        let mut fb = FunctionBuilder::new("f", &[Type::Ptr, Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let latch = fb.block("latch");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, V::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(1));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let addr = fb.gep(fb.arg(0), i, 8);
+        let x = fb.load(Type::I64, addr);
+        let y = fb.mul(x, V::int(3));
+        fb.store(y, addr);
+        fb.br(latch);
+        fb.switch_to(latch);
+        let i2 = fb.add(i, V::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(latch);
+
+        // Region: body -> latch (one loop iteration after the head test).
+        let region = needle_regions::OffloadRegion::from_path(&[body, latch], 10, 0.9);
+        region.validate(&f).unwrap();
+        let ins = live_ins(&f, &region);
+        // i (φ at head, outside) and arg0 (base pointer) feed the region.
+        assert!(ins.contains(&i));
+        assert!(ins.contains(&V::Arg(0)));
+        assert!(!ins.iter().any(|v| matches!(v, V::Const(_))));
+        let outs = live_outs(&f, &region);
+        // i2 feeds the head φ (an external use).
+        assert_eq!(outs, vec![i2.as_inst().unwrap()]);
+    }
+
+    /// Region covering head..body: the head φ is a live-in; the
+    /// loop-carried update i2 is a live-out.
+    #[test]
+    fn entry_phi_is_live_in_and_update_is_live_out() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, V::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.add(i, V::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(body);
+
+        let region = needle_regions::OffloadRegion::from_path(&[head, body], 5, 0.8);
+        let ins = live_ins(&f, &region);
+        assert_eq!(ins[0], i, "entry φ is the first live-in");
+        assert!(ins.contains(&V::Arg(0)));
+        let outs = live_outs(&f, &region);
+        // i escapes (ret at exit); i2 escapes as the loop-carried update.
+        assert!(outs.contains(&i_id));
+        assert!(outs.contains(&i2.as_inst().unwrap()));
+        assert_eq!(outs.len(), 2);
+    }
+}

@@ -1,0 +1,383 @@
+//! Frame-level optimizations and transformations.
+//!
+//! * [`dce_frame`] — dead-op elimination: drop ops that feed no live-out,
+//!   store, or guard (dataflow predication executes everything, so dead
+//!   ops waste fabric area and energy — this is the ablation DESIGN.md
+//!   calls out);
+//! * [`guard_policy`] — §V: "NEEDLE regulates when the guard checks are
+//!   inserted along the path to reduce the overheads of speculation
+//!   failure": reposition guards either as-early-as-possible (cheap
+//!   aborts) or as-late-as-possible (maximum hoisting / ILP);
+//! * [`concat_frames`] — §IV-A target expansion materialized: stitch two
+//!   copies of a frame back-to-back, wiring loop-carried live-outs of the
+//!   first into the live-ins of the second, to build a two-iteration
+//!   offload unit.
+
+use std::collections::HashMap;
+
+use crate::frame::{Frame, FrameOp, FrameOpKind, FrameValue, LiveOut};
+
+/// Remove ops whose results reach no store, guard, or live-out. Returns
+/// the number of ops eliminated.
+pub fn dce_frame(frame: &mut Frame) -> usize {
+    let n = frame.ops.len();
+    let mut live = vec![false; n];
+    let mark_value = |v: FrameValue, live: &mut Vec<bool>, stack: &mut Vec<usize>| {
+        if let FrameValue::Op(i) = v {
+            if !live[i] {
+                live[i] = true;
+                stack.push(i);
+            }
+        }
+    };
+    let mut stack = Vec::new();
+    for (i, op) in frame.ops.iter().enumerate() {
+        if matches!(op.kind, FrameOpKind::Store | FrameOpKind::Guard { .. }) {
+            live[i] = true;
+            stack.push(i);
+        }
+    }
+    for lo in &frame.live_outs {
+        mark_value(lo.value, &mut live, &mut stack);
+    }
+    while let Some(i) = stack.pop() {
+        let op = frame.ops[i].clone();
+        for a in op.args.iter().chain(op.pred.iter()) {
+            mark_value(*a, &mut live, &mut stack);
+        }
+    }
+
+    // Compact, remapping indices.
+    let mut remap: Vec<Option<usize>> = vec![None; n];
+    let mut new_ops: Vec<FrameOp> = Vec::with_capacity(n);
+    for (i, op) in frame.ops.iter().enumerate() {
+        if live[i] {
+            remap[i] = Some(new_ops.len());
+            new_ops.push(op.clone());
+        }
+    }
+    let fix = |v: &mut FrameValue| {
+        if let FrameValue::Op(i) = v {
+            *i = remap[*i].expect("live ops only reference live ops");
+        }
+    };
+    for op in &mut new_ops {
+        for a in &mut op.args {
+            fix(a);
+        }
+        if let Some(p) = &mut op.pred {
+            fix(p);
+        }
+    }
+    for lo in &mut frame.live_outs {
+        fix(&mut lo.value);
+    }
+    frame.guards = frame
+        .guards
+        .iter()
+        .filter_map(|g| remap[*g])
+        .collect();
+    let removed = n - new_ops.len();
+    frame.undo_log_size = new_ops
+        .iter()
+        .filter(|o| matches!(o.kind, FrameOpKind::Store))
+        .count();
+    frame.ops = new_ops;
+    removed
+}
+
+/// Guard placement policy (§V "guard position").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardPolicy {
+    /// Guards stay where region lowering emitted them (program order).
+    AsEmitted,
+    /// Guards sink to the end of the frame: every other op hoists above
+    /// them, maximising speculative ILP at the cost of late failure
+    /// detection (the paper's evaluation assumption).
+    Late,
+    /// Guards rise as early as their condition allows: aborts are detected
+    /// sooner (cheaper failures) but nothing structurally changes for pure
+    /// dataflow — this models an early-abort fabric.
+    Early,
+}
+
+/// Reorder guard ops according to `policy`, preserving dataflow validity
+/// (an op never moves before its operands). Returns the frame's guard
+/// indices after placement.
+pub fn apply_guard_policy(frame: &mut Frame, policy: GuardPolicy) -> Vec<usize> {
+    match policy {
+        GuardPolicy::AsEmitted => frame.guards.clone(),
+        GuardPolicy::Late => {
+            // Stable-partition guards to the end.
+            let mut order: Vec<usize> = (0..frame.ops.len()).collect();
+            order.sort_by_key(|i| matches!(frame.ops[*i].kind, FrameOpKind::Guard { .. }));
+            permute(frame, &order)
+        }
+        GuardPolicy::Early => {
+            // Move each guard right after its latest dependency: compute a
+            // schedule order where guards get priority.
+            let n = frame.ops.len();
+            let mut placed = vec![false; n];
+            let mut order: Vec<usize> = Vec::with_capacity(n);
+            // Repeatedly emit any ready guard first, else the next ready op.
+            let ready = |i: usize, placed: &[bool], ops: &[FrameOp]| {
+                ops[i]
+                    .args
+                    .iter()
+                    .chain(ops[i].pred.iter())
+                    .all(|a| match a {
+                        FrameValue::Op(j) => placed[*j],
+                        _ => true,
+                    })
+            };
+            while order.len() < n {
+                let next_guard = (0..n).find(|i| {
+                    !placed[*i]
+                        && matches!(frame.ops[*i].kind, FrameOpKind::Guard { .. })
+                        && ready(*i, &placed, &frame.ops)
+                });
+                let pick = next_guard.or_else(|| {
+                    (0..n).find(|i| !placed[*i] && ready(*i, &placed, &frame.ops))
+                });
+                let i = pick.expect("acyclic dataflow always has a ready op");
+                placed[i] = true;
+                order.push(i);
+            }
+            permute(frame, &order)
+        }
+    }
+}
+
+/// Reorder `frame.ops` into `order` (old indices in new order), remapping
+/// all references. Returns the new guard indices.
+fn permute(frame: &mut Frame, order: &[usize]) -> Vec<usize> {
+    let mut remap = vec![0usize; frame.ops.len()];
+    for (new_idx, old_idx) in order.iter().enumerate() {
+        remap[*old_idx] = new_idx;
+    }
+    let mut new_ops: Vec<FrameOp> = order.iter().map(|i| frame.ops[*i].clone()).collect();
+    let fix = |v: &mut FrameValue| {
+        if let FrameValue::Op(i) = v {
+            *i = remap[*i];
+        }
+    };
+    for op in &mut new_ops {
+        for a in &mut op.args {
+            fix(a);
+        }
+        if let Some(p) = &mut op.pred {
+            fix(p);
+        }
+    }
+    for lo in &mut frame.live_outs {
+        fix(&mut lo.value);
+    }
+    frame.ops = new_ops;
+    frame.guards = frame
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| matches!(o.kind, FrameOpKind::Guard { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    frame.guards.clone()
+}
+
+/// Concatenate a frame with itself `copies` times, wiring each iteration's
+/// loop-carried live-outs into the next iteration's live-ins (§IV-A: the
+/// same path repeats back-to-back in 17 of 29 workloads, enabling 2×
+/// offload units).
+///
+/// Live-ins that are not loop-carried are shared across copies; live-outs
+/// are taken from the final copy. Guards of every copy accumulate: the
+/// expanded frame aborts if any iteration would have diverged.
+pub fn concat_frames(frame: &Frame, copies: usize) -> Frame {
+    assert!(copies >= 1, "at least one copy");
+    let mut out = frame.clone();
+    for _ in 1..copies {
+        let base = out.ops.len();
+        // live-in index -> frame value feeding the next copy
+        let carried: HashMap<usize, FrameValue> = frame
+            .loop_carried
+            .iter()
+            .map(|(li, lo)| (*li, out.live_outs[*lo].value))
+            .collect();
+        let map_value = |v: FrameValue| -> FrameValue {
+            match v {
+                FrameValue::Op(i) => FrameValue::Op(i + base),
+                FrameValue::LiveIn(k) => carried.get(&k).copied().unwrap_or(FrameValue::LiveIn(k)),
+                c => c,
+            }
+        };
+        for op in &frame.ops {
+            let mut cloned = op.clone();
+            for a in &mut cloned.args {
+                *a = map_value(*a);
+            }
+            if let Some(p) = &mut cloned.pred {
+                *p = map_value(*p);
+            }
+            out.ops.push(cloned);
+        }
+        out.guards
+            .extend(frame.guards.iter().map(|g| g + base));
+        // Live-outs now come from the new copy.
+        out.live_outs = frame
+            .live_outs
+            .iter()
+            .map(|lo| LiveOut {
+                inst: lo.inst,
+                value: map_value(lo.value),
+            })
+            .collect();
+        out.undo_log_size += frame.undo_log_size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_frame;
+    use crate::exec::{run_frame, FrameOutcome};
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Memory, Val};
+    use needle_ir::{BlockId, Type, Value as V};
+    use needle_regions::OffloadRegion;
+
+    /// i2 = i + 1; s2 = s + i*3; guard(i2 < n)  — a loop-iteration frame.
+    fn iteration_frame() -> Frame {
+        let mut fb = FunctionBuilder::new("it", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, V::int(0))]);
+        let s = fb.phi(Type::I64, &[(entry, V::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let t = fb.mul(i, V::int(3));
+        let s2 = fb.add(s, t);
+        let dead = fb.mul(i, V::int(99)); // used by nothing
+        let _ = dead;
+        let i2 = fb.add(i, V::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(s));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        let s_id = s.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(body);
+        f.inst_mut(s_id).args.push(s2);
+        f.inst_mut(s_id).phi_blocks.push(body);
+        build_frame(&f, &OffloadRegion::from_path(&[BlockId(1), BlockId(2)], 10, 0.9)).unwrap()
+    }
+
+    #[test]
+    fn dce_removes_dead_ops_and_keeps_semantics() {
+        let mut frame = iteration_frame();
+        let before_ops = frame.num_ops();
+        let mut mem = Memory::new();
+        let lv = |frame: &Frame| -> Vec<Val> {
+            frame
+                .live_ins
+                .iter()
+                .map(|li| match li.value {
+                    V::Arg(0) => Val::Int(100),          // n
+                    V::Inst(_) => Val::Int(4),           // i or s φ
+                    other => panic!("{other:?}"),
+                })
+                .collect()
+        };
+        let out_before = run_frame(&frame, &lv(&frame), &mut mem).unwrap();
+        let removed = dce_frame(&mut frame);
+        assert!(removed >= 1, "dead mul must go");
+        assert!(frame.num_ops() < before_ops);
+        frame.validate().unwrap();
+        let out_after = run_frame(&frame, &lv(&frame), &mut mem).unwrap();
+        assert_eq!(out_before, out_after);
+    }
+
+    #[test]
+    fn guard_policies_preserve_dataflow_and_outcomes() {
+        for policy in [GuardPolicy::AsEmitted, GuardPolicy::Late, GuardPolicy::Early] {
+            let mut frame = iteration_frame();
+            let guards = apply_guard_policy(&mut frame, policy);
+            assert_eq!(guards.len(), 1);
+            frame.validate().unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+            let lv: Vec<Val> = frame
+                .live_ins
+                .iter()
+                .map(|li| match li.value {
+                    V::Arg(0) => Val::Int(100),
+                    V::Inst(_) => Val::Int(4),
+                    other => panic!("{other:?}"),
+                })
+                .collect();
+            let mut mem = Memory::new();
+            let out = run_frame(&frame, &lv, &mut mem).unwrap();
+            assert!(out.committed(), "{policy:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn late_policy_puts_guards_last() {
+        let mut frame = iteration_frame();
+        apply_guard_policy(&mut frame, GuardPolicy::Late);
+        let g = frame.guards[0];
+        assert_eq!(g, frame.ops.len() - 1);
+    }
+
+    #[test]
+    fn concat_doubles_ops_and_chains_induction() {
+        let frame = iteration_frame();
+        assert!(!frame.loop_carried.is_empty(), "loop-carried pairs detected");
+        let double = concat_frames(&frame, 2);
+        double.validate().unwrap();
+        assert_eq!(double.num_ops(), frame.num_ops() * 2);
+        assert_eq!(double.guards.len(), frame.guards.len() * 2);
+        // Execute: i=0, s=0, n=100. Two iterations: s = 0*3 + 1*3 = 3, i = 2.
+        let lv: Vec<Val> = double
+            .live_ins
+            .iter()
+            .map(|li| match li.value {
+                V::Arg(0) => Val::Int(100),
+                V::Inst(_) => Val::Int(0),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let mut mem = Memory::new();
+        let out = run_frame(&double, &lv, &mut mem).unwrap();
+        let FrameOutcome::Committed { live_outs, .. } = out else {
+            panic!("expected commit: {out:?}");
+        };
+        assert!(live_outs.contains(&Val::Int(2)), "i after 2 iters: {live_outs:?}");
+        assert!(live_outs.contains(&Val::Int(3)), "s after 2 iters: {live_outs:?}");
+    }
+
+    #[test]
+    fn concat_guard_fails_when_second_iteration_diverges() {
+        let frame = iteration_frame();
+        let double = concat_frames(&frame, 2);
+        // n = 1: the first iteration's guard (i=0 < 1) passes but the
+        // second copy's guard (i=1 < 1) fails — the expanded unit aborts
+        // as a whole.
+        let lv: Vec<Val> = double
+            .live_ins
+            .iter()
+            .map(|li| match li.value {
+                V::Arg(0) => Val::Int(1),
+                V::Inst(_) => Val::Int(0),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let mut mem = Memory::new();
+        let out = run_frame(&double, &lv, &mut mem).unwrap();
+        assert!(!out.committed(), "{out:?}");
+    }
+}

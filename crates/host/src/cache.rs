@@ -1,0 +1,212 @@
+//! Two-level set-associative write-back cache hierarchy.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+}
+
+impl CacheConfig {
+    /// 64 KB, 4-way, 64 B lines: the Table V L1-D.
+    pub fn l1_default() -> CacheConfig {
+        CacheConfig {
+            size: 64 * 1024,
+            ways: 4,
+            line: 64,
+        }
+    }
+
+    /// 2 MB, 8-way (8 NUCA banks folded into one lookup): the Table V L2.
+    pub fn l2_default() -> CacheConfig {
+        CacheConfig {
+            size: 2 * 1024 * 1024,
+            ways: 8,
+            line: 64,
+        }
+    }
+
+    fn num_sets(&self) -> usize {
+        (self.size / self.line / self.ways).max(1)
+    }
+}
+
+/// One level of LRU set-associative cache. Tags only (no data payload).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// Per set: tags in LRU order (front = most recent), with a dirty bit.
+    sets: Vec<Vec<(u64, bool)>>,
+}
+
+impl Cache {
+    /// An empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        Cache {
+            sets: vec![Vec::new(); cfg.num_sets()],
+            cfg,
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line as u64;
+        (
+            (line % self.sets.len() as u64) as usize,
+            line / self.sets.len() as u64,
+        )
+    }
+
+    /// Access `addr`; returns `true` on hit. On miss the line is filled
+    /// (LRU eviction). `is_store` marks the line dirty.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = self.cfg.ways;
+        let lines = &mut self.sets[set];
+        if let Some(pos) = lines.iter().position(|(t, _)| *t == tag) {
+            let (t, d) = lines.remove(pos);
+            lines.insert(0, (t, d || is_store));
+            true
+        } else {
+            lines.insert(0, (tag, is_store));
+            lines.truncate(ways);
+            false
+        }
+    }
+
+    /// Whether `addr` is resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|(t, _)| *t == tag)
+    }
+}
+
+/// Hit/miss statistics for the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses (= L2 lookups).
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (= memory accesses).
+    pub l2_misses: u64,
+}
+
+/// The L1 → L2 → memory hierarchy with latency accounting.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// First level.
+    pub l1: Cache,
+    /// Second level.
+    pub l2: Cache,
+    l1_latency: u64,
+    l2_latency: u64,
+    mem_latency: u64,
+    /// Accumulated statistics.
+    pub stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy with the given latencies and default geometries.
+    pub fn new(l1_latency: u64, l2_latency: u64, mem_latency: u64) -> Hierarchy {
+        Hierarchy {
+            l1: Cache::new(CacheConfig::l1_default()),
+            l2: Cache::new(CacheConfig::l2_default()),
+            l1_latency,
+            l2_latency,
+            mem_latency,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Access `addr`; returns the access latency in cycles.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> u64 {
+        if self.l1.access(addr, is_store) {
+            self.stats.l1_hits += 1;
+            return self.l1_latency;
+        }
+        self.stats.l1_misses += 1;
+        if self.l2.access(addr, is_store) {
+            self.stats.l2_hits += 1;
+            return self.l2_latency;
+        }
+        self.stats.l2_misses += 1;
+        self.mem_latency
+    }
+
+    /// Access that bypasses the L1 (the uncore CGRA reads/writes via L2).
+    pub fn access_l2(&mut self, addr: u64, is_store: bool) -> u64 {
+        if self.l2.access(addr, is_store) {
+            self.stats.l2_hits += 1;
+            self.l2_latency
+        } else {
+            self.stats.l2_misses += 1;
+            self.mem_latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut h = Hierarchy::new(2, 20, 200);
+        assert_eq!(h.access(0x1000, false), 200); // cold
+        assert_eq!(h.access(0x1000, false), 2); // L1 hit
+        assert_eq!(h.access(0x1008, false), 2); // same line
+        assert_eq!(h.stats.l1_hits, 2);
+        assert_eq!(h.stats.l2_misses, 1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = Hierarchy::new(2, 20, 200);
+        // L1: 64K/64B/4-way = 256 sets. Fill 5 lines mapping to set 0.
+        let stride = 256 * 64; // set-conflict stride
+        for i in 0..5u64 {
+            h.access(i * stride, false);
+        }
+        // The first line was evicted from L1 but lives in L2.
+        assert_eq!(h.access(0, false), 20);
+        assert!(h.stats.l2_hits >= 1);
+    }
+
+    #[test]
+    fn lru_keeps_recent_lines() {
+        let mut c = Cache::new(CacheConfig {
+            size: 4 * 64,
+            ways: 4,
+            line: 64,
+        }); // 1 set, 4 ways
+        for i in 0..4u64 {
+            c.access(i * 64, false);
+        }
+        assert!(c.probe(0));
+        c.access(0, false); // refresh line 0
+        c.access(4 * 64, false); // evicts LRU = line 1
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+    }
+
+    #[test]
+    fn cgra_path_bypasses_l1() {
+        let mut h = Hierarchy::new(2, 20, 200);
+        h.access_l2(0x2000, true);
+        assert_eq!(h.stats.l1_hits + h.stats.l1_misses, 0);
+        assert_eq!(h.access_l2(0x2000, false), 20);
+    }
+
+    #[test]
+    fn store_marks_dirty_and_hits() {
+        let mut h = Hierarchy::new(2, 20, 200);
+        h.access(0x40, true);
+        assert_eq!(h.access(0x40, false), 2);
+    }
+}

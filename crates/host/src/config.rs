@@ -1,0 +1,65 @@
+//! Host core parameters (Table V).
+
+/// Configuration of the modelled host OOO core.
+///
+/// Defaults follow Table V: 1 GHz embedded-class 4-way OOO, 96-entry ROB,
+/// 6 ALUs, 2 FPUs; 64 KB 4-way L1-D at 2 cycles; NUCA L2 at 20 cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostConfig {
+    /// Instructions fetched/renamed per cycle.
+    pub fetch_width: u64,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Integer ALUs.
+    pub alus: usize,
+    /// Floating-point units.
+    pub fpus: usize,
+    /// L1-D ports.
+    pub mem_ports: usize,
+    /// Integer op latency.
+    pub int_latency: u64,
+    /// FP op latency.
+    pub fp_latency: u64,
+    /// Integer/FP divide latency.
+    pub div_latency: u64,
+    /// L1 hit latency (cycles).
+    pub l1_latency: u64,
+    /// L2 hit latency (cycles).
+    pub l2_latency: u64,
+    /// Main-memory latency (cycles).
+    pub mem_latency: u64,
+}
+
+impl Default for HostConfig {
+    fn default() -> HostConfig {
+        HostConfig {
+            fetch_width: 4,
+            rob_entries: 96,
+            alus: 6,
+            fpus: 2,
+            mem_ports: 2,
+            int_latency: 1,
+            fp_latency: 3,
+            div_latency: 12,
+            l1_latency: 2,
+            l2_latency: 20,
+            mem_latency: 200,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_v() {
+        let c = HostConfig::default();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_entries, 96);
+        assert_eq!(c.alus, 6);
+        assert_eq!(c.fpus, 2);
+        assert_eq!(c.l1_latency, 2);
+        assert_eq!(c.l2_latency, 20);
+    }
+}

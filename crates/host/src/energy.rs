@@ -1,0 +1,116 @@
+//! Host energy model.
+//!
+//! Per-event dynamic energy constants inspired by McPAT's embedded ARM
+//! template at 1 GHz (the paper's energy methodology, Table V). Absolute
+//! joules are not the point — the paper's energy argument rests on the
+//! *front-end* (fetch, decode, rename, dispatch, commit) costing a fixed
+//! overhead per dynamic instruction, which a dataflow accelerator elides.
+
+use crate::ooo::HostStats;
+
+/// Per-event energies in picojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostEnergyModel {
+    /// Front end per dynamic instruction: fetch + decode + rename +
+    /// dispatch + commit. The dominant term accelerators recover.
+    pub e_frontend_pj: f64,
+    /// ROB/scheduler bookkeeping per instruction.
+    pub e_window_pj: f64,
+    /// Register-file read/write energy per instruction (averaged operands).
+    pub e_rf_pj: f64,
+    /// Integer ALU op.
+    pub e_int_pj: f64,
+    /// FPU op.
+    pub e_fpu_pj: f64,
+    /// L1 access.
+    pub e_l1_pj: f64,
+    /// L2 access.
+    pub e_l2_pj: f64,
+    /// DRAM access.
+    pub e_mem_pj: f64,
+    /// Core leakage + clock tree per active cycle.
+    pub e_static_per_cycle_pj: f64,
+}
+
+impl Default for HostEnergyModel {
+    fn default() -> HostEnergyModel {
+        HostEnergyModel {
+            e_frontend_pj: 45.0,
+            e_window_pj: 8.0,
+            e_rf_pj: 10.0,
+            e_int_pj: 8.0,
+            e_fpu_pj: 25.0,
+            e_l1_pj: 22.0,
+            e_l2_pj: 120.0,
+            e_mem_pj: 2_000.0,
+            e_static_per_cycle_pj: 30.0,
+        }
+    }
+}
+
+/// Total host energy (pJ) for a run described by `stats`.
+pub fn host_energy_pj(model: &HostEnergyModel, stats: &HostStats) -> f64 {
+    let per_inst = model.e_frontend_pj + model.e_window_pj + model.e_rf_pj;
+    let mut e = stats.insts as f64 * per_inst;
+    e += stats.int_ops as f64 * model.e_int_pj;
+    e += stats.fp_ops as f64 * model.e_fpu_pj;
+    let l1_accesses = stats.cache.l1_hits + stats.cache.l1_misses;
+    e += l1_accesses as f64 * model.e_l1_pj;
+    let l2_accesses = stats.cache.l2_hits + stats.cache.l2_misses;
+    e += l2_accesses as f64 * model.e_l2_pj;
+    e += stats.cache.l2_misses as f64 * model.e_mem_pj;
+    e += stats.cycles as f64 * model.e_static_per_cycle_pj;
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::HierarchyStats;
+
+    #[test]
+    fn frontend_dominates_simple_int_code() {
+        let model = HostEnergyModel::default();
+        let stats = HostStats {
+            cycles: 250,
+            insts: 1000,
+            int_ops: 1000,
+            ..Default::default()
+        };
+        let e = host_energy_pj(&model, &stats);
+        let frontend = 1000.0 * (45.0 + 8.0 + 10.0);
+        assert!(frontend / e > 0.7, "front-end share {}", frontend / e);
+    }
+
+    #[test]
+    fn memory_traffic_is_expensive() {
+        let model = HostEnergyModel::default();
+        let base = HostStats {
+            cycles: 100,
+            insts: 100,
+            int_ops: 100,
+            ..Default::default()
+        };
+        let mut missy = base;
+        missy.cache = HierarchyStats {
+            l1_hits: 0,
+            l1_misses: 50,
+            l2_hits: 0,
+            l2_misses: 50,
+            ..Default::default()
+        };
+        assert!(host_energy_pj(&model, &missy) > 2.0 * host_energy_pj(&model, &base));
+    }
+
+    #[test]
+    fn energy_scales_with_each_component() {
+        let model = HostEnergyModel::default();
+        let zero = HostStats::default();
+        assert_eq!(host_energy_pj(&model, &zero), 0.0);
+        let one_cycle = HostStats {
+            cycles: 1,
+            ..Default::default()
+        };
+        assert_eq!(host_energy_pj(&model, &one_cycle), 30.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! `needle-host` — the host out-of-order core model.
+//!
+//! Replaces the paper's macsim-based host simulation (§VI, Table V): a
+//! 1 GHz embedded-class 4-wide OOO core with a 96-entry ROB, 6 ALUs, 2
+//! FPUs, a 64 KB 4-way L1-D and an 8-bank NUCA L2, with a perfect branch
+//! predictor (the paper's host assumption).
+//!
+//! * [`config`] — Table V host parameters;
+//! * [`cache`] — two-level set-associative write-back cache hierarchy;
+//! * [`ooo`] — a trace-driven timing model implementing
+//!   [`TraceSink`](needle_ir::interp::TraceSink): dependence-height
+//!   scheduling bounded by fetch width, FU ports and the ROB window;
+//! * [`energy`] — a McPAT-ARM-template-inspired per-event energy model (the
+//!   front-end cost per dynamic instruction is what accelerators elide);
+//! * [`predictor`] — the accelerator invocation history predictor (§V
+//!   "when to invoke a BL-Path accelerator?").
+
+pub mod cache;
+pub mod config;
+pub mod energy;
+pub mod ooo;
+pub mod predictor;
+
+pub use cache::{Cache, CacheConfig, Hierarchy, HierarchyStats};
+pub use config::HostConfig;
+pub use energy::{host_energy_pj, HostEnergyModel};
+pub use ooo::{HostSim, HostStats};
+pub use predictor::InvocationPredictor;

@@ -1,0 +1,125 @@
+//! Accelerator invocation prediction (§V: "When to invoke a BL-Path
+//! accelerator?").
+//!
+//! Before control reaches a frame's entry block, the host must decide
+//! whether to invoke the accelerator (and risk a guard-failure rollback) or
+//! run the region on the core. Needle keeps an *invocation history table*
+//! indexed by recent program branch history: a table of two-bit saturating
+//! counters trained on whether past invocations committed.
+
+/// Branch-history-indexed two-bit-counter predictor.
+#[derive(Debug, Clone)]
+pub struct InvocationPredictor {
+    history_bits: u32,
+    ghr: u64,
+    table: Vec<u8>,
+    /// Predictions made.
+    pub predictions: u64,
+    /// Predictions that matched the eventual commit/abort outcome.
+    pub correct: u64,
+}
+
+impl InvocationPredictor {
+    /// A predictor with `history_bits` of global branch history
+    /// (table of `2^history_bits` counters, initialised weakly-invoke).
+    pub fn new(history_bits: u32) -> InvocationPredictor {
+        assert!(history_bits <= 20, "history register limited to 20 bits");
+        InvocationPredictor {
+            history_bits,
+            ghr: 0,
+            table: vec![2; 1usize << history_bits],
+            predictions: 0,
+            correct: 0,
+        }
+    }
+
+    fn index(&self) -> usize {
+        (self.ghr & ((1u64 << self.history_bits) - 1)) as usize
+    }
+
+    /// Record a program branch outcome into the global history register.
+    pub fn note_branch(&mut self, taken: bool) {
+        self.ghr = (self.ghr << 1) | taken as u64;
+    }
+
+    /// Should the accelerator be invoked under the current history?
+    pub fn predict(&self) -> bool {
+        self.table[self.index()] >= 2
+    }
+
+    /// Train with the actual outcome of an invocation opportunity (whether
+    /// the frame would have committed), updating accuracy statistics.
+    pub fn update(&mut self, predicted: bool, committed: bool) {
+        self.predictions += 1;
+        if predicted == committed {
+            self.correct += 1;
+        }
+        let idx = self.index();
+        let c = &mut self.table[idx];
+        if committed {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Prediction precision so far (1.0 when nothing was predicted yet).
+    pub fn precision(&self) -> f64 {
+        if self.predictions == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_always_commit() {
+        let mut p = InvocationPredictor::new(4);
+        for _ in 0..50 {
+            let pred = p.predict();
+            p.update(pred, true);
+            p.note_branch(true);
+        }
+        assert!(p.predict());
+        assert!(p.precision() > 0.9);
+    }
+
+    #[test]
+    fn learns_always_abort() {
+        let mut p = InvocationPredictor::new(4);
+        for _ in 0..50 {
+            let pred = p.predict();
+            p.update(pred, false);
+        }
+        assert!(!p.predict());
+        // Initial optimism costs a couple of mispredictions only.
+        assert!(p.precision() > 0.9);
+    }
+
+    #[test]
+    fn history_separates_contexts() {
+        // Commit iff the last branch was taken.
+        let mut p = InvocationPredictor::new(1);
+        for i in 0..100 {
+            let taken = i % 2 == 0;
+            p.note_branch(taken);
+            let pred = p.predict();
+            p.update(pred, taken);
+        }
+        p.note_branch(true);
+        assert!(p.predict());
+        p.note_branch(false);
+        assert!(!p.predict());
+    }
+
+    #[test]
+    #[should_panic(expected = "history register limited")]
+    fn rejects_oversized_history() {
+        InvocationPredictor::new(32);
+    }
+}

@@ -1,0 +1,84 @@
+//! Behavioural tests of the cache hierarchy and timing model under
+//! synthetic access patterns.
+
+use needle_host::{Cache, CacheConfig, Hierarchy};
+
+#[test]
+fn working_set_within_l1_stays_in_l1() {
+    let mut h = Hierarchy::new(2, 20, 200);
+    // 32 KB working set < 64 KB L1.
+    let lines = 32 * 1024 / 64;
+    for round in 0..4 {
+        for i in 0..lines {
+            let lat = h.access(i as u64 * 64, false);
+            if round > 0 {
+                assert_eq!(lat, 2, "line {i} round {round}");
+            }
+        }
+    }
+    assert_eq!(h.stats.l1_misses, lines as u64);
+    assert_eq!(h.stats.l1_hits, 3 * lines as u64);
+}
+
+#[test]
+fn working_set_between_l1_and_l2_thrashes_l1_only() {
+    let mut h = Hierarchy::new(2, 20, 200);
+    // 256 KB working set: > L1 (64 KB), < L2 (2 MB).
+    let lines = 256 * 1024 / 64;
+    for _ in 0..3 {
+        for i in 0..lines {
+            h.access(i as u64 * 64, false);
+        }
+    }
+    // After the cold pass, L2 absorbs everything.
+    assert_eq!(h.stats.l2_misses, lines as u64);
+    assert!(h.stats.l2_hits > 0);
+}
+
+#[test]
+fn streaming_pattern_never_rehits() {
+    let mut h = Hierarchy::new(2, 20, 200);
+    for i in 0..10_000u64 {
+        let lat = h.access(i * 64 * 997, false); // sparse unique lines
+        assert_eq!(lat, 200);
+    }
+    assert_eq!(h.stats.l1_hits, 0);
+}
+
+#[test]
+fn associativity_conflicts_evict_lru_first() {
+    let cfg = CacheConfig {
+        size: 8 * 64,
+        ways: 2,
+        line: 64,
+    }; // 4 sets, 2 ways
+    let mut c = Cache::new(cfg);
+    let set_stride = 4 * 64;
+    // Fill set 0 with lines A, B.
+    assert!(!c.access(0, false)); // A
+    assert!(!c.access(set_stride as u64, false)); // B
+    assert!(c.access(0, false)); // A hit; A is MRU
+    // C maps to set 0 and evicts B (the LRU).
+    assert!(!c.access(2 * set_stride as u64, false));
+    assert!(c.probe(0));
+    assert!(!c.probe(set_stride as u64));
+}
+
+#[test]
+fn dirty_writeback_state_is_tracked_per_line() {
+    let mut h = Hierarchy::new(2, 20, 200);
+    h.access(0x100, true); // write-allocate, dirty
+    h.access(0x100, false);
+    h.access(0x140, false); // same line? 0x140 is a different 64B line
+    assert_eq!(h.stats.l1_hits, 1);
+}
+
+#[test]
+fn l2_path_for_accelerator_shares_state_with_host() {
+    let mut h = Hierarchy::new(2, 20, 200);
+    // Accelerator writes via L2.
+    h.access_l2(0x4000, true);
+    // Host read: L1 misses, but the L2 hit proves shared visibility.
+    let lat = h.access(0x4000, false);
+    assert_eq!(lat, 20);
+}

@@ -1,0 +1,342 @@
+//! Ergonomic construction of [`Function`]s.
+//!
+//! The builder keeps a current insertion block; arithmetic helpers append an
+//! instruction there and return its [`Value`]. See the crate-level example.
+
+use crate::inst::{CmpOp, Inst, Op, Terminator};
+use crate::module::{BlockId, FuncId, Function, InstId, Type, Value};
+
+/// Incremental builder for a single [`Function`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with the given signature. The entry block
+    /// exists immediately and is the initial insertion point.
+    pub fn new(name: impl Into<String>, params: &[Type], ret: Option<Type>) -> FunctionBuilder {
+        FunctionBuilder {
+            func: Function::new(name, params, ret),
+            cur: BlockId(0),
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The `n`-th function argument as a value.
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range for the declared parameters.
+    pub fn arg(&self, n: usize) -> Value {
+        assert!(n < self.func.params.len(), "argument index out of range");
+        Value::Arg(n as u32)
+    }
+
+    /// Create a new (empty) block.
+    pub fn block(&mut self, name: impl Into<String>) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Move the insertion point to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    /// The current insertion block.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Append an arbitrary instruction at the insertion point.
+    pub fn push(&mut self, inst: Inst) -> Value {
+        Value::Inst(self.push_id(inst))
+    }
+
+    /// Append an instruction and return its [`InstId`] (rather than value).
+    pub fn push_id(&mut self, inst: Inst) -> InstId {
+        self.func.push_inst(self.cur, inst)
+    }
+
+    // ---- integer arithmetic ------------------------------------------------
+
+    /// `a + b`
+    pub fn add(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::Add, Type::I64, a, b))
+    }
+
+    /// `a - b`
+    pub fn sub(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::Sub, Type::I64, a, b))
+    }
+
+    /// `a * b`
+    pub fn mul(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::Mul, Type::I64, a, b))
+    }
+
+    /// `a / b` (0 on division by zero)
+    pub fn div(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::Div, Type::I64, a, b))
+    }
+
+    /// `a % b` (0 on rem by zero)
+    pub fn rem(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::Rem, Type::I64, a, b))
+    }
+
+    /// `a & b`
+    pub fn and(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::And, Type::I64, a, b))
+    }
+
+    /// `a | b`
+    pub fn or(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::Or, Type::I64, a, b))
+    }
+
+    /// `a ^ b`
+    pub fn xor(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::Xor, Type::I64, a, b))
+    }
+
+    /// `a << b`
+    pub fn shl(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::Shl, Type::I64, a, b))
+    }
+
+    /// `a >> b` (arithmetic)
+    pub fn shr(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::Shr, Type::I64, a, b))
+    }
+
+    // ---- floating point ----------------------------------------------------
+
+    /// `a + b` (float)
+    pub fn fadd(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::FAdd, Type::F64, a, b))
+    }
+
+    /// `a - b` (float)
+    pub fn fsub(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::FSub, Type::F64, a, b))
+    }
+
+    /// `a * b` (float)
+    pub fn fmul(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::FMul, Type::F64, a, b))
+    }
+
+    /// `a / b` (float)
+    pub fn fdiv(&mut self, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::FDiv, Type::F64, a, b))
+    }
+
+    /// `sqrt(a)`
+    pub fn fsqrt(&mut self, a: Value) -> Value {
+        self.push(Inst::unary(Op::FSqrt, Type::F64, a))
+    }
+
+    /// Integer to float conversion.
+    pub fn itof(&mut self, a: Value) -> Value {
+        self.push(Inst::unary(Op::IToF, Type::F64, a))
+    }
+
+    /// Float to integer conversion (truncating).
+    pub fn ftoi(&mut self, a: Value) -> Value {
+        self.push(Inst::unary(Op::FToI, Type::I64, a))
+    }
+
+    // ---- comparisons -------------------------------------------------------
+
+    /// Integer compare with an arbitrary predicate.
+    pub fn icmp(&mut self, op: CmpOp, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::ICmp(op), Type::I1, a, b))
+    }
+
+    /// `a == b` (int)
+    pub fn icmp_eq(&mut self, a: Value, b: Value) -> Value {
+        self.icmp(CmpOp::Eq, a, b)
+    }
+
+    /// `a != b` (int)
+    pub fn icmp_ne(&mut self, a: Value, b: Value) -> Value {
+        self.icmp(CmpOp::Ne, a, b)
+    }
+
+    /// `a < b` (signed)
+    pub fn icmp_slt(&mut self, a: Value, b: Value) -> Value {
+        self.icmp(CmpOp::Lt, a, b)
+    }
+
+    /// `a <= b` (signed)
+    pub fn icmp_sle(&mut self, a: Value, b: Value) -> Value {
+        self.icmp(CmpOp::Le, a, b)
+    }
+
+    /// `a > b` (signed)
+    pub fn icmp_sgt(&mut self, a: Value, b: Value) -> Value {
+        self.icmp(CmpOp::Gt, a, b)
+    }
+
+    /// `a >= b` (signed)
+    pub fn icmp_sge(&mut self, a: Value, b: Value) -> Value {
+        self.icmp(CmpOp::Ge, a, b)
+    }
+
+    /// Float compare with an arbitrary predicate.
+    pub fn fcmp(&mut self, op: CmpOp, a: Value, b: Value) -> Value {
+        self.push(Inst::binary(Op::FCmp(op), Type::I1, a, b))
+    }
+
+    /// `select cond, a, b`
+    pub fn select(&mut self, ty: Type, cond: Value, a: Value, b: Value) -> Value {
+        self.push(Inst {
+            op: Op::Select,
+            ty,
+            args: vec![cond, a, b],
+            phi_blocks: Vec::new(),
+            imm: 0,
+        })
+    }
+
+    // ---- memory ------------------------------------------------------------
+
+    /// `base + index * scale` address computation.
+    pub fn gep(&mut self, base: Value, index: Value, scale: i64) -> Value {
+        self.push(Inst {
+            op: Op::Gep,
+            ty: Type::Ptr,
+            args: vec![base, index],
+            phi_blocks: Vec::new(),
+            imm: scale,
+        })
+    }
+
+    /// Typed load from `ptr`.
+    pub fn load(&mut self, ty: Type, ptr: Value) -> Value {
+        self.push(Inst::unary(Op::Load, ty, ptr))
+    }
+
+    /// Store `val` to `ptr`.
+    pub fn store(&mut self, val: Value, ptr: Value) -> Value {
+        let ty = match val {
+            Value::Const(c) => c.ty(),
+            _ => Type::I64,
+        };
+        self.push(Inst {
+            op: Op::Store,
+            ty,
+            args: vec![val, ptr],
+            phi_blocks: Vec::new(),
+            imm: 0,
+        })
+    }
+
+    // ---- calls and φ --------------------------------------------------------
+
+    /// Call `callee` with `args`; `ret` is the callee's return type
+    /// (`Type::I64` result for void callees is never read).
+    pub fn call(&mut self, callee: FuncId, ret: Type, args: &[Value]) -> Value {
+        self.push(Inst {
+            op: Op::Call(callee),
+            ty: ret,
+            args: args.to_vec(),
+            phi_blocks: Vec::new(),
+            imm: 0,
+        })
+    }
+
+    /// A φ joining `incoming` `(block, value)` pairs.
+    ///
+    /// φs must be created before non-φ instructions of the same block; the
+    /// verifier enforces this.
+    pub fn phi(&mut self, ty: Type, incoming: &[(BlockId, Value)]) -> Value {
+        self.push(Inst::phi(ty, incoming))
+    }
+
+    // ---- terminators --------------------------------------------------------
+
+    /// Terminate the current block with an unconditional jump.
+    pub fn br(&mut self, target: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::Br(target);
+    }
+
+    /// Terminate the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        };
+    }
+
+    /// Terminate the current block with a return.
+    pub fn ret(&mut self, v: Option<Value>) {
+        self.func.block_mut(self.cur).term = Terminator::Ret(v);
+    }
+
+    /// Finish and extract the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Peek at the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_branchy_function() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = b.entry();
+        let t = b.block("t");
+        let e = b.block("e");
+        let x = b.arg(0);
+        b.switch_to(entry);
+        let c = b.icmp_sgt(x, Value::int(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let v = b.add(x, Value::int(1));
+        b.ret(Some(v));
+        b.switch_to(e);
+        b.ret(Some(Value::int(0)));
+        let f = b.finish();
+        assert_eq!(f.num_blocks(), 3);
+        assert_eq!(f.num_cond_branches(), 1);
+        assert_eq!(f.num_insts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "argument index out of range")]
+    fn arg_bounds_checked() {
+        let b = FunctionBuilder::new("f", &[], None);
+        b.arg(0);
+    }
+
+    #[test]
+    fn memory_helpers_have_expected_types() {
+        let mut b = FunctionBuilder::new("g", &[Type::Ptr], None);
+        let p = b.arg(0);
+        let addr = b.gep(p, Value::int(3), 8);
+        let v = b.load(Type::F64, addr);
+        let s = b.store(v, addr);
+        b.ret(None);
+        let f = b.finish();
+        let addr_id = addr.as_inst().unwrap();
+        assert_eq!(f.inst(addr_id).ty, Type::Ptr);
+        assert_eq!(f.inst(addr_id).imm, 8);
+        assert_eq!(f.inst(v.as_inst().unwrap()).ty, Type::F64);
+        assert_eq!(f.inst(s.as_inst().unwrap()).op, Op::Store);
+        assert_eq!(f.block_mem_ops(BlockId(0)), 2);
+    }
+}

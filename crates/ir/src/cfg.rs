@@ -1,0 +1,259 @@
+//! Control-flow graph views: successors, predecessors, orderings, edges.
+
+use crate::module::{BlockId, Function};
+use crate::Terminator;
+
+/// A directed CFG edge between two blocks of the same function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source block.
+    pub from: BlockId,
+    /// Destination block.
+    pub to: BlockId,
+}
+
+impl Edge {
+    /// Construct an edge.
+    pub fn new(from: BlockId, to: BlockId) -> Edge {
+        Edge { from, to }
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// Precomputed CFG adjacency for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    /// Blocks whose terminator is `Ret`.
+    exits: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Build the adjacency lists for `func`.
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut exits = Vec::new();
+        for bb in func.block_ids() {
+            let ss = func.block(bb).term.successors();
+            if matches!(func.block(bb).term, Terminator::Ret(_)) {
+                exits.push(bb);
+            }
+            for s in &ss {
+                preds[s.index()].push(bb);
+            }
+            succs[bb.index()] = ss;
+        }
+        Cfg {
+            succs,
+            preds,
+            exits,
+        }
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the CFG is empty (never true for a well-formed function).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors of `bb` in branch order.
+    pub fn succs(&self, bb: BlockId) -> &[BlockId] {
+        &self.succs[bb.index()]
+    }
+
+    /// Predecessors of `bb` (in block-id discovery order).
+    pub fn preds(&self, bb: BlockId) -> &[BlockId] {
+        &self.preds[bb.index()]
+    }
+
+    /// Blocks terminated by `Ret`.
+    pub fn exits(&self) -> &[BlockId] {
+        &self.exits
+    }
+
+    /// All edges of the CFG.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for (i, ss) in self.succs.iter().enumerate() {
+            for s in ss {
+                out.push(Edge::new(BlockId(i as u32), *s));
+            }
+        }
+        out
+    }
+
+    /// Blocks reachable from the entry, as a boolean vector.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![BlockId(0)];
+        seen[0] = true;
+        while let Some(bb) = stack.pop() {
+            for s in self.succs(bb) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(*s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reverse post-order of the reachable blocks starting at the entry.
+    ///
+    /// This is a topological order when the graph is acyclic (e.g. the
+    /// Ball-Larus DAG after back-edge removal).
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let mut post = Vec::with_capacity(self.len());
+        let mut state = vec![0u8; self.len()]; // 0 unvisited, 1 open, 2 done
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some((bb, i)) = stack.pop() {
+            if i < self.succs(bb).len() {
+                stack.push((bb, i + 1));
+                let s = self.succs(bb)[i];
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[bb.index()] = 2;
+                post.push(bb);
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Back edges with respect to a DFS from the entry: edges `u -> v` where
+    /// `v` is an ancestor of `u` on the DFS stack. For reducible CFGs these
+    /// are exactly the natural-loop back edges.
+    pub fn back_edges(&self) -> Vec<Edge> {
+        let mut color = vec![0u8; self.len()]; // 0 white, 1 grey, 2 black
+        let mut back = Vec::new();
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        color[0] = 1;
+        while let Some((bb, i)) = stack.pop() {
+            if i < self.succs(bb).len() {
+                stack.push((bb, i + 1));
+                let s = self.succs(bb)[i];
+                match color[s.index()] {
+                    0 => {
+                        color[s.index()] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => back.push(Edge::new(bb, s)),
+                    _ => {}
+                }
+            } else {
+                color[bb.index()] = 2;
+            }
+        }
+        back.sort();
+        back.dedup();
+        back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{Type, Value};
+
+    /// Diamond with a loop: entry -> head; head -> (a|b); a,b -> latch;
+    /// latch -> head (back edge) | exit.
+    fn looped_diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let entry = b.entry();
+        let head = b.block("head");
+        let a = b.block("a");
+        let bb = b.block("b");
+        let latch = b.block("latch");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(head);
+        b.switch_to(head);
+        let c = b.icmp_sgt(b.arg(0), Value::int(0));
+        b.cond_br(c, a, bb);
+        b.switch_to(a);
+        b.br(latch);
+        b.switch_to(bb);
+        b.br(latch);
+        b.switch_to(latch);
+        let c2 = b.icmp_slt(b.arg(0), Value::int(10));
+        b.cond_br(c2, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    use crate::Function;
+
+    #[test]
+    fn adjacency_matches_terminators() {
+        let f = looped_diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.len(), 6);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(cfg.succs(BlockId(1)), &[BlockId(2), BlockId(3)]);
+        assert_eq!(cfg.preds(BlockId(4)), &[BlockId(2), BlockId(3)]);
+        // head's preds: entry and latch
+        let mut preds = cfg.preds(BlockId(1)).to_vec();
+        preds.sort();
+        assert_eq!(preds, vec![BlockId(0), BlockId(4)]);
+        assert_eq!(cfg.exits(), &[BlockId(5)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = looped_diamond();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 6);
+        // entry precedes head precedes latch precedes exit
+        let pos = |b: BlockId| rpo.iter().position(|x| *x == b).unwrap();
+        assert!(pos(BlockId(0)) < pos(BlockId(1)));
+        assert!(pos(BlockId(1)) < pos(BlockId(4)));
+        assert!(pos(BlockId(4)) < pos(BlockId(5)));
+    }
+
+    #[test]
+    fn back_edge_found() {
+        let f = looped_diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.back_edges(), vec![Edge::new(BlockId(4), BlockId(1))]);
+    }
+
+    #[test]
+    fn reachability_excludes_orphan_blocks() {
+        let mut f = looped_diamond();
+        f.add_block("orphan");
+        let cfg = Cfg::new(&f);
+        let reach = cfg.reachable();
+        assert!(reach[..6].iter().all(|r| *r));
+        assert!(!reach[6]);
+    }
+
+    #[test]
+    fn edges_enumerates_every_edge_once() {
+        let f = looped_diamond();
+        let cfg = Cfg::new(&f);
+        let edges = cfg.edges();
+        assert_eq!(edges.len(), 7);
+        assert!(edges.contains(&Edge::new(BlockId(4), BlockId(1))));
+    }
+}

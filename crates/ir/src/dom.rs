@@ -1,0 +1,339 @@
+//! Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+use crate::module::BlockId;
+
+/// Immediate-dominator tree for one function.
+///
+/// The entry block is its own idom. Unreachable blocks have no idom.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    /// Compute dominators over `cfg`.
+    pub fn new(cfg: &Cfg) -> DomTree {
+        let rpo = cfg.reverse_post_order();
+        let n = cfg.len();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(bb) {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[bb.index()] != Some(ni) {
+                        idom[bb.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, rpo_index }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_index: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_index[a.index()] > rpo_index[b.index()] {
+                a = idom[a.index()].expect("walking above entry");
+            }
+            while rpo_index[b.index()] > rpo_index[a.index()] {
+                b = idom[b.index()].expect("walking above entry");
+            }
+        }
+        a
+    }
+
+    /// Immediate dominator of `bb`, or `None` for the entry / unreachable
+    /// blocks.
+    pub fn idom(&self, bb: BlockId) -> Option<BlockId> {
+        if bb == BlockId(0) {
+            None
+        } else {
+            self.idom[bb.index()]
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `bb` is reachable from the entry.
+    pub fn is_reachable(&self, bb: BlockId) -> bool {
+        self.idom[bb.index()].is_some()
+    }
+
+    /// The reverse-post-order index of `bb` (`usize::MAX` when unreachable).
+    pub fn rpo_index(&self, bb: BlockId) -> usize {
+        self.rpo_index[bb.index()]
+    }
+}
+
+/// Immediate post-dominator tree, computed over the reversed CFG with a
+/// virtual exit node joining all `Ret` blocks.
+#[derive(Debug, Clone)]
+pub struct PostDomTree {
+    /// `ipdom[b]`: immediate post-dominator of `b`. `None` means the virtual
+    /// exit (for blocks whose ipdom is the exit itself) or that `b` cannot
+    /// reach any exit.
+    ipdom: Vec<Option<BlockId>>,
+    can_exit: Vec<bool>,
+}
+
+impl PostDomTree {
+    /// Compute post-dominators over `cfg`.
+    pub fn new(cfg: &Cfg) -> PostDomTree {
+        let n = cfg.len();
+        // Node ids: 0..n are blocks; n is the virtual exit.
+        let exit = n;
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // preds in reversed graph = succs in CFG
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for b in 0..n {
+            for s in cfg.succs(BlockId(b as u32)) {
+                // reversed edge s -> b
+                succs[s.index()].push(b);
+                preds[b].push(s.index());
+            }
+        }
+        for e in cfg.exits() {
+            succs[exit].push(e.index());
+            preds[e.index()].push(exit);
+        }
+        // RPO of reversed graph from the virtual exit.
+        let mut post = Vec::new();
+        let mut state = vec![0u8; n + 1];
+        let mut stack = vec![(exit, 0usize)];
+        state[exit] = 1;
+        while let Some((u, i)) = stack.pop() {
+            if i < succs[u].len() {
+                stack.push((u, i + 1));
+                let v = succs[u][i];
+                if state[v] == 0 {
+                    state[v] = 1;
+                    stack.push((v, 0));
+                }
+            } else {
+                state[u] = 2;
+                post.push(u);
+            }
+        }
+        post.reverse();
+        let mut rpo_index = vec![usize::MAX; n + 1];
+        for (i, u) in post.iter().enumerate() {
+            rpo_index[*u] = i;
+        }
+        let mut idom: Vec<Option<usize>> = vec![None; n + 1];
+        idom[exit] = Some(exit);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &u in post.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &preds[u] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => {
+                            let (mut a, mut b) = (p, cur);
+                            while a != b {
+                                while rpo_index[a] > rpo_index[b] {
+                                    a = idom[a].expect("walk above exit");
+                                }
+                                while rpo_index[b] > rpo_index[a] {
+                                    b = idom[b].expect("walk above exit");
+                                }
+                            }
+                            a
+                        }
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[u] != Some(ni) {
+                        idom[u] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let can_exit: Vec<bool> = (0..n).map(|b| idom[b].is_some()).collect();
+        let ipdom = (0..n)
+            .map(|b| match idom[b] {
+                Some(d) if d != exit => Some(BlockId(d as u32)),
+                _ => None,
+            })
+            .collect();
+        PostDomTree { ipdom, can_exit }
+    }
+
+    /// The immediate post-dominator of `bb`, or `None` when it is the
+    /// virtual exit (i.e. `bb` is a `Ret` block or post-dominated only by
+    /// the exit) or `bb` cannot reach an exit.
+    pub fn ipdom(&self, bb: BlockId) -> Option<BlockId> {
+        self.ipdom[bb.index()]
+    }
+
+    /// Whether `bb` can reach a function exit.
+    pub fn can_exit(&self, bb: BlockId) -> bool {
+        self.can_exit[bb.index()]
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive).
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{Type, Value};
+
+    #[test]
+    fn diamond_dominators() {
+        // entry -> (a|b) -> merge
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let entry = b.entry();
+        let a = b.block("a");
+        let c = b.block("b");
+        let m = b.block("m");
+        b.switch_to(entry);
+        let cond = b.icmp_sgt(b.arg(0), Value::int(0));
+        b.cond_br(cond, a, c);
+        b.switch_to(a);
+        b.br(m);
+        b.switch_to(c);
+        b.br(m);
+        b.switch_to(m);
+        b.ret(None);
+        let f = b.finish();
+        let dom = DomTree::new(&Cfg::new(&f));
+        assert_eq!(dom.idom(a), Some(entry));
+        assert_eq!(dom.idom(c), Some(entry));
+        assert_eq!(dom.idom(m), Some(entry));
+        assert!(dom.dominates(entry, m));
+        assert!(!dom.dominates(a, m));
+        assert!(dom.dominates(m, m));
+        assert_eq!(dom.idom(entry), None);
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let entry = b.entry();
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(head);
+        b.switch_to(head);
+        let cond = b.icmp_slt(b.arg(0), Value::int(10));
+        b.cond_br(cond, body, exit);
+        b.switch_to(body);
+        b.br(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let dom = DomTree::new(&Cfg::new(&f));
+        assert!(dom.dominates(head, body));
+        assert!(dom.dominates(head, exit));
+        assert!(!dom.dominates(body, exit));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let entry = b.entry();
+        let a = b.block("a");
+        let c = b.block("b");
+        let m = b.block("m");
+        b.switch_to(entry);
+        let cond = b.icmp_sgt(b.arg(0), Value::int(0));
+        b.cond_br(cond, a, c);
+        b.switch_to(a);
+        b.br(m);
+        b.switch_to(c);
+        b.br(m);
+        b.switch_to(m);
+        b.ret(None);
+        let f = b.finish();
+        let pdom = PostDomTree::new(&Cfg::new(&f));
+        assert_eq!(pdom.ipdom(entry), Some(m));
+        assert_eq!(pdom.ipdom(a), Some(m));
+        assert_eq!(pdom.ipdom(c), Some(m));
+        assert_eq!(pdom.ipdom(m), None); // virtual exit
+        assert!(pdom.post_dominates(m, entry));
+        assert!(!pdom.post_dominates(a, entry));
+        assert!(pdom.can_exit(entry));
+    }
+
+    #[test]
+    fn infinite_loop_cannot_exit() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let entry = b.entry();
+        let spin = b.block("spin");
+        b.switch_to(entry);
+        b.br(spin);
+        b.switch_to(spin);
+        b.br(spin);
+        let f = b.finish();
+        let pdom = PostDomTree::new(&Cfg::new(&f));
+        assert!(!pdom.can_exit(spin));
+        assert!(!pdom.can_exit(entry));
+    }
+
+    #[test]
+    fn unreachable_block_has_no_idom() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.ret(None);
+        let mut f = b.finish();
+        let orphan = f.add_block("orphan");
+        f.block_mut(orphan).term = crate::Terminator::Ret(None);
+        let dom = DomTree::new(&Cfg::new(&f));
+        assert!(!dom.is_reachable(orphan));
+        assert_eq!(dom.idom(orphan), None);
+        assert!(!dom.dominates(BlockId(0), orphan));
+    }
+}

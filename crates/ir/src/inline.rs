@@ -1,0 +1,363 @@
+//! Function inlining.
+//!
+//! Needle aggressively inlines hot call chains before path profiling (§II:
+//! "Our predication statistics differ from prior work because of aggressive
+//! inlining of call sequences"). This pass performs call-site inlining on
+//! the reproduction IR.
+
+use std::fmt;
+
+use crate::inst::{Inst, Op, Terminator};
+use crate::module::{BlockId, FuncId, InstId, Module, Value};
+
+/// Inlining failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineError {
+    /// The instruction is not a call.
+    NotACall(InstId),
+    /// Direct recursion cannot be inlined.
+    Recursive(FuncId),
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::NotACall(i) => write!(f, "{i} is not a call instruction"),
+            InlineError::Recursive(id) => write!(f, "cannot inline recursive call to {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for InlineError {}
+
+/// Inline the call at `call_site` inside `caller`.
+///
+/// The containing block is split after the call; the callee's blocks are
+/// cloned into the caller with values remapped; returns become jumps to the
+/// continuation block, where a φ merges the return values.
+///
+/// # Errors
+/// Fails if `call_site` is not a call, or the call is directly recursive.
+pub fn inline_call(
+    module: &mut Module,
+    caller: FuncId,
+    call_site: InstId,
+) -> Result<(), InlineError> {
+    let callee_id = match module.func(caller).inst(call_site).op {
+        Op::Call(c) => c,
+        _ => return Err(InlineError::NotACall(call_site)),
+    };
+    if callee_id == caller {
+        return Err(InlineError::Recursive(callee_id));
+    }
+    let callee = module.func(callee_id).clone();
+    let func = module.func_mut(caller);
+
+    // Locate the call.
+    let (orig_bb, pos) = func
+        .block_ids()
+        .find_map(|bb| {
+            func.block(bb)
+                .insts
+                .iter()
+                .position(|i| *i == call_site)
+                .map(|p| (bb, p))
+        })
+        .ok_or(InlineError::NotACall(call_site))?;
+    let call_args = func.inst(call_site).args.clone();
+    // Neutralise the arena entry: the call is removed from its block below,
+    // but arena scans should not see a stale `Call` op.
+    *func.inst_mut(call_site) = Inst::binary(Op::Add, crate::Type::I64, Value::int(0), Value::int(0));
+
+    // Split: tail instructions and the terminator move to `cont`.
+    let cont_bb = func.add_block(format!("{}.cont", func.block(orig_bb).name));
+    let tail: Vec<InstId> = func.block_mut(orig_bb).insts.split_off(pos + 1);
+    func.block_mut(orig_bb).insts.pop(); // drop the call itself
+    func.block_mut(cont_bb).insts = tail;
+    let orig_term = std::mem::replace(&mut func.block_mut(orig_bb).term, Terminator::Unreachable);
+    func.block_mut(cont_bb).term = orig_term;
+
+    // φs in the old successors must now name `cont` as the incoming block.
+    let n_insts_before = func.insts.len();
+    for inst in func.insts.iter_mut().take(n_insts_before) {
+        if inst.is_phi() {
+            for b in &mut inst.phi_blocks {
+                if *b == orig_bb {
+                    *b = cont_bb;
+                }
+            }
+        }
+    }
+
+    // Clone callee bodies with remapping.
+    let block_off = func.blocks.len() as u32;
+    let inst_off = func.insts.len() as u32;
+    let map_block = |b: BlockId| BlockId(b.0 + block_off);
+    let map_value = |v: Value| -> Value {
+        match v {
+            Value::Inst(i) => Value::Inst(InstId(i.0 + inst_off)),
+            Value::Arg(n) => call_args[n as usize],
+            Value::Const(c) => Value::Const(c),
+        }
+    };
+
+    let mut ret_edges: Vec<(BlockId, Option<Value>)> = Vec::new();
+    for (bi, cb) in callee.blocks.iter().enumerate() {
+        let new_bb = func.add_block(format!("inl.{}.{}", callee.name, cb.name));
+        debug_assert_eq!(new_bb, map_block(BlockId(bi as u32)));
+        for &ciid in &cb.insts {
+            let ci = callee.inst(ciid);
+            let new_inst = Inst {
+                op: ci.op,
+                ty: ci.ty,
+                args: ci.args.iter().map(|a| map_value(*a)).collect(),
+                phi_blocks: ci.phi_blocks.iter().map(|b| map_block(*b)).collect(),
+                imm: ci.imm,
+            };
+            let got = func.push_inst(new_bb, new_inst);
+            debug_assert_eq!(got, InstId(ciid.0 + inst_off));
+        }
+        func.block_mut(new_bb).term = match &cb.term {
+            Terminator::Br(t) => Terminator::Br(map_block(*t)),
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::CondBr {
+                cond: map_value(*cond),
+                then_bb: map_block(*then_bb),
+                else_bb: map_block(*else_bb),
+            },
+            Terminator::Ret(v) => {
+                ret_edges.push((new_bb, v.map(map_value)));
+                Terminator::Br(cont_bb)
+            }
+            Terminator::Unreachable => Terminator::Unreachable,
+        };
+    }
+
+    // Original block now enters the inlined body.
+    func.block_mut(orig_bb).term = Terminator::Br(map_block(callee.entry()));
+
+    // Merge return values with a φ at the head of `cont`, then redirect all
+    // uses of the call result to it.
+    let replacement: Option<Value> = if callee.ret.is_some() && !ret_edges.is_empty() {
+        let incoming: Vec<(BlockId, Value)> = ret_edges
+            .iter()
+            .map(|(bb, v)| (*bb, v.unwrap_or(Value::int(0))))
+            .collect();
+        let phi = Inst::phi(callee.ret.unwrap_or_default(), &incoming);
+        let phi_id = InstId(func.insts.len() as u32);
+        func.insts.push(phi);
+        func.block_mut(cont_bb).insts.insert(0, phi_id);
+        Some(Value::Inst(phi_id))
+    } else {
+        None
+    };
+    if let Some(repl) = replacement {
+        for inst in func.insts.iter_mut() {
+            for a in &mut inst.args {
+                if *a == Value::Inst(call_site) {
+                    *a = repl;
+                }
+            }
+        }
+        for bb in 0..func.blocks.len() {
+            if let Terminator::CondBr { cond, .. } = &mut func.blocks[bb].term {
+                if *cond == Value::Inst(call_site) {
+                    *cond = repl;
+                }
+            }
+            if let Terminator::Ret(Some(v)) = &mut func.blocks[bb].term {
+                if *v == Value::Inst(call_site) {
+                    *v = repl;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively inline every (non-recursive) call in `root`, bottom-up, until
+/// no calls remain or `max_insts` is reached. Returns the number of call
+/// sites inlined.
+pub fn inline_all(module: &mut Module, root: FuncId, max_insts: usize) -> usize {
+    let mut inlined = 0;
+    loop {
+        if module.func(root).insts.len() >= max_insts {
+            return inlined;
+        }
+        let site = module.func(root).block_ids().find_map(|bb| {
+            module
+                .func(root)
+                .block(bb)
+                .insts
+                .iter()
+                .copied()
+                .find(|i| match module.func(root).inst(*i).op {
+                    Op::Call(c) => c != root,
+                    _ => false,
+                })
+        });
+        match site {
+            Some(s) => {
+                inline_call(module, root, s).expect("site was validated as a call");
+                inlined += 1;
+            }
+            None => return inlined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::{Interp, Memory, NullSink};
+    use crate::verify::verify_module;
+    use crate::{Constant, Type, Value};
+
+    /// callee: abs_diff(a, b) = if a > b { a - b } else { b - a }
+    fn abs_diff() -> crate::Function {
+        let mut b = FunctionBuilder::new("abs_diff", &[Type::I64, Type::I64], Some(Type::I64));
+        let entry = b.entry();
+        let t = b.block("t");
+        let e = b.block("e");
+        let m = b.block("m");
+        b.switch_to(entry);
+        let c = b.icmp_sgt(b.arg(0), b.arg(1));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let x = b.sub(b.arg(0), b.arg(1));
+        b.br(m);
+        b.switch_to(e);
+        let y = b.sub(b.arg(1), b.arg(0));
+        b.br(m);
+        b.switch_to(m);
+        let p = b.phi(Type::I64, &[(t, x), (e, y)]);
+        b.ret(Some(p));
+        b.finish()
+    }
+
+    fn build_caller(m: &mut Module, callee: FuncId) -> FuncId {
+        // caller(a, b) = abs_diff(a, b) * 3 + 1
+        let mut b = FunctionBuilder::new("caller", &[Type::I64, Type::I64], Some(Type::I64));
+        let r = b.call(callee, Type::I64, &[b.arg(0), b.arg(1)]);
+        let r3 = b.mul(r, Value::int(3));
+        let out = b.add(r3, Value::int(1));
+        b.ret(Some(out));
+        m.push(b.finish())
+    }
+
+    fn run(m: &Module, f: FuncId, a: i64, b: i64) -> i64 {
+        let mut mem = Memory::new();
+        Interp::new(m)
+            .run(f, &[Constant::Int(a), Constant::Int(b)], &mut mem, &mut NullSink)
+            .unwrap()
+            .unwrap()
+            .as_int()
+    }
+
+    #[test]
+    fn inlined_function_preserves_semantics() {
+        let mut m = Module::new("t");
+        let callee = m.push(abs_diff());
+        let caller = build_caller(&mut m, callee);
+        let before = run(&m, caller, 3, 10);
+        let n = inline_all(&mut m, caller, 10_000);
+        assert_eq!(n, 1);
+        verify_module(&m).unwrap();
+        // No calls remain.
+        assert!(!m
+            .func(caller)
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, Op::Call(_))));
+        assert_eq!(run(&m, caller, 3, 10), before);
+        assert_eq!(run(&m, caller, 10, 3), before);
+        assert_eq!(run(&m, caller, 5, 5), 1);
+    }
+
+    #[test]
+    fn inlines_nested_call_chains() {
+        let mut m = Module::new("t");
+        let leaf = m.push(abs_diff());
+        // mid(a, b) = abs_diff(a, b) + abs_diff(b, a)
+        let mut b = FunctionBuilder::new("mid", &[Type::I64, Type::I64], Some(Type::I64));
+        let r1 = b.call(leaf, Type::I64, &[b.arg(0), b.arg(1)]);
+        let r2 = b.call(leaf, Type::I64, &[b.arg(1), b.arg(0)]);
+        let s = b.add(r1, r2);
+        b.ret(Some(s));
+        let mid = m.push(b.finish());
+        // top(a, b) = mid(a, b) * 2
+        let mut b = FunctionBuilder::new("top", &[Type::I64, Type::I64], Some(Type::I64));
+        let r = b.call(mid, Type::I64, &[b.arg(0), b.arg(1)]);
+        let out = b.mul(r, Value::int(2));
+        b.ret(Some(out));
+        let top = m.push(b.finish());
+
+        let before = run(&m, top, 4, 9);
+        assert_eq!(before, (5 + 5) * 2);
+        // Inline mid into top, then the two leaf calls that arrive with it.
+        let n = inline_all(&mut m, top, 100_000);
+        assert_eq!(n, 3);
+        verify_module(&m).unwrap();
+        assert_eq!(run(&m, top, 4, 9), before);
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let mut m = Module::new("t");
+        // f(x) = f(x) (non-terminating, but we only inline)
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let placeholder = FuncId(0);
+        let r = b.call(placeholder, Type::I64, &[b.arg(0)]);
+        b.ret(Some(r));
+        let f = m.push(b.finish());
+        assert_eq!(f, placeholder);
+        let site = m.func(f).block(BlockId(0)).insts[0];
+        assert_eq!(
+            inline_call(&mut m, f, site),
+            Err(InlineError::Recursive(f))
+        );
+        assert_eq!(inline_all(&mut m, f, 10_000), 0);
+    }
+
+    #[test]
+    fn not_a_call_is_rejected() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let v = b.add(b.arg(0), Value::int(1));
+        b.ret(Some(v));
+        let f = m.push(b.finish());
+        let site = v.as_inst().unwrap();
+        assert_eq!(
+            inline_call(&mut m, f, site),
+            Err(InlineError::NotACall(site))
+        );
+    }
+
+    #[test]
+    fn void_callee_inlines_without_phi() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("bump", &[Type::Ptr], None);
+        let p = b.arg(0);
+        let v = b.load(Type::I64, p);
+        let v2 = b.add(v, Value::int(1));
+        b.store(v2, p);
+        b.ret(None);
+        let callee = m.push(b.finish());
+        let mut b = FunctionBuilder::new("main", &[], Some(Type::I64));
+        b.call(callee, Type::I64, &[Value::ptr(8)]);
+        let r = b.load(Type::I64, Value::ptr(8));
+        b.ret(Some(r));
+        let main = m.push(b.finish());
+        inline_all(&mut m, main, 1000);
+        verify_module(&m).unwrap();
+        let mut mem = Memory::new();
+        let out = Interp::new(&m)
+            .run(main, &[], &mut mem, &mut NullSink)
+            .unwrap();
+        assert_eq!(out.unwrap().as_int(), 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! Instructions, opcodes and terminators.
+
+use std::fmt;
+
+use crate::module::{BlockId, FuncId, Type, Value};
+
+/// Comparison predicate shared by integer and float compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed / ordered less-than.
+    Lt,
+    /// Signed / ordered less-or-equal.
+    Le,
+    /// Signed / ordered greater-than.
+    Gt,
+    /// Signed / ordered greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the predicate over a three-way ordering result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Non-terminator opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Integer add.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide (signed; division by zero yields 0, like a trap value).
+    Div,
+    /// Integer remainder (signed; rem by zero yields 0).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (modulo 64).
+    Shl,
+    /// Arithmetic shift right (modulo 64).
+    Shr,
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide.
+    FDiv,
+    /// Square root (unary; maps to the FPU).
+    FSqrt,
+    /// Integer compare producing `I1`.
+    ICmp(CmpOp),
+    /// Float compare producing `I1`.
+    FCmp(CmpOp),
+    /// `select cond, a, b` — the IR-level conditional move.
+    Select,
+    /// Convert integer to float.
+    IToF,
+    /// Convert float to integer (truncating).
+    FToI,
+    /// Address computation: `base + index * scale` (scale is the constant
+    /// second operand of the instruction's `imm` field).
+    Gep,
+    /// Load from the pointer operand.
+    Load,
+    /// Store the value operand (args[0]) to the pointer operand (args[1]).
+    Store,
+    /// Call a function in the same module.
+    Call(FuncId),
+    /// SSA φ. `args[i]` flows in from `phi_blocks[i]`.
+    Phi,
+}
+
+impl Op {
+    /// Whether this op executes on a floating-point unit.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            Op::FAdd | Op::FSub | Op::FMul | Op::FDiv | Op::FSqrt | Op::FCmp(_) | Op::IToF
+        )
+    }
+
+    /// Whether this op accesses memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, Op::Load | Op::Store)
+    }
+
+    /// Mnemonic for printing.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Rem => "rem",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Shl => "shl",
+            Op::Shr => "shr",
+            Op::FAdd => "fadd",
+            Op::FSub => "fsub",
+            Op::FMul => "fmul",
+            Op::FDiv => "fdiv",
+            Op::FSqrt => "fsqrt",
+            Op::ICmp(_) => "icmp",
+            Op::FCmp(_) => "fcmp",
+            Op::Select => "select",
+            Op::IToF => "itof",
+            Op::FToI => "ftoi",
+            Op::Gep => "gep",
+            Op::Load => "load",
+            Op::Store => "store",
+            Op::Call(_) => "call",
+            Op::Phi => "phi",
+        }
+    }
+}
+
+/// An instruction. φ instructions additionally carry the incoming block per
+/// operand in `phi_blocks` (parallel to `args`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// Opcode.
+    pub op: Op,
+    /// Result type (for `Store`, the type of the stored value).
+    pub ty: Type,
+    /// Operands.
+    pub args: Vec<Value>,
+    /// For φ instructions: the incoming block of each operand in `args`.
+    /// Empty for all other opcodes.
+    pub phi_blocks: Vec<BlockId>,
+    /// Immediate operand used by [`Op::Gep`] as the index scale (bytes).
+    pub imm: i64,
+}
+
+impl Inst {
+    /// A unary instruction.
+    pub fn unary(op: Op, ty: Type, a: Value) -> Inst {
+        Inst {
+            op,
+            ty,
+            args: vec![a],
+            phi_blocks: Vec::new(),
+            imm: 0,
+        }
+    }
+
+    /// A binary instruction.
+    pub fn binary(op: Op, ty: Type, a: Value, b: Value) -> Inst {
+        Inst {
+            op,
+            ty,
+            args: vec![a, b],
+            phi_blocks: Vec::new(),
+            imm: 0,
+        }
+    }
+
+    /// A φ instruction joining `incoming` `(block, value)` pairs.
+    pub fn phi(ty: Type, incoming: &[(BlockId, Value)]) -> Inst {
+        Inst {
+            op: Op::Phi,
+            ty,
+            args: incoming.iter().map(|(_, v)| *v).collect(),
+            phi_blocks: incoming.iter().map(|(b, _)| *b).collect(),
+            imm: 0,
+        }
+    }
+
+    /// Whether this is a φ instruction.
+    pub fn is_phi(&self) -> bool {
+        matches!(self.op, Op::Phi)
+    }
+
+    /// The φ operand flowing in from block `pred`, if any.
+    pub fn phi_incoming(&self, pred: BlockId) -> Option<Value> {
+        self.phi_blocks
+            .iter()
+            .position(|b| *b == pred)
+            .map(|i| self.args[i])
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Br(BlockId),
+    /// Two-way conditional branch on an `I1` value.
+    CondBr {
+        /// Branch condition.
+        cond: Value,
+        /// Successor on true.
+        then_bb: BlockId,
+        /// Successor on false.
+        else_bb: BlockId,
+    },
+    /// Return from the function.
+    Ret(Option<Value>),
+    /// Placeholder for blocks under construction; invalid at run time.
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator, in branch order
+    /// (`[then, else]` for conditional branches).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(t) => vec![*t],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Ret(_) | Terminator::Unreachable => Vec::new(),
+        }
+    }
+
+    /// Whether this terminator is a conditional branch.
+    pub fn is_cond(&self) -> bool {
+        matches!(self, Terminator::CondBr { .. })
+    }
+
+    /// Rewrite every successor equal to `from` into `to`.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Br(t) => {
+                if *t == from {
+                    *t = to;
+                }
+            }
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                if *then_bb == from {
+                    *then_bb = to;
+                }
+                if *else_bb == from {
+                    *else_bb = to;
+                }
+            }
+            Terminator::Ret(_) | Terminator::Unreachable => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_op_eval_covers_all_predicates() {
+        assert!(CmpOp::Eq.eval(Ordering::Equal));
+        assert!(!CmpOp::Eq.eval(Ordering::Less));
+        assert!(CmpOp::Ne.eval(Ordering::Greater));
+        assert!(CmpOp::Lt.eval(Ordering::Less));
+        assert!(CmpOp::Le.eval(Ordering::Equal));
+        assert!(!CmpOp::Le.eval(Ordering::Greater));
+        assert!(CmpOp::Gt.eval(Ordering::Greater));
+        assert!(CmpOp::Ge.eval(Ordering::Equal));
+        assert!(!CmpOp::Ge.eval(Ordering::Less));
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::FAdd.is_float());
+        assert!(Op::FCmp(CmpOp::Lt).is_float());
+        assert!(!Op::Add.is_float());
+        assert!(Op::Load.is_mem());
+        assert!(Op::Store.is_mem());
+        assert!(!Op::Mul.is_mem());
+    }
+
+    #[test]
+    fn phi_incoming_lookup() {
+        let phi = Inst::phi(
+            Type::I64,
+            &[(BlockId(1), Value::int(10)), (BlockId(2), Value::int(20))],
+        );
+        assert!(phi.is_phi());
+        assert_eq!(phi.phi_incoming(BlockId(1)), Some(Value::int(10)));
+        assert_eq!(phi.phi_incoming(BlockId(2)), Some(Value::int(20)));
+        assert_eq!(phi.phi_incoming(BlockId(3)), None);
+    }
+
+    #[test]
+    fn terminator_successors_and_retarget() {
+        let mut t = Terminator::CondBr {
+            cond: Value::int(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(t.is_cond());
+        t.retarget(BlockId(2), BlockId(5));
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(5)]);
+
+        let mut b = Terminator::Br(BlockId(3));
+        b.retarget(BlockId(3), BlockId(4));
+        assert_eq!(b.successors(), vec![BlockId(4)]);
+        assert!(Terminator::Ret(None).successors().is_empty());
+    }
+}

@@ -1,0 +1,646 @@
+//! A deterministic IR interpreter with pluggable execution tracing.
+//!
+//! The interpreter is the "hardware" that runs workloads during profiling:
+//! the Ball-Larus profiler, edge profiler, and the host timing model all
+//! consume the [`TraceSink`] event stream instead of instrumenting the IR.
+//! This mirrors how Needle's LLVM instrumentation observes execution while
+//! keeping the workload IR unchanged.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{Op, Terminator};
+use crate::module::{BlockId, Constant, FuncId, Function, InstId, Module, Type, Value};
+
+/// A runtime value. Pointers are carried as integers (byte addresses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// Integer, boolean (0/1) or pointer payload.
+    Int(i64),
+    /// Floating-point payload.
+    Float(f64),
+}
+
+impl Val {
+    /// Integer payload; truncates floats (used by `ftoi`).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Val::Int(v) => v,
+            Val::Float(v) => v as i64,
+        }
+    }
+
+    /// Float payload; converts integers (used by `itof`).
+    pub fn as_float(self) -> f64 {
+        match self {
+            Val::Int(v) => v as f64,
+            Val::Float(v) => v,
+        }
+    }
+
+    /// Boolean view: any non-zero integer is true.
+    pub fn as_bool(self) -> bool {
+        self.as_int() != 0
+    }
+
+    /// Raw 64-bit encoding used by [`Memory`].
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Val::Int(v) => v as u64,
+            Val::Float(v) => v.to_bits(),
+        }
+    }
+
+    /// Decode raw bits as a value of type `ty`.
+    pub fn from_bits(bits: u64, ty: Type) -> Val {
+        match ty {
+            Type::F64 => Val::Float(f64::from_bits(bits)),
+            _ => Val::Int(bits as i64),
+        }
+    }
+}
+
+impl From<Constant> for Val {
+    fn from(c: Constant) -> Val {
+        match c {
+            Constant::Int(v) => Val::Int(v),
+            Constant::Float(v) => Val::Float(v),
+            Constant::Ptr(v) => Val::Int(v as i64),
+        }
+    }
+}
+
+/// Evaluate a pure (non-memory, non-call, non-φ) operation on resolved
+/// values. Returns `None` for ops with side effects or control semantics.
+///
+/// This is the single source of truth for operator semantics: the
+/// interpreter and the frame executor both call it, so offloaded frames
+/// cannot diverge from host execution.
+pub fn eval_pure(op: Op, args: &[Val], imm: i64) -> Option<Val> {
+    let v = match op {
+        Op::Add => Val::Int(args[0].as_int().wrapping_add(args[1].as_int())),
+        Op::Sub => Val::Int(args[0].as_int().wrapping_sub(args[1].as_int())),
+        Op::Mul => Val::Int(args[0].as_int().wrapping_mul(args[1].as_int())),
+        Op::Div => {
+            let b = args[1].as_int();
+            Val::Int(if b == 0 { 0 } else { args[0].as_int().wrapping_div(b) })
+        }
+        Op::Rem => {
+            let b = args[1].as_int();
+            Val::Int(if b == 0 { 0 } else { args[0].as_int().wrapping_rem(b) })
+        }
+        Op::And => Val::Int(args[0].as_int() & args[1].as_int()),
+        Op::Or => Val::Int(args[0].as_int() | args[1].as_int()),
+        Op::Xor => Val::Int(args[0].as_int() ^ args[1].as_int()),
+        Op::Shl => Val::Int(args[0].as_int().wrapping_shl(args[1].as_int() as u32 & 63)),
+        Op::Shr => Val::Int(args[0].as_int().wrapping_shr(args[1].as_int() as u32 & 63)),
+        Op::FAdd => Val::Float(args[0].as_float() + args[1].as_float()),
+        Op::FSub => Val::Float(args[0].as_float() - args[1].as_float()),
+        Op::FMul => Val::Float(args[0].as_float() * args[1].as_float()),
+        Op::FDiv => {
+            let b = args[1].as_float();
+            Val::Float(if b == 0.0 { 0.0 } else { args[0].as_float() / b })
+        }
+        Op::FSqrt => Val::Float(args[0].as_float().abs().sqrt()),
+        Op::ICmp(p) => Val::Int(p.eval(args[0].as_int().cmp(&args[1].as_int())) as i64),
+        Op::FCmp(p) => {
+            let ord = args[0]
+                .as_float()
+                .partial_cmp(&args[1].as_float())
+                .unwrap_or(std::cmp::Ordering::Equal);
+            Val::Int(p.eval(ord) as i64)
+        }
+        Op::Select => {
+            if args[0].as_bool() {
+                args[1]
+            } else {
+                args[2]
+            }
+        }
+        Op::IToF => Val::Float(args[0].as_int() as f64),
+        Op::FToI => Val::Int(args[0].as_float() as i64),
+        Op::Gep => Val::Int(args[0].as_int().wrapping_add(args[1].as_int().wrapping_mul(imm))),
+        Op::Load | Op::Store | Op::Call(_) | Op::Phi => return None,
+    };
+    Some(v)
+}
+
+/// Sparse byte-addressable memory with 8-byte cells.
+///
+/// Addresses are truncated to 8-byte alignment; uninitialised cells read as
+/// zero. This is sufficient for the synthetic workloads, which operate on
+/// 8-byte integer/float arrays.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    cells: HashMap<u64, u64>,
+}
+
+impl Memory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Read the 8-byte cell containing `addr`, typed as `ty`.
+    pub fn load(&self, addr: u64, ty: Type) -> Val {
+        let bits = self.cells.get(&(addr & !7)).copied().unwrap_or(0);
+        Val::from_bits(bits, ty)
+    }
+
+    /// Write `val` to the 8-byte cell containing `addr`.
+    pub fn store(&mut self, addr: u64, val: Val) {
+        self.cells.insert(addr & !7, val.to_bits());
+    }
+
+    /// Raw bits of the cell containing `addr` (0 when untouched).
+    pub fn peek(&self, addr: u64) -> u64 {
+        self.cells.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Number of touched cells.
+    pub fn footprint(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Fill `count` consecutive 8-byte integer cells starting at `base`.
+    pub fn fill_ints<I: IntoIterator<Item = i64>>(&mut self, base: u64, vals: I) -> u64 {
+        let mut addr = base;
+        for v in vals {
+            self.store(addr, Val::Int(v));
+            addr += 8;
+        }
+        addr
+    }
+
+    /// Fill `count` consecutive 8-byte float cells starting at `base`.
+    pub fn fill_floats<I: IntoIterator<Item = f64>>(&mut self, base: u64, vals: I) -> u64 {
+        let mut addr = base;
+        for v in vals {
+            self.store(addr, Val::Float(v));
+            addr += 8;
+        }
+        addr
+    }
+}
+
+/// Receiver of execution events. All methods default to no-ops, so sinks
+/// implement only what they need.
+pub trait TraceSink {
+    /// A function invocation begins.
+    fn enter(&mut self, _func: FuncId) {}
+    /// A function invocation returns.
+    fn exit(&mut self, _func: FuncId) {}
+    /// Execution enters basic block `bb` of `func` (including the entry
+    /// block at invocation start).
+    fn block(&mut self, _func: FuncId, _bb: BlockId) {}
+    /// A control-flow edge `from -> to` is traversed inside `func`.
+    fn edge(&mut self, _func: FuncId, _from: BlockId, _to: BlockId) {}
+    /// A memory access at `addr` by instruction `inst`.
+    fn mem(&mut self, _func: FuncId, _inst: InstId, _addr: u64, _is_store: bool) {}
+}
+
+/// A sink that ignores every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Counts dynamic block executions per function.
+#[derive(Debug, Default, Clone)]
+pub struct BlockCountSink {
+    /// `(func, block) -> dynamic execution count`.
+    pub counts: HashMap<(FuncId, BlockId), u64>,
+}
+
+impl TraceSink for BlockCountSink {
+    fn block(&mut self, func: FuncId, bb: BlockId) {
+        *self.counts.entry((func, bb)).or_insert(0) += 1;
+    }
+}
+
+impl BlockCountSink {
+    /// Dynamic instruction count of `func` given its static block sizes.
+    pub fn dynamic_insts(&self, module: &Module, func: FuncId) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((f, _), _)| *f == func)
+            .map(|((_, bb), n)| n * module.func(func).block(*bb).insts.len() as u64)
+            .sum()
+    }
+}
+
+/// Fan-out sink: forwards every event to both inner sinks.
+#[derive(Debug)]
+pub struct TeeSink<'a, A: ?Sized, B: ?Sized>(pub &'a mut A, pub &'a mut B);
+
+impl<A: TraceSink + ?Sized, B: TraceSink + ?Sized> TraceSink for TeeSink<'_, A, B> {
+    fn enter(&mut self, func: FuncId) {
+        self.0.enter(func);
+        self.1.enter(func);
+    }
+    fn exit(&mut self, func: FuncId) {
+        self.0.exit(func);
+        self.1.exit(func);
+    }
+    fn block(&mut self, func: FuncId, bb: BlockId) {
+        self.0.block(func, bb);
+        self.1.block(func, bb);
+    }
+    fn edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        self.0.edge(func, from, to);
+        self.1.edge(func, from, to);
+    }
+    fn mem(&mut self, func: FuncId, inst: InstId, addr: u64, is_store: bool) {
+        self.0.mem(func, inst, addr, is_store);
+        self.1.mem(func, inst, addr, is_store);
+    }
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The dynamic step budget was exhausted (runaway loop guard).
+    StepLimit(u64),
+    /// Call nesting exceeded the depth limit.
+    CallDepth(usize),
+    /// A block with an [`Terminator::Unreachable`] terminator was executed.
+    ReachedUnreachable(FuncId, BlockId),
+    /// A φ had no incoming entry for the dynamic predecessor.
+    PhiMissingIncoming(FuncId, InstId),
+    /// An instruction read a value that was never defined (verifier escape).
+    UndefinedValue(FuncId, InstId),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::StepLimit(n) => write!(f, "step limit of {n} exhausted"),
+            ExecError::CallDepth(n) => write!(f, "call depth limit of {n} exceeded"),
+            ExecError::ReachedUnreachable(func, bb) => {
+                write!(f, "reached unreachable terminator in func {func:?} {bb}")
+            }
+            ExecError::PhiMissingIncoming(func, inst) => {
+                write!(f, "phi {inst} in func {func:?} missing incoming value")
+            }
+            ExecError::UndefinedValue(func, inst) => {
+                write!(f, "instruction {inst} in func {func:?} read an undefined value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The interpreter. Holds per-run limits; borrow of the module is immutable
+/// so one `Interp` can run many times.
+#[derive(Debug)]
+pub struct Interp<'m> {
+    module: &'m Module,
+    /// Maximum dynamic instructions (terminators count as one step).
+    pub max_steps: u64,
+    /// Maximum call nesting depth.
+    pub max_depth: usize,
+    steps: std::cell::Cell<u64>,
+}
+
+impl<'m> Interp<'m> {
+    /// An interpreter over `module` with default limits (50M steps, depth 64).
+    pub fn new(module: &'m Module) -> Interp<'m> {
+        Interp {
+            module,
+            max_steps: 50_000_000,
+            max_depth: 64,
+            steps: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Override the step budget (builder style).
+    pub fn with_max_steps(mut self, n: u64) -> Interp<'m> {
+        self.max_steps = n;
+        self
+    }
+
+    /// Dynamic steps consumed by the most recent [`Interp::run`].
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Execute `func` with `args`, reading/writing `mem` and streaming
+    /// events into `sink`. Returns the function result (if non-void).
+    ///
+    /// # Errors
+    /// Returns an [`ExecError`] on step/depth exhaustion or malformed IR.
+    pub fn run(
+        &self,
+        func: FuncId,
+        args: &[Constant],
+        mem: &mut Memory,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Option<Val>, ExecError> {
+        self.steps.set(0);
+        let vals: Vec<Val> = args.iter().map(|c| Val::from(*c)).collect();
+        let mut budget = self.max_steps;
+        self.call(func, &vals, mem, sink, 0, &mut budget)
+            .inspect(|_| self.steps.set(self.max_steps - budget))
+    }
+
+    fn call(
+        &self,
+        func: FuncId,
+        args: &[Val],
+        mem: &mut Memory,
+        sink: &mut dyn TraceSink,
+        depth: usize,
+        budget: &mut u64,
+    ) -> Result<Option<Val>, ExecError> {
+        if depth > self.max_depth {
+            return Err(ExecError::CallDepth(self.max_depth));
+        }
+        let f: &Function = self.module.func(func);
+        sink.enter(func);
+        let mut regs: Vec<Option<Val>> = vec![None; f.insts.len()];
+        let read = |regs: &[Option<Val>], v: Value, at: InstId| -> Result<Val, ExecError> {
+            match v {
+                Value::Const(c) => Ok(Val::from(c)),
+                Value::Arg(n) => Ok(args[n as usize]),
+                Value::Inst(id) => regs[id.index()]
+                    .ok_or(ExecError::UndefinedValue(func, at)),
+            }
+        };
+
+        let mut cur = f.entry();
+        let mut pred: Option<BlockId> = None;
+        loop {
+            sink.block(func, cur);
+            let block = f.block(cur);
+
+            // φs evaluate simultaneously on block entry.
+            let mut phi_vals: Vec<(InstId, Val)> = Vec::new();
+            for &iid in &block.insts {
+                let inst = f.inst(iid);
+                if !inst.is_phi() {
+                    break;
+                }
+                let p = pred.ok_or(ExecError::PhiMissingIncoming(func, iid))?;
+                let v = inst
+                    .phi_incoming(p)
+                    .ok_or(ExecError::PhiMissingIncoming(func, iid))?;
+                phi_vals.push((iid, read(&regs, v, iid)?));
+            }
+            for (iid, v) in phi_vals {
+                regs[iid.index()] = Some(v);
+            }
+
+            // Straight-line body.
+            for &iid in &block.insts {
+                let inst = f.inst(iid);
+                if inst.is_phi() {
+                    continue;
+                }
+                if *budget == 0 {
+                    return Err(ExecError::StepLimit(self.max_steps));
+                }
+                *budget -= 1;
+                let v = match inst.op {
+                    Op::Load => {
+                        let addr = read(&regs, inst.args[0], iid)?.as_int() as u64;
+                        sink.mem(func, iid, addr, false);
+                        mem.load(addr, inst.ty)
+                    }
+                    Op::Store => {
+                        let v = read(&regs, inst.args[0], iid)?;
+                        let addr = read(&regs, inst.args[1], iid)?.as_int() as u64;
+                        sink.mem(func, iid, addr, true);
+                        mem.store(addr, v);
+                        Val::Int(0)
+                    }
+                    Op::Call(callee) => {
+                        let mut call_args = Vec::with_capacity(inst.args.len());
+                        for a in &inst.args {
+                            call_args.push(read(&regs, *a, iid)?);
+                        }
+                        self.call(callee, &call_args, mem, sink, depth + 1, budget)?
+                            .unwrap_or(Val::Int(0))
+                    }
+                    Op::Phi => unreachable!("phis handled on block entry"),
+                    pure => {
+                        let mut vals = Vec::with_capacity(inst.args.len());
+                        for a in &inst.args {
+                            vals.push(read(&regs, *a, iid)?);
+                        }
+                        eval_pure(pure, &vals, inst.imm).expect("op is pure")
+                    }
+                };
+                regs[iid.index()] = Some(v);
+            }
+
+            // Terminator (one step).
+            if *budget == 0 {
+                return Err(ExecError::StepLimit(self.max_steps));
+            }
+            *budget -= 1;
+            let next = match &block.term {
+                Terminator::Br(t) => *t,
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    if read(&regs, *cond, InstId(u32::MAX))?.as_bool() {
+                        *then_bb
+                    } else {
+                        *else_bb
+                    }
+                }
+                Terminator::Ret(v) => {
+                    let out = match v {
+                        Some(v) => Some(read(&regs, *v, InstId(u32::MAX))?),
+                        None => None,
+                    };
+                    sink.exit(func);
+                    return Ok(out);
+                }
+                Terminator::Unreachable => {
+                    return Err(ExecError::ReachedUnreachable(func, cur));
+                }
+            };
+            sink.edge(func, cur, next);
+            pred = Some(cur);
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::Value;
+
+    fn loop_sum_module() -> (Module, FuncId) {
+        // fn sum(n): s=0; for i in 0..n { s += i }; return s
+        let mut b = FunctionBuilder::new("sum", &[Type::I64], Some(Type::I64));
+        let entry = b.entry();
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let n = b.arg(0);
+        b.switch_to(entry);
+        b.br(head);
+        b.switch_to(head);
+        // φs created first in the block
+        let i = b.phi(Type::I64, &[(entry, Value::int(0))]);
+        let s = b.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = b.icmp_slt(i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let s2 = b.add(s, i);
+        let i2 = b.add(i, Value::int(1));
+        b.br(head);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        // patch the φs with the loop-carried values
+        let i_id = i.as_inst().unwrap();
+        let s_id = s.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(body);
+        f.inst_mut(s_id).args.push(s2);
+        f.inst_mut(s_id).phi_blocks.push(body);
+        let mut m = Module::new("t");
+        let id = m.push(f);
+        (m, id)
+    }
+
+    #[test]
+    fn loop_sum_computes_triangular_number() {
+        let (m, f) = loop_sum_module();
+        let mut mem = Memory::new();
+        let r = Interp::new(&m)
+            .run(f, &[Constant::Int(10)], &mut mem, &mut NullSink)
+            .unwrap();
+        assert_eq!(r.unwrap().as_int(), 45);
+    }
+
+    #[test]
+    fn step_limit_catches_runaway_loops() {
+        let (m, f) = loop_sum_module();
+        let mut mem = Memory::new();
+        let err = Interp::new(&m)
+            .with_max_steps(20)
+            .run(f, &[Constant::Int(1_000_000)], &mut mem, &mut NullSink)
+            .unwrap_err();
+        assert_eq!(err, ExecError::StepLimit(20));
+    }
+
+    #[test]
+    fn block_counts_track_loop_iterations() {
+        let (m, f) = loop_sum_module();
+        let mut mem = Memory::new();
+        let mut sink = BlockCountSink::default();
+        Interp::new(&m)
+            .run(f, &[Constant::Int(7)], &mut mem, &mut sink)
+            .unwrap();
+        assert_eq!(sink.counts[&(f, BlockId(2))], 7); // body
+        assert_eq!(sink.counts[&(f, BlockId(1))], 8); // head
+        assert_eq!(sink.counts[&(f, BlockId(3))], 1); // exit
+        assert!(sink.dynamic_insts(&m, f) > 0);
+    }
+
+    #[test]
+    fn memory_roundtrips_ints_and_floats() {
+        let mut mem = Memory::new();
+        mem.store(64, Val::Int(-5));
+        mem.store(72, Val::Float(2.5));
+        assert_eq!(mem.load(64, Type::I64), Val::Int(-5));
+        assert_eq!(mem.load(72, Type::F64), Val::Float(2.5));
+        // unaligned access hits the containing cell
+        assert_eq!(mem.load(67, Type::I64), Val::Int(-5));
+        // untouched memory reads zero
+        assert_eq!(mem.load(1024, Type::I64), Val::Int(0));
+        assert_eq!(mem.footprint(), 2);
+    }
+
+    #[test]
+    fn memory_fill_helpers() {
+        let mut mem = Memory::new();
+        let end = mem.fill_ints(0, [1, 2, 3]);
+        assert_eq!(end, 24);
+        assert_eq!(mem.load(8, Type::I64), Val::Int(2));
+        let end = mem.fill_floats(end, [0.5]);
+        assert_eq!(end, 32);
+        assert_eq!(mem.load(24, Type::F64), Val::Float(0.5));
+    }
+
+    #[test]
+    fn loads_stores_and_calls_work() {
+        // callee: fn addone(p): store(load(p)+1, p)
+        let mut b = FunctionBuilder::new("addone", &[Type::Ptr], None);
+        let p = b.arg(0);
+        let v = b.load(Type::I64, p);
+        let v2 = b.add(v, Value::int(1));
+        b.store(v2, p);
+        b.ret(None);
+        let callee = b.finish();
+        // caller: fn main(): addone(@64); addone(@64); return load(@64)
+        let mut m = Module::new("t");
+        let callee_id = m.push(callee);
+        let mut b = FunctionBuilder::new("main", &[], Some(Type::I64));
+        b.call(callee_id, Type::I64, &[Value::ptr(64)]);
+        b.call(callee_id, Type::I64, &[Value::ptr(64)]);
+        let r = b.load(Type::I64, Value::ptr(64));
+        b.ret(Some(r));
+        let main_id = m.push(b.finish());
+
+        let mut mem = Memory::new();
+        mem.store(64, Val::Int(40));
+        let out = Interp::new(&m)
+            .run(main_id, &[], &mut mem, &mut NullSink)
+            .unwrap();
+        assert_eq!(out.unwrap().as_int(), 42);
+    }
+
+    #[test]
+    fn edge_events_follow_control_flow() {
+        #[derive(Default)]
+        struct EdgeRec(Vec<(BlockId, BlockId)>);
+        impl TraceSink for EdgeRec {
+            fn edge(&mut self, _f: FuncId, from: BlockId, to: BlockId) {
+                self.0.push((from, to));
+            }
+        }
+        let (m, f) = loop_sum_module();
+        let mut mem = Memory::new();
+        let mut sink = EdgeRec::default();
+        Interp::new(&m)
+            .run(f, &[Constant::Int(2)], &mut mem, &mut sink)
+            .unwrap();
+        assert_eq!(
+            sink.0,
+            vec![
+                (BlockId(0), BlockId(1)),
+                (BlockId(1), BlockId(2)),
+                (BlockId(2), BlockId(1)),
+                (BlockId(1), BlockId(2)),
+                (BlockId(2), BlockId(1)),
+                (BlockId(1), BlockId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut b = FunctionBuilder::new("d", &[Type::I64], Some(Type::I64));
+        let q = b.div(Value::int(10), b.arg(0));
+        let r = b.rem(Value::int(10), b.arg(0));
+        let s = b.add(q, r);
+        b.ret(Some(s));
+        let mut m = Module::new("t");
+        let f = m.push(b.finish());
+        let mut mem = Memory::new();
+        let out = Interp::new(&m)
+            .run(f, &[Constant::Int(0)], &mut mem, &mut NullSink)
+            .unwrap();
+        assert_eq!(out.unwrap().as_int(), 0);
+    }
+}

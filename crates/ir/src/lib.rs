@@ -1,0 +1,72 @@
+//! `needle-ir` — a compact SSA-style compiler intermediate representation.
+//!
+//! This crate is the substrate that replaces LLVM in the Needle (HPCA 2017)
+//! reproduction. Needle's analyses — Ball-Larus path profiling, region
+//! formation (Superblocks, Hyperblocks, BL-paths, Braids) and software-frame
+//! extraction — are all control-flow-graph / SSA level algorithms, so they
+//! run unchanged on this IR.
+//!
+//! The crate provides:
+//!
+//! * the IR itself: [`Module`], [`Function`], [`Block`], [`Inst`], [`Value`];
+//! * a [`builder::FunctionBuilder`] for ergonomically constructing functions;
+//! * CFG analyses: predecessors/successors ([`cfg`]), dominators ([`dom`]),
+//!   natural loops and back edges ([`loops`]);
+//! * a deterministic [`interp`]reter that executes modules against a
+//!   byte-addressable [`interp::Memory`] and streams events to a
+//!   [`interp::TraceSink`] (the hook used by the profilers);
+//! * an [`inline`] pass (the paper aggressively inlines hot call chains
+//!   before path profiling);
+//! * an IR [`verify`]er and a textual [printer](crate::print).
+//!
+//! # Example
+//!
+//! ```
+//! use needle_ir::builder::FunctionBuilder;
+//! use needle_ir::{Module, Type, Value};
+//! use needle_ir::interp::{Interp, Memory, NullSink};
+//!
+//! // fn double_or_zero(x) = if x > 0 { x * 2 } else { 0 }
+//! let mut b = FunctionBuilder::new("double_or_zero", &[Type::I64], Some(Type::I64));
+//! let entry = b.entry();
+//! let then_bb = b.block("then");
+//! let else_bb = b.block("else");
+//! let exit = b.block("exit");
+//! let x = b.arg(0);
+//! b.switch_to(entry);
+//! let c = b.icmp_sgt(x, Value::int(0));
+//! b.cond_br(c, then_bb, else_bb);
+//! b.switch_to(then_bb);
+//! let dbl = b.mul(x, Value::int(2));
+//! b.br(exit);
+//! b.switch_to(else_bb);
+//! b.br(exit);
+//! b.switch_to(exit);
+//! let r = b.phi(Type::I64, &[(then_bb, dbl), (else_bb, Value::int(0))]);
+//! b.ret(Some(r));
+//! let func = b.finish();
+//!
+//! let mut module = Module::new("demo");
+//! let f = module.push(func);
+//! let mut mem = Memory::new();
+//! let out = Interp::new(&module)
+//!     .run(f, &[needle_ir::Constant::Int(21)], &mut mem, &mut NullSink)
+//!     .unwrap();
+//! assert_eq!(out.unwrap().as_int(), 42);
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod inline;
+pub mod interp;
+pub mod loops;
+pub mod parse;
+pub mod print;
+pub mod verify;
+
+mod inst;
+mod module;
+
+pub use inst::{CmpOp, Inst, Op, Terminator};
+pub use module::{Block, BlockId, Constant, FuncId, Function, InstId, Module, Type, Value};

@@ -1,0 +1,175 @@
+//! Natural-loop detection from back edges.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{Cfg, Edge};
+use crate::dom::DomTree;
+use crate::module::BlockId;
+
+/// A natural loop: the header plus every block that can reach the back-edge
+/// source without passing through the header.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edge, dominates the body).
+    pub header: BlockId,
+    /// Sources of back edges into `header` (the latch blocks).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header.
+    pub blocks: BTreeSet<BlockId>,
+}
+
+impl Loop {
+    /// Whether `bb` belongs to this loop.
+    pub fn contains(&self, bb: BlockId) -> bool {
+        self.blocks.contains(&bb)
+    }
+}
+
+/// All natural loops of a function, merged per header.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    /// Loops sorted by header id. Back edges whose target does not dominate
+    /// the source (irreducible flow) are skipped.
+    pub loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Detect natural loops in `cfg` using `dom`.
+    pub fn new(cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        let mut per_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for Edge { from, to } in cfg.back_edges() {
+            if !dom.dominates(to, from) {
+                continue; // irreducible; not a natural loop
+            }
+            match per_header.iter_mut().find(|(h, _)| *h == to) {
+                Some((_, latches)) => latches.push(from),
+                None => per_header.push((to, vec![from])),
+            }
+        }
+        let mut loops = Vec::new();
+        for (header, latches) in per_header {
+            let mut blocks = BTreeSet::new();
+            blocks.insert(header);
+            let mut stack = latches.clone();
+            while let Some(bb) = stack.pop() {
+                if blocks.insert(bb) {
+                    for &p in cfg.preds(bb) {
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                latches,
+                blocks,
+            });
+        }
+        loops.sort_by_key(|l| l.header);
+        LoopForest { loops }
+    }
+
+    /// The innermost loop containing `bb` (the loop with the fewest blocks).
+    pub fn innermost_containing(&self, bb: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(bb))
+            .min_by_key(|l| l.blocks.len())
+    }
+
+    /// Loops that contain no other loop's header (the innermost loops).
+    pub fn innermost(&self) -> Vec<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| {
+                !self
+                    .loops
+                    .iter()
+                    .any(|o| o.header != l.header && l.contains(o.header))
+            })
+            .collect()
+    }
+
+    /// Number of detected loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the function is loop-free.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{Function, Type, Value};
+
+    fn nested_loops() -> Function {
+        // entry -> outer_head -> inner_head -> inner_body -> inner_head
+        //                   \<------------------ outer_latch <-/ (inner exit)
+        // outer_head -> exit
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let entry = b.entry();
+        let oh = b.block("outer_head");
+        let ih = b.block("inner_head");
+        let ib = b.block("inner_body");
+        let ol = b.block("outer_latch");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(oh);
+        b.switch_to(oh);
+        let c0 = b.icmp_slt(b.arg(0), Value::int(100));
+        b.cond_br(c0, ih, exit);
+        b.switch_to(ih);
+        let c1 = b.icmp_slt(b.arg(0), Value::int(10));
+        b.cond_br(c1, ib, ol);
+        b.switch_to(ib);
+        b.br(ih);
+        b.switch_to(ol);
+        b.br(oh);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_nested_loops() {
+        let f = nested_loops();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        let forest = LoopForest::new(&cfg, &dom);
+        assert_eq!(forest.len(), 2);
+        let outer = forest.loops.iter().find(|l| l.header == BlockId(1)).unwrap();
+        let inner = forest.loops.iter().find(|l| l.header == BlockId(2)).unwrap();
+        assert!(outer.blocks.len() > inner.blocks.len());
+        assert!(outer.contains(BlockId(2)));
+        assert!(inner.contains(BlockId(3)));
+        assert!(!inner.contains(BlockId(4)));
+        // innermost() yields only the inner loop
+        let innermost = forest.innermost();
+        assert_eq!(innermost.len(), 1);
+        assert_eq!(innermost[0].header, BlockId(2));
+        // innermost_containing the inner body is the inner loop
+        assert_eq!(
+            forest.innermost_containing(BlockId(3)).unwrap().header,
+            BlockId(2)
+        );
+        assert_eq!(
+            forest.innermost_containing(BlockId(4)).unwrap().header,
+            BlockId(1)
+        );
+    }
+
+    #[test]
+    fn loop_free_function() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let forest = LoopForest::new(&cfg, &DomTree::new(&cfg));
+        assert!(forest.is_empty());
+        assert!(forest.innermost_containing(BlockId(0)).is_none());
+    }
+}

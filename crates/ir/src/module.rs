@@ -1,0 +1,476 @@
+//! Core IR data structures: modules, functions, blocks, values.
+
+use std::fmt;
+
+use crate::inst::{Inst, Op, Terminator};
+
+/// Index of a function within its [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block within its [`Function`].
+///
+/// `BlockId(0)` is always the entry block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Index of an instruction within its [`Function`]'s instruction arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u32);
+
+impl FuncId {
+    /// Zero-based index as `usize`, for indexing into slices.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Zero-based index as `usize`, for indexing into slices.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl InstId {
+    /// Zero-based index as `usize`, for indexing into slices.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Value types. Deliberately small: Needle's analyses only distinguish
+/// integer vs floating-point operations (for FU selection and energy) and
+/// pointer-typed values (for memory dependence statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Type {
+    /// Boolean (comparison results, guards, predicates).
+    I1,
+    /// 64-bit integer. All integer arithmetic is 64-bit.
+    #[default]
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+    /// Byte-addressed pointer.
+    Ptr,
+}
+
+impl Type {
+    /// Whether values of this type execute on the floating-point units.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F64)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I1 => "i1",
+            Type::I64 => "i64",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constant {
+    /// Integer constant (also used for booleans: 0 / 1).
+    Int(i64),
+    /// Floating point constant.
+    Float(f64),
+    /// Pointer constant (absolute byte address).
+    Ptr(u64),
+}
+
+impl Constant {
+    /// The type of this constant.
+    pub fn ty(self) -> Type {
+        match self {
+            Constant::Int(_) => Type::I64,
+            Constant::Float(_) => Type::F64,
+            Constant::Ptr(_) => Type::Ptr,
+        }
+    }
+
+    /// Integer payload.
+    ///
+    /// # Panics
+    /// Panics if the constant is not an integer.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Constant::Int(v) => v,
+            other => panic!("constant {other:?} is not an integer"),
+        }
+    }
+
+    /// Float payload.
+    ///
+    /// # Panics
+    /// Panics if the constant is not a float.
+    pub fn as_float(self) -> f64 {
+        match self {
+            Constant::Float(v) => v,
+            other => panic!("constant {other:?} is not a float"),
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(v) => write!(f, "{v}"),
+            Constant::Float(v) => write!(f, "{v:?}"),
+            Constant::Ptr(v) => write!(f, "@{v:#x}"),
+        }
+    }
+}
+
+/// An SSA value: the result of an instruction, a function argument, or a
+/// constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// The result of instruction `InstId` in the enclosing function.
+    Inst(InstId),
+    /// The `n`-th argument of the enclosing function.
+    Arg(u32),
+    /// An inline constant.
+    Const(Constant),
+}
+
+impl Value {
+    /// Integer constant shorthand.
+    pub fn int(v: i64) -> Value {
+        Value::Const(Constant::Int(v))
+    }
+
+    /// Float constant shorthand.
+    pub fn float(v: f64) -> Value {
+        Value::Const(Constant::Float(v))
+    }
+
+    /// Pointer constant shorthand.
+    pub fn ptr(addr: u64) -> Value {
+        Value::Const(Constant::Ptr(addr))
+    }
+
+    /// The constant payload, if this value is a constant.
+    pub fn as_const(self) -> Option<Constant> {
+        match self {
+            Value::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The defining instruction, if this value is an instruction result.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Value {
+        Value::Const(c)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Inst(id) => write!(f, "{id}"),
+            Value::Arg(n) => write!(f, "%arg{n}"),
+            Value::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A basic block: a straight-line run of instructions ending in a
+/// [`Terminator`]. φ instructions, if any, must be the leading instructions.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Human-readable label (not required to be unique).
+    pub name: String,
+    /// Instructions in execution order (φs first). Terminator excluded.
+    pub insts: Vec<InstId>,
+    /// Control transfer out of this block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// A new block with the given label and an unreachable terminator that
+    /// must be replaced before the function is executed or verified.
+    pub fn new(name: impl Into<String>) -> Block {
+        Block {
+            name: name.into(),
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        }
+    }
+}
+
+/// A function: an arena of instructions plus a list of basic blocks.
+///
+/// `BlockId(0)` is the entry block. SSA form is expected (each [`InstId`] is
+/// defined once; uses must be dominated by definitions — see
+/// [`crate::verify`]).
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name, unique within a [`Module`].
+    pub name: String,
+    /// Parameter types; `Value::Arg(i)` has type `params[i]`.
+    pub params: Vec<Type>,
+    /// Return type, or `None` for void.
+    pub ret: Option<Type>,
+    /// Basic blocks; index 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Instruction arena. Blocks refer into this by [`InstId`].
+    pub insts: Vec<Inst>,
+}
+
+impl Function {
+    /// An empty function with a single (empty) entry block.
+    pub fn new(name: impl Into<String>, params: &[Type], ret: Option<Type>) -> Function {
+        Function {
+            name: name.into(),
+            params: params.to_vec(),
+            ret,
+            blocks: vec![Block::new("entry")],
+            insts: Vec::new(),
+        }
+    }
+
+    /// The entry block id (always `BlockId(0)`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Shared access to an instruction.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to an instruction.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// Append a new block and return its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new(name));
+        id
+    }
+
+    /// Append `inst` to the arena and to the end of block `bb`.
+    pub fn push_inst(&mut self, bb: BlockId, inst: Inst) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(inst);
+        self.blocks[bb.index()].insts.push(id);
+        id
+    }
+
+    /// Iterate over all block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// The type of a value in the context of this function.
+    pub fn value_type(&self, v: Value) -> Type {
+        match v {
+            Value::Inst(id) => self.inst(id).ty,
+            Value::Arg(n) => self.params[n as usize],
+            Value::Const(c) => c.ty(),
+        }
+    }
+
+    /// Total static instruction count excluding terminators.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Count of conditional branches (the terminators that create paths).
+    pub fn num_cond_branches(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::CondBr { .. }))
+            .count()
+    }
+
+    /// Static counts of memory operations (loads, stores) in block `bb`.
+    pub fn block_mem_ops(&self, bb: BlockId) -> usize {
+        self.block(bb)
+            .insts
+            .iter()
+            .filter(|id| matches!(self.inst(**id).op, Op::Load | Op::Store))
+            .count()
+    }
+}
+
+/// A module: a named collection of functions.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Module name (diagnostics only).
+    pub name: String,
+    /// The functions; indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Append a function, returning its id.
+    pub fn push(&mut self, func: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(func);
+        id
+    }
+
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Look a function up by name.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Iterate over `(FuncId, &Function)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        assert_eq!(BlockId(3).index(), 3);
+        assert_eq!(InstId(7).index(), 7);
+        assert_eq!(FuncId(1).index(), 1);
+        assert_eq!(BlockId(3).to_string(), "bb3");
+        assert_eq!(InstId(7).to_string(), "%7");
+    }
+
+    #[test]
+    fn constants_expose_type_and_payload() {
+        assert_eq!(Constant::Int(5).ty(), Type::I64);
+        assert_eq!(Constant::Float(1.5).ty(), Type::F64);
+        assert_eq!(Constant::Ptr(64).ty(), Type::Ptr);
+        assert_eq!(Constant::Int(5).as_int(), 5);
+        assert_eq!(Constant::Float(1.5).as_float(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an integer")]
+    fn constant_as_int_panics_on_float() {
+        Constant::Float(0.0).as_int();
+    }
+
+    #[test]
+    fn value_shorthands() {
+        assert_eq!(Value::int(3).as_const(), Some(Constant::Int(3)));
+        assert_eq!(Value::float(2.0).as_const(), Some(Constant::Float(2.0)));
+        assert_eq!(Value::ptr(8).as_const(), Some(Constant::Ptr(8)));
+        assert_eq!(Value::Inst(InstId(4)).as_inst(), Some(InstId(4)));
+        assert_eq!(Value::Arg(0).as_inst(), None);
+        assert_eq!(Value::Arg(0).as_const(), None);
+    }
+
+    #[test]
+    fn function_block_and_inst_arena() {
+        let mut f = Function::new("f", &[Type::I64], None);
+        assert_eq!(f.entry(), BlockId(0));
+        let bb = f.add_block("next");
+        assert_eq!(bb, BlockId(1));
+        assert_eq!(f.num_blocks(), 2);
+        let id = f.push_inst(
+            bb,
+            Inst::binary(Op::Add, Type::I64, Value::Arg(0), Value::int(1)),
+        );
+        assert_eq!(f.block(bb).insts, vec![id]);
+        assert_eq!(f.value_type(Value::Inst(id)), Type::I64);
+        assert_eq!(f.value_type(Value::Arg(0)), Type::I64);
+        assert_eq!(f.num_insts(), 1);
+    }
+
+    #[test]
+    fn module_lookup_by_name() {
+        let mut m = Module::new("m");
+        let a = m.push(Function::new("a", &[], None));
+        let b = m.push(Function::new("b", &[], None));
+        assert_eq!(m.find("a"), Some(a));
+        assert_eq!(m.find("b"), Some(b));
+        assert_eq!(m.find("c"), None);
+        assert_eq!(m.iter().count(), 2);
+    }
+}

@@ -1,0 +1,531 @@
+//! Parsing of the textual IR produced by [`crate::print`].
+//!
+//! The parser accepts exactly the printer's syntax, so `parse(print(f))`
+//! round-trips any function (instruction ids are renumbered densely).
+//! Useful for writing tests and examples as IR text.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{CmpOp, Inst, Op, Terminator};
+use crate::module::{BlockId, FuncId, Function, InstId, Module, Type, Value};
+
+/// A parse failure with its (1-based) line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where the failure occurred.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
+    match s {
+        "i1" => Ok(Type::I1),
+        "i64" => Ok(Type::I64),
+        "f64" => Ok(Type::F64),
+        "ptr" => Ok(Type::Ptr),
+        other => err(line, format!("unknown type {other:?}")),
+    }
+}
+
+fn parse_cmp(s: &str, line: usize) -> Result<CmpOp, ParseError> {
+    match s {
+        "eq" => Ok(CmpOp::Eq),
+        "ne" => Ok(CmpOp::Ne),
+        "lt" => Ok(CmpOp::Lt),
+        "le" => Ok(CmpOp::Le),
+        "gt" => Ok(CmpOp::Gt),
+        "ge" => Ok(CmpOp::Ge),
+        other => err(line, format!("unknown predicate {other:?}")),
+    }
+}
+
+struct Parser {
+    /// printed inst id -> dense arena id
+    ids: HashMap<u32, InstId>,
+}
+
+impl Parser {
+    fn value(&self, tok: &str, line: usize) -> Result<Value, ParseError> {
+        let tok = tok.trim().trim_end_matches(',');
+        if let Some(rest) = tok.strip_prefix("%arg") {
+            return rest
+                .parse::<u32>()
+                .map(Value::Arg)
+                .or_else(|_| err(line, format!("bad argument {tok:?}")));
+        }
+        if let Some(rest) = tok.strip_prefix('%') {
+            let printed: u32 = rest
+                .parse()
+                .or_else(|_| err(line, format!("bad value {tok:?}")))?;
+            return match self.ids.get(&printed) {
+                Some(id) => Ok(Value::Inst(*id)),
+                None => err(line, format!("use of undefined %{printed}")),
+            };
+        }
+        if let Some(rest) = tok.strip_prefix("@0x") {
+            let addr = u64::from_str_radix(rest, 16)
+                .or_else(|_| err(line, format!("bad pointer {tok:?}")))?;
+            return Ok(Value::ptr(addr));
+        }
+        if tok.contains('.') || tok.contains("inf") || tok.contains("NaN") {
+            let f: f64 = tok
+                .parse()
+                .or_else(|_| err(line, format!("bad float {tok:?}")))?;
+            return Ok(Value::float(f));
+        }
+        let i: i64 = tok
+            .parse()
+            .or_else(|_| err(line, format!("bad constant {tok:?}")))?;
+        Ok(Value::int(i))
+    }
+
+    fn block(tok: &str, line: usize) -> Result<BlockId, ParseError> {
+        let tok = tok.trim().trim_end_matches(',').trim_end_matches(':');
+        match tok.strip_prefix("bb").and_then(|r| r.parse::<u32>().ok()) {
+            Some(n) => Ok(BlockId(n)),
+            None => err(line, format!("bad block {tok:?}")),
+        }
+    }
+}
+
+/// Parse a single function in the printer's syntax.
+///
+/// # Errors
+/// Returns a [`ParseError`] with the offending line.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with("; module"));
+
+    // Header: fn @name(ty %arg0, ...) -> ret {
+    let (hline, header) = lines
+        .next()
+        .ok_or(ParseError {
+            line: 0,
+            message: "empty input".into(),
+        })?;
+    let header = header
+        .strip_prefix("fn @")
+        .ok_or(ParseError {
+            line: hline,
+            message: "expected `fn @name(...)`".into(),
+        })?;
+    let open = header.find('(').ok_or(ParseError {
+        line: hline,
+        message: "missing `(`".into(),
+    })?;
+    let close = header.rfind(')').ok_or(ParseError {
+        line: hline,
+        message: "missing `)`".into(),
+    })?;
+    let name = &header[..open];
+    let params: Vec<Type> = header[open + 1..close]
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| parse_type(p.split_whitespace().next().unwrap_or(""), hline))
+        .collect::<Result<_, _>>()?;
+    let ret_s = header[close + 1..]
+        .trim()
+        .trim_start_matches("->")
+        .trim()
+        .trim_end_matches('{')
+        .trim();
+    let ret = if ret_s == "void" {
+        None
+    } else {
+        Some(parse_type(ret_s, hline)?)
+    };
+
+    let mut func = Function::new(name, &params, ret);
+    let mut parser = Parser { ids: HashMap::new() };
+    let mut cur: Option<BlockId> = None;
+    // Deferred φ operands (they may forward-reference instructions).
+    let mut pending_phis: Vec<(InstId, usize, Vec<(String, BlockId)>)> = Vec::new();
+
+    for (ln, line) in lines {
+        if line == "}" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("bb") {
+            if rest.contains(':') {
+                let id = Parser::block(line.split(':').next().unwrap_or(""), ln)?;
+                while func.num_blocks() <= id.index() {
+                    func.add_block(format!("bb{}", func.num_blocks()));
+                }
+                if let Some(label) = line.split(';').nth(1) {
+                    func.block_mut(id).name = label.trim().to_string();
+                }
+                cur = Some(id);
+                continue;
+            }
+        }
+        let bb = cur.ok_or(ParseError {
+            line: ln,
+            message: "instruction outside a block".into(),
+        })?;
+
+        // Terminators.
+        if let Some(rest) = line.strip_prefix("br ") {
+            let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+            func.block_mut(bb).term = match parts.as_slice() {
+                [t] => Terminator::Br(Parser::block(t, ln)?),
+                [c, t, e] => Terminator::CondBr {
+                    cond: parser.value(c, ln)?,
+                    then_bb: Parser::block(t, ln)?,
+                    else_bb: Parser::block(e, ln)?,
+                },
+                _ => return err(ln, "malformed br"),
+            };
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("ret") {
+            let rest = rest.trim();
+            func.block_mut(bb).term = if rest == "void" || rest.is_empty() {
+                Terminator::Ret(None)
+            } else {
+                Terminator::Ret(Some(parser.value(rest, ln)?))
+            };
+            continue;
+        }
+        if line == "unreachable" {
+            func.block_mut(bb).term = Terminator::Unreachable;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("store ") {
+            let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+            let [v, p] = parts.as_slice() else {
+                return err(ln, "malformed store");
+            };
+            let val = parser.value(v, ln)?;
+            let ptr = parser.value(p, ln)?;
+            let ty = match val {
+                Value::Const(c) => c.ty(),
+                _ => Type::I64,
+            };
+            func.push_inst(
+                bb,
+                Inst {
+                    op: Op::Store,
+                    ty,
+                    args: vec![val, ptr],
+                    phi_blocks: Vec::new(),
+                    imm: 0,
+                },
+            );
+            continue;
+        }
+
+        // `%N = ...`
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            return err(ln, format!("unrecognised line {line:?}"));
+        };
+        let printed: u32 = lhs
+            .trim()
+            .strip_prefix('%')
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseError {
+                line: ln,
+                message: format!("bad lhs {lhs:?}"),
+            })?;
+        let rhs = rhs.trim();
+        let mut toks = rhs.split_whitespace();
+        let mnemonic = toks.next().unwrap_or("");
+        let inst = match mnemonic {
+            "phi" => {
+                let ty = parse_type(toks.next().unwrap_or(""), ln)?;
+                // [v, bbN], [v, bbM] ... — defer value resolution.
+                let rest: String = rhs
+                    .splitn(3, ' ')
+                    .nth(2)
+                    .unwrap_or("")
+                    .to_string();
+                let mut incomings = Vec::new();
+                for part in rest.split(']') {
+                    let part = part.trim().trim_start_matches(',').trim();
+                    let Some(body) = part.strip_prefix('[') else {
+                        continue;
+                    };
+                    let (v, b) = body.split_once(',').ok_or(ParseError {
+                        line: ln,
+                        message: "malformed phi incoming".into(),
+                    })?;
+                    incomings.push((v.trim().to_string(), Parser::block(b, ln)?));
+                }
+                let id = func.push_inst(bb, Inst::phi(ty, &[]));
+                func.inst_mut(id).ty = ty;
+                pending_phis.push((id, ln, incomings));
+                parser.ids.insert(printed, id);
+                continue;
+            }
+            "icmp" | "fcmp" => {
+                let pred = parse_cmp(toks.next().unwrap_or(""), ln)?;
+                let args: Vec<Value> = toks
+                    .map(|t| parser.value(t, ln))
+                    .collect::<Result<_, _>>()?;
+                let op = if mnemonic == "icmp" {
+                    Op::ICmp(pred)
+                } else {
+                    Op::FCmp(pred)
+                };
+                Inst {
+                    op,
+                    ty: Type::I1,
+                    args,
+                    phi_blocks: Vec::new(),
+                    imm: 0,
+                }
+            }
+            "gep" => {
+                // gep base, index, scale N
+                let rest: String = rhs.split_once(' ').map(|x| x.1).unwrap_or("").to_string();
+                let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+                let [base, index, scale] = parts.as_slice() else {
+                    return err(ln, "malformed gep");
+                };
+                let imm: i64 = scale
+                    .trim_start_matches("scale")
+                    .trim()
+                    .parse()
+                    .or_else(|_| err(ln, "bad gep scale"))?;
+                Inst {
+                    op: Op::Gep,
+                    ty: Type::Ptr,
+                    args: vec![parser.value(base, ln)?, parser.value(index, ln)?],
+                    phi_blocks: Vec::new(),
+                    imm,
+                }
+            }
+            "call" => {
+                // call @fN(args)
+                let rest = rhs.split_once(' ').map(|x| x.1).unwrap_or("");
+                let open = rest.find('(').ok_or(ParseError {
+                    line: ln,
+                    message: "malformed call".into(),
+                })?;
+                let callee: u32 = rest[..open]
+                    .trim()
+                    .strip_prefix("@f")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError {
+                        line: ln,
+                        message: format!("bad callee in {rest:?}"),
+                    })?;
+                let args: Vec<Value> = rest[open + 1..rest.rfind(')').unwrap_or(rest.len())]
+                    .split(',')
+                    .filter(|a| !a.trim().is_empty())
+                    .map(|a| parser.value(a, ln))
+                    .collect::<Result<_, _>>()?;
+                Inst {
+                    op: Op::Call(FuncId(callee)),
+                    ty: Type::I64,
+                    args,
+                    phi_blocks: Vec::new(),
+                    imm: 0,
+                }
+            }
+            m => {
+                let op = match m {
+                    "add" => Op::Add,
+                    "sub" => Op::Sub,
+                    "mul" => Op::Mul,
+                    "div" => Op::Div,
+                    "rem" => Op::Rem,
+                    "and" => Op::And,
+                    "or" => Op::Or,
+                    "xor" => Op::Xor,
+                    "shl" => Op::Shl,
+                    "shr" => Op::Shr,
+                    "fadd" => Op::FAdd,
+                    "fsub" => Op::FSub,
+                    "fmul" => Op::FMul,
+                    "fdiv" => Op::FDiv,
+                    "fsqrt" => Op::FSqrt,
+                    "select" => Op::Select,
+                    "itof" => Op::IToF,
+                    "ftoi" => Op::FToI,
+                    "load" => Op::Load,
+                    other => return err(ln, format!("unknown op {other:?}")),
+                };
+                let ty = parse_type(toks.next().unwrap_or(""), ln)?;
+                let args: Vec<Value> = toks
+                    .map(|t| parser.value(t, ln))
+                    .collect::<Result<_, _>>()?;
+                Inst {
+                    op,
+                    ty,
+                    args,
+                    phi_blocks: Vec::new(),
+                    imm: 0,
+                }
+            }
+        };
+        let id = func.push_inst(bb, inst);
+        parser.ids.insert(printed, id);
+    }
+
+    // Resolve deferred φ incomings.
+    for (id, ln, incomings) in pending_phis {
+        let mut args = Vec::with_capacity(incomings.len());
+        let mut blocks = Vec::with_capacity(incomings.len());
+        for (v, b) in incomings {
+            args.push(parser.value(&v, ln)?);
+            blocks.push(b);
+        }
+        let inst = func.inst_mut(id);
+        inst.args = args;
+        inst.phi_blocks = blocks;
+    }
+    Ok(func)
+}
+
+/// Parse a whole module (a `; module NAME` header followed by functions).
+///
+/// # Errors
+/// Returns the first [`ParseError`].
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let name = text
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("; module "))
+        .unwrap_or("parsed")
+        .to_string();
+    let mut module = Module::new(name);
+    let mut depth = 0usize;
+    let mut chunk = String::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("fn @") {
+            depth = 1;
+            chunk.clear();
+            chunk.push_str(line);
+            chunk.push('\n');
+            continue;
+        }
+        if depth > 0 {
+            chunk.push_str(line);
+            chunk.push('\n');
+            if t == "}" {
+                module.push(parse_function(&chunk)?);
+                depth = 0;
+            }
+        }
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::Constant;
+    use crate::interp::{Interp, Memory, NullSink};
+    use crate::print::{function_to_string, module_to_string};
+    use crate::verify::verify_function;
+
+    fn sample() -> Function {
+        let mut fb = FunctionBuilder::new("roundtrip", &[Type::I64, Type::Ptr], Some(Type::I64));
+        let entry = fb.entry();
+        let t = fb.block("taken");
+        let e = fb.block("fall");
+        let m = fb.block("merge");
+        fb.switch_to(entry);
+        let addr = fb.gep(fb.arg(1), fb.arg(0), 8);
+        let v = fb.load(Type::I64, addr);
+        let c = fb.icmp_ne(v, Value::int(0));
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        let a = fb.add(v, Value::int(1));
+        fb.store(a, addr);
+        fb.br(m);
+        fb.switch_to(e);
+        let fzero = fb.fadd(Value::float(1.5), Value::float(2.5));
+        let fi = fb.ftoi(fzero);
+        fb.br(m);
+        fb.switch_to(m);
+        let p = fb.phi(Type::I64, &[(t, a), (e, fi)]);
+        let s = fb.select(Type::I64, c, p, Value::int(-1));
+        fb.ret(Some(s));
+        fb.finish()
+    }
+
+    #[test]
+    fn print_parse_roundtrip_is_stable() {
+        let f = sample();
+        let text = function_to_string(&f);
+        let parsed = parse_function(&text).unwrap();
+        verify_function(&parsed, None).unwrap();
+        // Printing the parsed function again yields identical text.
+        assert_eq!(function_to_string(&parsed), text);
+    }
+
+    #[test]
+    fn parsed_function_behaves_identically() {
+        let f = sample();
+        let parsed = parse_function(&function_to_string(&f)).unwrap();
+        let mut m1 = Module::new("a");
+        let id1 = m1.push(f);
+        let mut m2 = Module::new("b");
+        let id2 = m2.push(parsed);
+        for x in [0i64, 3, -2] {
+            let mut mem1 = Memory::new();
+            mem1.store(64 + 8 * x.unsigned_abs(), crate::interp::Val::Int(x));
+            let mut mem2 = mem1.clone();
+            let a = Interp::new(&m1)
+                .run(id1, &[Constant::Int(x), Constant::Ptr(64)], &mut mem1, &mut NullSink)
+                .unwrap();
+            let b = Interp::new(&m2)
+                .run(id2, &[Constant::Int(x), Constant::Ptr(64)], &mut mem2, &mut NullSink)
+                .unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parse_module_handles_multiple_functions() {
+        let mut fb = FunctionBuilder::new("one", &[], Some(Type::I64));
+        fb.ret(Some(Value::int(1)));
+        let f1 = fb.finish();
+        let mut m = Module::new("multi");
+        let c1 = m.push(f1);
+        let mut fb = FunctionBuilder::new("two", &[], Some(Type::I64));
+        let r = fb.call(c1, Type::I64, &[]);
+        let r2 = fb.add(r, Value::int(1));
+        fb.ret(Some(r2));
+        m.push(fb.finish());
+        let text = module_to_string(&m);
+        let parsed = parse_module(&text).unwrap();
+        assert_eq!(parsed.funcs.len(), 2);
+        assert_eq!(parsed.name, "multi");
+        assert_eq!(module_to_string(&parsed), text);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "fn @f() -> i64 {\nbb0: ; entry\n  %0 = frobnicate i64 1, 2\n  ret %0\n}";
+        let e = parse_function(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+
+        let bad2 = "fn @f() -> i64 {\nbb0: ; e\n  ret %9\n}";
+        let e2 = parse_function(bad2).unwrap_err();
+        assert!(e2.message.contains("undefined"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Textual printing of IR for debugging and examples.
+
+use std::fmt::Write as _;
+
+use crate::inst::{Op, Terminator};
+use crate::module::{Function, Module};
+
+/// Render `func` in a human-readable LLVM-like syntax.
+pub fn function_to_string(func: &Function) -> String {
+    let mut out = String::new();
+    let params = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %arg{i}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = func
+        .ret
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".to_string());
+    let _ = writeln!(out, "fn @{}({params}) -> {ret} {{", func.name);
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        let _ = writeln!(out, "{bb}: ; {}", block.name);
+        for &iid in &block.insts {
+            let inst = func.inst(iid);
+            let args = inst
+                .args
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            match inst.op {
+                Op::Phi => {
+                    let inc = inst
+                        .args
+                        .iter()
+                        .zip(&inst.phi_blocks)
+                        .map(|(v, b)| format!("[{v}, {b}]"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let _ = writeln!(out, "  {iid} = phi {} {inc}", inst.ty);
+                }
+                Op::ICmp(p) | Op::FCmp(p) => {
+                    let _ = writeln!(out, "  {iid} = {} {p} {args}", inst.op.mnemonic());
+                }
+                Op::Gep => {
+                    let _ = writeln!(out, "  {iid} = gep {args}, scale {}", inst.imm);
+                }
+                Op::Store => {
+                    let _ = writeln!(out, "  store {args}");
+                }
+                Op::Call(callee) => {
+                    let _ = writeln!(out, "  {iid} = call @f{}({args})", callee.0);
+                }
+                _ => {
+                    let _ = writeln!(out, "  {iid} = {} {} {args}", inst.op.mnemonic(), inst.ty);
+                }
+            }
+        }
+        match &block.term {
+            Terminator::Br(t) => {
+                let _ = writeln!(out, "  br {t}");
+            }
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let _ = writeln!(out, "  br {cond}, {then_bb}, {else_bb}");
+            }
+            Terminator::Ret(Some(v)) => {
+                let _ = writeln!(out, "  ret {v}");
+            }
+            Terminator::Ret(None) => {
+                let _ = writeln!(out, "  ret void");
+            }
+            Terminator::Unreachable => {
+                let _ = writeln!(out, "  unreachable");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render every function of `module`.
+pub fn module_to_string(module: &Module) -> String {
+    let mut out = format!("; module {}\n", module.name);
+    for (_, f) in module.iter() {
+        out.push_str(&function_to_string(f));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{Type, Value};
+
+    #[test]
+    fn printed_ir_mentions_every_construct() {
+        let mut b = FunctionBuilder::new("show", &[Type::I64, Type::Ptr], Some(Type::I64));
+        let entry = b.entry();
+        let t = b.block("taken");
+        let e = b.block("fall");
+        let m = b.block("merge");
+        b.switch_to(entry);
+        let addr = b.gep(b.arg(1), b.arg(0), 8);
+        let v = b.load(Type::I64, addr);
+        let c = b.icmp_ne(v, Value::int(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let a = b.add(v, Value::int(1));
+        b.store(a, addr);
+        b.br(m);
+        b.switch_to(e);
+        b.br(m);
+        b.switch_to(m);
+        let p = b.phi(Type::I64, &[(t, a), (e, Value::int(0))]);
+        b.ret(Some(p));
+        let f = b.finish();
+        let s = function_to_string(&f);
+        for needle in [
+            "fn @show", "gep", "load", "icmp ne", "store", "phi", "br %", "ret",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+        let mut module = crate::Module::new("m");
+        module.push(f);
+        assert!(module_to_string(&module).contains("; module m"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Structural and SSA verification of functions.
+
+use std::fmt;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::inst::{Op, Terminator};
+use crate::module::{BlockId, FuncId, Function, InstId, Module, Value};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A terminator targets a block id that does not exist.
+    BadTarget(BlockId, BlockId),
+    /// A reachable block still has the placeholder terminator.
+    UnterminatedBlock(BlockId),
+    /// A φ appears after a non-φ instruction in its block.
+    PhiNotLeading(BlockId, InstId),
+    /// A φ's incoming blocks don't match the block's CFG predecessors.
+    PhiPredMismatch(BlockId, InstId),
+    /// An instruction uses a value whose definition does not dominate it.
+    UseNotDominated(BlockId, InstId),
+    /// An operand refers to an instruction id out of range.
+    BadOperand(InstId),
+    /// An argument index is out of range for the function signature.
+    BadArgIndex(InstId, u32),
+    /// A call targets a function id not present in the module.
+    BadCallee(InstId, FuncId),
+    /// An instruction id appears in more than one block.
+    InstInMultipleBlocks(InstId),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadTarget(bb, t) => write!(f, "{bb} branches to nonexistent {t}"),
+            VerifyError::UnterminatedBlock(bb) => write!(f, "{bb} is reachable but unterminated"),
+            VerifyError::PhiNotLeading(bb, i) => write!(f, "phi {i} in {bb} is not leading"),
+            VerifyError::PhiPredMismatch(bb, i) => {
+                write!(f, "phi {i} in {bb} disagrees with predecessors")
+            }
+            VerifyError::UseNotDominated(bb, i) => {
+                write!(f, "use in {i} ({bb}) not dominated by definition")
+            }
+            VerifyError::BadOperand(i) => write!(f, "operand of {i} out of range"),
+            VerifyError::BadArgIndex(i, n) => write!(f, "{i} uses argument {n} out of range"),
+            VerifyError::BadCallee(i, c) => write!(f, "{i} calls nonexistent function {c:?}"),
+            VerifyError::InstInMultipleBlocks(i) => write!(f, "{i} appears in multiple blocks"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify one function. `module` is used to validate call targets; pass the
+/// enclosing module, or `None` to skip call checking.
+///
+/// # Errors
+/// Returns the first [`VerifyError`] discovered.
+pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
+    let n = func.num_blocks() as u32;
+    // Instruction-block ownership: each inst in exactly one block.
+    let mut owner: Vec<Option<BlockId>> = vec![None; func.insts.len()];
+    for bb in func.block_ids() {
+        for &iid in &func.block(bb).insts {
+            if iid.index() >= func.insts.len() {
+                return Err(VerifyError::BadOperand(iid));
+            }
+            if owner[iid.index()].is_some() {
+                return Err(VerifyError::InstInMultipleBlocks(iid));
+            }
+            owner[iid.index()] = Some(bb);
+        }
+    }
+
+    // Branch-target range check must precede CFG construction (the CFG
+    // indexes adjacency lists by target id).
+    for bb in func.block_ids() {
+        for t in func.block(bb).term.successors() {
+            if t.0 >= n {
+                return Err(VerifyError::BadTarget(bb, t));
+            }
+        }
+    }
+
+    let cfg = Cfg::new(func);
+    let dom = DomTree::new(&cfg);
+    let reachable = cfg.reachable();
+
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        if reachable[bb.index()] && matches!(block.term, Terminator::Unreachable) {
+            return Err(VerifyError::UnterminatedBlock(bb));
+        }
+
+        let mut seen_non_phi = false;
+        for &iid in &block.insts {
+            let inst = func.inst(iid);
+            if inst.is_phi() {
+                if seen_non_phi {
+                    return Err(VerifyError::PhiNotLeading(bb, iid));
+                }
+                // φ incoming blocks must exactly cover the predecessors.
+                let mut preds: Vec<BlockId> = cfg.preds(bb).to_vec();
+                preds.sort();
+                preds.dedup();
+                let mut inc: Vec<BlockId> = inst.phi_blocks.clone();
+                inc.sort();
+                inc.dedup();
+                if reachable[bb.index()] && preds != inc {
+                    return Err(VerifyError::PhiPredMismatch(bb, iid));
+                }
+            } else {
+                seen_non_phi = true;
+            }
+
+            for (ai, arg) in inst.args.iter().enumerate() {
+                match *arg {
+                    Value::Inst(def) => {
+                        if def.index() >= func.insts.len() {
+                            return Err(VerifyError::BadOperand(iid));
+                        }
+                        let Some(def_bb) = owner[def.index()] else {
+                            return Err(VerifyError::BadOperand(iid));
+                        };
+                        if !reachable[bb.index()] {
+                            continue;
+                        }
+                        // Dominance: for φ uses, the def must dominate the
+                        // incoming edge's source; otherwise the def block must
+                        // dominate the use block (same-block uses must come
+                        // after the def).
+                        if inst.is_phi() {
+                            let from = inst.phi_blocks[ai];
+                            if reachable[from.index()] && !dom.dominates(def_bb, from) {
+                                return Err(VerifyError::UseNotDominated(bb, iid));
+                            }
+                        } else if def_bb == bb {
+                            let pos_def = block.insts.iter().position(|x| *x == def);
+                            let pos_use = block.insts.iter().position(|x| *x == iid);
+                            if pos_def >= pos_use {
+                                return Err(VerifyError::UseNotDominated(bb, iid));
+                            }
+                        } else if !dom.dominates(def_bb, bb) {
+                            return Err(VerifyError::UseNotDominated(bb, iid));
+                        }
+                    }
+                    Value::Arg(a) => {
+                        if a as usize >= func.params.len() {
+                            return Err(VerifyError::BadArgIndex(iid, a));
+                        }
+                    }
+                    Value::Const(_) => {}
+                }
+            }
+            if let Op::Call(callee) = inst.op {
+                if let Some(m) = module {
+                    if callee.index() >= m.funcs.len() {
+                        return Err(VerifyError::BadCallee(iid, callee));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify every function in `module`.
+///
+/// # Errors
+/// Returns the first failure with its function id.
+pub fn verify_module(module: &Module) -> Result<(), (FuncId, VerifyError)> {
+    for (id, f) in module.iter() {
+        verify_function(f, Some(module)).map_err(|e| (id, e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Inst;
+    use crate::{Type, Value};
+
+    fn valid_diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = b.entry();
+        let t = b.block("t");
+        let e = b.block("e");
+        let m = b.block("m");
+        b.switch_to(entry);
+        let c = b.icmp_sgt(b.arg(0), Value::int(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let v = b.add(b.arg(0), Value::int(1));
+        b.br(m);
+        b.switch_to(e);
+        b.br(m);
+        b.switch_to(m);
+        let p = b.phi(Type::I64, &[(t, v), (e, Value::int(0))]);
+        b.ret(Some(p));
+        b.finish()
+    }
+
+    #[test]
+    fn valid_function_verifies() {
+        assert_eq!(verify_function(&valid_diamond(), None), Ok(()));
+    }
+
+    #[test]
+    fn detects_bad_branch_target() {
+        let mut f = valid_diamond();
+        f.block_mut(BlockId(1)).term = Terminator::Br(BlockId(99));
+        assert_eq!(
+            verify_function(&f, None),
+            Err(VerifyError::BadTarget(BlockId(1), BlockId(99)))
+        );
+    }
+
+    #[test]
+    fn detects_unterminated_reachable_block() {
+        let mut f = valid_diamond();
+        f.block_mut(BlockId(3)).term = Terminator::Unreachable;
+        assert_eq!(
+            verify_function(&f, None),
+            Err(VerifyError::UnterminatedBlock(BlockId(3)))
+        );
+    }
+
+    #[test]
+    fn detects_phi_pred_mismatch() {
+        let mut f = valid_diamond();
+        // φ in merge block claims an incoming edge from entry, which is wrong.
+        let phi_id = f.block(BlockId(3)).insts[0];
+        f.inst_mut(phi_id).phi_blocks[0] = BlockId(0);
+        assert_eq!(
+            verify_function(&f, None),
+            Err(VerifyError::PhiPredMismatch(BlockId(3), phi_id))
+        );
+    }
+
+    #[test]
+    fn detects_use_before_def_in_same_block() {
+        let mut f = Function::new("f", &[], None);
+        let entry = f.entry();
+        // inst0 uses inst1 which comes later in the same block.
+        let i0 = InstId(0);
+        f.insts.push(Inst::binary(
+            Op::Add,
+            Type::I64,
+            Value::Inst(InstId(1)),
+            Value::int(1),
+        ));
+        f.insts
+            .push(Inst::binary(Op::Add, Type::I64, Value::int(1), Value::int(2)));
+        f.block_mut(entry).insts = vec![i0, InstId(1)];
+        f.block_mut(entry).term = Terminator::Ret(None);
+        assert_eq!(
+            verify_function(&f, None),
+            Err(VerifyError::UseNotDominated(entry, i0))
+        );
+    }
+
+    #[test]
+    fn detects_use_not_dominated_across_blocks() {
+        // value defined in the "then" arm used in the merge block directly
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = b.entry();
+        let t = b.block("t");
+        let e = b.block("e");
+        let m = b.block("m");
+        b.switch_to(entry);
+        let c = b.icmp_sgt(b.arg(0), Value::int(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let v = b.add(b.arg(0), Value::int(1));
+        b.br(m);
+        b.switch_to(e);
+        b.br(m);
+        b.switch_to(m);
+        b.ret(Some(v)); // not dominated!
+        let f = b.finish();
+        // Ret operands are not instruction uses in this IR (terminators hold
+        // values but we verify instruction operands); craft an inst use:
+        let mut f2 = f.clone();
+        let bad = Inst::binary(Op::Add, Type::I64, v, Value::int(1));
+        f2.push_inst(m, bad);
+        let last = InstId((f2.insts.len() - 1) as u32);
+        assert_eq!(
+            verify_function(&f2, None),
+            Err(VerifyError::UseNotDominated(m, last))
+        );
+    }
+
+    #[test]
+    fn detects_bad_arg_index_and_callee() {
+        let mut f = Function::new("f", &[], None);
+        let entry = f.entry();
+        f.push_inst(
+            entry,
+            Inst::binary(Op::Add, Type::I64, Value::Arg(3), Value::int(0)),
+        );
+        f.block_mut(entry).term = Terminator::Ret(None);
+        assert_eq!(
+            verify_function(&f, None),
+            Err(VerifyError::BadArgIndex(InstId(0), 3))
+        );
+
+        let mut g = Function::new("g", &[], None);
+        let entry = g.entry();
+        g.push_inst(
+            entry,
+            Inst {
+                op: Op::Call(FuncId(9)),
+                ty: Type::I64,
+                args: vec![],
+                phi_blocks: vec![],
+                imm: 0,
+            },
+        );
+        g.block_mut(entry).term = Terminator::Ret(None);
+        let mut m = Module::new("m");
+        m.push(g);
+        assert!(matches!(
+            verify_module(&m),
+            Err((_, VerifyError::BadCallee(_, FuncId(9))))
+        ));
+    }
+
+    #[test]
+    fn detects_inst_in_multiple_blocks() {
+        let mut f = valid_diamond();
+        let stolen = f.block(BlockId(1)).insts[0];
+        f.block_mut(BlockId(2)).insts.push(stolen);
+        assert_eq!(
+            verify_function(&f, None),
+            Err(VerifyError::InstInMultipleBlocks(stolen))
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Interpreter semantics corner cases and sink-event contracts.
+
+use needle_ir::builder::FunctionBuilder;
+use needle_ir::interp::{ExecError, Interp, Memory, NullSink, TraceSink, Val};
+use needle_ir::{BlockId, CmpOp, Constant, FuncId, InstId, Module, Type, Value};
+
+#[test]
+fn wrapping_arithmetic_matches_two_complement() {
+    let mut fb = FunctionBuilder::new("w", &[Type::I64, Type::I64], Some(Type::I64));
+    let s = fb.add(fb.arg(0), fb.arg(1));
+    fb.ret(Some(s));
+    let mut m = Module::new("t");
+    let f = m.push(fb.finish());
+    let mut mem = Memory::new();
+    let r = Interp::new(&m)
+        .run(
+            f,
+            &[Constant::Int(i64::MAX), Constant::Int(1)],
+            &mut mem,
+            &mut NullSink,
+        )
+        .unwrap();
+    assert_eq!(r.unwrap().as_int(), i64::MIN);
+}
+
+#[test]
+fn shift_amounts_are_masked_to_six_bits() {
+    let mut fb = FunctionBuilder::new("s", &[Type::I64], Some(Type::I64));
+    let a = fb.shl(Value::int(1), fb.arg(0));
+    fb.ret(Some(a));
+    let mut m = Module::new("t");
+    let f = m.push(fb.finish());
+    let run = |x: i64| {
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(f, &[Constant::Int(x)], &mut mem, &mut NullSink)
+            .unwrap()
+            .unwrap()
+            .as_int()
+    };
+    assert_eq!(run(3), 8);
+    assert_eq!(run(64), 1); // 64 & 63 == 0
+    assert_eq!(run(67), 8); // 67 & 63 == 3
+}
+
+#[test]
+fn float_compare_handles_nan_without_panicking() {
+    let mut fb = FunctionBuilder::new("n", &[Type::F64], Some(Type::I64));
+    let nan = fb.fdiv(Value::float(0.0), Value::float(0.0)); // our fdiv: 0/0 = 0
+    let c = fb.fcmp(CmpOp::Lt, nan, fb.arg(0));
+    fb.ret(Some(c));
+    let mut m = Module::new("t");
+    let f = m.push(fb.finish());
+    let mut mem = Memory::new();
+    let r = Interp::new(&m)
+        .run(f, &[Constant::Float(1.0)], &mut mem, &mut NullSink)
+        .unwrap();
+    assert_eq!(r.unwrap().as_int(), 1); // 0.0 < 1.0
+}
+
+#[test]
+fn call_depth_limit_triggers_on_mutual_recursion() {
+    // f0 calls f1, f1 calls f0.
+    let mut m = Module::new("t");
+    let mut fb = FunctionBuilder::new("f0", &[], Some(Type::I64));
+    let r = fb.call(FuncId(1), Type::I64, &[]);
+    fb.ret(Some(r));
+    m.push(fb.finish());
+    let mut fb = FunctionBuilder::new("f1", &[], Some(Type::I64));
+    let r = fb.call(FuncId(0), Type::I64, &[]);
+    fb.ret(Some(r));
+    m.push(fb.finish());
+    let mut mem = Memory::new();
+    let err = Interp::new(&m)
+        .run(FuncId(0), &[], &mut mem, &mut NullSink)
+        .unwrap_err();
+    assert!(matches!(err, ExecError::CallDepth(_)), "{err:?}");
+}
+
+#[test]
+fn reached_unreachable_is_reported_with_location() {
+    let mut fb = FunctionBuilder::new("u", &[], None);
+    let b = fb.block("dead_end");
+    fb.br(b);
+    // b keeps the placeholder Unreachable terminator.
+    let mut m = Module::new("t");
+    let f = m.push(fb.finish());
+    let mut mem = Memory::new();
+    let err = Interp::new(&m)
+        .run(f, &[], &mut mem, &mut NullSink)
+        .unwrap_err();
+    assert_eq!(err, ExecError::ReachedUnreachable(f, BlockId(1)));
+}
+
+/// Sink-event contract: enter/exit nest like a stack; block events follow
+/// edges; mem events land between their block's block event and the next.
+#[test]
+fn sink_event_stream_is_well_formed() {
+    #[derive(Default)]
+    struct Checker {
+        depth: i64,
+        max_depth: i64,
+        last_block: Option<(FuncId, BlockId)>,
+        violations: Vec<String>,
+        mems: u64,
+    }
+    impl TraceSink for Checker {
+        fn enter(&mut self, _f: FuncId) {
+            self.depth += 1;
+            self.max_depth = self.max_depth.max(self.depth);
+            self.last_block = None;
+        }
+        fn exit(&mut self, _f: FuncId) {
+            self.depth -= 1;
+            if self.depth < 0 {
+                self.violations.push("unbalanced exit".into());
+            }
+        }
+        fn block(&mut self, f: FuncId, bb: BlockId) {
+            self.last_block = Some((f, bb));
+        }
+        fn edge(&mut self, f: FuncId, from: BlockId, _to: BlockId) {
+            if let Some((lf, lb)) = self.last_block {
+                if lf == f && lb != from {
+                    self.violations
+                        .push(format!("edge from {from} but last block was {lb}"));
+                }
+            }
+        }
+        fn mem(&mut self, _f: FuncId, _i: InstId, _a: u64, _s: bool) {
+            if self.last_block.is_none() {
+                self.violations.push("mem before any block".into());
+            }
+            self.mems += 1;
+        }
+    }
+
+    let w = needle_workloads::by_name("456.hmmer").unwrap();
+    let mut sink = Checker::default();
+    let mut mem = w.memory.clone();
+    Interp::new(&w.module)
+        .run(w.func, &w.args, &mut mem, &mut sink)
+        .unwrap();
+    assert_eq!(sink.depth, 0, "enter/exit balanced");
+    assert!(sink.violations.is_empty(), "{:?}", sink.violations);
+    assert!(sink.mems > 1000);
+}
+
+#[test]
+fn memory_bitcast_roundtrip_preserves_floats() {
+    let mut mem = Memory::new();
+    for v in [0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE, 1e300] {
+        mem.store(0, Val::Float(v));
+        assert_eq!(mem.load(0, Type::F64), Val::Float(v));
+        // Reading as int gives the raw bits.
+        assert_eq!(mem.load(0, Type::I64), Val::Int(v.to_bits() as i64));
+    }
+}

@@ -1,0 +1,218 @@
+//! Constant folding and algebraic simplification.
+
+use needle_ir::interp::{eval_pure, Val};
+use needle_ir::{Constant, Function, Op, Terminator, Value};
+
+/// Fold constant-operand pure instructions into constants and apply simple
+/// algebraic identities (`x+0`, `x*1`, `x*0`, `x&x`, `x^x`, …). Folded
+/// instructions become dead copies (`add x, 0` of the replacement) that
+/// [`crate::dce`] removes. Returns the number of instructions rewritten.
+pub fn fold_constants(func: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let n = fold_once(func);
+        total += n;
+        if n == 0 {
+            return total;
+        }
+    }
+}
+
+fn fold_once(func: &mut Function) -> usize {
+    let mut replacements: Vec<(usize, Value)> = Vec::new();
+    for (idx, inst) in func.insts.iter().enumerate() {
+        if inst.is_phi() || matches!(inst.op, Op::Load | Op::Store | Op::Call(_)) {
+            continue;
+        }
+        // Skip the canonical dead marker left by a previous fold (its uses
+        // are already rewritten) — refolding it would loop forever.
+        if inst.op == Op::Add
+            && inst.args.as_slice() == [Value::int(0), Value::int(0)]
+            && inst.imm == 0
+        {
+            continue;
+        }
+        // All-constant operands: evaluate.
+        if let Some(consts) = inst
+            .args
+            .iter()
+            .map(|a| a.as_const().map(Val::from))
+            .collect::<Option<Vec<_>>>()
+        {
+            if let Some(v) = eval_pure(inst.op, &consts, inst.imm) {
+                let c = match v {
+                    Val::Int(i) => Constant::Int(i),
+                    Val::Float(f) => Constant::Float(f),
+                };
+                replacements.push((idx, Value::Const(c)));
+                continue;
+            }
+        }
+        // Algebraic identities on partially-constant operands.
+        if let Some(v) = algebraic(inst.op, &inst.args) {
+            replacements.push((idx, v));
+        }
+    }
+    let n = replacements.len();
+    for (idx, v) in replacements {
+        replace_all_uses(func, needle_ir::InstId(idx as u32), v);
+        // Neutralise the folded instruction; DCE collects it.
+        let inst = &mut func.insts[idx];
+        inst.op = Op::Add;
+        inst.ty = needle_ir::Type::I64;
+        inst.args = vec![Value::int(0), Value::int(0)];
+        inst.phi_blocks.clear();
+        inst.imm = 0;
+    }
+    n
+}
+
+fn int_const(v: Value) -> Option<i64> {
+    match v.as_const() {
+        Some(Constant::Int(i)) => Some(i),
+        _ => None,
+    }
+}
+
+fn algebraic(op: Op, args: &[Value]) -> Option<Value> {
+    let (a, b) = (args.first().copied()?, args.get(1).copied()?);
+    let (ca, cb) = (int_const(a), int_const(b));
+    match op {
+        Op::Add => match (ca, cb) {
+            (Some(0), _) => Some(b),
+            (_, Some(0)) => Some(a),
+            _ => None,
+        },
+        Op::Sub if cb == Some(0) => Some(a),
+        Op::Sub if a == b && a.as_inst().is_some() => Some(Value::int(0)),
+        Op::Mul => match (ca, cb) {
+            (Some(1), _) => Some(b),
+            (_, Some(1)) => Some(a),
+            (Some(0), _) | (_, Some(0)) => Some(Value::int(0)),
+            _ => None,
+        },
+        Op::And => match (ca, cb) {
+            (Some(0), _) | (_, Some(0)) => Some(Value::int(0)),
+            (Some(-1), _) => Some(b),
+            (_, Some(-1)) => Some(a),
+            _ if a == b && a.as_inst().is_some() => Some(a),
+            _ => None,
+        },
+        Op::Or => match (ca, cb) {
+            (Some(0), _) => Some(b),
+            (_, Some(0)) => Some(a),
+            _ if a == b && a.as_inst().is_some() => Some(a),
+            _ => None,
+        },
+        Op::Xor if a == b && a.as_inst().is_some() => Some(Value::int(0)),
+        Op::Xor if cb == Some(0) => Some(a),
+        Op::Shl | Op::Shr if cb == Some(0) => Some(a),
+        Op::Div if cb == Some(1) => Some(a),
+        _ => None,
+    }
+}
+
+/// Replace every use of `target`'s value with `replacement`, including
+/// terminator conditions and return values.
+pub fn replace_all_uses(func: &mut Function, target: needle_ir::InstId, replacement: Value) {
+    let from = Value::Inst(target);
+    for inst in func.insts.iter_mut() {
+        for a in &mut inst.args {
+            if *a == from {
+                *a = replacement;
+            }
+        }
+    }
+    for block in func.blocks.iter_mut() {
+        match &mut block.term {
+            Terminator::CondBr { cond, .. }
+                if *cond == from => {
+                    *cond = replacement;
+                }
+            Terminator::Ret(Some(v))
+                if *v == from => {
+                    *v = replacement;
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory, NullSink};
+    use needle_ir::{Module, Type};
+
+    fn run(m: &Module, f: needle_ir::FuncId, x: i64) -> i64 {
+        let mut mem = Memory::new();
+        Interp::new(m)
+            .run(f, &[Constant::Int(x)], &mut mem, &mut NullSink)
+            .unwrap()
+            .unwrap()
+            .as_int()
+    }
+
+    #[test]
+    fn folds_constant_expressions() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let c = fb.add(Value::int(2), Value::int(3)); // 5
+        let d = fb.mul(c, Value::int(4)); // 20
+        let r = fb.add(fb.arg(0), d);
+        fb.ret(Some(r));
+        let mut f = fb.finish();
+        let folded = fold_constants(&mut f);
+        assert!(folded >= 2, "folded {folded}");
+        let mut m = Module::new("t");
+        let id = m.push(f);
+        assert_eq!(run(&m, id, 22), 42);
+        // The chain collapsed: r's second operand is now the constant 20.
+        let r_id = r.as_inst().unwrap();
+        assert_eq!(m.func(id).inst(r_id).args[1], Value::int(20));
+    }
+
+    #[test]
+    fn applies_identities() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let x = fb.arg(0);
+        let a = fb.add(x, Value::int(0)); // x
+        let b = fb.mul(a, Value::int(1)); // x
+        let c = fb.xor(b, b); // 0 — but b is an identity-folded value
+        let d = fb.or(c, x); // x
+        fb.ret(Some(d));
+        let mut f = fb.finish();
+        fold_constants(&mut f);
+        // A second round catches identities exposed by the first.
+        fold_constants(&mut f);
+        let mut m = Module::new("t");
+        let id = m.push(f);
+        assert_eq!(run(&m, id, 7), 7);
+    }
+
+    #[test]
+    fn folds_float_and_compare_ops() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let fa = fb.fadd(Value::float(1.5), Value::float(2.5)); // 4.0
+        let fi = fb.ftoi(fa); // 4
+        let cmp = fb.icmp_slt(Value::int(3), Value::int(9)); // 1
+        let s = fb.add(fi, cmp);
+        let r = fb.add(s, fb.arg(0));
+        fb.ret(Some(r));
+        let mut f = fb.finish();
+        let n = fold_constants(&mut f);
+        assert!(n >= 3);
+        let mut m = Module::new("t");
+        let id = m.push(f);
+        assert_eq!(run(&m, id, 0), 5);
+    }
+
+    #[test]
+    fn leaves_loads_phis_and_calls_alone() {
+        let mut fb = FunctionBuilder::new("f", &[], Some(Type::I64));
+        let v = fb.load(Type::I64, Value::ptr(0));
+        fb.ret(Some(v));
+        let mut f = fb.finish();
+        assert_eq!(fold_constants(&mut f), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Dominance-based common subexpression elimination.
+
+use std::collections::HashMap;
+
+use needle_ir::cfg::Cfg;
+use needle_ir::dom::DomTree;
+use needle_ir::{BlockId, Function, InstId, Op, Value};
+
+use crate::constfold::replace_all_uses;
+
+/// A hashable expression key. `Value` itself is not `Hash` (float
+/// constants), so constants are encoded by bit pattern.
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct ExprKey {
+    op_tag: String,
+    imm: i64,
+    args: Vec<(u8, u64)>,
+}
+
+fn value_key(v: Value) -> (u8, u64) {
+    match v {
+        Value::Inst(i) => (0, i.0 as u64),
+        Value::Arg(n) => (1, n as u64),
+        Value::Const(c) => match c {
+            needle_ir::Constant::Int(i) => (2, i as u64),
+            needle_ir::Constant::Float(f) => (3, f.to_bits()),
+            needle_ir::Constant::Ptr(p) => (4, p),
+        },
+    }
+}
+
+fn expr_key(func: &Function, iid: InstId) -> Option<ExprKey> {
+    let inst = func.inst(iid);
+    // Only pure, non-φ ops participate; loads are excluded (stores may
+    // intervene — a conservative memory model).
+    if inst.is_phi() || matches!(inst.op, Op::Load | Op::Store | Op::Call(_)) {
+        return None;
+    }
+    Some(ExprKey {
+        op_tag: format!("{:?}", inst.op),
+        imm: inst.imm,
+        args: inst.args.iter().map(|a| value_key(*a)).collect(),
+    })
+}
+
+/// Eliminate recomputation of identical pure expressions when an earlier
+/// computation dominates the later one. Returns the number of instructions
+/// replaced.
+pub fn eliminate_common_subexpressions(func: &mut Function) -> usize {
+    let cfg = Cfg::new(func);
+    let dom = DomTree::new(&cfg);
+    // Visit blocks in RPO so dominating definitions are seen first.
+    let order = cfg.reverse_post_order();
+    let mut available: HashMap<ExprKey, (InstId, BlockId)> = HashMap::new();
+    let mut replaced: Vec<(InstId, InstId)> = Vec::new();
+    for bb in order {
+        let insts = func.block(bb).insts.clone();
+        for iid in insts {
+            let Some(key) = expr_key(func, iid) else {
+                continue;
+            };
+            match available.get(&key) {
+                Some((prev, prev_bb)) if dom.dominates(*prev_bb, bb) => {
+                    replaced.push((iid, *prev));
+                }
+                _ => {
+                    available.insert(key, (iid, bb));
+                }
+            }
+        }
+    }
+    let n = replaced.len();
+    for (dup, keep) in replaced {
+        replace_all_uses(func, dup, Value::Inst(keep));
+        // Detach the duplicate from its block.
+        for bb in 0..func.num_blocks() {
+            func.block_mut(BlockId(bb as u32)).insts.retain(|i| *i != dup);
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory, NullSink};
+    use needle_ir::{Constant, Module, Type, Value as V};
+
+    #[test]
+    fn dedups_identical_expressions_in_one_block() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let x = fb.arg(0);
+        let a = fb.mul(x, V::int(3));
+        let b = fb.mul(x, V::int(3)); // same as a
+        let s = fb.add(a, b);
+        fb.ret(Some(s));
+        let mut f = fb.finish();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 1);
+        needle_ir::verify::verify_function(&f, None).unwrap();
+        let mut m = Module::new("t");
+        let id = m.push(f);
+        let mut mem = Memory::new();
+        let out = Interp::new(&m)
+            .run(id, &[Constant::Int(5)], &mut mem, &mut NullSink)
+            .unwrap();
+        assert_eq!(out.unwrap().as_int(), 30);
+        // b's uses now point at a; DCE would drop the leftover.
+        let s_id = s.as_inst().unwrap();
+        assert_eq!(m.func(id).inst(s_id).args[0], m.func(id).inst(s_id).args[1]);
+    }
+
+    #[test]
+    fn dedups_across_dominating_blocks_only() {
+        // entry computes x*3; both arms recompute it. The arm copies fold
+        // to the entry one; the arms do NOT fold into each other.
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let m = fb.block("m");
+        let x = fb.arg(0);
+        fb.switch_to(entry);
+        let a0 = fb.mul(x, V::int(3));
+        let c = fb.icmp_sgt(a0, V::int(0));
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        let a1 = fb.mul(x, V::int(3));
+        let tv = fb.add(a1, V::int(1));
+        fb.br(m);
+        fb.switch_to(e);
+        let a2 = fb.mul(x, V::int(3));
+        let ev = fb.add(a2, V::int(2));
+        fb.br(m);
+        fb.switch_to(m);
+        let p = fb.phi(Type::I64, &[(t, tv), (e, ev)]);
+        fb.ret(Some(p));
+        let mut f = fb.finish();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 2);
+        needle_ir::verify::verify_function(&f, None).unwrap();
+    }
+
+    #[test]
+    fn sibling_blocks_do_not_share() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let m = fb.block("m");
+        let x = fb.arg(0);
+        fb.switch_to(entry);
+        let c = fb.icmp_sgt(x, V::int(0));
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        let tv = fb.mul(x, V::int(7));
+        fb.br(m);
+        fb.switch_to(e);
+        let ev = fb.mul(x, V::int(7)); // same expr, sibling block
+        fb.br(m);
+        fb.switch_to(m);
+        let p = fb.phi(Type::I64, &[(t, tv), (e, ev)]);
+        fb.ret(Some(p));
+        let mut f = fb.finish();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 0);
+    }
+
+    #[test]
+    fn loads_are_not_cse_candidates() {
+        let mut fb = FunctionBuilder::new("f", &[Type::Ptr], Some(Type::I64));
+        let a = fb.load(Type::I64, fb.arg(0));
+        fb.store(V::int(9), fb.arg(0));
+        let b = fb.load(Type::I64, fb.arg(0)); // must not fold into a
+        let s = fb.add(a, b);
+        fb.ret(Some(s));
+        let mut f = fb.finish();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 0);
+    }
+}

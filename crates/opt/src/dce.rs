@@ -1,0 +1,131 @@
+//! Dead code elimination.
+
+use std::collections::HashSet;
+
+use needle_ir::{Function, InstId, Op, Terminator, Value};
+
+/// Whether an instruction has side effects (must be kept even when unused).
+fn has_side_effects(op: Op) -> bool {
+    matches!(op, Op::Store | Op::Call(_))
+}
+
+/// Remove pure instructions whose results are never used, iterating to a
+/// fixpoint (removing one op can kill its operands). Returns the number of
+/// instructions removed from blocks.
+///
+/// Arena entries are detached from their blocks (the arena itself keeps
+/// stable indices; detached entries are unreachable and ignored by every
+/// consumer).
+pub fn eliminate_dead_code(func: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut used: HashSet<InstId> = HashSet::new();
+        let live_blocks: Vec<_> = func.block_ids().collect();
+        for bb in &live_blocks {
+            for &iid in &func.block(*bb).insts {
+                for a in &func.inst(iid).args {
+                    if let Value::Inst(d) = a {
+                        used.insert(*d);
+                    }
+                }
+            }
+            match &func.block(*bb).term {
+                Terminator::CondBr { cond, .. } => {
+                    if let Value::Inst(d) = cond {
+                        used.insert(*d);
+                    }
+                }
+                Terminator::Ret(Some(Value::Inst(d))) => {
+                    used.insert(*d);
+                }
+                _ => {}
+            }
+        }
+        let mut changed = false;
+        for bb in &live_blocks {
+            let dead: Vec<InstId> = func
+                .block(*bb)
+                .insts
+                .iter()
+                .copied()
+                .filter(|iid| {
+                    let inst = func.inst(*iid);
+                    !has_side_effects(inst.op) && !used.contains(iid)
+                })
+                .collect();
+            if !dead.is_empty() {
+                changed = true;
+                removed += dead.len();
+                func.block_mut(*bb).insts.retain(|i| !dead.contains(i));
+            }
+        }
+        if !changed {
+            return removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::{Type, Value as V};
+
+    #[test]
+    fn removes_unused_chains_transitively() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let x = fb.arg(0);
+        let a = fb.add(x, V::int(1)); // dead
+        let _b = fb.mul(a, V::int(2)); // dead (kills a too)
+        let keep = fb.add(x, V::int(5));
+        fb.ret(Some(keep));
+        let mut f = fb.finish();
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 2);
+        assert_eq!(f.num_insts(), 1);
+        needle_ir::verify::verify_function(&f, None).unwrap();
+    }
+
+    #[test]
+    fn keeps_stores_and_used_values() {
+        let mut fb = FunctionBuilder::new("f", &[Type::Ptr], None);
+        let v = fb.add(V::int(1), V::int(2));
+        fb.store(v, fb.arg(0));
+        fb.ret(None);
+        let mut f = fb.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_eq!(f.num_insts(), 2);
+    }
+
+    #[test]
+    fn keeps_phis_used_by_terminators() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let m = fb.block("m");
+        fb.switch_to(entry);
+        let c = fb.icmp_sgt(fb.arg(0), V::int(0));
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.br(m);
+        fb.switch_to(e);
+        fb.br(m);
+        fb.switch_to(m);
+        let p = fb.phi(Type::I64, &[(t, V::int(1)), (e, V::int(2))]);
+        fb.ret(Some(p));
+        let mut f = fb.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+    }
+
+    #[test]
+    fn unused_loads_are_removed() {
+        // Loads are pure in this IR's memory model (no volatile), so an
+        // unused load is dead.
+        let mut fb = FunctionBuilder::new("f", &[Type::Ptr], Some(Type::I64));
+        let _v = fb.load(Type::I64, fb.arg(0));
+        fb.ret(Some(V::int(0)));
+        let mut f = fb.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! `needle-opt` — classical mid-end optimization passes.
+//!
+//! The paper runs Needle over LLVM-optimized bitcode; this crate provides
+//! the equivalent clean-up passes for the reproduction IR so that profiled
+//! functions (especially after [inlining](needle_ir::inline)) are in the
+//! shape region formation expects:
+//!
+//! * [`constfold`] — constant folding and algebraic identities;
+//! * [`dce`] — dead code elimination (pure ops with no uses);
+//! * [`cse`] — dominance-based common subexpression elimination;
+//! * [`simplify`] — CFG simplification: fold constant branches, thread
+//!   empty forwarding blocks, merge straight-line block pairs, drop
+//!   unreachable blocks;
+//! * [`licm`] — loop-invariant code motion into dedicated preheaders;
+//! * [`pipeline`] — a fixpoint pass manager combining the above.
+//!
+//! Every pass is semantics-preserving (checked by differential tests that
+//! run the full workload suite before and after optimization) and keeps
+//! the function verifier happy.
+
+pub mod constfold;
+pub mod cse;
+pub mod dce;
+pub mod licm;
+pub mod pipeline;
+pub mod simplify;
+
+pub use pipeline::{optimize_function, optimize_module, OptConfig, OptStats};

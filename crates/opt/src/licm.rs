@@ -1,0 +1,189 @@
+//! Loop-invariant code motion.
+//!
+//! Pure instructions whose operands are loop-invariant are hoisted to the
+//! block that enters the loop. Hoisting is speculative but safe: every
+//! pure op in this IR is total (division by zero yields 0), so executing a
+//! hoisted op when the loop body would not have run is unobservable.
+//!
+//! Restriction: hoisting targets loops whose header has exactly one
+//! non-latch predecessor ending in an unconditional branch (a natural
+//! preheader). The workload generator and typical structured code produce
+//! exactly that shape; other loops are left untouched.
+
+use std::collections::HashSet;
+
+use needle_ir::cfg::Cfg;
+use needle_ir::dom::DomTree;
+use needle_ir::loops::LoopForest;
+use needle_ir::{BlockId, Function, InstId, Op, Terminator, Value};
+
+/// Hoist loop-invariant pure instructions. Returns how many were moved.
+pub fn hoist_loop_invariants(func: &mut Function) -> usize {
+    let cfg = Cfg::new(func);
+    let dom = DomTree::new(&cfg);
+    let forest = LoopForest::new(&cfg, &dom);
+    let mut moved = 0;
+    for l in &forest.loops {
+        // Find the natural preheader.
+        let outside_preds: Vec<BlockId> = cfg
+            .preds(l.header)
+            .iter()
+            .copied()
+            .filter(|p| !l.contains(*p))
+            .collect();
+        let [pre] = outside_preds.as_slice() else {
+            continue;
+        };
+        let pre = *pre;
+        if !matches!(func.block(pre).term, Terminator::Br(_)) {
+            continue;
+        }
+
+        // Fixpoint invariant detection.
+        let loop_insts: Vec<(BlockId, InstId)> = l
+            .blocks
+            .iter()
+            .flat_map(|b| func.block(*b).insts.iter().map(move |i| (*b, *i)))
+            .collect();
+        let defined_in_loop: HashSet<InstId> = loop_insts.iter().map(|(_, i)| *i).collect();
+        let mut invariant: HashSet<InstId> = HashSet::new();
+        loop {
+            let mut changed = false;
+            for (_, iid) in &loop_insts {
+                if invariant.contains(iid) {
+                    continue;
+                }
+                let inst = func.inst(*iid);
+                if inst.is_phi() || matches!(inst.op, Op::Load | Op::Store | Op::Call(_)) {
+                    continue;
+                }
+                let ok = inst.args.iter().all(|a| match a {
+                    Value::Const(_) | Value::Arg(_) => true,
+                    Value::Inst(d) => !defined_in_loop.contains(d) || invariant.contains(d),
+                });
+                if ok {
+                    invariant.insert(*iid);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Hoist in program order (defs before uses among hoisted ops).
+        for (bb, iid) in &loop_insts {
+            if invariant.contains(iid) {
+                func.block_mut(*bb).insts.retain(|i| i != iid);
+                func.block_mut(pre).insts.push(*iid);
+                moved += 1;
+            }
+        }
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory, NullSink};
+    use needle_ir::verify::verify_function;
+    use needle_ir::{Constant, Module, Type, Value as V};
+
+    fn loop_with_invariant() -> (Function, Value) {
+        // for i in 0..n { k = arg1 * 7 + 3; s += k + i }
+        let mut fb = FunctionBuilder::new("f", &[Type::I64, Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, V::int(0))]);
+        let s = fb.phi(Type::I64, &[(entry, V::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let k0 = fb.mul(fb.arg(1), V::int(7));
+        let k = fb.add(k0, V::int(3));
+        let ki = fb.add(k, i);
+        let s2 = fb.add(s, ki);
+        let i2 = fb.add(i, V::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(s));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        let s_id = s.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(body);
+        f.inst_mut(s_id).args.push(s2);
+        f.inst_mut(s_id).phi_blocks.push(body);
+        (f, k)
+    }
+
+    fn run(f: &Function, n: i64, a: i64) -> i64 {
+        let mut m = Module::new("t");
+        let id = m.push(f.clone());
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(id, &[Constant::Int(n), Constant::Int(a)], &mut mem, &mut NullSink)
+            .unwrap()
+            .unwrap()
+            .as_int()
+    }
+
+    #[test]
+    fn invariant_chain_hoists_to_preheader() {
+        let (mut f, _k) = loop_with_invariant();
+        let before = run(&f, 10, 2);
+        let moved = hoist_loop_invariants(&mut f);
+        assert_eq!(moved, 2); // k0 and k
+        verify_function(&f, None).unwrap();
+        assert_eq!(run(&f, 10, 2), before);
+        // The entry (preheader) now holds the hoisted ops.
+        assert_eq!(f.block(BlockId(0)).insts.len(), 2);
+        // The body shrank accordingly.
+        assert_eq!(f.block(BlockId(2)).insts.len(), 3);
+    }
+
+    #[test]
+    fn variant_ops_stay_in_the_loop() {
+        let (mut f, _) = loop_with_invariant();
+        hoist_loop_invariants(&mut f);
+        // ki, s2, i2 depend on φs: still inside.
+        let body_ops = f.block(BlockId(2)).insts.len();
+        assert_eq!(body_ops, 3);
+        // Idempotent.
+        assert_eq!(hoist_loop_invariants(&mut f), 0);
+    }
+
+    #[test]
+    fn loads_never_hoist() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, V::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let v = fb.load(Type::I64, V::ptr(64)); // invariant address, but a load
+        fb.store(v, V::ptr(72));
+        let i2 = fb.add(i, V::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(body);
+        assert_eq!(hoist_loop_invariants(&mut f), 0);
+    }
+}

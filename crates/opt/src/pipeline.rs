@@ -1,0 +1,197 @@
+//! The fixpoint pass manager.
+
+use needle_ir::{FuncId, Function, Module};
+
+use crate::constfold::fold_constants;
+use crate::cse::eliminate_common_subexpressions;
+use crate::dce::eliminate_dead_code;
+use crate::licm::hoist_loop_invariants;
+use crate::simplify::simplify_cfg;
+
+/// Which passes to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Constant folding + algebraic identities.
+    pub constfold: bool,
+    /// Dead code elimination.
+    pub dce: bool,
+    /// Common subexpression elimination.
+    pub cse: bool,
+    /// CFG simplification.
+    pub simplify: bool,
+    /// Loop-invariant code motion.
+    pub licm: bool,
+    /// Fixpoint iteration cap.
+    pub max_rounds: usize,
+}
+
+impl Default for OptConfig {
+    fn default() -> OptConfig {
+        OptConfig {
+            constfold: true,
+            dce: true,
+            cse: true,
+            simplify: true,
+            licm: true,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// Pass statistics (summed over all rounds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions folded to constants/identities.
+    pub folded: usize,
+    /// Dead instructions removed.
+    pub dce_removed: usize,
+    /// Subexpressions deduplicated.
+    pub cse_removed: usize,
+    /// CFG rewrites.
+    pub cfg_rewrites: usize,
+    /// Instructions hoisted out of loops.
+    pub licm_hoisted: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+impl OptStats {
+    /// Total rewrites across all passes.
+    pub fn total(&self) -> usize {
+        self.folded + self.dce_removed + self.cse_removed + self.cfg_rewrites + self.licm_hoisted
+    }
+}
+
+/// Optimize one function to a fixpoint (bounded by
+/// [`OptConfig::max_rounds`]).
+pub fn optimize_function(func: &mut Function, cfg: &OptConfig) -> OptStats {
+    let mut stats = OptStats::default();
+    for _ in 0..cfg.max_rounds {
+        let mut round = 0;
+        if cfg.constfold {
+            let n = fold_constants(func);
+            stats.folded += n;
+            round += n;
+        }
+        if cfg.simplify {
+            let n = simplify_cfg(func);
+            stats.cfg_rewrites += n;
+            round += n;
+        }
+        if cfg.cse {
+            let n = eliminate_common_subexpressions(func);
+            stats.cse_removed += n;
+            round += n;
+        }
+        if cfg.licm {
+            let n = hoist_loop_invariants(func);
+            stats.licm_hoisted += n;
+            round += n;
+        }
+        if cfg.dce {
+            let n = eliminate_dead_code(func);
+            stats.dce_removed += n;
+            round += n;
+        }
+        stats.rounds += 1;
+        if round == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+/// Optimize every function of a module. Returns per-function statistics.
+pub fn optimize_module(module: &mut Module, cfg: &OptConfig) -> Vec<(FuncId, OptStats)> {
+    let ids: Vec<FuncId> = module.iter().map(|(id, _)| id).collect();
+    ids.into_iter()
+        .map(|id| {
+            let stats = optimize_function(module.func_mut(id), cfg);
+            (id, stats)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory, NullSink};
+    use needle_ir::verify::verify_module;
+    use needle_ir::{Constant, Type, Value as V};
+
+    #[test]
+    fn pipeline_reaches_fixpoint_and_preserves_semantics() {
+        // Redundant, constant-heavy, branchy code.
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let m = fb.block("m");
+        let x = fb.arg(0);
+        fb.switch_to(entry);
+        let k = fb.add(V::int(20), V::int(22)); // 42
+        let a = fb.mul(x, V::int(3));
+        let b = fb.mul(x, V::int(3)); // CSE victim
+        let c = fb.icmp_sgt(k, V::int(0)); // constant-true branch
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        let tv = fb.add(a, b);
+        fb.br(m);
+        fb.switch_to(e);
+        fb.br(m);
+        fb.switch_to(m);
+        let p = fb.phi(Type::I64, &[(t, tv), (e, V::int(0))]);
+        let dead = fb.mul(p, V::int(0)); // folds to 0, then dies
+        let _ = fb.add(dead, V::int(1)); // dead
+        let r = fb.add(p, k);
+        fb.ret(Some(r));
+        let f = fb.finish();
+        let mut module = needle_ir::Module::new("t");
+        let id = module.push(f);
+        let run = |m: &needle_ir::Module| {
+            let mut mem = Memory::new();
+            Interp::new(m)
+                .run(id, &[Constant::Int(5)], &mut mem, &mut NullSink)
+                .unwrap()
+                .unwrap()
+                .as_int()
+        };
+        let before = run(&module);
+        let stats = optimize_module(&mut module, &OptConfig::default())
+            .pop()
+            .unwrap()
+            .1;
+        verify_module(&module).unwrap();
+        assert_eq!(run(&module), before);
+        assert!(stats.folded >= 2, "{stats:?}");
+        assert!(stats.cse_removed >= 1, "{stats:?}");
+        // CSE dedups identical dead markers before DCE sees them, so DCE
+        // only needs to collect the survivor.
+        assert!(stats.dce_removed >= 1, "{stats:?}");
+        assert!(stats.cfg_rewrites >= 1, "{stats:?}");
+        assert!(stats.total() > 6);
+        // After everything, the function is a straight line.
+        let f = module.func(id);
+        assert_eq!(f.num_cond_branches(), 0);
+    }
+
+    #[test]
+    fn disabled_passes_do_nothing() {
+        let mut fb = FunctionBuilder::new("f", &[], Some(Type::I64));
+        let k = fb.add(V::int(1), V::int(2));
+        fb.ret(Some(k));
+        let mut f = fb.finish();
+        let cfg = OptConfig {
+            constfold: false,
+            dce: false,
+            cse: false,
+            simplify: false,
+            licm: false,
+            max_rounds: 4,
+        };
+        let stats = optimize_function(&mut f, &cfg);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(f.num_insts(), 1);
+    }
+}

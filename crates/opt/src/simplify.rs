@@ -1,0 +1,392 @@
+//! CFG simplification: constant-branch folding, empty-block threading,
+//! straight-line block merging, unreachable-block pruning.
+//!
+//! Block ids stay stable: pruned blocks become empty husks with an
+//! [`Terminator::Unreachable`] terminator rather than being renumbered.
+
+use needle_ir::cfg::Cfg;
+use needle_ir::{BlockId, Constant, Function, Terminator, Value};
+
+use crate::constfold::replace_all_uses;
+
+/// Run all CFG simplifications to a fixpoint. Returns the number of
+/// rewrites performed.
+pub fn simplify_cfg(func: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let mut changed = 0;
+        changed += fold_constant_branches(func);
+        changed += resolve_single_incoming_phis(func);
+        changed += thread_empty_blocks(func);
+        changed += merge_straightline_pairs(func);
+        changed += prune_unreachable(func);
+        if changed == 0 {
+            return total;
+        }
+        total += changed;
+    }
+}
+
+/// `br const, A, B` → `br A` (or `br B`); `br c, A, A` → `br A`.
+fn fold_constant_branches(func: &mut Function) -> usize {
+    let mut n = 0;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        let Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = func.block(bb).term
+        else {
+            continue;
+        };
+        let target = if then_bb == else_bb {
+            Some((then_bb, None))
+        } else if let Some(Constant::Int(c)) = cond.as_const() {
+            let (taken, dropped) = if c != 0 {
+                (then_bb, else_bb)
+            } else {
+                (else_bb, then_bb)
+            };
+            Some((taken, Some(dropped)))
+        } else {
+            None
+        };
+        if let Some((taken, dropped)) = target {
+            func.block_mut(bb).term = Terminator::Br(taken);
+            if let Some(d) = dropped {
+                remove_phi_incoming(func, d, bb);
+            }
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Remove the `pred` incoming entry of every φ in `bb`.
+fn remove_phi_incoming(func: &mut Function, bb: BlockId, pred: BlockId) {
+    let insts = func.block(bb).insts.clone();
+    for iid in insts {
+        let inst = func.inst_mut(iid);
+        if !inst.is_phi() {
+            break;
+        }
+        if let Some(pos) = inst.phi_blocks.iter().position(|p| *p == pred) {
+            inst.args.remove(pos);
+            inst.phi_blocks.remove(pos);
+        }
+    }
+}
+
+/// φ with exactly one incoming value becomes a copy of that value.
+fn resolve_single_incoming_phis(func: &mut Function) -> usize {
+    let cfg = Cfg::new(func);
+    let reachable = cfg.reachable();
+    let mut n = 0;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        if !reachable[bb.index()] {
+            continue;
+        }
+        let phis: Vec<_> = func
+            .block(bb)
+            .insts
+            .iter()
+            .copied()
+            .filter(|i| func.inst(*i).is_phi())
+            .collect();
+        for iid in phis {
+            // Keep only incomings from actual (reachable) predecessors.
+            let preds = cfg.preds(bb);
+            let inst = func.inst(iid);
+            let live: Vec<(BlockId, Value)> = inst
+                .phi_blocks
+                .iter()
+                .zip(&inst.args)
+                .filter(|(p, _)| preds.contains(p) && reachable[p.index()])
+                .map(|(p, v)| (*p, *v))
+                .collect();
+            if live.len() == 1 {
+                let v = live[0].1;
+                if v == Value::Inst(iid) {
+                    continue; // degenerate self-reference
+                }
+                replace_all_uses(func, iid, v);
+                func.block_mut(bb).insts.retain(|i| *i != iid);
+                n += 1;
+            } else if live.len() < inst.phi_blocks.len() {
+                let inst = func.inst_mut(iid);
+                inst.args = live.iter().map(|(_, v)| *v).collect();
+                inst.phi_blocks = live.iter().map(|(p, _)| *p).collect();
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Retarget jumps through empty `br`-only blocks directly to their
+/// destination (when φs permit).
+fn thread_empty_blocks(func: &mut Function) -> usize {
+    let cfg = Cfg::new(func);
+    let n = 0;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        if bb == func.entry() || !func.block(bb).insts.is_empty() {
+            continue;
+        }
+        let Terminator::Br(dest) = func.block(bb).term else {
+            continue;
+        };
+        if dest == bb {
+            continue; // empty self-loop
+        }
+        let preds: Vec<BlockId> = cfg.preds(bb).to_vec();
+        if preds.is_empty() {
+            continue;
+        }
+        // φs in `dest` must be mergeable: threading replaces the incoming
+        // from `bb` with incomings from each pred. If `dest` already has an
+        // incoming from some pred, skip (would need value merging).
+        let dest_has_conflict = func.block(dest).insts.iter().any(|iid| {
+            let inst = func.inst(*iid);
+            inst.is_phi() && preds.iter().any(|p| inst.phi_blocks.contains(p))
+        });
+        if dest_has_conflict {
+            continue;
+        }
+        // Rewrite dest φs: duplicate bb's incoming for each pred.
+        let dest_insts = func.block(dest).insts.clone();
+        for iid in dest_insts {
+            let inst = func.inst_mut(iid);
+            if !inst.is_phi() {
+                break;
+            }
+            if let Some(pos) = inst.phi_blocks.iter().position(|p| *p == bb) {
+                let v = inst.args[pos];
+                inst.args.remove(pos);
+                inst.phi_blocks.remove(pos);
+                for p in &preds {
+                    inst.args.push(v);
+                    inst.phi_blocks.push(*p);
+                }
+            }
+        }
+        for p in preds {
+            func.block_mut(p).term.retarget(bb, dest);
+        }
+        func.block_mut(bb).term = Terminator::Unreachable;
+        // The CFG snapshot is stale after a rewrite; let the fixpoint
+        // driver re-run this pass with fresh adjacency.
+        return n + 1;
+    }
+    n
+}
+
+/// Merge `B -> C` when `B` ends in `br C` and `C`'s only predecessor is `B`.
+fn merge_straightline_pairs(func: &mut Function) -> usize {
+    let cfg = Cfg::new(func);
+    let n = 0;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        let Terminator::Br(c) = func.block(bb).term else {
+            continue;
+        };
+        if c == bb || c == func.entry() || cfg.preds(c) != [bb] {
+            continue;
+        }
+        // C's φs have a single incoming (from B); resolve them first.
+        let c_phis: Vec<_> = func
+            .block(c)
+            .insts
+            .iter()
+            .copied()
+            .filter(|i| func.inst(*i).is_phi())
+            .collect();
+        for iid in c_phis {
+            let Some(v) = func.inst(iid).phi_incoming(bb) else {
+                continue;
+            };
+            if v == Value::Inst(iid) {
+                continue;
+            }
+            replace_all_uses(func, iid, v);
+            func.block_mut(c).insts.retain(|i| *i != iid);
+        }
+        // Move C's body into B; adopt C's terminator.
+        let c_insts = std::mem::take(&mut func.block_mut(c).insts);
+        func.block_mut(bb).insts.extend(c_insts);
+        let c_term = std::mem::replace(&mut func.block_mut(c).term, Terminator::Unreachable);
+        func.block_mut(bb).term = c_term;
+        // Successors' φs that named C as a predecessor now see B.
+        for succ in func.block(bb).term.successors() {
+            let insts = func.block(succ).insts.clone();
+            for iid in insts {
+                let inst = func.inst_mut(iid);
+                if !inst.is_phi() {
+                    break;
+                }
+                for p in &mut inst.phi_blocks {
+                    if *p == c {
+                        *p = bb;
+                    }
+                }
+            }
+        }
+        // Adjacency is stale after a merge; defer further merges to the
+        // next fixpoint round.
+        return n + 1;
+    }
+    n
+}
+
+/// Empty unreachable blocks and scrub their φ incomings.
+fn prune_unreachable(func: &mut Function) -> usize {
+    let cfg = Cfg::new(func);
+    let reachable = cfg.reachable();
+    let mut n = 0;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        if reachable[bb.index()] {
+            continue;
+        }
+        let block = func.block_mut(bb);
+        if block.insts.is_empty() && matches!(block.term, Terminator::Unreachable) {
+            continue; // already a husk
+        }
+        block.insts.clear();
+        block.term = Terminator::Unreachable;
+        n += 1;
+        // Remove φ incomings that named this block.
+        for other in func.block_ids().collect::<Vec<_>>() {
+            remove_phi_incoming(func, other, bb);
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory, NullSink};
+    use needle_ir::verify::verify_function;
+    use needle_ir::{Module, Type, Value as V};
+
+    fn run(f: &Function, x: i64) -> i64 {
+        let mut m = Module::new("t");
+        let id = m.push(f.clone());
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(id, &[needle_ir::Constant::Int(x)], &mut mem, &mut NullSink)
+            .unwrap()
+            .unwrap()
+            .as_int()
+    }
+
+    #[test]
+    fn constant_branch_folds_and_dead_arm_prunes() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let m = fb.block("m");
+        fb.switch_to(entry);
+        fb.cond_br(V::int(1), t, e);
+        fb.switch_to(t);
+        let tv = fb.add(fb.arg(0), V::int(10));
+        fb.br(m);
+        fb.switch_to(e);
+        let ev = fb.add(fb.arg(0), V::int(20));
+        fb.br(m);
+        fb.switch_to(m);
+        let p = fb.phi(Type::I64, &[(t, tv), (e, ev)]);
+        fb.ret(Some(p));
+        let mut f = fb.finish();
+        let before = run(&f, 5);
+        let changed = simplify_cfg(&mut f);
+        assert!(changed >= 2, "changed {changed}");
+        verify_function(&f, None).unwrap();
+        assert_eq!(run(&f, 5), before);
+        // The else arm is a husk now.
+        assert!(matches!(f.block(e).term, Terminator::Unreachable));
+        assert!(f.block(e).insts.is_empty());
+    }
+
+    #[test]
+    fn empty_block_threading_preserves_phis() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let t = fb.block("t"); // empty forwarder
+        let e = fb.block("e");
+        let m = fb.block("m");
+        fb.switch_to(entry);
+        let c = fb.icmp_sgt(fb.arg(0), V::int(0));
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.br(m);
+        fb.switch_to(e);
+        let ev = fb.add(fb.arg(0), V::int(2));
+        fb.br(m);
+        fb.switch_to(m);
+        let p = fb.phi(Type::I64, &[(t, V::int(100)), (e, ev)]);
+        fb.ret(Some(p));
+        let mut f = fb.finish();
+        assert_eq!(run(&f, 1), 100);
+        assert_eq!(run(&f, -1), 1);
+        simplify_cfg(&mut f);
+        verify_function(&f, None).unwrap();
+        assert_eq!(run(&f, 1), 100);
+        assert_eq!(run(&f, -1), 1);
+    }
+
+    #[test]
+    fn straightline_blocks_merge() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let b1 = fb.block("b1");
+        let b2 = fb.block("b2");
+        fb.switch_to(entry);
+        let a = fb.add(fb.arg(0), V::int(1));
+        fb.br(b1);
+        fb.switch_to(b1);
+        let b = fb.mul(a, V::int(2));
+        fb.br(b2);
+        fb.switch_to(b2);
+        let c = fb.sub(b, V::int(3));
+        fb.ret(Some(c));
+        let mut f = fb.finish();
+        let before = run(&f, 10);
+        let changed = simplify_cfg(&mut f);
+        assert!(changed >= 2);
+        verify_function(&f, None).unwrap();
+        assert_eq!(run(&f, 10), before);
+        // Everything lives in the entry block now.
+        assert_eq!(f.block(entry).insts.len(), 3);
+        assert!(matches!(f.block(entry).term, Terminator::Ret(_)));
+    }
+
+    #[test]
+    fn loops_survive_simplification() {
+        // head/body/latch loop: nothing should break.
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, V::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.add(i, V::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(body);
+        let before = run(&f, 7);
+        simplify_cfg(&mut f);
+        verify_function(&f, None).unwrap();
+        assert_eq!(run(&f, 7), before);
+    }
+}

@@ -1,0 +1,463 @@
+//! Ball-Larus path numbering (Ball & Larus, MICRO 1996).
+//!
+//! The CFG is converted to a DAG by removing loop back edges and adding
+//! *fake* edges: one from a virtual ENTRY to each back-edge target, and one
+//! from each back-edge source to a virtual EXIT. Every acyclic execution
+//! segment then corresponds to exactly one ENTRY→EXIT path in the DAG, and
+//! dynamic programming assigns each path a dense id in `0..num_paths`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use needle_ir::cfg::Cfg;
+use needle_ir::{BlockId, Function};
+
+/// An edge of the Ball-Larus DAG.
+///
+/// Virtual ENTRY/EXIT nodes are implicit: `EntryTo(b)` leaves ENTRY,
+/// `ToExit(b)` reaches EXIT. `EntryTo(entry_block)` exists always;
+/// `EntryTo(t)` for each back-edge target `t`. `ToExit(b)` exists for `Ret`
+/// blocks and back-edge sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DagEdge {
+    /// ENTRY → block (real function entry, or fake edge to a back-edge
+    /// target).
+    EntryTo(BlockId),
+    /// A real CFG edge that is not a back edge.
+    Real(BlockId, BlockId),
+    /// block → EXIT (a `Ret` block, or fake edge from a back-edge source).
+    ToExit(BlockId),
+}
+
+impl fmt::Display for DagEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagEdge::EntryTo(b) => write!(f, "ENTRY->{b}"),
+            DagEdge::Real(a, b) => write!(f, "{a}->{b}"),
+            DagEdge::ToExit(b) => write!(f, "{b}->EXIT"),
+        }
+    }
+}
+
+/// Errors from numbering construction or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlError {
+    /// The number of paths overflowed `u64`.
+    TooManyPaths,
+    /// A path id outside `0..num_paths` was decoded.
+    BadPathId(u64),
+    /// A runtime edge was observed that the numbering does not know
+    /// (malformed trace or wrong function).
+    UnknownEdge(BlockId, BlockId),
+}
+
+impl fmt::Display for BlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlError::TooManyPaths => write!(f, "path count overflows u64"),
+            BlError::BadPathId(id) => write!(f, "path id {id} out of range"),
+            BlError::UnknownEdge(a, b) => write!(f, "edge {a}->{b} unknown to the numbering"),
+        }
+    }
+}
+
+impl std::error::Error for BlError {}
+
+/// The Ball-Larus numbering of one function.
+#[derive(Debug, Clone)]
+pub struct BlNumbering {
+    num_paths: u64,
+    /// Edge increment values.
+    val: HashMap<DagEdge, u64>,
+    /// Ordered outgoing DAG edges per block (ascending `val`).
+    succ: Vec<Vec<DagEdge>>,
+    /// Ordered outgoing edges of the virtual ENTRY node.
+    entry_succ: Vec<DagEdge>,
+    /// Back edges removed from the CFG.
+    back_edges: Vec<(BlockId, BlockId)>,
+    /// Per-path-start cache for the runtime: increment on function entry.
+    enter_val: u64,
+}
+
+impl BlNumbering {
+    /// Build the numbering for `func`.
+    ///
+    /// # Errors
+    /// Fails with [`BlError::TooManyPaths`] when the function has more than
+    /// `u64::MAX` acyclic paths.
+    pub fn new(func: &Function) -> Result<BlNumbering, BlError> {
+        let cfg = Cfg::new(func);
+        Self::from_cfg(func, &cfg)
+    }
+
+    /// Build the numbering from a precomputed CFG.
+    ///
+    /// # Errors
+    /// Fails with [`BlError::TooManyPaths`] on path-count overflow.
+    pub fn from_cfg(func: &Function, cfg: &Cfg) -> Result<BlNumbering, BlError> {
+        let n = cfg.len();
+        let back: Vec<(BlockId, BlockId)> = cfg
+            .back_edges()
+            .into_iter()
+            .map(|e| (e.from, e.to))
+            .collect();
+        let is_back = |a: BlockId, b: BlockId| back.contains(&(a, b));
+
+        // DAG adjacency per block (dedup parallel edges).
+        let mut succ: Vec<Vec<DagEdge>> = vec![Vec::new(); n];
+        let reachable = cfg.reachable();
+        for b in func.block_ids() {
+            if !reachable[b.index()] {
+                continue;
+            }
+            let mut out = Vec::new();
+            for &s in cfg.succs(b) {
+                if is_back(b, s) {
+                    continue;
+                }
+                let e = DagEdge::Real(b, s);
+                if !out.contains(&e) {
+                    out.push(e);
+                }
+            }
+            if back.iter().any(|(src, _)| *src == b) {
+                out.push(DagEdge::ToExit(b));
+            }
+            if cfg.exits().contains(&b) {
+                let e = DagEdge::ToExit(b);
+                if !out.contains(&e) {
+                    out.push(e);
+                }
+            }
+            succ[b.index()] = out;
+        }
+        // ENTRY successors: real entry first, then fake edges to back-edge
+        // targets (sorted, dedup).
+        let mut entry_succ = vec![DagEdge::EntryTo(func.entry())];
+        let mut targets: Vec<BlockId> = back.iter().map(|(_, t)| *t).collect();
+        targets.sort();
+        targets.dedup();
+        for t in targets {
+            let e = DagEdge::EntryTo(t);
+            if !entry_succ.contains(&e) {
+                entry_succ.push(e);
+            }
+        }
+
+        // NumPaths by reverse topological order of the DAG (blocks only;
+        // EXIT has NumPaths 1). The DAG restricted to real edges is acyclic,
+        // so a DFS post-order from each root works; simpler: Kahn-style
+        // iteration over real edges.
+        let mut order: Vec<BlockId> = Vec::with_capacity(n);
+        {
+            let mut indeg = vec![0usize; n];
+            for b in 0..n {
+                for e in &succ[b] {
+                    if let DagEdge::Real(_, t) = e {
+                        indeg[t.index()] += 1;
+                    }
+                }
+            }
+            let mut stack: Vec<BlockId> = (0..n)
+                .filter(|b| reachable[*b] && indeg[*b] == 0)
+                .map(|b| BlockId(b as u32))
+                .collect();
+            while let Some(b) = stack.pop() {
+                order.push(b);
+                for e in &succ[b.index()] {
+                    if let DagEdge::Real(_, t) = e {
+                        indeg[t.index()] -= 1;
+                        if indeg[t.index()] == 0 {
+                            stack.push(*t);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut num_paths_of: Vec<u64> = vec![0; n];
+        let mut val: HashMap<DagEdge, u64> = HashMap::new();
+        for &b in order.iter().rev() {
+            let mut total: u64 = 0;
+            for e in &succ[b.index()] {
+                val.insert(*e, total);
+                let np = match e {
+                    DagEdge::Real(_, t) => num_paths_of[t.index()],
+                    DagEdge::ToExit(_) => 1,
+                    DagEdge::EntryTo(_) => unreachable!("blocks have no entry edges"),
+                };
+                total = total.checked_add(np).ok_or(BlError::TooManyPaths)?;
+            }
+            num_paths_of[b.index()] = total;
+        }
+        let mut total: u64 = 0;
+        for e in &entry_succ {
+            val.insert(*e, total);
+            let t = match e {
+                DagEdge::EntryTo(t) => *t,
+                _ => unreachable!(),
+            };
+            total = total
+                .checked_add(num_paths_of[t.index()])
+                .ok_or(BlError::TooManyPaths)?;
+        }
+
+        let enter_val = val[&DagEdge::EntryTo(func.entry())];
+        Ok(BlNumbering {
+            num_paths: total,
+            val,
+            succ,
+            entry_succ,
+            back_edges: back,
+            enter_val,
+        })
+    }
+
+    /// Total number of acyclic paths (path ids are `0..num_paths`).
+    pub fn num_paths(&self) -> u64 {
+        self.num_paths
+    }
+
+    /// The back edges removed during DAG construction.
+    pub fn back_edges(&self) -> &[(BlockId, BlockId)] {
+        &self.back_edges
+    }
+
+    /// Whether `(from, to)` is a removed back edge.
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.back_edges.contains(&(from, to))
+    }
+
+    /// The increment applied when execution enters the function.
+    pub fn enter_increment(&self) -> u64 {
+        self.enter_val
+    }
+
+    /// The increment for traversing the real edge `from -> to`.
+    ///
+    /// # Errors
+    /// Fails if the edge is unknown (e.g. it is a back edge).
+    pub fn edge_increment(&self, from: BlockId, to: BlockId) -> Result<u64, BlError> {
+        self.val
+            .get(&DagEdge::Real(from, to))
+            .copied()
+            .ok_or(BlError::UnknownEdge(from, to))
+    }
+
+    /// The increment for ending a path at `block` (fake back-edge exit or a
+    /// real `Ret`).
+    ///
+    /// # Errors
+    /// Fails if `block` has no edge to EXIT.
+    pub fn exit_increment(&self, block: BlockId) -> Result<u64, BlError> {
+        self.val
+            .get(&DagEdge::ToExit(block))
+            .copied()
+            .ok_or(BlError::UnknownEdge(block, block))
+    }
+
+    /// The increment for restarting a path at back-edge target `block`.
+    ///
+    /// # Errors
+    /// Fails if `block` is not a back-edge target (no fake ENTRY edge).
+    pub fn restart_increment(&self, block: BlockId) -> Result<u64, BlError> {
+        self.val
+            .get(&DagEdge::EntryTo(block))
+            .copied()
+            .ok_or(BlError::UnknownEdge(block, block))
+    }
+
+    /// Decode a path id into its basic-block sequence.
+    ///
+    /// # Errors
+    /// Fails with [`BlError::BadPathId`] when `id >= num_paths()`.
+    pub fn decode(&self, id: u64) -> Result<Vec<BlockId>, BlError> {
+        if id >= self.num_paths {
+            return Err(BlError::BadPathId(id));
+        }
+        let mut rem = id;
+        // Choose the ENTRY edge: last edge with val <= rem.
+        let first = *pick(&self.entry_succ, &self.val, rem);
+        rem -= self.val[&first];
+        let mut cur = match first {
+            DagEdge::EntryTo(b) => b,
+            _ => unreachable!(),
+        };
+        let mut blocks = vec![cur];
+        loop {
+            let edges = &self.succ[cur.index()];
+            debug_assert!(!edges.is_empty(), "DAG path must reach EXIT");
+            let e = *pick(edges, &self.val, rem);
+            rem -= self.val[&e];
+            match e {
+                DagEdge::Real(_, t) => {
+                    blocks.push(t);
+                    cur = t;
+                }
+                DagEdge::ToExit(_) => {
+                    debug_assert_eq!(rem, 0, "leftover id after reaching EXIT");
+                    return Ok(blocks);
+                }
+                DagEdge::EntryTo(_) => unreachable!(),
+            }
+        }
+    }
+
+    /// Encode a block sequence into its path id (inverse of [`decode`]).
+    ///
+    /// The sequence must be a valid acyclic path: it must start at the
+    /// function entry or a back-edge target, follow real non-back edges and
+    /// end at a `Ret` block or a back-edge source.
+    ///
+    /// # Errors
+    /// Fails with [`BlError::UnknownEdge`] if the sequence walks an edge the
+    /// DAG does not contain.
+    ///
+    /// [`decode`]: BlNumbering::decode
+    pub fn encode(&self, blocks: &[BlockId]) -> Result<u64, BlError> {
+        let first = blocks
+            .first()
+            .copied()
+            .ok_or(BlError::BadPathId(u64::MAX))?;
+        let mut id = self.restart_increment(first)?;
+        for w in blocks.windows(2) {
+            id += self.edge_increment(w[0], w[1])?;
+        }
+        id += self.exit_increment(*blocks.last().expect("nonempty"))?;
+        Ok(id)
+    }
+}
+
+/// Last edge in `edges` (ascending by val) whose val is `<= rem`.
+fn pick<'e>(edges: &'e [DagEdge], val: &HashMap<DagEdge, u64>, rem: u64) -> &'e DagEdge {
+    edges
+        .iter()
+        .rev()
+        .find(|e| val[*e] <= rem)
+        .expect("id in range implies a feasible edge")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::{Type, Value};
+
+    /// The classic BL example: entry -> {b|c} -> d -> {e|f} -> exit.
+    fn double_diamond() -> Function {
+        let mut fb = FunctionBuilder::new("dd", &[Type::I64], None);
+        let entry = fb.entry();
+        let b = fb.block("b");
+        let c = fb.block("c");
+        let d = fb.block("d");
+        let e = fb.block("e");
+        let f = fb.block("f");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        let c1 = fb.icmp_sgt(fb.arg(0), Value::int(0));
+        fb.cond_br(c1, b, c);
+        fb.switch_to(b);
+        fb.br(d);
+        fb.switch_to(c);
+        fb.br(d);
+        fb.switch_to(d);
+        let c2 = fb.icmp_sgt(fb.arg(0), Value::int(10));
+        fb.cond_br(c2, e, f);
+        fb.switch_to(e);
+        fb.br(exit);
+        fb.switch_to(f);
+        fb.br(exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    fn looped() -> Function {
+        // entry -> head; head -> {body|exit}; body -> head (back edge)
+        let mut fb = FunctionBuilder::new("loop", &[Type::I64], None);
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let c = fb.icmp_slt(fb.arg(0), Value::int(4));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn double_diamond_has_four_paths() {
+        let f = double_diamond();
+        let bl = BlNumbering::new(&f).unwrap();
+        assert_eq!(bl.num_paths(), 4);
+        // Every id decodes to a distinct path which re-encodes to itself.
+        let mut seen = Vec::new();
+        for id in 0..4 {
+            let blocks = bl.decode(id).unwrap();
+            assert_eq!(blocks.len(), 5); // entry, {b|c}, d, {e|f}, exit
+            assert_eq!(blocks[0], BlockId(0));
+            assert_eq!(*blocks.last().unwrap(), BlockId(6));
+            assert!(!seen.contains(&blocks));
+            assert_eq!(bl.encode(&blocks).unwrap(), id);
+            seen.push(blocks);
+        }
+        assert!(bl.decode(4).is_err());
+    }
+
+    #[test]
+    fn loop_function_paths() {
+        let f = looped();
+        let bl = BlNumbering::new(&f).unwrap();
+        // Paths: entry-head-body (fake exit), entry-head-exit,
+        //        head-body (restart after back edge), head-exit (restart).
+        assert_eq!(bl.num_paths(), 4);
+        assert_eq!(bl.back_edges(), &[(BlockId(2), BlockId(1))]);
+        assert!(bl.is_back_edge(BlockId(2), BlockId(1)));
+        assert!(!bl.is_back_edge(BlockId(1), BlockId(2)));
+        // All ids round-trip.
+        for id in 0..bl.num_paths() {
+            let blocks = bl.decode(id).unwrap();
+            assert_eq!(bl.encode(&blocks).unwrap(), id);
+        }
+        // The restart increment for the loop head is a valid operation.
+        bl.restart_increment(BlockId(1)).unwrap();
+        // The loop body is a back-edge source, so it can end a path.
+        bl.exit_increment(BlockId(2)).unwrap();
+        // The loop exit ends paths via its Ret.
+        bl.exit_increment(BlockId(3)).unwrap();
+        // entry cannot end a path
+        assert!(bl.exit_increment(BlockId(0)).is_err());
+        // body is not a back-edge target
+        assert!(bl.restart_increment(BlockId(2)).is_err());
+        // the back edge has no increment
+        assert!(bl.edge_increment(BlockId(2), BlockId(1)).is_err());
+    }
+
+    #[test]
+    fn single_block_function() {
+        let mut fb = FunctionBuilder::new("one", &[], None);
+        fb.ret(None);
+        let f = fb.finish();
+        let bl = BlNumbering::new(&f).unwrap();
+        assert_eq!(bl.num_paths(), 1);
+        assert_eq!(bl.decode(0).unwrap(), vec![BlockId(0)]);
+        assert_eq!(bl.encode(&[BlockId(0)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn ids_are_dense_and_distinct() {
+        let f = double_diamond();
+        let bl = BlNumbering::new(&f).unwrap();
+        let mut ids: Vec<u64> = (0..bl.num_paths())
+            .map(|id| bl.encode(&bl.decode(id).unwrap()).unwrap())
+            .collect();
+        ids.sort();
+        assert_eq!(ids, (0..bl.num_paths()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,370 @@
+//! Online profilers: trace sinks that observe interpreter execution.
+
+use std::collections::HashMap;
+
+use needle_ir::interp::TraceSink;
+use needle_ir::{BlockId, FuncId, Module};
+
+use crate::bl::BlNumbering;
+
+/// The Ball-Larus path profile of one function.
+#[derive(Debug, Clone, Default)]
+pub struct PathProfile {
+    /// `path id -> execution count`.
+    pub counts: HashMap<u64, u64>,
+    /// Sequence of completed path ids in execution order (the *path trace*
+    /// used by §IV-A target expansion). Only recorded when tracing is on.
+    pub trace: Vec<u64>,
+}
+
+impl PathProfile {
+    /// Total completed paths.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct executed paths (Table II column C1).
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Collects Ball-Larus path profiles for every function in a module.
+///
+/// Implements [`TraceSink`]; feed it to
+/// [`Interp::run`](needle_ir::interp::Interp::run).
+#[derive(Debug)]
+pub struct PathProfiler {
+    numberings: HashMap<FuncId, BlNumbering>,
+    profiles: HashMap<FuncId, PathProfile>,
+    /// Per-invocation register stack: `(func, r, last_block)`.
+    stack: Vec<(FuncId, u64, BlockId)>,
+    record_trace: bool,
+    /// Cap on recorded trace length per function (0 = unlimited).
+    pub trace_limit: usize,
+}
+
+impl PathProfiler {
+    /// Build numberings for every function of `module`. Functions whose
+    /// path count overflows are skipped (they are never offload candidates).
+    pub fn new(module: &Module) -> PathProfiler {
+        let mut numberings = HashMap::new();
+        for (id, f) in module.iter() {
+            if let Ok(bl) = BlNumbering::new(f) {
+                numberings.insert(id, bl);
+            }
+        }
+        PathProfiler {
+            numberings,
+            profiles: HashMap::new(),
+            stack: Vec::new(),
+            record_trace: false,
+            trace_limit: 4_000_000,
+        }
+    }
+
+    /// Enable path-trace recording (needed for target expansion, Table III).
+    pub fn with_trace(mut self) -> PathProfiler {
+        self.record_trace = true;
+        self
+    }
+
+    /// The numbering for `func`, if it was constructible.
+    pub fn numbering(&self, func: FuncId) -> Option<&BlNumbering> {
+        self.numberings.get(&func)
+    }
+
+    /// The collected profile for `func` (empty profile if never executed).
+    pub fn profile(&self, func: FuncId) -> PathProfile {
+        self.profiles.get(&func).cloned().unwrap_or_default()
+    }
+
+    /// All profiled functions.
+    pub fn functions(&self) -> impl Iterator<Item = FuncId> + '_ {
+        self.profiles.keys().copied()
+    }
+
+    fn complete(&mut self, func: FuncId, id: u64) {
+        let p = self.profiles.entry(func).or_default();
+        *p.counts.entry(id).or_insert(0) += 1;
+        if self.record_trace && (self.trace_limit == 0 || p.trace.len() < self.trace_limit) {
+            p.trace.push(id);
+        }
+    }
+}
+
+impl TraceSink for PathProfiler {
+    fn enter(&mut self, func: FuncId) {
+        let r = self
+            .numberings
+            .get(&func)
+            .map(|n| n.enter_increment())
+            .unwrap_or(0);
+        self.stack.push((func, r, BlockId(0)));
+    }
+
+    fn exit(&mut self, func: FuncId) {
+        let Some((f, r, last)) = self.stack.pop() else {
+            return;
+        };
+        debug_assert_eq!(f, func, "unbalanced enter/exit events");
+        if let Some(n) = self.numberings.get(&func) {
+            if let Ok(inc) = n.exit_increment(last) {
+                self.complete(func, r + inc);
+            }
+        }
+    }
+
+    fn block(&mut self, _func: FuncId, bb: BlockId) {
+        if let Some(top) = self.stack.last_mut() {
+            top.2 = bb;
+        }
+    }
+
+    fn edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        let Some(n) = self.numberings.get(&func) else {
+            return;
+        };
+        let Some(top) = self.stack.last_mut() else {
+            return;
+        };
+        debug_assert_eq!(top.0, func);
+        if n.is_back_edge(from, to) {
+            let exit_inc = n
+                .exit_increment(from)
+                .expect("back-edge source has a fake exit edge");
+            let id = top.1 + exit_inc;
+            let restart = n
+                .restart_increment(to)
+                .expect("back-edge target has a fake entry edge");
+            top.1 = restart;
+            self.complete(func, id);
+        } else if let Ok(inc) = n.edge_increment(from, to) {
+            let top = self.stack.last_mut().expect("checked above");
+            top.1 += inc;
+        }
+    }
+}
+
+/// Edge and block execution counts for every function in a module.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeProfile {
+    /// `(from, to) -> traversal count`.
+    pub edges: HashMap<(BlockId, BlockId), u64>,
+    /// `block -> execution count`.
+    pub blocks: HashMap<BlockId, u64>,
+}
+
+impl EdgeProfile {
+    /// Count for edge `from -> to` (0 if never traversed).
+    pub fn edge(&self, from: BlockId, to: BlockId) -> u64 {
+        self.edges.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Count for `block` (0 if never executed).
+    pub fn block(&self, bb: BlockId) -> u64 {
+        self.blocks.get(&bb).copied().unwrap_or(0)
+    }
+
+    /// The hotter successor of `from` among the recorded out-edges, with its
+    /// count. Ties break toward the smaller block id.
+    pub fn hottest_successor(&self, from: BlockId) -> Option<(BlockId, u64)> {
+        self.edges
+            .iter()
+            .filter(|((f, _), _)| *f == from)
+            .map(|((_, t), c)| (*t, *c))
+            .max_by_key(|(t, c)| (*c, std::cmp::Reverse(*t)))
+    }
+}
+
+/// Collects edge/block profiles per function.
+#[derive(Debug, Default)]
+pub struct EdgeProfiler {
+    profiles: HashMap<FuncId, EdgeProfile>,
+}
+
+impl EdgeProfiler {
+    /// An empty edge profiler.
+    pub fn new() -> EdgeProfiler {
+        EdgeProfiler::default()
+    }
+
+    /// The profile of `func` (empty if never executed).
+    pub fn profile(&self, func: FuncId) -> EdgeProfile {
+        self.profiles.get(&func).cloned().unwrap_or_default()
+    }
+
+    /// Shared access without cloning.
+    pub fn profile_ref(&self, func: FuncId) -> Option<&EdgeProfile> {
+        self.profiles.get(&func)
+    }
+}
+
+impl TraceSink for EdgeProfiler {
+    fn block(&mut self, func: FuncId, bb: BlockId) {
+        let p = self.profiles.entry(func).or_default();
+        *p.blocks.entry(bb).or_insert(0) += 1;
+    }
+
+    fn edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        let p = self.profiles.entry(func).or_default();
+        *p.edges.entry((from, to)).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory, TeeSink};
+    use needle_ir::{Constant, Type, Value};
+
+    /// for i in 0..n { if i % 3 == 0 { A } else { B } }
+    fn mod3_loop() -> (Module, FuncId) {
+        let mut fb = FunctionBuilder::new("mod3", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let thn = fb.block("then");
+        let els = fb.block("else");
+        let latch = fb.block("latch");
+        let exit = fb.block("exit");
+        let n = fb.arg(0);
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let s = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = fb.icmp_slt(i, n);
+        fb.cond_br(c, thn, els);
+        fb.switch_to(thn);
+        let m = fb.rem(i, Value::int(3));
+        let z = fb.icmp_eq(m, Value::int(0));
+        let s_a = fb.add(s, Value::int(10));
+        let s_b = fb.add(s, Value::int(1));
+        let s2 = fb.select(Type::I64, z, s_a, s_b);
+        fb.br(latch);
+        fb.switch_to(els);
+        fb.ret(Some(s));
+        fb.switch_to(latch);
+        let i2 = fb.add(i, Value::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(s));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        let s_id = s.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(latch);
+        f.inst_mut(s_id).args.push(s2);
+        f.inst_mut(s_id).phi_blocks.push(latch);
+        let mut m = Module::new("t");
+        let id = m.push(f);
+        (m, id)
+    }
+
+    #[test]
+    fn path_counts_match_loop_iterations() {
+        let (m, f) = mod3_loop();
+        let mut prof = PathProfiler::new(&m).with_trace();
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(f, &[Constant::Int(9)], &mut mem, &mut prof)
+            .unwrap();
+        let p = prof.profile(f);
+        // 9 iterations end with back edges, plus the final head->else->ret.
+        assert_eq!(p.total(), 10);
+        assert_eq!(p.trace.len(), 10);
+        // Paths observed decode to block sequences within the function.
+        let bl = prof.numbering(f).unwrap();
+        let total_freq_weighted: u64 = p
+            .counts
+            .iter()
+            .map(|(id, c)| {
+                let blocks = bl.decode(*id).unwrap();
+                assert!(!blocks.is_empty());
+                *c
+            })
+            .sum();
+        assert_eq!(total_freq_weighted, 10);
+    }
+
+    #[test]
+    fn per_path_counts_are_consistent_with_semantics() {
+        let (m, f) = mod3_loop();
+        let mut prof = PathProfiler::new(&m);
+        let mut mem = Memory::new();
+        let out = Interp::new(&m)
+            .run(f, &[Constant::Int(9)], &mut mem, &mut prof)
+            .unwrap();
+        // 3 multiples of 3 (0,3,6) scoring 10, 6 others scoring 1.
+        assert_eq!(out.unwrap().as_int(), 36);
+        let p = prof.profile(f);
+        // The body path (head, then, latch) repeats 9 times (select folds
+        // the if internally, so one path covers all iterations), entry path
+        // and final exit path occur once each... entry path = entry,head,
+        // then,latch ends at the first back edge.
+        let mut counts: Vec<u64> = p.counts.values().copied().collect();
+        counts.sort();
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        assert_eq!(p.distinct(), 3);
+    }
+
+    #[test]
+    fn edge_profiler_counts_branch_sides() {
+        let (m, f) = mod3_loop();
+        let mut eprof = EdgeProfiler::new();
+        let mut pprof = PathProfiler::new(&m);
+        let mut mem = Memory::new();
+        let mut tee = TeeSink(&mut eprof, &mut pprof);
+        Interp::new(&m)
+            .run(f, &[Constant::Int(9)], &mut mem, &mut tee)
+            .unwrap();
+        let p = eprof.profile(f);
+        // head executed 10 times: 9 into then, 1 into else.
+        assert_eq!(p.block(BlockId(1)), 10);
+        assert_eq!(p.edge(BlockId(1), BlockId(2)), 9);
+        assert_eq!(p.edge(BlockId(1), BlockId(3)), 1);
+        assert_eq!(p.hottest_successor(BlockId(1)), Some((BlockId(2), 9)));
+        assert_eq!(p.edge(BlockId(4), BlockId(1)), 9); // back edge
+    }
+
+    #[test]
+    fn nested_calls_keep_separate_path_state() {
+        // inner(x) = x+1 ; outer loops calling inner
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("inner", &[Type::I64], Some(Type::I64));
+        let v = fb.add(fb.arg(0), Value::int(1));
+        fb.ret(Some(v));
+        let inner = m.push(fb.finish());
+
+        let mut fb = FunctionBuilder::new("outer", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.call(inner, Type::I64, &[i]);
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(body);
+        let outer = m.push(f);
+
+        let mut prof = PathProfiler::new(&m);
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(outer, &[Constant::Int(5)], &mut mem, &mut prof)
+            .unwrap();
+        assert_eq!(prof.profile(inner).total(), 5);
+        assert_eq!(prof.profile(outer).total(), 6); // 5 back edges + final exit
+    }
+}

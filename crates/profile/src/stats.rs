@@ -1,0 +1,291 @@
+//! Control-flow characterisation (Table I and Figure 4 of the paper).
+
+use std::collections::HashSet;
+
+use needle_ir::cfg::Cfg;
+use needle_ir::dom::PostDomTree;
+use needle_ir::{BlockId, Function, InstId, Op, Terminator, Value};
+
+use crate::profiler::EdgeProfile;
+
+/// The Table I statistics of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlFlowStats {
+    /// *Branch⇒Mem*: average number of memory ops control-dependent on a
+    /// conditional branch.
+    pub branch_mem: f64,
+    /// *Mem⇒Branch*: average number of memory ops a branch condition
+    /// (data-)depends on.
+    pub mem_branch: f64,
+    /// Predication bits required to if-convert the function's acyclic body:
+    /// one per non-back-edge conditional branch.
+    pub predication_bits: usize,
+    /// Number of backward branches (loop back edges).
+    pub backward_branches: usize,
+    /// Number of conditional branches considered.
+    pub cond_branches: usize,
+}
+
+/// Compute Table I statistics for `func`.
+pub fn control_flow_stats(func: &Function) -> ControlFlowStats {
+    let cfg = Cfg::new(func);
+    let pdom = PostDomTree::new(&cfg);
+    let back: HashSet<(BlockId, BlockId)> = cfg
+        .back_edges()
+        .into_iter()
+        .map(|e| (e.from, e.to))
+        .collect();
+
+    let mut branch_mem_total = 0usize;
+    let mut mem_branch_total = 0usize;
+    let mut cond_branches = 0usize;
+    let mut predication_bits = 0usize;
+
+    for bb in func.block_ids() {
+        let Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = func.block(bb).term
+        else {
+            continue;
+        };
+        cond_branches += 1;
+        let is_back = back.contains(&(bb, then_bb)) || back.contains(&(bb, else_bb));
+        if !is_back {
+            predication_bits += 1;
+        }
+        branch_mem_total += control_dependent_mem_ops(func, &pdom, bb, &[then_bb, else_bb], &back);
+        mem_branch_total += backward_slice_loads(func, cond);
+    }
+
+    let denom = cond_branches.max(1) as f64;
+    ControlFlowStats {
+        branch_mem: branch_mem_total as f64 / denom,
+        mem_branch: mem_branch_total as f64 / denom,
+        predication_bits,
+        backward_branches: back.len(),
+        cond_branches,
+    }
+}
+
+/// Memory ops in blocks control-dependent on the branch at `bb`
+/// (Ferrante-style: for each successor `s`, walk the post-dominator tree
+/// from `s` up to — excluding — `ipdom(bb)`).
+fn control_dependent_mem_ops(
+    func: &Function,
+    pdom: &PostDomTree,
+    bb: BlockId,
+    succs: &[BlockId],
+    back: &HashSet<(BlockId, BlockId)>,
+) -> usize {
+    let stop = pdom.ipdom(bb);
+    let mut dep_blocks: HashSet<BlockId> = HashSet::new();
+    for &s in succs {
+        if back.contains(&(bb, s)) {
+            continue;
+        }
+        let mut cur = Some(s);
+        let mut fuel = func.num_blocks() + 1;
+        while let Some(x) = cur {
+            if Some(x) == stop || fuel == 0 {
+                break;
+            }
+            fuel -= 1;
+            dep_blocks.insert(x);
+            cur = pdom.ipdom(x);
+        }
+    }
+    dep_blocks
+        .iter()
+        .map(|b| func.block_mem_ops(*b))
+        .sum()
+}
+
+/// Number of distinct `Load` instructions in the backward data-dependence
+/// slice of `cond`.
+fn backward_slice_loads(func: &Function, cond: Value) -> usize {
+    let mut seen: HashSet<InstId> = HashSet::new();
+    let mut loads = 0usize;
+    let mut stack: Vec<Value> = vec![cond];
+    while let Some(v) = stack.pop() {
+        let Some(id) = v.as_inst() else { continue };
+        if !seen.insert(id) {
+            continue;
+        }
+        let inst = func.inst(id);
+        if matches!(inst.op, Op::Load) {
+            loads += 1;
+        }
+        for a in &inst.args {
+            stack.push(*a);
+        }
+    }
+    loads
+}
+
+/// Branch-bias histogram (Figure 4): the fraction of *executed* conditional
+/// branches in each bias band.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BiasHistogram {
+    /// Branches with max-side bias below 80%.
+    pub lt80: f64,
+    /// Bias in [80%, 99%).
+    pub b80_99: f64,
+    /// Bias at or above 99%.
+    pub ge99: f64,
+    /// Number of executed conditional branches observed.
+    pub branches: usize,
+}
+
+/// Compute the branch-bias histogram of `func` from its edge profile.
+pub fn bias_histogram(func: &Function, profile: &EdgeProfile) -> BiasHistogram {
+    let mut h = BiasHistogram::default();
+    for bb in func.block_ids() {
+        let Terminator::CondBr {
+            then_bb, else_bb, ..
+        } = func.block(bb).term
+        else {
+            continue;
+        };
+        let a = profile.edge(bb, then_bb);
+        let b = profile.edge(bb, else_bb);
+        let total = a + b;
+        if total == 0 {
+            continue;
+        }
+        h.branches += 1;
+        let bias = a.max(b) as f64 / total as f64;
+        if bias < 0.80 {
+            h.lt80 += 1.0;
+        } else if bias < 0.99 {
+            h.b80_99 += 1.0;
+        } else {
+            h.ge99 += 1.0;
+        }
+    }
+    if h.branches > 0 {
+        let n = h.branches as f64;
+        h.lt80 /= n;
+        h.b80_99 /= n;
+        h.ge99 /= n;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory};
+    use needle_ir::{Constant, Module, Type, Value};
+
+    use crate::profiler::EdgeProfiler;
+
+    /// if (load(p) > 0) { store } else { } ; loop over it
+    fn mem_branchy() -> Function {
+        let mut fb = FunctionBuilder::new("mb", &[Type::Ptr, Type::I64], None);
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let thn = fb.block("then");
+        let els = fb.block("else");
+        let latch = fb.block("latch");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(1));
+        fb.cond_br(c, thn, exit);
+        fb.switch_to(thn);
+        let addr = fb.gep(fb.arg(0), i, 8);
+        let v = fb.load(Type::I64, addr);
+        let pos = fb.icmp_sgt(v, Value::int(0));
+        fb.cond_br(pos, els, latch);
+        fb.switch_to(els);
+        let w = fb.add(v, Value::int(1));
+        fb.store(w, addr);
+        fb.br(latch);
+        fb.switch_to(latch);
+        let i2 = fb.add(i, Value::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(latch);
+        f
+    }
+
+    #[test]
+    fn stats_capture_branch_memory_interplay() {
+        let f = mem_branchy();
+        let s = control_flow_stats(&f);
+        assert_eq!(s.cond_branches, 2);
+        assert_eq!(s.backward_branches, 1);
+        // Two cond branches, both forward (the loop latch is an
+        // unconditional jump in this CFG, and head's exit edge is forward).
+        assert_eq!(s.predication_bits, 2);
+        // The `pos` branch condition depends on one load.
+        assert!(s.mem_branch > 0.0);
+        // The else block's store (+ the load in `thn` depends on head's
+        // branch) — some memory is control dependent.
+        assert!(s.branch_mem > 0.0);
+    }
+
+    #[test]
+    fn straightline_function_has_zero_stats() {
+        let mut fb = FunctionBuilder::new("s", &[Type::I64], Some(Type::I64));
+        let v = fb.add(fb.arg(0), Value::int(1));
+        fb.ret(Some(v));
+        let f = fb.finish();
+        let s = control_flow_stats(&f);
+        assert_eq!(
+            s,
+            ControlFlowStats {
+                branch_mem: 0.0,
+                mem_branch: 0.0,
+                predication_bits: 0,
+                backward_branches: 0,
+                cond_branches: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn bias_histogram_buckets_branches() {
+        let f = mem_branchy();
+        let mut m = Module::new("t");
+        let mut mem = Memory::new();
+        // positives at even slots: pos branch is 50/50 → lt80 bucket.
+        for i in 0..100 {
+            mem.store(i * 8, needle_ir::interp::Val::Int((i % 2) as i64));
+        }
+        let fid = m.push(f);
+        let mut prof = EdgeProfiler::new();
+        Interp::new(&m)
+            .run(
+                fid,
+                &[Constant::Ptr(0), Constant::Int(100)],
+                &mut mem,
+                &mut prof,
+            )
+            .unwrap();
+        let h = bias_histogram(m.func(fid), &prof.profile(fid));
+        assert_eq!(h.branches, 2);
+        // `pos` is 50/50 → lt80; loop branch is 100/101 ≈ 99% → ge99.
+        assert!((h.lt80 - 0.5).abs() < 1e-9);
+        assert!(h.ge99 + h.b80_99 > 0.49);
+        let sum = h.lt80 + h.b80_99 + h.ge99;
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bias_histogram_empty_profile() {
+        let f = mem_branchy();
+        let h = bias_histogram(&f, &EdgeProfile::default());
+        assert_eq!(h.branches, 0);
+        assert_eq!(h.lt80 + h.b80_99 + h.ge99, 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property and stress tests for the Ball-Larus machinery.
+
+use proptest::prelude::*;
+
+use needle_ir::builder::FunctionBuilder;
+use needle_ir::interp::{Interp, Memory};
+use needle_ir::{Constant, Function, Module, Type, Value};
+use needle_profile::bl::{BlError, BlNumbering};
+use needle_profile::profiler::PathProfiler;
+
+/// A chain of `n` diamonds (2^n static paths).
+fn diamonds(n: usize) -> Function {
+    let mut fb = FunctionBuilder::new("d", &[Type::I64], Some(Type::I64));
+    let mut cur = Value::Arg(0);
+    for k in 0..n {
+        let t = fb.block(format!("t{k}"));
+        let e = fb.block(format!("e{k}"));
+        let m = fb.block(format!("m{k}"));
+        let c = fb.icmp_sgt(cur, Value::int(k as i64));
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        let tv = fb.add(cur, Value::int(1));
+        fb.br(m);
+        fb.switch_to(e);
+        let ev = fb.sub(cur, Value::int(1));
+        fb.br(m);
+        fb.switch_to(m);
+        cur = fb.phi(Type::I64, &[(t, tv), (e, ev)]);
+    }
+    fb.ret(Some(cur));
+    fb.finish()
+}
+
+#[test]
+fn path_counts_are_exponential_in_diamonds() {
+    for n in [1usize, 4, 10, 20] {
+        let f = diamonds(n);
+        let bl = BlNumbering::new(&f).unwrap();
+        assert_eq!(bl.num_paths(), 1u64 << n, "n={n}");
+    }
+}
+
+#[test]
+fn sixty_five_diamonds_overflow_u64() {
+    let f = diamonds(65);
+    assert_eq!(BlNumbering::new(&f).unwrap_err(), BlError::TooManyPaths);
+}
+
+#[test]
+fn profiled_path_matches_execution_exactly() {
+    // For each input, exactly one path executes; its decoded block sequence
+    // must match the branch decisions the input implies.
+    let f = diamonds(6);
+    let mut m = Module::new("t");
+    let id = m.push(f);
+    for x in -3i64..8 {
+        let mut prof = PathProfiler::new(&m);
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(id, &[Constant::Int(x)], &mut mem, &mut prof)
+            .unwrap();
+        let p = prof.profile(id);
+        assert_eq!(p.total(), 1, "one invocation, one acyclic path");
+        let (&pid, _) = p.counts.iter().next().unwrap();
+        let blocks = prof.numbering(id).unwrap().decode(pid).unwrap();
+        // Walk the function and check every taken arm agrees.
+        let mut cur = x;
+        for (k, w) in blocks.windows(2).enumerate().take(6) {
+            // arm blocks are t{k} = 1 + 3k, e{k} = 2 + 3k
+            let taken_t = w[1].0 == 1 + 3 * k as u32;
+            let expect_t = cur > k as i64;
+            if w[1].0 == 1 + 3 * k as u32 || w[1].0 == 2 + 3 * k as u32 {
+                assert_eq!(taken_t, expect_t, "x={x} diamond {k}");
+            }
+            cur += if expect_t { 1 } else { -1 };
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Nested-loop functions: counts collected by the profiler always sum
+    /// to the number of acyclic segments the trip counts imply.
+    #[test]
+    fn nested_loop_path_totals(outer in 1i64..8, inner in 1i64..8) {
+        // for i in 0..outer { for j in 0..inner { work } }
+        let mut fb = FunctionBuilder::new("nest", &[Type::I64, Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let oh = fb.block("outer_head");
+        let ih = fb.block("inner_head");
+        let ib = fb.block("inner_body");
+        let ol = fb.block("outer_latch");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(oh);
+        fb.switch_to(oh);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c0 = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c0, ih, exit);
+        fb.switch_to(ih);
+        let j = fb.phi(Type::I64, &[(oh, Value::int(0))]);
+        let c1 = fb.icmp_slt(j, fb.arg(1));
+        fb.cond_br(c1, ib, ol);
+        fb.switch_to(ib);
+        let j2 = fb.add(j, Value::int(1));
+        fb.br(ih);
+        fb.switch_to(ol);
+        let i2 = fb.add(i, Value::int(1));
+        fb.br(oh);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(ol);
+        let j_id = j.as_inst().unwrap();
+        f.inst_mut(j_id).args.push(j2);
+        f.inst_mut(j_id).phi_blocks.push(ib);
+        let mut m = Module::new("t");
+        let id = m.push(f);
+
+        let mut prof = PathProfiler::new(&m);
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(id, &[Constant::Int(outer), Constant::Int(inner)], &mut mem, &mut prof)
+            .unwrap();
+        let p = prof.profile(id);
+        // Acyclic segments: every back-edge traversal ends one, plus the
+        // final exit. Back edges: inner runs outer*inner times, outer runs
+        // outer times.
+        let expected = (outer * inner) as u64 + outer as u64 + 1;
+        prop_assert_eq!(p.total(), expected);
+        // Every recorded id decodes.
+        let bl = prof.numbering(id).unwrap();
+        for pid in p.counts.keys() {
+            bl.decode(*pid).unwrap();
+        }
+    }
+}

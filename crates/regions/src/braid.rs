@@ -1,0 +1,254 @@
+//! Braids — Needle's new offload abstraction (§IV-B).
+//!
+//! A Braid merges BL-paths that share their entry *and* exit blocks. The
+//! merged region is still single-entry single-exit and acyclic, but carries
+//! multiple flows of control: branches with both sides inside become
+//! internal IFs (predicated on the accelerator), branches with one side
+//! outside remain guards. Because member paths share entry/exit, the
+//! live-in/live-out sets do not change as paths are merged, and coverage
+//! grows monotonically with each merged path.
+
+use std::collections::BTreeSet;
+
+use needle_ir::cfg::Cfg;
+use needle_ir::{BlockId, Function};
+use needle_profile::rank::{FunctionRank, RankedPath};
+
+use crate::region::OffloadRegion;
+
+/// A Braid: merged BL-paths with common entry and exit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Braid {
+    /// The merged single-entry single-exit region.
+    pub region: OffloadRegion,
+    /// Ball-Larus ids of the merged paths, hottest first.
+    pub member_paths: Vec<u64>,
+    /// Combined path weight.
+    pub pwt: u128,
+}
+
+impl Braid {
+    /// Number of member paths (Table IV C2).
+    pub fn num_paths(&self) -> usize {
+        self.member_paths.len()
+    }
+
+    /// Coverage relative to a function weight (Table IV C3).
+    pub fn coverage(&self, fwt: u128) -> f64 {
+        if fwt == 0 {
+            0.0
+        } else {
+            self.pwt as f64 / fwt as f64
+        }
+    }
+
+    /// Coverage contributed per static op — the paper's coverage-per-op
+    /// metric used to compare Braids against single BL-paths.
+    pub fn coverage_per_op(&self, func: &Function, fwt: u128) -> f64 {
+        let ops = self.region.num_insts(func);
+        if ops == 0 {
+            0.0
+        } else {
+            self.coverage(fwt) / ops as f64
+        }
+    }
+}
+
+/// Build Braids by grouping the `max_paths` hottest paths of `rank` by
+/// their (entry, exit) block pair. Returns Braids sorted by descending
+/// combined weight.
+pub fn build_braids(func: &Function, rank: &FunctionRank, max_paths: usize) -> Vec<Braid> {
+    let cfg = Cfg::new(func);
+    let rpo = cfg.reverse_post_order();
+    let mut rpo_index = vec![usize::MAX; func.num_blocks()];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_index[b.index()] = i;
+    }
+
+    // Group paths by (entry, exit).
+    let mut groups: Vec<((BlockId, BlockId), Vec<&RankedPath>)> = Vec::new();
+    for p in rank.paths.iter().take(max_paths) {
+        let key = (p.blocks[0], *p.blocks.last().expect("paths are nonempty"));
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(p),
+            None => groups.push((key, vec![p])),
+        }
+    }
+
+    let mut braids: Vec<Braid> = groups
+        .into_iter()
+        .map(|(_, paths)| {
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            let mut edges: BTreeSet<(BlockId, BlockId)> = BTreeSet::new();
+            let mut freq = 0u64;
+            let mut pwt = 0u128;
+            let mut member_paths = Vec::new();
+            for p in &paths {
+                blocks.extend(p.blocks.iter().copied());
+                edges.extend(p.blocks.windows(2).map(|w| (w[0], w[1])));
+                freq += p.freq;
+                pwt += p.pwt;
+                member_paths.push(p.id);
+            }
+            // Topological order: reverse post-order of the full CFG orders
+            // every non-back edge forward.
+            let mut ordered: Vec<BlockId> = blocks.into_iter().collect();
+            ordered.sort_by_key(|b| rpo_index[b.index()]);
+            let coverage = if rank.fwt == 0 {
+                0.0
+            } else {
+                pwt as f64 / rank.fwt as f64
+            };
+            Braid {
+                region: OffloadRegion {
+                    blocks: ordered,
+                    edges,
+                    freq,
+                    coverage,
+                },
+                member_paths,
+                pwt,
+            }
+        })
+        .collect();
+    braids.sort_by(|a, b| b.pwt.cmp(&a.pwt));
+    braids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory};
+    use needle_ir::{Constant, Module, Type, Value};
+    use needle_profile::profiler::PathProfiler;
+    use needle_profile::rank::rank_paths;
+
+    /// The paper's Figure 7 shape: loop body A -> B -> {D|E} -> G -> H with
+    /// both arms hot. Both per-iteration paths share entry A and exit H, so
+    /// they merge into one Braid.
+    fn figure7(n: i64) -> (Module, needle_ir::FuncId, PathProfiler) {
+        let mut fb = FunctionBuilder::new("fig7", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let a = fb.block("A"); // loop head
+        let b = fb.block("B");
+        let d = fb.block("D");
+        let e = fb.block("E");
+        let g = fb.block("G");
+        let h = fb.block("H"); // latch
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(a);
+        fb.switch_to(a);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, b, exit);
+        fb.switch_to(b);
+        let par = fb.rem(i, Value::int(3));
+        let z = fb.icmp_eq(par, Value::int(0));
+        fb.cond_br(z, d, e);
+        fb.switch_to(d);
+        let vd = fb.add(i, Value::int(5));
+        fb.br(g);
+        fb.switch_to(e);
+        let ve = fb.mul(i, Value::int(2));
+        fb.br(g);
+        fb.switch_to(g);
+        let merged = fb.phi(Type::I64, &[(d, vd), (e, ve)]);
+        let _ = fb.add(merged, Value::int(1));
+        fb.br(h);
+        fb.switch_to(h);
+        let i2 = fb.add(i, Value::int(1));
+        fb.br(a);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(h);
+        let mut m = Module::new("t");
+        let fid = m.push(f);
+        let mut prof = PathProfiler::new(&m);
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(fid, &[Constant::Int(n)], &mut mem, &mut prof)
+            .unwrap();
+        (m, fid, prof)
+    }
+
+    #[test]
+    fn overlapping_paths_merge_into_one_braid() {
+        let (m, fid, prof) = figure7(30);
+        let rank = rank_paths(m.func(fid), prof.numbering(fid).unwrap(), &prof.profile(fid));
+        let braids = build_braids(m.func(fid), &rank, 16);
+        assert!(!braids.is_empty());
+        let top = &braids[0];
+        top.region.validate(m.func(fid)).unwrap();
+        // Both iteration paths (via D and via E) merged.
+        assert!(top.num_paths() >= 2, "paths: {:?}", top.member_paths);
+        // The braid contains both arms and so has an internal IF at B.
+        assert!(top.region.contains(BlockId(3)) && top.region.contains(BlockId(4)));
+        assert_eq!(top.region.internal_ifs(m.func(fid)), vec![BlockId(2)]);
+        // The loop-head branch (A) has its exit side outside: a guard.
+        assert_eq!(top.region.guard_branches(m.func(fid)), vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn braid_coverage_is_cumulative_and_monotonic() {
+        let (m, fid, prof) = figure7(30);
+        let rank = rank_paths(m.func(fid), prof.numbering(fid).unwrap(), &prof.profile(fid));
+        let braids = build_braids(m.func(fid), &rank, 16);
+        let top = &braids[0];
+        // Combined pwt equals the sum of member path weights.
+        let expect: u128 = rank
+            .paths
+            .iter()
+            .filter(|p| top.member_paths.contains(&p.id))
+            .map(|p| p.pwt)
+            .sum();
+        assert_eq!(top.pwt, expect);
+        // Braid coverage ≥ any single member path's coverage (monotonic).
+        let best_member = rank
+            .paths
+            .iter()
+            .filter(|p| top.member_paths.contains(&p.id))
+            .map(|p| p.coverage(rank.fwt))
+            .fold(0.0f64, f64::max);
+        assert!(top.coverage(rank.fwt) >= best_member - 1e-12);
+        // coverage_per_op is positive and bounded by coverage.
+        let cpo = top.coverage_per_op(m.func(fid), rank.fwt);
+        assert!(cpo > 0.0 && cpo <= top.coverage(rank.fwt));
+    }
+
+    #[test]
+    fn braids_preserve_live_boundary_blocks() {
+        let (m, fid, prof) = figure7(30);
+        let rank = rank_paths(m.func(fid), prof.numbering(fid).unwrap(), &prof.profile(fid));
+        let braids = build_braids(m.func(fid), &rank, 16);
+        for braid in &braids {
+            for pid in &braid.member_paths {
+                let p = rank.paths.iter().find(|p| p.id == *pid).unwrap();
+                assert_eq!(p.blocks[0], braid.region.entry());
+                assert_eq!(*p.blocks.last().unwrap(), braid.region.exit());
+            }
+        }
+    }
+
+    #[test]
+    fn braids_sorted_by_weight() {
+        let (m, fid, prof) = figure7(31);
+        let rank = rank_paths(m.func(fid), prof.numbering(fid).unwrap(), &prof.profile(fid));
+        let braids = build_braids(m.func(fid), &rank, 16);
+        for w in braids.windows(2) {
+            assert!(w[0].pwt >= w[1].pwt);
+        }
+    }
+
+    #[test]
+    fn empty_rank_builds_no_braids() {
+        let (m, fid, _) = figure7(0);
+        let prof = PathProfiler::new(&m);
+        let rank = rank_paths(m.func(fid), prof.numbering(fid).unwrap(), &prof.profile(fid));
+        assert!(build_braids(m.func(fid), &rank, 16).is_empty());
+    }
+}

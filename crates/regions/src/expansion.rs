@@ -1,0 +1,159 @@
+//! BL-path target expansion across loop back edges (§IV-A, Table III).
+//!
+//! BL-paths are acyclic; to enlarge offload units across loop iterations,
+//! Needle inspects the *path trace* (the sequence of completed path ids)
+//! and measures how predictable the successor of the hottest path is. A
+//! strongly-biased successor lets the compiler sequence two (or more) path
+//! bodies into one offload unit.
+
+use std::collections::HashMap;
+
+use needle_profile::rank::FunctionRank;
+
+/// Next-path predictability of the hottest path (one Table III row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionStats {
+    /// The hottest path's id.
+    pub top_path: u64,
+    /// Id of its most frequent successor path.
+    pub next_path: u64,
+    /// Fraction of occurrences followed by `next_path` (the *path sequence
+    /// bias*).
+    pub seq_bias: f64,
+    /// Whether the hottest path repeats itself back-to-back.
+    pub repeats_self: bool,
+    /// Static ops of the expanded unit (top + successor) relative to the
+    /// top path alone — the "+Ops" column (2.0 when the same path repeats).
+    pub ops_growth: f64,
+    /// Occurrences of the top path observed in the trace.
+    pub occurrences: u64,
+}
+
+/// Compute next-path expansion statistics from a path trace.
+///
+/// Returns `None` when the trace contains fewer than two completed paths or
+/// the hottest path never appears in a non-terminal position.
+pub fn expansion_stats(rank: &FunctionRank, trace: &[u64]) -> Option<ExpansionStats> {
+    let top = rank.top()?;
+    let mut successors: HashMap<u64, u64> = HashMap::new();
+    let mut occurrences = 0u64;
+    for w in trace.windows(2) {
+        if w[0] == top.id {
+            occurrences += 1;
+            *successors.entry(w[1]).or_insert(0) += 1;
+        }
+    }
+    if occurrences == 0 {
+        return None;
+    }
+    let (&next_path, &cnt) = successors
+        .iter()
+        .max_by_key(|(id, c)| (**c, std::cmp::Reverse(**id)))
+        .expect("occurrences > 0 implies a successor");
+    let next_ops = rank
+        .paths
+        .iter()
+        .find(|p| p.id == next_path)
+        .map(|p| p.ops)
+        .unwrap_or(0);
+    let ops_growth = if top.ops == 0 {
+        1.0
+    } else {
+        (top.ops + next_ops) as f64 / top.ops as f64
+    };
+    Some(ExpansionStats {
+        top_path: top.id,
+        next_path,
+        seq_bias: cnt as f64 / occurrences as f64,
+        repeats_self: next_path == top.id,
+        ops_growth,
+        occurrences,
+    })
+}
+
+/// Bucket a sequence bias into the paper's Table III bands.
+pub fn bias_band(seq_bias: f64) -> &'static str {
+    if seq_bias >= 0.90 {
+        "90-100%"
+    } else if seq_bias >= 0.70 {
+        "70-90%"
+    } else {
+        "<70%"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory};
+    use needle_ir::{Constant, Module, Type, Value};
+    use needle_profile::profiler::PathProfiler;
+    use needle_profile::rank::rank_paths;
+
+    /// A loop whose body path repeats back-to-back (self-sequencing).
+    fn monotone_loop(n: i64) -> (Module, needle_ir::FuncId, PathProfiler) {
+        let mut fb = FunctionBuilder::new("mono", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let _x = fb.mul(i, Value::int(3));
+        let i2 = fb.add(i, Value::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(body);
+        let mut m = Module::new("t");
+        let fid = m.push(f);
+        let mut prof = PathProfiler::new(&m).with_trace();
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(fid, &[Constant::Int(n)], &mut mem, &mut prof)
+            .unwrap();
+        (m, fid, prof)
+    }
+
+    #[test]
+    fn self_repeating_path_has_high_bias_and_2x_growth() {
+        let (m, fid, prof) = monotone_loop(50);
+        let p = prof.profile(fid);
+        let rank = rank_paths(m.func(fid), prof.numbering(fid).unwrap(), &p);
+        let s = expansion_stats(&rank, &p.trace).unwrap();
+        assert!(s.repeats_self);
+        assert!(s.seq_bias > 0.9, "bias {}", s.seq_bias);
+        assert!((s.ops_growth - 2.0).abs() < 1e-9);
+        assert_eq!(bias_band(s.seq_bias), "90-100%");
+        assert!(s.occurrences > 0);
+    }
+
+    #[test]
+    fn bias_bands_cover_ranges() {
+        assert_eq!(bias_band(0.95), "90-100%");
+        assert_eq!(bias_band(0.90), "90-100%");
+        assert_eq!(bias_band(0.75), "70-90%");
+        assert_eq!(bias_band(0.50), "<70%");
+    }
+
+    #[test]
+    fn short_traces_yield_none() {
+        let (m, fid, prof) = monotone_loop(50);
+        let rank = rank_paths(
+            m.func(fid),
+            prof.numbering(fid).unwrap(),
+            &prof.profile(fid),
+        );
+        assert!(expansion_stats(&rank, &[]).is_none());
+        assert!(expansion_stats(&rank, &[123]).is_none());
+    }
+}

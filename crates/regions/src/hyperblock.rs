@@ -1,0 +1,218 @@
+//! Hyperblock construction by if-conversion — the predication baseline
+//! (Mahlke et al., MICRO 1992) that Needle compares Braids against.
+//!
+//! A hyperblock folds *both* sides of forward branches in an acyclic region
+//! into one predicated block. Unlike Braids, the inclusion decision is
+//! local, so blocks that executed rarely ("cold" ops, Figure 5) are folded
+//! in and waste accelerator resources.
+
+use std::collections::{BTreeSet, HashSet};
+
+use needle_ir::cfg::Cfg;
+use needle_ir::{BlockId, Function};
+use needle_profile::profiler::EdgeProfile;
+
+/// A hyperblock: single-entry, possibly multi-exit, predicated region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyperblock {
+    /// The seed (entry) block.
+    pub entry: BlockId,
+    /// All member blocks (including the entry).
+    pub blocks: BTreeSet<BlockId>,
+    /// Predication bits required: one per folded conditional branch.
+    pub predicate_bits: usize,
+    /// Member blocks with more than one successor outside the region create
+    /// side exits; count of such exit edges.
+    pub side_exits: usize,
+}
+
+impl Hyperblock {
+    /// Static instruction count of the region.
+    pub fn num_insts(&self, func: &Function) -> usize {
+        self.blocks.iter().map(|b| func.block(*b).insts.len()).sum()
+    }
+
+    /// Instructions in blocks whose execution count is below
+    /// `cold_fraction` of the entry block's count — the wasted ops of
+    /// Figure 5.
+    pub fn cold_ops(&self, func: &Function, profile: &EdgeProfile, cold_fraction: f64) -> usize {
+        let entry_count = profile.block(self.entry).max(1);
+        let threshold = entry_count as f64 * cold_fraction;
+        self.blocks
+            .iter()
+            .filter(|b| (profile.block(**b) as f64) < threshold)
+            .map(|b| func.block(*b).insts.len())
+            .sum()
+    }
+
+    /// Fraction of the region's static ops that are cold (Figure 5 series).
+    pub fn cold_fraction(&self, func: &Function, profile: &EdgeProfile, cold_fraction: f64) -> f64 {
+        let total = self.num_insts(func);
+        if total == 0 {
+            return 0.0;
+        }
+        self.cold_ops(func, profile, cold_fraction) as f64 / total as f64
+    }
+}
+
+/// If-convert the acyclic region hanging off `seed`.
+///
+/// Every block reachable from `seed` without traversing a loop back edge is
+/// folded in, up to `max_blocks`. This mirrors aggressive hyperblock
+/// formation: *all* sides of forward branches are included (the heuristic
+/// local decision the paper criticises), while back edges terminate growth.
+pub fn build_hyperblock(func: &Function, seed: BlockId, max_blocks: usize) -> Hyperblock {
+    let cfg = Cfg::new(func);
+    let back: HashSet<(BlockId, BlockId)> = cfg
+        .back_edges()
+        .into_iter()
+        .map(|e| (e.from, e.to))
+        .collect();
+    let mut blocks = BTreeSet::new();
+    let mut stack = vec![seed];
+    while let Some(bb) = stack.pop() {
+        if blocks.len() >= max_blocks {
+            break;
+        }
+        if !blocks.insert(bb) {
+            continue;
+        }
+        for &s in cfg.succs(bb) {
+            if !back.contains(&(bb, s)) && !blocks.contains(&s) {
+                stack.push(s);
+            }
+        }
+    }
+    let predicate_bits = blocks
+        .iter()
+        .filter(|b| func.block(**b).term.is_cond())
+        .filter(|b| {
+            // only branches with at least one in-region successor predicate ops
+            cfg.succs(**b).iter().any(|s| blocks.contains(s))
+        })
+        .count();
+    let side_exits = blocks
+        .iter()
+        .flat_map(|b| {
+            cfg.succs(*b)
+                .iter()
+                .filter(|s| !blocks.contains(s) && !back.contains(&(*b, **s)))
+                .collect::<Vec<_>>()
+        })
+        .count();
+    Hyperblock {
+        entry: seed,
+        blocks,
+        predicate_bits,
+        side_exits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory};
+    use needle_ir::{Constant, Module, Type, Value};
+    use needle_profile::profiler::EdgeProfiler;
+
+    /// Loop body with a hot arm and a nearly-never-taken cold arm carrying
+    /// many instructions (the Figure 5 waste pattern).
+    fn cold_arm_loop() -> (Module, needle_ir::FuncId) {
+        let mut fb = FunctionBuilder::new("cold", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let hot = fb.block("hot");
+        let cold = fb.block("cold");
+        let latch = fb.block("latch");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let m = fb.rem(i, Value::int(97));
+        let rare = fb.icmp_eq(m, Value::int(96));
+        fb.cond_br(rare, cold, hot);
+        fb.switch_to(hot);
+        let _ = fb.add(i, Value::int(1));
+        fb.br(latch);
+        fb.switch_to(cold);
+        let mut acc = i;
+        for _ in 0..20 {
+            acc = fb.mul(acc, Value::int(7));
+        }
+        fb.br(latch);
+        fb.switch_to(latch);
+        let i2 = fb.add(i, Value::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(latch);
+        let mut module = Module::new("t");
+        let fid = module.push(f);
+        (module, fid)
+    }
+
+    #[test]
+    fn hyperblock_folds_both_arms() {
+        let (m, fid) = cold_arm_loop();
+        let hb = build_hyperblock(m.func(fid), BlockId(2), 64);
+        // body, hot, cold, latch are all folded in.
+        assert!(hb.blocks.contains(&BlockId(2)));
+        assert!(hb.blocks.contains(&BlockId(3)));
+        assert!(hb.blocks.contains(&BlockId(4)));
+        assert!(hb.blocks.contains(&BlockId(5)));
+        // back edge latch->head stops growth at the latch
+        assert!(!hb.blocks.contains(&BlockId(1)));
+        assert!(hb.predicate_bits >= 1);
+        assert!(hb.num_insts(m.func(fid)) >= 24);
+    }
+
+    #[test]
+    fn cold_ops_are_counted() {
+        let (m, fid) = cold_arm_loop();
+        let mut prof = EdgeProfiler::new();
+        let mut mem = Memory::new();
+        Interp::new(&m)
+            .run(fid, &[Constant::Int(96)], &mut mem, &mut prof)
+            .unwrap();
+        let profile = prof.profile(fid);
+        let hb = build_hyperblock(m.func(fid), BlockId(2), 64);
+        // The cold arm never executed (n=96 stops before i%97==96).
+        let cold = hb.cold_ops(m.func(fid), &profile, 0.10);
+        assert!(cold >= 20, "cold arm's 20 muls must count, got {cold}");
+        let frac = hb.cold_fraction(m.func(fid), &profile, 0.10);
+        assert!(frac > 0.5, "most static ops are in the cold arm: {frac}");
+    }
+
+    #[test]
+    fn max_blocks_bounds_growth() {
+        let (m, fid) = cold_arm_loop();
+        let hb = build_hyperblock(m.func(fid), BlockId(2), 2);
+        assert!(hb.blocks.len() <= 2);
+    }
+
+    #[test]
+    fn hyperblock_on_straightline_region() {
+        let mut fb = FunctionBuilder::new("s", &[], None);
+        fb.ret(None);
+        let f = fb.finish();
+        let hb = build_hyperblock(&f, BlockId(0), 8);
+        assert_eq!(hb.blocks.len(), 1);
+        assert_eq!(hb.predicate_bits, 0);
+        assert_eq!(hb.side_exits, 0);
+        let mut m = Module::new("t");
+        let fid = m.push(f);
+        let _ = fid;
+        // Empty region (ret-only block has no insts) → fraction is 0.
+        let profile = EdgeProfiler::new().profile(fid);
+        assert_eq!(hb.cold_fraction(m.func(fid), &profile, 0.1), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! BL-path offload regions (§III).
+
+use needle_profile::rank::{FunctionRank, RankedPath};
+
+use crate::region::OffloadRegion;
+
+/// A BL-path selected for offload, with its ranking metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathRegion {
+    /// Ball-Larus path id.
+    pub id: u64,
+    /// The underlying single-entry single-exit region.
+    pub region: OffloadRegion,
+    /// Rank among the function's paths (0 = hottest).
+    pub rank: usize,
+    /// Dynamic execution count.
+    pub freq: u64,
+    /// Static ops along the path.
+    pub ops: u64,
+}
+
+impl PathRegion {
+    /// Build the offload region for the `rank`-th hottest path.
+    pub fn from_rank(rank_info: &FunctionRank, rank: usize) -> Option<PathRegion> {
+        let p: &RankedPath = rank_info.paths.get(rank)?;
+        Some(PathRegion {
+            id: p.id,
+            region: OffloadRegion::from_path(&p.blocks, p.freq, p.coverage(rank_info.fwt)),
+            rank,
+            freq: p.freq,
+            ops: p.ops,
+        })
+    }
+
+    /// The top `k` paths as regions.
+    pub fn top_k(rank_info: &FunctionRank, k: usize) -> Vec<PathRegion> {
+        (0..k)
+            .filter_map(|r| PathRegion::from_rank(rank_info, r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory};
+    use needle_ir::{Constant, Module, Type, Value};
+    use needle_profile::profiler::PathProfiler;
+    use needle_profile::rank::rank_paths;
+
+    #[test]
+    fn top_path_region_is_valid_and_ranked() {
+        // loop: for i in 0..n { if i%4==0 {A} else {B} }
+        let mut fb = FunctionBuilder::new("w", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let a = fb.block("a");
+        let b = fb.block("b");
+        let latch = fb.block("latch");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, a, exit);
+        fb.switch_to(a);
+        let m = fb.rem(i, Value::int(4));
+        let z = fb.icmp_eq(m, Value::int(0));
+        fb.cond_br(z, b, latch);
+        fb.switch_to(b);
+        let _ = fb.mul(i, Value::int(3));
+        fb.br(latch);
+        fb.switch_to(latch);
+        let i2 = fb.add(i, Value::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(latch);
+        let mut module = Module::new("t");
+        let fid = module.push(f);
+
+        let mut prof = PathProfiler::new(&module);
+        let mut mem = Memory::new();
+        Interp::new(&module)
+            .run(fid, &[Constant::Int(40)], &mut mem, &mut prof)
+            .unwrap();
+        let rank = rank_paths(
+            module.func(fid),
+            prof.numbering(fid).unwrap(),
+            &prof.profile(fid),
+        );
+        let top = PathRegion::from_rank(&rank, 0).unwrap();
+        top.region.validate(module.func(fid)).unwrap();
+        assert_eq!(top.rank, 0);
+        assert!(top.freq >= 1);
+        // All top-3 regions are valid and ordered by weight.
+        let regions = PathRegion::top_k(&rank, 3);
+        assert!(regions.len() >= 2);
+        for r in &regions {
+            r.region.validate(module.func(fid)).unwrap();
+        }
+        assert!(regions[0].freq as u128 * regions[0].ops as u128
+            >= regions[1].freq as u128 * regions[1].ops as u128);
+        // Out-of-range rank yields None.
+        assert!(PathRegion::from_rank(&rank, 999).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Path-trees — the DySER-style comparison point (§IV-B).
+//!
+//! "Path trees are used by DySER. In essence, they are Hyperblocks
+//! constructed from path profiles rather than edge profiles. They merge
+//! paths which originate from the same basic block and diverge. … While
+//! path trees originate from the same block, they may diverge to different
+//! basic blocks and have different live out sets based on the exiting
+//! blocks."
+//!
+//! Unlike a Braid (same entry *and* exit), a path-tree only requires a
+//! common entry: it is single-entry **multi-exit**, so every exit block
+//! carries its own live-out set — the hardware overhead the paper's Braids
+//! avoid.
+
+use std::collections::BTreeSet;
+
+use needle_ir::cfg::Cfg;
+use needle_ir::{BlockId, Function};
+use needle_profile::rank::{FunctionRank, RankedPath};
+
+/// A path-tree: hot paths sharing an entry block, merged into a
+/// single-entry multi-exit region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathTree {
+    /// Common entry block of all member paths.
+    pub entry: BlockId,
+    /// Member blocks in topological order (entry first).
+    pub blocks: Vec<BlockId>,
+    /// Internal edges (union of member path edges).
+    pub edges: BTreeSet<(BlockId, BlockId)>,
+    /// Distinct exit blocks, one live-out set each.
+    pub exits: Vec<BlockId>,
+    /// Ball-Larus ids of the merged paths, hottest first.
+    pub member_paths: Vec<u64>,
+    /// Combined path weight.
+    pub pwt: u128,
+}
+
+impl PathTree {
+    /// Number of merged paths.
+    pub fn num_paths(&self) -> usize {
+        self.member_paths.len()
+    }
+
+    /// Coverage relative to a function weight.
+    pub fn coverage(&self, fwt: u128) -> f64 {
+        if fwt == 0 {
+            0.0
+        } else {
+            self.pwt as f64 / fwt as f64
+        }
+    }
+
+    /// Static instruction count of the region.
+    pub fn num_insts(&self, func: &Function) -> usize {
+        self.blocks.iter().map(|b| func.block(*b).insts.len()).sum()
+    }
+
+    /// The paper's key criticism: live-out bookkeeping scales with the
+    /// number of exits (each exiting block has its own live-out set),
+    /// whereas a Braid always has exactly one.
+    pub fn live_out_sets(&self) -> usize {
+        self.exits.len()
+    }
+}
+
+/// Group the `max_paths` hottest paths by *entry block only* and merge each
+/// group into a path-tree. Returns trees sorted by combined weight.
+pub fn build_path_trees(func: &Function, rank: &FunctionRank, max_paths: usize) -> Vec<PathTree> {
+    let cfg = Cfg::new(func);
+    let rpo = cfg.reverse_post_order();
+    let mut rpo_index = vec![usize::MAX; func.num_blocks()];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_index[b.index()] = i;
+    }
+
+    let mut groups: Vec<(BlockId, Vec<&RankedPath>)> = Vec::new();
+    for p in rank.paths.iter().take(max_paths) {
+        let key = p.blocks[0];
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(p),
+            None => groups.push((key, vec![p])),
+        }
+    }
+
+    let mut trees: Vec<PathTree> = groups
+        .into_iter()
+        .map(|(entry, paths)| {
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            let mut edges: BTreeSet<(BlockId, BlockId)> = BTreeSet::new();
+            let mut exits: Vec<BlockId> = Vec::new();
+            let mut pwt = 0u128;
+            let mut member_paths = Vec::new();
+            for p in &paths {
+                blocks.extend(p.blocks.iter().copied());
+                edges.extend(p.blocks.windows(2).map(|w| (w[0], w[1])));
+                let exit = *p.blocks.last().expect("paths are nonempty");
+                if !exits.contains(&exit) {
+                    exits.push(exit);
+                }
+                pwt += p.pwt;
+                member_paths.push(p.id);
+            }
+            let mut ordered: Vec<BlockId> = blocks.into_iter().collect();
+            ordered.sort_by_key(|b| rpo_index[b.index()]);
+            exits.sort();
+            PathTree {
+                entry,
+                blocks: ordered,
+                edges,
+                exits,
+                member_paths,
+                pwt,
+            }
+        })
+        .collect();
+    trees.sort_by(|a, b| b.pwt.cmp(&a.pwt));
+    trees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::interp::{Interp, Memory};
+    use needle_profile::profiler::PathProfiler;
+    use needle_profile::rank::rank_paths;
+
+    use crate::braid::build_braids;
+
+    /// On a workload whose hot paths share entries but can exit at
+    /// different blocks, path-trees carry more live-out sets than Braids.
+    #[test]
+    fn path_trees_merge_by_entry_only() {
+        let w = needle_workloads::by_name("175.vpr").unwrap();
+        let mut prof = PathProfiler::new(&w.module);
+        let mut mem = w.memory.clone();
+        Interp::new(&w.module)
+            .run(w.func, &w.args, &mut mem, &mut prof)
+            .unwrap();
+        let f = w.module.func(w.func);
+        let rank = rank_paths(f, prof.numbering(w.func).unwrap(), &prof.profile(w.func));
+        let trees = build_path_trees(f, &rank, 64);
+        assert!(!trees.is_empty());
+        let top = &trees[0];
+        // All members start at the tree entry.
+        for pid in &top.member_paths {
+            let p = rank.paths.iter().find(|p| p.id == *pid).unwrap();
+            assert_eq!(p.blocks[0], top.entry);
+        }
+        // The loop-body group merges both the back-edge paths (exit at the
+        // latch) and the loop-leaving path (exit at the function's exit
+        // block), so the tree has ≥ 1 live-out set and, when the hot entry
+        // also starts the leaving path, ≥ 2.
+        assert!(top.live_out_sets() >= 1);
+        // A path-tree groups at least as many paths as the braid with the
+        // same entry (braids additionally require a common exit).
+        let braids = build_braids(f, &rank, 64);
+        let same_entry_braid = braids
+            .iter()
+            .find(|b| b.region.entry() == top.entry)
+            .expect("a braid shares the tree's entry");
+        assert!(top.num_paths() >= same_entry_braid.num_paths());
+        assert!(top.pwt >= same_entry_braid.pwt);
+    }
+
+    #[test]
+    fn trees_sorted_and_weight_accumulates() {
+        let w = needle_workloads::by_name("ferret").unwrap();
+        let mut prof = PathProfiler::new(&w.module);
+        let mut mem = w.memory.clone();
+        Interp::new(&w.module)
+            .run(w.func, &w.args, &mut mem, &mut prof)
+            .unwrap();
+        let f = w.module.func(w.func);
+        let rank = rank_paths(f, prof.numbering(w.func).unwrap(), &prof.profile(w.func));
+        let trees = build_path_trees(f, &rank, 32);
+        for w2 in trees.windows(2) {
+            assert!(w2[0].pwt >= w2[1].pwt);
+        }
+        let total: u128 = trees.iter().map(|t| t.pwt).sum();
+        let expect: u128 = rank.paths.iter().take(32).map(|p| p.pwt).sum();
+        assert_eq!(total, expect);
+        // Coverage of all trees sums to the covered share.
+        let cov: f64 = trees.iter().map(|t| t.coverage(rank.fwt)).sum();
+        assert!(cov <= 1.0 + 1e-9);
+        assert!(trees[0].num_insts(f) > 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The common offload-region abstraction.
+
+use std::collections::BTreeSet;
+
+use needle_ir::{BlockId, Function, Terminator};
+
+/// A single-entry single-exit acyclic region selected for offload.
+///
+/// Both BL-paths and Braids lower to this form; frame construction
+/// ([`needle-frames`](https://docs.rs/needle-frames)) consumes it.
+///
+/// Invariants (checked by [`OffloadRegion::validate`]):
+/// * `blocks` is topologically ordered; `blocks[0]` is the entry and
+///   `blocks.last()` the exit;
+/// * every edge in `edges` connects two member blocks;
+/// * the region is acyclic (edges only go forward in `blocks` order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadRegion {
+    /// Member blocks in topological order (entry first, exit last).
+    pub blocks: Vec<BlockId>,
+    /// Internal control-flow edges observed in the merged paths.
+    pub edges: BTreeSet<(BlockId, BlockId)>,
+    /// Combined dynamic entry frequency of the region.
+    pub freq: u64,
+    /// Fraction of the parent function's dynamic instructions covered.
+    pub coverage: f64,
+}
+
+impl OffloadRegion {
+    /// Build a region from a single path (one flow of control).
+    pub fn from_path(blocks: &[BlockId], freq: u64, coverage: f64) -> OffloadRegion {
+        let edges = blocks.windows(2).map(|w| (w[0], w[1])).collect();
+        OffloadRegion {
+            blocks: blocks.to_vec(),
+            edges,
+            freq,
+            coverage,
+        }
+    }
+
+    /// Entry block.
+    ///
+    /// # Panics
+    /// Panics if the region is empty.
+    pub fn entry(&self) -> BlockId {
+        self.blocks[0]
+    }
+
+    /// Exit block.
+    ///
+    /// # Panics
+    /// Panics if the region is empty.
+    pub fn exit(&self) -> BlockId {
+        *self.blocks.last().expect("region is nonempty")
+    }
+
+    /// Whether `bb` is a member.
+    pub fn contains(&self, bb: BlockId) -> bool {
+        self.blocks.contains(&bb)
+    }
+
+    /// Static instruction count over member blocks (Table II C3 / IV C4).
+    pub fn num_insts(&self, func: &Function) -> usize {
+        self.blocks.iter().map(|b| func.block(*b).insts.len()).sum()
+    }
+
+    /// Static memory-operation count over member blocks.
+    pub fn num_mem_ops(&self, func: &Function) -> usize {
+        self.blocks.iter().map(|b| func.block_mem_ops(*b)).sum()
+    }
+
+    /// Conditional branches whose *not-taken-in-region* side leaves the
+    /// region — these become guards in the software frame (Table IV C5).
+    ///
+    /// A conditional branch with exactly one in-region successor edge is a
+    /// guard. A branch with both successor edges inside is internal control
+    /// flow (an "IF", Table IV C6).
+    pub fn guard_branches(&self, func: &Function) -> Vec<BlockId> {
+        self.classify_branches(func).0
+    }
+
+    /// Conditional branches with both sides inside the region (Braid IFs).
+    pub fn internal_ifs(&self, func: &Function) -> Vec<BlockId> {
+        self.classify_branches(func).1
+    }
+
+    fn classify_branches(&self, func: &Function) -> (Vec<BlockId>, Vec<BlockId>) {
+        let mut guards = Vec::new();
+        let mut ifs = Vec::new();
+        for &bb in &self.blocks {
+            if bb == self.exit() {
+                continue; // the exit's branch transfers control back to the host
+            }
+            if let Terminator::CondBr {
+                then_bb, else_bb, ..
+            } = func.block(bb).term
+            {
+                let t_in = self.edges.contains(&(bb, then_bb));
+                let e_in = self.edges.contains(&(bb, else_bb));
+                match (t_in, e_in) {
+                    (true, true) => ifs.push(bb),
+                    (true, false) | (false, true) => guards.push(bb),
+                    (false, false) => {}
+                }
+            }
+        }
+        (guards, ifs)
+    }
+
+    /// Check the structural invariants. Returns a description of the first
+    /// violation, if any.
+    pub fn validate(&self, func: &Function) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("region has no blocks".into());
+        }
+        let mut seen = BTreeSet::new();
+        for b in &self.blocks {
+            if b.index() >= func.num_blocks() {
+                return Err(format!("{b} out of range"));
+            }
+            if !seen.insert(*b) {
+                return Err(format!("{b} appears twice"));
+            }
+        }
+        let pos =
+            |b: BlockId| -> Option<usize> { self.blocks.iter().position(|x| *x == b) };
+        for (a, b) in &self.edges {
+            let (Some(pa), Some(pb)) = (pos(*a), pos(*b)) else {
+                return Err(format!("edge {a}->{b} leaves the region"));
+            };
+            if pa >= pb {
+                return Err(format!("edge {a}->{b} is not forward (region must be acyclic)"));
+            }
+            if !func.block(*a).term.successors().contains(b) {
+                return Err(format!("edge {a}->{b} does not exist in the CFG"));
+            }
+        }
+        // Single entry: no internal edges into blocks[0]; single exit: no
+        // internal edges out of the last block (guaranteed by forwardness).
+        if self.edges.iter().any(|(_, b)| *b == self.entry()) {
+            return Err("internal edge re-enters the region entry".into());
+        }
+        // Connectivity: every non-entry member is reachable via edges.
+        let mut reach: BTreeSet<BlockId> = BTreeSet::new();
+        reach.insert(self.entry());
+        for &b in &self.blocks {
+            if reach.contains(&b) {
+                for (x, y) in &self.edges {
+                    if *x == b {
+                        reach.insert(*y);
+                    }
+                }
+            }
+        }
+        // (one forward sweep suffices because blocks are topo-ordered)
+        for b in &self.blocks {
+            if !reach.contains(b) {
+                return Err(format!("{b} unreachable from region entry"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::{Type, Value};
+
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], None);
+        let entry = fb.entry();
+        let a = fb.block("a");
+        let b = fb.block("b");
+        let m = fb.block("m");
+        fb.switch_to(entry);
+        let c = fb.icmp_sgt(fb.arg(0), Value::int(0));
+        fb.cond_br(c, a, b);
+        fb.switch_to(a);
+        let x = fb.add(fb.arg(0), Value::int(1));
+        let _ = fb.mul(x, Value::int(2));
+        fb.br(m);
+        fb.switch_to(b);
+        fb.br(m);
+        fb.switch_to(m);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn path_region_roundtrip() {
+        let f = diamond();
+        let r = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 10, 0.7);
+        r.validate(&f).unwrap();
+        assert_eq!(r.entry(), BlockId(0));
+        assert_eq!(r.exit(), BlockId(3));
+        assert!(r.contains(BlockId(1)));
+        assert!(!r.contains(BlockId(2)));
+        assert_eq!(r.num_insts(&f), 3); // icmp + add + mul
+        assert_eq!(r.guard_branches(&f), vec![BlockId(0)]);
+        assert!(r.internal_ifs(&f).is_empty());
+    }
+
+    #[test]
+    fn merged_region_classifies_internal_ifs() {
+        let f = diamond();
+        let mut r = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 10, 0.7);
+        // merge the other path
+        r.blocks = vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)];
+        r.edges.insert((BlockId(0), BlockId(2)));
+        r.edges.insert((BlockId(2), BlockId(3)));
+        r.validate(&f).unwrap();
+        assert_eq!(r.internal_ifs(&f), vec![BlockId(0)]);
+        assert!(r.guard_branches(&f).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_regions() {
+        let f = diamond();
+        let empty = OffloadRegion {
+            blocks: vec![],
+            edges: BTreeSet::new(),
+            freq: 0,
+            coverage: 0.0,
+        };
+        assert!(empty.validate(&f).is_err());
+
+        let dup = OffloadRegion::from_path(&[BlockId(0), BlockId(0)], 1, 0.0);
+        assert!(dup.validate(&f).unwrap_err().contains("twice"));
+
+        let mut backward = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 1, 0.0);
+        backward.edges.insert((BlockId(3), BlockId(1)));
+        assert!(backward.validate(&f).unwrap_err().contains("not forward"));
+
+        let mut phantom = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 1, 0.0);
+        phantom.edges.remove(&(BlockId(0), BlockId(1)));
+        phantom.edges.insert((BlockId(0), BlockId(3)));
+        assert!(phantom
+            .validate(&f)
+            .unwrap_err()
+            .contains("does not exist in the CFG"));
+
+        let disconnected = OffloadRegion {
+            blocks: vec![BlockId(0), BlockId(1), BlockId(3)],
+            edges: [(BlockId(1), BlockId(3))].into_iter().collect(),
+            freq: 0,
+            coverage: 0.0,
+        };
+        assert!(disconnected.validate(&f).unwrap_err().contains("unreachable"));
+    }
+}

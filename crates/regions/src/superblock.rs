@@ -1,0 +1,244 @@
+//! Superblock construction from edge profiles — the classical baseline
+//! (Hwu et al., 1993) that Needle compares against in §II-B.
+//!
+//! A superblock is grown from a seed block by repeatedly following the
+//! hottest successor edge under the *mutual-most-likely* heuristic. The
+//! paper shows (Figure 3) that on overlapping paths this local decision can
+//! construct *infeasible* traces — block sequences that never occur in any
+//! executed path; [`superblock_is_feasible`] reproduces that check.
+
+use std::collections::HashSet;
+
+use needle_ir::cfg::Cfg;
+use needle_ir::{BlockId, Function};
+use needle_profile::profiler::EdgeProfile;
+use needle_profile::rank::FunctionRank;
+
+/// A superblock: a single-entry multi-exit straight-line trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Superblock {
+    /// Trace blocks in order, starting at the seed.
+    pub blocks: Vec<BlockId>,
+    /// Execution count of the seed block when the trace was grown.
+    pub seed_count: u64,
+}
+
+impl Superblock {
+    /// Static instruction count of the trace.
+    pub fn num_insts(&self, func: &Function) -> usize {
+        self.blocks.iter().map(|b| func.block(*b).insts.len()).sum()
+    }
+}
+
+/// Grow a superblock from `seed` following the hottest successor edges.
+///
+/// Growth stops when:
+/// * the hottest successor edge is a loop back edge,
+/// * the successor is already in the trace,
+/// * the successor's hottest *incoming* edge is not the current block
+///   (mutual-most-likely heuristic), or
+/// * the successor was never executed.
+pub fn build_superblock(func: &Function, profile: &EdgeProfile, seed: BlockId) -> Superblock {
+    let cfg = Cfg::new(func);
+    let back: HashSet<(BlockId, BlockId)> = cfg
+        .back_edges()
+        .into_iter()
+        .map(|e| (e.from, e.to))
+        .collect();
+    let mut blocks = vec![seed];
+    let mut cur = seed;
+    loop {
+        let Some((next, cnt)) = profile.hottest_successor(cur) else {
+            break;
+        };
+        if cnt == 0 || back.contains(&(cur, next)) || blocks.contains(&next) {
+            break;
+        }
+        // mutual-most-likely: `cur` must be `next`'s hottest predecessor.
+        let hottest_pred = cfg
+            .preds(next)
+            .iter()
+            .map(|p| (*p, profile.edge(*p, next)))
+            .max_by_key(|(p, c)| (*c, std::cmp::Reverse(p.index())));
+        if let Some((p, _)) = hottest_pred {
+            if p != cur {
+                break;
+            }
+        }
+        blocks.push(next);
+        cur = next;
+    }
+    Superblock {
+        blocks,
+        seed_count: profile.block(seed),
+    }
+}
+
+/// Whether the superblock's block sequence occurs contiguously inside at
+/// least one *executed* BL path (§II-B "infeasible superblock" check).
+pub fn superblock_is_feasible(sb: &Superblock, rank: &FunctionRank) -> bool {
+    rank.paths.iter().any(|p| {
+        p.blocks
+            .windows(sb.blocks.len().max(1))
+            .any(|w| w == sb.blocks.as_slice())
+    })
+}
+
+/// Whether the superblock is the function's hottest path (§II-B: edge
+/// profiles may construct feasible-but-not-hottest traces).
+pub fn superblock_is_hottest_path(sb: &Superblock, rank: &FunctionRank) -> bool {
+    match rank.top() {
+        Some(top) => {
+            top.blocks
+                .windows(sb.blocks.len().max(1))
+                .any(|w| w == sb.blocks.as_slice())
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory, TeeSink};
+    use needle_ir::{Constant, Module, Type, Value};
+    use needle_profile::profiler::{EdgeProfiler, PathProfiler};
+    use needle_profile::rank::rank_paths;
+
+    /// The paper's Figure 3 pathology: two overlapping paths
+    /// T-A-X-B-J (50%) and T-nA-X-nB-J (50%). Edge profiles see every edge
+    /// at 50% and can splice the never-executed trace T-A-X-nB-J.
+    ///
+    /// CFG: top -> {a | na} -> x -> {b | nb} -> join, driven so that
+    /// a pairs with b and na pairs with nb (correlated branches).
+    fn figure3(n: i64) -> (Module, needle_ir::FuncId, EdgeProfiler, PathProfiler) {
+        let mut fb = FunctionBuilder::new("fig3", &[Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let top = fb.block("top");
+        let a = fb.block("a");
+        let na = fb.block("na");
+        let x = fb.block("x");
+        let bpos = fb.block("b");
+        let nb = fb.block("nb");
+        let join = fb.block("join");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        fb.cond_br(c, top, exit);
+        fb.switch_to(top);
+        let par = fb.rem(i, Value::int(2));
+        let even = fb.icmp_eq(par, Value::int(0));
+        fb.cond_br(even, a, na);
+        fb.switch_to(a);
+        let va = fb.add(i, Value::int(100));
+        fb.br(x);
+        fb.switch_to(na);
+        let vna = fb.add(i, Value::int(200));
+        fb.br(x);
+        fb.switch_to(x);
+        let xv = fb.phi(Type::I64, &[(a, va), (na, vna)]);
+        let xx = fb.mul(xv, Value::int(2));
+        // correlated: same predicate as `even`
+        let par2 = fb.rem(i, Value::int(2));
+        let even2 = fb.icmp_eq(par2, Value::int(0));
+        fb.cond_br(even2, bpos, nb);
+        fb.switch_to(bpos);
+        let _ = fb.add(xx, Value::int(1));
+        fb.br(join);
+        fb.switch_to(nb);
+        let _ = fb.add(xx, Value::int(2));
+        fb.br(join);
+        fb.switch_to(join);
+        let i2 = fb.add(i, Value::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(join);
+        let mut m = Module::new("t");
+        let fid = m.push(f);
+        let mut eprof = EdgeProfiler::new();
+        let mut pprof = PathProfiler::new(&m);
+        let mut mem = Memory::new();
+        let mut tee = TeeSink(&mut eprof, &mut pprof);
+        Interp::new(&m)
+            .run(fid, &[Constant::Int(n)], &mut mem, &mut tee)
+            .unwrap();
+        (m, fid, eprof, pprof)
+    }
+
+    #[test]
+    fn superblock_grows_along_hot_edges() {
+        let (m, fid, eprof, _) = figure3(40);
+        let profile = eprof.profile(fid);
+        // Seed at the loop head: branch into `top` dominates.
+        let sb = build_superblock(m.func(fid), &profile, BlockId(1));
+        assert!(sb.blocks.len() >= 2);
+        assert_eq!(sb.blocks[0], BlockId(1));
+        assert_eq!(sb.seed_count, 41);
+        assert!(sb.num_insts(m.func(fid)) > 0);
+    }
+
+    #[test]
+    fn overlapping_paths_can_make_infeasible_or_cold_superblocks() {
+        let (m, fid, eprof, pprof) = figure3(40);
+        let profile = eprof.profile(fid);
+        let rank = rank_paths(m.func(fid), pprof.numbering(fid).unwrap(), &pprof.profile(fid));
+        // Seed at `top` (bb2): both sides 50/50. The superblock picks one
+        // side at `top` and one at `x` independently. If it mixes sides
+        // (a with nb), the trace is infeasible.
+        let sb = build_superblock(m.func(fid), &profile, BlockId(2));
+        // The 50/50 tie-break may or may not mix sides; assert that the
+        // feasibility check itself agrees with a manual trace scan.
+        let feasible = superblock_is_feasible(&sb, &rank);
+        let manual = rank.paths.iter().any(|p| {
+            p.blocks
+                .windows(sb.blocks.len())
+                .any(|w| w == sb.blocks.as_slice())
+        });
+        assert_eq!(feasible, manual);
+        // A deliberately spliced infeasible trace is detected.
+        let bad = Superblock {
+            blocks: vec![BlockId(2), BlockId(3), BlockId(5), BlockId(7)], // top,a,x,nb
+            seed_count: 40,
+        };
+        assert!(!superblock_is_feasible(&bad, &rank));
+        // And the genuinely-hot trace is detected as feasible.
+        let good = Superblock {
+            blocks: vec![BlockId(2), BlockId(3), BlockId(5), BlockId(6)], // top,a,x,b
+            seed_count: 40,
+        };
+        assert!(superblock_is_feasible(&good, &rank));
+    }
+
+    #[test]
+    fn hottest_path_check() {
+        let (m, fid, eprof, pprof) = figure3(41);
+        // with odd n, evens occur one more time; the a-side path is hottest
+        let profile = eprof.profile(fid);
+        let rank = rank_paths(m.func(fid), pprof.numbering(fid).unwrap(), &pprof.profile(fid));
+        let sb = build_superblock(m.func(fid), &profile, BlockId(2));
+        // Whatever the constructed trace, the predicate must be consistent
+        // with feasibility: hottest ⊆ feasible.
+        if superblock_is_hottest_path(&sb, &rank) {
+            assert!(superblock_is_feasible(&sb, &rank));
+        }
+    }
+
+    #[test]
+    fn unexecuted_seed_yields_singleton() {
+        let (m, fid, eprof, _) = figure3(0);
+        let profile = eprof.profile(fid);
+        // `top` never executes with n=0.
+        let sb = build_superblock(m.func(fid), &profile, BlockId(2));
+        assert_eq!(sb.blocks, vec![BlockId(2)]);
+        assert_eq!(sb.seed_count, 0);
+    }
+}

@@ -1,0 +1,464 @@
+//! The parametric workload generator.
+//!
+//! Every workload is a hot loop whose body chains `diamonds` two-way branch
+//! segments:
+//!
+//! ```text
+//! entry -> head(i,acc φ; i<n?) -> seg0.pre -> {seg0.then|seg0.else} ->
+//! seg0.merge(φ) -> seg1.pre -> ... -> latch(i+1) -> head ; head -> exit
+//! ```
+//!
+//! Segment prefixes carry shared arithmetic and array loads; branches are
+//! steered by data values or the induction variable per
+//! [`BiasKind`](crate::spec::BiasKind); arms carry distinct op mixes and
+//! stores. The generator is fully deterministic in the spec's seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use needle_ir::builder::FunctionBuilder;
+use needle_ir::interp::{Memory, Val};
+use needle_ir::{Constant, FuncId, Module, Type, Value};
+
+use crate::spec::{BiasKind, GenSpec};
+use crate::Workload;
+
+/// Base address of the read-only data array steering branches.
+pub const DATA_BASE: u64 = 0x1_0000;
+/// Base address of the output array receiving stores.
+pub const OUT_BASE: u64 = 0x80_0000;
+/// Base address of the per-segment branch-threshold array. Conditions
+/// compare a loaded data value against a loaded threshold, so every
+/// data-driven branch depends on two memory accesses (the paper's
+/// Mem⇒Branch characteristic, Table I).
+pub const THR_BASE: u64 = 0x40_0000;
+
+/// Generate the workload for `spec`.
+pub fn generate(spec: &GenSpec) -> Workload {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut module = Module::new(spec.name);
+    let helper = spec.helper_call.then(|| build_helper(&mut module));
+
+    let kernel_name = format!("{}_kernel", sanitize(spec.name));
+    let mut fb = FunctionBuilder::new(&kernel_name, &[Type::I64], Some(Type::I64));
+    let entry = fb.entry();
+    let head = fb.block("head");
+    let exit = fb.block("exit");
+    let mask = Value::int(spec.array_len as i64 - 1);
+
+    fb.switch_to(entry);
+    fb.br(head);
+
+    // Loop header φs (incoming from the latch patched at the end).
+    fb.switch_to(head);
+    let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+    let acc0 = fb.phi(Type::I64, &[(entry, Value::int(rng.gen_range(1..64)))]);
+    let facc0 = spec
+        .fp
+        .then(|| fb.phi(Type::F64, &[(entry, Value::float(1.0))]));
+    let n = fb.arg(0);
+    let c = fb.icmp_slt(i, n);
+
+    let mut acc = acc0;
+    let mut facc = facc0;
+
+    // Branch-data loads consume part of the load budget.
+    let data_bias = !matches!(spec.bias, BiasKind::InductionMod(_));
+    let branch_loads = if data_bias { spec.diamonds } else { 0 };
+    let extra_loads = spec.loads.saturating_sub(branch_loads);
+    let mut loads_left = extra_loads;
+    let mut stores_left = spec.stores;
+
+    let first_pre = fb.block("seg0.pre");
+    fb.cond_br(c, first_pre, exit);
+
+    let mut cur_pre = first_pre;
+    for k in 0..spec.diamonds {
+        fb.switch_to(cur_pre);
+        // Shared arithmetic prefix.
+        emit_payload(&mut fb, spec.shared_ops, spec.fp, &mut rng, i, &mut acc, &mut facc);
+        // Extra loads folded into the payload.
+        let seg_loads = (extra_loads / spec.diamonds
+            + usize::from(k < extra_loads % spec.diamonds))
+        .min(loads_left);
+        for j in 0..seg_loads {
+            let v = emit_load(&mut fb, i, (k * 31 + j * 7 + 3) as i64, mask);
+            fold_value(&mut fb, spec.fp, v, &mut acc, &mut facc);
+        }
+        loads_left -= seg_loads;
+
+        // Branch condition.
+        let cond = match spec.bias {
+            BiasKind::InductionMod(m) => {
+                let t = fb.add(i, Value::int(k as i64));
+                let r = fb.rem(t, Value::int(m));
+                fb.icmp_eq(r, Value::int(0))
+            }
+            _ => {
+                let v = emit_load(&mut fb, i, (k * 13 + 5) as i64, mask);
+                let thr_addr = fb.gep(Value::ptr(THR_BASE), Value::int(k as i64), 8);
+                let thr = fb.load(Type::I64, thr_addr);
+                fb.icmp_slt(v, thr)
+            }
+        };
+
+        let then_bb = fb.block(format!("seg{k}.then"));
+        let else_bb = fb.block(format!("seg{k}.else"));
+        let merge_bb = fb.block(format!("seg{k}.merge"));
+        fb.cond_br(cond, then_bb, else_bb);
+
+        // Taken arm.
+        fb.switch_to(then_bb);
+        let (mut acc_t, mut facc_t) = (acc, facc);
+        emit_payload(&mut fb, spec.then_ops, spec.fp, &mut rng, i, &mut acc_t, &mut facc_t);
+        if let Some(h) = helper {
+            if k == 0 {
+                let hv = fb.call(h, Type::I64, &[acc_t, i]);
+                fold_value(&mut fb, spec.fp, hv, &mut acc_t, &mut facc_t);
+            }
+        }
+        if stores_left > 0 {
+            emit_store(&mut fb, spec.fp, i, (k * 17 + 1) as i64, mask, acc_t, facc_t);
+            stores_left -= 1;
+        }
+        fb.br(merge_bb);
+
+        // Fall-through arm.
+        fb.switch_to(else_bb);
+        let (mut acc_e, mut facc_e) = (acc, facc);
+        emit_payload(&mut fb, spec.else_ops, spec.fp, &mut rng, i, &mut acc_e, &mut facc_e);
+        fb.br(merge_bb);
+
+        // Merge: φ for the payload accumulator(s) that diverged.
+        fb.switch_to(merge_bb);
+        if spec.fp {
+            let pf = fb.phi(
+                Type::F64,
+                &[(then_bb, facc_t.expect("fp")), (else_bb, facc_e.expect("fp"))],
+            );
+            facc = Some(pf);
+            if acc_t != acc_e {
+                acc = fb.phi(Type::I64, &[(then_bb, acc_t), (else_bb, acc_e)]);
+            }
+        } else {
+            acc = fb.phi(Type::I64, &[(then_bb, acc_t), (else_bb, acc_e)]);
+        }
+
+        let next = if k + 1 == spec.diamonds {
+            fb.block("latch")
+        } else {
+            fb.block(format!("seg{}.pre", k + 1))
+        };
+        fb.br(next);
+        cur_pre = next;
+    }
+
+    // Latch: leftover stores, induction update, back edge.
+    let latch = cur_pre;
+    fb.switch_to(latch);
+    while stores_left > 0 {
+        emit_store(&mut fb, spec.fp, i, stores_left as i64 * 23, mask, acc, facc);
+        stores_left -= 1;
+    }
+    let i2 = fb.add(i, Value::int(1));
+    fb.br(head);
+
+    // The exit sees the loop-carried header φs (end-of-body values do not
+    // dominate the exit).
+    fb.switch_to(exit);
+    let ret = if let Some(f) = facc0 {
+        let fi = fb.ftoi(f);
+        fb.add(fi, acc0)
+    } else {
+        acc0
+    };
+    fb.ret(Some(ret));
+
+    let mut func = fb.finish();
+    // Patch loop-carried φs.
+    let patch = |func: &mut needle_ir::Function, phi: Value, v: Value| {
+        let id = phi.as_inst().expect("phi is an instruction");
+        func.inst_mut(id).args.push(v);
+        func.inst_mut(id).phi_blocks.push(latch);
+    };
+    patch(&mut func, i, i2);
+    patch(&mut func, acc0, acc);
+    if let (Some(p), Some(v)) = (facc0, facc) {
+        patch(&mut func, p, v);
+    }
+
+    let func_id = module.push(func);
+
+    // Data memory: values uniform in [0, 100).
+    let mut memory = Memory::new();
+    let mut drng = StdRng::seed_from_u64(spec.seed ^ 0xDA7A);
+    for idx in 0..spec.array_len {
+        memory.store(DATA_BASE + idx as u64 * 8, Val::Int(drng.gen_range(0..100)));
+    }
+    // Branch thresholds per segment (constant at run time; loaded by the
+    // condition so branches data-depend on memory).
+    for k in 0..spec.diamonds {
+        let thr = match spec.bias {
+            BiasKind::Uniform => 50,
+            BiasKind::High => 95,
+            BiasKind::Mixed => {
+                if k % 3 == 0 {
+                    50
+                } else {
+                    90 + (k % 5) as i64
+                }
+            }
+            BiasKind::InductionMod(_) => 0,
+        };
+        memory.store(THR_BASE + k as u64 * 8, Val::Int(thr));
+    }
+
+    Workload {
+        name: spec.name.to_string(),
+        suite: spec.suite,
+        module,
+        func: func_id,
+        args: vec![Constant::Int(spec.trips)],
+        memory,
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let stripped = name.split_once('.').map(|(_, b)| b).unwrap_or(name);
+    stripped.replace('-', "_")
+}
+
+/// Emit `n` arithmetic ops advancing the designated accumulator.
+///
+/// The ops form a balanced reduction tree — roughly `n/2` independent
+/// leaves followed by a pairwise fold — so the payload has abundant
+/// instruction-level parallelism (dataflow depth ≈ `log2 n`), matching the
+/// spatial-friendly kernels the paper's accelerator targets. A 4-wide host
+/// is fetch-bound on such code while the 128-FU fabric is not.
+fn emit_payload(
+    fb: &mut FunctionBuilder,
+    n: usize,
+    fp: bool,
+    rng: &mut StdRng,
+    i: Value,
+    acc: &mut Value,
+    facc: &mut Option<Value>,
+) {
+    if n == 0 {
+        return;
+    }
+    // m leaves (1 op each) + (m - 1) fold ops + 1 final fold into the
+    // accumulator ≈ n total; keep at least one leaf.
+    let m = (n / 2).max(1);
+    let mut level: Vec<Value> = Vec::with_capacity(m);
+    let mut ops_left = n;
+    if fp {
+        // Leaves depend on the induction variable, not the accumulator:
+        // iterations are independent except for the final reduction fold
+        // (the recurrence the paper's loop pipelining must respect).
+        let fi = fb.itof(i);
+        ops_left = ops_left.saturating_sub(1);
+        for _ in 0..m.min(ops_left.max(1)) {
+            let c = Value::float(rng.gen_range(0.01..0.50));
+            let leaf = match rng.gen_range(0..3u32) {
+                0 => fb.fmul(fi, c),
+                1 => fb.fadd(fi, c),
+                _ => fb.fsub(fi, c),
+            };
+            level.push(leaf);
+            ops_left = ops_left.saturating_sub(1);
+        }
+        // Pairwise fold; scale products to keep the value bounded.
+        while level.len() > 1 && ops_left > 0 {
+            let mut next = Vec::with_capacity(level.len() / 2 + 1);
+            let mut it = level.chunks(2);
+            for pair in &mut it {
+                if ops_left == 0 || pair.len() == 1 {
+                    next.extend_from_slice(pair);
+                    continue;
+                }
+                next.push(fb.fadd(pair[0], pair[1]));
+                ops_left -= 1;
+            }
+            level = next;
+        }
+        // Damp the per-iteration contribution, then fold once into the
+        // accumulator (a single-op loop recurrence).
+        let f = facc.expect("fp accumulator present");
+        let mut out = level[0];
+        if ops_left > 0 {
+            out = fb.fmul(out, Value::float(0.001 / m as f64));
+        }
+        *facc = Some(fb.fadd(f, out));
+    } else {
+        for _ in 0..m.min(ops_left) {
+            let c = Value::int(rng.gen_range(1..97));
+            let leaf = match rng.gen_range(0..4u32) {
+                0 => fb.add(i, c),
+                1 => fb.xor(i, c),
+                2 => fb.mul(i, Value::int(rng.gen_range(1..16) * 2 + 1)),
+                _ => fb.sub(i, c),
+            };
+            level.push(leaf);
+            ops_left -= 1;
+        }
+        while level.len() > 1 && ops_left > 0 {
+            let mut next = Vec::with_capacity(level.len() / 2 + 1);
+            for pair in level.chunks(2) {
+                if ops_left == 0 || pair.len() == 1 {
+                    next.extend_from_slice(pair);
+                    continue;
+                }
+                let folded = match rng.gen_range(0..3u32) {
+                    0 => fb.add(pair[0], pair[1]),
+                    1 => fb.xor(pair[0], pair[1]),
+                    _ => fb.sub(pair[0], pair[1]),
+                };
+                next.push(folded);
+                ops_left -= 1;
+            }
+            level = next;
+        }
+        // Single-op fold into the integer accumulator.
+        *acc = fb.add(*acc, level[0]);
+    }
+}
+
+/// Load `data[(i + salt) & mask]`.
+fn emit_load(fb: &mut FunctionBuilder, i: Value, salt: i64, mask: Value) -> Value {
+    let t = fb.add(i, Value::int(salt));
+    let idx = fb.and(t, mask);
+    let addr = fb.gep(Value::ptr(DATA_BASE), idx, 8);
+    fb.load(Type::I64, addr)
+}
+
+/// Fold an integer value into the designated accumulator.
+fn fold_value(
+    fb: &mut FunctionBuilder,
+    fp: bool,
+    v: Value,
+    acc: &mut Value,
+    facc: &mut Option<Value>,
+) {
+    if fp {
+        let fv = fb.itof(v);
+        let f = facc.expect("fp accumulator present");
+        *facc = Some(fb.fadd(f, fv));
+    } else {
+        *acc = fb.add(*acc, v);
+    }
+}
+
+/// Store the designated accumulator to `out[(i + salt) & mask]`.
+fn emit_store(
+    fb: &mut FunctionBuilder,
+    fp: bool,
+    i: Value,
+    salt: i64,
+    mask: Value,
+    acc: Value,
+    facc: Option<Value>,
+) {
+    let t = fb.add(i, Value::int(salt));
+    let idx = fb.and(t, mask);
+    let addr = fb.gep(Value::ptr(OUT_BASE), idx, 8);
+    let v = if fp { facc.expect("fp accumulator") } else { acc };
+    fb.store(v, addr);
+}
+
+/// A small helper routine used by `helper_call` workloads: the pipeline
+/// inlines it before profiling (the paper's aggressive inlining).
+fn build_helper(module: &mut Module) -> FuncId {
+    let mut fb = FunctionBuilder::new("mix_helper", &[Type::I64, Type::I64], Some(Type::I64));
+    let x = fb.arg(0);
+    let y = fb.arg(1);
+    let a = fb.mul(x, Value::int(3));
+    let b = fb.add(a, Value::int(7));
+    let c = fb.shr(x, Value::int(3));
+    let d = fb.xor(b, c);
+    let e = fb.add(d, y);
+    let f = fb.and(e, Value::int(0xFFFF_FFFF));
+    fb.ret(Some(f));
+    module.push(fb.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{specs, Suite};
+    use needle_ir::interp::{BlockCountSink, NullSink};
+    use needle_ir::verify::verify_module;
+
+    fn spec_by_name(name: &str) -> GenSpec {
+        *specs().iter().find(|s| s.name == name).unwrap()
+    }
+
+    #[test]
+    fn generated_kernel_matches_spec_shape() {
+        let spec = spec_by_name("401.bzip2");
+        let w = generate(&spec);
+        verify_module(&w.module).unwrap();
+        let f = w.module.func(w.func);
+        // One cond branch per diamond plus the loop header.
+        assert_eq!(f.num_cond_branches(), spec.diamonds + 1);
+        assert_eq!(f.name, "bzip2_kernel");
+    }
+
+    #[test]
+    fn helper_workloads_contain_a_call() {
+        let w = generate(&spec_by_name("186.crafty"));
+        assert_eq!(w.module.funcs.len(), 2);
+        let has_call = w
+            .module
+            .func(w.func)
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, needle_ir::Op::Call(_)));
+        assert!(has_call);
+        w.run(&mut NullSink).unwrap();
+    }
+
+    #[test]
+    fn fp_workloads_use_the_fpu() {
+        let w = generate(&spec_by_name("470.lbm"));
+        let f = w.module.func(w.func);
+        let fp_ops = f.insts.iter().filter(|i| i.op.is_float()).count();
+        assert!(fp_ops > 50, "lbm should be FP heavy, got {fp_ops}");
+    }
+
+    #[test]
+    fn loop_iterates_the_requested_trip_count() {
+        let spec = spec_by_name("164.gzip");
+        let w = generate(&spec);
+        let mut sink = BlockCountSink::default();
+        w.run(&mut sink).unwrap();
+        // The head block runs trips + 1 times.
+        let head = sink.counts[&(w.func, needle_ir::BlockId(1))];
+        assert_eq!(head, spec.trips as u64 + 1);
+    }
+
+    #[test]
+    fn mem_free_workloads_issue_no_memory_ops() {
+        let w = generate(&spec_by_name("blackscholes"));
+        let f = w.module.func(w.func);
+        let mem = f
+            .insts
+            .iter()
+            .filter(|i| i.op.is_mem())
+            .count();
+        assert_eq!(mem, 0);
+        assert_eq!(w.suite, Suite::Parsec);
+    }
+
+    #[test]
+    fn data_arrays_are_seed_stable() {
+        let a = generate(&spec_by_name("175.vpr"));
+        let b = generate(&spec_by_name("175.vpr"));
+        for idx in 0..8 {
+            assert_eq!(
+                a.memory.peek(DATA_BASE + idx * 8),
+                b.memory.peek(DATA_BASE + idx * 8)
+            );
+        }
+    }
+}

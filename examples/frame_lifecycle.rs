@@ -1,0 +1,106 @@
+//! The life of a software frame: construction from a region, speculative
+//! execution with an undo log, commit on guard success and exact rollback
+//! on guard failure (§V, Figure 8).
+//!
+//! ```sh
+//! cargo run --release --example frame_lifecycle
+//! ```
+
+use needle_frames::{build_frame, run_frame, FrameOutcome};
+use needle_ir::builder::FunctionBuilder;
+use needle_ir::interp::{Memory, Val};
+use needle_ir::{BlockId, Type, Value};
+use needle_regions::OffloadRegion;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Figure 8 shape:
+    //   z = x + y; c = a + b; w = z + c;
+    //   if w > 10 { store w; s = w + 1 } else { cold }
+    //   store s
+    let mut fb = FunctionBuilder::new(
+        "fig8",
+        &[Type::I64, Type::I64, Type::I64, Type::I64, Type::Ptr],
+        Some(Type::I64),
+    );
+    let entry = fb.entry();
+    let hot = fb.block("hot");
+    let cold = fb.block("cold");
+    let done = fb.block("done");
+    let (x, y, a, b, p) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3), fb.arg(4));
+    fb.switch_to(entry);
+    let z = fb.add(x, y);
+    let c = fb.add(a, b);
+    let w = fb.add(z, c);
+    let cond = fb.icmp_sgt(w, Value::int(10));
+    fb.cond_br(cond, hot, cold);
+    fb.switch_to(hot);
+    fb.store(w, p);
+    let s = fb.add(w, Value::int(1));
+    let p2 = fb.gep(p, Value::int(1), 8);
+    fb.store(s, p2);
+    fb.br(done);
+    fb.switch_to(cold);
+    fb.br(done);
+    fb.switch_to(done);
+    let r = fb.phi(Type::I64, &[(hot, s), (cold, Value::int(0))]);
+    fb.ret(Some(r));
+    let func = fb.finish();
+
+    // Extract the hot path entry->hot->done as the offload region.
+    let region = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 1000, 0.95);
+    let frame = build_frame(&func, &region)?;
+    println!(
+        "frame: {} ops ({} memory), {} guards, {} φ cancelled, undo log {} entries",
+        frame.num_ops(),
+        frame.num_mem_ops(),
+        frame.guards.len(),
+        frame.phis_cancelled,
+        frame.undo_log_size
+    );
+    println!(
+        "live-ins: {:?}",
+        frame.live_ins.iter().map(|l| l.value).collect::<Vec<_>>()
+    );
+
+    // Invocation 1: w = 3+4+5+6 = 18 > 10 → guards pass → commit.
+    let mut mem = Memory::new();
+    mem.store(64, Val::Int(-1));
+    mem.store(72, Val::Int(-1));
+    let outcome = run_frame(
+        &frame,
+        &[Val::Int(3), Val::Int(4), Val::Int(5), Val::Int(6), Val::Int(64)],
+        &mut mem,
+    )?;
+    match &outcome {
+        FrameOutcome::Committed { live_outs, stores } => println!(
+            "\ninvocation 1: COMMIT — {stores} stores applied, live-outs {live_outs:?}"
+        ),
+        other => println!("unexpected: {other:?}"),
+    }
+    println!(
+        "  memory after commit: a[0]={:?} a[1]={:?}",
+        mem.load(64, Type::I64),
+        mem.load(72, Type::I64)
+    );
+
+    // Invocation 2: w = 1+1+1+1 = 4 ≤ 10 → the guard fails; the frame ran
+    // speculatively (stores included) but the undo log restores memory.
+    let before = (mem.peek(64), mem.peek(72));
+    let outcome = run_frame(
+        &frame,
+        &[Val::Int(1), Val::Int(1), Val::Int(1), Val::Int(1), Val::Int(64)],
+        &mut mem,
+    )?;
+    match &outcome {
+        FrameOutcome::Aborted {
+            failed_guard,
+            rolled_back,
+        } => println!(
+            "\ninvocation 2: ABORT — guard #{failed_guard} failed, {rolled_back} undo entries replayed"
+        ),
+        other => println!("unexpected: {other:?}"),
+    }
+    assert_eq!((mem.peek(64), mem.peek(72)), before);
+    println!("  memory restored exactly: externally invisible speculation");
+    Ok(())
+}

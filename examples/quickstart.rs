@@ -1,0 +1,82 @@
+//! Quickstart: profile a workload, inspect its hot paths and Braids, and
+//! simulate offloading the top Braid onto the CGRA.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [workload-name]
+//! ```
+
+use needle::{analyze, simulate_offload, NeedleConfig, PredictorKind};
+use needle_regions::path::PathRegion;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "456.hmmer".into());
+    let workload = needle_workloads::by_name(&name)
+        .ok_or_else(|| format!("unknown workload {name}; see needle_workloads::names()"))?;
+    println!("workload: {} ({})", workload.name, workload.suite);
+
+    // Step 1 — profile: Ball-Larus path profile, ranking, Braids, baselines.
+    let cfg = NeedleConfig::default();
+    let analysis = analyze(
+        &workload.module,
+        workload.func,
+        &workload.args,
+        &workload.memory,
+        &cfg,
+    )?;
+    println!(
+        "profiled {} distinct paths; top-5 cover {:.1}% of dynamic instructions",
+        analysis.rank.executed_paths(),
+        analysis.rank.top_coverage(5) * 100.0
+    );
+    for (i, p) in analysis.rank.paths.iter().take(3).enumerate() {
+        println!(
+            "  path #{i}: id {} freq {} ops {} branches {} coverage {:.1}%",
+            p.id,
+            p.freq,
+            p.ops,
+            p.branches,
+            p.coverage(analysis.rank.fwt) * 100.0
+        );
+    }
+    let braid = &analysis.braids[0];
+    let func = analysis.module.func(analysis.func);
+    println!(
+        "top braid: merges {} paths, {} blocks, {} guards, {} internal IFs, coverage {:.1}%",
+        braid.num_paths(),
+        braid.region.blocks.len(),
+        braid.region.guard_branches(func).len(),
+        braid.region.internal_ifs(func).len(),
+        braid.coverage(analysis.rank.fwt) * 100.0
+    );
+
+    // Step 2+3 — frame the regions and co-simulate the offload.
+    let path_region = PathRegion::from_rank(&analysis.rank, 0)
+        .expect("profiled workloads have a top path")
+        .region;
+    for (label, region, kind) in [
+        ("top path (oracle)", &path_region, PredictorKind::Oracle),
+        ("top path (history)", &path_region, PredictorKind::History),
+        ("top braid (history)", &braid.region, PredictorKind::History),
+    ] {
+        let r = simulate_offload(
+            &analysis.module,
+            analysis.func,
+            &workload.args,
+            &workload.memory,
+            region,
+            kind,
+            &cfg,
+        )?;
+        println!(
+            "{label:<22} perf {:+6.1}%  energy {:+6.1}%  coverage {:5.1}%  \
+             commits {} aborts {} declined {}",
+            r.perf_improvement_pct(),
+            r.energy_reduction_pct(),
+            r.coverage() * 100.0,
+            r.commits,
+            r.aborts,
+            r.declined
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Whole-suite summary: one line per workload with the core Needle
+//! metrics — path diversity, coverage, braid shape, offload outcome.
+//!
+//! ```sh
+//! cargo run --release --example suite_report
+//! ```
+
+use needle::{analyze, simulate_offload, NeedleConfig, PredictorKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = NeedleConfig::default();
+    println!(
+        "{:<20} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
+        "workload", "paths", "top1%", "top5%", "braids", "merged", "perf%", "energy%"
+    );
+    let mut perf_sum = 0.0;
+    let mut energy_sum = 0.0;
+    let mut n = 0.0;
+    for name in needle_workloads::names() {
+        let w = needle_workloads::by_name(name).expect("suite name");
+        let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg)?;
+        let braid = &a.braids[0];
+        let r = simulate_offload(
+            &a.module,
+            a.func,
+            &w.args,
+            &w.memory,
+            &braid.region,
+            PredictorKind::History,
+            &cfg,
+        )?;
+        println!(
+            "{:<20} {:>7} {:>7.1} {:>7.1} {:>7} {:>7} {:>8.1} {:>8.1}",
+            name,
+            a.rank.executed_paths(),
+            a.rank.top_coverage(1) * 100.0,
+            a.rank.top_coverage(5) * 100.0,
+            a.braids.len(),
+            braid.num_paths(),
+            r.perf_improvement_pct(),
+            r.energy_reduction_pct(),
+        );
+        perf_sum += r.perf_improvement_pct();
+        energy_sum += r.energy_reduction_pct();
+        n += 1.0;
+    }
+    println!(
+        "\nsuite means: perf {:+.1}%  energy {:+.1}%  (paper: +34% / +20%)",
+        perf_sum / n,
+        energy_sum / n
+    );
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the whole Needle reproduction workspace.
+pub use needle;
+pub use needle_cgra;
+pub use needle_frames;
+pub use needle_host;
+pub use needle_ir;
+pub use needle_profile;
+pub use needle_regions;
+pub use needle_workloads;

@@ -1,0 +1,63 @@
+//! Differential tests: the optimizer must preserve the observable
+//! behaviour of every suite workload, and optimized modules must still
+//! flow through the whole Needle pipeline.
+
+use needle::{analyze, NeedleConfig};
+use needle_ir::interp::{Interp, NullSink};
+use needle_ir::verify::verify_module;
+use needle_opt::{optimize_module, OptConfig};
+
+#[test]
+fn optimizer_preserves_suite_semantics() {
+    for w in needle_workloads::all() {
+        let mut mem = w.memory.clone();
+        let before = Interp::new(&w.module)
+            .run(w.func, &w.args, &mut mem, &mut NullSink)
+            .unwrap();
+        let footprint_before = mem.footprint();
+
+        let mut optimized = w.module.clone();
+        let stats = optimize_module(&mut optimized, &OptConfig::default());
+        verify_module(&optimized).unwrap_or_else(|(f, e)| panic!("{}: {f:?} {e}", w.name));
+        let mut mem = w.memory.clone();
+        let after = Interp::new(&optimized)
+            .run(w.func, &w.args, &mut mem, &mut NullSink)
+            .unwrap();
+        assert_eq!(before, after, "{}: result changed", w.name);
+        assert_eq!(mem.footprint(), footprint_before, "{}: memory footprint", w.name);
+        // The generator emits fairly tight code already, but LICM should
+        // find the loop-invariant threshold addresses on data-bias kernels.
+        let total: usize = stats.iter().map(|(_, s)| s.total()).sum();
+        let _ = total;
+    }
+}
+
+#[test]
+fn optimizer_makes_progress_on_redundant_workloads() {
+    // The helper-call workloads leave foldable code after inlining.
+    let cfg = NeedleConfig::default();
+    for name in ["186.crafty", "403.gcc"] {
+        let w = needle_workloads::by_name(name).unwrap();
+        let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg).unwrap();
+        let mut inlined = a.module.clone();
+        let stats = optimize_module(&mut inlined, &OptConfig::default());
+        let total: usize = stats.iter().map(|(_, s)| s.total()).sum();
+        assert!(total > 0, "{name}: optimizer found nothing after inlining");
+        verify_module(&inlined).unwrap();
+    }
+}
+
+#[test]
+fn optimized_module_flows_through_analysis() {
+    let cfg = NeedleConfig::default();
+    let w = needle_workloads::by_name("175.vpr").unwrap();
+    let mut optimized = w.module.clone();
+    optimize_module(&mut optimized, &OptConfig::default());
+    let a = analyze(&optimized, w.func, &w.args, &w.memory, &cfg).unwrap();
+    assert!(a.rank.executed_paths() >= 1);
+    assert!(!a.braids.is_empty());
+    a.braids[0]
+        .region
+        .validate(a.module.func(a.func))
+        .unwrap();
+}

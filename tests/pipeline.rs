@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the whole pipeline over suite workloads.
+
+use needle::{analyze, simulate_offload, NeedleConfig, PredictorKind};
+use needle_frames::build_frame;
+use needle_regions::path::PathRegion;
+
+/// Representative sample spanning suites, bias kinds and FP/int mixes.
+const SAMPLE: &[&str] = &[
+    "164.gzip",
+    "179.art",
+    "186.crafty",
+    "197.parser",
+    "470.lbm",
+    "blackscholes",
+    "dwt53",
+    "sar-pfa-interp1",
+];
+
+#[test]
+fn analysis_invariants_hold_across_workloads() {
+    let cfg = NeedleConfig::default();
+    for name in SAMPLE {
+        let w = needle_workloads::by_name(name).unwrap();
+        let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg).unwrap();
+        let f = a.module.func(a.func);
+
+        // Ranked paths decode to valid in-function block sequences and
+        // coverage sums to 1.
+        assert!(a.rank.executed_paths() >= 1, "{name}");
+        let total: f64 = a
+            .rank
+            .paths
+            .iter()
+            .map(|p| p.coverage(a.rank.fwt))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "{name}: coverage sums to {total}");
+
+        // Regions validate; braid coverage is monotone in rank weight.
+        for b in a.braids.iter().take(5) {
+            b.region.validate(f).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        for w2 in a.braids.windows(2) {
+            assert!(w2[0].pwt >= w2[1].pwt, "{name}: braids unsorted");
+        }
+
+        // The top braid's member paths all share entry/exit (§IV-B).
+        if let Some(top) = a.braids.first() {
+            for pid in &top.member_paths {
+                let p = a.rank.paths.iter().find(|p| p.id == *pid).unwrap();
+                assert_eq!(p.blocks[0], top.region.entry(), "{name}");
+                assert_eq!(*p.blocks.last().unwrap(), top.region.exit(), "{name}");
+            }
+        }
+
+        // Frames build and validate for the top path and braid.
+        let path = PathRegion::from_rank(&a.rank, 0).unwrap().region;
+        let pf = build_frame(f, &path).unwrap();
+        pf.validate().unwrap();
+        // A path region has one flow of control: every cond branch guards.
+        assert_eq!(pf.guards.len(), path.guard_branches(f).len(), "{name}");
+        let bf = build_frame(f, &a.braids[0].region).unwrap();
+        bf.validate().unwrap();
+    }
+}
+
+#[test]
+fn offload_accounting_is_consistent() {
+    let cfg = NeedleConfig::default();
+    for name in ["197.parser", "179.art", "dwt53"] {
+        let w = needle_workloads::by_name(name).unwrap();
+        let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg).unwrap();
+        let braid = a.braids[0].region.clone();
+        for kind in [PredictorKind::Oracle, PredictorKind::History] {
+            let r = simulate_offload(&a.module, a.func, &w.args, &w.memory, &braid, kind, &cfg)
+                .unwrap();
+            assert_eq!(
+                r.invocations,
+                r.commits + r.aborts + r.declined,
+                "{name}: invocation accounting"
+            );
+            assert!(r.coverage() <= 1.0 + 1e-9, "{name}");
+            assert!(r.committed_insts <= r.total_insts, "{name}");
+            if kind == PredictorKind::Oracle {
+                assert_eq!(r.aborts, 0, "{name}: oracle never aborts");
+                assert_eq!(r.precision, 1.0, "{name}");
+            }
+            // The offloaded run times fewer host instructions than the
+            // baseline when anything committed.
+            if r.commits > 0 {
+                assert!(r.offload.insts < r.baseline.insts, "{name}");
+            }
+            assert!(r.accel_energy_pj >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn oracle_path_beats_history_path() {
+    // The oracle is an upper bound for the same region (paper Figure 9).
+    let cfg = NeedleConfig::default();
+    for name in ["164.gzip", "453.povray", "458.sjeng"] {
+        let w = needle_workloads::by_name(name).unwrap();
+        let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg).unwrap();
+        let path = PathRegion::from_rank(&a.rank, 0).unwrap().region;
+        let po = simulate_offload(
+            &a.module, a.func, &w.args, &w.memory, &path, PredictorKind::Oracle, &cfg,
+        )
+        .unwrap();
+        let ph = simulate_offload(
+            &a.module, a.func, &w.args, &w.memory, &path, PredictorKind::History, &cfg,
+        )
+        .unwrap();
+        assert!(
+            po.perf_improvement_pct() >= ph.perf_improvement_pct() - 1.0,
+            "{name}: oracle {:.1} < history {:.1}",
+            po.perf_improvement_pct(),
+            ph.perf_improvement_pct()
+        );
+    }
+}
+
+#[test]
+fn workload_results_are_reproducible_end_to_end() {
+    let cfg = NeedleConfig::default();
+    let run = || {
+        let w = needle_workloads::by_name("429.mcf").unwrap();
+        let a = analyze(&w.module, w.func, &w.args, &w.memory, &cfg).unwrap();
+        let braid = a.braids[0].region.clone();
+        let r = simulate_offload(
+            &a.module,
+            a.func,
+            &w.args,
+            &w.memory,
+            &braid,
+            PredictorKind::History,
+            &cfg,
+        )
+        .unwrap();
+        (
+            a.rank.executed_paths(),
+            r.baseline.cycles,
+            r.offload.cycles,
+            r.commits,
+            r.offload_energy_pj.to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn inlining_preserves_workload_semantics() {
+    use needle_ir::inline::inline_all;
+    use needle_ir::interp::{Interp, Memory, NullSink};
+    for name in ["186.crafty", "403.gcc", "453.povray"] {
+        let w = needle_workloads::by_name(name).unwrap();
+        let mut mem = Memory::new();
+        let mut m2 = w.memory.clone();
+        std::mem::swap(&mut mem, &mut m2);
+        let before = Interp::new(&w.module)
+            .run(w.func, &w.args, &mut mem, &mut NullSink)
+            .unwrap();
+        let mut inlined = w.module.clone();
+        let n = inline_all(&mut inlined, w.func, 100_000);
+        assert!(n >= 1, "{name} should have a call to inline");
+        let mut mem = w.memory.clone();
+        let after = Interp::new(&inlined)
+            .run(w.func, &w.args, &mut mem, &mut NullSink)
+            .unwrap();
+        assert_eq!(before, after, "{name}: inlining changed the result");
+    }
+}

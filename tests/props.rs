@@ -1,0 +1,213 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use needle_frames::{build_frame, run_frame, FrameOutcome};
+use needle_ir::builder::FunctionBuilder;
+use needle_ir::interp::{Interp, Memory, NullSink, Val};
+use needle_ir::{BlockId, Constant, Function, Module, Type, Value};
+use needle_profile::bl::BlNumbering;
+use needle_regions::OffloadRegion;
+
+/// Build a random acyclic diamond-chain function:
+/// entry -> d0 {t|e} -> m0 -> d1 {t|e} -> m1 ... -> ret, with `arms[k]`
+/// selecting per-arm op mixes and branch conditions comparing `arg0`
+/// against per-diamond thresholds. Stores write to distinct slots.
+fn diamond_chain(arms: &[(u8, u8, i64)]) -> Function {
+    let mut fb = FunctionBuilder::new("chain", &[Type::I64, Type::Ptr], Some(Type::I64));
+    let mut cur = Value::Arg(0);
+    for (k, (t_ops, e_ops, thr)) in arms.iter().enumerate() {
+        let t = fb.block(format!("t{k}"));
+        let e = fb.block(format!("e{k}"));
+        let m = fb.block(format!("m{k}"));
+        let c = fb.icmp_sgt(cur, Value::int(*thr));
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        let mut tv = cur;
+        for j in 0..*t_ops {
+            tv = fb.add(tv, Value::int(j as i64 + 1));
+        }
+        let taddr = fb.gep(Value::Arg(1), Value::int(k as i64 * 2), 8);
+        fb.store(tv, taddr);
+        fb.br(m);
+        fb.switch_to(e);
+        let mut ev = cur;
+        for j in 0..*e_ops {
+            ev = fb.mul(ev, Value::int(j as i64 + 2));
+        }
+        let eaddr = fb.gep(Value::Arg(1), Value::int(k as i64 * 2 + 1), 8);
+        fb.store(ev, eaddr);
+        fb.br(m);
+        fb.switch_to(m);
+        cur = fb.phi(Type::I64, &[(t, tv), (e, ev)]);
+    }
+    fb.ret(Some(cur));
+    fb.finish()
+}
+
+/// The whole-function braid region of a diamond chain (all blocks, all
+/// edges).
+fn full_braid(f: &Function) -> OffloadRegion {
+    let cfg = needle_ir::cfg::Cfg::new(f);
+    let blocks: Vec<BlockId> = cfg.reverse_post_order();
+    let edges = cfg
+        .edges()
+        .into_iter()
+        .map(|e| (e.from, e.to))
+        .collect();
+    OffloadRegion {
+        blocks,
+        edges,
+        freq: 1,
+        coverage: 1.0,
+    }
+}
+
+fn arm_strategy() -> impl Strategy<Value = Vec<(u8, u8, i64)>> {
+    prop::collection::vec((0u8..4, 0u8..4, -50i64..50), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ball-Larus ids decode/encode as inverses and are dense.
+    #[test]
+    fn bl_roundtrip_on_random_chains(arms in arm_strategy()) {
+        let f = diamond_chain(&arms);
+        let bl = BlNumbering::new(&f).unwrap();
+        prop_assert_eq!(bl.num_paths(), 1u64 << arms.len());
+        for id in 0..bl.num_paths() {
+            let blocks = bl.decode(id).unwrap();
+            prop_assert_eq!(bl.encode(&blocks).unwrap(), id);
+            prop_assert_eq!(blocks[0], BlockId(0));
+        }
+    }
+
+    /// A committed whole-function braid frame is observationally equivalent
+    /// to interpreting the function: same return value, same memory.
+    #[test]
+    fn braid_frame_matches_interpreter(arms in arm_strategy(), x in -100i64..100) {
+        let f = diamond_chain(&arms);
+        let region = full_braid(&f);
+        region.validate(&f).unwrap();
+        let frame = build_frame(&f, &region).unwrap();
+        prop_assert!(frame.guards.is_empty(), "whole-function braid has no guards");
+
+        // Interpreter run.
+        let mut m = Module::new("t");
+        let fid = m.push(f.clone());
+        let mut mem_i = Memory::new();
+        let ret = Interp::new(&m)
+            .run(fid, &[Constant::Int(x), Constant::Ptr(0)], &mut mem_i, &mut NullSink)
+            .unwrap()
+            .unwrap();
+
+        // Frame run: live-ins are the two arguments in first-use order.
+        let live_vals: Vec<Val> = frame
+            .live_ins
+            .iter()
+            .map(|li| match li.value {
+                Value::Arg(0) => Val::Int(x),
+                Value::Arg(1) => Val::Int(0),
+                other => panic!("unexpected live-in {other:?}"),
+            })
+            .collect();
+        let mut mem_f = Memory::new();
+        let out = run_frame(&frame, &live_vals, &mut mem_f).unwrap();
+        let FrameOutcome::Committed { live_outs, .. } = out else {
+            return Err(TestCaseError::fail("no guards: frame must commit"));
+        };
+
+        // Memory images agree on every touched slot.
+        for slot in 0..(arms.len() as u64 * 2) {
+            prop_assert_eq!(
+                mem_i.peek(slot * 8),
+                mem_f.peek(slot * 8),
+                "slot {} differs", slot
+            );
+        }
+        // The returned value is one of the frame's live-outs.
+        prop_assert!(
+            live_outs.contains(&ret),
+            "interpreter returned {ret:?}, frame live-outs {live_outs:?}"
+        );
+    }
+
+    /// A path frame through the all-taken arms either commits with the same
+    /// effects as the interpreter (when the input stays on the path) or
+    /// aborts leaving memory untouched.
+    #[test]
+    fn path_frame_commit_or_clean_abort(arms in arm_strategy(), x in -100i64..100) {
+        let f = diamond_chain(&arms);
+        // Region: entry + all taken arms + merges.
+        let mut blocks = vec![BlockId(0)];
+        for k in 0..arms.len() as u32 {
+            blocks.push(BlockId(1 + k * 3)); // t_k
+            blocks.push(BlockId(3 + k * 3)); // m_k
+        }
+        let region = OffloadRegion::from_path(&blocks, 1, 1.0);
+        region.validate(&f).unwrap();
+        let frame = build_frame(&f, &region).unwrap();
+        prop_assert_eq!(frame.guards.len(), arms.len());
+
+        let live_vals: Vec<Val> = frame
+            .live_ins
+            .iter()
+            .map(|li| match li.value {
+                Value::Arg(0) => Val::Int(x),
+                Value::Arg(1) => Val::Int(0),
+                other => panic!("unexpected live-in {other:?}"),
+            })
+            .collect();
+        let mut mem_f = Memory::new();
+        let sentinel = 0xDEAD;
+        for slot in 0..(arms.len() as u64 * 2) {
+            mem_f.store(slot * 8, Val::Int(sentinel));
+        }
+        let out = run_frame(&frame, &live_vals, &mut mem_f).unwrap();
+        match out {
+            FrameOutcome::Committed { .. } => {
+                // The interpreter must agree (input followed the hot path).
+                let mut m = Module::new("t");
+                let fid = m.push(f.clone());
+                let mut mem_i = Memory::new();
+                for slot in 0..(arms.len() as u64 * 2) {
+                    mem_i.store(slot * 8, Val::Int(sentinel));
+                }
+                Interp::new(&m)
+                    .run(fid, &[Constant::Int(x), Constant::Ptr(0)], &mut mem_i, &mut NullSink)
+                    .unwrap();
+                for slot in 0..(arms.len() as u64 * 2) {
+                    prop_assert_eq!(mem_i.peek(slot * 8), mem_f.peek(slot * 8));
+                }
+            }
+            FrameOutcome::Aborted { .. } => {
+                // Rollback must restore every sentinel.
+                for slot in 0..(arms.len() as u64 * 2) {
+                    prop_assert_eq!(mem_f.peek(slot * 8), sentinel as u64);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bl_numbering_counts_match_profile_on_suite_sample() {
+    // Non-random cross-check: distinct profiled path ids are always within
+    // the numbering's dense id space.
+    use needle_ir::interp::Interp;
+    use needle_profile::profiler::PathProfiler;
+    for name in ["164.gzip", "458.sjeng", "fft-2d"] {
+        let w = needle_workloads::by_name(name).unwrap();
+        let mut prof = PathProfiler::new(&w.module);
+        let mut mem = w.memory.clone();
+        Interp::new(&w.module)
+            .run(w.func, &w.args, &mut mem, &mut prof)
+            .unwrap();
+        let bl = prof.numbering(w.func).unwrap();
+        for id in prof.profile(w.func).counts.keys() {
+            assert!(*id < bl.num_paths(), "{name}: path id out of range");
+            bl.decode(*id).unwrap();
+        }
+    }
+}
