@@ -1,9 +1,9 @@
-//! Criterion benches of the framework components: Ball-Larus numbering,
+//! Micro-benches (quickbench harness) of the framework components: Ball-Larus numbering,
 //! profiled interpretation, region formation, frame construction and CGRA
 //! scheduling. These measure the tool itself (the paper's "NEEDLE is
 //! automated and has been used to analyze 225K paths" workhorse loop).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use needle_bench::quickbench::Criterion;
 use std::hint::black_box;
 
 use needle_frames::build_frame;
@@ -107,9 +107,11 @@ fn bench_frames_and_cgra(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_bl_numbering, bench_interp, bench_region_formation, bench_frames_and_cgra
+fn main() {
+    let mut c = Criterion::new().measurement_time(std::time::Duration::from_secs(2));
+    bench_bl_numbering(&mut c);
+    bench_interp(&mut c);
+    bench_region_formation(&mut c);
+    bench_frames_and_cgra(&mut c);
 }
-criterion_main!(benches);
+

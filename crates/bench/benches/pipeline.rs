@@ -1,7 +1,7 @@
-//! Criterion benches of the end-to-end pipeline: full analysis and full
+//! Micro-benches (quickbench harness) of the end-to-end pipeline: full analysis and full
 //! offload co-simulation on representative workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use needle_bench::quickbench::Criterion;
 use std::hint::black_box;
 
 use needle::{analyze, simulate_offload, NeedleConfig, PredictorKind};
@@ -66,9 +66,9 @@ fn bench_offload(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_analyze, bench_offload
+fn main() {
+    let mut c = Criterion::new().measurement_time(std::time::Duration::from_secs(2));
+    bench_analyze(&mut c);
+    bench_offload(&mut c);
 }
-criterion_main!(benches);
+

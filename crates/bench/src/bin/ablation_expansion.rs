@@ -35,8 +35,8 @@ fn main() {
             let _ = writeln!(out, "{name:<20}  (no loop-carried pair: not expandable)");
             continue;
         }
-        let two = concat_frames(&one, 2);
-        let four = concat_frames(&one, 4);
+        let two = concat_frames(&one, 2).expect("valid frame");
+        let four = concat_frames(&one, 4).expect("valid frame");
         let c1 = CgraCost::new(&ccfg, &one);
         let c2 = CgraCost::new(&ccfg, &two);
         let c4 = CgraCost::new(&ccfg, &four);

@@ -31,7 +31,7 @@ fn main() {
         let ops_before = frame.num_ops();
         let area_before = estimate_area(&frame).alms;
         let e_before = frame_energy(&ccfg, &frame).total_pj();
-        let removed = dce_frame(&mut frame);
+        let removed = dce_frame(&mut frame).expect("valid frame");
         frame.validate().expect("DCE keeps frames valid");
         let area_after = estimate_area(&frame).alms;
         let e_after = frame_energy(&ccfg, &frame).total_pj();

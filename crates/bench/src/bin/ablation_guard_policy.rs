@@ -27,7 +27,7 @@ fn main() {
         let mut row = format!("{name:<20}");
         for policy in [GuardPolicy::AsEmitted, GuardPolicy::Late, GuardPolicy::Early] {
             let mut frame = base.clone();
-            apply_guard_policy(&mut frame, policy);
+            apply_guard_policy(&mut frame, policy).expect("valid frame");
             let sched = schedule_frame(&ccfg, &frame);
             // Detection time: the latest cycle at which a guard resolves.
             let detect = frame

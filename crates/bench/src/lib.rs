@@ -122,3 +122,67 @@ mod tests {
         assert!(d.ends_with("results"));
     }
 }
+
+/// Minimal Criterion-style micro-bench harness (the build environment has
+/// no crates.io access, so the real `criterion` is unavailable). Each
+/// `bench_function` runs a short warm-up, then times batches until the
+/// measurement window closes and prints mean time per iteration.
+pub mod quickbench {
+    use std::time::{Duration, Instant};
+
+    /// Per-benchmark iteration driver handed to the closure.
+    pub struct Bencher {
+        pub(crate) iters_done: u64,
+        pub(crate) elapsed: Duration,
+        pub(crate) window: Duration,
+    }
+
+    impl Bencher {
+        /// Time repeated calls of `f` until the window closes.
+        pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+            // Warm-up: one untimed call.
+            std::hint::black_box(f());
+            let start = Instant::now();
+            while start.elapsed() < self.window {
+                std::hint::black_box(f());
+                self.iters_done += 1;
+            }
+            self.elapsed = start.elapsed();
+        }
+    }
+
+    /// Collects and prints benchmark results.
+    #[derive(Default)]
+    pub struct Criterion {
+        window: Option<Duration>,
+    }
+
+    impl Criterion {
+        /// A harness with the default 2-second measurement window.
+        pub fn new() -> Criterion {
+            Criterion::default()
+        }
+
+        /// Override the per-benchmark measurement window.
+        pub fn measurement_time(mut self, d: Duration) -> Criterion {
+            self.window = Some(d);
+            self
+        }
+
+        /// Run one named benchmark and print its mean iteration time.
+        pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+            let mut b = Bencher {
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+                window: self.window.unwrap_or(Duration::from_secs(2)),
+            };
+            f(&mut b);
+            let per_iter = if b.iters_done == 0 {
+                Duration::ZERO
+            } else {
+                b.elapsed / b.iters_done as u32
+            };
+            println!("{name:<40} {:>10.3?}/iter ({} iters)", per_iter, b.iters_done);
+        }
+    }
+}

@@ -207,9 +207,11 @@ mod tests {
 
     #[test]
     fn fu_count_bounds_issue_width() {
-        let mut cfg = CgraConfig::default();
-        cfg.rows = 2;
-        cfg.cols = 2; // 4 FUs
+        let cfg = CgraConfig {
+            rows: 2,
+            cols: 2, // 4 FUs
+            ..CgraConfig::default()
+        };
         let c = FrameValue::Const(Constant::Int(1));
         let ops = (0..9).map(|_| add_op(vec![c, c])).collect();
         let s = schedule_frame(&cfg, &frame_with_ops(ops));

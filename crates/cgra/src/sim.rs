@@ -185,7 +185,7 @@ mod tests {
         let cfg = CgraConfig::default();
         let frame = sample_frame();
         let cost = CgraCost::new(&cfg, &frame);
-        let burst = |v: usize| 2 + (v as u64 + 3) / 4 * cfg.live_transfer_cycles;
+        let burst = |v: usize| 2 + (v as u64).div_ceil(4) * cfg.live_transfer_cycles;
         let expected_transfer = burst(frame.live_ins.len()) + burst(frame.live_outs.len());
         assert_eq!(
             cost.cycles(InvocationKind::Commit),
@@ -204,7 +204,7 @@ mod tests {
         let abort = cost.cycles(InvocationKind::Abort);
         // abort pays live-in transfer + schedule + rollback of 1 store
         let expect = 2
-            + (frame.live_ins.len() as u64 + 3) / 4 * cfg.live_transfer_cycles
+            + (frame.live_ins.len() as u64).div_ceil(4) * cfg.live_transfer_cycles
             + cost.schedule.cycles
             + frame.undo_log_size as u64;
         assert_eq!(abort, expect);

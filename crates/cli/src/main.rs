@@ -12,7 +12,10 @@
 
 use std::process::ExitCode;
 
-use needle::{analyze, simulate_offload, NeedleConfig, PredictorKind};
+use needle::{
+    analyze, run_campaign, simulate_offload, storm_scenario, ChaosConfig, NeedleConfig,
+    PredictorKind,
+};
 use needle_frames::build_frame;
 use needle_ir::interp::{Interp, Memory, NullSink};
 use needle_ir::print::{function_to_string, module_to_string};
@@ -31,6 +34,14 @@ USAGE:
   needle offload <workload> [--path] [--oracle]
       Co-simulate offloading the top Braid (default) or top BL-path,
       with the history predictor (default) or the oracle.
+  needle chaos [--seed N] [--faults M] [--workloads a,b,c] [--corruption]
+               [--no-storm]
+      Seeded fault-injection campaign: inject M faults across the top
+      braid and path of each workload, differentially verify every
+      invocation, then (unless --no-storm) force an abort storm and
+      check the offloader degrades to host-only execution. Exits
+      non-zero on any divergence, missed corruption, or storm that
+      fails to trip.
   needle print-ir <workload>
       Print the workload's IR in textual form.
   needle run-ir <file> [intarg...]
@@ -43,6 +54,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("analyze") => with_workload(&args, cmd_analyze),
         Some("offload") => with_workload(&args, |name| cmd_offload(name, &args)),
+        Some("chaos") => cmd_chaos(&args),
         Some("print-ir") => with_workload(&args, cmd_print_ir),
         Some("run-ir") => cmd_run_ir(&args),
         _ => {
@@ -178,6 +190,60 @@ fn cmd_offload(name: &str, args: &[String]) -> CliResult {
         kind
     );
     println!("{report}");
+    Ok(())
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_chaos(args: &[String]) -> CliResult {
+    let mut chaos = ChaosConfig::default();
+    if let Some(s) = flag_value(args, "--seed") {
+        chaos.seed = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--faults") {
+        chaos.faults = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--workloads") {
+        chaos.workloads = s.split(',').map(str::to_string).collect();
+    }
+    chaos.include_corruption = args.iter().any(|a| a == "--corruption");
+    let cfg = NeedleConfig::default();
+
+    let report = run_campaign(&chaos, &cfg)?;
+    println!("{report}");
+    let mut failed = !report.is_clean();
+
+    if !args.iter().any(|a| a == "--no-storm") {
+        let target = chaos
+            .workloads
+            .first()
+            .ok_or("no workloads given")?
+            .clone();
+        let mut storm_cfg = cfg;
+        storm_cfg.storm.threshold = 4;
+        storm_cfg.storm.cooldown = 8;
+        storm_cfg.storm.retry_budget = 2;
+        println!("\nabort-storm scenario on {target} (every invocation rolls back):");
+        let r = storm_scenario(&target, chaos.seed, &storm_cfg)?;
+        println!("{r}");
+        if r.storms == 0 || r.fallbacks == 0 {
+            println!("storm FAILED to trip blacklisting");
+            failed = true;
+        } else {
+            println!(
+                "storm tripped {} time(s); {} opportunities degraded to host-only",
+                r.storms, r.fallbacks
+            );
+        }
+    }
+    if failed {
+        return Err("chaos campaign failed".into());
+    }
     Ok(())
 }
 

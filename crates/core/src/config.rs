@@ -14,6 +14,38 @@ pub struct NeedleConfig {
     pub energy: HostEnergyModel,
     /// Analysis tuning.
     pub analysis: AnalysisConfig,
+    /// Abort-storm degradation policy.
+    pub storm: StormConfig,
+}
+
+/// Abort-storm detector policy (graceful offload degradation).
+///
+/// A region whose invocations roll back this often is costing cycles on
+/// every attempt (speculation burned + host re-execution); the offload
+/// layer blacklists it and runs it host-only. Blacklisting is not
+/// permanent: after `cooldown` suppressed opportunities the region gets
+/// one probe invocation, and a committing probe reopens it (hysteresis).
+/// Each failed probe spends one unit of `retry_budget`; at zero the
+/// region is host-only for the rest of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormConfig {
+    /// Consecutive fabric rollbacks that trip blacklisting (0 disables
+    /// the detector entirely).
+    pub threshold: u32,
+    /// Opportunities to run host-only before probing the fabric again.
+    pub cooldown: u64,
+    /// Failed probes allowed before the region is permanently host-only.
+    pub retry_budget: u32,
+}
+
+impl Default for StormConfig {
+    fn default() -> StormConfig {
+        StormConfig {
+            threshold: 8,
+            cooldown: 16,
+            retry_budget: 4,
+        }
+    }
 }
 
 /// Analysis-phase tuning.

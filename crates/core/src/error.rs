@@ -1,0 +1,93 @@
+//! The pipeline-wide error taxonomy.
+//!
+//! Every fallible layer of the reproduction — analysis, frame
+//! construction, frame optimisation, interpretation, speculative frame
+//! execution, differential verification — reports a typed error instead
+//! of panicking, and [`NeedleError`] is the top-level sum the pipeline
+//! entry points (`simulate_offload`, `simulate_multi_offload`,
+//! `run_campaign`) return. Callers that want graceful degradation (the
+//! CLI, the chaos campaign) match on the variant: a
+//! [`NeedleError::Frame`] on one region means "fall back to the host for
+//! this region", not "abort the run".
+
+use std::fmt;
+
+use needle_frames::{BuildError, ExecFrameError, OptError, VerifyError};
+use needle_ir::interp::ExecError;
+
+use crate::analysis::AnalysisError;
+
+/// Any failure of the Needle pipeline.
+#[derive(Debug)]
+pub enum NeedleError {
+    /// Step-1 analysis (profiling, inlining, numbering) failed.
+    Analysis(AnalysisError),
+    /// The region could not be lowered to a frame.
+    Frame(BuildError),
+    /// A frame transformation produced or met a malformed frame.
+    Opt(OptError),
+    /// Reference interpretation of the whole workload failed.
+    Exec(ExecError),
+    /// Speculative execution of a frame failed structurally (distinct
+    /// from a guard abort, which is a normal outcome).
+    FrameExec(ExecFrameError),
+    /// Differential verification could not run.
+    Verify(VerifyError),
+    /// A named workload does not exist in the suite.
+    UnknownWorkload(String),
+    /// Analysis produced no offloadable region to work with.
+    NoRegion(&'static str),
+}
+
+impl fmt::Display for NeedleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeedleError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            NeedleError::Frame(e) => write!(f, "frame construction failed: {e}"),
+            NeedleError::Opt(e) => write!(f, "frame optimisation failed: {e}"),
+            NeedleError::Exec(e) => write!(f, "execution failed: {e}"),
+            NeedleError::FrameExec(e) => write!(f, "frame execution failed: {e}"),
+            NeedleError::Verify(e) => write!(f, "verification failed: {e}"),
+            NeedleError::UnknownWorkload(n) => write!(f, "unknown workload {n:?}"),
+            NeedleError::NoRegion(what) => write!(f, "no region: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NeedleError {}
+
+impl From<AnalysisError> for NeedleError {
+    fn from(e: AnalysisError) -> NeedleError {
+        NeedleError::Analysis(e)
+    }
+}
+
+impl From<BuildError> for NeedleError {
+    fn from(e: BuildError) -> NeedleError {
+        NeedleError::Frame(e)
+    }
+}
+
+impl From<OptError> for NeedleError {
+    fn from(e: OptError) -> NeedleError {
+        NeedleError::Opt(e)
+    }
+}
+
+impl From<ExecError> for NeedleError {
+    fn from(e: ExecError) -> NeedleError {
+        NeedleError::Exec(e)
+    }
+}
+
+impl From<ExecFrameError> for NeedleError {
+    fn from(e: ExecFrameError) -> NeedleError {
+        NeedleError::FrameExec(e)
+    }
+}
+
+impl From<VerifyError> for NeedleError {
+    fn from(e: VerifyError) -> NeedleError {
+        NeedleError::Verify(e)
+    }
+}

@@ -13,6 +13,11 @@
 //!    CGRA running the frame — oracle or history-predictor invocation,
 //!    guard-failure rollback with host re-execution — and report the
 //!    performance and energy deltas of Figures 9 and 10 ("Step 3").
+//! 4. **Chaos** ([`chaos`]): seeded fault-injection campaigns that attack
+//!    the speculation invariant (abort atomicity, commit equivalence) and
+//!    differentially verify every invocation; the offload layer degrades
+//!    gracefully (abort-storm blacklisting, host-only fallback) instead
+//!    of panicking.
 //!
 //! # Quickstart
 //!
@@ -36,11 +41,15 @@
 //! ```
 
 pub mod analysis;
+pub mod chaos;
 pub mod config;
+pub mod error;
 pub mod multi;
 pub mod offload;
 
 pub use analysis::{analyze, analyze_hottest, Analysis, AnalysisError};
-pub use config::NeedleConfig;
+pub use chaos::{run_campaign, storm_scenario, ChaosConfig, ChaosReport, RegionCampaign};
+pub use config::{NeedleConfig, StormConfig};
+pub use error::NeedleError;
 pub use multi::{simulate_multi_offload, MultiOffloadReport, RegionSpec};
-pub use offload::{simulate_offload, OffloadReport, PredictorKind};
+pub use offload::{simulate_offload, simulate_offload_with, OffloadReport, PredictorKind};

@@ -78,7 +78,6 @@ struct RegionState {
     func: FuncId,
     entry: BlockId,
     exit: BlockId,
-    members: BTreeSet<BlockId>,
     edges: BTreeSet<(BlockId, BlockId)>,
     cost: CgraCost,
     commits: u64,
@@ -87,7 +86,6 @@ struct RegionState {
 
 struct MultiSim<'m> {
     host: HostSim<'m>,
-    module: &'m Module,
     regions: Vec<RegionState>,
     /// Which region's configuration is on the fabric.
     resident: Option<usize>,
@@ -252,7 +250,6 @@ pub fn simulate_multi_offload(
                 func: spec.func,
                 entry: spec.region.entry(),
                 exit: spec.region.exit(),
-                members: spec.region.blocks.iter().copied().collect(),
                 edges: spec.region.edges.clone(),
                 cost: CgraCost::new(&cfg.cgra, &frame),
                 commits: 0,
@@ -263,7 +260,6 @@ pub fn simulate_multi_offload(
 
     let mut sim = MultiSim {
         host: HostSim::new(module, cfg.host.clone()),
-        module,
         regions: states,
         resident: None,
         chained: false,

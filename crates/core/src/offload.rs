@@ -18,13 +18,18 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use needle_cgra::{CgraCost, InvocationKind};
-use needle_frames::{build_frame, BuildError, Frame};
+use needle_frames::{build_frame, FaultInjector, Frame};
 use needle_host::{host_energy_pj, HostSim, HostStats, InvocationPredictor};
-use needle_ir::interp::{ExecError, Interp, Memory, TraceSink};
+use needle_ir::interp::{Interp, Memory, TraceSink};
 use needle_ir::{BlockId, Constant, FuncId, InstId, Module, Terminator};
 use needle_regions::OffloadRegion;
 
-use crate::config::NeedleConfig;
+use crate::config::{NeedleConfig, StormConfig};
+use crate::error::NeedleError;
+
+/// Historical name of the offload layer's error type; the whole pipeline
+/// now shares [`NeedleError`].
+pub type OffloadError = NeedleError;
 
 /// Invocation policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +60,18 @@ pub struct OffloadReport {
     pub commits: u64,
     /// Invocations that ran and rolled back.
     pub aborts: u64,
+    /// Aborts forced by fault injection (subset of `aborts`).
+    pub injected_aborts: u64,
     /// Opportunities the predictor declined (region ran on the host).
     pub declined: u64,
+    /// Opportunities that ran host-only because the region was
+    /// blacklisted by the abort-storm detector.
+    pub fallbacks: u64,
+    /// Times the abort-storm detector tripped and blacklisted the region.
+    pub storms: u64,
+    /// Whether the region ended the run blacklisted (retry budget spent
+    /// or still cooling down).
+    pub blacklisted: bool,
     /// Prediction precision (1.0 for the oracle).
     pub precision: f64,
     /// Dynamic instructions absorbed by committed invocations.
@@ -113,43 +128,23 @@ impl fmt::Display for OffloadReport {
             self.offload.cycles,
             self.offload_energy_pj / 1e6
         )?;
-        write!(
+        writeln!(
             f,
             "  invocations {}: {} commits, {} aborts, {} declined (precision {:.2})",
             self.invocations, self.commits, self.aborts, self.declined, self.precision
+        )?;
+        write!(
+            f,
+            "  chaos: {} injected aborts, {} storms, {} host fallbacks{}",
+            self.injected_aborts,
+            self.storms,
+            self.fallbacks,
+            if self.blacklisted {
+                " (region blacklisted)"
+            } else {
+                ""
+            }
         )
-    }
-}
-
-/// Offload simulation failures.
-#[derive(Debug)]
-pub enum OffloadError {
-    /// The region could not be lowered to a frame.
-    Frame(BuildError),
-    /// Interpreter failure.
-    Exec(ExecError),
-}
-
-impl fmt::Display for OffloadError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            OffloadError::Frame(e) => write!(f, "frame construction failed: {e}"),
-            OffloadError::Exec(e) => write!(f, "execution failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for OffloadError {}
-
-impl From<BuildError> for OffloadError {
-    fn from(e: BuildError) -> OffloadError {
-        OffloadError::Frame(e)
-    }
-}
-
-impl From<ExecError> for OffloadError {
-    fn from(e: ExecError) -> OffloadError {
-        OffloadError::Exec(e)
     }
 }
 
@@ -162,7 +157,7 @@ enum Ev {
     Mem(FuncId, InstId, u64, bool),
 }
 
-struct OffloadSim<'m> {
+struct OffloadSim<'m, 'i> {
     host: HostSim<'m>,
     module: &'m Module,
     hot: FuncId,
@@ -172,6 +167,17 @@ struct OffloadSim<'m> {
     edges: BTreeSet<(BlockId, BlockId)>,
     cost: CgraCost,
     predictor: Option<InvocationPredictor>,
+    /// The lowered frame (consulted by the fault injector for shape).
+    frame: &'i Frame,
+    /// Optional chaos hook: a planned fault turns a committing invocation
+    /// into a fabric abort (speculation burned, host re-executes).
+    injector: Option<&'i mut FaultInjector>,
+    // abort-storm degradation state
+    storm: StormConfig,
+    consecutive_aborts: u32,
+    blacklisted: bool,
+    cooldown_left: u64,
+    retries_left: u32,
     // tracking state
     tracking: bool,
     predicted: bool,
@@ -186,12 +192,15 @@ struct OffloadSim<'m> {
     invocations: u64,
     commits: u64,
     aborts: u64,
+    injected_aborts: u64,
     declined: u64,
+    fallbacks: u64,
+    storms: u64,
     committed_insts: u64,
     total_insts: u64,
 }
 
-impl OffloadSim<'_> {
+impl OffloadSim<'_, '_> {
     fn block_size(&self, f: FuncId, bb: BlockId) -> u64 {
         self.module.func(f).block(bb).insts.len() as u64
     }
@@ -231,7 +240,7 @@ impl OffloadSim<'_> {
         let pending = std::mem::take(&mut self.pending);
         let (region_evs, trail) = pending.split_at(pending.len() - trailing);
 
-        let invoke = match &self.predictor {
+        let predicted_invoke = match &self.predictor {
             None => commit, // oracle invokes exactly the committing runs
             Some(_) => self.predicted,
         };
@@ -244,12 +253,43 @@ impl OffloadSim<'_> {
             p.note_branch(commit);
         }
 
+        // Abort-storm gate: a blacklisted region falls back to the host
+        // until its cooldown expires, then spends one retry on a probe
+        // invocation. A committing probe reopens the region (hysteresis);
+        // a failing one re-arms the cooldown. With the retry budget spent
+        // the region is host-only for the rest of the run.
+        let mut probe = false;
+        let mut blocked = false;
+        if self.blacklisted && predicted_invoke {
+            if self.cooldown_left > 0 {
+                self.cooldown_left -= 1;
+                blocked = true;
+            } else if self.retries_left == 0 {
+                blocked = true;
+            } else {
+                probe = true;
+            }
+        }
+        let invoke = predicted_invoke && !blocked;
+
+        // Fault injection: a planned fault burns the speculative run and
+        // rolls back, exactly like a guard failure.
+        let mut fabric_commit = commit;
+        if invoke && commit {
+            if let Some(inj) = self.injector.as_deref_mut() {
+                if inj.plan(self.frame).is_some() {
+                    self.injected_aborts += 1;
+                    fabric_commit = false;
+                }
+            }
+        }
+
         if invoke {
             if !self.configured {
                 self.host.stall(self.cost.reconfig_cycles);
                 self.configured = true;
             }
-            if commit {
+            if fabric_commit {
                 self.commits += 1;
                 let cycles = if self.chained {
                     self.cost.chained_commit_cycles
@@ -271,6 +311,12 @@ impl OffloadSim<'_> {
                         _ => {}
                     }
                 }
+                self.consecutive_aborts = 0;
+                if probe {
+                    // Clean probe: reopen the region with a fresh budget.
+                    self.blacklisted = false;
+                    self.retries_left = self.storm.retry_budget;
+                }
             } else {
                 self.aborts += 1;
                 self.host.stall(self.cost.cycles(InvocationKind::Abort));
@@ -280,9 +326,27 @@ impl OffloadSim<'_> {
                 for ev in &evs {
                     self.forward(ev);
                 }
+                if probe {
+                    self.retries_left -= 1;
+                    self.cooldown_left = self.storm.cooldown;
+                } else {
+                    self.consecutive_aborts += 1;
+                    if self.storm.threshold > 0
+                        && self.consecutive_aborts >= self.storm.threshold
+                    {
+                        self.blacklisted = true;
+                        self.storms += 1;
+                        self.cooldown_left = self.storm.cooldown;
+                        self.consecutive_aborts = 0;
+                    }
+                }
             }
         } else {
-            self.declined += 1;
+            if blocked {
+                self.fallbacks += 1;
+            } else {
+                self.declined += 1;
+            }
             let evs: Vec<Ev> = region_evs.to_vec();
             for ev in &evs {
                 self.forward(ev);
@@ -297,7 +361,7 @@ impl OffloadSim<'_> {
         let reentered = trail.iter().any(
             |e| matches!(e, Ev::Edge(f, _, to) if *f == self.hot && *to == self.entry),
         );
-        self.chained = invoke && commit && reentered;
+        self.chained = invoke && fabric_commit && reentered;
     }
 
     fn route(&mut self, ev: Ev) {
@@ -348,7 +412,7 @@ impl OffloadSim<'_> {
     }
 }
 
-impl TraceSink for OffloadSim<'_> {
+impl TraceSink for OffloadSim<'_, '_> {
     fn enter(&mut self, func: FuncId) {
         self.route(Ev::Enter(func));
     }
@@ -379,7 +443,29 @@ pub fn simulate_offload(
     region: &OffloadRegion,
     kind: PredictorKind,
     cfg: &NeedleConfig,
-) -> Result<OffloadReport, OffloadError> {
+) -> Result<OffloadReport, NeedleError> {
+    simulate_offload_with(module, func, args, memory, region, kind, cfg, None)
+}
+
+/// [`simulate_offload`] with an optional chaos hook: each invocation the
+/// predictor ships to the fabric consults `injector`, and a planned fault
+/// forces a rollback (the abort-storm detector then degrades the region
+/// to host-only execution once aborts streak past the
+/// [`StormConfig`] threshold).
+///
+/// # Errors
+/// Fails if the region cannot be framed or execution fails.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_offload_with(
+    module: &Module,
+    func: FuncId,
+    args: &[Constant],
+    memory: &Memory,
+    region: &OffloadRegion,
+    kind: PredictorKind,
+    cfg: &NeedleConfig,
+    injector: Option<&mut FaultInjector>,
+) -> Result<OffloadReport, NeedleError> {
     let frame = build_frame(module.func(func), region)?;
     let cost = CgraCost::new(&cfg.cgra, &frame);
 
@@ -408,6 +494,13 @@ pub fn simulate_offload(
                 Some(InvocationPredictor::new(cfg.analysis.predictor_bits))
             }
         },
+        frame: &frame,
+        injector,
+        storm: cfg.storm,
+        consecutive_aborts: 0,
+        blacklisted: false,
+        cooldown_left: 0,
+        retries_left: cfg.storm.retry_budget,
         tracking: false,
         predicted: false,
         pending: Vec::new(),
@@ -417,7 +510,10 @@ pub fn simulate_offload(
         invocations: 0,
         commits: 0,
         aborts: 0,
+        injected_aborts: 0,
         declined: 0,
+        fallbacks: 0,
+        storms: 0,
         committed_insts: 0,
         total_insts: 0,
     };
@@ -441,7 +537,11 @@ pub fn simulate_offload(
         invocations,
         commits,
         aborts,
+        injected_aborts,
         declined,
+        fallbacks,
+        storms,
+        blacklisted,
         committed_insts,
         total_insts,
         ..
@@ -458,7 +558,11 @@ pub fn simulate_offload(
         invocations,
         commits,
         aborts,
+        injected_aborts,
         declined,
+        fallbacks,
+        storms,
+        blacklisted,
         precision,
         committed_insts,
         total_insts,

@@ -19,6 +19,11 @@ pub enum BuildError {
     CallInRegion(InstId),
     /// A φ inside the region had no in-region incoming edge.
     PhiUnresolved(InstId),
+    /// An operand was neither a region-internal def nor a registered
+    /// live-in (region blocks out of dataflow order, or a liveness bug).
+    UnresolvedValue(Value),
+    /// A live-out instruction was never lowered into the frame.
+    LiveOutUnmapped(InstId),
 }
 
 impl fmt::Display for BuildError {
@@ -27,6 +32,12 @@ impl fmt::Display for BuildError {
             BuildError::InvalidRegion(m) => write!(f, "invalid region: {m}"),
             BuildError::CallInRegion(i) => write!(f, "call {i} inside offload region"),
             BuildError::PhiUnresolved(i) => write!(f, "phi {i} has no in-region incoming"),
+            BuildError::UnresolvedValue(v) => {
+                write!(f, "operand {v:?} is neither region-defined nor a live-in")
+            }
+            BuildError::LiveOutUnmapped(i) => {
+                write!(f, "live-out {i} was never lowered into the frame")
+            }
         }
     }
 }
@@ -87,16 +98,14 @@ pub fn build_frame(func: &Function, region: &OffloadRegion) -> Result<Frame, Bui
     }
 
     let outs = live_outs(func, region);
-    let live_outs = outs
-        .into_iter()
-        .map(|inst| LiveOut {
-            inst,
-            value: *b
-                .inst_map
-                .get(&inst)
-                .expect("live-out values are region-defined and lowered"),
-        })
-        .collect();
+    let mut live_outs = Vec::with_capacity(outs.len());
+    for inst in outs {
+        let value = *b
+            .inst_map
+            .get(&inst)
+            .ok_or(BuildError::LiveOutUnmapped(inst))?;
+        live_outs.push(LiveOut { inst, value });
+    }
 
     // Loop-carried pairs: an entry-block φ (a live-in) whose incoming value
     // along a back edge from inside the region is one of the live-outs.
@@ -164,17 +173,19 @@ impl Builder<'_> {
         })
     }
 
-    fn resolve(&self, v: Value) -> FrameValue {
+    fn resolve(&self, v: Value) -> Result<FrameValue, BuildError> {
         match v {
-            Value::Const(c) => FrameValue::Const(c),
-            Value::Arg(n) => *self
+            Value::Const(c) => Ok(FrameValue::Const(c)),
+            Value::Arg(n) => self
                 .arg_map
                 .get(&n)
-                .expect("external args are registered live-ins"),
-            Value::Inst(id) => *self
+                .copied()
+                .ok_or(BuildError::UnresolvedValue(v)),
+            Value::Inst(id) => self
                 .inst_map
                 .get(&id)
-                .expect("region defs lowered in topo order; external defs are live-ins"),
+                .copied()
+                .ok_or(BuildError::UnresolvedValue(v)),
         }
     }
 
@@ -207,17 +218,21 @@ impl Builder<'_> {
         // Block predicate: OR of incoming in-region edge predicates
         // (computed when the predecessors were lowered).
         if bb != self.region.entry() {
-            let incoming: Vec<FrameValue> = self
-                .region
-                .edges
-                .iter()
-                .filter(|(_, t)| *t == bb)
-                .map(|e| self.edge_pred[e])
-                .collect();
+            let mut incoming = Vec::new();
+            for e in self.region.edges.iter().filter(|(_, t)| *t == bb) {
+                incoming.push(self.edge_pred.get(e).copied().ok_or_else(|| {
+                    BuildError::InvalidRegion(format!(
+                        "edge {:?} -> {:?} reached before its source was lowered",
+                        e.0, e.1
+                    ))
+                })?);
+            }
             let pred = incoming
                 .into_iter()
                 .reduce(|a, c| self.or(a, c))
-                .expect("validated region: non-entry blocks have incoming edges");
+                .ok_or_else(|| {
+                    BuildError::InvalidRegion(format!("non-entry block {bb} has no incoming edges"))
+                })?;
             self.block_pred.insert(bb, pred);
         }
         let pred = self.block_pred[&bb];
@@ -236,26 +251,31 @@ impl Builder<'_> {
                     if bb == self.region.entry() {
                         continue; // entry φs are live-ins, registered already
                     }
-                    let incomings: Vec<(FrameValue, FrameValue)> = inst
-                        .args
-                        .iter()
-                        .zip(&inst.phi_blocks)
-                        .filter(|(_, pb)| self.region.edges.contains(&(**pb, bb)))
-                        .map(|(v, pb)| (self.edge_pred[&(*pb, bb)], self.resolve(*v)))
-                        .collect();
-                    let fv = match incomings.len() {
-                        0 => return Err(BuildError::PhiUnresolved(iid)),
-                        1 => {
+                    let mut incomings: Vec<(FrameValue, FrameValue)> = Vec::new();
+                    for (v, pb) in inst.args.iter().zip(&inst.phi_blocks) {
+                        if !self.region.edges.contains(&(*pb, bb)) {
+                            continue;
+                        }
+                        let ep = self
+                            .edge_pred
+                            .get(&(*pb, bb))
+                            .copied()
+                            .ok_or(BuildError::PhiUnresolved(iid))?;
+                        incomings.push((ep, self.resolve(*v)?));
+                    }
+                    let fv = match incomings.as_slice() {
+                        [] => return Err(BuildError::PhiUnresolved(iid)),
+                        [(_, only)] => {
                             // single flow of control: the φ cancels
                             self.phis_cancelled += 1;
-                            incomings[0].1
+                            *only
                         }
-                        _ => {
+                        [rest @ .., (_, default)] => {
                             // Braid merge: fold predicated selects. The last
                             // incoming is the default; earlier ones select on
                             // their edge predicate.
-                            let mut acc = incomings.last().expect("len>1").1;
-                            for (ep, v) in incomings.iter().rev().skip(1) {
+                            let mut acc = *default;
+                            for (ep, v) in rest.iter().rev() {
                                 acc = self.emit_compute(
                                     Op::Select,
                                     inst.ty,
@@ -269,7 +289,7 @@ impl Builder<'_> {
                 }
                 Op::Call(_) => return Err(BuildError::CallInRegion(iid)),
                 Op::Load => {
-                    let args = vec![self.resolve(inst.args[0])];
+                    let args = vec![self.resolve(inst.args[0])?];
                     let fv = self.emit(FrameOp {
                         kind: FrameOpKind::Load,
                         args,
@@ -282,7 +302,7 @@ impl Builder<'_> {
                 }
                 Op::Store => {
                     self.undo_log_size += 1;
-                    let args = vec![self.resolve(inst.args[0]), self.resolve(inst.args[1])];
+                    let args = vec![self.resolve(inst.args[0])?, self.resolve(inst.args[1])?];
                     let fv = self.emit(FrameOp {
                         kind: FrameOpKind::Store,
                         args,
@@ -294,7 +314,11 @@ impl Builder<'_> {
                     self.inst_map.insert(iid, fv);
                 }
                 op => {
-                    let args = inst.args.iter().map(|a| self.resolve(*a)).collect();
+                    let args = inst
+                        .args
+                        .iter()
+                        .map(|a| self.resolve(*a))
+                        .collect::<Result<Vec<_>, _>>()?;
                     let fv = self.emit(FrameOp {
                         kind: FrameOpKind::Compute(op),
                         args,
@@ -323,7 +347,7 @@ impl Builder<'_> {
                 then_bb,
                 else_bb,
             } => {
-                let c = self.resolve(*cond);
+                let c = self.resolve(*cond)?;
                 let t_in = self.region.edges.contains(&(bb, *then_bb));
                 let e_in = self.region.edges.contains(&(bb, *else_bb));
                 if then_bb == else_bb {
@@ -350,7 +374,12 @@ impl Builder<'_> {
                         src: None,
                         imm: 0,
                     });
-                    self.guards.push(g.as_op().expect("just emitted"));
+                    let FrameValue::Op(gi) = g else {
+                        return Err(BuildError::InvalidRegion(
+                            "guard emission produced a non-op value".into(),
+                        ));
+                    };
+                    self.guards.push(gi);
                     let inside = if t_in { *then_bb } else { *else_bb };
                     self.edge_pred.insert((bb, inside), pred);
                 }

@@ -7,11 +7,31 @@
 //! is replayed in reverse and the frame reports an abort — externally
 //! visible memory is untouched.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use needle_ir::interp::{eval_pure, Memory, Val};
 
 use crate::frame::{Frame, FrameOpKind, FrameValue};
+use crate::inject::{Fault, FaultInjector};
+
+/// Why an invocation aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// A real guard failed speculation.
+    Guard {
+        /// Index (into [`Frame::guards`]) of the first failed guard.
+        failed_guard: usize,
+    },
+    /// An injected [`Fault::ForceGuardFail`] or [`Fault::TruncateUndo`]
+    /// aborted an invocation whose guards all passed.
+    Injected,
+    /// An injected [`Fault::KillAtOp`] stopped execution mid-frame.
+    Killed {
+        /// The op index at which execution stopped.
+        at_op: usize,
+    },
+}
 
 /// Result of one frame invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,10 +43,11 @@ pub enum FrameOutcome {
         /// Stores performed (undo-log entries written).
         stores: usize,
     },
-    /// At least one guard failed: memory was rolled back.
+    /// The invocation aborted (guard failure or injected fault) and the
+    /// undo log was replayed.
     Aborted {
-        /// Index (into [`Frame::guards`]) of the first failed guard.
-        failed_guard: usize,
+        /// What triggered the abort.
+        cause: AbortCause,
         /// Undo-log entries replayed during rollback.
         rolled_back: usize,
     },
@@ -50,6 +71,14 @@ pub enum ExecFrameError {
         /// Provided count.
         got: usize,
     },
+    /// An op referenced a value slot that does not exist (forward
+    /// reference, out-of-range live-in, or missing argument).
+    MalformedFrame {
+        /// Index of the offending op.
+        op: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ExecFrameError {
@@ -57,6 +86,9 @@ impl fmt::Display for ExecFrameError {
         match self {
             ExecFrameError::LiveInArity { expected, got } => {
                 write!(f, "expected {expected} live-ins, got {got}")
+            }
+            ExecFrameError::MalformedFrame { op, what } => {
+                write!(f, "malformed frame at op {op}: {what}")
             }
         }
     }
@@ -73,49 +105,115 @@ pub fn run_frame(
     live_ins: &[Val],
     mem: &mut Memory,
 ) -> Result<FrameOutcome, ExecFrameError> {
+    run_frame_with(frame, live_ins, mem, None)
+}
+
+/// Execute `frame` once against `mem`, optionally perturbed by a
+/// [`FaultInjector`]. The injector plans at most one fault per
+/// invocation:
+///
+/// * [`Fault::CorruptLiveIn`] rewrites one live-in before execution;
+/// * [`Fault::KillAtOp`] stops the op loop early and rolls back;
+/// * [`Fault::ForceGuardFail`] aborts at guard-check time;
+/// * [`Fault::TruncateUndo`] aborts *and* drops the tail of the undo log
+///   before replay — the only fault allowed to corrupt memory, flagged
+///   via [`FaultInjector::note_corruption`] when the loss is real.
+///
+/// # Errors
+/// Fails on live-in arity mismatch or a structurally malformed frame
+/// (bad operand references); guard failures and injected aborts are
+/// normal [`FrameOutcome::Aborted`] results.
+pub fn run_frame_with(
+    frame: &Frame,
+    live_ins: &[Val],
+    mem: &mut Memory,
+    mut injector: Option<&mut FaultInjector>,
+) -> Result<FrameOutcome, ExecFrameError> {
     if live_ins.len() != frame.live_ins.len() {
         return Err(ExecFrameError::LiveInArity {
             expected: frame.live_ins.len(),
             got: live_ins.len(),
         });
     }
-    let read = |vals: &[Val], v: FrameValue| -> Val {
+    let fault = injector.as_mut().and_then(|inj| inj.plan(frame));
+
+    // Apply live-in corruption on a local copy; callers keep their slice.
+    let mut live_vals: Vec<Val> = live_ins.to_vec();
+    if let Some(Fault::CorruptLiveIn { index, mask }) = fault {
+        let ty = frame.live_ins[index].ty;
+        live_vals[index] = Val::from_bits(live_vals[index].to_bits() ^ mask, ty);
+    }
+    let kill_at = match fault {
+        Some(Fault::KillAtOp { index }) => Some(index.min(frame.ops.len())),
+        _ => None,
+    };
+
+    let read = |vals: &[Val], v: FrameValue, at: usize| -> Result<Val, ExecFrameError> {
         match v {
-            FrameValue::Op(i) => vals[i],
-            FrameValue::LiveIn(i) => live_ins[i],
-            FrameValue::Const(c) => Val::from(c),
+            FrameValue::Op(i) => vals.get(i).copied().ok_or(ExecFrameError::MalformedFrame {
+                op: at,
+                what: "operand references an op outside the evaluated prefix",
+            }),
+            FrameValue::LiveIn(i) => {
+                live_vals
+                    .get(i)
+                    .copied()
+                    .ok_or(ExecFrameError::MalformedFrame {
+                        op: at,
+                        what: "operand references an out-of-range live-in",
+                    })
+            }
+            FrameValue::Const(c) => Ok(Val::from(c)),
         }
+    };
+    let arg = |op: &crate::frame::FrameOp, n: usize, at: usize| -> Result<FrameValue, ExecFrameError> {
+        op.args.get(n).copied().ok_or(ExecFrameError::MalformedFrame {
+            op: at,
+            what: "op is missing a required argument",
+        })
     };
 
     let mut vals: Vec<Val> = vec![Val::Int(0); frame.ops.len()];
     let mut undo: Vec<(u64, u64)> = Vec::new();
     let mut failed: Option<usize> = None;
+    let mut killed: Option<usize> = None;
 
     for (i, op) in frame.ops.iter().enumerate() {
-        let pred_on = op
-            .pred
-            .map(|p| read(&vals, p).as_bool())
-            .unwrap_or(true);
+        if kill_at == Some(i) {
+            killed = Some(i);
+            break;
+        }
+        let pred_on = match op.pred {
+            Some(p) => read(&vals[..i], p, i)?.as_bool(),
+            None => true,
+        };
         match op.kind {
             FrameOpKind::Compute(o) => {
-                let args: Vec<Val> = op.args.iter().map(|a| read(&vals, *a)).collect();
-                vals[i] = eval_pure(o, &args, op.imm).expect("frame computes are pure");
+                let mut args = Vec::with_capacity(op.args.len());
+                for a in &op.args {
+                    args.push(read(&vals[..i], *a, i)?);
+                }
+                vals[i] =
+                    eval_pure(o, &args, op.imm).ok_or(ExecFrameError::MalformedFrame {
+                        op: i,
+                        what: "compute op is not pure",
+                    })?;
             }
             FrameOpKind::Load => {
-                let addr = read(&vals, op.args[0]).as_int() as u64;
+                let addr = read(&vals[..i], arg(op, 0, i)?, i)?.as_int() as u64;
                 vals[i] = mem.load(addr, op.ty);
             }
             FrameOpKind::Store => {
                 if pred_on {
-                    let v = read(&vals, op.args[0]);
-                    let addr = read(&vals, op.args[1]).as_int() as u64;
+                    let v = read(&vals[..i], arg(op, 0, i)?, i)?;
+                    let addr = read(&vals[..i], arg(op, 1, i)?, i)?.as_int() as u64;
                     undo.push((addr, mem.peek(addr)));
                     mem.store(addr, v);
                 }
                 vals[i] = Val::Int(0);
             }
             FrameOpKind::Guard { expected } => {
-                let actual = read(&vals, op.args[0]).as_bool();
+                let actual = read(&vals[..i], arg(op, 0, i)?, i)?.as_bool();
                 let pass = !pred_on || actual == expected;
                 vals[i] = Val::Int(pass as i64);
                 if !pass && failed.is_none() {
@@ -125,23 +223,64 @@ pub fn run_frame(
         }
     }
 
-    match failed {
-        Some(g) => {
+    // Injected aborts: a kill always aborts; ForceGuardFail/TruncateUndo
+    // abort even when every guard passed.
+    let forced_abort = matches!(
+        fault,
+        Some(Fault::ForceGuardFail) | Some(Fault::TruncateUndo { .. })
+    );
+    let cause = match (killed, failed) {
+        (Some(at_op), _) => Some(AbortCause::Killed { at_op }),
+        (None, Some(g)) => Some(AbortCause::Guard { failed_guard: g }),
+        (None, None) if forced_abort => Some(AbortCause::Injected),
+        (None, None) => None,
+    };
+
+    match cause {
+        Some(cause) => {
+            // TruncateUndo drops the tail of the log before replay.
+            let keep = match fault {
+                Some(Fault::TruncateUndo { drop }) => undo.len().saturating_sub(drop),
+                _ => undo.len(),
+            };
+            if keep < undo.len() {
+                // Decide whether the loss is real: replaying only the kept
+                // prefix must still restore every touched cell to its
+                // pre-invocation bits (the *first* logged old value).
+                let mut first_old: HashMap<u64, u64> = HashMap::new();
+                for &(addr, old) in &undo {
+                    first_old.entry(addr).or_insert(old);
+                }
+                let mut kept_first_old: HashMap<u64, u64> = HashMap::new();
+                for &(addr, old) in &undo[..keep] {
+                    kept_first_old.entry(addr).or_insert(old);
+                }
+                let corrupts = first_old.iter().any(|(addr, pre)| {
+                    let after_rollback = kept_first_old
+                        .get(addr)
+                        .copied()
+                        .unwrap_or_else(|| mem.peek(*addr));
+                    after_rollback != *pre
+                });
+                if corrupts {
+                    if let Some(inj) = injector.as_mut() {
+                        inj.note_corruption();
+                    }
+                }
+                undo.truncate(keep);
+            }
             let rolled_back = undo.len();
             for (addr, old) in undo.into_iter().rev() {
                 mem.store(addr, Val::from_bits(old, needle_ir::Type::I64));
             }
-            Ok(FrameOutcome::Aborted {
-                failed_guard: g,
-                rolled_back,
-            })
+            Ok(FrameOutcome::Aborted { cause, rolled_back })
         }
         None => {
-            let live_outs = frame
-                .live_outs
-                .iter()
-                .map(|lo| read(&vals, lo.value))
-                .collect();
+            let n = frame.ops.len();
+            let mut live_outs = Vec::with_capacity(frame.live_outs.len());
+            for lo in &frame.live_outs {
+                live_outs.push(read(&vals[..n], lo.value, n)?);
+            }
             Ok(FrameOutcome::Committed {
                 live_outs,
                 stores: undo.len(),
@@ -208,11 +347,8 @@ mod tests {
         // 2 + 3 = 5, guard (z > 10) fails.
         let out = run_frame(&frame, &[Val::Int(2), Val::Int(3), Val::Int(64)], &mut mem).unwrap();
         match out {
-            FrameOutcome::Aborted {
-                failed_guard,
-                rolled_back,
-            } => {
-                assert_eq!(failed_guard, 0);
+            FrameOutcome::Aborted { cause, rolled_back } => {
+                assert_eq!(cause, AbortCause::Guard { failed_guard: 0 });
                 assert_eq!(rolled_back, 1); // the speculative store was undone
             }
             other => panic!("expected abort, got {other:?}"),
@@ -233,6 +369,144 @@ mod tests {
                 got: 1
             }
         );
+    }
+
+    #[test]
+    fn forced_guard_fail_aborts_a_committing_input() {
+        use crate::inject::{FaultInjector, FaultKind, InjectorConfig};
+        let frame = guarded_frame();
+        let mut inj = FaultInjector::new(InjectorConfig {
+            seed: 1,
+            fault_rate: 1.0,
+            kinds: vec![FaultKind::ForceGuardFail],
+        });
+        let mut mem = Memory::new();
+        mem.store(64, Val::Int(777));
+        let snap = mem.snapshot();
+        // 7 + 8 = 15 > 10: would commit without the fault.
+        let out = run_frame_with(
+            &frame,
+            &[Val::Int(7), Val::Int(8), Val::Int(64)],
+            &mut mem,
+            Some(&mut inj),
+        )
+        .unwrap();
+        match out {
+            FrameOutcome::Aborted { cause, rolled_back } => {
+                assert_eq!(cause, AbortCause::Injected);
+                assert_eq!(rolled_back, 1);
+            }
+            other => panic!("expected injected abort, got {other:?}"),
+        }
+        assert!(mem.same_as(&snap), "rollback must restore memory");
+        assert_eq!(inj.log.len(), 1);
+    }
+
+    #[test]
+    fn kill_at_op_rolls_back_partial_stores() {
+        use crate::inject::{Fault, FaultInjector, FaultKind, InjectorConfig};
+        let frame = guarded_frame();
+        // Find the store op, then kill just after it so its undo entry is
+        // live when execution stops.
+        let store_idx = frame
+            .ops
+            .iter()
+            .position(|op| matches!(op.kind, FrameOpKind::Store))
+            .unwrap();
+        let mut inj = FaultInjector::new(InjectorConfig {
+            seed: 0,
+            fault_rate: 1.0,
+            kinds: vec![FaultKind::KillAtOp],
+        });
+        // Draw plans until one kills after the store (seeded, so this is
+        // deterministic); run each against a fresh memory.
+        for _ in 0..64 {
+            let mut mem = Memory::new();
+            mem.store(64, Val::Int(31337));
+            let snap = mem.snapshot();
+            let out = run_frame_with(
+                &frame,
+                &[Val::Int(7), Val::Int(8), Val::Int(64)],
+                &mut mem,
+                Some(&mut inj),
+            )
+            .unwrap();
+            let FrameOutcome::Aborted { cause, rolled_back } = out else {
+                panic!("kill must abort: {out:?}");
+            };
+            assert!(mem.same_as(&snap), "partial execution must roll back");
+            let Some(rec) = inj.log.last() else { panic!() };
+            let Fault::KillAtOp { index } = rec.fault else { panic!() };
+            assert_eq!(cause, AbortCause::Killed { at_op: index });
+            if index > store_idx {
+                assert_eq!(rolled_back, 1, "store before kill point is undone");
+                return;
+            }
+        }
+        panic!("no plan killed after the store op");
+    }
+
+    #[test]
+    fn truncate_undo_corruption_is_flagged() {
+        use crate::inject::{FaultInjector, FaultKind, InjectorConfig};
+        let frame = guarded_frame();
+        let mut inj = FaultInjector::new(InjectorConfig {
+            seed: 5,
+            fault_rate: 1.0,
+            kinds: vec![FaultKind::TruncateUndo],
+        });
+        let mut mem = Memory::new();
+        mem.store(64, Val::Int(4242));
+        let snap = mem.snapshot();
+        let out = run_frame_with(
+            &frame,
+            &[Val::Int(7), Val::Int(8), Val::Int(64)],
+            &mut mem,
+            Some(&mut inj),
+        )
+        .unwrap();
+        assert!(!out.committed());
+        // The single undo entry was dropped: the speculative store leaks.
+        assert_eq!(mem.peek(64), 15, "corruption must actually land");
+        assert!(!mem.same_as(&snap));
+        assert_eq!(inj.expected_corruptions(), 1, "injector must flag it");
+    }
+
+    #[test]
+    fn corrupt_live_in_changes_execution_deterministically() {
+        use crate::inject::{Fault, FaultInjector, FaultKind, InjectorConfig};
+        let frame = guarded_frame();
+        let mut inj = FaultInjector::new(InjectorConfig {
+            seed: 9,
+            fault_rate: 1.0,
+            kinds: vec![FaultKind::CorruptLiveIn],
+        });
+        let ins = [Val::Int(7), Val::Int(8), Val::Int(64)];
+        let mut mem = Memory::new();
+        let out = run_frame_with(&frame, &ins, &mut mem, Some(&mut inj)).unwrap();
+        // Replaying the logged fault by hand must reproduce the outcome.
+        let Some(rec) = inj.log.last() else { panic!() };
+        let Fault::CorruptLiveIn { index, mask } = rec.fault else {
+            panic!("{:?}", rec.fault)
+        };
+        let mut corrupted: Vec<Val> = ins.to_vec();
+        corrupted[index] =
+            Val::from_bits(corrupted[index].to_bits() ^ mask, frame.live_ins[index].ty);
+        let mut mem2 = Memory::new();
+        let replay = run_frame(&frame, &corrupted, &mut mem2).unwrap();
+        assert_eq!(out, replay);
+        assert_eq!(mem.peek(64), mem2.peek(64));
+    }
+
+    #[test]
+    fn malformed_operand_reference_is_an_error_not_a_panic() {
+        let mut frame = guarded_frame();
+        // Point the first op's first argument at a nonexistent op slot.
+        frame.ops[0].args[0] = FrameValue::Op(usize::MAX);
+        let mut mem = Memory::new();
+        let err = run_frame(&frame, &[Val::Int(1), Val::Int(2), Val::Int(64)], &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, ExecFrameError::MalformedFrame { op: 0, .. }), "{err}");
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Seeded fault injection for frame execution (the chaos harness).
+//!
+//! A [`FaultInjector`] is threaded through
+//! [`run_frame_with`](crate::exec::run_frame_with) and perturbs
+//! invocations at four points in the speculation lifecycle:
+//!
+//! * **ForceGuardFail** — the invocation aborts at guard-check time even
+//!   though every guard passed, exercising the rollback path on inputs
+//!   that would have committed;
+//! * **CorruptLiveIn** — one live-in value has a random bit mask XORed in
+//!   before execution, modelling a host→accelerator transfer fault;
+//! * **KillAtOp** — execution stops cold at a chosen op index (mid-frame
+//!   power loss / preemption) and must roll back whatever partial state
+//!   exists;
+//! * **TruncateUndo** — the invocation is aborted *and* the tail of the
+//!   undo log is dropped before replay, deliberately breaking the
+//!   atomicity invariant so that differential verification can be shown
+//!   to catch real corruption.
+//!
+//! All randomness comes from a single seeded RNG, so a campaign is
+//! reproducible from `(seed, fault count)` alone. Every decision is
+//! recorded in [`FaultInjector::log`]; the differential verifier replays
+//! the same faults against the reference interpreter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::frame::Frame;
+
+/// The four fault classes, as selectors (parameters are drawn per
+/// injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Abort an invocation whose guards all passed.
+    ForceGuardFail,
+    /// Flip random bits in one live-in before execution.
+    CorruptLiveIn,
+    /// Stop execution at an op index and roll back.
+    KillAtOp,
+    /// Abort and drop the tail of the undo log before replay
+    /// (intentionally corrupting — detection is the property under test).
+    TruncateUndo,
+}
+
+/// A concrete planned fault for one invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Abort at guard-check time regardless of guard results.
+    ForceGuardFail,
+    /// XOR `mask` into live-in `index` before execution.
+    CorruptLiveIn {
+        /// Index into [`Frame::live_ins`].
+        index: usize,
+        /// Non-zero bit mask XORed into the raw value bits.
+        mask: u64,
+    },
+    /// Stop execution just before op `index` and roll back.
+    KillAtOp {
+        /// Index into [`Frame::ops`] (clamped to the op count).
+        index: usize,
+    },
+    /// Abort and drop the last `drop` undo-log entries before replay.
+    TruncateUndo {
+        /// Entries removed from the tail of the undo log.
+        drop: usize,
+    },
+}
+
+impl Fault {
+    /// The class this concrete fault belongs to.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            Fault::ForceGuardFail => FaultKind::ForceGuardFail,
+            Fault::CorruptLiveIn { .. } => FaultKind::CorruptLiveIn,
+            Fault::KillAtOp { .. } => FaultKind::KillAtOp,
+            Fault::TruncateUndo { .. } => FaultKind::TruncateUndo,
+        }
+    }
+}
+
+/// Injection policy: which faults are live and how often they fire.
+#[derive(Debug, Clone)]
+pub struct InjectorConfig {
+    /// RNG seed; a campaign is reproducible from this alone.
+    pub seed: u64,
+    /// Probability an invocation receives a fault (1.0 = every one).
+    pub fault_rate: f64,
+    /// Enabled fault classes, sampled uniformly. Empty disables injection.
+    pub kinds: Vec<FaultKind>,
+}
+
+impl Default for InjectorConfig {
+    fn default() -> InjectorConfig {
+        InjectorConfig {
+            seed: 0,
+            fault_rate: 1.0,
+            // TruncateUndo is opt-in: it intentionally corrupts memory, so
+            // recoverable-fault campaigns exclude it by default.
+            kinds: vec![
+                FaultKind::ForceGuardFail,
+                FaultKind::CorruptLiveIn,
+                FaultKind::KillAtOp,
+            ],
+        }
+    }
+}
+
+/// One injection decision, kept so campaigns can replay or audit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// 0-based index of the invocation (as seen by this injector).
+    pub invocation: u64,
+    /// The fault applied.
+    pub fault: Fault,
+    /// For [`Fault::TruncateUndo`]: whether dropping the tail actually
+    /// leaves memory different from the pre-invocation image (a dropped
+    /// entry can be redundant). Always `false` for other faults.
+    pub corrupts_memory: bool,
+}
+
+/// Seeded fault source threaded through frame execution.
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: InjectorConfig,
+    rng: StdRng,
+    invocations: u64,
+    /// Every fault injected so far, in invocation order.
+    pub log: Vec<InjectionRecord>,
+}
+
+impl FaultInjector {
+    /// An injector with an explicit policy.
+    pub fn new(cfg: InjectorConfig) -> FaultInjector {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        FaultInjector {
+            cfg,
+            rng,
+            invocations: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Default policy (recoverable faults, every invocation) from a seed.
+    pub fn seeded(seed: u64) -> FaultInjector {
+        FaultInjector::new(InjectorConfig {
+            seed,
+            ..InjectorConfig::default()
+        })
+    }
+
+    /// Total invocations observed (faulted or not).
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Decide the fault (if any) for the next invocation of `frame`.
+    /// Called once per invocation by `run_frame_with`; the decision is
+    /// appended to [`FaultInjector::log`].
+    pub fn plan(&mut self, frame: &Frame) -> Option<Fault> {
+        let inv = self.invocations;
+        self.invocations += 1;
+        if self.cfg.kinds.is_empty() || !self.rng.gen_bool(self.cfg.fault_rate.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let kind = self.cfg.kinds[self.rng.gen_range(0..self.cfg.kinds.len())];
+        let fault = match kind {
+            FaultKind::ForceGuardFail => Fault::ForceGuardFail,
+            FaultKind::CorruptLiveIn => {
+                if frame.live_ins.is_empty() {
+                    Fault::ForceGuardFail
+                } else {
+                    Fault::CorruptLiveIn {
+                        index: self.rng.gen_range(0..frame.live_ins.len()),
+                        mask: self.rng.gen_range(1u64..=u64::MAX),
+                    }
+                }
+            }
+            FaultKind::KillAtOp => {
+                if frame.ops.is_empty() {
+                    Fault::ForceGuardFail
+                } else {
+                    Fault::KillAtOp {
+                        index: self.rng.gen_range(0..frame.ops.len()),
+                    }
+                }
+            }
+            FaultKind::TruncateUndo => Fault::TruncateUndo {
+                drop: self.rng.gen_range(1usize..=4),
+            },
+        };
+        self.log.push(InjectionRecord {
+            invocation: inv,
+            fault,
+            corrupts_memory: false,
+        });
+        Some(fault)
+    }
+
+    /// Mark the most recent injection as memory-corrupting (set by the
+    /// executor when a truncated rollback provably diverges).
+    pub fn note_corruption(&mut self) {
+        if let Some(rec) = self.log.last_mut() {
+            rec.corrupts_memory = true;
+        }
+    }
+
+    /// Injections whose rollback corruption went live (what a verifier
+    /// MUST flag).
+    pub fn expected_corruptions(&self) -> usize {
+        self.log.iter().filter(|r| r.corrupts_memory).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::{Type, Value};
+    use needle_regions::OffloadRegion;
+
+    fn tiny_frame(ops: usize, live_ins: usize) -> Frame {
+        use crate::frame::{FrameOp, FrameOpKind, LiveIn};
+        Frame {
+            ops: (0..ops)
+                .map(|_| FrameOp {
+                    kind: FrameOpKind::Compute(needle_ir::Op::Add),
+                    args: vec![
+                        crate::frame::FrameValue::Const(needle_ir::Constant::Int(1)),
+                        crate::frame::FrameValue::Const(needle_ir::Constant::Int(2)),
+                    ],
+                    ty: Type::I64,
+                    pred: None,
+                    src: None,
+                    imm: 0,
+                })
+                .collect(),
+            live_ins: (0..live_ins)
+                .map(|i| LiveIn {
+                    value: Value::Arg(i as u32),
+                    ty: Type::I64,
+                })
+                .collect(),
+            live_outs: vec![],
+            guards: vec![],
+            phis_cancelled: 0,
+            undo_log_size: 0,
+            loop_carried: vec![],
+            region: OffloadRegion::from_path(&[needle_ir::BlockId(0)], 1, 1.0),
+        }
+    }
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let frame = tiny_frame(8, 2);
+        let mut a = FaultInjector::seeded(42);
+        let mut b = FaultInjector::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.plan(&frame), b.plan(&frame));
+        }
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.invocations(), 100);
+    }
+
+    #[test]
+    fn fault_rate_zero_never_fires() {
+        let frame = tiny_frame(4, 1);
+        let mut inj = FaultInjector::new(InjectorConfig {
+            fault_rate: 0.0,
+            ..InjectorConfig::default()
+        });
+        for _ in 0..50 {
+            assert_eq!(inj.plan(&frame), None);
+        }
+        assert!(inj.log.is_empty());
+    }
+
+    #[test]
+    fn parameters_respect_frame_shape() {
+        let frame = tiny_frame(5, 3);
+        let mut inj = FaultInjector::seeded(7);
+        for _ in 0..200 {
+            match inj.plan(&frame) {
+                Some(Fault::CorruptLiveIn { index, mask }) => {
+                    assert!(index < 3);
+                    assert_ne!(mask, 0);
+                }
+                Some(Fault::KillAtOp { index }) => assert!(index < 5),
+                Some(Fault::ForceGuardFail) | None => {}
+                Some(Fault::TruncateUndo { .. }) => {
+                    panic!("TruncateUndo is opt-in and was not enabled")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_frames_fall_back_to_guard_fail() {
+        // No live-ins and no ops: CorruptLiveIn/KillAtOp degrade to
+        // ForceGuardFail instead of panicking on empty ranges.
+        let frame = tiny_frame(0, 0);
+        let mut inj = FaultInjector::seeded(3);
+        for _ in 0..100 {
+            if let Some(f) = inj.plan(&frame) {
+                assert_eq!(f, Fault::ForceGuardFail);
+            }
+        }
+    }
+}

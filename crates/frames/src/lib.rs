@@ -24,11 +24,15 @@
 pub mod build;
 pub mod exec;
 pub mod frame;
+pub mod inject;
 pub mod liveness;
 pub mod opt;
+pub mod verify;
 
 pub use build::{build_frame, BuildError};
-pub use exec::{run_frame, FrameOutcome};
+pub use exec::{run_frame, run_frame_with, AbortCause, ExecFrameError, FrameOutcome};
 pub use frame::{Frame, FrameOp, FrameOpKind, FrameValue, LiveIn, LiveOut};
+pub use inject::{Fault, FaultInjector, FaultKind, InjectionRecord, InjectorConfig};
 pub use liveness::{live_ins, live_outs};
-pub use opt::{apply_guard_policy, concat_frames, dce_frame, GuardPolicy};
+pub use opt::{apply_guard_policy, concat_frames, dce_frame, GuardPolicy, OptError};
+pub use verify::{verify_invocation, RefRun, VerifyError, Verdict};

@@ -14,22 +14,69 @@
 //!   offload unit.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::frame::{Frame, FrameOp, FrameOpKind, FrameValue, LiveOut};
 
+/// Frame transformation failures (all indicate a structurally broken
+/// frame; valid frames never produce them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptError {
+    /// An op (or live-out) references an op slot that does not exist or
+    /// was eliminated while still referenced.
+    BrokenDataflow {
+        /// The offending referenced index.
+        index: usize,
+    },
+    /// Scheduling found no ready op: the dataflow graph has a cycle.
+    CyclicDataflow,
+    /// A loop-carried pair references a live-out index out of range.
+    BadLoopCarried {
+        /// The offending live-out index.
+        index: usize,
+    },
+    /// `concat_frames` was asked for zero copies.
+    ZeroCopies,
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::BrokenDataflow { index } => {
+                write!(f, "dangling reference to op {index}")
+            }
+            OptError::CyclicDataflow => write!(f, "frame dataflow contains a cycle"),
+            OptError::BadLoopCarried { index } => {
+                write!(f, "loop-carried pair references live-out {index} out of range")
+            }
+            OptError::ZeroCopies => write!(f, "frame expansion requires at least one copy"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
 /// Remove ops whose results reach no store, guard, or live-out. Returns
 /// the number of ops eliminated.
-pub fn dce_frame(frame: &mut Frame) -> usize {
+///
+/// # Errors
+/// [`OptError::BrokenDataflow`] if the frame references nonexistent ops.
+pub fn dce_frame(frame: &mut Frame) -> Result<usize, OptError> {
     let n = frame.ops.len();
     let mut live = vec![false; n];
-    let mark_value = |v: FrameValue, live: &mut Vec<bool>, stack: &mut Vec<usize>| {
-        if let FrameValue::Op(i) = v {
-            if !live[i] {
-                live[i] = true;
-                stack.push(i);
+    let mark_value =
+        |v: FrameValue, live: &mut Vec<bool>, stack: &mut Vec<usize>| -> Result<(), OptError> {
+            if let FrameValue::Op(i) = v {
+                if i >= n {
+                    return Err(OptError::BrokenDataflow { index: i });
+                }
+                if !live[i] {
+                    live[i] = true;
+                    stack.push(i);
+                }
             }
-        }
-    };
+            Ok(())
+        };
     let mut stack = Vec::new();
     for (i, op) in frame.ops.iter().enumerate() {
         if matches!(op.kind, FrameOpKind::Store | FrameOpKind::Guard { .. }) {
@@ -38,12 +85,12 @@ pub fn dce_frame(frame: &mut Frame) -> usize {
         }
     }
     for lo in &frame.live_outs {
-        mark_value(lo.value, &mut live, &mut stack);
+        mark_value(lo.value, &mut live, &mut stack)?;
     }
     while let Some(i) = stack.pop() {
         let op = frame.ops[i].clone();
         for a in op.args.iter().chain(op.pred.iter()) {
-            mark_value(*a, &mut live, &mut stack);
+            mark_value(*a, &mut live, &mut stack)?;
         }
     }
 
@@ -56,26 +103,31 @@ pub fn dce_frame(frame: &mut Frame) -> usize {
             new_ops.push(op.clone());
         }
     }
-    let fix = |v: &mut FrameValue| {
+    let fix = |v: &mut FrameValue| -> Result<(), OptError> {
         if let FrameValue::Op(i) = v {
-            *i = remap[*i].expect("live ops only reference live ops");
+            *i = remap
+                .get(*i)
+                .copied()
+                .flatten()
+                .ok_or(OptError::BrokenDataflow { index: *i })?;
         }
+        Ok(())
     };
     for op in &mut new_ops {
         for a in &mut op.args {
-            fix(a);
+            fix(a)?;
         }
         if let Some(p) = &mut op.pred {
-            fix(p);
+            fix(p)?;
         }
     }
     for lo in &mut frame.live_outs {
-        fix(&mut lo.value);
+        fix(&mut lo.value)?;
     }
     frame.guards = frame
         .guards
         .iter()
-        .filter_map(|g| remap[*g])
+        .filter_map(|g| remap.get(*g).copied().flatten())
         .collect();
     let removed = n - new_ops.len();
     frame.undo_log_size = new_ops
@@ -83,7 +135,7 @@ pub fn dce_frame(frame: &mut Frame) -> usize {
         .filter(|o| matches!(o.kind, FrameOpKind::Store))
         .count();
     frame.ops = new_ops;
-    removed
+    Ok(removed)
 }
 
 /// Guard placement policy (§V "guard position").
@@ -104,9 +156,13 @@ pub enum GuardPolicy {
 /// Reorder guard ops according to `policy`, preserving dataflow validity
 /// (an op never moves before its operands). Returns the frame's guard
 /// indices after placement.
-pub fn apply_guard_policy(frame: &mut Frame, policy: GuardPolicy) -> Vec<usize> {
+///
+/// # Errors
+/// [`OptError::CyclicDataflow`] if the op graph has no valid schedule;
+/// [`OptError::BrokenDataflow`] on dangling references.
+pub fn apply_guard_policy(frame: &mut Frame, policy: GuardPolicy) -> Result<Vec<usize>, OptError> {
     match policy {
-        GuardPolicy::AsEmitted => frame.guards.clone(),
+        GuardPolicy::AsEmitted => Ok(frame.guards.clone()),
         GuardPolicy::Late => {
             // Stable-partition guards to the end.
             let mut order: Vec<usize> = (0..frame.ops.len()).collect();
@@ -126,7 +182,7 @@ pub fn apply_guard_policy(frame: &mut Frame, policy: GuardPolicy) -> Vec<usize> 
                     .iter()
                     .chain(ops[i].pred.iter())
                     .all(|a| match a {
-                        FrameValue::Op(j) => placed[*j],
+                        FrameValue::Op(j) => placed.get(*j).copied().unwrap_or(false),
                         _ => true,
                     })
             };
@@ -139,7 +195,7 @@ pub fn apply_guard_policy(frame: &mut Frame, policy: GuardPolicy) -> Vec<usize> 
                 let pick = next_guard.or_else(|| {
                     (0..n).find(|i| !placed[*i] && ready(*i, &placed, &frame.ops))
                 });
-                let i = pick.expect("acyclic dataflow always has a ready op");
+                let i = pick.ok_or(OptError::CyclicDataflow)?;
                 placed[i] = true;
                 order.push(i);
             }
@@ -150,27 +206,31 @@ pub fn apply_guard_policy(frame: &mut Frame, policy: GuardPolicy) -> Vec<usize> 
 
 /// Reorder `frame.ops` into `order` (old indices in new order), remapping
 /// all references. Returns the new guard indices.
-fn permute(frame: &mut Frame, order: &[usize]) -> Vec<usize> {
+fn permute(frame: &mut Frame, order: &[usize]) -> Result<Vec<usize>, OptError> {
     let mut remap = vec![0usize; frame.ops.len()];
     for (new_idx, old_idx) in order.iter().enumerate() {
         remap[*old_idx] = new_idx;
     }
     let mut new_ops: Vec<FrameOp> = order.iter().map(|i| frame.ops[*i].clone()).collect();
-    let fix = |v: &mut FrameValue| {
+    let fix = |v: &mut FrameValue| -> Result<(), OptError> {
         if let FrameValue::Op(i) = v {
-            *i = remap[*i];
+            *i = remap
+                .get(*i)
+                .copied()
+                .ok_or(OptError::BrokenDataflow { index: *i })?;
         }
+        Ok(())
     };
     for op in &mut new_ops {
         for a in &mut op.args {
-            fix(a);
+            fix(a)?;
         }
         if let Some(p) = &mut op.pred {
-            fix(p);
+            fix(p)?;
         }
     }
     for lo in &mut frame.live_outs {
-        fix(&mut lo.value);
+        fix(&mut lo.value)?;
     }
     frame.ops = new_ops;
     frame.guards = frame
@@ -180,7 +240,7 @@ fn permute(frame: &mut Frame, order: &[usize]) -> Vec<usize> {
         .filter(|(_, o)| matches!(o.kind, FrameOpKind::Guard { .. }))
         .map(|(i, _)| i)
         .collect();
-    frame.guards.clone()
+    Ok(frame.guards.clone())
 }
 
 /// Concatenate a frame with itself `copies` times, wiring each iteration's
@@ -191,17 +251,23 @@ fn permute(frame: &mut Frame, order: &[usize]) -> Vec<usize> {
 /// Live-ins that are not loop-carried are shared across copies; live-outs
 /// are taken from the final copy. Guards of every copy accumulate: the
 /// expanded frame aborts if any iteration would have diverged.
-pub fn concat_frames(frame: &Frame, copies: usize) -> Frame {
-    assert!(copies >= 1, "at least one copy");
+pub fn concat_frames(frame: &Frame, copies: usize) -> Result<Frame, OptError> {
+    if copies == 0 {
+        return Err(OptError::ZeroCopies);
+    }
     let mut out = frame.clone();
     for _ in 1..copies {
         let base = out.ops.len();
         // live-in index -> frame value feeding the next copy
-        let carried: HashMap<usize, FrameValue> = frame
-            .loop_carried
-            .iter()
-            .map(|(li, lo)| (*li, out.live_outs[*lo].value))
-            .collect();
+        let mut carried: HashMap<usize, FrameValue> = HashMap::new();
+        for (li, lo) in &frame.loop_carried {
+            let value = out
+                .live_outs
+                .get(*lo)
+                .ok_or(OptError::BadLoopCarried { index: *lo })?
+                .value;
+            carried.insert(*li, value);
+        }
         let map_value = |v: FrameValue| -> FrameValue {
             match v {
                 FrameValue::Op(i) => FrameValue::Op(i + base),
@@ -232,7 +298,7 @@ pub fn concat_frames(frame: &Frame, copies: usize) -> Frame {
             .collect();
         out.undo_log_size += frame.undo_log_size;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -295,7 +361,7 @@ mod tests {
                 .collect()
         };
         let out_before = run_frame(&frame, &lv(&frame), &mut mem).unwrap();
-        let removed = dce_frame(&mut frame);
+        let removed = dce_frame(&mut frame).unwrap();
         assert!(removed >= 1, "dead mul must go");
         assert!(frame.num_ops() < before_ops);
         frame.validate().unwrap();
@@ -307,7 +373,7 @@ mod tests {
     fn guard_policies_preserve_dataflow_and_outcomes() {
         for policy in [GuardPolicy::AsEmitted, GuardPolicy::Late, GuardPolicy::Early] {
             let mut frame = iteration_frame();
-            let guards = apply_guard_policy(&mut frame, policy);
+            let guards = apply_guard_policy(&mut frame, policy).unwrap();
             assert_eq!(guards.len(), 1);
             frame.validate().unwrap_or_else(|e| panic!("{policy:?}: {e}"));
             let lv: Vec<Val> = frame
@@ -328,7 +394,7 @@ mod tests {
     #[test]
     fn late_policy_puts_guards_last() {
         let mut frame = iteration_frame();
-        apply_guard_policy(&mut frame, GuardPolicy::Late);
+        apply_guard_policy(&mut frame, GuardPolicy::Late).unwrap();
         let g = frame.guards[0];
         assert_eq!(g, frame.ops.len() - 1);
     }
@@ -337,7 +403,7 @@ mod tests {
     fn concat_doubles_ops_and_chains_induction() {
         let frame = iteration_frame();
         assert!(!frame.loop_carried.is_empty(), "loop-carried pairs detected");
-        let double = concat_frames(&frame, 2);
+        let double = concat_frames(&frame, 2).unwrap();
         double.validate().unwrap();
         assert_eq!(double.num_ops(), frame.num_ops() * 2);
         assert_eq!(double.guards.len(), frame.guards.len() * 2);
@@ -363,7 +429,7 @@ mod tests {
     #[test]
     fn concat_guard_fails_when_second_iteration_diverges() {
         let frame = iteration_frame();
-        let double = concat_frames(&frame, 2);
+        let double = concat_frames(&frame, 2).unwrap();
         // n = 1: the first iteration's guard (i=0 < 1) passes but the
         // second copy's guard (i=1 < 1) fails — the expanded unit aborts
         // as a whole.

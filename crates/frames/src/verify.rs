@@ -1,0 +1,536 @@
+//! Differential rollback verification.
+//!
+//! The frame executor claims two invariants (§V):
+//!
+//! 1. **Abort atomicity** — an aborted invocation leaves externally
+//!    visible memory bit-identical to its pre-invocation state;
+//! 2. **Commit equivalence** — a committed invocation has exactly the
+//!    memory effects and live-out values that architecturally executing
+//!    the region on the host would have produced.
+//!
+//! This module checks both *differentially*: [`run_reference`] is an
+//! independent interpreter that walks the region's IR (not the frame's
+//! dataflow graph) with the same live-in bindings, and
+//! [`verify_invocation`] bit-exactly diffs the frame's memory image
+//! against a pre-invocation [`MemSnapshot`] (abort) or the reference
+//! run's image and live-outs (commit). Because the two executors share
+//! only [`eval_pure`], a bug in frame lowering, predication, undo
+//! logging, or rollback shows up as a [`Divergence`].
+
+use std::collections::HashMap;
+
+use needle_ir::interp::{eval_pure, MemDelta, MemSnapshot, Memory, Val};
+use needle_ir::{Function, InstId, Op, Terminator, Value};
+
+use crate::exec::FrameOutcome;
+use crate::frame::Frame;
+
+/// Structural failures that prevent verification from running at all
+/// (distinct from [`Divergence`], which is verification *succeeding* and
+/// finding a bug).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The live-in vector does not match the frame signature.
+    LiveInArity {
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// The region references a value with no binding (neither live-in nor
+    /// region-defined).
+    UnboundValue(Value),
+    /// The region contains a call, which the reference interpreter cannot
+    /// execute in isolation.
+    CallInRegion(InstId),
+    /// A φ had no incoming entry for the dynamic predecessor.
+    PhiMissingIncoming(InstId),
+    /// The reference walk exceeded its step budget (cyclic region).
+    StepLimit(u64),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::LiveInArity { expected, got } => {
+                write!(f, "expected {expected} live-ins, got {got}")
+            }
+            VerifyError::UnboundValue(v) => write!(f, "no binding for {v:?}"),
+            VerifyError::CallInRegion(i) => write!(f, "call {i} inside region"),
+            VerifyError::PhiMissingIncoming(i) => write!(f, "phi {i} missing incoming"),
+            VerifyError::StepLimit(n) => write!(f, "reference walk exceeded {n} steps"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Result of architecturally executing the region on the reference
+/// interpreter.
+#[derive(Debug, Clone)]
+pub struct RefRun {
+    /// Whether control stayed inside the region all the way to the exit
+    /// block (the architectural analogue of "every guard passes").
+    pub committed: bool,
+    /// Values of the frame's live-outs, where the reference walk defined
+    /// them (`None` for live-outs in arms the walk did not take).
+    pub live_outs: Vec<Option<Val>>,
+    /// The memory image after the walk.
+    pub mem: Memory,
+}
+
+/// One verified discrepancy between frame execution and the reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// An aborted invocation left a memory cell different from the
+    /// pre-invocation snapshot (broken rollback).
+    AbortLeak(MemDelta),
+    /// A committed invocation's memory differs from the reference run's.
+    CommitMemMismatch(MemDelta),
+    /// A committed live-out differs from the reference value.
+    LiveOutMismatch {
+        /// Index into [`Frame::live_outs`].
+        index: usize,
+        /// What the frame produced.
+        frame: Val,
+        /// What the reference produced.
+        reference: Val,
+    },
+    /// The frame and the reference disagree about whether the invocation
+    /// stays on the region (commit vs guard failure).
+    CommitDisagreement {
+        /// Frame's view.
+        frame_committed: bool,
+        /// Reference's view.
+        reference_committed: bool,
+    },
+}
+
+/// The verifier's judgement on one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Every discrepancy found (empty = invocation verified clean).
+    pub divergences: Vec<Divergence>,
+}
+
+impl Verdict {
+    /// No divergence found.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Step budget for one reference walk. Offload regions are acyclic, so
+/// any walk longer than this indicates a malformed region.
+const REF_STEP_LIMIT: u64 = 1_000_000;
+
+/// Architecturally execute `frame.region` of `func` against `mem` with
+/// the frame's live-in bindings, following real control flow. Returns
+/// whether control reached the region exit, the live-out values the walk
+/// defined, and the resulting memory.
+///
+/// # Errors
+/// See [`VerifyError`]; all variants indicate structural problems, not
+/// verification failures.
+pub fn run_reference(
+    func: &Function,
+    frame: &Frame,
+    live_ins: &[Val],
+    mem: &mut Memory,
+) -> Result<RefRun, VerifyError> {
+    if live_ins.len() != frame.live_ins.len() {
+        return Err(VerifyError::LiveInArity {
+            expected: frame.live_ins.len(),
+            got: live_ins.len(),
+        });
+    }
+    let region = &frame.region;
+
+    // Bindings: live-ins cover every externally defined value the region
+    // reads (including entry-block φs); region-defined insts fill `regs`
+    // as the walk executes them.
+    let mut bound_args: HashMap<u32, Val> = HashMap::new();
+    let mut bound_insts: HashMap<InstId, Val> = HashMap::new();
+    for (li, v) in frame.live_ins.iter().zip(live_ins) {
+        match li.value {
+            Value::Arg(n) => {
+                bound_args.insert(n, *v);
+            }
+            Value::Inst(id) => {
+                bound_insts.insert(id, *v);
+            }
+            Value::Const(_) => {}
+        }
+    }
+    let mut regs: HashMap<InstId, Val> = HashMap::new();
+
+    let read = |regs: &HashMap<InstId, Val>, v: Value| -> Result<Val, VerifyError> {
+        match v {
+            Value::Const(c) => Ok(Val::from(c)),
+            Value::Inst(id) => regs
+                .get(&id)
+                .copied()
+                .or_else(|| bound_insts.get(&id).copied())
+                .ok_or(VerifyError::UnboundValue(v)),
+            Value::Arg(n) => bound_args
+                .get(&n)
+                .copied()
+                .ok_or(VerifyError::UnboundValue(v)),
+        }
+    };
+
+    let mut cur = region.entry();
+    let mut pred: Option<needle_ir::BlockId> = None;
+    let mut steps = 0u64;
+    let committed = loop {
+        let block = func.block(cur);
+
+        // φs evaluate simultaneously on block entry. Entry-block φs are
+        // live-ins (already bound); the walk skips them.
+        let mut phi_vals: Vec<(InstId, Val)> = Vec::new();
+        for &iid in &block.insts {
+            let inst = func.inst(iid);
+            if !inst.is_phi() {
+                break;
+            }
+            if cur == region.entry() {
+                continue;
+            }
+            let p = pred.ok_or(VerifyError::PhiMissingIncoming(iid))?;
+            let v = inst
+                .phi_incoming(p)
+                .ok_or(VerifyError::PhiMissingIncoming(iid))?;
+            phi_vals.push((iid, read(&regs, v)?));
+        }
+        for (iid, v) in phi_vals {
+            regs.insert(iid, v);
+        }
+
+        for &iid in &block.insts {
+            let inst = func.inst(iid);
+            if inst.is_phi() {
+                continue;
+            }
+            steps += 1;
+            if steps > REF_STEP_LIMIT {
+                return Err(VerifyError::StepLimit(REF_STEP_LIMIT));
+            }
+            let v = match inst.op {
+                Op::Load => {
+                    let addr = read(&regs, inst.args[0])?.as_int() as u64;
+                    mem.load(addr, inst.ty)
+                }
+                Op::Store => {
+                    let v = read(&regs, inst.args[0])?;
+                    let addr = read(&regs, inst.args[1])?.as_int() as u64;
+                    mem.store(addr, v);
+                    Val::Int(0)
+                }
+                Op::Call(_) => return Err(VerifyError::CallInRegion(iid)),
+                Op::Phi => unreachable!("phis handled on block entry"),
+                pure => {
+                    let mut vals = Vec::with_capacity(inst.args.len());
+                    for a in &inst.args {
+                        vals.push(read(&regs, *a)?);
+                    }
+                    eval_pure(pure, &vals, inst.imm)
+                        .ok_or(VerifyError::UnboundValue(Value::Inst(iid)))?
+                }
+            };
+            regs.insert(iid, v);
+        }
+
+        // The exit block completes the invocation: frame lowering stops
+        // there too (its terminator contributes no guards).
+        if cur == region.exit() {
+            break true;
+        }
+
+        let next = match &block.term {
+            Terminator::Br(t) => *t,
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                if read(&regs, *cond)?.as_bool() {
+                    *then_bb
+                } else {
+                    *else_bb
+                }
+            }
+            // Leaving by return/unreachable before the exit block means
+            // the frame's speculation missed.
+            Terminator::Ret(_) | Terminator::Unreachable => break false,
+        };
+        if !region.edges.contains(&(cur, next)) {
+            // Control leaves the region early: the guard on this branch
+            // would have failed.
+            break false;
+        }
+        pred = Some(cur);
+        cur = next;
+    };
+
+    let live_outs = frame
+        .live_outs
+        .iter()
+        .map(|lo| regs.get(&lo.inst).copied())
+        .collect();
+    Ok(RefRun {
+        committed,
+        live_outs,
+        mem: mem.clone(),
+    })
+}
+
+/// Differentially verify one frame invocation.
+///
+/// * `snapshot` — memory image taken **before** the invocation ran;
+/// * `mem_after` — memory image **after** the invocation (post-rollback
+///   for aborts, post-commit for commits);
+/// * `live_ins` — the *effective* live-in values the frame executed with
+///   (any injected corruption already applied);
+/// * `outcome` — what `run_frame_with` reported.
+///
+/// Abort path: `mem_after` must be bit-identical to `snapshot`.
+/// Commit path: the reference walk from `snapshot` must also commit, and
+/// `mem_after` plus the committed live-outs must match it bit-exactly.
+/// Injected aborts ([`crate::exec::AbortCause::Injected`] /
+/// [`crate::exec::AbortCause::Killed`]) skip the commit-agreement check:
+/// the reference has no notion of the fault, only of atomicity.
+///
+/// # Errors
+/// Structural problems only ([`VerifyError`]); a found bug is a
+/// [`Divergence`] inside the `Ok` verdict.
+pub fn verify_invocation(
+    func: &Function,
+    frame: &Frame,
+    live_ins: &[Val],
+    snapshot: &MemSnapshot,
+    mem_after: &Memory,
+    outcome: &FrameOutcome,
+) -> Result<Verdict, VerifyError> {
+    let mut divergences = Vec::new();
+    match outcome {
+        FrameOutcome::Aborted { cause, .. } => {
+            for delta in mem_after.diff(snapshot) {
+                divergences.push(Divergence::AbortLeak(delta));
+            }
+            // A *guard* abort also claims the input leaves the region:
+            // cross-check against the reference walk.
+            if let crate::exec::AbortCause::Guard { .. } = cause {
+                let mut ref_mem = snapshot.restore();
+                let r = run_reference(func, frame, live_ins, &mut ref_mem)?;
+                if r.committed {
+                    divergences.push(Divergence::CommitDisagreement {
+                        frame_committed: false,
+                        reference_committed: true,
+                    });
+                }
+            }
+        }
+        FrameOutcome::Committed { live_outs, .. } => {
+            let mut ref_mem = snapshot.restore();
+            let r = run_reference(func, frame, live_ins, &mut ref_mem)?;
+            if !r.committed {
+                divergences.push(Divergence::CommitDisagreement {
+                    frame_committed: true,
+                    reference_committed: false,
+                });
+            } else {
+                let ref_snap = r.mem.snapshot();
+                for delta in mem_after.diff(&ref_snap) {
+                    divergences.push(Divergence::CommitMemMismatch(delta));
+                }
+                for (index, (frame_v, ref_v)) in
+                    live_outs.iter().zip(&r.live_outs).enumerate()
+                {
+                    // Live-outs in untaken arms have no architectural
+                    // value; the host never reads them.
+                    let Some(ref_v) = ref_v else { continue };
+                    if frame_v.to_bits() != ref_v.to_bits() {
+                        divergences.push(Divergence::LiveOutMismatch {
+                            index,
+                            frame: *frame_v,
+                            reference: *ref_v,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(Verdict { divergences })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_frame;
+    use crate::exec::{run_frame, run_frame_with};
+    use crate::inject::{FaultInjector, FaultKind, InjectorConfig};
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::{BlockId, Type, Value as V};
+    use needle_regions::OffloadRegion;
+
+    /// z = x + y; if z > 10 { store z -> p; out = z*2 } else cold
+    fn guarded() -> (Function, Frame) {
+        let mut fb =
+            FunctionBuilder::new("g", &[Type::I64, Type::I64, Type::Ptr], Some(Type::I64));
+        let entry = fb.entry();
+        let hot = fb.block("hot");
+        let cold = fb.block("cold");
+        let done = fb.block("done");
+        fb.switch_to(entry);
+        let z = fb.add(fb.arg(0), fb.arg(1));
+        let c = fb.icmp_sgt(z, V::int(10));
+        fb.cond_br(c, hot, cold);
+        fb.switch_to(hot);
+        fb.store(z, fb.arg(2));
+        let out = fb.mul(z, V::int(2));
+        fb.br(done);
+        fb.switch_to(cold);
+        fb.br(done);
+        fb.switch_to(done);
+        let r = fb.phi(Type::I64, &[(hot, out), (cold, V::int(0))]);
+        fb.ret(Some(r));
+        let f = fb.finish();
+        let region = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 10, 0.9);
+        let frame = build_frame(&f, &region).unwrap();
+        (f, frame)
+    }
+
+    #[test]
+    fn clean_commit_verifies() {
+        let (f, frame) = guarded();
+        let ins = [Val::Int(7), Val::Int(8), Val::Int(64)];
+        let mut mem = Memory::new();
+        mem.store(64, Val::Int(-1));
+        let snap = mem.snapshot();
+        let out = run_frame(&frame, &ins, &mut mem).unwrap();
+        assert!(out.committed());
+        let v = verify_invocation(&f, &frame, &ins, &snap, &mem, &out).unwrap();
+        assert!(v.is_clean(), "{:?}", v.divergences);
+    }
+
+    #[test]
+    fn clean_guard_abort_verifies() {
+        let (f, frame) = guarded();
+        let ins = [Val::Int(2), Val::Int(3), Val::Int(64)];
+        let mut mem = Memory::new();
+        mem.store(64, Val::Int(-1));
+        let snap = mem.snapshot();
+        let out = run_frame(&frame, &ins, &mut mem).unwrap();
+        assert!(!out.committed());
+        let v = verify_invocation(&f, &frame, &ins, &snap, &mem, &out).unwrap();
+        assert!(v.is_clean(), "{:?}", v.divergences);
+    }
+
+    #[test]
+    fn injected_aborts_verify_clean_rollback() {
+        let (f, frame) = guarded();
+        let mut inj = FaultInjector::new(InjectorConfig {
+            seed: 11,
+            fault_rate: 1.0,
+            kinds: vec![FaultKind::ForceGuardFail, FaultKind::KillAtOp],
+        });
+        for x in -20i64..20 {
+            let ins = [Val::Int(x), Val::Int(8), Val::Int(64)];
+            let mut mem = Memory::new();
+            mem.store(64, Val::Int(x * 17));
+            let snap = mem.snapshot();
+            let out = run_frame_with(&frame, &ins, &mut mem, Some(&mut inj)).unwrap();
+            if out.committed() {
+                continue; // fault_rate 1.0: never happens, defensive
+            }
+            let v = verify_invocation(&f, &frame, &ins, &snap, &mem, &out).unwrap();
+            assert!(v.is_clean(), "x={x}: {:?}", v.divergences);
+        }
+    }
+
+    #[test]
+    fn truncated_undo_is_caught_as_abort_leak() {
+        let (f, frame) = guarded();
+        let mut inj = FaultInjector::new(InjectorConfig {
+            seed: 2,
+            fault_rate: 1.0,
+            kinds: vec![FaultKind::TruncateUndo],
+        });
+        let ins = [Val::Int(7), Val::Int(8), Val::Int(64)];
+        let mut mem = Memory::new();
+        mem.store(64, Val::Int(500));
+        let snap = mem.snapshot();
+        let out = run_frame_with(&frame, &ins, &mut mem, Some(&mut inj)).unwrap();
+        assert!(!out.committed());
+        assert_eq!(inj.expected_corruptions(), 1);
+        let v = verify_invocation(&f, &frame, &ins, &snap, &mem, &out).unwrap();
+        assert!(
+            v.divergences
+                .iter()
+                .any(|d| matches!(d, Divergence::AbortLeak(_))),
+            "verifier must catch the leaked store: {:?}",
+            v.divergences
+        );
+    }
+
+    #[test]
+    fn tampered_commit_memory_is_caught() {
+        let (f, frame) = guarded();
+        let ins = [Val::Int(7), Val::Int(8), Val::Int(64)];
+        let mut mem = Memory::new();
+        let snap = mem.snapshot();
+        let out = run_frame(&frame, &ins, &mut mem).unwrap();
+        assert!(out.committed());
+        // Simulate a wild write the frame never made.
+        mem.store(1024, Val::Int(666));
+        let v = verify_invocation(&f, &frame, &ins, &snap, &mem, &out).unwrap();
+        assert!(v
+            .divergences
+            .iter()
+            .any(|d| matches!(d, Divergence::CommitMemMismatch(MemDelta { addr: 1024, .. }))));
+    }
+
+    #[test]
+    fn tampered_live_out_is_caught() {
+        let (f, frame) = guarded();
+        let ins = [Val::Int(7), Val::Int(8), Val::Int(64)];
+        let mut mem = Memory::new();
+        let snap = mem.snapshot();
+        let out = run_frame(&frame, &ins, &mut mem).unwrap();
+        let FrameOutcome::Committed { mut live_outs, stores } = out else {
+            panic!()
+        };
+        live_outs[0] = Val::Int(12345);
+        let tampered = FrameOutcome::Committed { live_outs, stores };
+        let v = verify_invocation(&f, &frame, &ins, &snap, &mem, &tampered).unwrap();
+        assert!(v
+            .divergences
+            .iter()
+            .any(|d| matches!(d, Divergence::LiveOutMismatch { .. })));
+    }
+
+    #[test]
+    fn reference_tracks_region_departure() {
+        let (f, frame) = guarded();
+        // 2 + 3 = 5 ≤ 10: control takes the cold edge, leaving the path
+        // region → not committed.
+        let mut mem = Memory::new();
+        let r = run_reference(&f, &frame, &[Val::Int(2), Val::Int(3), Val::Int(64)], &mut mem)
+            .unwrap();
+        assert!(!r.committed);
+        // 7 + 8 = 15 > 10: stays on the path.
+        let mut mem = Memory::new();
+        let r = run_reference(&f, &frame, &[Val::Int(7), Val::Int(8), Val::Int(64)], &mut mem)
+            .unwrap();
+        assert!(r.committed);
+        assert_eq!(mem.peek(64), 15);
+    }
+
+    #[test]
+    fn live_in_arity_is_checked() {
+        let (f, frame) = guarded();
+        let mut mem = Memory::new();
+        let err = run_reference(&f, &frame, &[Val::Int(1)], &mut mem).unwrap_err();
+        assert!(matches!(err, VerifyError::LiveInArity { expected: 3, got: 1 }));
+    }
+}

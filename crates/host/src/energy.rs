@@ -97,7 +97,6 @@ mod tests {
             l1_misses: 50,
             l2_hits: 0,
             l2_misses: 50,
-            ..Default::default()
         };
         assert!(host_energy_pj(&model, &missy) > 2.0 * host_energy_pj(&model, &base));
     }

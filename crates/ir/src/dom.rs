@@ -119,11 +119,11 @@ impl PostDomTree {
         let exit = n;
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // preds in reversed graph = succs in CFG
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
-        for b in 0..n {
+        for (b, pb) in preds.iter_mut().enumerate().take(n) {
             for s in cfg.succs(BlockId(b as u32)) {
                 // reversed edge s -> b
                 succs[s.index()].push(b);
-                preds[b].push(s.index());
+                pb.push(s.index());
             }
         }
         for e in cfg.exits() {

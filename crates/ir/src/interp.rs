@@ -181,6 +181,80 @@ impl Memory {
         }
         addr
     }
+
+    /// An independent copy of the current memory image, for later
+    /// comparison with [`Memory::diff`]. Differential verification
+    /// snapshots memory before a speculative frame invocation and diffs
+    /// after rollback: any delta is an atomicity violation.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            cells: self.cells.clone(),
+        }
+    }
+
+    /// Bit-exact deltas between `self` and a prior snapshot, sorted by
+    /// address. A cell present on one side and absent on the other
+    /// compares against the architectural zero, so "wrote 0 to a fresh
+    /// cell" is (correctly) not a divergence.
+    pub fn diff(&self, base: &MemSnapshot) -> Vec<MemDelta> {
+        let mut deltas = Vec::new();
+        for (&addr, &after) in &self.cells {
+            let before = base.cells.get(&addr).copied().unwrap_or(0);
+            if before != after {
+                deltas.push(MemDelta { addr, before, after });
+            }
+        }
+        for (&addr, &before) in &base.cells {
+            if before != 0 && !self.cells.contains_key(&addr) {
+                deltas.push(MemDelta { addr, before, after: 0 });
+            }
+        }
+        deltas.sort_by_key(|d| d.addr);
+        deltas
+    }
+
+    /// True when the image is bit-identical to `base` (no deltas).
+    pub fn same_as(&self, base: &MemSnapshot) -> bool {
+        self.diff(base).is_empty()
+    }
+}
+
+/// A frozen copy of a [`Memory`] image taken by [`Memory::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct MemSnapshot {
+    cells: HashMap<u64, u64>,
+}
+
+impl MemSnapshot {
+    /// Rebuild a live [`Memory`] from the snapshot (used by the reference
+    /// interpreter to replay an invocation against the pre-state).
+    pub fn restore(&self) -> Memory {
+        Memory {
+            cells: self.cells.clone(),
+        }
+    }
+}
+
+/// One 8-byte cell whose contents differ between a memory image and a
+/// snapshot of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDelta {
+    /// Cell-aligned byte address.
+    pub addr: u64,
+    /// Raw bits in the snapshot (0 when untouched).
+    pub before: u64,
+    /// Raw bits in the live image (0 when untouched).
+    pub after: u64,
+}
+
+impl fmt::Display for MemDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {:#x}: {:#018x} -> {:#018x}",
+            self.addr, self.before, self.after
+        )
+    }
 }
 
 /// Receiver of execution events. All methods default to no-ops, so sinks
@@ -269,6 +343,9 @@ pub enum ExecError {
     PhiMissingIncoming(FuncId, InstId),
     /// An instruction read a value that was never defined (verifier escape).
     UndefinedValue(FuncId, InstId),
+    /// An op that should be pure had memory/control semantics (verifier
+    /// escape; previously a panic).
+    MalformedOp(FuncId, InstId),
 }
 
 impl fmt::Display for ExecError {
@@ -284,6 +361,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::UndefinedValue(func, inst) => {
                 write!(f, "instruction {inst} in func {func:?} read an undefined value")
+            }
+            ExecError::MalformedOp(func, inst) => {
+                write!(f, "instruction {inst} in func {func:?} is not evaluable as pure")
             }
         }
     }
@@ -428,7 +508,8 @@ impl<'m> Interp<'m> {
                         for a in &inst.args {
                             vals.push(read(&regs, *a, iid)?);
                         }
-                        eval_pure(pure, &vals, inst.imm).expect("op is pure")
+                        eval_pure(pure, &vals, inst.imm)
+                            .ok_or(ExecError::MalformedOp(func, iid))?
                     }
                 };
                 regs[iid.index()] = Some(v);
@@ -626,6 +707,46 @@ mod tests {
                 (BlockId(1), BlockId(3)),
             ]
         );
+    }
+
+    #[test]
+    fn snapshot_diff_reports_exact_deltas() {
+        let mut mem = Memory::new();
+        mem.store(0, Val::Int(1));
+        mem.store(8, Val::Int(2));
+        let snap = mem.snapshot();
+        assert!(mem.same_as(&snap));
+
+        mem.store(8, Val::Int(99)); // changed
+        mem.store(16, Val::Int(3)); // fresh cell
+        mem.store(24, Val::Int(0)); // fresh cell, but zero: no delta
+        let deltas = mem.diff(&snap);
+        assert_eq!(
+            deltas,
+            vec![
+                MemDelta { addr: 8, before: 2, after: 99 },
+                MemDelta { addr: 16, before: 0, after: 3 },
+            ]
+        );
+        assert!(!mem.same_as(&snap));
+
+        // Restoring the snapshot erases the divergence.
+        let restored = snap.restore();
+        assert!(restored.same_as(&snap));
+        assert_eq!(restored.peek(8), 2);
+    }
+
+    #[test]
+    fn snapshot_diff_detects_cells_reset_to_zero() {
+        // A cell present in the snapshot but missing live compares against
+        // zero — rollback that *removes* a cell instead of restoring its
+        // value must still be flagged.
+        let mut mem = Memory::new();
+        mem.store(8, Val::Int(7));
+        let snap = mem.snapshot();
+        mem = Memory::new();
+        let deltas = mem.diff(&snap);
+        assert_eq!(deltas, vec![MemDelta { addr: 8, before: 7, after: 0 }]);
     }
 
     #[test]

@@ -158,8 +158,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     let mut func = Function::new(name, &params, ret);
     let mut parser = Parser { ids: HashMap::new() };
     let mut cur: Option<BlockId> = None;
-    // Deferred φ operands (they may forward-reference instructions).
-    let mut pending_phis: Vec<(InstId, usize, Vec<(String, BlockId)>)> = Vec::new();
+    // Deferred φ operands (they may forward-reference instructions):
+    // (φ inst, arg slot, named incomings).
+    type PendingPhi = (InstId, usize, Vec<(String, BlockId)>);
+    let mut pending_phis: Vec<PendingPhi> = Vec::new();
 
     for (ln, line) in lines {
         if line == "}" {

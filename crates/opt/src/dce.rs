@@ -30,10 +30,11 @@ pub fn eliminate_dead_code(func: &mut Function) -> usize {
                 }
             }
             match &func.block(*bb).term {
-                Terminator::CondBr { cond, .. } => {
-                    if let Value::Inst(d) = cond {
-                        used.insert(*d);
-                    }
+                Terminator::CondBr {
+                    cond: Value::Inst(d),
+                    ..
+                } => {
+                    used.insert(*d);
                 }
                 Terminator::Ret(Some(Value::Inst(d))) => {
                     used.insert(*d);

@@ -151,8 +151,8 @@ impl BlNumbering {
         let mut order: Vec<BlockId> = Vec::with_capacity(n);
         {
             let mut indeg = vec![0usize; n];
-            for b in 0..n {
-                for e in &succ[b] {
+            for edges in succ.iter().take(n) {
+                for e in edges {
                     if let DagEdge::Real(_, t) = e {
                         indeg[t.index()] += 1;
                     }

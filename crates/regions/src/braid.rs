@@ -111,7 +111,7 @@ pub fn build_braids(func: &Function, rank: &FunctionRank, max_paths: usize) -> V
             }
         })
         .collect();
-    braids.sort_by(|a, b| b.pwt.cmp(&a.pwt));
+    braids.sort_by_key(|b| std::cmp::Reverse(b.pwt));
     braids
 }
 

@@ -114,14 +114,14 @@ pub fn build_path_trees(func: &Function, rank: &FunctionRank, max_paths: usize) 
             }
         })
         .collect();
-    trees.sort_by(|a, b| b.pwt.cmp(&a.pwt));
+    trees.sort_by_key(|t| std::cmp::Reverse(t.pwt));
     trees
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use needle_ir::interp::{Interp, Memory};
+    use needle_ir::interp::Interp;
     use needle_profile::profiler::PathProfiler;
     use needle_profile::rank::rank_paths;
 

@@ -47,10 +47,7 @@ pub fn build_superblock(func: &Function, profile: &EdgeProfile, seed: BlockId) -
         .collect();
     let mut blocks = vec![seed];
     let mut cur = seed;
-    loop {
-        let Some((next, cnt)) = profile.hottest_successor(cur) else {
-            break;
-        };
+    while let Some((next, cnt)) = profile.hottest_successor(cur) {
         if cnt == 0 || back.contains(&(cur, next)) || blocks.contains(&next) {
             break;
         }

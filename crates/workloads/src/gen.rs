@@ -296,7 +296,7 @@ fn emit_payload(
             let leaf = match rng.gen_range(0..4u32) {
                 0 => fb.add(i, c),
                 1 => fb.xor(i, c),
-                2 => fb.mul(i, Value::int(rng.gen_range(1..16) * 2 + 1)),
+                2 => fb.mul(i, Value::int(rng.gen_range(1i64..16) * 2 + 1)),
                 _ => fb.sub(i, c),
             };
             level.push(leaf);

@@ -89,6 +89,7 @@ pub fn specs() -> &'static [GenSpec] {
 use BiasKind::*;
 use Suite::*;
 
+#[allow(clippy::too_many_arguments)]
 const fn s(
         name: &'static str,
         suite: Suite,

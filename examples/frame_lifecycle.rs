@@ -92,11 +92,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut mem,
     )?;
     match &outcome {
-        FrameOutcome::Aborted {
-            failed_guard,
-            rolled_back,
-        } => println!(
-            "\ninvocation 2: ABORT — guard #{failed_guard} failed, {rolled_back} undo entries replayed"
+        FrameOutcome::Aborted { cause, rolled_back } => println!(
+            "\ninvocation 2: ABORT — {cause:?}, {rolled_back} undo entries replayed"
         ),
         other => println!("unexpected: {other:?}"),
     }

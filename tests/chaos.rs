@@ -1,0 +1,79 @@
+//! Acceptance tests for the speculation chaos harness: the seeded
+//! 200-fault campaign across suite workloads must find zero memory
+//! divergences, and a forced abort storm must trip blacklisting and
+//! finish the run host-only.
+
+use needle::{run_campaign, storm_scenario, ChaosConfig, NeedleConfig};
+
+#[test]
+fn seeded_200_fault_campaign_is_divergence_free() {
+    let chaos = ChaosConfig {
+        seed: 42,
+        faults: 200,
+        include_corruption: true,
+        ..ChaosConfig::default()
+    };
+    assert!(chaos.workloads.len() >= 3, "campaign must span ≥3 workloads");
+    let r = run_campaign(&chaos, &NeedleConfig::default()).unwrap();
+
+    assert!(
+        r.total_injected() >= 200,
+        "campaign under-delivered: {} faults\n{r}",
+        r.total_injected()
+    );
+    assert_eq!(r.unexpected_divergences(), 0, "{r}");
+    assert_eq!(r.errors(), 0, "{r}");
+    // Undo-log truncation was enabled: real corruption happened and the
+    // differential verifier caught every instance.
+    let expected: u64 = r.campaigns.iter().map(|c| c.expected_corruptions).sum();
+    assert!(expected > 0, "no TruncateUndo fault corrupted memory\n{r}");
+    assert_eq!(r.missed_detections(), 0, "{r}");
+    assert!(r.is_clean(), "{r}");
+}
+
+#[test]
+fn campaign_is_reproducible_from_its_seed() {
+    let chaos = ChaosConfig {
+        faults: 30,
+        workloads: vec!["429.mcf".to_string()],
+        ..ChaosConfig::default()
+    };
+    let cfg = NeedleConfig::default();
+    let a = run_campaign(&chaos, &cfg).unwrap();
+    let b = run_campaign(&chaos, &cfg).unwrap();
+    for (x, y) in a.campaigns.iter().zip(&b.campaigns) {
+        assert_eq!(x.invocations, y.invocations);
+        assert_eq!(x.injected, y.injected);
+        assert_eq!(x.commits, y.commits);
+        assert_eq!(x.aborts, y.aborts);
+    }
+}
+
+#[test]
+fn abort_storm_blacklists_the_region_and_falls_back_to_host() {
+    let mut cfg = NeedleConfig::default();
+    cfg.storm.threshold = 4;
+    cfg.storm.cooldown = 8;
+    cfg.storm.retry_budget = 2;
+    let r = storm_scenario("429.mcf", 42, &cfg).unwrap();
+
+    assert!(r.storms >= 1, "storm never tripped:\n{r}");
+    assert!(r.blacklisted, "region should end the run blacklisted:\n{r}");
+    assert!(r.fallbacks > 0, "no host-only fallbacks:\n{r}");
+    assert_eq!(r.commits, 0, "nothing commits under a 100% fault rate");
+    assert_eq!(r.aborts, r.injected_aborts);
+    // The run completed with consistent accounting: every opportunity is
+    // a commit, an abort, a predictor decline, or a storm fallback.
+    assert_eq!(
+        r.commits + r.aborts + r.declined + r.fallbacks,
+        r.invocations,
+        "{r}"
+    );
+    // Degradation bounds the damage: after blacklisting, the abort count
+    // stays at threshold + retry budget.
+    assert!(
+        r.aborts <= (cfg.storm.threshold + cfg.storm.retry_budget) as u64,
+        "aborts {} kept accumulating past the storm gate:\n{r}",
+        r.aborts
+    );
+}

@@ -1,6 +1,8 @@
-//! Property-based tests over the core invariants.
+//! Property-based tests over the core invariants, driven by a seeded RNG
+//! so every run checks the same deterministic case sample.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use needle_frames::{build_frame, run_frame, FrameOutcome};
 use needle_ir::builder::FunctionBuilder;
@@ -50,11 +52,7 @@ fn diamond_chain(arms: &[(u8, u8, i64)]) -> Function {
 fn full_braid(f: &Function) -> OffloadRegion {
     let cfg = needle_ir::cfg::Cfg::new(f);
     let blocks: Vec<BlockId> = cfg.reverse_post_order();
-    let edges = cfg
-        .edges()
-        .into_iter()
-        .map(|e| (e.from, e.to))
-        .collect();
+    let edges = cfg.edges().into_iter().map(|e| (e.from, e.to)).collect();
     OffloadRegion {
         blocks,
         edges,
@@ -63,35 +61,66 @@ fn full_braid(f: &Function) -> OffloadRegion {
     }
 }
 
-fn arm_strategy() -> impl Strategy<Value = Vec<(u8, u8, i64)>> {
-    prop::collection::vec((0u8..4, 0u8..4, -50i64..50), 1..5)
+/// Draw a random arm list: `(then ops, else ops, branch threshold)`.
+fn random_arms(rng: &mut StdRng) -> Vec<(u8, u8, i64)> {
+    let len = rng.gen_range(1usize..5);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0u8..4),
+                rng.gen_range(0u8..4),
+                rng.gen_range(-50i64..50),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Map a frame's live-ins for a diamond chain invoked as `chain(x, null)`.
+fn chain_live_ins(frame: &needle_frames::Frame, x: i64) -> Vec<Val> {
+    frame
+        .live_ins
+        .iter()
+        .map(|li| match li.value {
+            Value::Arg(0) => Val::Int(x),
+            Value::Arg(1) => Val::Int(0),
+            other => panic!("unexpected live-in {other:?}"),
+        })
+        .collect()
+}
 
-    /// Ball-Larus ids decode/encode as inverses and are dense.
-    #[test]
-    fn bl_roundtrip_on_random_chains(arms in arm_strategy()) {
+/// Ball-Larus ids decode/encode as inverses and are dense.
+#[test]
+fn bl_roundtrip_on_random_chains() {
+    let mut rng = StdRng::seed_from_u64(0x1B11);
+    for case in 0..64 {
+        let arms = random_arms(&mut rng);
         let f = diamond_chain(&arms);
         let bl = BlNumbering::new(&f).unwrap();
-        prop_assert_eq!(bl.num_paths(), 1u64 << arms.len());
+        assert_eq!(bl.num_paths(), 1u64 << arms.len(), "case {case}");
         for id in 0..bl.num_paths() {
             let blocks = bl.decode(id).unwrap();
-            prop_assert_eq!(bl.encode(&blocks).unwrap(), id);
-            prop_assert_eq!(blocks[0], BlockId(0));
+            assert_eq!(bl.encode(&blocks).unwrap(), id, "case {case}");
+            assert_eq!(blocks[0], BlockId(0), "case {case}");
         }
     }
+}
 
-    /// A committed whole-function braid frame is observationally equivalent
-    /// to interpreting the function: same return value, same memory.
-    #[test]
-    fn braid_frame_matches_interpreter(arms in arm_strategy(), x in -100i64..100) {
+/// A committed whole-function braid frame is observationally equivalent
+/// to interpreting the function: same return value, same memory.
+#[test]
+fn braid_frame_matches_interpreter() {
+    let mut rng = StdRng::seed_from_u64(0x1B12);
+    for case in 0..64 {
+        let arms = random_arms(&mut rng);
+        let x = rng.gen_range(-100i64..100);
         let f = diamond_chain(&arms);
         let region = full_braid(&f);
         region.validate(&f).unwrap();
         let frame = build_frame(&f, &region).unwrap();
-        prop_assert!(frame.guards.is_empty(), "whole-function braid has no guards");
+        assert!(
+            frame.guards.is_empty(),
+            "case {case}: whole-function braid has no guards"
+        );
 
         // Interpreter run.
         let mut m = Module::new("t");
@@ -103,41 +132,38 @@ proptest! {
             .unwrap();
 
         // Frame run: live-ins are the two arguments in first-use order.
-        let live_vals: Vec<Val> = frame
-            .live_ins
-            .iter()
-            .map(|li| match li.value {
-                Value::Arg(0) => Val::Int(x),
-                Value::Arg(1) => Val::Int(0),
-                other => panic!("unexpected live-in {other:?}"),
-            })
-            .collect();
+        let live_vals = chain_live_ins(&frame, x);
         let mut mem_f = Memory::new();
         let out = run_frame(&frame, &live_vals, &mut mem_f).unwrap();
         let FrameOutcome::Committed { live_outs, .. } = out else {
-            return Err(TestCaseError::fail("no guards: frame must commit"));
+            panic!("case {case}: no guards, frame must commit");
         };
 
         // Memory images agree on every touched slot.
         for slot in 0..(arms.len() as u64 * 2) {
-            prop_assert_eq!(
+            assert_eq!(
                 mem_i.peek(slot * 8),
                 mem_f.peek(slot * 8),
-                "slot {} differs", slot
+                "case {case}: slot {slot} differs"
             );
         }
         // The returned value is one of the frame's live-outs.
-        prop_assert!(
+        assert!(
             live_outs.contains(&ret),
-            "interpreter returned {ret:?}, frame live-outs {live_outs:?}"
+            "case {case}: interpreter returned {ret:?}, frame live-outs {live_outs:?}"
         );
     }
+}
 
-    /// A path frame through the all-taken arms either commits with the same
-    /// effects as the interpreter (when the input stays on the path) or
-    /// aborts leaving memory untouched.
-    #[test]
-    fn path_frame_commit_or_clean_abort(arms in arm_strategy(), x in -100i64..100) {
+/// A path frame through the all-taken arms either commits with the same
+/// effects as the interpreter (when the input stays on the path) or
+/// aborts leaving memory untouched.
+#[test]
+fn path_frame_commit_or_clean_abort() {
+    let mut rng = StdRng::seed_from_u64(0x1B13);
+    for case in 0..64 {
+        let arms = random_arms(&mut rng);
+        let x = rng.gen_range(-100i64..100);
         let f = diamond_chain(&arms);
         // Region: entry + all taken arms + merges.
         let mut blocks = vec![BlockId(0)];
@@ -148,17 +174,9 @@ proptest! {
         let region = OffloadRegion::from_path(&blocks, 1, 1.0);
         region.validate(&f).unwrap();
         let frame = build_frame(&f, &region).unwrap();
-        prop_assert_eq!(frame.guards.len(), arms.len());
+        assert_eq!(frame.guards.len(), arms.len(), "case {case}");
 
-        let live_vals: Vec<Val> = frame
-            .live_ins
-            .iter()
-            .map(|li| match li.value {
-                Value::Arg(0) => Val::Int(x),
-                Value::Arg(1) => Val::Int(0),
-                other => panic!("unexpected live-in {other:?}"),
-            })
-            .collect();
+        let live_vals = chain_live_ins(&frame, x);
         let mut mem_f = Memory::new();
         let sentinel = 0xDEAD;
         for slot in 0..(arms.len() as u64 * 2) {
@@ -178,17 +196,86 @@ proptest! {
                     .run(fid, &[Constant::Int(x), Constant::Ptr(0)], &mut mem_i, &mut NullSink)
                     .unwrap();
                 for slot in 0..(arms.len() as u64 * 2) {
-                    prop_assert_eq!(mem_i.peek(slot * 8), mem_f.peek(slot * 8));
+                    assert_eq!(mem_i.peek(slot * 8), mem_f.peek(slot * 8), "case {case}");
                 }
             }
             FrameOutcome::Aborted { .. } => {
                 // Rollback must restore every sentinel.
                 for slot in 0..(arms.len() as u64 * 2) {
-                    prop_assert_eq!(mem_f.peek(slot * 8), sentinel as u64);
+                    assert_eq!(mem_f.peek(slot * 8), sentinel as u64, "case {case}");
                 }
             }
         }
     }
+}
+
+/// Under injected faults — forced guard failures, mid-frame kills,
+/// corrupted live-ins — every aborted invocation restores memory
+/// bit-exactly and every committed one matches an independent reference
+/// interpretation of the region, as judged by the differential verifier.
+#[test]
+fn injected_faults_never_break_the_speculation_invariant() {
+    use needle_frames::{
+        run_frame_with, verify_invocation, Fault, FaultInjector, FaultKind, InjectorConfig,
+    };
+    let mut rng = StdRng::seed_from_u64(0x1B14);
+    let mut injector = FaultInjector::new(InjectorConfig {
+        seed: 0x1B14,
+        fault_rate: 1.0,
+        kinds: vec![
+            FaultKind::ForceGuardFail,
+            FaultKind::KillAtOp,
+            FaultKind::CorruptLiveIn,
+        ],
+    });
+    let mut aborts = 0u32;
+    let mut commits = 0u32;
+    for case in 0..64 {
+        let arms = random_arms(&mut rng);
+        let x = rng.gen_range(-100i64..100);
+        let f = diamond_chain(&arms);
+        // The all-taken-arms path frame: guards can genuinely fail too.
+        let mut blocks = vec![BlockId(0)];
+        for k in 0..arms.len() as u32 {
+            blocks.push(BlockId(1 + k * 3));
+            blocks.push(BlockId(3 + k * 3));
+        }
+        let region = OffloadRegion::from_path(&blocks, 1, 1.0);
+        let frame = build_frame(&f, &region).unwrap();
+
+        let mut live_vals = chain_live_ins(&frame, x);
+        let mut mem = Memory::new();
+        for slot in 0..(arms.len() as u64 * 2) {
+            mem.store(slot * 8, Val::Int(0xDEAD));
+        }
+        let snap = mem.snapshot();
+        let logged = injector.log.len();
+        let out = run_frame_with(&frame, &live_vals, &mut mem, Some(&mut injector)).unwrap();
+        // Verification must see the live-ins the frame actually ran with.
+        if let Some(rec) = injector.log.get(logged) {
+            if let Fault::CorruptLiveIn { index, mask } = rec.fault {
+                live_vals[index] =
+                    Val::from_bits(live_vals[index].to_bits() ^ mask, frame.live_ins[index].ty);
+            }
+        }
+        match &out {
+            FrameOutcome::Aborted { .. } => {
+                aborts += 1;
+                assert!(mem.same_as(&snap), "case {case}: abort leaked memory");
+            }
+            FrameOutcome::Committed { .. } => commits += 1,
+        }
+        let verdict = verify_invocation(&f, &frame, &live_vals, &snap, &mem, &out).unwrap();
+        assert!(
+            verdict.is_clean(),
+            "case {case} ({out:?}): {:?}",
+            verdict.divergences
+        );
+    }
+    // The sample exercised both outcomes and actually injected faults.
+    assert!(aborts > 0, "no aborts across 64 faulty invocations");
+    assert!(commits > 0, "no commits across 64 faulty invocations");
+    assert!(injector.log.len() >= 60, "only {} faults", injector.log.len());
 }
 
 #[test]
