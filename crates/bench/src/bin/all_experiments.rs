@@ -1,4 +1,9 @@
 //! Regenerate every table and figure into `results/`.
+//!
+//! Runs all experiment binaries even if some fail, then exits non-zero
+//! if any did. A non-zero child exit is a *failure to record*, not a
+//! reason to re-run: only a spawn error (the sibling binary isn't
+//! built) falls back to `cargo run`.
 
 use std::process::Command;
 
@@ -27,21 +32,47 @@ fn main() {
         "train_vs_ref",
         "multi_region",
     ];
+    let mut failures: Vec<String> = Vec::new();
     for t in targets {
         println!("==> {t}");
-        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(t))
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            other => {
-                eprintln!("running {t} via cargo (direct spawn failed: {other:?})");
-                let s = Command::new("cargo")
+        let sibling = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join(t)));
+        let status = match sibling {
+            Some(bin) => Command::new(bin).status(),
+            None => Err(std::io::Error::other("no executable dir")),
+        };
+        let status = match status {
+            Ok(s) => Ok(s),
+            Err(e) => {
+                // The sibling binary doesn't exist (or can't exec) —
+                // build-and-run it instead.
+                eprintln!("running {t} via cargo (direct spawn failed: {e})");
+                Command::new("cargo")
                     .args(["run", "--release", "-p", "needle-bench", "--bin", t])
                     .status()
-                    .expect("cargo run");
-                assert!(s.success(), "{t} failed");
+            }
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("FAILED: {t} exited with {s}");
+                failures.push(format!("{t} ({s})"));
+            }
+            Err(e) => {
+                eprintln!("FAILED: {t} could not run: {e}");
+                failures.push(format!("{t} (spawn: {e})"));
             }
         }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "{} of {} experiments failed: {}",
+            failures.len(),
+            targets.len(),
+            failures.join(", ")
+        );
+        std::process::exit(1);
     }
     println!("All experiments regenerated under results/");
 }

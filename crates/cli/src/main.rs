@@ -13,8 +13,9 @@
 use std::process::ExitCode;
 
 use needle::{
-    analyze, run_campaign, simulate_offload, storm_scenario, ChaosConfig, NeedleConfig,
-    PredictorKind,
+    analyze, peek_journal, run_supervised, simulate_offload, storm_scenario, CampaignOptions,
+    CampaignReport, CampaignUnit, ChaosConfig, NeedleConfig, PredictorKind, SupervisorConfig,
+    UnitKind, UnitPayload,
 };
 use needle_frames::build_frame;
 use needle_ir::interp::{Interp, Memory, NullSink};
@@ -34,14 +35,34 @@ USAGE:
   needle offload <workload> [--path] [--oracle]
       Co-simulate offloading the top Braid (default) or top BL-path,
       with the history predictor (default) or the oracle.
+  needle suite [--workloads a,b,c] [--path] [--oracle] [--pathological]
+               [supervisor flags]
+      Supervised whole-suite sweep: run every workload's full chain
+      (profile → rank → region → frame → offload) on a panic-isolated
+      worker pool with per-unit deadlines and degrading retries. A
+      panicking or runaway workload becomes a per-unit outcome, not a
+      dead campaign, so a completed campaign exits 0 even with failed
+      units. --pathological appends probe units (a panicking unit and
+      the runaway 999.loop workload) to demonstrate isolation.
+  needle resume --journal PATH [supervisor flags]
+      Resume a journaled campaign: completed units are replayed from
+      the journal, in-flight and unstarted ones re-run.
   needle chaos [--seed N] [--faults M] [--workloads a,b,c] [--corruption]
-               [--no-storm]
-      Seeded fault-injection campaign: inject M faults across the top
-      braid and path of each workload, differentially verify every
+               [--no-storm] [supervisor flags]
+      Seeded fault-injection campaign, one supervised unit per
+      workload: inject ~M faults split across workloads, attack the
+      top braid and path of each, differentially verify every
       invocation, then (unless --no-storm) force an abort storm and
       check the offloader degrades to host-only execution. Exits
-      non-zero on any divergence, missed corruption, or storm that
-      fails to trip.
+      non-zero on any divergence, missed corruption, failed unit, or
+      storm that fails to trip.
+
+  Supervisor flags (suite / resume / chaos):
+      --workers N        worker threads (0 = auto)
+      --deadline-ms MS   per-attempt wall-clock deadline
+      --retries N        attempts per unit before failed-with-cause
+      --journal PATH     append-only JSONL checkpoint journal
+      --resume           resume from --journal instead of starting over
   needle print-ir <workload>
       Print the workload's IR in textual form.
   needle run-ir <file> [intarg...]
@@ -54,6 +75,8 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("analyze") => with_workload(&args, cmd_analyze),
         Some("offload") => with_workload(&args, |name| cmd_offload(name, &args)),
+        Some("suite") => cmd_suite(&args),
+        Some("resume") => cmd_resume(&args),
         Some("chaos") => cmd_chaos(&args),
         Some("print-ir") => with_workload(&args, cmd_print_ir),
         Some("run-ir") => cmd_run_ir(&args),
@@ -200,6 +223,111 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Parse the shared supervisor policy flags.
+fn sup_from_flags(args: &[String]) -> Result<SupervisorConfig, Box<dyn std::error::Error>> {
+    let mut sup = SupervisorConfig::default();
+    if let Some(s) = flag_value(args, "--workers") {
+        sup.workers = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--deadline-ms") {
+        sup.deadline_ms = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--retries") {
+        sup.max_attempts = s.parse()?;
+    }
+    Ok(sup)
+}
+
+/// Parse the shared journal/resume flags.
+fn opts_from_flags(args: &[String]) -> CampaignOptions {
+    CampaignOptions {
+        journal: flag_value(args, "--journal").map(std::path::PathBuf::from),
+        resume: args.iter().any(|a| a == "--resume"),
+        kill_after_records: None,
+    }
+}
+
+fn cmd_suite(args: &[String]) -> CliResult {
+    let path = args.iter().any(|a| a == "--path");
+    let oracle = args.iter().any(|a| a == "--oracle");
+    let names: Vec<String> = match flag_value(args, "--workloads") {
+        Some(s) => s.split(',').map(str::to_string).collect(),
+        None => needle_workloads::specs().iter().map(|s| s.name.to_string()).collect(),
+    };
+    let mut units: Vec<CampaignUnit> = names
+        .into_iter()
+        .map(|w| CampaignUnit {
+            workload: w,
+            kind: UnitKind::Offload { path, oracle },
+        })
+        .collect();
+    if args.iter().any(|a| a == "--pathological") {
+        units.push(CampaignUnit {
+            workload: "999.panic".into(),
+            kind: UnitKind::PanicProbe,
+        });
+        units.push(CampaignUnit {
+            workload: "999.loop".into(),
+            kind: UnitKind::Offload { path, oracle },
+        });
+    }
+    let report = run_supervised(
+        units,
+        &NeedleConfig::default(),
+        &sup_from_flags(args)?,
+        &opts_from_flags(args),
+    )?;
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_resume(args: &[String]) -> CliResult {
+    let journal = flag_value(args, "--journal")
+        .ok_or("resume needs --journal PATH")?
+        .to_string();
+    let (_, mut sup) = peek_journal(std::path::Path::new(&journal))?;
+    // Flag overrides beat the journaled policy.
+    if let Some(s) = flag_value(args, "--workers") {
+        sup.workers = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--deadline-ms") {
+        sup.deadline_ms = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--retries") {
+        sup.max_attempts = s.parse()?;
+    }
+    let opts = CampaignOptions {
+        journal: Some(std::path::PathBuf::from(journal)),
+        resume: true,
+        kill_after_records: None,
+    };
+    let report = run_supervised(vec![], &NeedleConfig::default(), &sup, &opts)?;
+    println!("{report}");
+    Ok(())
+}
+
+/// Is the aggregated chaos campaign clean? Mirrors
+/// `ChaosReport::is_clean`, unit by unit.
+fn chaos_units_clean(report: &CampaignReport) -> bool {
+    report.units.iter().all(|u| {
+        u.outcome.succeeded()
+            && match &u.payload {
+                Some(UnitPayload::Chaos {
+                    expected_corruptions,
+                    detected_corruptions,
+                    unexpected_divergences,
+                    errors,
+                    ..
+                }) => {
+                    detected_corruptions == expected_corruptions
+                        && *unexpected_divergences == 0
+                        && *errors == 0
+                }
+                _ => false,
+            }
+    })
+}
+
 fn cmd_chaos(args: &[String]) -> CliResult {
     let mut chaos = ChaosConfig::default();
     if let Some(s) = flag_value(args, "--seed") {
@@ -214,9 +342,28 @@ fn cmd_chaos(args: &[String]) -> CliResult {
     chaos.include_corruption = args.iter().any(|a| a == "--corruption");
     let cfg = NeedleConfig::default();
 
-    let report = run_campaign(&chaos, &cfg)?;
+    // One supervised unit per workload; the fault budget splits across
+    // them so `--faults` keeps its campaign-wide meaning.
+    if chaos.workloads.is_empty() {
+        return Err("no workloads given".into());
+    }
+    let per_unit_faults = (chaos.faults / chaos.workloads.len() as u64).max(1);
+    let units: Vec<CampaignUnit> = chaos
+        .workloads
+        .iter()
+        .map(|w| CampaignUnit {
+            workload: w.clone(),
+            kind: UnitKind::Chaos {
+                seed: chaos.seed,
+                faults: per_unit_faults,
+                include_corruption: chaos.include_corruption,
+                fault_rate: chaos.fault_rate,
+            },
+        })
+        .collect();
+    let report = run_supervised(units, &cfg, &sup_from_flags(args)?, &opts_from_flags(args))?;
     println!("{report}");
-    let mut failed = !report.is_clean();
+    let mut failed = !chaos_units_clean(&report);
 
     if !args.iter().any(|a| a == "--no-storm") {
         let target = chaos

@@ -48,6 +48,34 @@ impl Default for StormConfig {
     }
 }
 
+/// Supervised-campaign policy: worker pool size, per-unit budgets, and
+/// the retry schedule (see [`crate::supervisor`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Worker threads (0 = auto: available parallelism, capped at 4).
+    pub workers: usize,
+    /// Per-attempt wall-clock deadline, milliseconds. Sits on top of
+    /// the interpreter's `max_steps` fuel: fuel bounds work, the
+    /// deadline bounds time.
+    pub deadline_ms: u64,
+    /// Attempts per unit before it is marked failed-with-cause.
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff, milliseconds
+    /// (`base * 2^(attempt-1)`).
+    pub backoff_base_ms: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            workers: 0,
+            deadline_ms: 30_000,
+            max_attempts: 3,
+            backoff_base_ms: 25,
+        }
+    }
+}
+
 /// Analysis-phase tuning.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisConfig {

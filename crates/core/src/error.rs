@@ -16,6 +16,7 @@ use needle_frames::{BuildError, ExecFrameError, OptError, VerifyError};
 use needle_ir::interp::ExecError;
 
 use crate::analysis::AnalysisError;
+use crate::journal::JournalError;
 
 /// Any failure of the Needle pipeline.
 #[derive(Debug)]
@@ -37,6 +38,11 @@ pub enum NeedleError {
     UnknownWorkload(String),
     /// Analysis produced no offloadable region to work with.
     NoRegion(&'static str),
+    /// The campaign journal failed (I/O, corruption, or the kill test
+    /// hook) — the supervisor stops as a killed process would.
+    Journal(JournalError),
+    /// The attempt was cancelled by the supervisor's watchdog.
+    Canceled,
 }
 
 impl fmt::Display for NeedleError {
@@ -50,6 +56,8 @@ impl fmt::Display for NeedleError {
             NeedleError::Verify(e) => write!(f, "verification failed: {e}"),
             NeedleError::UnknownWorkload(n) => write!(f, "unknown workload {n:?}"),
             NeedleError::NoRegion(what) => write!(f, "no region: {what}"),
+            NeedleError::Journal(e) => write!(f, "campaign journal failed: {e}"),
+            NeedleError::Canceled => write!(f, "attempt cancelled by supervisor"),
         }
     }
 }
@@ -89,5 +97,11 @@ impl From<ExecFrameError> for NeedleError {
 impl From<VerifyError> for NeedleError {
     fn from(e: VerifyError) -> NeedleError {
         NeedleError::Verify(e)
+    }
+}
+
+impl From<JournalError> for NeedleError {
+    fn from(e: JournalError) -> NeedleError {
+        NeedleError::Journal(e)
     }
 }

@@ -44,12 +44,19 @@ pub mod analysis;
 pub mod chaos;
 pub mod config;
 pub mod error;
+pub mod journal;
 pub mod multi;
 pub mod offload;
+pub mod supervisor;
 
 pub use analysis::{analyze, analyze_hottest, Analysis, AnalysisError};
 pub use chaos::{run_campaign, storm_scenario, ChaosConfig, ChaosReport, RegionCampaign};
-pub use config::{NeedleConfig, StormConfig};
+pub use config::{NeedleConfig, StormConfig, SupervisorConfig};
 pub use error::NeedleError;
+pub use journal::JournalError;
+pub use supervisor::{
+    peek_journal, run_supervised, CampaignOptions, CampaignReport, CampaignUnit, UnitKind,
+    UnitOutcome, UnitPayload, UnitReport,
+};
 pub use multi::{simulate_multi_offload, MultiOffloadReport, RegionSpec};
 pub use offload::{simulate_offload, simulate_offload_with, OffloadReport, PredictorKind};

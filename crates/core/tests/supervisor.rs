@@ -1,0 +1,231 @@
+//! Checkpoint/resume acceptance tests for the supervised campaign
+//! runner: kill mid-flight → resume → identical report, and journal
+//! corruption recovery dropping only the bad tail.
+
+use std::path::PathBuf;
+
+use needle::journal::{self, Json};
+use needle::{
+    run_supervised, CampaignOptions, CampaignUnit, JournalError, NeedleConfig, NeedleError,
+    SupervisorConfig, UnitKind, UnitOutcome,
+};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "needle-sup-{name}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("campaign.jsonl")
+}
+
+/// A small campaign with deterministic per-unit results: two real
+/// offload units, a flaky probe that needs the degradation ladder, and
+/// a panicking probe.
+fn mixed_units() -> Vec<CampaignUnit> {
+    vec![
+        CampaignUnit::offload("179.art"),
+        CampaignUnit {
+            workload: "probe".into(),
+            kind: UnitKind::FlakyProbe { succeed_at: 1 },
+        },
+        CampaignUnit::offload("429.mcf"),
+        CampaignUnit {
+            workload: "probe".into(),
+            kind: UnitKind::PanicProbe,
+        },
+    ]
+}
+
+fn sup() -> SupervisorConfig {
+    SupervisorConfig {
+        // One worker so the journal record count at the kill point is
+        // deterministic.
+        workers: 1,
+        deadline_ms: 120_000,
+        max_attempts: 2,
+        backoff_base_ms: 1,
+    }
+}
+
+#[test]
+fn killed_campaign_resumes_to_an_identical_report() {
+    let cfg = NeedleConfig::default();
+
+    // Ground truth: the same campaign, uninterrupted, no journal.
+    let uninterrupted =
+        run_supervised(mixed_units(), &cfg, &sup(), &CampaignOptions::default()).unwrap();
+    assert_eq!(uninterrupted.units.len(), 4);
+    assert_eq!(uninterrupted.units[0].outcome, UnitOutcome::Ok);
+    assert_eq!(uninterrupted.units[1].outcome, UnitOutcome::Degraded);
+    assert_eq!(uninterrupted.units[3].outcome, UnitOutcome::Panicked);
+
+    // Kill after 4 journal records: header + unit0 start/done + unit1
+    // start — unit 0 is checkpointed, unit 1 is in-flight, 2/3 unstarted.
+    let path = scratch("kill");
+    let killed = run_supervised(
+        mixed_units(),
+        &cfg,
+        &sup(),
+        &CampaignOptions {
+            journal: Some(path.clone()),
+            resume: false,
+            kill_after_records: Some(4),
+        },
+    );
+    assert!(
+        matches!(killed, Err(NeedleError::Journal(JournalError::Killed))),
+        "kill hook must abort the campaign: {killed:?}"
+    );
+    let loaded = journal::load(&path).unwrap();
+    assert_eq!(loaded.records.len(), 4, "journal stops at the kill point");
+
+    // Resume: unit 0 replays from the journal, the rest re-run.
+    let resumed = run_supervised(
+        vec![],
+        &cfg,
+        &sup(),
+        &CampaignOptions {
+            journal: Some(path.clone()),
+            resume: true,
+            kill_after_records: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed, 1, "exactly unit 0 was checkpointed");
+    assert!(resumed.units[0].resumed && !resumed.units[1].resumed);
+    assert!(
+        resumed.equivalent(&uninterrupted),
+        "resumed campaign must match the uninterrupted run:\n{resumed}\nvs\n{uninterrupted}"
+    );
+
+    // Resuming again replays everything and still matches.
+    let replayed = run_supervised(
+        vec![],
+        &cfg,
+        &sup(),
+        &CampaignOptions {
+            journal: Some(path.clone()),
+            resume: true,
+            kill_after_records: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(replayed.resumed, 4);
+    assert!(replayed.equivalent(&uninterrupted));
+
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn resume_rejects_a_mismatched_unit_list() {
+    let cfg = NeedleConfig::default();
+    let path = scratch("mismatch");
+    let _ = run_supervised(
+        vec![CampaignUnit {
+            workload: "probe".into(),
+            kind: UnitKind::FlakyProbe { succeed_at: 0 },
+        }],
+        &cfg,
+        &sup(),
+        &CampaignOptions {
+            journal: Some(path.clone()),
+            resume: false,
+            kill_after_records: None,
+        },
+    )
+    .unwrap();
+    let r = run_supervised(
+        mixed_units(),
+        &cfg,
+        &sup(),
+        &CampaignOptions {
+            journal: Some(path.clone()),
+            resume: true,
+            kill_after_records: None,
+        },
+    );
+    assert!(
+        matches!(r, Err(NeedleError::Journal(JournalError::HeaderMismatch(_)))),
+        "{r:?}"
+    );
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn corrupted_journal_tail_loses_only_the_tail() {
+    let cfg = NeedleConfig::default();
+    let path = scratch("corrupt");
+    // Probe-only campaign: fast and fully deterministic.
+    let units = vec![
+        CampaignUnit {
+            workload: "a".into(),
+            kind: UnitKind::FlakyProbe { succeed_at: 0 },
+        },
+        CampaignUnit {
+            workload: "b".into(),
+            kind: UnitKind::FlakyProbe { succeed_at: 1 },
+        },
+        CampaignUnit {
+            workload: "c".into(),
+            kind: UnitKind::FlakyProbe { succeed_at: 0 },
+        },
+    ];
+    let clean = run_supervised(
+        units.clone(),
+        &cfg,
+        &sup(),
+        &CampaignOptions {
+            journal: Some(path.clone()),
+            resume: false,
+            kill_after_records: None,
+        },
+    )
+    .unwrap();
+    let full_len = journal::load(&path).unwrap().records.len();
+
+    // Corruption 1: truncate the last record mid-line (a torn write).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let truncated = &text[..text.len() - 9];
+    std::fs::write(&path, truncated).unwrap();
+    let loaded = journal::load(&path).unwrap();
+    assert!(loaded.repaired);
+    assert_eq!(
+        loaded.records.len(),
+        full_len - 1,
+        "only the torn tail record is dropped"
+    );
+
+    // Corruption 2: flip a byte inside the (now) last record's payload —
+    // the checksum must catch it and recovery drops only that record.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let flip_at = text.rfind("\"kind\"").unwrap() + 2;
+    let mut bytes = text.into_bytes();
+    bytes[flip_at] = bytes[flip_at].wrapping_add(1);
+    std::fs::write(&path, &bytes).unwrap();
+    let loaded = journal::load(&path).unwrap();
+    assert!(loaded.repaired);
+    assert_eq!(loaded.records.len(), full_len - 2);
+    assert_eq!(
+        loaded.records[0].get("kind").and_then(Json::as_str),
+        Some("campaign"),
+        "header survives tail corruption"
+    );
+
+    // The repaired journal still resumes, re-running whatever the
+    // dropped records covered, and converges to the clean report.
+    let resumed = run_supervised(
+        vec![],
+        &cfg,
+        &sup(),
+        &CampaignOptions {
+            journal: Some(path.clone()),
+            resume: true,
+            kill_after_records: None,
+        },
+    )
+    .unwrap();
+    assert!(resumed.equivalent(&clean));
+
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}

@@ -10,18 +10,24 @@ use std::fmt;
 use crate::inst::{CmpOp, Inst, Op, Terminator};
 use crate::module::{BlockId, FuncId, Function, InstId, Module, Type, Value};
 
-/// A parse failure with its (1-based) line number.
+/// A parse failure with its (1-based) line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// Line where the failure occurred.
+    /// Line where the failure occurred (0 for empty input).
     pub line: usize,
+    /// Column of the offending token (1-based; 0 when unknown).
+    pub col: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -30,9 +36,36 @@ impl std::error::Error for ParseError {}
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError {
         line,
+        col: 0,
         message: message.into(),
     })
 }
+
+/// Best-effort column recovery: most messages quote the offending token
+/// (`{tok:?}`); find that token in the failing line.
+fn fill_col(text: &str, mut e: ParseError) -> ParseError {
+    if e.col != 0 || e.line == 0 {
+        return e;
+    }
+    let Some(line) = text.lines().nth(e.line - 1) else {
+        return e;
+    };
+    if let Some(start) = e.message.find('"') {
+        if let Some(len) = e.message[start + 1..].find('"') {
+            let tok = &e.message[start + 1..start + 1 + len];
+            if !tok.is_empty() {
+                if let Some(pos) = line.find(tok) {
+                    e.col = pos + 1;
+                }
+            }
+        }
+    }
+    e
+}
+
+/// Hard cap on block ids: a forged label like `bb999999999:` must not
+/// make the parser allocate a billion filler blocks.
+const MAX_BLOCK_ID: u32 = 65_535;
 
 fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
     match s {
@@ -59,16 +92,28 @@ fn parse_cmp(s: &str, line: usize) -> Result<CmpOp, ParseError> {
 struct Parser {
     /// printed inst id -> dense arena id
     ids: HashMap<u32, InstId>,
+    /// Parameter count of the function being parsed (for `%argN`
+    /// range checking).
+    num_params: u32,
 }
 
 impl Parser {
     fn value(&self, tok: &str, line: usize) -> Result<Value, ParseError> {
         let tok = tok.trim().trim_end_matches(',');
         if let Some(rest) = tok.strip_prefix("%arg") {
-            return rest
-                .parse::<u32>()
-                .map(Value::Arg)
-                .or_else(|_| err(line, format!("bad argument {tok:?}")));
+            let n: u32 = rest
+                .parse()
+                .or_else(|_| err(line, format!("bad argument {tok:?}")))?;
+            if n >= self.num_params {
+                return err(
+                    line,
+                    format!(
+                        "argument {tok:?} out of range (function has {} parameter(s))",
+                        self.num_params
+                    ),
+                );
+            }
+            return Ok(Value::Arg(n));
         }
         if let Some(rest) = tok.strip_prefix('%') {
             let printed: u32 = rest
@@ -108,8 +153,14 @@ impl Parser {
 /// Parse a single function in the printer's syntax.
 ///
 /// # Errors
-/// Returns a [`ParseError`] with the offending line.
+/// Returns a [`ParseError`] with the offending line (and, best-effort,
+/// column). Malformed input of any shape yields an error, never a
+/// panic or unbounded allocation.
 pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    parse_function_inner(text).map_err(|e| fill_col(text, e))
+}
+
+fn parse_function_inner(text: &str) -> Result<Function, ParseError> {
     let mut lines = text
         .lines()
         .enumerate()
@@ -117,26 +168,29 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         .filter(|(_, l)| !l.is_empty() && !l.starts_with("; module"));
 
     // Header: fn @name(ty %arg0, ...) -> ret {
-    let (hline, header) = lines
-        .next()
-        .ok_or(ParseError {
-            line: 0,
-            message: "empty input".into(),
-        })?;
-    let header = header
-        .strip_prefix("fn @")
-        .ok_or(ParseError {
-            line: hline,
-            message: "expected `fn @name(...)`".into(),
-        })?;
+    let (hline, header) = lines.next().ok_or(ParseError {
+        line: 0,
+        col: 0,
+        message: "empty input".into(),
+    })?;
+    let header = header.strip_prefix("fn @").ok_or(ParseError {
+        line: hline,
+        col: 0,
+        message: "expected `fn @name(...)`".into(),
+    })?;
     let open = header.find('(').ok_or(ParseError {
         line: hline,
+        col: 0,
         message: "missing `(`".into(),
     })?;
     let close = header.rfind(')').ok_or(ParseError {
         line: hline,
+        col: 0,
         message: "missing `)`".into(),
     })?;
+    if close < open {
+        return err(hline, "`)` precedes `(` in function header");
+    }
     let name = &header[..open];
     let params: Vec<Type> = header[open + 1..close]
         .split(',')
@@ -156,8 +210,17 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     };
 
     let mut func = Function::new(name, &params, ret);
-    let mut parser = Parser { ids: HashMap::new() };
+    let mut parser = Parser {
+        ids: HashMap::new(),
+        num_params: params.len() as u32,
+    };
     let mut cur: Option<BlockId> = None;
+    // Block ids that appeared as labels (vs. filler blocks synthesized
+    // below a larger label) — a label may define each block only once.
+    let mut labeled: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    // Branch/φ block references, validated against the final block
+    // count once the whole body is parsed.
+    let mut block_refs: Vec<(usize, BlockId)> = Vec::new();
     // Deferred φ operands (they may forward-reference instructions):
     // (φ inst, arg slot, named incomings).
     type PendingPhi = (InstId, usize, Vec<(String, BlockId)>);
@@ -170,6 +233,12 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         if let Some(rest) = line.strip_prefix("bb") {
             if rest.contains(':') {
                 let id = Parser::block(line.split(':').next().unwrap_or(""), ln)?;
+                if id.0 > MAX_BLOCK_ID {
+                    return err(ln, format!("block id bb{} exceeds limit {MAX_BLOCK_ID}", id.0));
+                }
+                if !labeled.insert(id.0) {
+                    return err(ln, format!("duplicate label bb{}", id.0));
+                }
                 while func.num_blocks() <= id.index() {
                     func.add_block(format!("bb{}", func.num_blocks()));
                 }
@@ -182,6 +251,7 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         }
         let bb = cur.ok_or(ParseError {
             line: ln,
+            col: 0,
             message: "instruction outside a block".into(),
         })?;
 
@@ -189,12 +259,21 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         if let Some(rest) = line.strip_prefix("br ") {
             let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
             func.block_mut(bb).term = match parts.as_slice() {
-                [t] => Terminator::Br(Parser::block(t, ln)?),
-                [c, t, e] => Terminator::CondBr {
-                    cond: parser.value(c, ln)?,
-                    then_bb: Parser::block(t, ln)?,
-                    else_bb: Parser::block(e, ln)?,
-                },
+                [t] => {
+                    let t = Parser::block(t, ln)?;
+                    block_refs.push((ln, t));
+                    Terminator::Br(t)
+                }
+                [c, t, e] => {
+                    let (t, e2) = (Parser::block(t, ln)?, Parser::block(e, ln)?);
+                    block_refs.push((ln, t));
+                    block_refs.push((ln, e2));
+                    Terminator::CondBr {
+                        cond: parser.value(c, ln)?,
+                        then_bb: t,
+                        else_bb: e2,
+                    }
+                }
                 _ => return err(ln, "malformed br"),
             };
             continue;
@@ -246,8 +325,12 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
             .and_then(|s| s.parse().ok())
             .ok_or(ParseError {
                 line: ln,
+                col: 0,
                 message: format!("bad lhs {lhs:?}"),
             })?;
+        if parser.ids.contains_key(&printed) {
+            return err(ln, format!("redefinition of %{printed}"));
+        }
         let rhs = rhs.trim();
         let mut toks = rhs.split_whitespace();
         let mnemonic = toks.next().unwrap_or("");
@@ -268,9 +351,12 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
                     };
                     let (v, b) = body.split_once(',').ok_or(ParseError {
                         line: ln,
+                        col: 0,
                         message: "malformed phi incoming".into(),
                     })?;
-                    incomings.push((v.trim().to_string(), Parser::block(b, ln)?));
+                    let b = Parser::block(b, ln)?;
+                    block_refs.push((ln, b));
+                    incomings.push((v.trim().to_string(), b));
                 }
                 let id = func.push_inst(bb, Inst::phi(ty, &[]));
                 func.inst_mut(id).ty = ty;
@@ -321,6 +407,7 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
                 let rest = rhs.split_once(' ').map(|x| x.1).unwrap_or("");
                 let open = rest.find('(').ok_or(ParseError {
                     line: ln,
+                    col: 0,
                     message: "malformed call".into(),
                 })?;
                 let callee: u32 = rest[..open]
@@ -329,9 +416,15 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
                     .and_then(|s| s.parse().ok())
                     .ok_or(ParseError {
                         line: ln,
+                        col: 0,
                         message: format!("bad callee in {rest:?}"),
                     })?;
-                let args: Vec<Value> = rest[open + 1..rest.rfind(')').unwrap_or(rest.len())]
+                let close = match rest.rfind(')') {
+                    Some(c) if c >= open => c,
+                    Some(_) => return err(ln, "`)` precedes `(` in call"),
+                    None => rest.len(),
+                };
+                let args: Vec<Value> = rest[open + 1..close]
                     .split(',')
                     .filter(|a| !a.trim().is_empty())
                     .map(|a| parser.value(a, ln))
@@ -382,6 +475,14 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         };
         let id = func.push_inst(bb, inst);
         parser.ids.insert(printed, id);
+    }
+
+    // Every branch/φ target must name a block that exists by the end
+    // of the body.
+    for (ln, b) in block_refs {
+        if b.index() >= func.num_blocks() {
+            return err(ln, format!("reference to undefined block bb{}", b.0));
+        }
     }
 
     // Resolve deferred φ incomings.

@@ -24,6 +24,12 @@ pub struct ControlFlowStats {
     pub backward_branches: usize,
     /// Number of conditional branches considered.
     pub cond_branches: usize,
+    /// How many post-dominator walks ran out of fuel before reaching
+    /// the branch's immediate post-dominator. Non-zero means
+    /// [`ControlFlowStats::branch_mem`] undercounts: the walk was cut
+    /// short (a malformed or pathological post-dominator tree), not
+    /// exhausted. Zero on every well-formed CFG.
+    pub walk_truncations: usize,
 }
 
 /// Compute Table I statistics for `func`.
@@ -40,6 +46,7 @@ pub fn control_flow_stats(func: &Function) -> ControlFlowStats {
     let mut mem_branch_total = 0usize;
     let mut cond_branches = 0usize;
     let mut predication_bits = 0usize;
+    let mut walk_truncations = 0usize;
 
     for bb in func.block_ids() {
         let Terminator::CondBr {
@@ -55,7 +62,16 @@ pub fn control_flow_stats(func: &Function) -> ControlFlowStats {
         if !is_back {
             predication_bits += 1;
         }
-        branch_mem_total += control_dependent_mem_ops(func, &pdom, bb, &[then_bb, else_bb], &back);
+        let (mem_ops, truncated) = control_dependent_mem_ops(
+            func,
+            &pdom,
+            bb,
+            &[then_bb, else_bb],
+            &back,
+            func.num_blocks() + 1,
+        );
+        branch_mem_total += mem_ops;
+        walk_truncations += truncated;
         mem_branch_total += backward_slice_loads(func, cond);
     }
 
@@ -66,29 +82,42 @@ pub fn control_flow_stats(func: &Function) -> ControlFlowStats {
         predication_bits,
         backward_branches: back.len(),
         cond_branches,
+        walk_truncations,
     }
 }
 
 /// Memory ops in blocks control-dependent on the branch at `bb`
 /// (Ferrante-style: for each successor `s`, walk the post-dominator tree
 /// from `s` up to — excluding — `ipdom(bb)`).
+///
+/// `fuel` bounds each upward walk; on a well-formed post-dominator tree
+/// `num_blocks + 1` steps always reach the stop node, so running dry
+/// means the tree is cyclic or detached. Instead of silently returning
+/// a short count, the second return value reports how many walks were
+/// truncated so callers can surface the undercount.
 fn control_dependent_mem_ops(
     func: &Function,
     pdom: &PostDomTree,
     bb: BlockId,
     succs: &[BlockId],
     back: &HashSet<(BlockId, BlockId)>,
-) -> usize {
+    fuel: usize,
+) -> (usize, usize) {
     let stop = pdom.ipdom(bb);
     let mut dep_blocks: HashSet<BlockId> = HashSet::new();
+    let mut truncated = 0usize;
     for &s in succs {
         if back.contains(&(bb, s)) {
             continue;
         }
         let mut cur = Some(s);
-        let mut fuel = func.num_blocks() + 1;
+        let mut fuel = fuel;
         while let Some(x) = cur {
-            if Some(x) == stop || fuel == 0 {
+            if Some(x) == stop {
+                break;
+            }
+            if fuel == 0 {
+                truncated += 1;
                 break;
             }
             fuel -= 1;
@@ -96,10 +125,11 @@ fn control_dependent_mem_ops(
             cur = pdom.ipdom(x);
         }
     }
-    dep_blocks
+    let mem_ops = dep_blocks
         .iter()
         .map(|b| func.block_mem_ops(*b))
-        .sum()
+        .sum();
+    (mem_ops, truncated)
 }
 
 /// Number of distinct `Load` instructions in the backward data-dependence
@@ -249,6 +279,7 @@ mod tests {
                 predication_bits: 0,
                 backward_branches: 0,
                 cond_branches: 0,
+                walk_truncations: 0,
             }
         );
     }
@@ -279,6 +310,56 @@ mod tests {
         assert!(h.ge99 + h.b80_99 > 0.49);
         let sum = h.lt80 + h.b80_99 + h.ge99;
         assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported_not_silent() {
+        // The pdom walk of `mem_branchy`'s `head` branch needs several
+        // steps; starve it to one step of fuel and the truncation must
+        // surface instead of silently producing a short walk.
+        let f = mem_branchy();
+        let cfg = needle_ir::cfg::Cfg::new(&f);
+        let pdom = needle_ir::dom::PostDomTree::new(&cfg);
+        let back: HashSet<(BlockId, BlockId)> = cfg
+            .back_edges()
+            .into_iter()
+            .map(|e| (e.from, e.to))
+            .collect();
+        let branch = f
+            .block_ids()
+            .find_map(|bb| match f.block(bb).term {
+                needle_ir::Terminator::CondBr {
+                    then_bb, else_bb, ..
+                } if !back.contains(&(bb, then_bb)) && !back.contains(&(bb, else_bb)) => {
+                    Some((bb, then_bb, else_bb))
+                }
+                _ => None,
+            })
+            .expect("mem_branchy has a forward conditional branch");
+        let (_, starved) = control_dependent_mem_ops(
+            &f,
+            &pdom,
+            branch.0,
+            &[branch.1, branch.2],
+            &back,
+            0,
+        );
+        assert!(starved > 0, "starved walk must report truncation");
+        let (_, full) = control_dependent_mem_ops(
+            &f,
+            &pdom,
+            branch.0,
+            &[branch.1, branch.2],
+            &back,
+            f.num_blocks() + 1,
+        );
+        assert_eq!(full, 0, "full fuel must complete the walk");
+    }
+
+    #[test]
+    fn well_formed_cfgs_never_truncate() {
+        let s = control_flow_stats(&mem_branchy());
+        assert_eq!(s.walk_truncations, 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use needle_ir::interp::{ExecError, Interp, Memory, TraceSink, Val};
 use needle_ir::{Constant, FuncId, Module};
 
 pub use gen::generate;
-pub use spec::{specs, BiasKind, GenSpec, Suite};
+pub use spec::{pathological_specs, specs, BiasKind, GenSpec, Suite};
 
 /// A ready-to-run workload: module, entry function, arguments and
 /// pre-initialised memory.
@@ -94,9 +94,15 @@ pub fn reference_input(name: &str) -> Option<Workload> {
     Some(w)
 }
 
-/// Generate one workload by its paper name.
+/// Generate one workload by its paper name. Also resolves the
+/// pathological probe workloads ([`pathological_specs`]), which
+/// [`specs`]/[`names`] deliberately exclude.
 pub fn by_name(name: &str) -> Option<Workload> {
-    specs().iter().find(|s| s.name == name).map(generate)
+    specs()
+        .iter()
+        .chain(pathological_specs())
+        .find(|s| s.name == name)
+        .map(generate)
 }
 
 /// The 29 paper benchmark names in presentation order.
@@ -144,5 +150,16 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(by_name("999.nonesuch").is_none());
+    }
+
+    #[test]
+    fn pathological_workloads_resolve_but_stay_out_of_the_suite() {
+        let w = by_name("999.loop").expect("pathological workload resolves");
+        assert!(!names().contains(&"999.loop"), "suite must stay 29 strong");
+        // The runaway loop must blow any sane fuel budget, not finish.
+        let r = Interp::new(&w.module)
+            .with_max_steps(100_000)
+            .run(w.func, &w.args, &mut w.memory.clone(), &mut NullSink);
+        assert!(matches!(r, Err(ExecError::StepLimit(_))));
     }
 }

@@ -86,6 +86,33 @@ pub fn specs() -> &'static [GenSpec] {
     &SPECS
 }
 
+/// Deliberately pathological workloads, excluded from [`specs`] so the
+/// paper suite stays 29 strong. `999.loop` is a runaway kernel whose
+/// trip count dwarfs any sane interpreter fuel budget — the supervised
+/// campaign runner uses it to exercise wall-clock deadlines, fuel
+/// exhaustion, and the degradation ladder (`needle suite
+/// --pathological`, the CI smoke job).
+pub fn pathological_specs() -> &'static [GenSpec] {
+    &PATHOLOGICAL
+}
+
+static PATHOLOGICAL: [GenSpec; 1] = [s(
+    "999.loop",
+    SpecInt,
+    2,
+    2,
+    1,
+    1,
+    2,
+    1,
+    false,
+    BiasKind::Uniform,
+    1 << 40,
+    64,
+    999,
+    false,
+)];
+
 use BiasKind::*;
 use Suite::*;
 
