@@ -1,0 +1,287 @@
+//! `perf_smoke` — interpreter performance-regression harness.
+//!
+//! Times the reference tree walker against the pre-decoded engine over the
+//! whole workload suite on three paths:
+//!
+//!   * **null** — `NullSink`, pure interpretation throughput;
+//!   * **profile** — `PathProfiler` attached, the analysis hot path;
+//!   * **frame** — the full offload simulation (host run + frame
+//!     invocations) on a few representative workloads.
+//!
+//! Writes `results/BENCH_interp.json`. With `--check`, compares the
+//! measured engine-vs-walker speedup ratios (machine-independent, both
+//! sides run on the same box) against `crates/bench/perf_baseline.json`
+//! and exits non-zero when a ratio drops below 70% of its baseline.
+//! `--quick` shrinks the measurement windows for local smoke runs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::time::{Duration, Instant};
+
+use needle::{simulate_offload, NeedleConfig, PredictorKind};
+use needle_bench::{geomean, results_dir, Prepared};
+use needle_ir::interp::{Interp, NullSink};
+use needle_profile::profiler::PathProfiler;
+
+/// Workloads whose offload pipeline the frame phase times end to end.
+const FRAME_WORKLOADS: &[&str] = &["164.gzip", "401.bzip2", "470.lbm"];
+
+/// Regression gate: fail `--check` below `baseline * MIN_RATIO`.
+const MIN_RATIO: f64 = 0.7;
+
+/// One workload's measurements (times in seconds, per single run).
+struct Row {
+    name: String,
+    /// Dynamic steps of one complete run.
+    ops: u64,
+    ref_null: f64,
+    eng_null: f64,
+    ref_prof: f64,
+    eng_prof: f64,
+}
+
+impl Row {
+    fn speedup_null(&self) -> f64 {
+        self.ref_null / self.eng_null
+    }
+    fn speedup_prof(&self) -> f64 {
+        self.ref_prof / self.eng_prof
+    }
+}
+
+/// Time `f` adaptively: repeat until the window closes (at least twice)
+/// and return the mean seconds per call.
+fn time_one<F: FnMut()>(window: Duration, mut f: F) -> f64 {
+    f(); // warm-up (decodes the engine, faults pages, warms caches)
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        f();
+        reps += 1;
+        if reps >= 2 && start.elapsed() >= window {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn measure_suite(window: Duration) -> Vec<Row> {
+    needle_workloads::all()
+        .into_iter()
+        .map(|w| {
+            let interp = Interp::new(&w.module);
+            let mut mem = w.memory.clone();
+            interp
+                .run_with(w.func, &w.args, &mut mem, &mut NullSink)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            let ops = interp.steps();
+
+            let eng_null = time_one(window, || {
+                let mut mem = w.memory.clone();
+                interp
+                    .run_with(w.func, &w.args, &mut mem, &mut NullSink)
+                    .unwrap();
+            });
+            let ref_null = time_one(window, || {
+                let mut mem = w.memory.clone();
+                interp
+                    .run_reference(w.func, &w.args, &mut mem, &mut NullSink)
+                    .unwrap();
+            });
+            let eng_prof = time_one(window, || {
+                let mut mem = w.memory.clone();
+                let mut prof = PathProfiler::new(&w.module);
+                interp
+                    .run_with(w.func, &w.args, &mut mem, &mut prof)
+                    .unwrap();
+            });
+            let ref_prof = time_one(window, || {
+                let mut mem = w.memory.clone();
+                let mut prof = PathProfiler::new(&w.module);
+                interp
+                    .run_reference(w.func, &w.args, &mut mem, &mut prof)
+                    .unwrap();
+            });
+            Row {
+                name: w.name.clone(),
+                ops,
+                ref_null,
+                eng_null,
+                ref_prof,
+                eng_prof,
+            }
+        })
+        .collect()
+}
+
+/// Time the offload simulation (host interpretation + frame invocations)
+/// of the top braid under the history predictor.
+fn measure_frames(window: Duration) -> Vec<(&'static str, f64)> {
+    let cfg = NeedleConfig::default();
+    FRAME_WORKLOADS
+        .iter()
+        .map(|name| {
+            let p = Prepared::new(name, &cfg);
+            let region = p.analysis.braids[0].region.clone();
+            let secs = time_one(window, || {
+                simulate_offload(
+                    &p.analysis.module,
+                    p.analysis.func,
+                    &p.workload.args,
+                    &p.workload.memory,
+                    &region,
+                    PredictorKind::History,
+                    &cfg,
+                )
+                .expect("offload simulation");
+            });
+            (*name, secs)
+        })
+        .collect()
+}
+
+/// Aggregate ops/sec over the suite for one (engine, sink) column.
+fn ops_per_sec(rows: &[Row], secs: impl Fn(&Row) -> f64) -> f64 {
+    let total_ops: u64 = rows.iter().map(|r| r.ops).sum();
+    let total_secs: f64 = rows.iter().map(&secs).sum();
+    total_ops as f64 / total_secs
+}
+
+/// Pull `"key": <number>` out of a JSON text (the baseline file is flat,
+/// so a tiny scanner beats a dependency).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let quick = args.iter().any(|a| a == "--quick");
+    let window = if quick {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(120)
+    };
+
+    let rows = measure_suite(window);
+    let frames = measure_frames(if quick {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(250)
+    });
+
+    let ref_null = ops_per_sec(&rows, |r| r.ref_null);
+    let eng_null = ops_per_sec(&rows, |r| r.eng_null);
+    let ref_prof = ops_per_sec(&rows, |r| r.ref_prof);
+    let eng_prof = ops_per_sec(&rows, |r| r.eng_prof);
+    let speedup_null = eng_null / ref_null;
+    let speedup_prof = eng_prof / ref_prof;
+    let geo_null = geomean(rows.iter().map(Row::speedup_null));
+    let geo_prof = geomean(rows.iter().map(Row::speedup_prof));
+
+    println!(
+        "{:<16} {:>12} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
+        "workload", "ops", "ref Mops", "eng Mops", "null x", "refP Mops", "engP Mops", "prof x"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>12} {:>10.1} {:>10.1} {:>8.2} {:>10.1} {:>10.1} {:>8.2}",
+            r.name,
+            r.ops,
+            r.ops as f64 / r.ref_null / 1e6,
+            r.ops as f64 / r.eng_null / 1e6,
+            r.speedup_null(),
+            r.ops as f64 / r.ref_prof / 1e6,
+            r.ops as f64 / r.eng_prof / 1e6,
+            r.speedup_prof(),
+        );
+    }
+    println!(
+        "\nsuite: null {:.1} -> {:.1} Mops/s ({speedup_null:.2}x, geomean {geo_null:.2}x); \
+         profiled {:.1} -> {:.1} Mops/s ({speedup_prof:.2}x, geomean {geo_prof:.2}x)",
+        ref_null / 1e6,
+        eng_null / 1e6,
+        ref_prof / 1e6,
+        eng_prof / 1e6,
+    );
+    for (name, secs) in &frames {
+        println!("frame-sim {name:<12} {:.2} ms/invocation", secs * 1e3);
+    }
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"interp\",");
+    let _ = writeln!(j, "  \"workloads\": {},", rows.len());
+    let _ = writeln!(
+        j,
+        "  \"total_ops\": {},",
+        rows.iter().map(|r| r.ops).sum::<u64>()
+    );
+    let _ = writeln!(j, "  \"ref_null_ops_per_sec\": {ref_null:.0},");
+    let _ = writeln!(j, "  \"engine_null_ops_per_sec\": {eng_null:.0},");
+    let _ = writeln!(j, "  \"ref_profile_ops_per_sec\": {ref_prof:.0},");
+    let _ = writeln!(j, "  \"engine_profile_ops_per_sec\": {eng_prof:.0},");
+    let _ = writeln!(j, "  \"speedup_null\": {speedup_null:.3},");
+    let _ = writeln!(j, "  \"speedup_profile\": {speedup_prof:.3},");
+    let _ = writeln!(j, "  \"geomean_speedup_null\": {geo_null:.3},");
+    let _ = writeln!(j, "  \"geomean_speedup_profile\": {geo_prof:.3},");
+    let _ = writeln!(j, "  \"frame_sims\": [");
+    for (i, (name, secs)) in frames.iter().enumerate() {
+        let comma = if i + 1 < frames.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{ \"name\": \"{name}\", \"ms_per_invocation\": {:.3} }}{comma}",
+            secs * 1e3
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"per_workload\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{ \"name\": \"{}\", \"ops\": {}, \"speedup_null\": {:.3}, \"speedup_profile\": {:.3} }}{comma}",
+            r.name,
+            r.ops,
+            r.speedup_null(),
+            r.speedup_prof(),
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let out = dir.join("BENCH_interp.json");
+    fs::write(&out, &j).expect("write BENCH_interp.json");
+    println!("\nwrote {}", out.display());
+
+    if check {
+        let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/perf_baseline.json");
+        let text = fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let mut failed = false;
+        for (key, measured) in [
+            ("speedup_null", speedup_null),
+            ("speedup_profile", speedup_prof),
+        ] {
+            let base = json_number(&text, key)
+                .unwrap_or_else(|| panic!("baseline {baseline_path} lacks {key}"));
+            let floor = base * MIN_RATIO;
+            let verdict = if measured < floor { "FAIL" } else { "ok" };
+            println!("check {key}: measured {measured:.2}x, baseline {base:.2}x, floor {floor:.2}x ... {verdict}");
+            failed |= measured < floor;
+        }
+        if failed {
+            eprintln!("perf regression: engine speedup fell below {MIN_RATIO} of baseline");
+            std::process::exit(1);
+        }
+    }
+}

@@ -404,12 +404,24 @@ fn cmd_run_ir(args: &[String]) -> CliResult {
     let path = args.get(1).ok_or("missing IR file path")?;
     let text = std::fs::read_to_string(path)?;
     let module = needle_ir::parse::parse_module(&text)?;
+    if module.funcs.is_empty() {
+        return Err(format!("{path}: no functions in module").into());
+    }
     needle_ir::verify::verify_module(&module).map_err(|(f, e)| format!("{f:?}: {e}"))?;
     let func = needle_ir::FuncId(0);
     let call_args: Vec<Constant> = args[2..]
         .iter()
         .map(|a| a.parse::<i64>().map(Constant::Int))
         .collect::<Result<_, _>>()?;
+    let arity = module.func(func).params.len();
+    if call_args.len() < arity {
+        return Err(format!(
+            "{} expects {arity} argument(s), got {}",
+            module.func(func).name,
+            call_args.len()
+        )
+        .into());
+    }
     let mut mem = Memory::new();
     let out = Interp::new(&module).run(func, &call_args, &mut mem, &mut NullSink)?;
     println!("{}", function_to_string(module.func(func)));

@@ -123,7 +123,7 @@ pub fn analyze(
         let mut tee = TeeSink(&mut paths, &mut edges);
         Interp::new(&module)
             .with_max_steps(cfg.analysis.max_steps)
-            .run(func, args, &mut mem, &mut tee)?;
+            .run_with(func, args, &mut mem, &mut tee)?;
     }
     let numbering = paths
         .numbering(func)
@@ -187,7 +187,7 @@ pub fn analyze_hottest(
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
-        .run(entry, args, &mut mem, &mut paths)?;
+        .run_with(entry, args, &mut mem, &mut paths)?;
     let ranking = needle_profile::rank::rank_functions(module, &paths);
     let hottest = ranking.first().map(|(f, _)| *f).unwrap_or(entry);
     if hottest == entry {
@@ -211,7 +211,7 @@ pub fn analyze_hottest(
             let mut tee = needle_ir::interp::TeeSink(&mut paths, &mut edges);
             Interp::new(&a.module)
                 .with_max_steps(cfg.analysis.max_steps)
-                .run(entry, args, &mut mem, &mut tee)?;
+                .run_with(entry, args, &mut mem, &mut tee)?;
         }
         let f = a.module.func(hottest);
         let path_profile = paths.profile(hottest);

@@ -237,7 +237,7 @@ pub fn simulate_multi_offload(
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
-        .run(entry, args, &mut mem, &mut baseline_sim)
+        .run_with(entry, args, &mut mem, &mut baseline_sim)
         .map_err(OffloadError::from)?;
     let baseline = baseline_sim.finish();
     let baseline_energy_pj = host_energy_pj(&cfg.energy, &baseline);
@@ -271,7 +271,7 @@ pub fn simulate_multi_offload(
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
-        .run(entry, args, &mut mem, &mut sim)
+        .run_with(entry, args, &mut mem, &mut sim)
         .map_err(OffloadError::from)?;
     if sim.tracking.is_some() {
         sim.finalize(false, 0);

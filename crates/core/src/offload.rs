@@ -474,7 +474,7 @@ pub fn simulate_offload_with(
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
-        .run(func, args, &mut mem, &mut baseline_sim)?;
+        .run_with(func, args, &mut mem, &mut baseline_sim)?;
     let baseline = baseline_sim.finish();
     let baseline_energy_pj = host_energy_pj(&cfg.energy, &baseline);
 
@@ -520,7 +520,7 @@ pub fn simulate_offload_with(
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
-        .run(func, args, &mut mem, &mut sim)?;
+        .run_with(func, args, &mut mem, &mut sim)?;
     if sim.tracking {
         // Run ended mid-region (cannot happen for well-formed regions, but
         // drain defensively).

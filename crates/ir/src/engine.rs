@@ -1,0 +1,1849 @@
+//! The pre-decoded execution engine.
+//!
+//! The reference interpreter ([`crate::interp::Interp::run_reference`]) is a
+//! tree walker: every executed instruction re-resolves `Value` operands,
+//! every block entry re-scans `phi_incoming` lists, every event goes through
+//! a `dyn TraceSink` virtual call, and every step pays a budget check. This
+//! module removes all of that with the classic decode/dispatch split used by
+//! production bytecode VMs:
+//!
+//! * **One-time lowering.** [`Engine::decode`] flattens each function's SSA
+//!   CFG into a dense stream of fixed-width instruction words ([`DInst`],
+//!   24 bytes). Opcodes are *specialized* ([`DOp`]): `add` is its own arm
+//!   with the arithmetic inlined, not a trip through the generic
+//!   [`eval_pure`] table. Operands are plain indices ([`POp`]) into one
+//!   unified slot array laid out `[registers | arguments | constants]`:
+//!   argument and constant slots are stamped defined once per call, so an
+//!   operand read is a single indexed load plus a generation compare with
+//!   no tag dispatch. An instruction's register slot is its [`InstId`]
+//!   index, so no renaming pass is needed. Pure ops whose operand count
+//!   does not match the opcode's arity fall back to a buffered
+//!   [`eval_pure`] path ([`DOp::Pure`]) that reads operands in exactly the
+//!   walker's order. Adjacent `gep` + `load`/`store` pairs — the address
+//!   arithmetic of every array access — fuse into superinstructions
+//!   ([`DOp::GepLoadI`]/[`DOp::GepLoadF`]/[`DOp::GepStore`]) that still
+//!   write the gep's register and account both steps, but skip a dispatch
+//!   round and a register round-trip.
+//! * **φ as parallel moves.** For every CFG edge, the successor's leading φs
+//!   are pre-resolved against the predecessor into a [`Move`] list attached
+//!   to the edge ([`DEdge`]); block entry replays the list (all reads before
+//!   any write, exactly matching the walker's simultaneous-φ semantics).
+//!   An edge whose φs lack an incoming entry carries the failing φ's id in
+//!   [`DEdge::phi_err`], positioned *after* the moves that precede it so the
+//!   error fires at the same point in the event stream as the walker's.
+//! * **Batched step accounting.** Each block carries its dynamic step cost
+//!   (non-φ instructions + terminator). When the block contains no call and
+//!   the budget covers the whole block, the budget is debited once up front
+//!   and the body runs without per-instruction checks. Blocks containing
+//!   calls — where the callee consumes from the same budget — and blocks
+//!   the remaining budget cannot cover take the per-instruction slow path,
+//!   which preserves the walker's exact `StepLimit` cut point (same events
+//!   emitted before the error). Budget *underflow on error paths* is
+//!   unobservable: `Interp::steps` is only published on successful runs.
+//! * **Monomorphic dispatch.** The execution loop is generic over
+//!   `S: TraceSink + ?Sized`, so running with a concrete sink (e.g.
+//!   `NullSink` or a profiler) compiles to direct calls that inline away.
+//! * **Frame recycling.** Register frames are generation-stamped
+//!   ([`FrameBuf`]) and recycled through a [`FramePool`]: acquiring a frame
+//!   bumps the generation instead of zeroing (or re-allocating) the slots,
+//!   so a call costs O(1) setup instead of O(registers).
+//!
+//! Error attribution matches the reference walker: operand reads inside a
+//! body instruction or a φ move report [`ExecError::UndefinedValue`] /
+//! [`ExecError::PhiMissingIncoming`] at the *consuming* instruction's id,
+//! while terminator operands (which have no id of their own) report the
+//! *defining* instruction's id — conveniently, a register operand's index
+//! *is* the defining instruction's id.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+
+use crate::inst::{CmpOp, Op, Terminator};
+use crate::interp::{eval_pure, ExecError, TraceSink, Val};
+use crate::mem::Memory;
+use crate::module::{BlockId, FuncId, Function, InstId, Module, Type, Value};
+
+/// Largest pure-op arity read into the on-stack operand buffer of the
+/// [`DOp::Pure`] fallback (`Op::Select` has 3; headroom for future ops).
+/// Pure instructions with more operands than this still execute — the extra
+/// operands are read (so undefined-value errors fire exactly as in the
+/// walker) but cannot carry into `eval_pure`, which inspects at most the
+/// first three.
+const PURE_BUF: usize = 8;
+
+/// A resolved operand: a plain index into the function's unified slot
+/// array, laid out `[registers | arguments | constants]`. Register slot `i`
+/// belongs to the instruction with [`InstId`] `i`; argument and constant
+/// slots are stamped defined once per call, so an operand read is a single
+/// indexed load plus a generation compare — no tag dispatch.
+type POp = u32;
+
+/// Specialized opcodes. Compare ops are split per predicate so dispatch
+/// lands directly on the comparison; loads are split by result type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FSqrt,
+    IEq,
+    INe,
+    ILt,
+    ILe,
+    IGt,
+    IGe,
+    FEq,
+    FNe,
+    FLt,
+    FLe,
+    FGt,
+    FGe,
+    /// Reg-immediate variants: the second operand is a constant,
+    /// pre-converted at decode time (`as_int` for the integer family,
+    /// `as_float` bits for the float family) and fetched from
+    /// [`DFunc::imms`] via `ext` — no slot read, no stamp check.
+    AddI,
+    SubI,
+    MulI,
+    DivI,
+    RemI,
+    AndI,
+    OrI,
+    XorI,
+    ShlI,
+    ShrI,
+    FAddI,
+    FSubI,
+    FMulI,
+    FDivI,
+    IEqI,
+    INeI,
+    ILtI,
+    ILeI,
+    IGtI,
+    IGeI,
+    /// `select cond, a, b` — `ext` holds the packed third operand.
+    Select,
+    IToF,
+    FToI,
+    /// `base + index * scale` — `ext` indexes [`DFunc::imms`].
+    Gep,
+    /// Load with an integer-typed result.
+    LoadI,
+    /// Load with a float-typed result.
+    LoadF,
+    /// Store `a` to address `b`.
+    Store,
+    /// Fused `gep` + integer `load`: `a`/`b` are the gep operands, `dst`
+    /// the load's register, `ext` indexes [`DFunc::fused`]. Counts as two
+    /// steps and still writes the gep's register.
+    GepLoadI,
+    /// Fused `gep` + float `load`.
+    GepLoadF,
+    /// Fused `gep` + `store`: `a`/`b` are the gep operands, `dst` the
+    /// packed *value* operand, `ext` indexes [`DFunc::fused`].
+    GepStore,
+    /// Fused `fmul` + `fadd`, multiply result first: `dst = (a*b) + c`
+    /// where `a`/`b` are the fmul operands and `c` rides in the side
+    /// table's `imm` field (as a packed operand). `ext` indexes
+    /// [`DFunc::fused`].
+    FMulAddA,
+    /// Fused `fmul` + `fadd`, multiply result second: `dst = c + (a*b)`.
+    FMulAddB,
+    /// Fused `add`-imm + `and`-imm — the `(i + salt) & mask` address
+    /// pattern of the workload generator's loads and stores. `a` is the
+    /// add's operand, `b` the add's register (still written), `dst` the
+    /// and's register; the two immediates sit adjacently at `ext` and
+    /// `ext + 1` in [`DFunc::imms`]. Counts as two steps.
+    AddAndI,
+    /// Fused `gep` + integer `load` + accumulate `add` — the
+    /// load-then-fold shape of every generated integer load. `a`/`b` are
+    /// the gep operands, `dst` the add's register; [`DFunc::fused`] holds
+    /// two adjacent entries at `ext` (gep immediate, gep register, load
+    /// id) and `ext + 1` (accumulator operand in `imm`, load register in
+    /// `gep_dst`). Counts as three steps; every intermediate register is
+    /// still written.
+    GepLoadAdd,
+    /// Fused `gep` + integer `load` + `itof` — the fp workloads' fold
+    /// prologue. Needs no second side-table entry: the load's register is
+    /// its own id, already in the entry's `mem_iid`. Counts as three
+    /// steps.
+    GepLoadItoF,
+    /// Call — `ext` indexes [`DFunc::calls`].
+    Call,
+    /// Generic pure fallback (arity mismatch) — `ext` indexes
+    /// [`DFunc::pures`].
+    Pure,
+}
+
+/// One decoded instruction: a fixed-width word.
+#[derive(Debug, Clone, Copy)]
+struct DInst {
+    /// Specialized opcode.
+    op: DOp,
+    /// Destination register slot.
+    dst: u32,
+    /// First operand.
+    a: POp,
+    /// Second operand (unary ops ignore it).
+    b: POp,
+    /// Opcode-specific extra: Select's third operand, Gep's immediate
+    /// index, Call/Pure side-table index.
+    ext: u32,
+    /// Original id, for trace events and error attribution.
+    iid: InstId,
+}
+
+/// Call side-table entry.
+#[derive(Debug, Clone, Copy)]
+struct DCall {
+    /// Callee.
+    callee: FuncId,
+    /// Start of the argument run in [`DFunc::xargs`].
+    args: u32,
+    /// Argument count.
+    nargs: u32,
+}
+
+/// Generic-pure side-table entry (operand count does not match the opcode's
+/// natural arity; replays the walker's buffered read + [`eval_pure`]).
+#[derive(Debug, Clone, Copy)]
+struct DPure {
+    /// Opcode.
+    op: Op,
+    /// Immediate (Gep scale).
+    imm: i64,
+    /// Start of the operand run in [`DFunc::xargs`].
+    args: u32,
+    /// Operand count.
+    nargs: u32,
+}
+
+/// Side-table entry for a fused instruction pair (`gep`+`load`/`store`,
+/// `fmul`+`fadd`).
+#[derive(Debug, Clone, Copy)]
+struct DFused {
+    /// Gep scale immediate; for `fmul`+`fadd`, the fadd's other packed
+    /// operand.
+    imm: i64,
+    /// The first instruction's own register slot (still written: later
+    /// instructions may read the intermediate result).
+    gep_dst: u32,
+    /// The second instruction's id — used for the mem trace event and for
+    /// second-half operand error attribution. The fused [`DInst::iid`] is
+    /// the *first* instruction's id, attributing its operand reads
+    /// correctly.
+    mem_iid: InstId,
+}
+
+/// One φ-move: on traversing the owning edge, read `src` and (after all
+/// sibling reads) write it to register `dst`.
+#[derive(Debug, Clone, Copy)]
+struct Move {
+    /// Destination register slot (the φ's own slot).
+    dst: u32,
+    /// Incoming value for this edge.
+    src: POp,
+    /// The φ's id, for error attribution on an undefined read.
+    iid: InstId,
+}
+
+/// A decoded CFG edge: target block plus its pre-resolved φ-move run.
+#[derive(Debug, Clone)]
+struct DEdge {
+    /// Target block index.
+    to: u32,
+    /// φ-move run `[mv_start, mv_end)` in [`DFunc::moves`].
+    mv_start: u32,
+    /// End of the φ-move run.
+    mv_end: u32,
+    /// When a leading φ of the target has no incoming entry for this edge:
+    /// that φ's id. The error fires after the preceding moves' reads,
+    /// matching the walker's φ scan order.
+    phi_err: Option<InstId>,
+}
+
+/// Decoded terminator.
+#[derive(Debug, Clone)]
+enum DTerm {
+    /// Unconditional jump.
+    Jump(DEdge),
+    /// Two-way branch.
+    CondBr {
+        /// Branch condition.
+        cond: POp,
+        /// Edge taken when the condition is true.
+        t: DEdge,
+        /// Edge taken when the condition is false.
+        f: DEdge,
+    },
+    /// Fused compare + two-way branch: the block's last instruction was a
+    /// specialized compare whose result feeds the branch. The compare's
+    /// register is still written (φ moves or later blocks may read it) and
+    /// its step is still accounted — the fusion only skips a dispatch
+    /// round and a register round-trip.
+    CmpBr {
+        /// The compare opcode (one of the `IEq..FGe` family).
+        op: DOp,
+        /// Compare operands.
+        a: POp,
+        /// Second compare operand.
+        b: POp,
+        /// The compare's register slot.
+        dst: u32,
+        /// The compare's id, for operand error attribution.
+        iid: InstId,
+        /// Edge taken when the comparison holds.
+        t: DEdge,
+        /// Edge taken otherwise.
+        f: DEdge,
+    },
+    /// Return (with optional value).
+    Ret(Option<POp>),
+    /// Executing this block is an error.
+    Unreachable,
+}
+
+/// A decoded basic block: a run of [`DInst`]s plus step-accounting metadata.
+#[derive(Debug, Clone)]
+struct DBlock {
+    /// Body run `[first, last)` in [`DFunc::insts`] (φs excluded).
+    first: u32,
+    /// End of the body run.
+    last: u32,
+    /// Dynamic step cost of the whole block: non-φ instructions + 1 for the
+    /// terminator. Used for batched budget accounting.
+    cost: u64,
+    /// Whether the body contains a call (forces per-instruction accounting,
+    /// since callees consume from the same budget).
+    has_call: bool,
+    /// Terminator.
+    term: DTerm,
+}
+
+/// A decoded function.
+#[derive(Debug, Clone, Default)]
+struct DFunc {
+    /// Register slot count (one per arena instruction; slot = [`InstId`]).
+    nregs: usize,
+    /// Argument slot count (highest `Value::Arg` index used + 1). Argument
+    /// slot `n` lives at unified index `nregs + n`.
+    nargs: usize,
+    /// Total unified slot count: `nregs + nargs + consts.len()`.
+    nslots: usize,
+    /// Blocks, indexed by [`BlockId`] (block ids are dense indices).
+    blocks: Vec<DBlock>,
+    /// Flat instruction pool; blocks reference runs of it.
+    insts: Vec<DInst>,
+    /// Flat φ-move pool; edges reference runs of it.
+    moves: Vec<Move>,
+    /// Constant pool, copied into slots `[nregs + nargs ..)` once per call.
+    consts: Vec<Val>,
+    /// Gep immediates.
+    imms: Vec<i64>,
+    /// Fused gep+load/store side table.
+    fused: Vec<DFused>,
+    /// Call side table.
+    calls: Vec<DCall>,
+    /// Generic-pure side table.
+    pures: Vec<DPure>,
+    /// Operand runs for calls and generic pures.
+    xargs: Vec<POp>,
+    /// When the *entry* block has leading φs they can never resolve (there
+    /// is no predecessor): the first such φ's id.
+    entry_phi_err: Option<InstId>,
+}
+
+/// A whole module, decoded. Immutable after construction; one decode serves
+/// any number of runs.
+#[derive(Debug, Clone)]
+pub(crate) struct Engine {
+    funcs: Vec<DFunc>,
+}
+
+impl Engine {
+    /// Lower every function of `module` into its flat form.
+    pub(crate) fn decode(module: &Module) -> Engine {
+        Engine {
+            funcs: module.funcs.iter().map(decode_func).collect(),
+        }
+    }
+}
+
+impl DFunc {
+    /// Fetch a gep/immediate-operand constant. SAFETY contract: `ix` was
+    /// emitted by decode as an index into this function's `imms`.
+    #[inline(always)]
+    fn imm(&self, ix: u32) -> i64 {
+        debug_assert!((ix as usize) < self.imms.len());
+        unsafe { *self.imms.get_unchecked(ix as usize) }
+    }
+
+    /// Fetch a fused-pair side-table entry. Same SAFETY contract as
+    /// [`DFunc::imm`].
+    #[inline(always)]
+    fn fu(&self, ix: u32) -> DFused {
+        debug_assert!((ix as usize) < self.fused.len());
+        unsafe { *self.fused.get_unchecked(ix as usize) }
+    }
+
+    /// Fetch a block by its dense id. Same SAFETY contract: block targets
+    /// come from decoded edges of this function.
+    #[inline(always)]
+    fn blk(&self, ix: u32) -> &DBlock {
+        debug_assert!((ix as usize) < self.blocks.len());
+        unsafe { self.blocks.get_unchecked(ix as usize) }
+    }
+
+    /// Fetch a block's decoded instruction run. Same SAFETY contract:
+    /// `[first, last)` is a run recorded by decode.
+    #[inline(always)]
+    fn inst_run(&self, first: u32, last: u32) -> &[DInst] {
+        debug_assert!(first <= last && (last as usize) <= self.insts.len());
+        unsafe { self.insts.get_unchecked(first as usize..last as usize) }
+    }
+
+    /// Fetch an edge's φ-move run. Same SAFETY contract.
+    #[inline(always)]
+    fn move_run(&self, first: u32, last: u32) -> &[Move] {
+        debug_assert!(first <= last && (last as usize) <= self.moves.len());
+        unsafe { self.moves.get_unchecked(first as usize..last as usize) }
+    }
+
+    /// Fetch a single φ-move. Same SAFETY contract.
+    #[inline(always)]
+    fn mv(&self, ix: u32) -> Move {
+        debug_assert!((ix as usize) < self.moves.len());
+        unsafe { *self.moves.get_unchecked(ix as usize) }
+    }
+
+    /// Pack `v` into a [`POp`]: its index in the unified slot array.
+    /// Constants are interned on first use; `nregs` and `nargs` must be
+    /// final before the first call.
+    fn pack(&mut self, v: Value) -> POp {
+        let ix = match v {
+            Value::Inst(id) => id.0 as usize,
+            Value::Arg(n) => self.nregs + n as usize,
+            Value::Const(c) => {
+                let ix = self.nregs + self.nargs + self.consts.len();
+                self.consts.push(Val::from(c));
+                ix
+            }
+        };
+        u32::try_from(ix).expect("function too large for packed operands")
+    }
+}
+
+/// Whether `op` is one of the specialized compare opcodes (fusable into a
+/// [`DTerm::CmpBr`]).
+fn is_cmp(op: DOp) -> bool {
+    matches!(
+        op,
+        DOp::IEq
+            | DOp::INe
+            | DOp::ILt
+            | DOp::ILe
+            | DOp::IGt
+            | DOp::IGe
+            | DOp::FEq
+            | DOp::FNe
+            | DOp::FLt
+            | DOp::FLe
+            | DOp::FGt
+            | DOp::FGe
+            | DOp::IEqI
+            | DOp::INeI
+            | DOp::ILtI
+            | DOp::ILeI
+            | DOp::IGtI
+            | DOp::IGeI
+    )
+}
+
+/// Whether `op` is a reg-immediate compare (its second operand lives in
+/// [`DFunc::imms`] at the instruction's `ext` index, not in a slot).
+fn is_imm_cmp(op: DOp) -> bool {
+    matches!(
+        op,
+        DOp::IEqI | DOp::INeI | DOp::ILtI | DOp::ILeI | DOp::IGtI | DOp::IGeI
+    )
+}
+
+/// The reg-immediate variant of a binary opcode whose second operand is a
+/// constant, or `None` when the opcode has no such variant.
+fn imm_variant(d: DOp) -> Option<DOp> {
+    Some(match d {
+        DOp::Add => DOp::AddI,
+        DOp::Sub => DOp::SubI,
+        DOp::Mul => DOp::MulI,
+        DOp::Div => DOp::DivI,
+        DOp::Rem => DOp::RemI,
+        DOp::And => DOp::AndI,
+        DOp::Or => DOp::OrI,
+        DOp::Xor => DOp::XorI,
+        DOp::Shl => DOp::ShlI,
+        DOp::Shr => DOp::ShrI,
+        DOp::FAdd => DOp::FAddI,
+        DOp::FSub => DOp::FSubI,
+        DOp::FMul => DOp::FMulI,
+        DOp::FDiv => DOp::FDivI,
+        DOp::IEq => DOp::IEqI,
+        DOp::INe => DOp::INeI,
+        DOp::ILt => DOp::ILtI,
+        DOp::ILe => DOp::ILeI,
+        DOp::IGt => DOp::IGtI,
+        DOp::IGe => DOp::IGeI,
+        _ => return None,
+    })
+}
+
+/// The specialized opcode for a pure `op`, valid only at its natural arity.
+fn specialize(op: Op, arity: usize) -> Option<DOp> {
+    let d = match op {
+        Op::Add => DOp::Add,
+        Op::Sub => DOp::Sub,
+        Op::Mul => DOp::Mul,
+        Op::Div => DOp::Div,
+        Op::Rem => DOp::Rem,
+        Op::And => DOp::And,
+        Op::Or => DOp::Or,
+        Op::Xor => DOp::Xor,
+        Op::Shl => DOp::Shl,
+        Op::Shr => DOp::Shr,
+        Op::FAdd => DOp::FAdd,
+        Op::FSub => DOp::FSub,
+        Op::FMul => DOp::FMul,
+        Op::FDiv => DOp::FDiv,
+        Op::Gep => DOp::Gep,
+        Op::ICmp(p) => match p {
+            CmpOp::Eq => DOp::IEq,
+            CmpOp::Ne => DOp::INe,
+            CmpOp::Lt => DOp::ILt,
+            CmpOp::Le => DOp::ILe,
+            CmpOp::Gt => DOp::IGt,
+            CmpOp::Ge => DOp::IGe,
+        },
+        Op::FCmp(p) => match p {
+            CmpOp::Eq => DOp::FEq,
+            CmpOp::Ne => DOp::FNe,
+            CmpOp::Lt => DOp::FLt,
+            CmpOp::Le => DOp::FLe,
+            CmpOp::Gt => DOp::FGt,
+            CmpOp::Ge => DOp::FGe,
+        },
+        Op::FSqrt => DOp::FSqrt,
+        Op::IToF => DOp::IToF,
+        Op::FToI => DOp::FToI,
+        Op::Select => DOp::Select,
+        Op::Load | Op::Store | Op::Call(_) | Op::Phi => return None,
+    };
+    let natural = match d {
+        DOp::FSqrt | DOp::IToF | DOp::FToI => 1,
+        DOp::Select => 3,
+        _ => 2,
+    };
+    (arity == natural).then_some(d)
+}
+
+fn decode_func(f: &Function) -> DFunc {
+    // Slot layout is [registers | arguments | constants]; the argument
+    // window must be sized before any operand packs, so scan every operand
+    // position (instruction args — φ incomings included — and terminator
+    // reads) for the highest `Value::Arg` index.
+    let mut nargs = 0usize;
+    let mut note = |v: &Value| {
+        if let Value::Arg(n) = *v {
+            nargs = nargs.max(n as usize + 1);
+        }
+    };
+    for inst in &f.insts {
+        inst.args.iter().for_each(&mut note);
+    }
+    for block in &f.blocks {
+        match &block.term {
+            Terminator::CondBr { cond, .. } => note(cond),
+            Terminator::Ret(Some(v)) => note(v),
+            _ => {}
+        }
+    }
+    let mut df = DFunc {
+        nregs: f.insts.len(),
+        nargs,
+        ..DFunc::default()
+    };
+
+    for (bix, block) in f.blocks.iter().enumerate() {
+        let first = df.insts.len() as u32;
+        let mut has_call = false;
+        // Walker step count of the block body (fusion shrinks the decoded
+        // stream but never the step cost).
+        let mut steps = 0u64;
+        for &iid in &block.insts {
+            let inst = f.inst(iid);
+            if inst.is_phi() {
+                // Leading φs become edge moves; non-leading φs are skipped
+                // by the walker (never executed, never defined) and are
+                // likewise not decoded.
+                continue;
+            }
+            steps += 1;
+            let di = match inst.op {
+                Op::Load => DInst {
+                    op: if inst.ty == Type::F64 {
+                        DOp::LoadF
+                    } else {
+                        DOp::LoadI
+                    },
+                    dst: iid.0,
+                    a: df.pack(inst.args[0]),
+                    b: 0,
+                    ext: 0,
+                    iid,
+                },
+                Op::Store => DInst {
+                    op: DOp::Store,
+                    dst: 0,
+                    a: df.pack(inst.args[0]),
+                    b: df.pack(inst.args[1]),
+                    ext: 0,
+                    iid,
+                },
+                Op::Call(callee) => {
+                    has_call = true;
+                    let args = df.xargs.len() as u32;
+                    for &a in &inst.args {
+                        let p = df.pack(a);
+                        df.xargs.push(p);
+                    }
+                    let ext = df.calls.len() as u32;
+                    df.calls.push(DCall {
+                        callee,
+                        args,
+                        nargs: inst.args.len() as u32,
+                    });
+                    DInst {
+                        op: DOp::Call,
+                        dst: iid.0,
+                        a: 0,
+                        b: 0,
+                        ext,
+                        iid,
+                    }
+                }
+                Op::Phi => unreachable!("phis filtered above"),
+                op => match specialize(op, inst.args.len()) {
+                    // Binary op with a constant second operand: the
+                    // constant's conversion (`as_int` / `as_float`) is
+                    // exact and value-independent, so it folds into the
+                    // immediate at decode time.
+                    Some(d)
+                        if imm_variant(d).is_some()
+                            && matches!(inst.args.get(1), Some(Value::Const(_))) =>
+                    {
+                        let Some(&Value::Const(c)) = inst.args.get(1) else {
+                            unreachable!()
+                        };
+                        let a = df.pack(inst.args[0]);
+                        let v = Val::from(c);
+                        let imm = if matches!(d, DOp::FAdd | DOp::FSub | DOp::FMul | DOp::FDiv)
+                        {
+                            v.as_float().to_bits() as i64
+                        } else {
+                            v.as_int()
+                        };
+                        let ext = df.imms.len() as u32;
+                        df.imms.push(imm);
+                        DInst {
+                            op: imm_variant(d).unwrap(),
+                            dst: iid.0,
+                            a,
+                            b: 0,
+                            ext,
+                            iid,
+                        }
+                    }
+                    Some(d) => {
+                        let a = df.pack(inst.args[0]);
+                        let b = if inst.args.len() > 1 {
+                            df.pack(inst.args[1])
+                        } else {
+                            0
+                        };
+                        let ext = match d {
+                            DOp::Select => df.pack(inst.args[2]),
+                            DOp::Gep => {
+                                let ix = df.imms.len() as u32;
+                                df.imms.push(inst.imm);
+                                ix
+                            }
+                            _ => 0,
+                        };
+                        DInst {
+                            op: d,
+                            dst: iid.0,
+                            a,
+                            b,
+                            ext,
+                            iid,
+                        }
+                    }
+                    None => {
+                        // Arity mismatch: replay the walker's buffered
+                        // read + eval_pure, including its panics.
+                        let args = df.xargs.len() as u32;
+                        for &a in &inst.args {
+                            let p = df.pack(a);
+                            df.xargs.push(p);
+                        }
+                        let ext = df.pures.len() as u32;
+                        df.pures.push(DPure {
+                            op,
+                            imm: inst.imm,
+                            args,
+                            nargs: inst.args.len() as u32,
+                        });
+                        DInst {
+                            op: DOp::Pure,
+                            dst: iid.0,
+                            a: 0,
+                            b: 0,
+                            ext,
+                            iid,
+                        }
+                    }
+                },
+            };
+            // Peephole: a load/store addressed by the immediately preceding
+            // gep's result fuses into one superinstruction. (A register
+            // operand's packed index is the defining id, so `addr ==
+            // prev.dst` identifies the gep's result exactly; the gep's
+            // register is still written by the fused arm.)
+            let fused = match di.op {
+                // fmul feeding fadd: the accumulate step of every MAC.
+                DOp::FAdd if df.insts.len() > first as usize => {
+                    let prev = *df.insts.last().unwrap();
+                    if prev.op == DOp::FMul && (di.a == prev.dst || di.b == prev.dst) {
+                        let (op, c) = if di.a == prev.dst {
+                            (DOp::FMulAddA, di.b)
+                        } else {
+                            (DOp::FMulAddB, di.a)
+                        };
+                        let ext = df.fused.len() as u32;
+                        df.fused.push(DFused {
+                            imm: i64::from(c),
+                            gep_dst: prev.dst,
+                            mem_iid: di.iid,
+                        });
+                        Some(DInst {
+                            op,
+                            dst: di.dst,
+                            a: prev.a,
+                            b: prev.b,
+                            ext,
+                            iid: prev.iid,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                // An integer load folded straight into an accumulator:
+                // `acc = add(acc, load(..))`. The second side-table entry
+                // goes in adjacently so one `ext` reaches both.
+                DOp::Add if df.insts.len() > first as usize => {
+                    let prev = *df.insts.last().unwrap();
+                    if prev.op == DOp::GepLoadI
+                        && di.b == prev.dst
+                        && df.fused.len() as u32 == prev.ext + 1
+                    {
+                        df.fused.push(DFused {
+                            imm: i64::from(di.a),
+                            gep_dst: prev.dst,
+                            mem_iid: di.iid,
+                        });
+                        Some(DInst {
+                            op: DOp::GepLoadAdd,
+                            dst: di.dst,
+                            a: prev.a,
+                            b: prev.b,
+                            ext: prev.ext,
+                            iid: prev.iid,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                // An integer load converted straight to float (the fp
+                // accumulator fold's first step).
+                DOp::IToF if df.insts.len() > first as usize => {
+                    let prev = *df.insts.last().unwrap();
+                    if prev.op == DOp::GepLoadI && di.a == prev.dst {
+                        Some(DInst {
+                            op: DOp::GepLoadItoF,
+                            dst: di.dst,
+                            a: prev.a,
+                            b: prev.b,
+                            ext: prev.ext,
+                            iid: prev.iid,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                // `(x + salt) & mask`: the generated address pattern. The
+                // and's immediate was pushed right after the add's, so one
+                // `ext` reaches both (guarded below for safety).
+                DOp::AndI if df.insts.len() > first as usize => {
+                    let prev = *df.insts.last().unwrap();
+                    if prev.op == DOp::AddI && di.a == prev.dst && di.ext == prev.ext + 1 {
+                        Some(DInst {
+                            op: DOp::AddAndI,
+                            dst: di.dst,
+                            a: prev.a,
+                            b: prev.dst,
+                            ext: prev.ext,
+                            iid: prev.iid,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                DOp::LoadI | DOp::LoadF | DOp::Store if df.insts.len() > first as usize => {
+                    let prev = *df.insts.last().unwrap();
+                    let addr = if di.op == DOp::Store { di.b } else { di.a };
+                    if prev.op == DOp::Gep && addr == prev.dst {
+                        let ext = df.fused.len() as u32;
+                        df.fused.push(DFused {
+                            imm: df.imms[prev.ext as usize],
+                            gep_dst: prev.dst,
+                            mem_iid: di.iid,
+                        });
+                        let op = match di.op {
+                            DOp::LoadI => DOp::GepLoadI,
+                            DOp::LoadF => DOp::GepLoadF,
+                            _ => DOp::GepStore,
+                        };
+                        // GepStore carries the store's *value* operand in
+                        // `dst` (stores have no destination register).
+                        let dst = if di.op == DOp::Store { di.a } else { di.dst };
+                        Some(DInst {
+                            op,
+                            dst,
+                            a: prev.a,
+                            b: prev.b,
+                            ext,
+                            iid: prev.iid,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            match fused {
+                Some(fi) => *df.insts.last_mut().unwrap() = fi,
+                None => df.insts.push(di),
+            }
+        }
+        let pred = BlockId(bix as u32);
+        let term = match &block.term {
+            Terminator::Br(t) => DTerm::Jump(decode_edge(f, pred, *t, &mut df)),
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => DTerm::CondBr {
+                cond: df.pack(*cond),
+                t: decode_edge(f, pred, *then_bb, &mut df),
+                f: decode_edge(f, pred, *else_bb, &mut df),
+            },
+            Terminator::Ret(v) => DTerm::Ret(v.map(|v| df.pack(v))),
+            Terminator::Unreachable => DTerm::Unreachable,
+        };
+        // Peephole: a conditional branch on the block's own last compare
+        // fuses into the terminator (the compare's step stays accounted in
+        // `cost`; its register is still written by the fused arm).
+        let term = match term {
+            DTerm::CondBr { cond, t, f } => {
+                let prev = (df.insts.len() > first as usize).then(|| *df.insts.last().unwrap());
+                match prev {
+                    Some(p) if is_cmp(p.op) && p.dst == cond => {
+                        df.insts.pop();
+                        DTerm::CmpBr {
+                            op: p.op,
+                            a: p.a,
+                            // Imm compares keep their operand in `ext`.
+                            b: if is_imm_cmp(p.op) { p.ext } else { p.b },
+                            dst: p.dst,
+                            iid: p.iid,
+                            t,
+                            f,
+                        }
+                    }
+                    _ => DTerm::CondBr { cond, t, f },
+                }
+            }
+            other => other,
+        };
+        let last = df.insts.len() as u32;
+        df.blocks.push(DBlock {
+            first,
+            last,
+            cost: steps + 1,
+            has_call,
+            term,
+        });
+    }
+
+    // Entry-block leading φs have no predecessor to resolve against; the
+    // walker fails on the first one before reading anything.
+    df.entry_phi_err = f
+        .block(f.entry())
+        .insts
+        .iter()
+        .map(|&iid| f.inst(iid))
+        .take_while(|i| i.is_phi())
+        .next()
+        .map(|_| f.block(f.entry()).insts[0]);
+
+    df.nslots = df.nregs + df.nargs + df.consts.len();
+    df
+}
+
+/// Pre-resolve the φ-moves for edge `pred -> succ`. Decoding stops at the
+/// first φ with no incoming entry for `pred` (recorded in `phi_err`): the
+/// walker aborts its φ scan there, so later φs are never read.
+fn decode_edge(f: &Function, pred: BlockId, succ: BlockId, df: &mut DFunc) -> DEdge {
+    let mv_start = df.moves.len() as u32;
+    let mut phi_err = None;
+    for &iid in &f.block(succ).insts {
+        let inst = f.inst(iid);
+        if !inst.is_phi() {
+            break;
+        }
+        match inst.phi_incoming(pred) {
+            Some(v) => {
+                let src = df.pack(v);
+                df.moves.push(Move {
+                    dst: iid.0,
+                    src,
+                    iid,
+                });
+            }
+            None => {
+                phi_err = Some(iid);
+                break;
+            }
+        }
+    }
+    DEdge {
+        to: succ.0,
+        mv_start,
+        mv_end: df.moves.len() as u32,
+        phi_err,
+    }
+}
+
+/// One register slot: the value plus the generation stamp that says
+/// whether it is defined. Fused into one struct so a read touches a single
+/// cache line and pays a single bounds check.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    v: Val,
+    stamp: u32,
+}
+
+/// The stamp given to constant slots: compares `>=` any live generation,
+/// so constants stay defined across resets without per-call restamping.
+/// The generation counter never reaches it (hard reset fires first).
+const CONST_STAMP: u32 = u32::MAX;
+
+/// A generation-stamped register frame. A slot is defined iff its stamp
+/// is `>=` the frame's current generation, so re-initialising a recycled
+/// frame is a single counter bump instead of an O(slots) clear. Register
+/// and argument slots are stamped with the current generation (arguments
+/// at reset, registers on write); constant slots carry [`CONST_STAMP`] and
+/// are only rewritten when the frame changes owning function — pool reuse
+/// is LIFO, so repeated calls to the same function restamp nothing.
+#[derive(Debug)]
+pub(crate) struct FrameBuf {
+    slots: Vec<Slot>,
+    gen: u32,
+    /// Function index whose constants currently occupy the const window
+    /// (`u32::MAX` = none).
+    const_owner: u32,
+    /// The stamped const window `[start, end)`, cleared before a new owner
+    /// stamps its own (windows of different functions overlap).
+    const_window: (u32, u32),
+    /// Scratch for φ parallel moves (reads land here before any write).
+    scratch: Vec<(u32, Val)>,
+}
+
+impl Default for FrameBuf {
+    fn default() -> FrameBuf {
+        FrameBuf {
+            slots: Vec::new(),
+            gen: 0,
+            const_owner: u32::MAX,
+            const_window: (0, 0),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl FrameBuf {
+    /// Prepare the frame for a call of function `func_ix` (decoded as
+    /// `df`): grow to its unified slot count, invalidate register and
+    /// argument slots by bumping the generation, stamp the arguments, and —
+    /// only when the owning function changed — restamp the const window.
+    fn reset(&mut self, df: &DFunc, args: &[Val], func_ix: u32) {
+        if self.slots.len() < df.nslots {
+            self.slots.resize(
+                df.nslots,
+                Slot {
+                    v: Val::Int(0),
+                    stamp: 0,
+                },
+            );
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == CONST_STAMP {
+            // The generation caught up with the const sentinel (or
+            // wrapped): stale stamps could alias. Hard-reset.
+            for s in &mut self.slots {
+                s.stamp = 0;
+            }
+            self.gen = 1;
+            self.const_owner = u32::MAX;
+            self.const_window = (0, 0);
+        }
+        let gen = self.gen;
+        // Arg slots beyond the caller-provided `args` keep a stale stamp;
+        // reading one routes to the cold path, which replays the walker's
+        // `args[n]` out-of-range panic.
+        for (i, &v) in args.iter().take(df.nargs).enumerate() {
+            self.slots[df.nregs + i] = Slot { v, stamp: gen };
+        }
+        if self.const_owner != func_ix {
+            // Clear the previous owner's window first: another function's
+            // const slots may be this one's register/argument slots, and
+            // [`CONST_STAMP`] would make them spuriously defined.
+            let (s, e) = self.const_window;
+            for slot in &mut self.slots[s as usize..e as usize] {
+                slot.stamp = 0;
+            }
+            let base = df.nregs + df.nargs;
+            for (i, &v) in df.consts.iter().enumerate() {
+                self.slots[base + i] = Slot {
+                    v,
+                    stamp: CONST_STAMP,
+                };
+            }
+            self.const_owner = func_ix;
+            self.const_window = (base as u32, df.nslots as u32);
+        }
+    }
+
+    /// Read slot `ix`. SAFETY contract: `ix` comes from a packed operand of
+    /// the function this frame was `reset` for, so `ix < nslots <=
+    /// slots.len()` by construction ([`DFunc::pack`] only emits in-range
+    /// indices and `reset` grows the buffer to `nslots`).
+    #[inline(always)]
+    fn get(&self, ix: usize) -> Option<Val> {
+        debug_assert!(ix < self.slots.len());
+        let s = unsafe { *self.slots.get_unchecked(ix) };
+        if s.stamp >= self.gen {
+            Some(s.v)
+        } else {
+            None
+        }
+    }
+
+    /// Write slot `slot`. Same SAFETY contract as [`FrameBuf::get`]:
+    /// destinations are register slots (`slot < nregs`).
+    #[inline(always)]
+    fn set(&mut self, slot: u32, v: Val) {
+        debug_assert!((slot as usize) < self.slots.len());
+        let gen = self.gen;
+        unsafe {
+            *self.slots.get_unchecked_mut(slot as usize) = Slot { v, stamp: gen };
+        }
+    }
+}
+
+/// Recycles [`FrameBuf`]s across calls (and across runs: the pool lives on
+/// the `Interp`). Depth-bounded, so it holds at most `max_depth + 1` frames.
+#[derive(Debug, Default)]
+pub(crate) struct FramePool {
+    free: RefCell<Vec<FrameBuf>>,
+}
+
+impl FramePool {
+    fn acquire(&self, df: &DFunc, args: &[Val], func_ix: u32) -> FrameBuf {
+        let mut frame = self.free.borrow_mut().pop().unwrap_or_default();
+        frame.reset(df, args, func_ix);
+        frame
+    }
+
+    fn release(&self, frame: FrameBuf) {
+        self.free.borrow_mut().push(frame);
+    }
+}
+
+/// The slow path for an unstamped slot read. Register slots map to
+/// [`ExecError::UndefinedValue`] at the attributed id; argument slots only
+/// stay unstamped when the caller passed too few arguments, where the
+/// reference walker panics indexing `args[n]` — replayed here verbatim.
+/// Constant slots are always stamped and can never reach this.
+#[cold]
+#[inline(never)]
+fn undef_err(df: &DFunc, args: &[Val], ix: usize, func: FuncId, at: InstId) -> ExecError {
+    if ix >= df.nregs {
+        let n = ix - df.nregs;
+        let _ = args[n]; // panics exactly like the walker's args[n]
+        unreachable!("stamped arg slot reached the undefined path");
+    }
+    ExecError::UndefinedValue(func, at)
+}
+
+/// The float-compare ordering used by [`eval_pure`]: unordered (NaN)
+/// collapses to `Equal`.
+#[inline(always)]
+fn ford(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+/// One run's worth of engine context: decoded code, frame pool, limits.
+pub(crate) struct ExecCtx<'a> {
+    /// Decoded module.
+    pub engine: &'a Engine,
+    /// Frame recycler (owned by the `Interp`, shared across runs).
+    pub pool: &'a FramePool,
+    /// Step budget ceiling (reported in [`ExecError::StepLimit`]).
+    pub max_steps: u64,
+    /// Call-depth ceiling.
+    pub max_depth: usize,
+}
+
+impl ExecCtx<'_> {
+    /// Execute `func`. Mirrors the reference walker's `call` exactly —
+    /// same events, same results, same errors, same step accounting on
+    /// success.
+    pub(crate) fn call<S: TraceSink + ?Sized>(
+        &self,
+        func: FuncId,
+        args: &[Val],
+        mem: &mut Memory,
+        sink: &mut S,
+        depth: usize,
+        budget: &mut u64,
+    ) -> Result<Option<Val>, ExecError> {
+        if depth > self.max_depth {
+            return Err(ExecError::CallDepth(self.max_depth));
+        }
+        let df = &self.engine.funcs[func.index()];
+        sink.enter(func);
+        let mut frame = self.pool.acquire(df, args, func.index() as u32);
+        let result = self.exec(df, func, args, &mut frame, mem, sink, depth, budget);
+        self.pool.release(frame);
+        result
+    }
+
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec<S: TraceSink + ?Sized>(
+        &self,
+        df: &DFunc,
+        func: FuncId,
+        args: &[Val],
+        frame: &mut FrameBuf,
+        mem: &mut Memory,
+        sink: &mut S,
+        depth: usize,
+        budget: &mut u64,
+    ) -> Result<Option<Val>, ExecError> {
+        let mut cur: u32 = 0; // entry block
+        sink.block(func, BlockId(cur));
+        if let Some(iid) = df.entry_phi_err {
+            return Err(ExecError::PhiMissingIncoming(func, iid));
+        }
+
+        // Operand read attributing an undefined register to `$iid` (the
+        // consuming instruction for body/φ reads). The hot path is one
+        // indexed load plus a generation compare; everything else lives in
+        // the cold `undef_err`.
+        macro_rules! r {
+            ($iid:expr, $p:expr) => {
+                match frame.get($p as usize) {
+                    Some(v) => v,
+                    None => return Err(undef_err(df, args, $p as usize, func, $iid)),
+                }
+            };
+        }
+        // Terminator operand read: terminators have no id of their own, so
+        // an undefined register is attributed to its *defining*
+        // instruction — which is exactly the operand's slot index (only
+        // register slots can be undefined without panicking).
+        macro_rules! rt {
+            ($p:expr) => {
+                match frame.get($p as usize) {
+                    Some(v) => v,
+                    None => return Err(undef_err(df, args, $p as usize, func, InstId($p))),
+                }
+            };
+        }
+        // The opcode dispatch, expanded into both accounting loops below so
+        // the hot arms inline straight into the loop body — a function call
+        // per instruction costs more than most of these instructions.
+        // Reads happen in the walker's operand order (`a`, `b`, then `ext`)
+        // so undefined-value errors fire identically. The rare arms (calls,
+        // arity-mismatched pures) are outlined to keep the loop compact.
+        macro_rules! dispatch {
+            ($di:expr, $batched:expr) => {{
+                let di = $di;
+                let batched = $batched;
+                match di.op {
+                    DOp::Add => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(a.wrapping_add(b)));
+                    }
+                    DOp::Sub => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(a.wrapping_sub(b)));
+                    }
+                    DOp::Mul => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(a.wrapping_mul(b)));
+                    }
+                    DOp::Div => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(if b == 0 { 0 } else { a.wrapping_div(b) }));
+                    }
+                    DOp::Rem => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(if b == 0 { 0 } else { a.wrapping_rem(b) }));
+                    }
+                    DOp::And => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(a & b));
+                    }
+                    DOp::Or => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(a | b));
+                    }
+                    DOp::Xor => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(a ^ b));
+                    }
+                    DOp::Shl => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(a.wrapping_shl(b as u32 & 63)));
+                    }
+                    DOp::Shr => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int(a.wrapping_shr(b as u32 & 63)));
+                    }
+                    DOp::FAdd => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Float(a + b));
+                    }
+                    DOp::FSub => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Float(a - b));
+                    }
+                    DOp::FMul => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Float(a * b));
+                    }
+                    DOp::FDiv => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Float(if b == 0.0 { 0.0 } else { a / b }));
+                    }
+                    DOp::FSqrt => {
+                        let a = r!(di.iid, di.a).as_float();
+                        frame.set(di.dst, Val::Float(a.abs().sqrt()));
+                    }
+                    DOp::IEq => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int((a == b) as i64));
+                    }
+                    DOp::INe => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int((a != b) as i64));
+                    }
+                    DOp::ILt => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int((a < b) as i64));
+                    }
+                    DOp::ILe => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int((a <= b) as i64));
+                    }
+                    DOp::IGt => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int((a > b) as i64));
+                    }
+                    DOp::IGe => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        frame.set(di.dst, Val::Int((a >= b) as i64));
+                    }
+                    DOp::FEq => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Int((ford(a, b) == Ordering::Equal) as i64));
+                    }
+                    DOp::FNe => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Int((ford(a, b) != Ordering::Equal) as i64));
+                    }
+                    DOp::FLt => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Int((ford(a, b) == Ordering::Less) as i64));
+                    }
+                    DOp::FLe => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Int((ford(a, b) != Ordering::Greater) as i64));
+                    }
+                    DOp::FGt => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Int((ford(a, b) == Ordering::Greater) as i64));
+                    }
+                    DOp::FGe => {
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        frame.set(di.dst, Val::Int((ford(a, b) != Ordering::Less) as i64));
+                    }
+                    DOp::AddI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(a.wrapping_add(b)));
+                    }
+                    DOp::SubI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(a.wrapping_sub(b)));
+                    }
+                    DOp::MulI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(a.wrapping_mul(b)));
+                    }
+                    DOp::DivI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(if b == 0 { 0 } else { a.wrapping_div(b) }));
+                    }
+                    DOp::RemI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(if b == 0 { 0 } else { a.wrapping_rem(b) }));
+                    }
+                    DOp::AndI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(a & b));
+                    }
+                    DOp::OrI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(a | b));
+                    }
+                    DOp::XorI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(a ^ b));
+                    }
+                    DOp::ShlI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(a.wrapping_shl(b as u32 & 63)));
+                    }
+                    DOp::ShrI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(a.wrapping_shr(b as u32 & 63)));
+                    }
+                    DOp::FAddI => {
+                        let a = r!(di.iid, di.a).as_float();
+                        let b = f64::from_bits(df.imm(di.ext) as u64);
+                        frame.set(di.dst, Val::Float(a + b));
+                    }
+                    DOp::FSubI => {
+                        let a = r!(di.iid, di.a).as_float();
+                        let b = f64::from_bits(df.imm(di.ext) as u64);
+                        frame.set(di.dst, Val::Float(a - b));
+                    }
+                    DOp::FMulI => {
+                        let a = r!(di.iid, di.a).as_float();
+                        let b = f64::from_bits(df.imm(di.ext) as u64);
+                        frame.set(di.dst, Val::Float(a * b));
+                    }
+                    DOp::FDivI => {
+                        let a = r!(di.iid, di.a).as_float();
+                        let b = f64::from_bits(df.imm(di.ext) as u64);
+                        frame.set(di.dst, Val::Float(if b == 0.0 { 0.0 } else { a / b }));
+                    }
+                    DOp::IEqI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int((a == b) as i64));
+                    }
+                    DOp::INeI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int((a != b) as i64));
+                    }
+                    DOp::ILtI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int((a < b) as i64));
+                    }
+                    DOp::ILeI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int((a <= b) as i64));
+                    }
+                    DOp::IGtI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int((a > b) as i64));
+                    }
+                    DOp::IGeI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let b = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int((a >= b) as i64));
+                    }
+                    DOp::Select => {
+                        // All three operands are read before selecting,
+                        // exactly as the walker's buffered read does.
+                        let c = r!(di.iid, di.a);
+                        let t = r!(di.iid, di.b);
+                        let e = r!(di.iid, di.ext);
+                        frame.set(di.dst, if c.as_bool() { t } else { e });
+                    }
+                    DOp::IToF => {
+                        let a = r!(di.iid, di.a).as_int();
+                        frame.set(di.dst, Val::Float(a as f64));
+                    }
+                    DOp::FToI => {
+                        let a = r!(di.iid, di.a).as_float();
+                        frame.set(di.dst, Val::Int(a as i64));
+                    }
+                    DOp::Gep => {
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        let imm = df.imm(di.ext);
+                        frame.set(di.dst, Val::Int(a.wrapping_add(b.wrapping_mul(imm))));
+                    }
+                    DOp::LoadI => {
+                        let addr = r!(di.iid, di.a).as_int() as u64;
+                        sink.mem(func, di.iid, addr, false);
+                        frame.set(di.dst, Val::Int(mem.peek(addr) as i64));
+                    }
+                    DOp::LoadF => {
+                        let addr = r!(di.iid, di.a).as_int() as u64;
+                        sink.mem(func, di.iid, addr, false);
+                        frame.set(di.dst, Val::Float(f64::from_bits(mem.peek(addr))));
+                    }
+                    DOp::Store => {
+                        let v = r!(di.iid, di.a);
+                        let addr = r!(di.iid, di.b).as_int() as u64;
+                        sink.mem(func, di.iid, addr, true);
+                        mem.store(addr, v);
+                    }
+                    // Fused arms: two walker steps each. The gep's register
+                    // write still happens (later instructions may read the
+                    // address), and in the slow path the second step gets
+                    // its own budget check *between* the halves, preserving
+                    // the walker's exact StepLimit cut point.
+                    DOp::GepLoadI => {
+                        let fu = df.fu(di.ext);
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
+                        frame.set(fu.gep_dst, Val::Int(addr));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        let addr = addr as u64;
+                        sink.mem(func, fu.mem_iid, addr, false);
+                        frame.set(di.dst, Val::Int(mem.peek(addr) as i64));
+                    }
+                    DOp::GepLoadF => {
+                        let fu = df.fu(di.ext);
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
+                        frame.set(fu.gep_dst, Val::Int(addr));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        let addr = addr as u64;
+                        sink.mem(func, fu.mem_iid, addr, false);
+                        frame.set(di.dst, Val::Float(f64::from_bits(mem.peek(addr))));
+                    }
+                    DOp::GepStore => {
+                        let fu = df.fu(di.ext);
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
+                        frame.set(fu.gep_dst, Val::Int(addr));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        let v = r!(fu.mem_iid, di.dst);
+                        let addr = addr as u64;
+                        sink.mem(func, fu.mem_iid, addr, true);
+                        mem.store(addr, v);
+                    }
+                    DOp::FMulAddA => {
+                        let fu = df.fu(di.ext);
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        let t = a * b;
+                        frame.set(fu.gep_dst, Val::Float(t));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        let c = r!(fu.mem_iid, fu.imm as u32).as_float();
+                        frame.set(di.dst, Val::Float(t + c));
+                    }
+                    DOp::FMulAddB => {
+                        let fu = df.fu(di.ext);
+                        let (a, b) = (r!(di.iid, di.a).as_float(), r!(di.iid, di.b).as_float());
+                        let t = a * b;
+                        frame.set(fu.gep_dst, Val::Float(t));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        let c = r!(fu.mem_iid, fu.imm as u32).as_float();
+                        frame.set(di.dst, Val::Float(c + t));
+                    }
+                    DOp::AddAndI => {
+                        let a = r!(di.iid, di.a).as_int();
+                        let t = a.wrapping_add(df.imm(di.ext));
+                        frame.set(di.b, Val::Int(t));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        frame.set(di.dst, Val::Int(t & df.imm(di.ext + 1)));
+                    }
+                    DOp::GepLoadAdd => {
+                        let fu = df.fu(di.ext);
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
+                        frame.set(fu.gep_dst, Val::Int(addr));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        let fu2 = df.fu(di.ext + 1);
+                        let addr = addr as u64;
+                        sink.mem(func, fu.mem_iid, addr, false);
+                        let v = mem.peek(addr) as i64;
+                        frame.set(fu2.gep_dst, Val::Int(v));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        let acc = r!(fu2.mem_iid, fu2.imm as u32).as_int();
+                        frame.set(di.dst, Val::Int(acc.wrapping_add(v)));
+                    }
+                    DOp::GepLoadItoF => {
+                        let fu = df.fu(di.ext);
+                        let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
+                        let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
+                        frame.set(fu.gep_dst, Val::Int(addr));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        let addr = addr as u64;
+                        sink.mem(func, fu.mem_iid, addr, false);
+                        let v = mem.peek(addr) as i64;
+                        frame.set(fu.mem_iid.0, Val::Int(v));
+                        if !batched {
+                            if *budget == 0 {
+                                return Err(ExecError::StepLimit(self.max_steps));
+                            }
+                            *budget -= 1;
+                        }
+                        frame.set(di.dst, Val::Float(v as f64));
+                    }
+                    DOp::Call => {
+                        self.do_call(df, di, func, args, frame, mem, sink, depth, budget)?;
+                    }
+                    DOp::Pure => {
+                        do_pure(df, di, func, args, frame)?;
+                    }
+                }
+            }};
+        }
+
+        loop {
+            let b = df.blk(cur);
+
+            // Batched accounting: debit the whole block once up front when
+            // no call shares the budget and the budget covers it; otherwise
+            // fall back to per-instruction accounting (which preserves the
+            // walker's exact `StepLimit` cut point). The dispatch match is
+            // expanded once and shared by both modes — `batched` is a
+            // single well-predicted branch per instruction, while a second
+            // expansion would double this function's code and (in debug
+            // builds, where nothing coalesces) its stack frame, overflowing
+            // deep call-recursion on 2 MiB test-thread stacks.
+            let batched = !b.has_call && *budget >= b.cost;
+            if batched {
+                *budget -= b.cost;
+            }
+            for di in df.inst_run(b.first, b.last) {
+                if !batched {
+                    if *budget == 0 {
+                        return Err(ExecError::StepLimit(self.max_steps));
+                    }
+                    *budget -= 1;
+                }
+                dispatch!(di, batched);
+            }
+            if !batched {
+                // A fused CmpBr carries the compare's step as well.
+                // Debiting both at once is equivalent to the walker's two
+                // checks: nothing observable happens between them, and
+                // budget underflow on error paths is unobservable.
+                let need = if matches!(b.term, DTerm::CmpBr { .. }) {
+                    2
+                } else {
+                    1
+                };
+                if *budget < need {
+                    return Err(ExecError::StepLimit(self.max_steps));
+                }
+                *budget -= need;
+            }
+
+            let edge = match &b.term {
+                DTerm::Jump(e) => e,
+                DTerm::CondBr { cond, t, f } => {
+                    if rt!(*cond).as_bool() {
+                        t
+                    } else {
+                        f
+                    }
+                }
+                DTerm::CmpBr {
+                    op,
+                    a,
+                    b: b2,
+                    dst,
+                    iid,
+                    t,
+                    f,
+                } => {
+                    let taken = match *op {
+                        DOp::IEq | DOp::INe | DOp::ILt | DOp::ILe | DOp::IGt | DOp::IGe => {
+                            let (x, y) = (r!(*iid, *a).as_int(), r!(*iid, *b2).as_int());
+                            match *op {
+                                DOp::IEq => x == y,
+                                DOp::INe => x != y,
+                                DOp::ILt => x < y,
+                                DOp::ILe => x <= y,
+                                DOp::IGt => x > y,
+                                _ => x >= y,
+                            }
+                        }
+                        DOp::IEqI | DOp::INeI | DOp::ILtI | DOp::ILeI | DOp::IGtI
+                        | DOp::IGeI => {
+                            let x = r!(*iid, *a).as_int();
+                            let y = df.imm(*b2);
+                            match *op {
+                                DOp::IEqI => x == y,
+                                DOp::INeI => x != y,
+                                DOp::ILtI => x < y,
+                                DOp::ILeI => x <= y,
+                                DOp::IGtI => x > y,
+                                _ => x >= y,
+                            }
+                        }
+                        _ => {
+                            let (x, y) = (r!(*iid, *a).as_float(), r!(*iid, *b2).as_float());
+                            let o = ford(x, y);
+                            match *op {
+                                DOp::FEq => o == Ordering::Equal,
+                                DOp::FNe => o != Ordering::Equal,
+                                DOp::FLt => o == Ordering::Less,
+                                DOp::FLe => o != Ordering::Greater,
+                                DOp::FGt => o == Ordering::Greater,
+                                _ => o != Ordering::Less,
+                            }
+                        }
+                    };
+                    frame.set(*dst, Val::Int(taken as i64));
+                    if taken {
+                        t
+                    } else {
+                        f
+                    }
+                }
+                DTerm::Ret(v) => {
+                    let out = match v {
+                        Some(p) => Some(rt!(*p)),
+                        None => None,
+                    };
+                    sink.exit(func);
+                    return Ok(out);
+                }
+                DTerm::Unreachable => {
+                    return Err(ExecError::ReachedUnreachable(func, BlockId(cur)));
+                }
+            };
+
+            sink.edge(func, BlockId(cur), BlockId(edge.to));
+            sink.block(func, BlockId(edge.to));
+
+            // φ parallel move: all reads (each may fail at its φ's id),
+            // then the missing-incoming check, then all writes. One- and
+            // two-move edges (the overwhelmingly common cases: loop
+            // induction φs) keep the values in registers instead of going
+            // through the scratch buffer.
+            match edge.mv_end - edge.mv_start {
+                0 => {
+                    if let Some(iid) = edge.phi_err {
+                        return Err(ExecError::PhiMissingIncoming(func, iid));
+                    }
+                }
+                1 => {
+                    let m = df.mv(edge.mv_start);
+                    let v = r!(m.iid, m.src);
+                    if let Some(iid) = edge.phi_err {
+                        return Err(ExecError::PhiMissingIncoming(func, iid));
+                    }
+                    frame.set(m.dst, v);
+                }
+                2 => {
+                    let m0 = df.mv(edge.mv_start);
+                    let m1 = df.mv(edge.mv_start + 1);
+                    let v0 = r!(m0.iid, m0.src);
+                    let v1 = r!(m1.iid, m1.src);
+                    if let Some(iid) = edge.phi_err {
+                        return Err(ExecError::PhiMissingIncoming(func, iid));
+                    }
+                    frame.set(m0.dst, v0);
+                    frame.set(m1.dst, v1);
+                }
+                _ => {
+                    frame.scratch.clear();
+                    for m in df.move_run(edge.mv_start, edge.mv_end) {
+                        let v = r!(m.iid, m.src);
+                        frame.scratch.push((m.dst, v));
+                    }
+                    if let Some(iid) = edge.phi_err {
+                        return Err(ExecError::PhiMissingIncoming(func, iid));
+                    }
+                    let scratch = std::mem::take(&mut frame.scratch);
+                    for &(dst, v) in &scratch {
+                        frame.set(dst, v);
+                    }
+                    frame.scratch = scratch;
+                }
+            }
+
+            cur = edge.to;
+        }
+    }
+
+    /// Outlined call arm of the dispatch loop: rare next to the arithmetic
+    /// ops, and outlining keeps the hot loop's code compact.
+    #[allow(clippy::too_many_arguments)]
+    fn do_call<S: TraceSink + ?Sized>(
+        &self,
+        df: &DFunc,
+        di: &DInst,
+        func: FuncId,
+        args: &[Val],
+        frame: &mut FrameBuf,
+        mem: &mut Memory,
+        sink: &mut S,
+        depth: usize,
+        budget: &mut u64,
+    ) -> Result<(), ExecError> {
+        let c = df.calls[di.ext as usize];
+        let ops = &df.xargs[c.args as usize..(c.args + c.nargs) as usize];
+        // Argument runs are short; an on-stack buffer avoids a heap
+        // allocation per call. Long runs fall back to a Vec.
+        let mut buf = [Val::Int(0); PURE_BUF];
+        let mut spill;
+        let call_args: &[Val] = if ops.len() <= PURE_BUF {
+            for (i, &o) in ops.iter().enumerate() {
+                match frame.get(o as usize) {
+                    Some(v) => buf[i] = v,
+                    None => return Err(undef_err(df, args, o as usize, func, di.iid)),
+                }
+            }
+            &buf[..ops.len()]
+        } else {
+            spill = Vec::with_capacity(ops.len());
+            for &o in ops {
+                match frame.get(o as usize) {
+                    Some(v) => spill.push(v),
+                    None => return Err(undef_err(df, args, o as usize, func, di.iid)),
+                }
+            }
+            &spill
+        };
+        let r = self.call(c.callee, call_args, mem, sink, depth + 1, budget)?;
+        frame.set(di.dst, r.unwrap_or(Val::Int(0)));
+        Ok(())
+    }
+}
+
+/// Outlined generic-pure fallback: an op whose operand count does not match
+/// its natural arity replays the walker's buffered read + [`eval_pure`]
+/// exactly, including its panics on missing operands.
+fn do_pure(
+    df: &DFunc,
+    di: &DInst,
+    func: FuncId,
+    args: &[Val],
+    frame: &mut FrameBuf,
+) -> Result<(), ExecError> {
+    let p = df.pures[di.ext as usize];
+    let ops = &df.xargs[p.args as usize..(p.args + p.nargs) as usize];
+    let mut buf = [Val::Int(0); PURE_BUF];
+    for (i, &o) in ops.iter().enumerate() {
+        match frame.get(o as usize) {
+            Some(v) => buf[i.min(PURE_BUF - 1)] = v,
+            None => return Err(undef_err(df, args, o as usize, func, di.iid)),
+        }
+    }
+    let vals = &buf[..ops.len().min(PURE_BUF)];
+    let v = eval_pure(p.op, vals, p.imm).ok_or(ExecError::MalformedOp(func, di.iid))?;
+    frame.set(di.dst, v);
+    Ok(())
+}

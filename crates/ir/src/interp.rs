@@ -5,12 +5,27 @@
 //! consume the [`TraceSink`] event stream instead of instrumenting the IR.
 //! This mirrors how Needle's LLVM instrumentation observes execution while
 //! keeping the workload IR unchanged.
+//!
+//! Two execution engines sit behind one API:
+//!
+//! * [`Interp::run`] / [`Interp::run_with`] execute through the pre-decoded
+//!   engine ([`crate::engine`]): the module is lowered once into a flat
+//!   instruction stream with direct register slots, per-edge φ-move lists
+//!   and per-block step costs, and executed with monomorphized sink
+//!   dispatch and recycled register frames.
+//! * [`Interp::run_reference`] is the original tree walker, kept as the
+//!   differential baseline: same results, same trace events, same step
+//!   counts, same errors — `tests/engine_differential.rs` holds the two to
+//!   bit-equivalence over the whole workload suite.
 
-use std::collections::HashMap;
+use std::cell::{Cell, OnceCell};
 use std::fmt;
 
+use crate::engine::{Engine, ExecCtx, FramePool};
 use crate::inst::{Op, Terminator};
 use crate::module::{BlockId, Constant, FuncId, Function, InstId, Module, Type, Value};
+
+pub use crate::mem::{MemDelta, MemSnapshot, Memory};
 
 /// A runtime value. Pointers are carried as integers (byte addresses).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,138 +140,6 @@ pub fn eval_pure(op: Op, args: &[Val], imm: i64) -> Option<Val> {
     Some(v)
 }
 
-/// Sparse byte-addressable memory with 8-byte cells.
-///
-/// Addresses are truncated to 8-byte alignment; uninitialised cells read as
-/// zero. This is sufficient for the synthetic workloads, which operate on
-/// 8-byte integer/float arrays.
-#[derive(Debug, Clone, Default)]
-pub struct Memory {
-    cells: HashMap<u64, u64>,
-}
-
-impl Memory {
-    /// An empty (all-zero) memory.
-    pub fn new() -> Memory {
-        Memory::default()
-    }
-
-    /// Read the 8-byte cell containing `addr`, typed as `ty`.
-    pub fn load(&self, addr: u64, ty: Type) -> Val {
-        let bits = self.cells.get(&(addr & !7)).copied().unwrap_or(0);
-        Val::from_bits(bits, ty)
-    }
-
-    /// Write `val` to the 8-byte cell containing `addr`.
-    pub fn store(&mut self, addr: u64, val: Val) {
-        self.cells.insert(addr & !7, val.to_bits());
-    }
-
-    /// Raw bits of the cell containing `addr` (0 when untouched).
-    pub fn peek(&self, addr: u64) -> u64 {
-        self.cells.get(&(addr & !7)).copied().unwrap_or(0)
-    }
-
-    /// Number of touched cells.
-    pub fn footprint(&self) -> usize {
-        self.cells.len()
-    }
-
-    /// Fill `count` consecutive 8-byte integer cells starting at `base`.
-    pub fn fill_ints<I: IntoIterator<Item = i64>>(&mut self, base: u64, vals: I) -> u64 {
-        let mut addr = base;
-        for v in vals {
-            self.store(addr, Val::Int(v));
-            addr += 8;
-        }
-        addr
-    }
-
-    /// Fill `count` consecutive 8-byte float cells starting at `base`.
-    pub fn fill_floats<I: IntoIterator<Item = f64>>(&mut self, base: u64, vals: I) -> u64 {
-        let mut addr = base;
-        for v in vals {
-            self.store(addr, Val::Float(v));
-            addr += 8;
-        }
-        addr
-    }
-
-    /// An independent copy of the current memory image, for later
-    /// comparison with [`Memory::diff`]. Differential verification
-    /// snapshots memory before a speculative frame invocation and diffs
-    /// after rollback: any delta is an atomicity violation.
-    pub fn snapshot(&self) -> MemSnapshot {
-        MemSnapshot {
-            cells: self.cells.clone(),
-        }
-    }
-
-    /// Bit-exact deltas between `self` and a prior snapshot, sorted by
-    /// address. A cell present on one side and absent on the other
-    /// compares against the architectural zero, so "wrote 0 to a fresh
-    /// cell" is (correctly) not a divergence.
-    pub fn diff(&self, base: &MemSnapshot) -> Vec<MemDelta> {
-        let mut deltas = Vec::new();
-        for (&addr, &after) in &self.cells {
-            let before = base.cells.get(&addr).copied().unwrap_or(0);
-            if before != after {
-                deltas.push(MemDelta { addr, before, after });
-            }
-        }
-        for (&addr, &before) in &base.cells {
-            if before != 0 && !self.cells.contains_key(&addr) {
-                deltas.push(MemDelta { addr, before, after: 0 });
-            }
-        }
-        deltas.sort_by_key(|d| d.addr);
-        deltas
-    }
-
-    /// True when the image is bit-identical to `base` (no deltas).
-    pub fn same_as(&self, base: &MemSnapshot) -> bool {
-        self.diff(base).is_empty()
-    }
-}
-
-/// A frozen copy of a [`Memory`] image taken by [`Memory::snapshot`].
-#[derive(Debug, Clone, Default)]
-pub struct MemSnapshot {
-    cells: HashMap<u64, u64>,
-}
-
-impl MemSnapshot {
-    /// Rebuild a live [`Memory`] from the snapshot (used by the reference
-    /// interpreter to replay an invocation against the pre-state).
-    pub fn restore(&self) -> Memory {
-        Memory {
-            cells: self.cells.clone(),
-        }
-    }
-}
-
-/// One 8-byte cell whose contents differ between a memory image and a
-/// snapshot of it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MemDelta {
-    /// Cell-aligned byte address.
-    pub addr: u64,
-    /// Raw bits in the snapshot (0 when untouched).
-    pub before: u64,
-    /// Raw bits in the live image (0 when untouched).
-    pub after: u64,
-}
-
-impl fmt::Display for MemDelta {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "cell {:#x}: {:#018x} -> {:#018x}",
-            self.addr, self.before, self.after
-        )
-    }
-}
-
 /// Receiver of execution events. All methods default to no-ops, so sinks
 /// implement only what they need.
 pub trait TraceSink {
@@ -280,25 +163,58 @@ pub struct NullSink;
 impl TraceSink for NullSink {}
 
 /// Counts dynamic block executions per function.
+///
+/// Block ids are dense per-function indices, so the counters are plain
+/// `Vec<u64>`s grown on demand — a bump is two bounds checks and an add,
+/// not a hash of `(FuncId, BlockId)`.
 #[derive(Debug, Default, Clone)]
 pub struct BlockCountSink {
-    /// `(func, block) -> dynamic execution count`.
-    pub counts: HashMap<(FuncId, BlockId), u64>,
+    /// `counts[func][block] = dynamic execution count`.
+    counts: Vec<Vec<u64>>,
 }
 
 impl TraceSink for BlockCountSink {
     fn block(&mut self, func: FuncId, bb: BlockId) {
-        *self.counts.entry((func, bb)).or_insert(0) += 1;
+        let f = func.index();
+        if self.counts.len() <= f {
+            self.counts.resize_with(f + 1, Vec::new);
+        }
+        let per = &mut self.counts[f];
+        let b = bb.index();
+        if per.len() <= b {
+            per.resize(b + 1, 0);
+        }
+        per[b] += 1;
     }
 }
 
 impl BlockCountSink {
+    /// Dynamic execution count of block `bb` in `func` (0 if never entered).
+    pub fn count(&self, func: FuncId, bb: BlockId) -> u64 {
+        self.counts
+            .get(func.index())
+            .and_then(|per| per.get(bb.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All `((func, block), count)` pairs with a non-zero count.
+    pub fn iter(&self) -> impl Iterator<Item = ((FuncId, BlockId), u64)> + '_ {
+        self.counts.iter().enumerate().flat_map(|(f, per)| {
+            per.iter().enumerate().filter(|(_, n)| **n != 0).map(
+                move |(b, n)| ((FuncId(f as u32), BlockId(b as u32)), *n),
+            )
+        })
+    }
+
     /// Dynamic instruction count of `func` given its static block sizes.
     pub fn dynamic_insts(&self, module: &Module, func: FuncId) -> u64 {
-        self.counts
-            .iter()
-            .filter(|((f, _), _)| *f == func)
-            .map(|((_, bb), n)| n * module.func(func).block(*bb).insts.len() as u64)
+        let Some(per) = self.counts.get(func.index()) else {
+            return 0;
+        };
+        per.iter()
+            .enumerate()
+            .map(|(b, n)| n * module.func(func).block(BlockId(b as u32)).insts.len() as u64)
             .sum()
     }
 }
@@ -342,6 +258,9 @@ pub enum ExecError {
     /// A φ had no incoming entry for the dynamic predecessor.
     PhiMissingIncoming(FuncId, InstId),
     /// An instruction read a value that was never defined (verifier escape).
+    /// For reads inside a block body (and φ moves) the id is the *reading*
+    /// instruction; for terminator operands — which have no id of their own
+    /// — it is the undefined value's *defining* instruction.
     UndefinedValue(FuncId, InstId),
     /// An op that should be pure had memory/control semantics (verifier
     /// escape; previously a panic).
@@ -372,7 +291,9 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// The interpreter. Holds per-run limits; borrow of the module is immutable
-/// so one `Interp` can run many times.
+/// so one `Interp` can run many times. The first run decodes the module
+/// into the flat engine form; subsequent runs reuse the decoded code and
+/// the recycled register-frame pool.
 #[derive(Debug)]
 pub struct Interp<'m> {
     module: &'m Module,
@@ -380,7 +301,9 @@ pub struct Interp<'m> {
     pub max_steps: u64,
     /// Maximum call nesting depth.
     pub max_depth: usize,
-    steps: std::cell::Cell<u64>,
+    steps: Cell<u64>,
+    engine: OnceCell<Engine>,
+    pool: FramePool,
 }
 
 impl<'m> Interp<'m> {
@@ -390,7 +313,9 @@ impl<'m> Interp<'m> {
             module,
             max_steps: 50_000_000,
             max_depth: 64,
-            steps: std::cell::Cell::new(0),
+            steps: Cell::new(0),
+            engine: OnceCell::new(),
+            pool: FramePool::default(),
         }
     }
 
@@ -400,7 +325,7 @@ impl<'m> Interp<'m> {
         self
     }
 
-    /// Dynamic steps consumed by the most recent [`Interp::run`].
+    /// Dynamic steps consumed by the most recent successful run.
     pub fn steps(&self) -> u64 {
         self.steps.get()
     }
@@ -408,9 +333,56 @@ impl<'m> Interp<'m> {
     /// Execute `func` with `args`, reading/writing `mem` and streaming
     /// events into `sink`. Returns the function result (if non-void).
     ///
+    /// This is the dynamic-dispatch convenience wrapper over
+    /// [`Interp::run_with`]; hot callers with a concrete sink type should
+    /// call `run_with` directly so the event dispatch monomorphizes.
+    ///
     /// # Errors
     /// Returns an [`ExecError`] on step/depth exhaustion or malformed IR.
     pub fn run(
+        &self,
+        func: FuncId,
+        args: &[Constant],
+        mem: &mut Memory,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Option<Val>, ExecError> {
+        self.run_with(func, args, mem, sink)
+    }
+
+    /// Execute through the pre-decoded engine with a statically known sink
+    /// type (zero dyn dispatch after monomorphization).
+    ///
+    /// # Errors
+    /// Returns an [`ExecError`] on step/depth exhaustion or malformed IR.
+    pub fn run_with<S: TraceSink + ?Sized>(
+        &self,
+        func: FuncId,
+        args: &[Constant],
+        mem: &mut Memory,
+        sink: &mut S,
+    ) -> Result<Option<Val>, ExecError> {
+        self.steps.set(0);
+        let engine = self.engine.get_or_init(|| Engine::decode(self.module));
+        let ctx = ExecCtx {
+            engine,
+            pool: &self.pool,
+            max_steps: self.max_steps,
+            max_depth: self.max_depth,
+        };
+        let vals: Vec<Val> = args.iter().map(|c| Val::from(*c)).collect();
+        let mut budget = self.max_steps;
+        ctx.call(func, &vals, mem, sink, 0, &mut budget)
+            .inspect(|_| self.steps.set(self.max_steps - budget))
+    }
+
+    /// Execute with the original tree-walking interpreter. Kept as the
+    /// differential baseline for the pre-decoded engine: results, trace
+    /// events, step counts and errors must match [`Interp::run_with`]
+    /// exactly.
+    ///
+    /// # Errors
+    /// Returns an [`ExecError`] on step/depth exhaustion or malformed IR.
+    pub fn run_reference(
         &self,
         func: FuncId,
         args: &[Constant],
@@ -445,6 +417,16 @@ impl<'m> Interp<'m> {
                 Value::Arg(n) => Ok(args[n as usize]),
                 Value::Inst(id) => regs[id.index()]
                     .ok_or(ExecError::UndefinedValue(func, at)),
+            }
+        };
+        // Terminator operands have no instruction id; attribute an
+        // undefined read to the value's defining instruction instead.
+        let read_term = |regs: &[Option<Val>], v: Value| -> Result<Val, ExecError> {
+            match v {
+                Value::Const(c) => Ok(Val::from(c)),
+                Value::Arg(n) => Ok(args[n as usize]),
+                Value::Inst(id) => regs[id.index()]
+                    .ok_or(ExecError::UndefinedValue(func, id)),
             }
         };
 
@@ -527,7 +509,7 @@ impl<'m> Interp<'m> {
                     then_bb,
                     else_bb,
                 } => {
-                    if read(&regs, *cond, InstId(u32::MAX))?.as_bool() {
+                    if read_term(&regs, *cond)?.as_bool() {
                         *then_bb
                     } else {
                         *else_bb
@@ -535,7 +517,7 @@ impl<'m> Interp<'m> {
                 }
                 Terminator::Ret(v) => {
                     let out = match v {
-                        Some(v) => Some(read(&regs, *v, InstId(u32::MAX))?),
+                        Some(v) => Some(read_term(&regs, *v)?),
                         None => None,
                     };
                     sink.exit(func);
@@ -604,6 +586,23 @@ mod tests {
     }
 
     #[test]
+    fn reference_walker_agrees_on_loop_sum() {
+        let (m, f) = loop_sum_module();
+        let interp = Interp::new(&m);
+        let mut mem = Memory::new();
+        let fast = interp
+            .run(f, &[Constant::Int(10)], &mut mem, &mut NullSink)
+            .unwrap();
+        let fast_steps = interp.steps();
+        let mut mem = Memory::new();
+        let slow = interp
+            .run_reference(f, &[Constant::Int(10)], &mut mem, &mut NullSink)
+            .unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast_steps, interp.steps());
+    }
+
+    #[test]
     fn step_limit_catches_runaway_loops() {
         let (m, f) = loop_sum_module();
         let mut mem = Memory::new();
@@ -622,35 +621,12 @@ mod tests {
         Interp::new(&m)
             .run(f, &[Constant::Int(7)], &mut mem, &mut sink)
             .unwrap();
-        assert_eq!(sink.counts[&(f, BlockId(2))], 7); // body
-        assert_eq!(sink.counts[&(f, BlockId(1))], 8); // head
-        assert_eq!(sink.counts[&(f, BlockId(3))], 1); // exit
+        assert_eq!(sink.count(f, BlockId(2)), 7); // body
+        assert_eq!(sink.count(f, BlockId(1)), 8); // head
+        assert_eq!(sink.count(f, BlockId(3)), 1); // exit
+        assert_eq!(sink.count(f, BlockId(9)), 0); // absent block
+        assert_eq!(sink.iter().count(), 4); // entry, head, body, exit
         assert!(sink.dynamic_insts(&m, f) > 0);
-    }
-
-    #[test]
-    fn memory_roundtrips_ints_and_floats() {
-        let mut mem = Memory::new();
-        mem.store(64, Val::Int(-5));
-        mem.store(72, Val::Float(2.5));
-        assert_eq!(mem.load(64, Type::I64), Val::Int(-5));
-        assert_eq!(mem.load(72, Type::F64), Val::Float(2.5));
-        // unaligned access hits the containing cell
-        assert_eq!(mem.load(67, Type::I64), Val::Int(-5));
-        // untouched memory reads zero
-        assert_eq!(mem.load(1024, Type::I64), Val::Int(0));
-        assert_eq!(mem.footprint(), 2);
-    }
-
-    #[test]
-    fn memory_fill_helpers() {
-        let mut mem = Memory::new();
-        let end = mem.fill_ints(0, [1, 2, 3]);
-        assert_eq!(end, 24);
-        assert_eq!(mem.load(8, Type::I64), Val::Int(2));
-        let end = mem.fill_floats(end, [0.5]);
-        assert_eq!(end, 32);
-        assert_eq!(mem.load(24, Type::F64), Val::Float(0.5));
     }
 
     #[test]
@@ -710,43 +686,34 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_diff_reports_exact_deltas() {
+    fn undefined_terminator_operand_reports_defining_inst() {
+        // entry: cond_br on the result of an instruction that only executes
+        // in an unreached block — the error must name that instruction, not
+        // a fabricated id.
+        let mut b = FunctionBuilder::new("bad", &[], Some(Type::I64));
+        let entry = b.entry();
+        let other = b.block("other");
+        let exit = b.block("exit");
+        b.switch_to(other);
+        let c = b.icmp_slt(Value::int(0), Value::int(1)); // never executed
+        b.br(exit);
+        b.switch_to(entry);
+        b.cond_br(c, other, exit);
+        b.switch_to(exit);
+        b.ret(Some(Value::int(0)));
+        let mut m = Module::new("t");
+        let f = m.push(b.finish());
+
+        let c_id = c.as_inst().unwrap();
+        let interp = Interp::new(&m);
         let mut mem = Memory::new();
-        mem.store(0, Val::Int(1));
-        mem.store(8, Val::Int(2));
-        let snap = mem.snapshot();
-        assert!(mem.same_as(&snap));
-
-        mem.store(8, Val::Int(99)); // changed
-        mem.store(16, Val::Int(3)); // fresh cell
-        mem.store(24, Val::Int(0)); // fresh cell, but zero: no delta
-        let deltas = mem.diff(&snap);
-        assert_eq!(
-            deltas,
-            vec![
-                MemDelta { addr: 8, before: 2, after: 99 },
-                MemDelta { addr: 16, before: 0, after: 3 },
-            ]
-        );
-        assert!(!mem.same_as(&snap));
-
-        // Restoring the snapshot erases the divergence.
-        let restored = snap.restore();
-        assert!(restored.same_as(&snap));
-        assert_eq!(restored.peek(8), 2);
-    }
-
-    #[test]
-    fn snapshot_diff_detects_cells_reset_to_zero() {
-        // A cell present in the snapshot but missing live compares against
-        // zero — rollback that *removes* a cell instead of restoring its
-        // value must still be flagged.
+        let err = interp.run(f, &[], &mut mem, &mut NullSink).unwrap_err();
+        assert_eq!(err, ExecError::UndefinedValue(f, c_id));
         let mut mem = Memory::new();
-        mem.store(8, Val::Int(7));
-        let snap = mem.snapshot();
-        mem = Memory::new();
-        let deltas = mem.diff(&snap);
-        assert_eq!(deltas, vec![MemDelta { addr: 8, before: 7, after: 0 }]);
+        let err_ref = interp
+            .run_reference(f, &[], &mut mem, &mut NullSink)
+            .unwrap_err();
+        assert_eq!(err_ref, ExecError::UndefinedValue(f, c_id));
     }
 
     #[test]

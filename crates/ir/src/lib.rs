@@ -61,10 +61,12 @@ pub mod dom;
 pub mod inline;
 pub mod interp;
 pub mod loops;
+pub mod mem;
 pub mod parse;
 pub mod print;
 pub mod verify;
 
+mod engine;
 mod inst;
 mod module;
 

@@ -1,0 +1,448 @@
+//! Paged sparse memory.
+//!
+//! The interpreter's byte-addressable memory used to be a flat
+//! `HashMap<u64, u64>` — one hash probe per 8-byte word on every load and
+//! store, and O(touched words) hashing for every snapshot diff. This module
+//! replaces it with a classic paged layout:
+//!
+//! * memory is split into **4 KiB pages** of 512 aligned 8-byte words;
+//! * pages in the **dense window** (the first [`DENSE_PAGES`] pages, 16 MiB
+//!   of address space — where every synthetic workload lives) are reached
+//!   through a plain vector indexed by page number, no hashing at all;
+//! * pages above the window sit in a hash map keyed by page number with a
+//!   fast multiplicative hasher ([`FxHasher64`]) — one cheap page-number
+//!   hash per access instead of one SipHash per *word*;
+//! * snapshot/diff/equality work **page-granularly**: untouched pages
+//!   compare by absence, touched pages compare with `[u64; 512]` slice
+//!   equality (a memcmp), and only differing pages are walked word-by-word.
+//!
+//! Architecturally, memory is an infinite array of zero words: a missing
+//! page reads as zero and a page full of zeros is semantically identical to
+//! a missing page. All comparisons ([`Memory::diff`], [`Memory::same_as`])
+//! respect that equivalence, so "wrote 0 to a fresh cell" is not a delta.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::module::Type;
+
+use super::interp::Val;
+
+/// log2 of the page size in bytes (4 KiB pages).
+const PAGE_SHIFT: u32 = 12;
+/// 8-byte words per page.
+const PAGE_WORDS: usize = 1 << (PAGE_SHIFT - 3);
+/// Pages reachable through the dense (vector-indexed) window. 4096 pages
+/// = the first 16 MiB of address space, which covers every workload's
+/// data/threshold/output arrays without a single hash.
+const DENSE_PAGES: u64 = 4096;
+
+/// One 4 KiB page of 512 aligned words.
+type Page = Box<[u64; PAGE_WORDS]>;
+
+fn new_page() -> Page {
+    Box::new([0u64; PAGE_WORDS])
+}
+
+/// A fast multiplicative hasher for page numbers (FxHash-style). Page
+/// numbers are small sequential integers; SipHash's DoS resistance buys
+/// nothing here and costs ~3x the latency.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl Hasher for FxHasher64 {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // Golden-ratio multiplicative mix (Fibonacci hashing).
+        self.hash = (self.hash ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PageIndex = HashMap<u64, Page, BuildHasherDefault<FxHasher64>>;
+
+/// Sparse byte-addressable memory with 8-byte cells, stored in 4 KiB pages.
+///
+/// Addresses are truncated to 8-byte alignment; uninitialised cells read as
+/// zero. This is sufficient for the synthetic workloads, which operate on
+/// 8-byte integer/float arrays.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    /// Pages `0..DENSE_PAGES`, indexed directly by page number.
+    dense: Vec<Option<Page>>,
+    /// Pages at or above the dense window, keyed by page number.
+    sparse: PageIndex,
+}
+
+#[inline]
+fn page_no(addr: u64) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+#[inline]
+fn word_ix(addr: u64) -> usize {
+    ((addr >> 3) as usize) & (PAGE_WORDS - 1)
+}
+
+impl Memory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Raw bits of the word containing `addr`, or 0 when the page or word
+    /// was never written.
+    #[inline]
+    fn word(&self, addr: u64) -> u64 {
+        let pn = page_no(addr);
+        let page = if pn < DENSE_PAGES {
+            match self.dense.get(pn as usize) {
+                Some(Some(p)) => p,
+                _ => return 0,
+            }
+        } else {
+            match self.sparse.get(&pn) {
+                Some(p) => p,
+                None => return 0,
+            }
+        };
+        page[word_ix(addr)]
+    }
+
+    /// Mutable access to the word containing `addr`, allocating its page on
+    /// first touch.
+    #[inline]
+    fn word_mut(&mut self, addr: u64) -> &mut u64 {
+        let pn = page_no(addr);
+        let page = if pn < DENSE_PAGES {
+            let ix = pn as usize;
+            if self.dense.len() <= ix {
+                self.dense.resize_with(ix + 1, || None);
+            }
+            self.dense[ix].get_or_insert_with(new_page)
+        } else {
+            self.sparse.entry(pn).or_insert_with(new_page)
+        };
+        &mut page[word_ix(addr)]
+    }
+
+    /// Read the 8-byte cell containing `addr`, typed as `ty`.
+    #[inline]
+    pub fn load(&self, addr: u64, ty: Type) -> Val {
+        Val::from_bits(self.word(addr), ty)
+    }
+
+    /// Write `val` to the 8-byte cell containing `addr`.
+    #[inline]
+    pub fn store(&mut self, addr: u64, val: Val) {
+        *self.word_mut(addr) = val.to_bits();
+    }
+
+    /// Raw bits of the cell containing `addr` (0 when untouched).
+    #[inline]
+    pub fn peek(&self, addr: u64) -> u64 {
+        self.word(addr)
+    }
+
+    /// Number of nonzero cells. (The flat-map predecessor counted cells
+    /// ever *stored to*; under the paged layout a stored zero is
+    /// indistinguishable from an untouched cell — which matches the
+    /// architectural model where absent cells read as zero.)
+    pub fn footprint(&self) -> usize {
+        self.pages()
+            .map(|(_, p)| p.iter().filter(|w| **w != 0).count())
+            .sum()
+    }
+
+    /// Fill consecutive 8-byte integer cells starting at `base`; returns
+    /// the address one past the last cell written.
+    pub fn fill_ints<I: IntoIterator<Item = i64>>(&mut self, base: u64, vals: I) -> u64 {
+        let mut addr = base;
+        for v in vals {
+            self.store(addr, Val::Int(v));
+            addr += 8;
+        }
+        addr
+    }
+
+    /// Fill consecutive 8-byte float cells starting at `base`; returns the
+    /// address one past the last cell written.
+    pub fn fill_floats<I: IntoIterator<Item = f64>>(&mut self, base: u64, vals: I) -> u64 {
+        let mut addr = base;
+        for v in vals {
+            self.store(addr, Val::Float(v));
+            addr += 8;
+        }
+        addr
+    }
+
+    /// All resident pages as `(page number, page)` in ascending page-number
+    /// order (dense pages first; sparse page numbers are all larger).
+    fn pages(&self) -> impl Iterator<Item = (u64, &Page)> {
+        let dense = self
+            .dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i as u64, p)));
+        let mut high: Vec<u64> = self.sparse.keys().copied().collect();
+        high.sort_unstable();
+        let sparse = high
+            .into_iter()
+            .map(|pn| (pn, self.sparse.get(&pn).expect("key from own index")));
+        dense.chain(sparse)
+    }
+
+    /// Shared access to a resident page by number.
+    fn page(&self, pn: u64) -> Option<&Page> {
+        if pn < DENSE_PAGES {
+            self.dense.get(pn as usize).and_then(|p| p.as_ref())
+        } else {
+            self.sparse.get(&pn)
+        }
+    }
+
+    /// Page numbers resident in `self` or `other`, ascending, deduplicated.
+    fn united_page_numbers(&self, other: &Memory) -> Vec<u64> {
+        let mut pns: Vec<u64> = self
+            .pages()
+            .map(|(pn, _)| pn)
+            .chain(other.pages().map(|(pn, _)| pn))
+            .collect();
+        pns.sort_unstable();
+        pns.dedup();
+        pns
+    }
+
+    /// An independent copy of the current memory image, for later
+    /// comparison with [`Memory::diff`]. Differential verification
+    /// snapshots memory before a speculative frame invocation and diffs
+    /// after rollback: any delta is an atomicity violation.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot { mem: self.clone() }
+    }
+
+    /// Bit-exact deltas between `self` and a prior snapshot, sorted by
+    /// address. The diff is page-granular: pages resident on both sides
+    /// are compared with a single slice equality first (a memcmp) and only
+    /// walked word-by-word when they differ; a page resident on one side
+    /// only compares against the architectural zero page, so "wrote 0 to a
+    /// fresh cell" is (correctly) not a divergence.
+    pub fn diff(&self, base: &MemSnapshot) -> Vec<MemDelta> {
+        const ZERO: [u64; PAGE_WORDS] = [0u64; PAGE_WORDS];
+        let mut deltas = Vec::new();
+        for pn in self.united_page_numbers(&base.mem) {
+            let live = self.page(pn).map(|p| &**p).unwrap_or(&ZERO);
+            let snap = base.mem.page(pn).map(|p| &**p).unwrap_or(&ZERO);
+            if live == snap {
+                continue;
+            }
+            let base_addr = pn << PAGE_SHIFT;
+            for (i, (after, before)) in live.iter().zip(snap.iter()).enumerate() {
+                if after != before {
+                    deltas.push(MemDelta {
+                        addr: base_addr + (i as u64) * 8,
+                        before: *before,
+                        after: *after,
+                    });
+                }
+            }
+        }
+        deltas
+    }
+
+    /// True when the image is bit-identical to `base` (no deltas). Pages
+    /// present on both sides short-circuit through slice equality; pages
+    /// present on one side must be all-zero.
+    pub fn same_as(&self, base: &MemSnapshot) -> bool {
+        for pn in self.united_page_numbers(&base.mem) {
+            match (self.page(pn), base.mem.page(pn)) {
+                (Some(a), Some(b)) => {
+                    if a != b {
+                        return false;
+                    }
+                }
+                (Some(p), None) | (None, Some(p)) => {
+                    if p.iter().any(|w| *w != 0) {
+                        return false;
+                    }
+                }
+                (None, None) => unreachable!("page number came from one side"),
+            }
+        }
+        true
+    }
+}
+
+/// A frozen copy of a [`Memory`] image taken by [`Memory::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct MemSnapshot {
+    mem: Memory,
+}
+
+impl MemSnapshot {
+    /// Rebuild a live [`Memory`] from the snapshot (used by the reference
+    /// interpreter to replay an invocation against the pre-state).
+    pub fn restore(&self) -> Memory {
+        self.mem.clone()
+    }
+}
+
+/// One 8-byte cell whose contents differ between a memory image and a
+/// snapshot of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDelta {
+    /// Cell-aligned byte address.
+    pub addr: u64,
+    /// Raw bits in the snapshot (0 when untouched).
+    pub before: u64,
+    /// Raw bits in the live image (0 when untouched).
+    pub after: u64,
+}
+
+impl fmt::Display for MemDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {:#x}: {:#018x} -> {:#018x}",
+            self.addr, self.before, self.after
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_roundtrips_ints_and_floats() {
+        let mut mem = Memory::new();
+        mem.store(64, Val::Int(-5));
+        mem.store(72, Val::Float(2.5));
+        assert_eq!(mem.load(64, Type::I64), Val::Int(-5));
+        assert_eq!(mem.load(72, Type::F64), Val::Float(2.5));
+        // unaligned access hits the containing cell
+        assert_eq!(mem.load(67, Type::I64), Val::Int(-5));
+        // untouched memory reads zero
+        assert_eq!(mem.load(1024, Type::I64), Val::Int(0));
+        assert_eq!(mem.footprint(), 2);
+    }
+
+    #[test]
+    fn fill_helpers_advance_the_cursor() {
+        let mut mem = Memory::new();
+        let end = mem.fill_ints(0, [1, 2, 3]);
+        assert_eq!(end, 24);
+        assert_eq!(mem.load(8, Type::I64), Val::Int(2));
+        let end = mem.fill_floats(end, [0.5]);
+        assert_eq!(end, 32);
+        assert_eq!(mem.load(24, Type::F64), Val::Float(0.5));
+    }
+
+    #[test]
+    fn high_addresses_take_the_sparse_path() {
+        let mut mem = Memory::new();
+        let lo = 0x100; // dense window
+        let hi = DENSE_PAGES << PAGE_SHIFT; // first sparse page
+        let far = 0xDEAD_BEEF_0000; // deep sparse page
+        mem.store(lo, Val::Int(1));
+        mem.store(hi, Val::Int(2));
+        mem.store(far, Val::Int(3));
+        mem.store(far + 8, Val::Int(4));
+        assert_eq!(mem.peek(lo), 1);
+        assert_eq!(mem.peek(hi), 2);
+        assert_eq!(mem.peek(far), 3);
+        assert_eq!(mem.peek(far + 8), 4);
+        assert_eq!(mem.peek(far + 16), 0);
+        assert_eq!(mem.footprint(), 4);
+    }
+
+    #[test]
+    fn page_boundaries_do_not_alias() {
+        let mut mem = Memory::new();
+        let last_in_page = (1 << PAGE_SHIFT) - 8;
+        mem.store(last_in_page, Val::Int(10));
+        mem.store(last_in_page + 8, Val::Int(20)); // first word of page 1
+        assert_eq!(mem.peek(last_in_page), 10);
+        assert_eq!(mem.peek(last_in_page + 8), 20);
+    }
+
+    #[test]
+    fn snapshot_diff_reports_exact_deltas() {
+        let mut mem = Memory::new();
+        mem.store(0, Val::Int(1));
+        mem.store(8, Val::Int(2));
+        let snap = mem.snapshot();
+        assert!(mem.same_as(&snap));
+
+        mem.store(8, Val::Int(99)); // changed
+        mem.store(16, Val::Int(3)); // fresh cell
+        mem.store(24, Val::Int(0)); // fresh cell, but zero: no delta
+        let deltas = mem.diff(&snap);
+        assert_eq!(
+            deltas,
+            vec![
+                MemDelta { addr: 8, before: 2, after: 99 },
+                MemDelta { addr: 16, before: 0, after: 3 },
+            ]
+        );
+        assert!(!mem.same_as(&snap));
+
+        // Restoring the snapshot erases the divergence.
+        let restored = snap.restore();
+        assert!(restored.same_as(&snap));
+        assert_eq!(restored.peek(8), 2);
+    }
+
+    #[test]
+    fn snapshot_diff_detects_cells_reset_to_zero() {
+        // A cell present in the snapshot but missing live compares against
+        // zero — rollback that *removes* a cell instead of restoring its
+        // value must still be flagged.
+        let mut mem = Memory::new();
+        mem.store(8, Val::Int(7));
+        let snap = mem.snapshot();
+        mem = Memory::new();
+        let deltas = mem.diff(&snap);
+        assert_eq!(deltas, vec![MemDelta { addr: 8, before: 7, after: 0 }]);
+    }
+
+    #[test]
+    fn diff_spans_dense_and_sparse_pages_in_address_order() {
+        let mut mem = Memory::new();
+        let snap = mem.snapshot();
+        let hi = (DENSE_PAGES + 7) << PAGE_SHIFT;
+        mem.store(hi, Val::Int(5)); // sparse page
+        mem.store(40, Val::Int(1)); // dense page
+        let deltas = mem.diff(&snap);
+        assert_eq!(
+            deltas,
+            vec![
+                MemDelta { addr: 40, before: 0, after: 1 },
+                MemDelta { addr: hi, before: 0, after: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_filled_page_equals_absent_page() {
+        let mut a = Memory::new();
+        a.store(0x2000, Val::Int(0)); // allocates a page of zeros
+        let b = Memory::new();
+        assert!(a.same_as(&b.snapshot()));
+        assert!(b.same_as(&a.snapshot()));
+        assert!(a.diff(&b.snapshot()).is_empty());
+    }
+}

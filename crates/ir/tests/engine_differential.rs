@@ -1,0 +1,336 @@
+//! Differential equivalence: the pre-decoded engine vs the reference
+//! tree walker.
+//!
+//! Both engines sit behind the same `Interp` API and must be
+//! indistinguishable: same results, same full trace-event streams, same
+//! step counts, same `ExecError`s — including the exact cut point of
+//! `StepLimit` under the engine's batched budget accounting, and identical
+//! event prefixes on error paths.
+
+use needle_ir::builder::FunctionBuilder;
+use needle_ir::interp::{ExecError, Interp, Memory, TraceSink, Val};
+use needle_ir::{BlockId, Constant, FuncId, InstId, Module, Type, Value};
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Enter(FuncId),
+    Exit(FuncId),
+    Block(FuncId, BlockId),
+    Edge(FuncId, BlockId, BlockId),
+    Mem(FuncId, InstId, u64, bool),
+}
+
+/// Records the complete event stream.
+#[derive(Debug, Default)]
+struct Rec(Vec<Ev>);
+
+impl TraceSink for Rec {
+    fn enter(&mut self, func: FuncId) {
+        self.0.push(Ev::Enter(func));
+    }
+    fn exit(&mut self, func: FuncId) {
+        self.0.push(Ev::Exit(func));
+    }
+    fn block(&mut self, func: FuncId, bb: BlockId) {
+        self.0.push(Ev::Block(func, bb));
+    }
+    fn edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        self.0.push(Ev::Edge(func, from, to));
+    }
+    fn mem(&mut self, func: FuncId, inst: InstId, addr: u64, is_store: bool) {
+        self.0.push(Ev::Mem(func, inst, addr, is_store));
+    }
+}
+
+/// Bit-exact comparison key for a run result (avoids `NaN != NaN`).
+fn result_key(r: &Result<Option<Val>, ExecError>) -> Result<Option<(bool, u64)>, ExecError> {
+    r.clone()
+        .map(|o| o.map(|v| (matches!(v, Val::Float(_)), v.to_bits())))
+}
+
+/// Run `func` on both engines and assert full observable equivalence:
+/// result, step count, event stream, and final memory image.
+fn assert_equivalent(
+    ctx: &str,
+    module: &Module,
+    func: FuncId,
+    args: &[Constant],
+    mem0: &Memory,
+    max_steps: u64,
+) {
+    let interp = Interp::new(module).with_max_steps(max_steps);
+
+    let mut mem_fast = mem0.clone();
+    let mut rec_fast = Rec::default();
+    let r_fast = interp.run_with(func, args, &mut mem_fast, &mut rec_fast);
+    let steps_fast = interp.steps();
+
+    let mut mem_ref = mem0.clone();
+    let mut rec_ref = Rec::default();
+    let r_ref = interp.run_reference(func, args, &mut mem_ref, &mut rec_ref);
+    let steps_ref = interp.steps();
+
+    assert_eq!(
+        result_key(&r_fast),
+        result_key(&r_ref),
+        "{ctx}: result mismatch (max_steps={max_steps})"
+    );
+    assert_eq!(
+        steps_fast, steps_ref,
+        "{ctx}: step count mismatch (max_steps={max_steps})"
+    );
+    assert_eq!(
+        rec_fast.0.len(),
+        rec_ref.0.len(),
+        "{ctx}: event stream length mismatch (max_steps={max_steps})"
+    );
+    for (i, (a, b)) in rec_fast.0.iter().zip(rec_ref.0.iter()).enumerate() {
+        assert_eq!(a, b, "{ctx}: event {i} diverges (max_steps={max_steps})");
+    }
+    assert!(
+        mem_fast.same_as(&mem_ref.snapshot()),
+        "{ctx}: final memory diverges (max_steps={max_steps}): {:?}",
+        mem_fast.diff(&mem_ref.snapshot())
+    );
+}
+
+#[test]
+fn whole_workload_suite_is_equivalent() {
+    for w in needle_workloads::all() {
+        assert_equivalent(&w.name, &w.module, w.func, &w.args, &w.memory, 50_000_000);
+    }
+}
+
+#[test]
+fn reference_inputs_are_equivalent() {
+    for name in ["164.gzip", "470.lbm", "186.crafty"] {
+        let w = needle_workloads::reference_input(name).expect("known workload");
+        let ctx = format!("{name} (ref input)");
+        assert_equivalent(&ctx, &w.module, w.func, &w.args, &w.memory, 50_000_000);
+    }
+}
+
+#[test]
+fn step_limit_boundaries_are_exact() {
+    // The engine batches budget accounting per block; the walker debits per
+    // instruction. Every cut point — especially mid-block ones — must
+    // produce the same error, the same step count and the same event
+    // prefix. Probe a loop workload at exhaustive small limits and around
+    // the exact completion count.
+    let w = needle_workloads::by_name("164.gzip").expect("known workload");
+    let interp = Interp::new(&w.module);
+    let mut mem = w.memory.clone();
+    interp
+        .run(w.func, &w.args, &mut mem, &mut needle_ir::interp::NullSink)
+        .expect("gzip completes");
+    let full = interp.steps();
+    assert!(full > 100, "workload long enough to probe");
+
+    let mut limits: Vec<u64> = (0..40).collect();
+    limits.extend([
+        full / 3,
+        full / 2,
+        full - 2,
+        full - 1,
+        full,
+        full + 1,
+        full + 1000,
+    ]);
+    for limit in limits {
+        assert_equivalent("164.gzip", &w.module, w.func, &w.args, &w.memory, limit);
+    }
+}
+
+#[test]
+fn step_limit_boundaries_through_fused_loads() {
+    // 401.bzip2's body is dominated by `(i + salt) & mask` load/store
+    // chains, which decode into multi-step superinstructions (AddAndI,
+    // GepLoadAdd, GepLoadI/GepStore). An exhaustive sweep over the first
+    // iterations lands cut points on every intra-fusion offset: after the
+    // add but before the and, after the gep but before the load, after
+    // the load but before the fold.
+    let w = needle_workloads::by_name("401.bzip2").expect("known workload");
+    for limit in 0..250 {
+        assert_equivalent("401.bzip2", &w.module, w.func, &w.args, &w.memory, limit);
+    }
+}
+
+#[test]
+fn step_limit_boundaries_with_calls() {
+    // Call-bearing blocks take the per-instruction accounting path; the
+    // nested invocation consumes from the same budget. Probe around the
+    // callee boundary.
+    let w = needle_workloads::by_name("186.crafty").expect("workload with calls");
+    let interp = Interp::new(&w.module);
+    let mut mem = w.memory.clone();
+    interp
+        .run(w.func, &w.args, &mut mem, &mut needle_ir::interp::NullSink)
+        .expect("crafty completes");
+    let full = interp.steps();
+
+    let mut limits: Vec<u64> = (0..60).collect();
+    limits.extend([full / 2, full - 1, full, full + 1]);
+    for limit in limits {
+        assert_equivalent("186.crafty", &w.module, w.func, &w.args, &w.memory, limit);
+    }
+}
+
+#[test]
+fn runaway_loop_hits_identical_step_limit() {
+    let w = needle_workloads::by_name("999.loop").expect("pathological workload");
+    for limit in [0, 1, 7, 100, 10_000] {
+        assert_equivalent("999.loop", &w.module, w.func, &w.args, &w.memory, limit);
+    }
+    let interp = Interp::new(&w.module).with_max_steps(1000);
+    let mut mem = w.memory.clone();
+    let err = interp
+        .run(w.func, &w.args, &mut mem, &mut needle_ir::interp::NullSink)
+        .unwrap_err();
+    assert_eq!(err, ExecError::StepLimit(1000));
+}
+
+#[test]
+fn unreachable_terminator_is_equivalent() {
+    let mut b = FunctionBuilder::new("dead", &[], Some(Type::I64));
+    let entry = b.entry();
+    let dead = b.block("dead"); // keeps its default Unreachable terminator
+    b.switch_to(entry);
+    b.br(dead);
+    let mut m = Module::new("t");
+    let f = m.push(b.finish());
+    assert_equivalent("unreachable", &m, f, &[], &Memory::new(), 1000);
+
+    let interp = Interp::new(&m);
+    let mut mem = Memory::new();
+    let err = interp
+        .run(f, &[], &mut mem, &mut needle_ir::interp::NullSink)
+        .unwrap_err();
+    assert_eq!(err, ExecError::ReachedUnreachable(f, BlockId(1)));
+}
+
+#[test]
+fn phi_missing_incoming_is_equivalent() {
+    // join's φ only lists the `a` predecessor; arriving via `b` must fail
+    // identically on both engines (error after the block event, before any
+    // φ write).
+    let mut fb = FunctionBuilder::new("badphi", &[Type::I64], Some(Type::I64));
+    let entry = fb.entry();
+    let a = fb.block("a");
+    let b = fb.block("b");
+    let join = fb.block("join");
+    fb.switch_to(entry);
+    let c = fb.icmp_sgt(fb.arg(0), Value::int(0));
+    fb.cond_br(c, a, b);
+    fb.switch_to(a);
+    fb.br(join);
+    fb.switch_to(b);
+    fb.br(join);
+    fb.switch_to(join);
+    let p = fb.phi(Type::I64, &[(a, Value::int(1))]);
+    fb.ret(Some(p));
+    let mut m = Module::new("t");
+    let f = m.push(fb.finish());
+
+    // Via `a`: completes. Via `b`: PhiMissingIncoming at the φ.
+    assert_equivalent("phi ok arm", &m, f, &[Constant::Int(1)], &Memory::new(), 1000);
+    assert_equivalent("phi bad arm", &m, f, &[Constant::Int(-1)], &Memory::new(), 1000);
+
+    let interp = Interp::new(&m);
+    let mut mem = Memory::new();
+    let err = interp
+        .run(f, &[Constant::Int(-1)], &mut mem, &mut needle_ir::interp::NullSink)
+        .unwrap_err();
+    let p_id = p.as_inst().unwrap();
+    assert_eq!(err, ExecError::PhiMissingIncoming(f, p_id));
+}
+
+#[test]
+fn entry_block_phi_is_equivalent() {
+    // A φ in the entry block can never resolve (no predecessor).
+    let mut fb = FunctionBuilder::new("entryphi", &[], Some(Type::I64));
+    let entry = fb.entry();
+    let other = fb.block("other");
+    fb.switch_to(entry);
+    let p = fb.phi(Type::I64, &[(other, Value::int(1))]);
+    fb.ret(Some(p));
+    fb.switch_to(other);
+    fb.br(entry);
+    let mut m = Module::new("t");
+    let f = m.push(fb.finish());
+
+    assert_equivalent("entry phi", &m, f, &[], &Memory::new(), 1000);
+    let interp = Interp::new(&m);
+    let mut mem = Memory::new();
+    let err = interp
+        .run(f, &[], &mut mem, &mut needle_ir::interp::NullSink)
+        .unwrap_err();
+    assert_eq!(err, ExecError::PhiMissingIncoming(f, p.as_inst().unwrap()));
+}
+
+#[test]
+fn call_depth_limit_is_equivalent() {
+    // f() = f(): infinite recursion trips CallDepth before StepLimit.
+    let mut m = Module::new("t");
+    let placeholder = FunctionBuilder::new("rec", &[], Some(Type::I64)).finish();
+    let f = m.push(placeholder);
+    let mut fb = FunctionBuilder::new("rec", &[], Some(Type::I64));
+    let v = fb.call(f, Type::I64, &[]);
+    fb.ret(Some(v));
+    *m.func_mut(f) = fb.finish();
+
+    assert_equivalent("call depth", &m, f, &[], &Memory::new(), 50_000_000);
+    let interp = Interp::new(&m);
+    let mut mem = Memory::new();
+    let err = interp
+        .run(f, &[], &mut mem, &mut needle_ir::interp::NullSink)
+        .unwrap_err();
+    assert_eq!(err, ExecError::CallDepth(64));
+}
+
+#[test]
+fn undefined_body_read_is_equivalent() {
+    // A body instruction reading a value whose definition never executed
+    // (verifier escape): both engines report the *consuming* instruction.
+    let mut fb = FunctionBuilder::new("undef", &[], Some(Type::I64));
+    let entry = fb.entry();
+    let other = fb.block("other");
+    let exit = fb.block("exit");
+    fb.switch_to(other); // never reached
+    let x = fb.add(Value::int(1), Value::int(2));
+    fb.br(exit);
+    fb.switch_to(entry);
+    let y = fb.add(x, Value::int(1)); // reads undefined x
+    fb.ret(Some(y));
+    fb.switch_to(exit);
+    fb.ret(Some(Value::int(0)));
+    let mut m = Module::new("t");
+    let f = m.push(fb.finish());
+
+    assert_equivalent("undefined body read", &m, f, &[], &Memory::new(), 1000);
+    let interp = Interp::new(&m);
+    let mut mem = Memory::new();
+    let err = interp
+        .run(f, &[], &mut mem, &mut needle_ir::interp::NullSink)
+        .unwrap_err();
+    assert_eq!(err, ExecError::UndefinedValue(f, y.as_inst().unwrap()));
+}
+
+#[test]
+fn profiled_runs_see_identical_streams() {
+    // The same module run many times through one Interp (engine decoded
+    // once, frames recycled) keeps producing streams identical to fresh
+    // reference runs.
+    let w = needle_workloads::by_name("458.sjeng").expect("known workload");
+    let interp = Interp::new(&w.module);
+    for _ in 0..3 {
+        let mut mem = w.memory.clone();
+        let mut rec = Rec::default();
+        let r = interp.run_with(w.func, &w.args, &mut mem, &mut rec);
+        let mut mem_ref = w.memory.clone();
+        let mut rec_ref = Rec::default();
+        let r_ref = interp.run_reference(w.func, &w.args, &mut mem_ref, &mut rec_ref);
+        assert_eq!(result_key(&r), result_key(&r_ref));
+        assert_eq!(rec.0, rec_ref.0);
+    }
+}

@@ -328,6 +328,133 @@ impl BlNumbering {
     }
 }
 
+/// Functions with at most this many acyclic paths get a dense counter
+/// array (`8 * 65536` = 512 KiB worst case); larger path spaces fall back
+/// to a hash map.
+const DENSE_PATH_LIMIT: u64 = 1 << 16;
+
+/// Per-function accumulator for Ball-Larus path counters.
+///
+/// BL path ids are dense (`0..num_paths`), so for the common case the
+/// counters are a flat `Vec<u64>` indexed by path id — one add per
+/// completed path instead of a hash probe. Functions whose path space is
+/// too large to preallocate (or unknown) use a sparse map.
+#[derive(Debug, Clone)]
+pub enum PathCounts {
+    /// `counts[path_id] = completions`; used when `num_paths` is small.
+    Dense(Vec<u64>),
+    /// Fallback for huge or unknown path spaces.
+    Sparse(HashMap<u64, u64>),
+}
+
+impl Default for PathCounts {
+    fn default() -> PathCounts {
+        PathCounts::Sparse(HashMap::new())
+    }
+}
+
+impl PathCounts {
+    /// The right representation for a function with `numbering`'s path
+    /// space: dense up to [`DENSE_PATH_LIMIT`] paths, sparse beyond.
+    pub fn for_numbering(numbering: &BlNumbering) -> PathCounts {
+        if numbering.num_paths() <= DENSE_PATH_LIMIT {
+            PathCounts::Dense(vec![0; numbering.num_paths() as usize])
+        } else {
+            PathCounts::Sparse(HashMap::new())
+        }
+    }
+
+    /// Record one completion of path `id`. Ids beyond a dense array's
+    /// bounds (malformed trace) fall back to growing the array.
+    pub fn bump(&mut self, id: u64) {
+        match self {
+            PathCounts::Dense(v) => {
+                let ix = id as usize;
+                if v.len() <= ix {
+                    v.resize(ix + 1, 0);
+                }
+                v[ix] += 1;
+            }
+            PathCounts::Sparse(m) => *m.entry(id).or_insert(0) += 1,
+        }
+    }
+
+    /// The completion count of path `id` (0 if never completed).
+    pub fn get(&self, id: u64) -> u64 {
+        match self {
+            PathCounts::Dense(v) => v.get(id as usize).copied().unwrap_or(0),
+            PathCounts::Sparse(m) => m.get(&id).copied().unwrap_or(0),
+        }
+    }
+
+    /// Total completed paths.
+    pub fn total(&self) -> u64 {
+        match self {
+            PathCounts::Dense(v) => v.iter().sum(),
+            PathCounts::Sparse(m) => m.values().sum(),
+        }
+    }
+
+    /// Number of distinct executed paths.
+    pub fn distinct(&self) -> usize {
+        match self {
+            PathCounts::Dense(v) => v.iter().filter(|c| **c != 0).count(),
+            PathCounts::Sparse(m) => m.values().filter(|c| **c != 0).count(),
+        }
+    }
+
+    /// Whether no path ever completed.
+    pub fn is_empty(&self) -> bool {
+        self.distinct() == 0
+    }
+
+    /// `(path id, count)` pairs for every executed path (count > 0).
+    pub fn iter(&self) -> PathCountsIter<'_> {
+        PathCountsIter {
+            inner: match self {
+                PathCounts::Dense(v) => IterInner::Dense(v.iter().enumerate()),
+                PathCounts::Sparse(m) => IterInner::Sparse(m.iter()),
+            },
+        }
+    }
+
+    /// Ids of every executed path.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+}
+
+impl<'a> IntoIterator for &'a PathCounts {
+    type Item = (u64, u64);
+    type IntoIter = PathCountsIter<'a>;
+    fn into_iter(self) -> PathCountsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over `(path id, count)` pairs of a [`PathCounts`].
+#[derive(Debug)]
+pub struct PathCountsIter<'a> {
+    inner: IterInner<'a>,
+}
+
+#[derive(Debug)]
+enum IterInner<'a> {
+    Dense(std::iter::Enumerate<std::slice::Iter<'a, u64>>),
+    Sparse(std::collections::hash_map::Iter<'a, u64, u64>),
+}
+
+impl Iterator for PathCountsIter<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        match &mut self.inner {
+            IterInner::Dense(it) => it.find(|(_, c)| **c != 0).map(|(i, c)| (i as u64, *c)),
+            IterInner::Sparse(it) => it.find(|(_, c)| **c != 0).map(|(id, c)| (*id, *c)),
+        }
+    }
+}
+
 /// Last edge in `edges` (ascending by val) whose val is `<= rem`.
 fn pick<'e>(edges: &'e [DagEdge], val: &HashMap<DagEdge, u64>, rem: u64) -> &'e DagEdge {
     edges

@@ -5,13 +5,14 @@ use std::collections::HashMap;
 use needle_ir::interp::TraceSink;
 use needle_ir::{BlockId, FuncId, Module};
 
-use crate::bl::BlNumbering;
+use crate::bl::{BlNumbering, PathCounts};
 
 /// The Ball-Larus path profile of one function.
 #[derive(Debug, Clone, Default)]
 pub struct PathProfile {
-    /// `path id -> execution count`.
-    pub counts: HashMap<u64, u64>,
+    /// `path id -> execution count`. Dense (`Vec` indexed by path id) for
+    /// functions with a small path space, sparse beyond.
+    pub counts: PathCounts,
     /// Sequence of completed path ids in execution order (the *path trace*
     /// used by §IV-A target expansion). Only recorded when tracing is on.
     pub trace: Vec<u64>,
@@ -20,12 +21,12 @@ pub struct PathProfile {
 impl PathProfile {
     /// Total completed paths.
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.total()
     }
 
     /// Number of distinct executed paths (Table II column C1).
     pub fn distinct(&self) -> usize {
-        self.counts.len()
+        self.counts.distinct()
     }
 }
 
@@ -85,8 +86,23 @@ impl PathProfiler {
     }
 
     fn complete(&mut self, func: FuncId, id: u64) {
-        let p = self.profiles.entry(func).or_default();
-        *p.counts.entry(id).or_insert(0) += 1;
+        let p = match self.profiles.entry(func) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                // Size the counter representation off the numbering: dense
+                // for small path spaces, sparse otherwise.
+                let counts = self
+                    .numberings
+                    .get(&func)
+                    .map(PathCounts::for_numbering)
+                    .unwrap_or_default();
+                v.insert(PathProfile {
+                    counts,
+                    trace: Vec::new(),
+                })
+            }
+        };
+        p.counts.bump(id);
         if self.record_trace && (self.trace_limit == 0 || p.trace.len() < self.trace_limit) {
             p.trace.push(id);
         }
@@ -280,9 +296,9 @@ mod tests {
             .counts
             .iter()
             .map(|(id, c)| {
-                let blocks = bl.decode(*id).unwrap();
+                let blocks = bl.decode(id).unwrap();
                 assert!(!blocks.is_empty());
-                *c
+                c
             })
             .sum();
         assert_eq!(total_freq_weighted, 10);
@@ -303,7 +319,7 @@ mod tests {
         // the if internally, so one path covers all iterations), entry path
         // and final exit path occur once each... entry path = entry,head,
         // then,latch ends at the first back edge.
-        let mut counts: Vec<u64> = p.counts.values().copied().collect();
+        let mut counts: Vec<u64> = p.counts.iter().map(|(_, c)| c).collect();
         counts.sort();
         assert_eq!(counts.iter().sum::<u64>(), 10);
         assert_eq!(p.distinct(), 3);

@@ -93,7 +93,7 @@ pub fn rank_paths(func: &Function, numbering: &BlNumbering, profile: &PathProfil
     let mut paths: Vec<RankedPath> = profile
         .counts
         .iter()
-        .filter_map(|(&id, &freq)| {
+        .filter_map(|(id, freq)| {
             let blocks = numbering.decode(id).ok()?;
             let ops: u64 = blocks
                 .iter()

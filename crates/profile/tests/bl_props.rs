@@ -59,7 +59,7 @@ fn profiled_path_matches_execution_exactly() {
             .unwrap();
         let p = prof.profile(id);
         assert_eq!(p.total(), 1, "one invocation, one acyclic path");
-        let (&pid, _) = p.counts.iter().next().unwrap();
+        let (pid, _) = p.counts.iter().next().unwrap();
         let blocks = prof.numbering(id).unwrap().decode(pid).unwrap();
         // Walk the function and check every taken arm agrees.
         let mut cur = x;
@@ -138,8 +138,8 @@ fn nested_loop_case(outer: i64, inner: i64) {
         assert_eq!(p.total(), expected, "outer={outer} inner={inner}");
         // Every recorded id decodes.
         let bl = prof.numbering(id).unwrap();
-        for pid in p.counts.keys() {
-            bl.decode(*pid).unwrap();
+        for pid in p.counts.ids() {
+            bl.decode(pid).unwrap();
         }
     }
 }

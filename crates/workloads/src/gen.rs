@@ -433,7 +433,7 @@ mod tests {
         let mut sink = BlockCountSink::default();
         w.run(&mut sink).unwrap();
         // The head block runs trips + 1 times.
-        let head = sink.counts[&(w.func, needle_ir::BlockId(1))];
+        let head = sink.count(w.func, needle_ir::BlockId(1));
         assert_eq!(head, spec.trips as u64 + 1);
     }
 

@@ -292,9 +292,9 @@ fn bl_numbering_counts_match_profile_on_suite_sample() {
             .run(w.func, &w.args, &mut mem, &mut prof)
             .unwrap();
         let bl = prof.numbering(w.func).unwrap();
-        for id in prof.profile(w.func).counts.keys() {
-            assert!(*id < bl.num_paths(), "{name}: path id out of range");
-            bl.decode(*id).unwrap();
+        for id in prof.profile(w.func).counts.ids() {
+            assert!(id < bl.num_paths(), "{name}: path id out of range");
+            bl.decode(id).unwrap();
         }
     }
 }
