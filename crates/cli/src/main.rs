@@ -57,7 +57,19 @@ USAGE:
       non-zero on any divergence, missed corruption, failed unit, or
       storm that fails to trip.
 
-  Supervisor flags (suite / resume / chaos):
+  needle fuzz [--seed N] [--iters K] [--minimize] [--repro-dir DIR]
+              [supervisor flags]
+      Differential fuzzing: seeded verifier-clean modules (plus mutated
+      suite workloads) run through the flat engine, the reference
+      walker, and — where a region is extractable — the frame
+      build/exec/rollback path, comparing results, step counts, event
+      streams, final memory and error attribution under swept StepLimit
+      and memory-governor caps. Deterministic in --seed (decimal or
+      0x-hex). With --minimize, failures are shrunk and written to
+      --repro-dir (default tests/repros) as .needle + .case.txt pairs.
+      Exits non-zero on any divergence.
+
+  Supervisor flags (suite / resume / chaos / fuzz):
       --workers N        worker threads (0 = auto)
       --deadline-ms MS   per-attempt wall-clock deadline
       --retries N        attempts per unit before failed-with-cause
@@ -78,6 +90,7 @@ fn main() -> ExitCode {
         Some("suite") => cmd_suite(&args),
         Some("resume") => cmd_resume(&args),
         Some("chaos") => cmd_chaos(&args),
+        Some("fuzz") => cmd_fuzz(&args),
         Some("print-ir") => with_workload(&args, cmd_print_ir),
         Some("run-ir") => cmd_run_ir(&args),
         _ => {
@@ -326,6 +339,92 @@ fn chaos_units_clean(report: &CampaignReport) -> bool {
                 _ => false,
             }
     })
+}
+
+/// `--seed` accepts decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Result<u64, Box<dyn std::error::Error>> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => Ok(u64::from_str_radix(hex, 16)?),
+        None => Ok(s.parse()?),
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> CliResult {
+    let seed = match flag_value(args, "--seed") {
+        Some(s) => parse_seed(s)?,
+        None => 0,
+    };
+    let iters: u64 = match flag_value(args, "--iters") {
+        Some(s) => s.parse()?,
+        None => 1000,
+    };
+    let minimize = args.iter().any(|a| a == "--minimize");
+    let repro_dir = flag_value(args, "--repro-dir").unwrap_or("tests/repros");
+
+    // Shard into supervised units; each shard keeps its *global* start
+    // index, so the case stream is identical however the campaign is
+    // sharded, resumed, or degraded.
+    const SHARD: u64 = 500;
+    let mut units = Vec::new();
+    let mut start = 0;
+    while start < iters {
+        let n = SHARD.min(iters - start);
+        units.push(CampaignUnit {
+            workload: format!("fuzz@{start}"),
+            kind: UnitKind::Fuzz {
+                seed,
+                start,
+                iters: n,
+                minimize,
+                repro_dir: if minimize {
+                    Some(repro_dir.to_string())
+                } else {
+                    None
+                },
+            },
+        });
+        start += n;
+    }
+    let report = run_supervised(
+        units,
+        &NeedleConfig::default(),
+        &sup_from_flags(args)?,
+        &opts_from_flags(args),
+    )?;
+    println!("{report}");
+
+    let mut failures = 0u64;
+    let mut broken_units = 0u64;
+    for u in &report.units {
+        if !u.outcome.succeeded() {
+            broken_units += 1;
+            continue;
+        }
+        if let Some(UnitPayload::Fuzz {
+            failures: f,
+            signatures,
+            ..
+        }) = &u.payload
+        {
+            if *f > 0 {
+                failures += f;
+                println!("unit {}: {f} failure(s) [{signatures}]", u.unit.workload);
+            }
+        }
+    }
+    if failures > 0 || broken_units > 0 {
+        return Err(format!(
+            "fuzzing found {failures} divergence(s), {broken_units} unit(s) failed to run{}",
+            if minimize {
+                format!("; minimized repros under {repro_dir}")
+            } else {
+                "; re-run with --minimize for shrunk repros".to_string()
+            }
+        )
+        .into());
+    }
+    println!("fuzz campaign clean: {iters} iterations (seed {seed:#x}), no divergence");
+    Ok(())
 }
 
 fn cmd_chaos(args: &[String]) -> CliResult {

@@ -1,0 +1,995 @@
+//! Differential fuzzing with automatic shrinking.
+//!
+//! PR 3's pre-decoded flat engine is a semantics-preserving lowering of
+//! the reference tree walker — immediate variants, six superinstruction
+//! fusions, batched step accounting — and exactly the kind of code that
+//! silently diverges on rare operand/limit combinations. This module
+//! hunts those divergences:
+//!
+//! 1. **Producer** ([`needle_workloads::fuzz_case`] /
+//!    [`needle_workloads::mutate_module`]): seeded verifier-clean modules
+//!    with fusion-straddling shapes and boundary constants, plus
+//!    verifier-clean perturbations of the benchmark suite.
+//! 2. **Triple oracle** ([`check_case`]): every case runs through the
+//!    flat engine and `Interp::run_reference`, comparing results, step
+//!    counts, full trace-event streams, final memory, and error
+//!    attribution — then re-runs under `StepLimit` and memory-governor
+//!    caps swept across the divergence-prone boundary values; where a
+//!    region is extractable, a third leg goes through the frame
+//!    build/exec/rollback path and its differential verifier.
+//! 3. **Shrinker** ([`shrink_case`]): on any divergence or panic, the
+//!    module is minimized while the failure signature still reproduces,
+//!    and the repro (`.needle` text plus an oracle transcript) is written
+//!    to `tests/repros/` for the regression harness to replay forever.
+//!
+//! Failure signatures are deliberately coarse (no instruction ids): the
+//! shrinker renumbers instructions on every compaction round-trip, and a
+//! signature that named ids would stop matching its own minimized form.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use needle_frames::verify::Divergence;
+use needle_frames::{build_frame, run_frame, verify_invocation};
+use needle_ir::interp::{ExecError, Interp, Memory, TraceSink, Val};
+use needle_ir::print::module_to_string;
+use needle_ir::verify::verify_module;
+use needle_ir::{
+    BlockId, Constant, FuncId, InstId, Module, Terminator, Value,
+};
+use needle_regions::OffloadRegion;
+use needle_workloads::{fuzz_case, mutate_module, FuzzSpec};
+
+use crate::error::NeedleError;
+
+/// Per-invocation interpreter fuel. Small enough that a mutated workload
+/// whose loop bound got rewritten to `i64::MAX` still terminates quickly
+/// — hitting `StepLimit` on *both* engines at the same cut point is
+/// itself a differential check, not a wasted iteration.
+pub const FUZZ_MAX_STEPS: u64 = 50_000;
+
+/// One recorded trace event (the observable stream both engines must
+/// produce identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEv {
+    /// Function entry.
+    Enter(FuncId),
+    /// Function exit.
+    Exit(FuncId),
+    /// Block execution.
+    Block(FuncId, BlockId),
+    /// CFG edge taken.
+    Edge(FuncId, BlockId, BlockId),
+    /// Memory access (`true` = store).
+    Mem(FuncId, InstId, u64, bool),
+}
+
+/// A [`TraceSink`] recording the complete event stream.
+#[derive(Debug, Default)]
+pub struct EvRec(pub Vec<TraceEv>);
+
+impl TraceSink for EvRec {
+    fn enter(&mut self, func: FuncId) {
+        self.0.push(TraceEv::Enter(func));
+    }
+    fn exit(&mut self, func: FuncId) {
+        self.0.push(TraceEv::Exit(func));
+    }
+    fn block(&mut self, func: FuncId, bb: BlockId) {
+        self.0.push(TraceEv::Block(func, bb));
+    }
+    fn edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        self.0.push(TraceEv::Edge(func, from, to));
+    }
+    fn mem(&mut self, func: FuncId, inst: InstId, addr: u64, is_store: bool) {
+        self.0.push(TraceEv::Mem(func, inst, addr, is_store));
+    }
+}
+
+/// The invocation a fuzz iteration runs: module + entry + args + memory.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// The module under test.
+    pub module: Module,
+    /// Entry function.
+    pub func: FuncId,
+    /// Call arguments.
+    pub args: Vec<Constant>,
+    /// Initial memory image.
+    pub memory: Memory,
+}
+
+/// The observable outcome of one engine leg.
+#[derive(Debug, Clone)]
+struct LegRun {
+    /// Bit-exact result key (`NaN`-safe).
+    result: Result<Option<(bool, u64)>, ExecError>,
+    steps: u64,
+    events: Vec<TraceEv>,
+    mem: Memory,
+    resident: usize,
+}
+
+#[derive(Debug)]
+enum Leg {
+    Done(Box<LegRun>),
+    Panicked(String),
+}
+
+fn result_key(r: &Result<Option<Val>, ExecError>) -> Result<Option<(bool, u64)>, ExecError> {
+    r.clone()
+        .map(|o| o.map(|v| (matches!(v, Val::Float(_)), v.to_bits())))
+}
+
+/// The variant name of an `ExecError`, with no embedded ids — stable
+/// under the shrinker's renumbering.
+fn err_kind(e: &ExecError) -> &'static str {
+    match e {
+        ExecError::StepLimit(_) => "StepLimit",
+        ExecError::CallDepth(_) => "CallDepth",
+        ExecError::MemLimit(..) => "MemLimit",
+        ExecError::MissingArgument(..) => "MissingArgument",
+        ExecError::ModuleTooLarge(_) => "ModuleTooLarge",
+        ExecError::UndefinedValue(..) => "UndefinedValue",
+        ExecError::PhiMissingIncoming(..) => "PhiMissingIncoming",
+        ExecError::ReachedUnreachable(..) => "ReachedUnreachable",
+        _ => "Other",
+    }
+}
+
+fn result_kind(r: &Result<Option<(bool, u64)>, ExecError>) -> String {
+    match r {
+        Ok(_) => "ok".into(),
+        Err(e) => format!("err:{}", err_kind(e)),
+    }
+}
+
+fn run_leg(inv: &Invocation, max_steps: u64, max_pages: usize, reference: bool) -> Leg {
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        let interp = Interp::new(&inv.module)
+            .with_max_steps(max_steps)
+            .with_max_pages(max_pages);
+        let mut mem = inv.memory.clone();
+        let mut rec = EvRec::default();
+        let r = if reference {
+            interp.run_reference(inv.func, &inv.args, &mut mem, &mut rec)
+        } else {
+            interp.run_with(inv.func, &inv.args, &mut mem, &mut rec)
+        };
+        let resident = mem.resident_pages();
+        LegRun {
+            result: result_key(&r),
+            steps: interp.steps(),
+            events: rec.0,
+            mem,
+            resident,
+        }
+    }));
+    match out {
+        Ok(run) => Leg::Done(Box::new(run)),
+        Err(p) => Leg::Panicked(panic_text(p)),
+    }
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// A confirmed oracle failure: a coarse renumbering-stable signature plus
+/// a human transcript of what each leg observed.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// Coarse signature, e.g. `result:ok-vs-err:MemLimit`, `steps`,
+    /// `events`, `mem`, `panic:engine`, `frame:CommitMemMismatch`.
+    pub signature: String,
+    /// Human-readable detail (limits in force, both legs' observations).
+    pub detail: String,
+}
+
+/// Compare the two interpreter legs under one `(max_steps, max_pages)`
+/// setting. `None` = equivalent.
+fn compare_legs(inv: &Invocation, max_steps: u64, max_pages: usize) -> Option<OracleFailure> {
+    let fast = run_leg(inv, max_steps, max_pages, false);
+    let refr = run_leg(inv, max_steps, max_pages, true);
+    let ctx = format!("max_steps={max_steps} max_pages={max_pages}");
+    let (f, r) = match (fast, refr) {
+        (Leg::Panicked(m), _) => {
+            return Some(OracleFailure {
+                signature: "panic:engine".into(),
+                detail: format!("[{ctx}] flat engine panicked: {m}"),
+            })
+        }
+        (_, Leg::Panicked(m)) => {
+            return Some(OracleFailure {
+                signature: "panic:walker".into(),
+                detail: format!("[{ctx}] reference walker panicked: {m}"),
+            })
+        }
+        (Leg::Done(f), Leg::Done(r)) => (f, r),
+    };
+    if f.result != r.result {
+        return Some(OracleFailure {
+            signature: format!(
+                "result:{}-vs-{}",
+                result_kind(&f.result),
+                result_kind(&r.result)
+            ),
+            detail: format!(
+                "[{ctx}] result mismatch\n  engine: {:?}\n  walker: {:?}",
+                f.result, r.result
+            ),
+        });
+    }
+    if f.steps != r.steps {
+        return Some(OracleFailure {
+            signature: "steps".into(),
+            detail: format!(
+                "[{ctx}] step-count mismatch: engine {} vs walker {}",
+                f.steps, r.steps
+            ),
+        });
+    }
+    if f.events != r.events {
+        let at = f
+            .events
+            .iter()
+            .zip(&r.events)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| f.events.len().min(r.events.len()));
+        return Some(OracleFailure {
+            signature: "events".into(),
+            detail: format!(
+                "[{ctx}] event streams diverge at index {at} \
+                 (engine {} events, walker {}):\n  engine: {:?}\n  walker: {:?}",
+                f.events.len(),
+                r.events.len(),
+                f.events.get(at),
+                r.events.get(at)
+            ),
+        });
+    }
+    if !f.mem.same_as(&r.mem.snapshot()) {
+        return Some(OracleFailure {
+            signature: "mem".into(),
+            detail: format!(
+                "[{ctx}] final memory diverges: {:?}",
+                f.mem.diff(&r.mem.snapshot())
+            ),
+        });
+    }
+    if f.resident != r.resident {
+        return Some(OracleFailure {
+            signature: "resident".into(),
+            detail: format!(
+                "[{ctx}] resident-page accounting diverges: engine {} vs walker {}",
+                f.resident, r.resident
+            ),
+        });
+    }
+    None
+}
+
+/// Outcome of the frame (third) oracle leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameLeg {
+    /// The leg ran and verified clean.
+    Checked,
+    /// No extractable region / unbuildable frame / structural verify
+    /// error — not a failure.
+    Skipped,
+}
+
+/// Run the frame build/exec/rollback leg over the longest acyclic
+/// entry path of the module and differentially verify the invocation.
+fn frame_leg(inv: &Invocation) -> Result<FrameLeg, OracleFailure> {
+    let func = inv.module.func(inv.func);
+    // Longest acyclic path from the entry, following the then-edge.
+    let mut path = vec![func.entry()];
+    loop {
+        let last = *path.last().expect("path is non-empty");
+        let next = match &func.block(last).term {
+            Terminator::Br(t) => *t,
+            Terminator::CondBr { then_bb, .. } => *then_bb,
+            _ => break,
+        };
+        if path.contains(&next) || path.len() >= 6 {
+            break;
+        }
+        path.push(next);
+    }
+    if path.len() < 2 {
+        return Ok(FrameLeg::Skipped);
+    }
+    let region = OffloadRegion::from_path(&path, 1, 1.0);
+    let Ok(frame) = build_frame(func, &region) else {
+        return Ok(FrameLeg::Skipped);
+    };
+    // Bind live-ins: with the region anchored at the entry block they can
+    // only be arguments or constants.
+    let mut live_ins = Vec::with_capacity(frame.live_ins.len());
+    for li in &frame.live_ins {
+        let v = match li.value {
+            Value::Arg(n) => match inv.args.get(n as usize) {
+                Some(Constant::Int(v)) => Val::Int(*v),
+                Some(Constant::Float(v)) => Val::Float(*v),
+                Some(Constant::Ptr(p)) => Val::Int(*p as i64),
+                None => return Ok(FrameLeg::Skipped),
+            },
+            Value::Const(Constant::Int(v)) => Val::Int(v),
+            Value::Const(Constant::Float(v)) => Val::Float(v),
+            Value::Const(Constant::Ptr(p)) => Val::Int(p as i64),
+            Value::Inst(_) => return Ok(FrameLeg::Skipped),
+        };
+        live_ins.push(v);
+    }
+    let mut mem = inv.memory.clone();
+    let snap = mem.snapshot();
+    let outcome = match catch_unwind(AssertUnwindSafe(|| run_frame(&frame, &live_ins, &mut mem))) {
+        Ok(Ok(o)) => o,
+        Ok(Err(_)) => return Ok(FrameLeg::Skipped),
+        Err(p) => {
+            return Err(OracleFailure {
+                signature: "panic:frame".into(),
+                detail: format!("frame executor panicked: {}", panic_text(p)),
+            })
+        }
+    };
+    let mut verdict = match verify_invocation(func, &frame, &live_ins, &snap, &mem, &outcome) {
+        Ok(v) => v,
+        Err(_) => return Ok(FrameLeg::Skipped),
+    };
+    // `Val: PartialEq` treats NaN != NaN; keep only bit-real mismatches.
+    verdict.divergences.retain(|d| match d {
+        Divergence::LiveOutMismatch {
+            frame, reference, ..
+        } => frame.to_bits() != reference.to_bits(),
+        _ => true,
+    });
+    match verdict.divergences.first() {
+        None => Ok(FrameLeg::Checked),
+        Some(d) => {
+            let kind = match d {
+                Divergence::AbortLeak(_) => "AbortLeak",
+                Divergence::CommitMemMismatch(_) => "CommitMemMismatch",
+                Divergence::LiveOutMismatch { .. } => "LiveOutMismatch",
+                Divergence::CommitDisagreement { .. } => "CommitDisagreement",
+            };
+            Err(OracleFailure {
+                signature: format!("frame:{kind}"),
+                detail: format!(
+                    "frame leg diverged over entry path {path:?}: {:?}",
+                    verdict.divergences
+                ),
+            })
+        }
+    }
+}
+
+/// Run the full oracle over one invocation: the baseline comparison, the
+/// `StepLimit` boundary sweep, the memory-governor cap sweep, and (when
+/// extractable) the frame leg.
+///
+/// Returns the frame-leg status on success, or the first failure.
+pub fn check_case(inv: &Invocation, max_steps: u64) -> Result<FrameLeg, OracleFailure> {
+    // Baseline, governor disarmed.
+    if let Some(f) = compare_legs(inv, max_steps, usize::MAX) {
+        return Err(f);
+    }
+    let base = match run_leg(inv, max_steps, usize::MAX, false) {
+        Leg::Done(r) => r,
+        Leg::Panicked(m) => {
+            return Err(OracleFailure {
+                signature: "panic:engine".into(),
+                detail: format!("engine panicked on baseline re-run: {m}"),
+            })
+        }
+    };
+
+    // StepLimit sweep around the boundary values.
+    let s = base.steps;
+    let mut limits = vec![0, 1, s / 2, s.saturating_sub(1), s, s + 1];
+    limits.sort_unstable();
+    limits.dedup();
+    for limit in limits {
+        if let Some(f) = compare_legs(inv, limit, usize::MAX) {
+            return Err(f);
+        }
+    }
+
+    // Memory-governor sweep around the case's real page footprint.
+    let p = base.resident;
+    let mut caps = vec![0, 1, p.saturating_sub(1), p];
+    caps.sort_unstable();
+    caps.dedup();
+    for cap in caps {
+        if let Some(f) = compare_legs(inv, max_steps, cap) {
+            return Err(f);
+        }
+        // Caps and fuel interact (a capped store mid-superinstruction
+        // must cut at the same point as fuel exhaustion would): probe
+        // one combined boundary.
+        if let Some(f) = compare_legs(inv, s / 2, cap) {
+            return Err(f);
+        }
+    }
+
+    frame_leg(inv)
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------------
+
+fn case_size(m: &Module) -> usize {
+    m.funcs
+        .iter()
+        .map(|f| f.num_insts() + f.num_blocks())
+        .sum()
+}
+
+/// Does `inv` still fail with exactly the signature `sig`?
+///
+/// Candidates must stay verifier-clean AND print→parse round-trippable:
+/// dropping an instruction can orphan a use in a dead block, which the
+/// verifier tolerates (the block is unreachable) but the parser rejects
+/// — and a repro file that doesn't re-parse is useless to the replay
+/// harness.
+fn still_fails(inv: &Invocation, max_steps: u64, sig: &str) -> bool {
+    verify_module(&inv.module).is_ok()
+        && needle_ir::parse::parse_module(&module_to_string(&inv.module)).is_ok()
+        && matches!(check_case(inv, max_steps), Err(f) if f.signature == sig)
+}
+
+/// Minimize `inv.module` while the failure signature keeps reproducing:
+/// branch flattening (`cond_br` → `br`), terminator truncation (→ `ret`),
+/// operand-to-constant simplification, dead-instruction dropping, and a
+/// print→parse compaction round-trip, iterated to a fixpoint.
+pub fn shrink_case(inv: &Invocation, sig: &str, max_steps: u64) -> Invocation {
+    let mut cur = inv.clone();
+    for _round in 0..24 {
+        let before = case_size(&cur.module);
+        pass_flatten_branches(&mut cur, sig, max_steps);
+        pass_truncate_terminators(&mut cur, sig, max_steps);
+        pass_const_operands(&mut cur, sig, max_steps);
+        pass_drop_insts(&mut cur, sig, max_steps);
+        pass_roundtrip(&mut cur, sig, max_steps);
+        if case_size(&cur.module) >= before {
+            break;
+        }
+    }
+    cur
+}
+
+/// Try one candidate mutation of the entry module; keep it if the failure
+/// reproduces.
+fn try_keep(
+    cur: &mut Invocation,
+    sig: &str,
+    max_steps: u64,
+    mutate: impl FnOnce(&mut Module),
+) -> bool {
+    let mut cand = cur.clone();
+    mutate(&mut cand.module);
+    if still_fails(&cand, max_steps, sig) {
+        *cur = cand;
+        true
+    } else {
+        false
+    }
+}
+
+fn pass_flatten_branches(cur: &mut Invocation, sig: &str, max_steps: u64) {
+    for fx in 0..cur.module.funcs.len() {
+        for bx in 0..cur.module.funcs[fx].num_blocks() {
+            let bb = BlockId(bx as u32);
+            let (then_bb, else_bb) = match cur.module.funcs[fx].block(bb).term {
+                Terminator::CondBr {
+                    then_bb, else_bb, ..
+                } => (then_bb, else_bb),
+                _ => continue,
+            };
+            let _ = try_keep(cur, sig, max_steps, |m| {
+                m.funcs[fx].block_mut(bb).term = Terminator::Br(then_bb);
+            }) || try_keep(cur, sig, max_steps, |m| {
+                m.funcs[fx].block_mut(bb).term = Terminator::Br(else_bb);
+            });
+        }
+    }
+}
+
+fn pass_truncate_terminators(cur: &mut Invocation, sig: &str, max_steps: u64) {
+    for fx in 0..cur.module.funcs.len() {
+        let ret_val = cur.module.funcs[fx].ret.map(|_| Value::int(0));
+        for bx in 0..cur.module.funcs[fx].num_blocks() {
+            let bb = BlockId(bx as u32);
+            if let Terminator::Ret(v) = &cur.module.funcs[fx].block(bb).term {
+                // Simplify non-constant return operands: a dead block's
+                // `ret %n` pins the definition of `%n` (the round-trip
+                // gate rejects dangling uses), blocking further drops.
+                if matches!(v, Some(v) if v.as_const().is_none()) {
+                    let _ = try_keep(cur, sig, max_steps, |m| {
+                        m.funcs[fx].block_mut(bb).term = Terminator::Ret(Some(Value::int(0)));
+                    });
+                }
+                continue;
+            }
+            // Returning the block's last computed value keeps a divergent
+            // result observable; returning a constant prunes harder.
+            let last = cur.module.funcs[fx]
+                .block(bb)
+                .insts
+                .last()
+                .map(|id| Value::Inst(*id));
+            if let Some(v) = last {
+                if try_keep(cur, sig, max_steps, |m| {
+                    m.funcs[fx].block_mut(bb).term = Terminator::Ret(Some(v));
+                }) {
+                    continue;
+                }
+            }
+            let _ = try_keep(cur, sig, max_steps, |m| {
+                m.funcs[fx].block_mut(bb).term = Terminator::Ret(ret_val);
+            });
+        }
+    }
+}
+
+fn pass_const_operands(cur: &mut Invocation, sig: &str, max_steps: u64) {
+    for fx in 0..cur.module.funcs.len() {
+        for ix in 0..cur.module.funcs[fx].insts.len() {
+            if cur.module.funcs[fx].insts[ix].is_phi() {
+                continue;
+            }
+            for aix in 0..cur.module.funcs[fx].insts[ix].args.len() {
+                if matches!(
+                    cur.module.funcs[fx].insts[ix].args[aix],
+                    Value::Const(Constant::Int(0))
+                ) {
+                    continue;
+                }
+                let _ = try_keep(cur, sig, max_steps, |m| {
+                    m.funcs[fx].insts[ix].args[aix] = Value::int(0);
+                });
+            }
+        }
+    }
+}
+
+fn pass_drop_insts(cur: &mut Invocation, sig: &str, max_steps: u64) {
+    for fx in 0..cur.module.funcs.len() {
+        for bx in 0..cur.module.funcs[fx].num_blocks() {
+            let bb = BlockId(bx as u32);
+            // Whole-tail removal first (delta-debugging style), then
+            // single instructions, back to front.
+            let len = cur.module.funcs[fx].block(bb).insts.len();
+            if len > 1 {
+                let _ = try_keep(cur, sig, max_steps, |m| {
+                    m.funcs[fx].block_mut(bb).insts.truncate(len / 2);
+                });
+            }
+            let mut pos = cur.module.funcs[fx].block(bb).insts.len();
+            while pos > 0 {
+                pos -= 1;
+                let _ = try_keep(cur, sig, max_steps, |m| {
+                    m.funcs[fx].block_mut(bb).insts.remove(pos);
+                });
+            }
+        }
+    }
+}
+
+fn pass_roundtrip(cur: &mut Invocation, sig: &str, max_steps: u64) {
+    let text = module_to_string(&cur.module);
+    let Ok(compacted) = needle_ir::parse::parse_module(&text) else {
+        return;
+    };
+    let mut cand = cur.clone();
+    cand.module = compacted;
+    if still_fails(&cand, max_steps, sig) {
+        *cur = cand;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign driver
+// ---------------------------------------------------------------------------
+
+/// Configuration of one fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Campaign master seed.
+    pub seed: u64,
+    /// First iteration index (non-zero when the campaign is sharded
+    /// across supervised units; global iteration indices keep case
+    /// derivation independent of the sharding).
+    pub start: u64,
+    /// Iterations to run.
+    pub iters: u64,
+    /// Shrink failures and write repro files.
+    pub minimize: bool,
+    /// Per-invocation interpreter fuel.
+    pub max_steps: u64,
+    /// Every `mutate_every`-th iteration perturbs a benchmark workload
+    /// instead of generating a fresh module (0 disables mutation).
+    pub mutate_every: u64,
+    /// Where minimized repros are written (`minimize` only).
+    pub repro_dir: Option<PathBuf>,
+    /// Stop after this many distinct failures.
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            start: 0,
+            iters: 1000,
+            minimize: false,
+            max_steps: FUZZ_MAX_STEPS,
+            mutate_every: 4,
+            repro_dir: None,
+            max_failures: 5,
+        }
+    }
+}
+
+/// One confirmed, possibly minimized, fuzz failure.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Global iteration index that found it.
+    pub iteration: u64,
+    /// Coarse signature (see [`OracleFailure::signature`]).
+    pub signature: String,
+    /// Oracle transcript of the original failure.
+    pub detail: String,
+    /// Minimized module text (original text when `minimize` is off).
+    pub module_text: String,
+    /// Static instruction count of the (minimized) module.
+    pub insts: usize,
+    /// Repro file, when one was written.
+    pub repro_path: Option<PathBuf>,
+}
+
+/// Aggregate result of a fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iters_run: u64,
+    /// Freshly generated cases.
+    pub generated: u64,
+    /// Mutated-workload cases.
+    pub mutated: u64,
+    /// Cases where the frame leg ran to a verdict.
+    pub frame_checked: u64,
+    /// Cases where the frame leg was skipped (no extractable region).
+    pub frame_skipped: u64,
+    /// Confirmed failures (deduplicated by signature).
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// No failures found.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fuzz: {} iterations ({} generated, {} mutated), frame leg {} checked / {} skipped",
+            self.iters_run, self.generated, self.mutated, self.frame_checked, self.frame_skipped
+        )?;
+        if self.failures.is_empty() {
+            write!(f, "no divergence found")
+        } else {
+            for fail in &self.failures {
+                writeln!(
+                    f,
+                    "FAILURE [{}] at iteration {} ({} insts minimized){}",
+                    fail.signature,
+                    fail.iteration,
+                    fail.insts,
+                    match &fail.repro_path {
+                        Some(p) => format!(" -> {}", p.display()),
+                        None => String::new(),
+                    }
+                )?;
+            }
+            write!(f, "{} failure(s)", self.failures.len())
+        }
+    }
+}
+
+/// Derive the invocation for global iteration `i`.
+fn case_for_iteration(cfg: &FuzzConfig, i: u64) -> (Invocation, bool) {
+    let mutated = cfg.mutate_every != 0 && i % cfg.mutate_every == cfg.mutate_every - 1;
+    if mutated {
+        let all = needle_workloads::all();
+        let w = &all[(i / cfg.mutate_every) as usize % all.len()];
+        let module = mutate_module(&w.module, cfg.seed ^ i.rotate_left(32), 6);
+        (
+            Invocation {
+                module,
+                func: w.func,
+                args: w.args.clone(),
+                memory: w.memory.clone(),
+            },
+            true,
+        )
+    } else {
+        let case = fuzz_case(&FuzzSpec::for_iteration(cfg.seed, i));
+        (
+            Invocation {
+                module: case.module,
+                func: case.func,
+                args: case.args,
+                memory: case.memory,
+            },
+            false,
+        )
+    }
+}
+
+/// File-name slug for a failure signature.
+fn slug(sig: &str) -> String {
+    sig.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Serialize the invocation metadata + transcript next to the `.needle`
+/// repro so the replay harness can reconstruct the exact run.
+fn case_file_text(inv: &Invocation, fail: &FuzzFailure, max_steps: u64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "signature={}", fail.signature);
+    let _ = writeln!(s, "func={}", inv.func.0);
+    let args: Vec<String> = inv
+        .args
+        .iter()
+        .map(|c| match c {
+            Constant::Int(v) => v.to_string(),
+            Constant::Float(v) => format!("f{}", v.to_bits()),
+            Constant::Ptr(p) => format!("p{p}"),
+        })
+        .collect();
+    let _ = writeln!(s, "args={}", args.join(","));
+    let _ = writeln!(s, "max_steps={max_steps}");
+    let mem: Vec<String> = inv
+        .memory
+        .diff(&Memory::new().snapshot())
+        .iter()
+        .map(|d| format!("{:#x}:{:#x}", d.addr, d.after))
+        .collect();
+    let _ = writeln!(s, "mem={}", mem.join(","));
+    let _ = writeln!(s);
+    let _ = writeln!(s, "-- transcript --");
+    let _ = writeln!(s, "{}", fail.detail);
+    s
+}
+
+/// Parse a `.case.txt` file back into an invocation against `module`.
+/// Used by the repro replay harness.
+///
+/// # Errors
+/// Returns a description of the malformed line.
+pub fn parse_case_file(module: Module, text: &str) -> Result<(Invocation, u64), String> {
+    let mut func = FuncId(0);
+    let mut args = Vec::new();
+    let mut max_steps = FUZZ_MAX_STEPS;
+    let mut memory = Memory::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with("--") {
+            break;
+        }
+        let (key, val) = line.split_once('=').ok_or_else(|| format!("bad line {line:?}"))?;
+        match key {
+            "signature" => {}
+            "func" => func = FuncId(val.parse().map_err(|e| format!("func: {e}"))?),
+            "args" => {
+                for a in val.split(',').filter(|a| !a.is_empty()) {
+                    let c = if let Some(bits) = a.strip_prefix('f') {
+                        Constant::Float(f64::from_bits(
+                            bits.parse().map_err(|e| format!("arg {a:?}: {e}"))?,
+                        ))
+                    } else if let Some(p) = a.strip_prefix('p') {
+                        Constant::Ptr(p.parse().map_err(|e| format!("arg {a:?}: {e}"))?)
+                    } else {
+                        Constant::Int(a.parse().map_err(|e| format!("arg {a:?}: {e}"))?)
+                    };
+                    args.push(c);
+                }
+            }
+            "max_steps" => max_steps = val.parse().map_err(|e| format!("max_steps: {e}"))?,
+            "mem" => {
+                for cell in val.split(',').filter(|c| !c.is_empty()) {
+                    let (addr, bits) = cell
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad mem cell {cell:?}"))?;
+                    let addr = u64::from_str_radix(addr.trim_start_matches("0x"), 16)
+                        .map_err(|e| format!("mem addr {addr:?}: {e}"))?;
+                    let bits = u64::from_str_radix(bits.trim_start_matches("0x"), 16)
+                        .map_err(|e| format!("mem bits {bits:?}: {e}"))?;
+                    memory.store(addr, Val::Int(bits as i64));
+                }
+            }
+            _ => return Err(format!("unknown key {key:?}")),
+        }
+    }
+    Ok((
+        Invocation {
+            module,
+            func,
+            args,
+            memory,
+        },
+        max_steps,
+    ))
+}
+
+/// Run a fuzz campaign. Deterministic in `(seed, start, iters)`: the
+/// same configuration produces the same case stream and verdicts.
+///
+/// # Errors
+/// Only repro-file I/O fails the run; oracle failures are *results*,
+/// collected in the report.
+pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport, NeedleError> {
+    let mut report = FuzzReport::default();
+    for i in cfg.start..cfg.start + cfg.iters {
+        if report.failures.len() >= cfg.max_failures {
+            break;
+        }
+        let (inv, mutated) = case_for_iteration(cfg, i);
+        if mutated {
+            report.mutated += 1;
+        } else {
+            report.generated += 1;
+        }
+        report.iters_run += 1;
+        match check_case(&inv, cfg.max_steps) {
+            Ok(FrameLeg::Checked) => report.frame_checked += 1,
+            Ok(FrameLeg::Skipped) => report.frame_skipped += 1,
+            Err(fail) => {
+                if report.failures.iter().any(|f| f.signature == fail.signature) {
+                    continue; // one repro per distinct signature
+                }
+                let min = if cfg.minimize {
+                    shrink_case(&inv, &fail.signature, cfg.max_steps)
+                } else {
+                    inv.clone()
+                };
+                let mut failure = FuzzFailure {
+                    iteration: i,
+                    signature: fail.signature.clone(),
+                    detail: fail.detail.clone(),
+                    module_text: module_to_string(&min.module),
+                    insts: min.module.funcs.iter().map(|f| f.num_insts()).sum(),
+                    repro_path: None,
+                };
+                if let (true, Some(dir)) = (cfg.minimize, &cfg.repro_dir) {
+                    let stem = format!("fuzz_{}_{:016x}", slug(&fail.signature), cfg.seed ^ i);
+                    std::fs::create_dir_all(dir).map_err(io_err)?;
+                    let needle_path = dir.join(format!("{stem}.needle"));
+                    std::fs::write(&needle_path, &failure.module_text).map_err(io_err)?;
+                    let case_path = dir.join(format!("{stem}.case.txt"));
+                    std::fs::write(&case_path, case_file_text(&min, &failure, cfg.max_steps))
+                        .map_err(io_err)?;
+                    failure.repro_path = Some(needle_path);
+                }
+                report.failures.push(failure);
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn io_err(e: std::io::Error) -> NeedleError {
+    NeedleError::Journal(crate::journal::JournalError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            iters: 40,
+            ..FuzzConfig::default()
+        };
+        let a = run_fuzz(&cfg).unwrap();
+        let b = run_fuzz(&cfg).unwrap();
+        assert!(a.is_clean(), "unexpected failures: {a}");
+        assert_eq!(a.iters_run, 40);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.mutated, b.mutated);
+        assert_eq!(a.frame_checked, b.frame_checked);
+        assert!(a.generated > 0 && a.mutated > 0);
+    }
+
+    #[test]
+    fn injected_fusion_bug_is_caught_and_shrunk_small() {
+        needle_ir::interp::set_fusion_fault_injection(true);
+        let cfg = FuzzConfig {
+            seed: 0xC0FFEE,
+            iters: 200,
+            minimize: true,
+            max_failures: 1,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        needle_ir::interp::set_fusion_fault_injection(false);
+        let report = report.unwrap();
+        assert!(
+            !report.is_clean(),
+            "the injected GepLoadAdd fusion bug must be caught"
+        );
+        let f = &report.failures[0];
+        assert!(
+            f.insts <= 20,
+            "repro should shrink to <= 20 instructions, got {} \n{}",
+            f.insts,
+            f.module_text
+        );
+    }
+
+    /// Regenerates the committed repro corpus under `tests/repros/` by
+    /// shrinking the injected GepLoadAdd fusion fault. Run explicitly:
+    ///
+    /// ```sh
+    /// cargo test -p needle generate_repro_corpus -- --ignored
+    /// ```
+    #[test]
+    #[ignore = "writes into tests/repros/; run explicitly to refresh the corpus"]
+    fn generate_repro_corpus() {
+        let dir = std::env::var("NEEDLE_REPRO_DIR")
+            .unwrap_or_else(|_| "../../tests/repros".to_string());
+        needle_ir::interp::set_fusion_fault_injection(true);
+        let report = run_fuzz(&FuzzConfig {
+            seed: 0xC0FFEE,
+            iters: 500,
+            minimize: true,
+            repro_dir: Some(PathBuf::from(dir)),
+            ..FuzzConfig::default()
+        });
+        needle_ir::interp::set_fusion_fault_injection(false);
+        let report = report.unwrap();
+        assert!(!report.is_clean(), "injection produced no failures");
+        for f in &report.failures {
+            println!("wrote {:?} ({} insts)", f.repro_path, f.insts);
+        }
+    }
+
+    #[test]
+    fn case_file_roundtrips() {
+        let case = fuzz_case(&FuzzSpec {
+            seed: 3,
+            ..FuzzSpec::default()
+        });
+        let inv = Invocation {
+            module: case.module,
+            func: case.func,
+            args: case.args,
+            memory: case.memory,
+        };
+        let fail = FuzzFailure {
+            iteration: 0,
+            signature: "steps".into(),
+            detail: "test".into(),
+            module_text: String::new(),
+            insts: 0,
+            repro_path: None,
+        };
+        let text = case_file_text(&inv, &fail, 1234);
+        let (parsed, steps) = parse_case_file(inv.module.clone(), &text).unwrap();
+        assert_eq!(steps, 1234);
+        assert_eq!(parsed.args, inv.args);
+        assert!(parsed.memory.same_as(&inv.memory.snapshot()));
+    }
+}

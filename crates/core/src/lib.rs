@@ -44,6 +44,7 @@ pub mod analysis;
 pub mod chaos;
 pub mod config;
 pub mod error;
+pub mod fuzz;
 pub mod journal;
 pub mod multi;
 pub mod offload;
@@ -53,6 +54,10 @@ pub use analysis::{analyze, analyze_hottest, Analysis, AnalysisError};
 pub use chaos::{run_campaign, storm_scenario, ChaosConfig, ChaosReport, RegionCampaign};
 pub use config::{NeedleConfig, StormConfig, SupervisorConfig};
 pub use error::NeedleError;
+pub use fuzz::{
+    check_case, parse_case_file, run_fuzz, shrink_case, FrameLeg, FuzzConfig, FuzzFailure,
+    FuzzReport, Invocation, OracleFailure,
+};
 pub use journal::JournalError;
 pub use supervisor::{
     peek_journal, run_supervised, CampaignOptions, CampaignReport, CampaignUnit, UnitKind,

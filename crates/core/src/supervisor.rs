@@ -66,6 +66,21 @@ pub enum UnitKind {
         /// Per-invocation fault probability.
         fault_rate: f64,
     },
+    /// Differential fuzzing shard: `iters` oracle iterations starting at
+    /// global index `start` (workload field is ignored; the campaign
+    /// seed fully determines the case stream).
+    Fuzz {
+        /// Campaign master seed.
+        seed: u64,
+        /// First global iteration index of this shard.
+        start: u64,
+        /// Iterations in this shard.
+        iters: u64,
+        /// Shrink failures and write repro files.
+        minimize: bool,
+        /// Repro output directory (only used when `minimize`).
+        repro_dir: Option<String>,
+    },
     /// Deliberately panics — exercises worker isolation.
     PanicProbe,
     /// Spins until cancelled — exercises the deadline watchdog.
@@ -83,6 +98,7 @@ impl UnitKind {
         match self {
             UnitKind::Offload { .. } => "offload",
             UnitKind::Chaos { .. } => "chaos",
+            UnitKind::Fuzz { .. } => "fuzz",
             UnitKind::PanicProbe => "panic-probe",
             UnitKind::SpinProbe => "spin-probe",
             UnitKind::FlakyProbe { .. } => "flaky-probe",
@@ -109,6 +125,25 @@ impl UnitKind {
                 ("corruption".into(), Json::Bool(*include_corruption)),
                 ("rate".into(), Json::Float(*fault_rate)),
             ]),
+            UnitKind::Fuzz {
+                seed,
+                start,
+                iters,
+                minimize,
+                repro_dir,
+            } => {
+                let mut fields = vec![
+                    ("k".into(), Json::Str("fuzz".into())),
+                    ("seed".into(), Json::Str(seed.to_string())),
+                    ("start".into(), Json::Int(*start as i64)),
+                    ("iters".into(), Json::Int(*iters as i64)),
+                    ("minimize".into(), Json::Bool(*minimize)),
+                ];
+                if let Some(dir) = repro_dir {
+                    fields.push(("dir".into(), Json::Str(dir.clone())));
+                }
+                Json::Obj(fields)
+            }
             UnitKind::PanicProbe => {
                 Json::Obj(vec![("k".into(), Json::Str("panic-probe".into()))])
             }
@@ -133,6 +168,13 @@ impl UnitKind {
                 faults: v.get("faults")?.as_u64()?,
                 include_corruption: v.get("corruption")?.as_bool()?,
                 fault_rate: v.get("rate")?.as_f64()?,
+            }),
+            "fuzz" => Some(UnitKind::Fuzz {
+                seed: v.get("seed")?.as_str()?.parse().ok()?,
+                start: v.get("start")?.as_u64()?,
+                iters: v.get("iters")?.as_u64()?,
+                minimize: v.get("minimize")?.as_bool()?,
+                repro_dir: v.get("dir").and_then(|d| d.as_str()).map(String::from),
             }),
             "panic-probe" => Some(UnitKind::PanicProbe),
             "spin-probe" => Some(UnitKind::SpinProbe),
@@ -285,6 +327,21 @@ pub enum UnitPayload {
         /// Structural errors.
         errors: u64,
     },
+    /// Differential-fuzz shard counters.
+    Fuzz {
+        /// Oracle iterations executed.
+        iters: u64,
+        /// Freshly generated cases.
+        generated: u64,
+        /// Mutated-workload cases.
+        mutated: u64,
+        /// Cases where the frame leg reached a verdict.
+        frame_checked: u64,
+        /// Distinct failure signatures found.
+        failures: u64,
+        /// Comma-joined failure signatures (empty when clean).
+        signatures: String,
+    },
 }
 
 impl UnitPayload {
@@ -328,6 +385,22 @@ impl UnitPayload {
                 ("diverged".into(), Json::Int(*unexpected_divergences as i64)),
                 ("errors".into(), Json::Int(*errors as i64)),
             ]),
+            UnitPayload::Fuzz {
+                iters,
+                generated,
+                mutated,
+                frame_checked,
+                failures,
+                signatures,
+            } => Json::Obj(vec![
+                ("t".into(), Json::Str("fuzz".into())),
+                ("iters".into(), Json::Int(*iters as i64)),
+                ("gen".into(), Json::Int(*generated as i64)),
+                ("mut".into(), Json::Int(*mutated as i64)),
+                ("frames".into(), Json::Int(*frame_checked as i64)),
+                ("failures".into(), Json::Int(*failures as i64)),
+                ("sigs".into(), Json::Str(signatures.clone())),
+            ]),
         }
     }
 
@@ -351,6 +424,14 @@ impl UnitPayload {
                 detected_corruptions: v.get("det_corr")?.as_u64()?,
                 unexpected_divergences: v.get("diverged")?.as_u64()?,
                 errors: v.get("errors")?.as_u64()?,
+            }),
+            "fuzz" => Some(UnitPayload::Fuzz {
+                iters: v.get("iters")?.as_u64()?,
+                generated: v.get("gen")?.as_u64()?,
+                mutated: v.get("mut")?.as_u64()?,
+                frame_checked: v.get("frames")?.as_u64()?,
+                failures: v.get("failures")?.as_u64()?,
+                signatures: v.get("sigs")?.as_str()?.to_string(),
             }),
             _ => None,
         }
@@ -382,6 +463,24 @@ impl std::fmt::Display for UnitPayload {
                 "{injected} faults, corruption {detected_corruptions}/{expected_corruptions} \
                  detected, {unexpected_divergences} divergences, {errors} errors"
             ),
+            UnitPayload::Fuzz {
+                iters,
+                generated,
+                mutated,
+                frame_checked,
+                failures,
+                signatures,
+            } => {
+                write!(
+                    f,
+                    "{iters} iters ({generated} gen, {mutated} mut), {frame_checked} frame-checked, \
+                     {failures} failure(s)"
+                )?;
+                if !signatures.is_empty() {
+                    write!(f, " [{signatures}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -668,6 +767,41 @@ fn execute_unit(
             }
             Ok(Some(p))
         }
+        UnitKind::Fuzz {
+            seed,
+            start,
+            iters,
+            minimize,
+            repro_dir,
+        } => {
+            // Degrade by shrinking the shard, keeping the global start
+            // index: a degraded retry still fuzzes the same case stream
+            // prefix, so results remain comparable across attempts.
+            let iters = match level {
+                0 => *iters,
+                1 => (*iters / 8).max(1),
+                _ => (*iters / 64).max(1),
+            };
+            let fcfg = crate::fuzz::FuzzConfig {
+                seed: *seed,
+                start: *start,
+                iters,
+                minimize: *minimize,
+                repro_dir: repro_dir.as_ref().map(std::path::PathBuf::from),
+                ..crate::fuzz::FuzzConfig::default()
+            };
+            let rep = crate::fuzz::run_fuzz(&fcfg)?;
+            let signatures: Vec<&str> =
+                rep.failures.iter().map(|f| f.signature.as_str()).collect();
+            Ok(Some(UnitPayload::Fuzz {
+                iters: rep.iters_run,
+                generated: rep.generated,
+                mutated: rep.mutated,
+                frame_checked: rep.frame_checked,
+                failures: rep.failures.len() as u64,
+                signatures: signatures.join(","),
+            }))
+        }
         UnitKind::PanicProbe => {
             panic!("injected panic: supervisor isolation probe")
         }
@@ -714,7 +848,7 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
 
 enum Event {
     Started { idx: usize, attempt: u32 },
-    Done { idx: usize, report: UnitReport },
+    Done { idx: usize, report: Box<UnitReport> },
 }
 
 /// Keep caught unit panics from spraying the default hook's backtrace
@@ -982,7 +1116,7 @@ pub fn run_supervised(
                 }
                 let job = queue.lock().map(|mut q| q.pop_front()).unwrap_or(None);
                 let Some((idx, unit)) = job else { break };
-                let report = run_unit(idx, &unit, &cfg, &sup, &tx, &cancel);
+                let report = Box::new(run_unit(idx, &unit, &cfg, &sup, &tx, &cancel));
                 if tx.send(Event::Done { idx, report }).is_err() {
                     break;
                 }
@@ -1021,7 +1155,7 @@ pub fn run_supervised(
             return Err(NeedleError::Journal(e));
         }
         if let Event::Done { idx, report } = ev {
-            results[idx] = Some(report);
+            results[idx] = Some(*report);
             done += 1;
         }
     }
@@ -1079,6 +1213,20 @@ mod tests {
                 include_corruption: true,
                 fault_rate: 0.85,
             },
+            UnitKind::Fuzz {
+                seed: u64::MAX - 7,
+                start: 4000,
+                iters: 500,
+                minimize: true,
+                repro_dir: Some("tests/repros".into()),
+            },
+            UnitKind::Fuzz {
+                seed: 1,
+                start: 0,
+                iters: 10,
+                minimize: false,
+                repro_dir: None,
+            },
             UnitKind::PanicProbe,
             UnitKind::SpinProbe,
             UnitKind::FlakyProbe { succeed_at: 2 },
@@ -1105,6 +1253,49 @@ mod tests {
             UnitPayload::from_json(&Json::parse(&p.to_json().encode()).unwrap()),
             Some(p)
         );
+        let p = UnitPayload::Fuzz {
+            iters: 2000,
+            generated: 1500,
+            mutated: 500,
+            frame_checked: 800,
+            failures: 2,
+            signatures: "steps,mem".into(),
+        };
+        assert_eq!(
+            UnitPayload::from_json(&Json::parse(&p.to_json().encode()).unwrap()),
+            Some(p)
+        );
+    }
+
+    #[test]
+    fn fuzz_unit_runs_supervised_and_reports_counters() {
+        let units = vec![CampaignUnit {
+            workload: "fuzz".into(),
+            kind: UnitKind::Fuzz {
+                seed: 11,
+                start: 0,
+                iters: 8,
+                minimize: false,
+                repro_dir: None,
+            },
+        }];
+        let r = run_supervised(
+            units,
+            &NeedleConfig::default(),
+            &fast_sup(),
+            &CampaignOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.units[0].outcome, UnitOutcome::Ok);
+        match &r.units[0].payload {
+            Some(UnitPayload::Fuzz {
+                iters, failures, ..
+            }) => {
+                assert_eq!(*iters, 8);
+                assert_eq!(*failures, 0);
+            }
+            other => panic!("expected fuzz payload, got {other:?}"),
+        }
     }
 
     #[test]

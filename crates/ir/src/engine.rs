@@ -55,7 +55,7 @@
 //! *defining* instruction's id — conveniently, a register operand's index
 //! *is* the defining instruction's id.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
 
 use crate::inst::{CmpOp, Op, Terminator};
@@ -363,6 +363,27 @@ struct DFunc {
     /// When the *entry* block has leading φs they can never resolve (there
     /// is no predecessor): the first such φ's id.
     entry_phi_err: Option<InstId>,
+    /// Set by [`DFunc::pack`] when a slot index overflowed the packed
+    /// operand width; checked once at the end of decode so pack itself
+    /// stays infallible (and panic-free) at every call site.
+    overflow: bool,
+}
+
+thread_local! {
+    /// Deliberate decode-time fault injection for the fuzzing subsystem:
+    /// when set, the GepLoadAdd peephole records the load's own register as
+    /// the accumulator operand, so the engine computes `v + v` where the
+    /// walker computes `acc + v`. Thread-local so parallel tests decoding
+    /// modules on other threads are unaffected.
+    static BREAK_GEP_LOAD_ADD: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Toggle the injected GepLoadAdd fusion bug for engines decoded on this
+/// thread from now on. Exposed (via `interp`) so the fuzzer's
+/// catch-and-shrink loop can be validated end-to-end against a real
+/// decode-time divergence.
+pub(crate) fn set_break_gep_load_add(on: bool) {
+    BREAK_GEP_LOAD_ADD.with(|b| b.set(on));
 }
 
 /// A whole module, decoded. Immutable after construction; one decode serves
@@ -374,10 +395,16 @@ pub(crate) struct Engine {
 
 impl Engine {
     /// Lower every function of `module` into its flat form.
-    pub(crate) fn decode(module: &Module) -> Engine {
-        Engine {
-            funcs: module.funcs.iter().map(decode_func).collect(),
+    ///
+    /// # Errors
+    /// Returns [`ExecError::ModuleTooLarge`] when a function's packed
+    /// operand space overflows (previously a decode-time panic).
+    pub(crate) fn decode(module: &Module) -> Result<Engine, ExecError> {
+        let mut funcs = Vec::with_capacity(module.funcs.len());
+        for (ix, f) in module.funcs.iter().enumerate() {
+            funcs.push(decode_func(f, FuncId(ix as u32))?);
         }
+        Ok(Engine { funcs })
     }
 }
 
@@ -430,7 +457,9 @@ impl DFunc {
 
     /// Pack `v` into a [`POp`]: its index in the unified slot array.
     /// Constants are interned on first use; `nregs` and `nargs` must be
-    /// final before the first call.
+    /// final before the first call. An index that overflows the packed
+    /// width sets [`DFunc::overflow`] (surfaced as a typed decode error)
+    /// instead of panicking.
     fn pack(&mut self, v: Value) -> POp {
         let ix = match v {
             Value::Inst(id) => id.0 as usize,
@@ -441,7 +470,13 @@ impl DFunc {
                 ix
             }
         };
-        u32::try_from(ix).expect("function too large for packed operands")
+        match u32::try_from(ix) {
+            Ok(p) => p,
+            Err(_) => {
+                self.overflow = true;
+                0
+            }
+        }
     }
 }
 
@@ -556,7 +591,7 @@ fn specialize(op: Op, arity: usize) -> Option<DOp> {
     (arity == natural).then_some(d)
 }
 
-fn decode_func(f: &Function) -> DFunc {
+fn decode_func(f: &Function, fid: FuncId) -> Result<DFunc, ExecError> {
     // Slot layout is [registers | arguments | constants]; the argument
     // window must be sized before any operand packs, so scan every operand
     // position (instruction args — φ incomings included — and terminator
@@ -643,59 +678,58 @@ fn decode_func(f: &Function) -> DFunc {
                 }
                 Op::Phi => unreachable!("phis filtered above"),
                 op => match specialize(op, inst.args.len()) {
-                    // Binary op with a constant second operand: the
-                    // constant's conversion (`as_int` / `as_float`) is
-                    // exact and value-independent, so it folds into the
-                    // immediate at decode time.
-                    Some(d)
-                        if imm_variant(d).is_some()
-                            && matches!(inst.args.get(1), Some(Value::Const(_))) =>
-                    {
-                        let Some(&Value::Const(c)) = inst.args.get(1) else {
-                            unreachable!()
-                        };
-                        let a = df.pack(inst.args[0]);
-                        let v = Val::from(c);
-                        let imm = if matches!(d, DOp::FAdd | DOp::FSub | DOp::FMul | DOp::FDiv)
-                        {
-                            v.as_float().to_bits() as i64
-                        } else {
-                            v.as_int()
-                        };
-                        let ext = df.imms.len() as u32;
-                        df.imms.push(imm);
-                        DInst {
-                            op: imm_variant(d).unwrap(),
-                            dst: iid.0,
-                            a,
-                            b: 0,
-                            ext,
-                            iid,
-                        }
-                    }
                     Some(d) => {
-                        let a = df.pack(inst.args[0]);
-                        let b = if inst.args.len() > 1 {
-                            df.pack(inst.args[1])
-                        } else {
-                            0
-                        };
-                        let ext = match d {
-                            DOp::Select => df.pack(inst.args[2]),
-                            DOp::Gep => {
-                                let ix = df.imms.len() as u32;
-                                df.imms.push(inst.imm);
-                                ix
+                        // Binary op with a constant second operand: the
+                        // constant's conversion (`as_int` / `as_float`) is
+                        // exact and value-independent, so it folds into the
+                        // immediate at decode time. Binding the immediate
+                        // variant and the constant together keeps this arm
+                        // unwrap-free.
+                        if let (Some(opi), Some(&Value::Const(c))) =
+                            (imm_variant(d), inst.args.get(1))
+                        {
+                            let a = df.pack(inst.args[0]);
+                            let v = Val::from(c);
+                            let imm =
+                                if matches!(d, DOp::FAdd | DOp::FSub | DOp::FMul | DOp::FDiv) {
+                                    v.as_float().to_bits() as i64
+                                } else {
+                                    v.as_int()
+                                };
+                            let ext = df.imms.len() as u32;
+                            df.imms.push(imm);
+                            DInst {
+                                op: opi,
+                                dst: iid.0,
+                                a,
+                                b: 0,
+                                ext,
+                                iid,
                             }
-                            _ => 0,
-                        };
-                        DInst {
-                            op: d,
-                            dst: iid.0,
-                            a,
-                            b,
-                            ext,
-                            iid,
+                        } else {
+                            let a = df.pack(inst.args[0]);
+                            let b = if inst.args.len() > 1 {
+                                df.pack(inst.args[1])
+                            } else {
+                                0
+                            };
+                            let ext = match d {
+                                DOp::Select => df.pack(inst.args[2]),
+                                DOp::Gep => {
+                                    let ix = df.imms.len() as u32;
+                                    df.imms.push(inst.imm);
+                                    ix
+                                }
+                                _ => 0,
+                            };
+                            DInst {
+                                op: d,
+                                dst: iid.0,
+                                a,
+                                b,
+                                ext,
+                                iid,
+                            }
                         }
                     }
                     None => {
@@ -731,9 +765,10 @@ fn decode_func(f: &Function) -> DFunc {
             // register is still written by the fused arm.)
             let fused = match di.op {
                 // fmul feeding fadd: the accumulate step of every MAC.
-                DOp::FAdd if df.insts.len() > first as usize => {
-                    let prev = *df.insts.last().unwrap();
-                    if prev.op == DOp::FMul && (di.a == prev.dst || di.b == prev.dst) {
+                DOp::FAdd if df.insts.len() > first as usize => match df.insts.last().copied() {
+                    Some(prev)
+                        if prev.op == DOp::FMul && (di.a == prev.dst || di.b == prev.dst) =>
+                    {
                         let (op, c) = if di.a == prev.dst {
                             (DOp::FMulAddA, di.b)
                         } else {
@@ -753,21 +788,29 @@ fn decode_func(f: &Function) -> DFunc {
                             ext,
                             iid: prev.iid,
                         })
-                    } else {
-                        None
                     }
-                }
+                    _ => None,
+                },
                 // An integer load folded straight into an accumulator:
                 // `acc = add(acc, load(..))`. The second side-table entry
                 // goes in adjacently so one `ext` reaches both.
-                DOp::Add if df.insts.len() > first as usize => {
-                    let prev = *df.insts.last().unwrap();
-                    if prev.op == DOp::GepLoadI
-                        && di.b == prev.dst
-                        && df.fused.len() as u32 == prev.ext + 1
+                DOp::Add if df.insts.len() > first as usize => match df.insts.last().copied() {
+                    Some(prev)
+                        if prev.op == DOp::GepLoadI
+                            && di.b == prev.dst
+                            && df.fused.len() as u32 == prev.ext + 1 =>
                     {
+                        // The accumulator operand; the injected fusion bug
+                        // (fuzzer validation) records the load's own
+                        // register here instead, which diverges from the
+                        // walker whenever acc != loaded value.
+                        let acc = if BREAK_GEP_LOAD_ADD.with(Cell::get) {
+                            prev.dst
+                        } else {
+                            di.a
+                        };
                         df.fused.push(DFused {
-                            imm: i64::from(di.a),
+                            imm: i64::from(acc),
                             gep_dst: prev.dst,
                             mem_iid: di.iid,
                         });
@@ -779,33 +822,29 @@ fn decode_func(f: &Function) -> DFunc {
                             ext: prev.ext,
                             iid: prev.iid,
                         })
-                    } else {
-                        None
                     }
-                }
+                    _ => None,
+                },
                 // An integer load converted straight to float (the fp
                 // accumulator fold's first step).
-                DOp::IToF if df.insts.len() > first as usize => {
-                    let prev = *df.insts.last().unwrap();
-                    if prev.op == DOp::GepLoadI && di.a == prev.dst {
-                        Some(DInst {
-                            op: DOp::GepLoadItoF,
-                            dst: di.dst,
-                            a: prev.a,
-                            b: prev.b,
-                            ext: prev.ext,
-                            iid: prev.iid,
-                        })
-                    } else {
-                        None
-                    }
-                }
+                DOp::IToF if df.insts.len() > first as usize => match df.insts.last().copied() {
+                    Some(prev) if prev.op == DOp::GepLoadI && di.a == prev.dst => Some(DInst {
+                        op: DOp::GepLoadItoF,
+                        dst: di.dst,
+                        a: prev.a,
+                        b: prev.b,
+                        ext: prev.ext,
+                        iid: prev.iid,
+                    }),
+                    _ => None,
+                },
                 // `(x + salt) & mask`: the generated address pattern. The
                 // and's immediate was pushed right after the add's, so one
                 // `ext` reaches both (guarded below for safety).
-                DOp::AndI if df.insts.len() > first as usize => {
-                    let prev = *df.insts.last().unwrap();
-                    if prev.op == DOp::AddI && di.a == prev.dst && di.ext == prev.ext + 1 {
+                DOp::AndI if df.insts.len() > first as usize => match df.insts.last().copied() {
+                    Some(prev)
+                        if prev.op == DOp::AddI && di.a == prev.dst && di.ext == prev.ext + 1 =>
+                    {
                         Some(DInst {
                             op: DOp::AddAndI,
                             dst: di.dst,
@@ -814,44 +853,51 @@ fn decode_func(f: &Function) -> DFunc {
                             ext: prev.ext,
                             iid: prev.iid,
                         })
-                    } else {
-                        None
                     }
-                }
+                    _ => None,
+                },
                 DOp::LoadI | DOp::LoadF | DOp::Store if df.insts.len() > first as usize => {
-                    let prev = *df.insts.last().unwrap();
                     let addr = if di.op == DOp::Store { di.b } else { di.a };
-                    if prev.op == DOp::Gep && addr == prev.dst {
-                        let ext = df.fused.len() as u32;
-                        df.fused.push(DFused {
-                            imm: df.imms[prev.ext as usize],
-                            gep_dst: prev.dst,
-                            mem_iid: di.iid,
-                        });
-                        let op = match di.op {
-                            DOp::LoadI => DOp::GepLoadI,
-                            DOp::LoadF => DOp::GepLoadF,
-                            _ => DOp::GepStore,
-                        };
-                        // GepStore carries the store's *value* operand in
-                        // `dst` (stores have no destination register).
-                        let dst = if di.op == DOp::Store { di.a } else { di.dst };
-                        Some(DInst {
-                            op,
-                            dst,
-                            a: prev.a,
-                            b: prev.b,
-                            ext,
-                            iid: prev.iid,
-                        })
-                    } else {
-                        None
+                    match df.insts.last().copied() {
+                        Some(prev) if prev.op == DOp::Gep && addr == prev.dst => {
+                            let ext = df.fused.len() as u32;
+                            df.fused.push(DFused {
+                                imm: df.imms[prev.ext as usize],
+                                gep_dst: prev.dst,
+                                mem_iid: di.iid,
+                            });
+                            let op = match di.op {
+                                DOp::LoadI => DOp::GepLoadI,
+                                DOp::LoadF => DOp::GepLoadF,
+                                _ => DOp::GepStore,
+                            };
+                            // GepStore carries the store's *value* operand
+                            // in `dst` (stores have no destination
+                            // register).
+                            let dst = if di.op == DOp::Store { di.a } else { di.dst };
+                            Some(DInst {
+                                op,
+                                dst,
+                                a: prev.a,
+                                b: prev.b,
+                                ext,
+                                iid: prev.iid,
+                            })
+                        }
+                        _ => None,
                     }
                 }
                 _ => None,
             };
             match fused {
-                Some(fi) => *df.insts.last_mut().unwrap() = fi,
+                // Fusion arms only fire when the block already decoded an
+                // instruction, so the slot exists; if-let keeps the path
+                // panic-free regardless.
+                Some(fi) => {
+                    if let Some(slot) = df.insts.last_mut() {
+                        *slot = fi;
+                    }
+                }
                 None => df.insts.push(di),
             }
         }
@@ -875,7 +921,11 @@ fn decode_func(f: &Function) -> DFunc {
         // `cost`; its register is still written by the fused arm).
         let term = match term {
             DTerm::CondBr { cond, t, f } => {
-                let prev = (df.insts.len() > first as usize).then(|| *df.insts.last().unwrap());
+                let prev = if df.insts.len() > first as usize {
+                    df.insts.last().copied()
+                } else {
+                    None
+                };
                 match prev {
                     Some(p) if is_cmp(p.op) && p.dst == cond => {
                         df.insts.pop();
@@ -917,7 +967,10 @@ fn decode_func(f: &Function) -> DFunc {
         .map(|_| f.block(f.entry()).insts[0]);
 
     df.nslots = df.nregs + df.nargs + df.consts.len();
-    df
+    if df.overflow {
+        return Err(ExecError::ModuleTooLarge(fid));
+    }
+    Ok(df)
 }
 
 /// Pre-resolve the φ-moves for edge `pred -> succ`. Decoding stops at the
@@ -1102,16 +1155,17 @@ impl FramePool {
 
 /// The slow path for an unstamped slot read. Register slots map to
 /// [`ExecError::UndefinedValue`] at the attributed id; argument slots only
-/// stay unstamped when the caller passed too few arguments, where the
-/// reference walker panics indexing `args[n]` — replayed here verbatim.
-/// Constant slots are always stamped and can never reach this.
+/// stay unstamped when the caller passed too few arguments, which maps to
+/// [`ExecError::MissingArgument`] — the same typed error the reference
+/// walker returns for an out-of-range `args[n]` read. Constant slots are
+/// always stamped and can never reach this.
 #[cold]
 #[inline(never)]
 fn undef_err(df: &DFunc, args: &[Val], ix: usize, func: FuncId, at: InstId) -> ExecError {
     if ix >= df.nregs {
         let n = ix - df.nregs;
-        let _ = args[n]; // panics exactly like the walker's args[n]
-        unreachable!("stamped arg slot reached the undefined path");
+        debug_assert!(n >= args.len(), "stamped arg slot reached the undefined path");
+        return ExecError::MissingArgument(func, n as u32);
     }
     ExecError::UndefinedValue(func, at)
 }
@@ -1133,6 +1187,10 @@ pub(crate) struct ExecCtx<'a> {
     pub max_steps: u64,
     /// Call-depth ceiling.
     pub max_depth: usize,
+    /// Resident-page ceiling for [`Memory`] (resource governor);
+    /// `usize::MAX` means uncapped. Checked only when a store allocates a
+    /// fresh page, so resident-page stores pay nothing.
+    pub max_pages: usize,
 }
 
 impl ExecCtx<'_> {
@@ -1455,8 +1513,14 @@ impl ExecCtx<'_> {
                     DOp::Store => {
                         let v = r!(di.iid, di.a);
                         let addr = r!(di.iid, di.b).as_int() as u64;
+                        // The event precedes the governor check in both
+                        // engines: the walker emits `sink.mem` before its
+                        // capped store too, so event streams stay identical
+                        // on MemLimit.
                         sink.mem(func, di.iid, addr, true);
-                        mem.store(addr, v);
+                        if mem.store_capped(addr, v, self.max_pages).is_err() {
+                            return Err(ExecError::MemLimit(func, di.iid));
+                        }
                     }
                     // Fused arms: two walker steps each. The gep's register
                     // write still happens (later instructions may read the
@@ -1507,7 +1571,12 @@ impl ExecCtx<'_> {
                         let v = r!(fu.mem_iid, di.dst);
                         let addr = addr as u64;
                         sink.mem(func, fu.mem_iid, addr, true);
-                        mem.store(addr, v);
+                        // Mid-fusion governor hit: attributed to the
+                        // original store's id (`fu.mem_iid`), matching the
+                        // walker's per-instruction attribution exactly.
+                        if mem.store_capped(addr, v, self.max_pages).is_err() {
+                            return Err(ExecError::MemLimit(func, fu.mem_iid));
+                        }
                     }
                     DOp::FMulAddA => {
                         let fu = df.fu(di.ext);

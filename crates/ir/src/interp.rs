@@ -25,7 +25,18 @@ use crate::engine::{Engine, ExecCtx, FramePool};
 use crate::inst::{Op, Terminator};
 use crate::module::{BlockId, Constant, FuncId, Function, InstId, Module, Type, Value};
 
-pub use crate::mem::{MemDelta, MemSnapshot, Memory};
+pub use crate::mem::{CapExceeded, MemDelta, MemSnapshot, Memory};
+
+/// Enable/disable a deliberate decode-time fusion bug on the *current
+/// thread*: while set, the engine's GepLoadAdd peephole records the load's
+/// own register as the accumulator operand, so the flat engine computes
+/// `v + v` where the reference walker computes `acc + v`. Exists solely to
+/// validate the fuzzing subsystem's catch-and-shrink loop end to end
+/// against a realistic decode-time divergence; it only affects engines
+/// decoded (first run of an [`Interp`]) after the flag is set.
+pub fn set_fusion_fault_injection(on: bool) {
+    crate::engine::set_break_gep_load_add(on);
+}
 
 /// A runtime value. Pointers are carried as integers (byte addresses).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -265,6 +276,19 @@ pub enum ExecError {
     /// An op that should be pure had memory/control semantics (verifier
     /// escape; previously a panic).
     MalformedOp(FuncId, InstId),
+    /// A store needed a fresh memory page beyond the configured page cap
+    /// (resource governor). Attributed to the storing instruction; for a
+    /// fused gep+store superinstruction that is the original store's id in
+    /// both engines.
+    MemLimit(FuncId, InstId),
+    /// An instruction read argument `n` of a function invoked with fewer
+    /// than `n + 1` arguments (the verifier checks indices against the
+    /// signature, not call sites; previously an index panic).
+    MissingArgument(FuncId, u32),
+    /// The module could not be decoded for the flat engine because a
+    /// function's packed operand space overflowed (more than `u32::MAX`
+    /// slots; previously a decode-time panic).
+    ModuleTooLarge(FuncId),
 }
 
 impl fmt::Display for ExecError {
@@ -284,6 +308,15 @@ impl fmt::Display for ExecError {
             ExecError::MalformedOp(func, inst) => {
                 write!(f, "instruction {inst} in func {func:?} is not evaluable as pure")
             }
+            ExecError::MemLimit(func, inst) => {
+                write!(f, "store {inst} in func {func:?} exceeded the memory page cap")
+            }
+            ExecError::MissingArgument(func, n) => {
+                write!(f, "func {func:?} read missing argument {n}")
+            }
+            ExecError::ModuleTooLarge(func) => {
+                write!(f, "func {func:?} too large to decode (packed operand overflow)")
+            }
         }
     }
 }
@@ -301,8 +334,11 @@ pub struct Interp<'m> {
     pub max_steps: u64,
     /// Maximum call nesting depth.
     pub max_depth: usize,
+    /// Maximum resident [`Memory`] pages a run may allocate (resource
+    /// governor). `usize::MAX` means uncapped.
+    pub max_pages: usize,
     steps: Cell<u64>,
-    engine: OnceCell<Engine>,
+    engine: OnceCell<Result<Engine, ExecError>>,
     pool: FramePool,
 }
 
@@ -313,6 +349,7 @@ impl<'m> Interp<'m> {
             module,
             max_steps: 50_000_000,
             max_depth: 64,
+            max_pages: usize::MAX,
             steps: Cell::new(0),
             engine: OnceCell::new(),
             pool: FramePool::default(),
@@ -322,6 +359,14 @@ impl<'m> Interp<'m> {
     /// Override the step budget (builder style).
     pub fn with_max_steps(mut self, n: u64) -> Interp<'m> {
         self.max_steps = n;
+        self
+    }
+
+    /// Override the resident-page cap (builder style). A run that would
+    /// allocate a page past the cap fails with [`ExecError::MemLimit`]
+    /// instead of allocating.
+    pub fn with_max_pages(mut self, n: usize) -> Interp<'m> {
+        self.max_pages = n;
         self
     }
 
@@ -362,12 +407,17 @@ impl<'m> Interp<'m> {
         sink: &mut S,
     ) -> Result<Option<Val>, ExecError> {
         self.steps.set(0);
-        let engine = self.engine.get_or_init(|| Engine::decode(self.module));
+        let engine = self
+            .engine
+            .get_or_init(|| Engine::decode(self.module))
+            .as_ref()
+            .map_err(Clone::clone)?;
         let ctx = ExecCtx {
             engine,
             pool: &self.pool,
             max_steps: self.max_steps,
             max_depth: self.max_depth,
+            max_pages: self.max_pages,
         };
         let vals: Vec<Val> = args.iter().map(|c| Val::from(*c)).collect();
         let mut budget = self.max_steps;
@@ -414,7 +464,10 @@ impl<'m> Interp<'m> {
         let read = |regs: &[Option<Val>], v: Value, at: InstId| -> Result<Val, ExecError> {
             match v {
                 Value::Const(c) => Ok(Val::from(c)),
-                Value::Arg(n) => Ok(args[n as usize]),
+                Value::Arg(n) => args
+                    .get(n as usize)
+                    .copied()
+                    .ok_or(ExecError::MissingArgument(func, n)),
                 Value::Inst(id) => regs[id.index()]
                     .ok_or(ExecError::UndefinedValue(func, at)),
             }
@@ -424,7 +477,10 @@ impl<'m> Interp<'m> {
         let read_term = |regs: &[Option<Val>], v: Value| -> Result<Val, ExecError> {
             match v {
                 Value::Const(c) => Ok(Val::from(c)),
-                Value::Arg(n) => Ok(args[n as usize]),
+                Value::Arg(n) => args
+                    .get(n as usize)
+                    .copied()
+                    .ok_or(ExecError::MissingArgument(func, n)),
                 Value::Inst(id) => regs[id.index()]
                     .ok_or(ExecError::UndefinedValue(func, id)),
             }
@@ -473,7 +529,8 @@ impl<'m> Interp<'m> {
                         let v = read(&regs, inst.args[0], iid)?;
                         let addr = read(&regs, inst.args[1], iid)?.as_int() as u64;
                         sink.mem(func, iid, addr, true);
-                        mem.store(addr, v);
+                        mem.store_capped(addr, v, self.max_pages)
+                            .map_err(|CapExceeded| ExecError::MemLimit(func, iid))?;
                         Val::Int(0)
                     }
                     Op::Call(callee) => {

@@ -21,6 +21,7 @@
 //! a missing page. All comparisons ([`Memory::diff`], [`Memory::same_as`])
 //! respect that equivalence, so "wrote 0 to a fresh cell" is not a delta.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -85,7 +86,16 @@ pub struct Memory {
     dense: Vec<Option<Page>>,
     /// Pages at or above the dense window, keyed by page number.
     sparse: PageIndex,
+    /// Number of allocated pages (dense + sparse). Maintained incrementally
+    /// at the two page-allocation sites so the resource governor's cap
+    /// check costs nothing on stores to resident pages.
+    resident: usize,
 }
+
+/// A capped store was refused because it would allocate a page beyond the
+/// governor's limit. See [`Memory::store_capped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapExceeded;
 
 #[inline]
 fn page_no(addr: u64) -> u64 {
@@ -123,20 +133,51 @@ impl Memory {
     }
 
     /// Mutable access to the word containing `addr`, allocating its page on
-    /// first touch.
+    /// first touch. Refuses (without allocating) when the allocation would
+    /// push the resident-page count past `max_pages`; the cap is only
+    /// consulted on the allocation path, so stores to resident pages pay
+    /// nothing for it.
     #[inline]
-    fn word_mut(&mut self, addr: u64) -> &mut u64 {
+    fn word_mut_capped(&mut self, addr: u64, max_pages: usize) -> Option<&mut u64> {
         let pn = page_no(addr);
         let page = if pn < DENSE_PAGES {
             let ix = pn as usize;
             if self.dense.len() <= ix {
                 self.dense.resize_with(ix + 1, || None);
             }
-            self.dense[ix].get_or_insert_with(new_page)
+            match &mut self.dense[ix] {
+                Some(p) => p,
+                slot => {
+                    if self.resident >= max_pages {
+                        return None;
+                    }
+                    self.resident += 1;
+                    slot.insert(new_page())
+                }
+            }
         } else {
-            self.sparse.entry(pn).or_insert_with(new_page)
+            match self.sparse.entry(pn) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => {
+                    if self.resident >= max_pages {
+                        return None;
+                    }
+                    self.resident += 1;
+                    e.insert(new_page())
+                }
+            }
         };
-        &mut page[word_ix(addr)]
+        Some(&mut page[word_ix(addr)])
+    }
+
+    /// Mutable access to the word containing `addr`, allocating its page on
+    /// first touch.
+    #[inline]
+    fn word_mut(&mut self, addr: u64) -> &mut u64 {
+        match self.word_mut_capped(addr, usize::MAX) {
+            Some(w) => w,
+            None => unreachable!("usize::MAX page cap cannot be reached"),
+        }
     }
 
     /// Read the 8-byte cell containing `addr`, typed as `ty`.
@@ -149,6 +190,39 @@ impl Memory {
     #[inline]
     pub fn store(&mut self, addr: u64, val: Val) {
         *self.word_mut(addr) = val.to_bits();
+    }
+
+    /// Write `val` to the 8-byte cell containing `addr`, refusing (and
+    /// leaving memory untouched) when the store would allocate a page past
+    /// `max_pages` resident pages. Both execution engines route stores
+    /// through this when a memory cap is configured, so an out-of-memory
+    /// condition is a typed error, never a panic or an unbounded
+    /// allocation.
+    ///
+    /// # Errors
+    /// Returns [`CapExceeded`] when a fresh page would exceed the cap.
+    #[inline]
+    pub fn store_capped(
+        &mut self,
+        addr: u64,
+        val: Val,
+        max_pages: usize,
+    ) -> Result<(), CapExceeded> {
+        match self.word_mut_capped(addr, max_pages) {
+            Some(w) => {
+                *w = val.to_bits();
+                Ok(())
+            }
+            None => Err(CapExceeded),
+        }
+    }
+
+    /// Number of allocated pages (dense + sparse), i.e. the quantity the
+    /// governor's page cap is measured against. A page allocated by storing
+    /// zero still counts: residency tracks allocation, not content.
+    #[inline]
+    pub fn resident_pages(&self) -> usize {
+        self.resident
     }
 
     /// Raw bits of the cell containing `addr` (0 when untouched).
@@ -434,6 +508,66 @@ mod tests {
                 MemDelta { addr: hi, before: 0, after: 5 },
             ]
         );
+    }
+
+    #[test]
+    fn resident_pages_counts_allocations_not_content() {
+        let mut mem = Memory::new();
+        assert_eq!(mem.resident_pages(), 0);
+        mem.store(0, Val::Int(0)); // zero store still allocates
+        assert_eq!(mem.resident_pages(), 1);
+        mem.store(8, Val::Int(1)); // same page
+        assert_eq!(mem.resident_pages(), 1);
+        mem.store(1 << PAGE_SHIFT, Val::Int(2)); // second dense page
+        mem.store(DENSE_PAGES << PAGE_SHIFT, Val::Int(3)); // sparse page
+        assert_eq!(mem.resident_pages(), 3);
+        // loads never allocate
+        assert_eq!(mem.load(0xDEAD_0000_0000, Type::I64), Val::Int(0));
+        assert_eq!(mem.resident_pages(), 3);
+    }
+
+    #[test]
+    fn store_capped_refuses_only_fresh_pages() {
+        let mut mem = Memory::new();
+        assert_eq!(mem.store_capped(0, Val::Int(1), 1), Ok(()));
+        // resident page: cap already reached but no allocation needed
+        assert_eq!(mem.store_capped(8, Val::Int(2), 1), Ok(()));
+        // fresh dense page over the cap
+        assert_eq!(
+            mem.store_capped(1 << PAGE_SHIFT, Val::Int(3), 1),
+            Err(CapExceeded)
+        );
+        // fresh sparse page over the cap
+        assert_eq!(
+            mem.store_capped(DENSE_PAGES << PAGE_SHIFT, Val::Int(3), 1),
+            Err(CapExceeded)
+        );
+        // the refused stores left no trace
+        assert_eq!(mem.resident_pages(), 1);
+        assert_eq!(mem.peek(1 << PAGE_SHIFT), 0);
+        // raising the cap lets the same store through
+        assert_eq!(mem.store_capped(1 << PAGE_SHIFT, Val::Int(3), 2), Ok(()));
+        assert_eq!(mem.peek(1 << PAGE_SHIFT), 3);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn accounting_survives_snapshot_restore_and_clone() {
+        let mut mem = Memory::new();
+        mem.store(0, Val::Int(1));
+        mem.store(DENSE_PAGES << PAGE_SHIFT, Val::Int(2));
+        let snap = mem.snapshot();
+        mem.store(2 << PAGE_SHIFT, Val::Int(3));
+        assert_eq!(mem.resident_pages(), 3);
+        // restore rolls the counter back with the pages
+        let restored = snap.restore();
+        assert_eq!(restored.resident_pages(), 2);
+        assert!(restored.same_as(&snap));
+        // and a restored memory keeps accounting correctly
+        let mut restored = restored;
+        restored.store(3 << PAGE_SHIFT, Val::Int(4));
+        assert_eq!(restored.resident_pages(), 3);
+        assert_eq!(mem.clone().resident_pages(), 3);
     }
 
     #[test]

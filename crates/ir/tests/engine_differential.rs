@@ -59,7 +59,24 @@ fn assert_equivalent(
     mem0: &Memory,
     max_steps: u64,
 ) {
-    let interp = Interp::new(module).with_max_steps(max_steps);
+    assert_equivalent_capped(ctx, module, func, args, mem0, max_steps, usize::MAX);
+}
+
+/// [`assert_equivalent`] with the memory governor armed: the resident-page
+/// cap must produce the same `MemLimit` attribution, cut point, and event
+/// prefix on both engines.
+fn assert_equivalent_capped(
+    ctx: &str,
+    module: &Module,
+    func: FuncId,
+    args: &[Constant],
+    mem0: &Memory,
+    max_steps: u64,
+    max_pages: usize,
+) {
+    let interp = Interp::new(module)
+        .with_max_steps(max_steps)
+        .with_max_pages(max_pages);
 
     let mut mem_fast = mem0.clone();
     let mut rec_fast = Rec::default();
@@ -314,6 +331,125 @@ fn undefined_body_read_is_equivalent() {
         .run(f, &[], &mut mem, &mut needle_ir::interp::NullSink)
         .unwrap_err();
     assert_eq!(err, ExecError::UndefinedValue(f, y.as_inst().unwrap()));
+}
+
+/// Build `store-heavy`: a loop writing `n` words to consecutive fresh
+/// pages through a fused gep+store, returning the loop counter. The gep
+/// scale of 4096 lands every iteration on a new page, so a cap of `k`
+/// pages above the baseline trips on exactly the `k`-th store.
+fn store_heavy_module() -> (Module, FuncId, Value) {
+    let mut fb = FunctionBuilder::new("store_heavy", &[Type::I64], Some(Type::I64));
+    let entry = fb.entry();
+    let header = fb.block("header");
+    let body = fb.block("body");
+    let exit = fb.block("exit");
+    fb.switch_to(entry);
+    fb.br(header);
+    fb.switch_to(header);
+    let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+    let c = fb.icmp_slt(i, fb.arg(0));
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    let p = fb.gep(Value::ptr(0x9000_0000), i, 4096);
+    let st = fb.store(i, p);
+    let next = fb.add(i, Value::int(1));
+    fb.br(header);
+    fb.switch_to(exit);
+    fb.ret(Some(i));
+    let mut func = fb.finish();
+    let phi_id = i.as_inst().expect("phi is an instruction");
+    func.inst_mut(phi_id).args.push(next);
+    func.inst_mut(phi_id).phi_blocks.push(body);
+    let mut m = Module::new("t");
+    let f = m.push(func);
+    (m, f, st)
+}
+
+#[test]
+fn mem_cap_sweep_is_equivalent() {
+    // Exhaustive governor boundary sweep: every cap from "nothing fits"
+    // through "everything fits plus slack" must cut both engines at the
+    // same store, with the same steps, events, and final memory.
+    let (m, f, _) = store_heavy_module();
+    let args = [Constant::Int(6)];
+    let interp = Interp::new(&m);
+    let mut mem = Memory::new();
+    interp
+        .run(f, &args, &mut mem, &mut needle_ir::interp::NullSink)
+        .expect("uncapped run completes");
+    let full = mem.resident_pages();
+    assert!(full >= 6, "six distinct pages touched");
+    for cap in 0..=full + 1 {
+        assert_equivalent_capped("store-heavy", &m, f, &args, &Memory::new(), 10_000, cap);
+    }
+}
+
+#[test]
+fn mem_cap_mid_fusion_attributes_to_store() {
+    // The engine fuses the body's gep+store into one GepStore
+    // superinstruction. A cap violation lands mid-superinstruction — and
+    // must still attribute to the *store* instruction id, exactly as the
+    // walker does, with identical step counts.
+    let (m, f, st) = store_heavy_module();
+    let st_id = st.as_inst().expect("store is an instruction");
+    let args = [Constant::Int(3)];
+    for cap in [0usize, 1, 2] {
+        let interp = Interp::new(&m).with_max_steps(10_000).with_max_pages(cap);
+        let mut mem_fast = Memory::new();
+        let r_fast = interp.run_with(f, &args, &mut mem_fast, &mut needle_ir::interp::NullSink);
+        let steps_fast = interp.steps();
+        let mut mem_ref = Memory::new();
+        let r_ref = interp.run_reference(f, &args, &mut mem_ref, &mut needle_ir::interp::NullSink);
+        let steps_ref = interp.steps();
+        assert_eq!(
+            r_fast,
+            Err(ExecError::MemLimit(f, st_id)),
+            "cap {cap}: engine must attribute the violation to the store"
+        );
+        assert_eq!(
+            r_ref,
+            Err(ExecError::MemLimit(f, st_id)),
+            "cap {cap}: walker must attribute the violation to the store"
+        );
+        assert_eq!(steps_fast, steps_ref, "cap {cap}: step counts diverge");
+        assert_eq!(mem_fast.resident_pages(), cap, "cap {cap}: engine residency");
+        assert_eq!(mem_ref.resident_pages(), cap, "cap {cap}: walker residency");
+    }
+}
+
+#[test]
+fn step_and_mem_cap_interplay_is_equivalent() {
+    // Fuel exhaustion and governor violation race each other: whichever
+    // error wins, both engines must agree on the error, its attribution,
+    // and the cut point. Sweep the full (limit, cap) grid of a run that
+    // can hit either.
+    let (m, f, _) = store_heavy_module();
+    let args = [Constant::Int(4)];
+    for limit in 0..30 {
+        for cap in 0..6 {
+            let ctx = format!("interplay limit={limit} cap={cap}");
+            assert_equivalent_capped(&ctx, &m, f, &args, &Memory::new(), limit, cap);
+        }
+    }
+}
+
+#[test]
+fn workload_under_mem_caps_is_equivalent() {
+    // A real suite workload under governor caps around its true
+    // footprint: 470.lbm is store-dense (float grid updates).
+    let w = needle_workloads::by_name("470.lbm").expect("known workload");
+    let interp = Interp::new(&w.module);
+    let mut mem = w.memory.clone();
+    interp
+        .run(w.func, &w.args, &mut mem, &mut needle_ir::interp::NullSink)
+        .expect("lbm completes");
+    let full = mem.resident_pages();
+    let base = w.memory.resident_pages();
+    for cap in [0, 1, base, full.saturating_sub(1), full, full + 1] {
+        assert_equivalent_capped(
+            "470.lbm", &w.module, w.func, &w.args, &w.memory, 50_000_000, cap,
+        );
+    }
 }
 
 #[test]

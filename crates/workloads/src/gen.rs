@@ -382,6 +382,722 @@ fn build_helper(module: &mut Module) -> FuncId {
     module.push(fb.finish())
 }
 
+// ---------------------------------------------------------------------------
+// Fuzzing: seeded generative + mutational module producer.
+// ---------------------------------------------------------------------------
+
+use needle_ir::verify::verify_module;
+use needle_ir::{BlockId, CmpOp, InstId, Op, Terminator};
+
+/// Parameters for the seeded fuzz-module generator.
+///
+/// Unlike [`GenSpec`] — which models the paper's benchmark shapes — a
+/// `FuzzSpec` aims for *adversarial* coverage of the execution engines:
+/// irreducible-adjacent merge shapes (triangles and multi-predecessor
+/// merges), deep GEP chains, instruction pairs that straddle every
+/// decode-time fusion window, and boundary constants (page edges, the
+/// dense/sparse memory boundary, `i64::MIN/MAX`, NaN). Every emitted module
+/// is `ir::verify`-clean and the whole construction is deterministic in
+/// `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzSpec {
+    /// Master seed; the entire case (CFG, constants, args, memory) is a
+    /// pure function of it.
+    pub seed: u64,
+    /// Structured control-flow segments on the function's spine.
+    pub segments: usize,
+    /// Upper bound on straight-line pattern emissions per segment.
+    pub max_straight: usize,
+    /// Whether the module may contain a callee helper function.
+    pub allow_calls: bool,
+}
+
+impl Default for FuzzSpec {
+    fn default() -> Self {
+        FuzzSpec {
+            seed: 0,
+            segments: 5,
+            max_straight: 6,
+            allow_calls: true,
+        }
+    }
+}
+
+impl FuzzSpec {
+    /// The spec for iteration `i` of a campaign keyed by `campaign_seed`.
+    pub fn for_iteration(campaign_seed: u64, i: u64) -> FuzzSpec {
+        FuzzSpec {
+            // splitmix-style decorrelation so neighbouring iterations do not
+            // share RNG prefixes.
+            seed: campaign_seed
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .rotate_left(17)
+                ^ i,
+            ..FuzzSpec::default()
+        }
+    }
+}
+
+/// One generated fuzz case: a verifier-clean module plus the invocation
+/// (entry function, arguments, initial memory) the oracle should run.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The module under test.
+    pub module: Module,
+    /// Entry function.
+    pub func: FuncId,
+    /// Call arguments (arity matches the entry's parameter list).
+    pub args: Vec<Constant>,
+    /// Initial memory image.
+    pub memory: Memory,
+}
+
+/// Integer boundary constants the generator and mutator draw from: zero and
+/// unit values, the `i64` extremes, page-edge addresses (`0xFF8`/`0x1000`
+/// straddle the first page boundary), the dense/sparse window boundary of
+/// the paged [`Memory`] (16 MiB), and a deep-sparse address.
+const INT_BOUNDARY: &[i64] = &[
+    0,
+    1,
+    -1,
+    2,
+    8,
+    63,
+    64,
+    i64::MAX,
+    i64::MIN,
+    0xFF8,
+    0xFFF,
+    0x1000,
+    DATA_BASE as i64,
+    OUT_BASE as i64,
+    0x00FF_FFF8,
+    0x0100_0000,
+    0x0100_0008,
+    0x4000_0000_0000,
+];
+
+/// Float boundary constants: signed zeros, units, infinities, NaN, and
+/// magnitude extremes (overflow / underflow bait for `fmul`+`fadd` fusion).
+const FLOAT_BOUNDARY: &[f64] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    0.5,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    f64::NAN,
+    f64::MIN_POSITIVE,
+    1e308,
+    -1e308,
+];
+
+/// GEP scales, including zero (address reuse), negative strides, and a
+/// page-sized stride that turns small indices into governor pressure.
+const GEP_SCALES: &[i64] = &[0, 1, 4, 8, -8, 4096];
+
+/// Values visible at the current insertion point, split by type. Cloned at
+/// branch points so arm-local definitions never leak past their merge
+/// (dominance cleanliness by construction).
+#[derive(Clone, Default)]
+struct Scope {
+    ints: Vec<Value>,
+    floats: Vec<Value>,
+    ptrs: Vec<Value>,
+}
+
+struct FuzzGen {
+    rng: StdRng,
+    /// Remaining instruction-pattern budget (keeps modules shrinker-sized).
+    budget: usize,
+    /// φs that need a loop-latch incoming patched in after `finish()`.
+    patches: Vec<(Value, needle_ir::BlockId, Value)>,
+    helper: Option<FuncId>,
+}
+
+impl FuzzGen {
+    fn int_const(&mut self) -> Value {
+        if self.rng.gen_bool(0.7) {
+            Value::int(INT_BOUNDARY[self.rng.gen_range(0..INT_BOUNDARY.len())])
+        } else {
+            Value::int(self.rng.gen_range(-1000..1000))
+        }
+    }
+
+    fn float_const(&mut self) -> Value {
+        Value::float(FLOAT_BOUNDARY[self.rng.gen_range(0..FLOAT_BOUNDARY.len())])
+    }
+
+    /// Pick an integer operand: a visible value or a boundary constant.
+    fn int(&mut self, scope: &Scope) -> Value {
+        if !scope.ints.is_empty() && self.rng.gen_bool(0.72) {
+            scope.ints[self.rng.gen_range(0..scope.ints.len())]
+        } else {
+            self.int_const()
+        }
+    }
+
+    fn float(&mut self, scope: &Scope) -> Value {
+        if !scope.floats.is_empty() && self.rng.gen_bool(0.72) {
+            scope.floats[self.rng.gen_range(0..scope.floats.len())]
+        } else {
+            self.float_const()
+        }
+    }
+
+    /// Pick an address operand: a prior GEP result, a known array base, or a
+    /// raw boundary constant (sparse / huge addresses included).
+    fn addr(&mut self, fb: &mut FunctionBuilder, scope: &Scope) -> Value {
+        if !scope.ptrs.is_empty() && self.rng.gen_bool(0.5) {
+            return scope.ptrs[self.rng.gen_range(0..scope.ptrs.len())];
+        }
+        let base = match self.rng.gen_range(0..4u32) {
+            0 => Value::ptr(DATA_BASE),
+            1 => Value::ptr(OUT_BASE),
+            2 => self.int_const(),
+            _ => self.int(scope),
+        };
+        let idx = self.int(scope);
+        let scale = GEP_SCALES[self.rng.gen_range(0..GEP_SCALES.len())];
+        fb.gep(base, idx, scale)
+    }
+
+    fn cmp_op(&mut self) -> CmpOp {
+        [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+            [self.rng.gen_range(0..6usize)]
+    }
+
+    /// Emit one straight-line pattern. The patterns deliberately reproduce
+    /// (and straddle) every fusion window the flat engine's decoder knows:
+    /// `gep`+`load`/`store`, `fmul`+`fadd`, `addI`+`andI`, `gepload`+`add`,
+    /// `gepload`+`itof`, and compare-before-terminator.
+    fn pattern(&mut self, fb: &mut FunctionBuilder, scope: &mut Scope) {
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        match self.rng.gen_range(0..15u32) {
+            0 => {
+                // Plain integer binop over visible values.
+                let (a, b) = (self.int(scope), self.int(scope));
+                let ops: [fn(&mut FunctionBuilder, Value, Value) -> Value; 10] = [
+                    FunctionBuilder::add,
+                    FunctionBuilder::sub,
+                    FunctionBuilder::mul,
+                    FunctionBuilder::div,
+                    FunctionBuilder::rem,
+                    FunctionBuilder::and,
+                    FunctionBuilder::or,
+                    FunctionBuilder::xor,
+                    FunctionBuilder::shl,
+                    FunctionBuilder::shr,
+                ];
+                let v = ops[self.rng.gen_range(0..ops.len())](fb, a, b);
+                scope.ints.push(v);
+            }
+            1 => {
+                // Immediate-variant bait: const on the right-hand side.
+                let a = self.int(scope);
+                let c = self.int_const();
+                let v = match self.rng.gen_range(0..4u32) {
+                    0 => fb.add(a, c),
+                    1 => fb.sub(a, c),
+                    2 => fb.mul(a, c),
+                    _ => fb.xor(a, c),
+                };
+                scope.ints.push(v);
+            }
+            2 => {
+                // addI+andI fusion window (the masked-index address idiom).
+                let a = self.int(scope);
+                let t = fb.add(a, self.int_const());
+                let v = fb.and(t, self.int_const());
+                scope.ints.push(v);
+            }
+            3 => {
+                // Deep GEP chain: gep feeding gep as its base.
+                let mut p = self.addr(fb, scope);
+                for _ in 0..self.rng.gen_range(1..4u32) {
+                    let idx = self.int(scope);
+                    let scale = GEP_SCALES[self.rng.gen_range(0..GEP_SCALES.len())];
+                    p = fb.gep(p, idx, scale);
+                }
+                scope.ptrs.push(p);
+            }
+            4 => {
+                // gep+load fusion window.
+                let p = self.addr(fb, scope);
+                let v = fb.load(Type::I64, p);
+                scope.ints.push(v);
+            }
+            5 => {
+                // gepload+add fold window.
+                let p = self.addr(fb, scope);
+                let l = fb.load(Type::I64, p);
+                let v = fb.add(l, self.int(scope));
+                scope.ints.push(v);
+            }
+            6 => {
+                // gepload+itof window.
+                let p = self.addr(fb, scope);
+                let l = fb.load(Type::I64, p);
+                let v = fb.itof(l);
+                scope.floats.push(v);
+            }
+            7 => {
+                // gep+store fusion window (also the governor trigger).
+                let p = self.addr(fb, scope);
+                let v = self.int(scope);
+                fb.store(v, p);
+            }
+            8 => {
+                // Float load.
+                let p = self.addr(fb, scope);
+                let v = fb.load(Type::F64, p);
+                scope.floats.push(v);
+            }
+            9 => {
+                // fmul+fadd fusion window.
+                let (a, b) = (self.float(scope), self.float(scope));
+                let m = fb.fmul(a, b);
+                let v = fb.fadd(m, self.float(scope));
+                scope.floats.push(v);
+            }
+            10 => {
+                // Plain float op.
+                let (a, b) = (self.float(scope), self.float(scope));
+                let v = match self.rng.gen_range(0..5u32) {
+                    0 => fb.fadd(a, b),
+                    1 => fb.fsub(a, b),
+                    2 => fb.fmul(a, b),
+                    3 => fb.fdiv(a, b),
+                    _ => fb.fsqrt(a),
+                };
+                scope.floats.push(v);
+            }
+            11 => {
+                // Conversions.
+                if self.rng.gen_bool(0.5) {
+                    let a = self.int(scope);
+                    let v = fb.itof(a);
+                    scope.floats.push(v);
+                } else {
+                    let a = self.float(scope);
+                    let v = fb.ftoi(a);
+                    scope.ints.push(v);
+                }
+            }
+            12 => {
+                // Compare (also feeds select below via the scope).
+                let v = if self.rng.gen_bool(0.7) {
+                    let (a, b) = (self.int(scope), self.int(scope));
+                    let op = self.cmp_op();
+                    fb.icmp(op, a, b)
+                } else {
+                    let (a, b) = (self.float(scope), self.float(scope));
+                    let op = self.cmp_op();
+                    fb.fcmp(op, a, b)
+                };
+                scope.ints.push(v);
+            }
+            13 => {
+                // Select over a fresh condition.
+                let c = {
+                    let (a, b) = (self.int(scope), self.int(scope));
+                    let op = self.cmp_op();
+                    fb.icmp(op, a, b)
+                };
+                let (a, b) = (self.int(scope), self.int(scope));
+                let v = fb.select(Type::I64, c, a, b);
+                scope.ints.push(v);
+            }
+            _ => {
+                // Call into the helper, when the module has one.
+                if let Some(h) = self.helper {
+                    let (a, b) = (self.int(scope), self.int(scope));
+                    let v = fb.call(h, Type::I64, &[a, b]);
+                    scope.ints.push(v);
+                } else {
+                    let (a, b) = (self.int(scope), self.int(scope));
+                    let v = fb.add(a, b);
+                    scope.ints.push(v);
+                }
+            }
+        }
+    }
+
+    fn straight(&mut self, fb: &mut FunctionBuilder, scope: &mut Scope, max: usize) {
+        let n = self.rng.gen_range(1..=max.max(1));
+        for _ in 0..n {
+            self.pattern(fb, scope);
+        }
+    }
+
+    /// A two-way diamond; arm-local values escape only through merge φs.
+    fn diamond(&mut self, fb: &mut FunctionBuilder, scope: &mut Scope, max: usize) {
+        let (a, b) = (self.int(scope), self.int(scope));
+        let op = self.cmp_op();
+        let cond = fb.icmp(op, a, b);
+        let then_bb = fb.block("fz.then");
+        let else_bb = fb.block("fz.else");
+        let merge_bb = fb.block("fz.merge");
+        fb.cond_br(cond, then_bb, else_bb);
+
+        fb.switch_to(then_bb);
+        let mut st = scope.clone();
+        self.straight(fb, &mut st, max);
+        fb.br(merge_bb);
+
+        fb.switch_to(else_bb);
+        let mut se = scope.clone();
+        self.straight(fb, &mut se, max);
+        fb.br(merge_bb);
+
+        fb.switch_to(merge_bb);
+        for _ in 0..self.rng.gen_range(1..3u32) {
+            let vt = self.int(&st);
+            let ve = self.int(&se);
+            let p = fb.phi(Type::I64, &[(then_bb, vt), (else_bb, ve)]);
+            scope.ints.push(p);
+        }
+        if !st.floats.is_empty() && !se.floats.is_empty() {
+            let vt = self.float(&st);
+            let ve = self.float(&se);
+            let p = fb.phi(Type::F64, &[(then_bb, vt), (else_bb, ve)]);
+            scope.floats.push(p);
+        }
+    }
+
+    /// A triangle: the merge has the branch block itself as one predecessor
+    /// — the irreducible-adjacent shape the structured [`generate`] never
+    /// produces.
+    fn triangle(&mut self, fb: &mut FunctionBuilder, scope: &mut Scope, max: usize) {
+        let here = fb.current();
+        let (a, b) = (self.int(scope), self.int(scope));
+        let op = self.cmp_op();
+        let cond = fb.icmp(op, a, b);
+        let v0 = self.int(scope);
+        let mid_bb = fb.block("fz.mid");
+        let merge_bb = fb.block("fz.tmerge");
+        fb.cond_br(cond, mid_bb, merge_bb);
+
+        fb.switch_to(mid_bb);
+        let mut sm = scope.clone();
+        self.straight(fb, &mut sm, max);
+        let vm = self.int(&sm);
+        fb.br(merge_bb);
+
+        fb.switch_to(merge_bb);
+        let p = fb.phi(Type::I64, &[(here, v0), (mid_bb, vm)]);
+        scope.ints.push(p);
+    }
+
+    /// A counted loop with loop-carried φs (patched after `finish()`); trip
+    /// counts include 0 and 1 so header-only and single-iteration paths are
+    /// exercised.
+    fn counted_loop(&mut self, fb: &mut FunctionBuilder, scope: &mut Scope, max: usize) {
+        let pre = fb.current();
+        let trips = Value::int(self.rng.gen_range(0..=12));
+        let header = fb.block("fz.head");
+        let body = fb.block("fz.body");
+        let after = fb.block("fz.after");
+        fb.br(header);
+
+        fb.switch_to(header);
+        let phi_i = fb.phi(Type::I64, &[(pre, Value::int(0))]);
+        let seed_acc = self.int(scope);
+        let phi_a = fb.phi(Type::I64, &[(pre, seed_acc)]);
+        let cond = fb.icmp_slt(phi_i, trips);
+        fb.cond_br(cond, body, after);
+
+        fb.switch_to(body);
+        let mut sb = scope.clone();
+        sb.ints.push(phi_i);
+        sb.ints.push(phi_a);
+        self.straight(fb, &mut sb, max);
+        if self.rng.gen_bool(0.4) {
+            self.diamond(fb, &mut sb, max);
+        }
+        let a2 = self.int(&sb);
+        let i2 = fb.add(phi_i, Value::int(1));
+        let latch = fb.current();
+        fb.br(header);
+        self.patches.push((phi_i, latch, i2));
+        self.patches.push((phi_a, latch, a2));
+
+        fb.switch_to(after);
+        scope.ints.push(phi_i);
+        scope.ints.push(phi_a);
+    }
+}
+
+/// Generate one fuzz case. The module is guaranteed `ir::verify`-clean; a
+/// violation here is a generator bug and asserts (campaign workers are
+/// panic-isolated, and the failing seed is deterministic).
+pub fn fuzz_case(spec: &FuzzSpec) -> FuzzCase {
+    let mut module = Module::new(format!("fuzz_{:016x}", spec.seed));
+    let mut g = FuzzGen {
+        rng: StdRng::seed_from_u64(spec.seed),
+        budget: spec.segments * spec.max_straight.max(1) * 3 + 8,
+        patches: Vec::new(),
+        helper: None,
+    };
+    if spec.allow_calls && g.rng.gen_bool(0.4) {
+        g.helper = Some(build_helper(&mut module));
+    }
+
+    let nparams = g.rng.gen_range(0..=3usize);
+    let params = vec![Type::I64; nparams];
+    let has_ret = g.rng.gen_bool(0.9);
+    let mut fb = FunctionBuilder::new("fuzz_kernel", &params, has_ret.then_some(Type::I64));
+
+    let mut scope = Scope::default();
+    for n in 0..nparams {
+        scope.ints.push(fb.arg(n));
+    }
+
+    for _ in 0..spec.segments.max(1) {
+        match g.rng.gen_range(0..4u32) {
+            0 => g.straight(&mut fb, &mut scope, spec.max_straight),
+            1 => g.diamond(&mut fb, &mut scope, spec.max_straight),
+            2 => g.triangle(&mut fb, &mut scope, spec.max_straight),
+            _ => g.counted_loop(&mut fb, &mut scope, spec.max_straight),
+        }
+    }
+    // A compare directly before the return exercises the cmp→terminator
+    // non-fusion path (CmpBr only fuses into CondBr).
+    let ret = if has_ret {
+        Some(g.int(&scope))
+    } else {
+        None
+    };
+    fb.ret(ret);
+
+    let mut func = fb.finish();
+    for (phi, latch, v) in &g.patches {
+        let id = phi.as_inst().expect("loop φ is an instruction");
+        func.inst_mut(id).args.push(*v);
+        func.inst_mut(id).phi_blocks.push(*latch);
+    }
+    let func_id = module.push(func);
+
+    if let Err((f, e)) = verify_module(&module) {
+        panic!(
+            "fuzz generator produced a verifier-rejected module \
+             (seed {:#x}, func {f:?}): {e:?}",
+            spec.seed
+        );
+    }
+
+    let args = (0..nparams)
+        .map(|_| Constant::Int(INT_BOUNDARY[g.rng.gen_range(0..INT_BOUNDARY.len())]))
+        .collect();
+    let mut memory = Memory::new();
+    for idx in 0..32u64 {
+        let v = INT_BOUNDARY[g.rng.gen_range(0..INT_BOUNDARY.len())];
+        memory.store(DATA_BASE + idx * 8, Val::Int(v));
+    }
+    FuzzCase {
+        module,
+        func: func_id,
+        args,
+        memory,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutator: perturb an existing module, keeping only verifier-clean mutants.
+// ---------------------------------------------------------------------------
+
+/// Apply up to `rounds` random mutations to `module`, keeping each one only
+/// if the mutant still passes `ir::verify` (otherwise that round is a no-op).
+/// Deterministic in `seed`; the result is always verifier-clean if the input
+/// was.
+pub fn mutate_module(module: &Module, seed: u64, rounds: usize) -> Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = module.clone();
+    for _ in 0..rounds {
+        let mut cand = cur.clone();
+        let applied = apply_mutation(&mut cand, &mut rng);
+        if applied && verify_module(&cand).is_ok() {
+            cur = cand;
+        }
+    }
+    cur
+}
+
+/// One random mutation; returns whether anything changed.
+fn apply_mutation(module: &mut Module, rng: &mut StdRng) -> bool {
+    if module.funcs.is_empty() {
+        return false;
+    }
+    let fid = rng.gen_range(0..module.funcs.len());
+    let func = &mut module.funcs[fid];
+    match rng.gen_range(0..5u32) {
+        0 => swap_operands(func, rng),
+        1 => edit_constant(func, rng),
+        2 => edit_gep_scale(func, rng),
+        3 => swap_op(func, rng),
+        _ => split_block(func, rng),
+    }
+}
+
+/// Swap the first two operands of a random non-φ instruction (order bait
+/// for non-commutative ops and decode-time immediate placement).
+fn swap_operands(func: &mut needle_ir::Function, rng: &mut StdRng) -> bool {
+    let cands: Vec<usize> = func
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| !i.is_phi() && i.args.len() >= 2)
+        .map(|(ix, _)| ix)
+        .collect();
+    if cands.is_empty() {
+        return false;
+    }
+    let ix = cands[rng.gen_range(0..cands.len())];
+    func.insts[ix].args.swap(0, 1);
+    true
+}
+
+/// Replace a random constant operand with a boundary constant of the same
+/// kind.
+fn edit_constant(func: &mut needle_ir::Function, rng: &mut StdRng) -> bool {
+    let mut cands: Vec<(usize, usize)> = Vec::new();
+    for (ix, inst) in func.insts.iter().enumerate() {
+        for (aix, a) in inst.args.iter().enumerate() {
+            if matches!(a, Value::Const(_)) {
+                cands.push((ix, aix));
+            }
+        }
+    }
+    if cands.is_empty() {
+        return false;
+    }
+    let (ix, aix) = cands[rng.gen_range(0..cands.len())];
+    let new = match func.insts[ix].args[aix] {
+        Value::Const(Constant::Float(_)) => {
+            Value::float(FLOAT_BOUNDARY[rng.gen_range(0..FLOAT_BOUNDARY.len())])
+        }
+        Value::Const(Constant::Ptr(_)) => {
+            Value::ptr(INT_BOUNDARY[rng.gen_range(0..INT_BOUNDARY.len())] as u64)
+        }
+        _ => Value::int(INT_BOUNDARY[rng.gen_range(0..INT_BOUNDARY.len())]),
+    };
+    func.insts[ix].args[aix] = new;
+    true
+}
+
+/// Rewrite the scale immediate of a random GEP.
+fn edit_gep_scale(func: &mut needle_ir::Function, rng: &mut StdRng) -> bool {
+    let cands: Vec<usize> = func
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i.op, Op::Gep))
+        .map(|(ix, _)| ix)
+        .collect();
+    if cands.is_empty() {
+        return false;
+    }
+    let ix = cands[rng.gen_range(0..cands.len())];
+    func.insts[ix].imm = GEP_SCALES[rng.gen_range(0..GEP_SCALES.len())];
+    true
+}
+
+/// Swap an opcode for another of the same arity/type family (or flip a
+/// compare predicate).
+fn swap_op(func: &mut needle_ir::Function, rng: &mut StdRng) -> bool {
+    const INT_OPS: &[Op] = &[
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::Rem,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Shl,
+        Op::Shr,
+    ];
+    const FLOAT_OPS: &[Op] = &[Op::FAdd, Op::FSub, Op::FMul, Op::FDiv];
+    const CMPS: &[CmpOp] = &[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    let cands: Vec<usize> = func
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| {
+            INT_OPS.contains(&i.op)
+                || FLOAT_OPS.contains(&i.op)
+                || matches!(i.op, Op::ICmp(_) | Op::FCmp(_))
+        })
+        .map(|(ix, _)| ix)
+        .collect();
+    if cands.is_empty() {
+        return false;
+    }
+    let ix = cands[rng.gen_range(0..cands.len())];
+    let inst = &mut func.insts[ix];
+    inst.op = match inst.op {
+        Op::ICmp(_) => Op::ICmp(CMPS[rng.gen_range(0..CMPS.len())]),
+        Op::FCmp(_) => Op::FCmp(CMPS[rng.gen_range(0..CMPS.len())]),
+        op if FLOAT_OPS.contains(&op) => FLOAT_OPS[rng.gen_range(0..FLOAT_OPS.len())],
+        _ => INT_OPS[rng.gen_range(0..INT_OPS.len())],
+    };
+    true
+}
+
+/// Split a random block after its φ prefix, moving the tail (and the
+/// terminator) into a fresh block; successor φs are retargeted to the new
+/// predecessor. Changes block shape without changing semantics — exactly
+/// the kind of decode-window perturbation the fusion peepholes must be
+/// robust to.
+fn split_block(func: &mut needle_ir::Function, rng: &mut StdRng) -> bool {
+    let cands: Vec<BlockId> = func
+        .block_ids()
+        .filter(|bb| {
+            let b = func.block(*bb);
+            let nphi = b.insts.iter().take_while(|id| func.inst(**id).is_phi()).count();
+            b.insts.len() > nphi.max(1)
+        })
+        .collect();
+    if cands.is_empty() {
+        return false;
+    }
+    let old_bb = cands[rng.gen_range(0..cands.len())];
+    let nphi = {
+        let b = func.block(old_bb);
+        b.insts.iter().take_while(|id| func.inst(**id).is_phi()).count()
+    };
+    let len = func.block(old_bb).insts.len();
+    let k = rng.gen_range(nphi.max(1)..len);
+    let new_bb = func.add_block(format!("{}.split", func.block(old_bb).name));
+
+    let tail: Vec<InstId> = func.block_mut(old_bb).insts.split_off(k);
+    let old_term = std::mem::replace(&mut func.block_mut(old_bb).term, Terminator::Br(new_bb));
+    {
+        let nb = func.block_mut(new_bb);
+        nb.insts = tail;
+        nb.term = old_term;
+    }
+    // The edge into each successor now originates from `new_bb`.
+    for succ in func.block(new_bb).term.successors() {
+        for iix in func.block(succ).insts.clone() {
+            let inst = func.inst_mut(iix);
+            if !inst.is_phi() {
+                break;
+            }
+            for b in &mut inst.phi_blocks {
+                if *b == old_bb {
+                    *b = new_bb;
+                }
+            }
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,6 +1164,116 @@ mod tests {
             .count();
         assert_eq!(mem, 0);
         assert_eq!(w.suite, Suite::Parsec);
+    }
+
+    #[test]
+    fn fuzz_cases_are_verifier_clean_across_seeds() {
+        for seed in 0..300u64 {
+            let case = fuzz_case(&FuzzSpec {
+                seed,
+                ..FuzzSpec::default()
+            });
+            verify_module(&case.module).unwrap();
+            let f = case.module.func(case.func);
+            assert_eq!(case.args.len(), f.params.len());
+        }
+    }
+
+    #[test]
+    fn fuzz_cases_are_seed_deterministic() {
+        for seed in [0u64, 0xC0FFEE, u64::MAX] {
+            let spec = FuzzSpec {
+                seed,
+                ..FuzzSpec::default()
+            };
+            let a = fuzz_case(&spec);
+            let b = fuzz_case(&spec);
+            assert_eq!(
+                needle_ir::print::module_to_string(&a.module),
+                needle_ir::print::module_to_string(&b.module)
+            );
+            assert_eq!(a.args, b.args);
+            assert!(a.memory.same_as(&b.memory.snapshot()));
+        }
+    }
+
+    #[test]
+    fn fuzz_cases_cover_fusion_and_boundary_shapes() {
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        let mut geps = 0usize;
+        let mut fp = 0usize;
+        let mut phis = 0usize;
+        for seed in 0..100u64 {
+            let case = fuzz_case(&FuzzSpec {
+                seed,
+                ..FuzzSpec::default()
+            });
+            for f in &case.module.funcs {
+                for i in &f.insts {
+                    match i.op {
+                        needle_ir::Op::Load => loads += 1,
+                        needle_ir::Op::Store => stores += 1,
+                        needle_ir::Op::Gep => geps += 1,
+                        needle_ir::Op::Phi => phis += 1,
+                        op if op.is_float() => fp += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(loads > 50 && stores > 20 && geps > 100 && fp > 50 && phis > 50);
+    }
+
+    #[test]
+    fn mutants_stay_verifier_clean_and_deterministic() {
+        let base = generate(&spec_by_name("401.bzip2"));
+        let mut changed = 0usize;
+        for seed in 0..40u64 {
+            let a = mutate_module(&base.module, seed, 8);
+            let b = mutate_module(&base.module, seed, 8);
+            verify_module(&a).unwrap();
+            assert_eq!(
+                needle_ir::print::module_to_string(&a),
+                needle_ir::print::module_to_string(&b)
+            );
+            if needle_ir::print::module_to_string(&a)
+                != needle_ir::print::module_to_string(&base.module)
+            {
+                changed += 1;
+            }
+        }
+        assert!(changed > 30, "mutator should usually change something: {changed}");
+    }
+
+    #[test]
+    fn block_splits_preserve_execution_result() {
+        // A split-only mutation stream must not change semantics: compare
+        // the reference result before and after.
+        let base = generate(&spec_by_name("164.gzip"));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut split = base.module.clone();
+        let mut applied = 0;
+        for _ in 0..20 {
+            let mut cand = split.clone();
+            if split_block(&mut cand.funcs[0], &mut rng) && verify_module(&cand).is_ok() {
+                split = cand;
+                applied += 1;
+            }
+        }
+        assert!(applied > 0);
+        let run = |m: &needle_ir::Module| {
+            let mut mem = base.memory.clone();
+            needle_ir::interp::Interp::new(m)
+                .run_reference(
+                    base.func,
+                    &base.args,
+                    &mut mem,
+                    &mut needle_ir::interp::NullSink,
+                )
+                .unwrap()
+        };
+        assert_eq!(run(&base.module), run(&split));
     }
 
     #[test]

@@ -14,37 +14,10 @@ use needle_opt::{optimize_module, OptConfig};
 
 /// saxpy-with-a-twist over 1024 elements:
 /// for i in 0..n { t = a*x[i] + y[i]; if t > 2500 { y[i] = t } }
-const KERNEL: &str = r#"
-; module saxpy_clip
-fn @saxpy_clip(i64 %arg0, i64 %arg1) -> i64 {
-bb0: ; entry
-  br bb1
-bb1: ; head
-  %0 = phi i64 [0, bb0], [%12, bb5]
-  %1 = icmp lt %0, %arg1
-  br %1, bb2, bb6
-bb2: ; body
-  %2 = gep @0x1000, %0, scale 8
-  %3 = load i64 %2
-  %4 = mul i64 %3, %arg0
-  %5 = gep @0x9000, %0, scale 8
-  %6 = load i64 %5
-  %7 = add i64 %4, %6
-  %8 = mul i64 %7, 1
-  %9 = icmp gt %8, 2500
-  br %9, bb3, bb4
-bb3: ; clip
-  store %8, %5
-  br bb4
-bb4: ; cont
-  br bb5
-bb5: ; latch
-  %12 = add i64 %0, 1
-  br bb1
-bb6: ; exit
-  ret %0
-}
-"#;
+///
+/// Lives in its own file so `needle run-ir examples/kernel.needle` and
+/// the verifier regression tests exercise the exact same text.
+const KERNEL: &str = include_str!("kernel.needle");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut module = parse_module(KERNEL)?;

@@ -1,0 +1,51 @@
+//! Replay every committed fuzz repro under `tests/repros/`.
+//!
+//! Each repro is a pair written by `needle fuzz --minimize`: a minimized
+//! `<name>.needle` module and a `<name>.case.txt` with the invocation
+//! (entry function, arguments, memory image, fuel) plus the oracle
+//! transcript of the original failure. Once the underlying bug is fixed,
+//! the pair is committed and this harness re-runs the full differential
+//! oracle over it on every `cargo test` — a divergence that ever
+//! happened must never come back.
+//!
+//! The corpus is regenerated with the ignored `generate_repro_corpus`
+//! test in `crates/core/src/fuzz.rs`, which shrinks a known injected
+//! engine fault into fresh pairs.
+
+use std::path::Path;
+
+use needle::fuzz::{check_case, parse_case_file};
+use needle_ir::parse::parse_module;
+use needle_ir::verify::verify_module;
+
+#[test]
+fn committed_repros_replay_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut replayed = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/repros exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("needle") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable repro");
+        let module = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{} no longer parses: {e}", path.display()));
+        verify_module(&module)
+            .unwrap_or_else(|(f, e)| panic!("{} fails verify: {f:?}: {e}", path.display()));
+        let case_path = path.with_extension("case.txt");
+        let case_text = std::fs::read_to_string(&case_path)
+            .unwrap_or_else(|e| panic!("{} missing: {e}", case_path.display()));
+        let (inv, max_steps) = parse_case_file(module, &case_text)
+            .unwrap_or_else(|e| panic!("{} malformed: {e}", case_path.display()));
+        if let Err(f) = check_case(&inv, max_steps) {
+            panic!(
+                "repro {} REGRESSED: [{}]\n{}",
+                path.display(),
+                f.signature,
+                f.detail
+            );
+        }
+        replayed += 1;
+    }
+    assert!(replayed > 0, "no repro pairs found under tests/repros/");
+}
