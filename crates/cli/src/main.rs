@@ -13,9 +13,9 @@
 use std::process::ExitCode;
 
 use needle::{
-    analyze, peek_journal, run_supervised, simulate_offload, storm_scenario, CampaignOptions,
-    CampaignReport, CampaignUnit, ChaosConfig, NeedleConfig, PredictorKind, SupervisorConfig,
-    UnitKind, UnitPayload,
+    analyze, peek_journal, run_soak, run_supervised, simulate_offload, storm_scenario,
+    CampaignOptions, CampaignReport, CampaignUnit, ChaosConfig, NeedleConfig, PredictorKind,
+    Request, ServeConfig, Service, SoakConfig, SupervisorConfig, UnitKind, UnitPayload,
 };
 use needle_frames::build_frame;
 use needle_ir::interp::{Interp, Memory, NullSink};
@@ -75,6 +75,22 @@ USAGE:
       --retries N        attempts per unit before failed-with-cause
       --journal PATH     append-only JSONL checkpoint journal
       --resume           resume from --journal instead of starting over
+
+  needle serve [--workers N] [--requests N]
+      Demo of the resident execution service: start the worker pool,
+      drive a short mixed request stream through admission control
+      (per-request fuel, page caps, deadlines), then drain gracefully
+      and print the metrics snapshot — counters, per-function circuit
+      breaker state, and the latency histogram.
+  needle soak [--seed N] [--requests N] [--no-chaos] [--workers N]
+      Seeded soak of the execution service. With chaos (default) the
+      driver injects worker panics, frame guard failures, and deadline
+      storms while verifying that every accepted request is answered
+      exactly once (`accepted == completed + failed + shed`), that a
+      circuit breaker both trips and recovers, and that shutdown sheds
+      rather than loses the queued tail. Deterministic in --seed;
+      exits non-zero on any invariant violation.
+
   needle print-ir <workload>
       Print the workload's IR in textual form.
   needle run-ir <file> [intarg...]
@@ -91,6 +107,8 @@ fn main() -> ExitCode {
         Some("resume") => cmd_resume(&args),
         Some("chaos") => cmd_chaos(&args),
         Some("fuzz") => cmd_fuzz(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("soak") => cmd_soak(&args),
         Some("print-ir") => with_workload(&args, cmd_print_ir),
         Some("run-ir") => cmd_run_ir(&args),
         _ => {
@@ -489,6 +507,86 @@ fn cmd_chaos(args: &[String]) -> CliResult {
     }
     if failed {
         return Err("chaos campaign failed".into());
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut cfg = ServeConfig::default();
+    if let Some(s) = flag_value(args, "--workers") {
+        cfg.workers = s.parse()?;
+    }
+    let requests: u64 = match flag_value(args, "--requests") {
+        Some(s) => s.parse()?,
+        None => 64,
+    };
+    let svc = Service::start(cfg)?;
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut accepted = 0u64;
+    let mut answered = 0u64;
+    for id in 0..requests {
+        // A small representative mix: plain completions, a fuel-starved
+        // request, a page-capped request, and a deadline-storm victim.
+        let mut req = match id % 8 {
+            0..=4 => Request::new(id, "svc.sum"),
+            5 => {
+                let mut r = Request::new(id, "svc.sum");
+                r.fuel = 16;
+                r
+            }
+            6 => {
+                let mut r = Request::new(id, "svc.mem");
+                r.max_pages = 3;
+                r
+            }
+            _ => Request::new(id, "999.loop"),
+        };
+        if req.workload == "999.loop" {
+            req.deadline_ms = 10;
+            req.fuel = u64::MAX / 4;
+        }
+        if svc.submit(req, &tx).is_ok() {
+            accepted += 1;
+        }
+        // Drain as we go so the bounded queue never becomes the story.
+        while rx.try_recv().is_ok() {
+            answered += 1;
+        }
+    }
+    // Wait out the in-flight tail before draining, so the demo shows
+    // executions rather than a shutdown full of shed requests.
+    while answered < accepted {
+        match rx.recv_timeout(std::time::Duration::from_secs(30)) {
+            Ok(_) => answered += 1,
+            Err(_) => break,
+        }
+    }
+    let m = svc.shutdown();
+    println!("served {accepted} accepted of {requests} offered\n{m}");
+    if !m.invariant_holds() {
+        return Err("exactly-once invariant violated".into());
+    }
+    Ok(())
+}
+
+fn cmd_soak(args: &[String]) -> CliResult {
+    let mut cfg = SoakConfig::default();
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = parse_seed(s)?;
+    }
+    if let Some(s) = flag_value(args, "--requests") {
+        cfg.requests = s.parse()?;
+    }
+    if args.iter().any(|a| a == "--no-chaos") {
+        cfg.chaos = false;
+    }
+    if let Some(s) = flag_value(args, "--workers") {
+        cfg.serve.workers = s.parse()?;
+    }
+    let report = run_soak(&cfg)?;
+    println!("{report}");
+    if !report.is_clean() {
+        return Err(format!("soak violated {} invariant(s)", report.violations.len()).into());
     }
     Ok(())
 }

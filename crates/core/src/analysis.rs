@@ -123,6 +123,7 @@ pub fn analyze(
         let mut tee = TeeSink(&mut paths, &mut edges);
         Interp::new(&module)
             .with_max_steps(cfg.analysis.max_steps)
+            .with_cancel(cfg.cancel.clone())
             .run_with(func, args, &mut mem, &mut tee)?;
     }
     let numbering = paths
@@ -187,6 +188,7 @@ pub fn analyze_hottest(
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
+        .with_cancel(cfg.cancel.clone())
         .run_with(entry, args, &mut mem, &mut paths)?;
     let ranking = needle_profile::rank::rank_functions(module, &paths);
     let hottest = ranking.first().map(|(f, _)| *f).unwrap_or(entry);
@@ -211,6 +213,7 @@ pub fn analyze_hottest(
             let mut tee = needle_ir::interp::TeeSink(&mut paths, &mut edges);
             Interp::new(&a.module)
                 .with_max_steps(cfg.analysis.max_steps)
+                .with_cancel(cfg.cancel.clone())
                 .run_with(entry, args, &mut mem, &mut tee)?;
         }
         let f = a.module.func(hottest);

@@ -1,0 +1,295 @@
+//! Per-function circuit breaker.
+//!
+//! Generalizes the offload layer's abort-storm detector into a reusable
+//! state machine, parameterized by the same [`StormConfig`] policy:
+//!
+//! * **Closed** — traffic flows; each failure bumps a consecutive-failure
+//!   counter, each success clears it. Reaching `threshold` consecutive
+//!   failures trips the breaker (a `threshold` of 0 disables tripping).
+//! * **Open** — traffic is shed for `cooldown` admission decisions, after
+//!   which one probe request is let through (half-open).
+//! * **Half-open** — the probe's outcome decides: success closes the
+//!   breaker and refills the retry budget (hysteresis: one good probe is
+//!   enough); failure spends one unit of `retry_budget` and restarts the
+//!   cooldown. At zero budget the breaker is permanently open.
+//!
+//! The exact counter discipline — when `cooldown_left` decrements, when
+//! `consecutive` resets, when `retry_budget` refills — is shared with the
+//! abort-storm gate in [`crate::offload`], which now delegates to this
+//! type so the two policies can never drift.
+
+use crate::config::StormConfig;
+
+/// What the breaker allows for the next request on a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: execute normally.
+    Execute,
+    /// Breaker half-open: execute as the recovery probe. The caller
+    /// *must* report the outcome via [`CircuitBreaker::on_success`] /
+    /// [`CircuitBreaker::on_failure`] or the breaker wedges half-open.
+    Probe,
+    /// Breaker open: shed (fast-fail or fall back).
+    Shed,
+}
+
+/// Coarse state for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal traffic.
+    Closed,
+    /// Tripped; shedding.
+    Open,
+    /// A probe is in flight.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Trip/cooldown/probe state machine (see module docs).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: StormConfig,
+    consecutive_failures: u32,
+    open: bool,
+    cooldown_left: u64,
+    retries_left: u32,
+    probing: bool,
+    trips: u64,
+    recoveries: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with a full retry budget.
+    pub fn new(cfg: StormConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            consecutive_failures: 0,
+            open: false,
+            cooldown_left: 0,
+            retries_left: cfg.retry_budget,
+            probing: false,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Decide the next request. Open-state calls consume cooldown, so
+    /// call this once per real admission decision, not speculatively.
+    pub fn admit(&mut self) -> Admission {
+        if !self.open {
+            return Admission::Execute;
+        }
+        if self.probing {
+            // A probe is already in flight; don't stack a second one.
+            return Admission::Shed;
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return Admission::Shed;
+        }
+        if self.retries_left == 0 {
+            return Admission::Shed;
+        }
+        self.probing = true;
+        Admission::Probe
+    }
+
+    /// Report a successful execution (normal or probe).
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.probing {
+            self.probing = false;
+            self.open = false;
+            self.retries_left = self.cfg.retry_budget;
+            self.recoveries += 1;
+        }
+    }
+
+    /// Report a failed execution (normal or probe).
+    pub fn on_failure(&mut self) {
+        if self.probing {
+            self.probing = false;
+            self.retries_left -= 1;
+            self.cooldown_left = self.cfg.cooldown;
+        } else if !self.open {
+            self.consecutive_failures += 1;
+            if self.cfg.threshold > 0 && self.consecutive_failures >= self.cfg.threshold {
+                self.open = true;
+                self.trips += 1;
+                self.cooldown_left = self.cfg.cooldown;
+                self.consecutive_failures = 0;
+            }
+        }
+    }
+
+    /// Whether the breaker is currently tripped (open or half-open).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Coarse state for metrics rows.
+    pub fn state(&self) -> BreakerState {
+        if !self.open {
+            BreakerState::Closed
+        } else if self.probing {
+            BreakerState::HalfOpen
+        } else {
+            BreakerState::Open
+        }
+    }
+
+    /// Times the breaker tripped closed→open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Times a probe closed the breaker again.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Failed probes still allowed before the breaker is permanently open.
+    pub fn retries_left(&self) -> u32 {
+        self.retries_left
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32, cooldown: u64, retry_budget: u32) -> StormConfig {
+        StormConfig {
+            threshold,
+            cooldown,
+            retry_budget,
+        }
+    }
+
+    /// Drain the open-state cooldown; every decision during it sheds.
+    fn drain_cooldown(b: &mut CircuitBreaker, n: u64) {
+        for i in 0..n {
+            assert_eq!(b.admit(), Admission::Shed, "cooldown decision {i}");
+            assert_eq!(b.state(), BreakerState::Open);
+        }
+    }
+
+    #[test]
+    fn closed_until_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg(3, 4, 2));
+        for _ in 0..2 {
+            assert_eq!(b.admit(), Admission::Execute);
+            b.on_failure();
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        // A success resets the streak (consecutive, not cumulative).
+        assert_eq!(b.admit(), Admission::Execute);
+        b.on_success();
+        for _ in 0..2 {
+            assert_eq!(b.admit(), Admission::Execute);
+            b.on_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
+        assert_eq!(b.admit(), Admission::Execute);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open, "third consecutive trips");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_disables_tripping() {
+        let mut b = CircuitBreaker::new(cfg(0, 4, 2));
+        for _ in 0..100 {
+            assert_eq!(b.admit(), Admission::Execute);
+            b.on_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn open_sheds_through_cooldown_then_probes() {
+        let mut b = CircuitBreaker::new(cfg(2, 3, 2));
+        b.on_failure();
+        b.on_failure();
+        assert!(b.is_open());
+        drain_cooldown(&mut b, 3);
+        assert_eq!(b.admit(), Admission::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // While the probe is in flight further traffic sheds.
+        assert_eq!(b.admit(), Admission::Shed);
+    }
+
+    #[test]
+    fn successful_probe_recovers_and_refills_budget() {
+        let mut b = CircuitBreaker::new(cfg(2, 1, 2));
+        b.on_failure();
+        b.on_failure();
+        drain_cooldown(&mut b, 1);
+        // Fail one probe first (budget 2 -> 1)...
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_failure();
+        assert_eq!(b.retries_left(), 1);
+        drain_cooldown(&mut b, 1);
+        // ...then a good probe closes the breaker and refills the budget.
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries(), 1);
+        assert_eq!(b.retries_left(), 2);
+        assert_eq!(b.admit(), Admission::Execute);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_permanently_open() {
+        let mut b = CircuitBreaker::new(cfg(1, 0, 2));
+        b.on_failure();
+        assert!(b.is_open());
+        // cooldown 0: probes come immediately; burn both retries.
+        for _ in 0..2 {
+            assert_eq!(b.admit(), Admission::Probe);
+            b.on_failure();
+        }
+        assert_eq!(b.retries_left(), 0);
+        for _ in 0..50 {
+            assert_eq!(b.admit(), Admission::Shed);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn retrip_after_recovery_counts_again() {
+        let mut b = CircuitBreaker::new(cfg(1, 0, 4));
+        b.on_failure();
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_success();
+        assert_eq!((b.trips(), b.recoveries()), (1, 1));
+        b.on_failure();
+        assert_eq!((b.trips(), b.recoveries()), (2, 1));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_success();
+        assert_eq!((b.trips(), b.recoveries()), (2, 2));
+    }
+
+    #[test]
+    fn open_failure_reports_do_not_double_trip() {
+        // Failures reported while open (e.g. a fallback leg failing) must
+        // not consume budget or re-trip.
+        let mut b = CircuitBreaker::new(cfg(1, 5, 1));
+        b.on_failure();
+        assert_eq!(b.trips(), 1);
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.retries_left(), 1);
+    }
+}

@@ -2,6 +2,7 @@
 
 use needle_cgra::CgraConfig;
 use needle_host::{HostConfig, HostEnergyModel};
+use needle_ir::interp::CancelToken;
 
 /// Knobs for the whole Needle pipeline.
 #[derive(Debug, Clone, Default)]
@@ -16,6 +17,12 @@ pub struct NeedleConfig {
     pub analysis: AnalysisConfig,
     /// Abort-storm degradation policy.
     pub storm: StormConfig,
+    /// Cooperative cancellation token threaded into every interpreter
+    /// run this config drives. `None` (the default) disables the
+    /// checkpoints entirely; when set, a cancelled token stops runaway
+    /// work within the engine's check interval with a typed
+    /// [`needle_ir::interp::ExecError::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 /// Abort-storm detector policy (graceful offload degradation).

@@ -43,6 +43,9 @@ pub enum NeedleError {
     Journal(JournalError),
     /// The attempt was cancelled by the supervisor's watchdog.
     Canceled,
+    /// The execution service could not start or operate (bad catalog,
+    /// worker spawn failure).
+    Serve(String),
 }
 
 impl fmt::Display for NeedleError {
@@ -58,6 +61,7 @@ impl fmt::Display for NeedleError {
             NeedleError::NoRegion(what) => write!(f, "no region: {what}"),
             NeedleError::Journal(e) => write!(f, "campaign journal failed: {e}"),
             NeedleError::Canceled => write!(f, "attempt cancelled by supervisor"),
+            NeedleError::Serve(what) => write!(f, "execution service failed: {what}"),
         }
     }
 }

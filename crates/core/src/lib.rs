@@ -41,6 +41,7 @@
 //! ```
 
 pub mod analysis;
+pub mod breaker;
 pub mod chaos;
 pub mod config;
 pub mod error;
@@ -48,9 +49,11 @@ pub mod fuzz;
 pub mod journal;
 pub mod multi;
 pub mod offload;
+pub mod serve;
 pub mod supervisor;
 
 pub use analysis::{analyze, analyze_hottest, Analysis, AnalysisError};
+pub use breaker::{Admission, BreakerState, CircuitBreaker};
 pub use chaos::{run_campaign, storm_scenario, ChaosConfig, ChaosReport, RegionCampaign};
 pub use config::{NeedleConfig, StormConfig, SupervisorConfig};
 pub use error::NeedleError;
@@ -64,4 +67,8 @@ pub use supervisor::{
     UnitOutcome, UnitPayload, UnitReport,
 };
 pub use multi::{simulate_multi_offload, MultiOffloadReport, RegionSpec};
+pub use serve::{
+    run_soak, FailReason, InjectedFault, MetricsSnapshot, Outcome, Request, Response, ServeConfig,
+    Service, ShedReason, SoakConfig, SoakReport,
+};
 pub use offload::{simulate_offload, simulate_offload_with, OffloadReport, PredictorKind};

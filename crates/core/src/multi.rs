@@ -237,6 +237,7 @@ pub fn simulate_multi_offload(
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
+        .with_cancel(cfg.cancel.clone())
         .run_with(entry, args, &mut mem, &mut baseline_sim)
         .map_err(OffloadError::from)?;
     let baseline = baseline_sim.finish();
@@ -271,6 +272,7 @@ pub fn simulate_multi_offload(
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
+        .with_cancel(cfg.cancel.clone())
         .run_with(entry, args, &mut mem, &mut sim)
         .map_err(OffloadError::from)?;
     if sim.tracking.is_some() {

@@ -24,7 +24,8 @@ use needle_ir::interp::{Interp, Memory, TraceSink};
 use needle_ir::{BlockId, Constant, FuncId, InstId, Module, Terminator};
 use needle_regions::OffloadRegion;
 
-use crate::config::{NeedleConfig, StormConfig};
+use crate::breaker::{Admission, CircuitBreaker};
+use crate::config::NeedleConfig;
 use crate::error::NeedleError;
 
 /// Historical name of the offload layer's error type; the whole pipeline
@@ -172,12 +173,9 @@ struct OffloadSim<'m, 'i> {
     /// Optional chaos hook: a planned fault turns a committing invocation
     /// into a fabric abort (speculation burned, host re-executes).
     injector: Option<&'i mut FaultInjector>,
-    // abort-storm degradation state
-    storm: StormConfig,
-    consecutive_aborts: u32,
-    blacklisted: bool,
-    cooldown_left: u64,
-    retries_left: u32,
+    /// Abort-storm degradation state (trip/cooldown/probe machine shared
+    /// with the serving layer).
+    breaker: CircuitBreaker,
     // tracking state
     tracking: bool,
     predicted: bool,
@@ -195,7 +193,6 @@ struct OffloadSim<'m, 'i> {
     injected_aborts: u64,
     declined: u64,
     fallbacks: u64,
-    storms: u64,
     committed_insts: u64,
     total_insts: u64,
 }
@@ -257,19 +254,16 @@ impl OffloadSim<'_, '_> {
         // until its cooldown expires, then spends one retry on a probe
         // invocation. A committing probe reopens the region (hysteresis);
         // a failing one re-arms the cooldown. With the retry budget spent
-        // the region is host-only for the rest of the run.
-        let mut probe = false;
-        let mut blocked = false;
-        if self.blacklisted && predicted_invoke {
-            if self.cooldown_left > 0 {
-                self.cooldown_left -= 1;
-                blocked = true;
-            } else if self.retries_left == 0 {
-                blocked = true;
-            } else {
-                probe = true;
-            }
-        }
+        // the region is host-only for the rest of the run. The machine
+        // itself lives in [`CircuitBreaker`]; only invocations the
+        // predictor would ship consume admission decisions, and the
+        // breaker tracks probe state internally — the commit/abort legs
+        // just report the outcome.
+        let blocked = if predicted_invoke {
+            self.breaker.admit() == Admission::Shed
+        } else {
+            false
+        };
         let invoke = predicted_invoke && !blocked;
 
         // Fault injection: a planned fault burns the speculative run and
@@ -311,12 +305,9 @@ impl OffloadSim<'_, '_> {
                         _ => {}
                     }
                 }
-                self.consecutive_aborts = 0;
-                if probe {
-                    // Clean probe: reopen the region with a fresh budget.
-                    self.blacklisted = false;
-                    self.retries_left = self.storm.retry_budget;
-                }
+                // Clears the abort streak; a clean probe reopens the
+                // region with a fresh retry budget.
+                self.breaker.on_success();
             } else {
                 self.aborts += 1;
                 self.host.stall(self.cost.cycles(InvocationKind::Abort));
@@ -326,20 +317,9 @@ impl OffloadSim<'_, '_> {
                 for ev in &evs {
                     self.forward(ev);
                 }
-                if probe {
-                    self.retries_left -= 1;
-                    self.cooldown_left = self.storm.cooldown;
-                } else {
-                    self.consecutive_aborts += 1;
-                    if self.storm.threshold > 0
-                        && self.consecutive_aborts >= self.storm.threshold
-                    {
-                        self.blacklisted = true;
-                        self.storms += 1;
-                        self.cooldown_left = self.storm.cooldown;
-                        self.consecutive_aborts = 0;
-                    }
-                }
+                // A failed probe spends a retry and re-arms the cooldown;
+                // an abort streak past the threshold trips the breaker.
+                self.breaker.on_failure();
             }
         } else {
             if blocked {
@@ -451,7 +431,7 @@ pub fn simulate_offload(
 /// predictor ships to the fabric consults `injector`, and a planned fault
 /// forces a rollback (the abort-storm detector then degrades the region
 /// to host-only execution once aborts streak past the
-/// [`StormConfig`] threshold).
+/// [`crate::config::StormConfig`] threshold).
 ///
 /// # Errors
 /// Fails if the region cannot be framed or execution fails.
@@ -474,6 +454,7 @@ pub fn simulate_offload_with(
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
+        .with_cancel(cfg.cancel.clone())
         .run_with(func, args, &mut mem, &mut baseline_sim)?;
     let baseline = baseline_sim.finish();
     let baseline_energy_pj = host_energy_pj(&cfg.energy, &baseline);
@@ -496,11 +477,7 @@ pub fn simulate_offload_with(
         },
         frame: &frame,
         injector,
-        storm: cfg.storm,
-        consecutive_aborts: 0,
-        blacklisted: false,
-        cooldown_left: 0,
-        retries_left: cfg.storm.retry_budget,
+        breaker: CircuitBreaker::new(cfg.storm),
         tracking: false,
         predicted: false,
         pending: Vec::new(),
@@ -513,13 +490,13 @@ pub fn simulate_offload_with(
         injected_aborts: 0,
         declined: 0,
         fallbacks: 0,
-        storms: 0,
         committed_insts: 0,
         total_insts: 0,
     };
     let mut mem = memory.clone();
     Interp::new(module)
         .with_max_steps(cfg.analysis.max_steps)
+        .with_cancel(cfg.cancel.clone())
         .run_with(func, args, &mut mem, &mut sim)?;
     if sim.tracking {
         // Run ended mid-region (cannot happen for well-formed regions, but
@@ -540,12 +517,13 @@ pub fn simulate_offload_with(
         injected_aborts,
         declined,
         fallbacks,
-        storms,
-        blacklisted,
+        breaker,
         committed_insts,
         total_insts,
         ..
     } = sim;
+    let storms = breaker.trips();
+    let blacklisted = breaker.is_open();
     let offload = host.finish();
     let offload_energy_pj = host_energy_pj(&cfg.energy, &offload) + accel_energy_pj;
 

@@ -29,12 +29,12 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use needle_ir::interp::ExecError;
+use needle_ir::interp::{CancelToken, ExecError};
 use needle_regions::path::PathRegion;
 
 use crate::analysis::{analyze, AnalysisError};
@@ -568,12 +568,26 @@ pub struct CampaignReport {
     pub workers: usize,
     /// Campaign wall time, milliseconds.
     pub wall_ms: u64,
+    /// Attempt threads spawned by this campaign that are still running
+    /// (deadline-missed attempts that have not yet observed their
+    /// cancellation token).
+    live_attempts: Arc<AtomicUsize>,
 }
 
 impl CampaignReport {
     /// Units that ended in the given outcome.
     pub fn count(&self, o: UnitOutcome) -> usize {
         self.units.iter().filter(|u| u.outcome == o).count()
+    }
+
+    /// Abandoned attempt threads still burning CPU. The campaign does not
+    /// wait for deadline-missed attempts on exit; instead their config
+    /// carries a [`CancelToken`] wired to the per-attempt cancel flag, so
+    /// each stops within the engine's cancellation check interval. This
+    /// counter observes that: it drops to zero once every abandoned
+    /// thread has terminated.
+    pub fn live_attempt_threads(&self) -> usize {
+        self.live_attempts.load(Ordering::SeqCst)
     }
 
     /// Every unit produced a result (possibly degraded).
@@ -823,17 +837,19 @@ fn execute_unit(
     }
 }
 
-/// Classify a typed failure: interpreter fuel exhaustion is a budget
-/// overrun (same family as a wall-clock deadline miss), everything else
-/// is a pipeline failure.
+/// Classify a typed failure: interpreter fuel exhaustion and cooperative
+/// cancellation are budget overruns (same family as a wall-clock deadline
+/// miss), everything else is a pipeline failure.
 fn failure_outcome(e: &NeedleError) -> (UnitOutcome, String) {
     let fuel = matches!(
         e,
-        NeedleError::Exec(ExecError::StepLimit(_))
-            | NeedleError::Analysis(AnalysisError::Exec(ExecError::StepLimit(_)))
+        NeedleError::Exec(ExecError::StepLimit(_) | ExecError::Cancelled(..))
+            | NeedleError::Analysis(AnalysisError::Exec(
+                ExecError::StepLimit(_) | ExecError::Cancelled(..)
+            ))
     );
     if fuel {
-        (UnitOutcome::TimedOut, format!("fuel exhausted: {e}"))
+        (UnitOutcome::TimedOut, format!("budget exceeded: {e}"))
     } else {
         (UnitOutcome::Failed, e.to_string())
     }
@@ -853,8 +869,9 @@ enum Event {
 
 /// Keep caught unit panics from spraying the default hook's backtrace
 /// over the campaign output; panics on any other thread still report
-/// through the previous hook. Installed once, process-wide.
-fn silence_supervised_panics() {
+/// through the previous hook. Installed once, process-wide. Shared with
+/// the serving layer, whose workers use the same `needle-u` name prefix.
+pub(crate) fn silence_supervised_panics() {
     static HOOK: std::sync::Once = std::sync::Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
@@ -871,6 +888,16 @@ fn silence_supervised_panics() {
 
 /// Drive one unit to a terminal outcome: attempt → classify → degrade →
 /// backoff → retry, at most `max_attempts` times.
+/// Decrements the campaign's live-attempt counter when an attempt thread
+/// finishes (or when a failed spawn drops the moved closure).
+struct LiveAttempt(Arc<AtomicUsize>);
+
+impl Drop for LiveAttempt {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn run_unit(
     idx: usize,
     unit: &CampaignUnit,
@@ -878,6 +905,7 @@ fn run_unit(
     sup: &SupervisorConfig,
     events: &Sender<Event>,
     campaign_cancel: &AtomicBool,
+    live: &Arc<AtomicUsize>,
 ) -> UnitReport {
     let started = Instant::now();
     let deadline = Duration::from_millis(sup.deadline_ms.max(1));
@@ -891,10 +919,17 @@ fn run_unit(
 
         let (tx, rx) = channel();
         let attempt_cancel = Arc::new(AtomicBool::new(false));
-        let (u2, c2, can2) = (unit.clone(), cfg.clone(), Arc::clone(&attempt_cancel));
+        let (u2, mut c2, can2) = (unit.clone(), cfg.clone(), Arc::clone(&attempt_cancel));
+        // The attempt's cancel flag doubles as the engine's cooperative
+        // cancellation token: a deadline miss doesn't just abandon the
+        // thread, it stops the interpreter within the check interval.
+        c2.cancel = Some(CancelToken::from_flag(Arc::clone(&attempt_cancel)));
+        live.fetch_add(1, Ordering::SeqCst);
+        let live_guard = LiveAttempt(Arc::clone(live));
         let handle = std::thread::Builder::new()
             .name(format!("needle-u{idx}-a{attempt}"))
             .spawn(move || {
+                let _live = live_guard;
                 let r = catch_unwind(AssertUnwindSafe(|| execute_unit(&u2, &c2, level, &can2)));
                 let _ = tx.send(r);
             });
@@ -1100,12 +1135,14 @@ pub fn run_supervised(
 
     let queue = Arc::new(Mutex::new(VecDeque::from(pending.clone())));
     let campaign_cancel = Arc::new(AtomicBool::new(false));
+    let live_attempts = Arc::new(AtomicUsize::new(0));
     let (tx, rx) = channel::<Event>();
     let mut handles = Vec::new();
     for wi in 0..workers {
         let queue = Arc::clone(&queue);
         let tx = tx.clone();
         let cancel = Arc::clone(&campaign_cancel);
+        let live = Arc::clone(&live_attempts);
         let cfg = cfg.clone();
         let sup = sup.clone();
         let h = std::thread::Builder::new()
@@ -1116,7 +1153,7 @@ pub fn run_supervised(
                 }
                 let job = queue.lock().map(|mut q| q.pop_front()).unwrap_or(None);
                 let Some((idx, unit)) = job else { break };
-                let report = Box::new(run_unit(idx, &unit, &cfg, &sup, &tx, &cancel));
+                let report = Box::new(run_unit(idx, &unit, &cfg, &sup, &tx, &cancel, &live));
                 if tx.send(Event::Done { idx, report }).is_err() {
                     break;
                 }
@@ -1184,6 +1221,7 @@ pub fn run_supervised(
         resumed: resumed_count,
         workers,
         wall_ms: t0.elapsed().as_millis() as u64,
+        live_attempts,
     })
 }
 
@@ -1391,5 +1429,54 @@ mod tests {
             r.units[0].payload,
             Some(UnitPayload::Offload { invocations, .. }) if invocations > 0
         ));
+    }
+
+    #[test]
+    fn deadline_missed_runaway_thread_actually_stops() {
+        // A 999.loop offload unit spins forever; give it fuel that would
+        // outlive the test many times over, so the *only* thing that can
+        // stop the abandoned attempt thread is the cancellation token the
+        // supervisor now wires into the engine. Before that wiring the
+        // thread kept burning CPU until fuel ran out (the runaway-unit
+        // leak); now it must observably terminate within the cancellation
+        // check interval.
+        let cfg = NeedleConfig {
+            analysis: crate::config::AnalysisConfig {
+                max_steps: u64::MAX / 4,
+                ..crate::config::AnalysisConfig::default()
+            },
+            ..NeedleConfig::default()
+        };
+        let r = run_supervised(
+            vec![CampaignUnit {
+                workload: "999.loop".into(),
+                kind: UnitKind::Offload {
+                    path: true,
+                    oracle: true,
+                },
+            }],
+            &cfg,
+            &SupervisorConfig {
+                workers: 1,
+                deadline_ms: 150,
+                max_attempts: 1,
+                backoff_base_ms: 1,
+            },
+            &CampaignOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.units[0].outcome, UnitOutcome::TimedOut);
+
+        // The campaign returned without joining the abandoned thread; the
+        // live-attempt counter proves it exits promptly instead of
+        // spinning on its practically-infinite fuel.
+        let t0 = Instant::now();
+        while r.live_attempt_threads() > 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "abandoned attempt thread leaked: cancellation never observed"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 }

@@ -59,7 +59,7 @@ use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
 
 use crate::inst::{CmpOp, Op, Terminator};
-use crate::interp::{eval_pure, ExecError, TraceSink, Val};
+use crate::interp::{eval_pure, ExecError, Fuel, TraceSink, Val};
 use crate::mem::Memory;
 use crate::module::{BlockId, FuncId, Function, InstId, Module, Type, Value};
 
@@ -1183,8 +1183,6 @@ pub(crate) struct ExecCtx<'a> {
     pub engine: &'a Engine,
     /// Frame recycler (owned by the `Interp`, shared across runs).
     pub pool: &'a FramePool,
-    /// Step budget ceiling (reported in [`ExecError::StepLimit`]).
-    pub max_steps: u64,
     /// Call-depth ceiling.
     pub max_depth: usize,
     /// Resident-page ceiling for [`Memory`] (resource governor);
@@ -1204,7 +1202,7 @@ impl ExecCtx<'_> {
         mem: &mut Memory,
         sink: &mut S,
         depth: usize,
-        budget: &mut u64,
+        fuel: &mut Fuel<'_>,
     ) -> Result<Option<Val>, ExecError> {
         if depth > self.max_depth {
             return Err(ExecError::CallDepth(self.max_depth));
@@ -1212,7 +1210,7 @@ impl ExecCtx<'_> {
         let df = &self.engine.funcs[func.index()];
         sink.enter(func);
         let mut frame = self.pool.acquire(df, args, func.index() as u32);
-        let result = self.exec(df, func, args, &mut frame, mem, sink, depth, budget);
+        let result = self.exec(df, func, args, &mut frame, mem, sink, depth, fuel);
         self.pool.release(frame);
         result
     }
@@ -1228,7 +1226,7 @@ impl ExecCtx<'_> {
         mem: &mut Memory,
         sink: &mut S,
         depth: usize,
-        budget: &mut u64,
+        fuel: &mut Fuel<'_>,
     ) -> Result<Option<Val>, ExecError> {
         let mut cur: u32 = 0; // entry block
         sink.block(func, BlockId(cur));
@@ -1525,18 +1523,17 @@ impl ExecCtx<'_> {
                     // Fused arms: two walker steps each. The gep's register
                     // write still happens (later instructions may read the
                     // address), and in the slow path the second step gets
-                    // its own budget check *between* the halves, preserving
-                    // the walker's exact StepLimit cut point.
+                    // its own fuel tick *between* the halves, preserving
+                    // the walker's exact StepLimit/Cancelled cut points —
+                    // the second half's step belongs to the second
+                    // instruction, so the tick attributes to `fu.mem_iid`.
                     DOp::GepLoadI => {
                         let fu = df.fu(di.ext);
                         let (a, b) = (r!(di.iid, di.a).as_int(), r!(di.iid, di.b).as_int());
                         let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
                         frame.set(fu.gep_dst, Val::Int(addr));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            fuel.tick(func, Some(fu.mem_iid))?;
                         }
                         let addr = addr as u64;
                         sink.mem(func, fu.mem_iid, addr, false);
@@ -1548,10 +1545,7 @@ impl ExecCtx<'_> {
                         let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
                         frame.set(fu.gep_dst, Val::Int(addr));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            fuel.tick(func, Some(fu.mem_iid))?;
                         }
                         let addr = addr as u64;
                         sink.mem(func, fu.mem_iid, addr, false);
@@ -1563,10 +1557,7 @@ impl ExecCtx<'_> {
                         let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
                         frame.set(fu.gep_dst, Val::Int(addr));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            fuel.tick(func, Some(fu.mem_iid))?;
                         }
                         let v = r!(fu.mem_iid, di.dst);
                         let addr = addr as u64;
@@ -1584,10 +1575,7 @@ impl ExecCtx<'_> {
                         let t = a * b;
                         frame.set(fu.gep_dst, Val::Float(t));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            fuel.tick(func, Some(fu.mem_iid))?;
                         }
                         let c = r!(fu.mem_iid, fu.imm as u32).as_float();
                         frame.set(di.dst, Val::Float(t + c));
@@ -1598,10 +1586,7 @@ impl ExecCtx<'_> {
                         let t = a * b;
                         frame.set(fu.gep_dst, Val::Float(t));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            fuel.tick(func, Some(fu.mem_iid))?;
                         }
                         let c = r!(fu.mem_iid, fu.imm as u32).as_float();
                         frame.set(di.dst, Val::Float(c + t));
@@ -1611,10 +1596,8 @@ impl ExecCtx<'_> {
                         let t = a.wrapping_add(df.imm(di.ext));
                         frame.set(di.b, Val::Int(t));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            // The and's register is its own id (di.dst).
+                            fuel.tick(func, Some(InstId(di.dst)))?;
                         }
                         frame.set(di.dst, Val::Int(t & df.imm(di.ext + 1)));
                     }
@@ -1624,10 +1607,7 @@ impl ExecCtx<'_> {
                         let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
                         frame.set(fu.gep_dst, Val::Int(addr));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            fuel.tick(func, Some(fu.mem_iid))?;
                         }
                         let fu2 = df.fu(di.ext + 1);
                         let addr = addr as u64;
@@ -1635,10 +1615,9 @@ impl ExecCtx<'_> {
                         let v = mem.peek(addr) as i64;
                         frame.set(fu2.gep_dst, Val::Int(v));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            // Third step: the accumulating add (fu2 carries
+                            // its id in `mem_iid`).
+                            fuel.tick(func, Some(fu2.mem_iid))?;
                         }
                         let acc = r!(fu2.mem_iid, fu2.imm as u32).as_int();
                         frame.set(di.dst, Val::Int(acc.wrapping_add(v)));
@@ -1649,25 +1628,21 @@ impl ExecCtx<'_> {
                         let addr = a.wrapping_add(b.wrapping_mul(fu.imm));
                         frame.set(fu.gep_dst, Val::Int(addr));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            fuel.tick(func, Some(fu.mem_iid))?;
                         }
                         let addr = addr as u64;
                         sink.mem(func, fu.mem_iid, addr, false);
                         let v = mem.peek(addr) as i64;
                         frame.set(fu.mem_iid.0, Val::Int(v));
                         if !batched {
-                            if *budget == 0 {
-                                return Err(ExecError::StepLimit(self.max_steps));
-                            }
-                            *budget -= 1;
+                            // Third step: the itof, whose register is its
+                            // own id (di.dst).
+                            fuel.tick(func, Some(InstId(di.dst)))?;
                         }
                         frame.set(di.dst, Val::Float(v as f64));
                     }
                     DOp::Call => {
-                        self.do_call(df, di, func, args, frame, mem, sink, depth, budget)?;
+                        self.do_call(df, di, func, args, frame, mem, sink, depth, fuel)?;
                     }
                     DOp::Pure => {
                         do_pure(df, di, func, args, frame)?;
@@ -1680,41 +1655,35 @@ impl ExecCtx<'_> {
             let b = df.blk(cur);
 
             // Batched accounting: debit the whole block once up front when
-            // no call shares the budget and the budget covers it; otherwise
-            // fall back to per-instruction accounting (which preserves the
-            // walker's exact `StepLimit` cut point). The dispatch match is
-            // expanded once and shared by both modes — `batched` is a
-            // single well-predicted branch per instruction, while a second
-            // expansion would double this function's code and (in debug
-            // builds, where nothing coalesces) its stack frame, overflowing
-            // deep call-recursion on 2 MiB test-thread stacks.
-            let batched = !b.has_call && *budget >= b.cost;
-            if batched {
-                *budget -= b.cost;
-            }
+            // no call shares the budget and the fuel covers it — both the
+            // step budget *and* the cancellation countdown, so a batch can
+            // never skip a checkpoint the per-step path would take.
+            // Otherwise fall back to per-instruction accounting (which
+            // preserves the walker's exact `StepLimit`/`Cancelled` cut
+            // points). The dispatch match is expanded once and shared by
+            // both modes — `batched` is a single well-predicted branch per
+            // instruction, while a second expansion would double this
+            // function's code and (in debug builds, where nothing
+            // coalesces) its stack frame, overflowing deep call-recursion
+            // on 2 MiB test-thread stacks.
+            let batched = !b.has_call && fuel.try_batch(b.cost);
             for di in df.inst_run(b.first, b.last) {
                 if !batched {
-                    if *budget == 0 {
-                        return Err(ExecError::StepLimit(self.max_steps));
-                    }
-                    *budget -= 1;
+                    fuel.tick(func, Some(di.iid))?;
                 }
                 dispatch!(di, batched);
             }
             if !batched {
-                // A fused CmpBr carries the compare's step as well.
-                // Debiting both at once is equivalent to the walker's two
-                // checks: nothing observable happens between them, and
-                // budget underflow on error paths is unobservable.
-                let need = if matches!(b.term, DTerm::CmpBr { .. }) {
-                    2
-                } else {
-                    1
-                };
-                if *budget < need {
-                    return Err(ExecError::StepLimit(self.max_steps));
+                // A fused CmpBr carries the compare's step as well: tick it
+                // at the compare's id, then the terminator step at `None` —
+                // the walker's exact order. (The walker writes the
+                // compare's register between its two ticks; an error run's
+                // register state is unobservable, so ticking both before
+                // evaluating is equivalent.)
+                if let DTerm::CmpBr { iid, .. } = &b.term {
+                    fuel.tick(func, Some(*iid))?;
                 }
-                *budget -= need;
+                fuel.tick(func, None)?;
             }
 
             let edge = match &b.term {
@@ -1860,7 +1829,7 @@ impl ExecCtx<'_> {
         mem: &mut Memory,
         sink: &mut S,
         depth: usize,
-        budget: &mut u64,
+        fuel: &mut Fuel<'_>,
     ) -> Result<(), ExecError> {
         let c = df.calls[di.ext as usize];
         let ops = &df.xargs[c.args as usize..(c.args + c.nargs) as usize];
@@ -1886,7 +1855,7 @@ impl ExecCtx<'_> {
             }
             &spill
         };
-        let r = self.call(c.callee, call_args, mem, sink, depth + 1, budget)?;
+        let r = self.call(c.callee, call_args, mem, sink, depth + 1, fuel)?;
         frame.set(di.dst, r.unwrap_or(Val::Int(0)));
         Ok(())
     }

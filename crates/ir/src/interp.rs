@@ -20,6 +20,8 @@
 
 use std::cell::{Cell, OnceCell};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::engine::{Engine, ExecCtx, FramePool};
 use crate::inst::{Op, Terminator};
@@ -149,6 +151,128 @@ pub fn eval_pure(op: Op, args: &[Val], imm: i64) -> Option<Val> {
         Op::Load | Op::Store | Op::Call(_) | Op::Phi => return None,
     };
     Some(v)
+}
+
+/// A shareable cooperative-cancellation flag.
+///
+/// Hand a clone to [`Interp::with_cancel`] (or wrap an existing flag with
+/// [`CancelToken::from_flag`]) and call [`CancelToken::cancel`] from any
+/// thread: the run observes the flag at its next cancellation checkpoint —
+/// every `cancel_interval` interpreter steps — and stops with
+/// [`ExecError::Cancelled`]. Both execution engines check at identical
+/// step boundaries, including *inside* fused superinstructions, so the
+/// flat engine and the reference walker report bit-identical cut points.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Wrap an existing shared flag (e.g. a supervisor's per-attempt
+    /// cancel bit) so setting that flag cancels engine runs too.
+    pub fn from_flag(flag: Arc<AtomicBool>) -> CancelToken {
+        CancelToken(flag)
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The combined step budget and cancellation countdown, threaded by value
+/// through both execution engines so their accounting cannot drift.
+///
+/// Every interpreter step pays one [`Fuel::tick`]: budget check first
+/// (`StepLimit` wins when both would fire on the same step), then — every
+/// `interval` steps — a load of the [`CancelToken`]. With a token set and
+/// interval `k`, a run cancelled before it starts executes exactly `k`
+/// steps and fails *before* step `k + 1`, attributed to the instruction
+/// (or terminator) that step would have executed. Without a token the
+/// countdown starts at `u64::MAX` and the checkpoint branch never fires.
+#[derive(Debug)]
+pub(crate) struct Fuel<'t> {
+    /// Remaining step budget.
+    budget: u64,
+    /// Steps until the next cancellation checkpoint.
+    cancel_left: u64,
+    /// The configured ceiling (reported in [`ExecError::StepLimit`]).
+    max_steps: u64,
+    /// Checkpoint period (≥ 1).
+    interval: u64,
+    /// The flag polled at checkpoints.
+    token: Option<&'t CancelToken>,
+}
+
+impl<'t> Fuel<'t> {
+    pub(crate) fn new(max_steps: u64, token: Option<&'t CancelToken>, interval: u64) -> Fuel<'t> {
+        let interval = interval.max(1);
+        Fuel {
+            budget: max_steps,
+            cancel_left: if token.is_some() { interval } else { u64::MAX },
+            max_steps,
+            interval,
+            token,
+        }
+    }
+
+    /// Steps consumed so far (published as [`Interp::steps`] on success).
+    pub(crate) fn used(&self) -> u64 {
+        self.max_steps - self.budget
+    }
+
+    /// Account one walker step about to execute instruction `at` of
+    /// `func` (`None` = a terminator step, which has no id of its own).
+    #[inline(always)]
+    pub(crate) fn tick(&mut self, func: FuncId, at: Option<InstId>) -> Result<(), ExecError> {
+        if self.budget == 0 {
+            return Err(ExecError::StepLimit(self.max_steps));
+        }
+        if self.cancel_left == 0 {
+            self.checkpoint(func, at)?;
+        }
+        self.budget -= 1;
+        self.cancel_left -= 1;
+        Ok(())
+    }
+
+    /// The rare checkpoint leg of [`Fuel::tick`], outlined so the hot path
+    /// stays a decrement and two compares.
+    #[cold]
+    #[inline(never)]
+    fn checkpoint(&mut self, func: FuncId, at: Option<InstId>) -> Result<(), ExecError> {
+        if let Some(t) = self.token {
+            if t.is_cancelled() {
+                return Err(ExecError::Cancelled(func, at));
+            }
+        }
+        self.cancel_left = self.interval;
+        Ok(())
+    }
+
+    /// Try to debit a whole block of `cost` steps at once (the flat
+    /// engine's batched accounting). Succeeds only when neither the budget
+    /// nor the cancellation countdown can fire inside the block, so
+    /// batching never skips a checkpoint the per-step path would take —
+    /// after a successful batch both engines hold identical fuel state.
+    #[inline(always)]
+    pub(crate) fn try_batch(&mut self, cost: u64) -> bool {
+        if self.budget >= cost && self.cancel_left >= cost {
+            self.budget -= cost;
+            self.cancel_left -= cost;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Receiver of execution events. All methods default to no-ops, so sinks
@@ -289,6 +413,13 @@ pub enum ExecError {
     /// function's packed operand space overflowed (more than `u32::MAX`
     /// slots; previously a decode-time panic).
     ModuleTooLarge(FuncId),
+    /// The run observed its [`CancelToken`] at a cancellation checkpoint
+    /// and stopped cooperatively. Attributed to the instruction the
+    /// cancelled step would have executed — `Some(id)` for a body
+    /// instruction (including each constituent of a fused
+    /// superinstruction), `None` for a terminator step, which has no id of
+    /// its own. Both engines report identical attribution.
+    Cancelled(FuncId, Option<InstId>),
 }
 
 impl fmt::Display for ExecError {
@@ -317,6 +448,14 @@ impl fmt::Display for ExecError {
             ExecError::ModuleTooLarge(func) => {
                 write!(f, "func {func:?} too large to decode (packed operand overflow)")
             }
+            ExecError::Cancelled(func, at) => match at {
+                Some(inst) => {
+                    write!(f, "execution cancelled in func {func:?} before {inst}")
+                }
+                None => {
+                    write!(f, "execution cancelled in func {func:?} before a terminator")
+                }
+            },
         }
     }
 }
@@ -338,6 +477,8 @@ pub struct Interp<'m> {
     /// governor). `usize::MAX` means uncapped.
     pub max_pages: usize,
     steps: Cell<u64>,
+    cancel: Option<CancelToken>,
+    cancel_interval: u64,
     engine: OnceCell<Result<Engine, ExecError>>,
     pool: FramePool,
 }
@@ -351,6 +492,8 @@ impl<'m> Interp<'m> {
             max_depth: 64,
             max_pages: usize::MAX,
             steps: Cell::new(0),
+            cancel: None,
+            cancel_interval: 1024,
             engine: OnceCell::new(),
             pool: FramePool::default(),
         }
@@ -368,6 +511,30 @@ impl<'m> Interp<'m> {
     pub fn with_max_pages(mut self, n: usize) -> Interp<'m> {
         self.max_pages = n;
         self
+    }
+
+    /// Attach (or detach, with `None`) a cooperative [`CancelToken`]
+    /// (builder style). A run polls the token every
+    /// [`Interp::with_cancel_interval`] steps and stops with
+    /// [`ExecError::Cancelled`] once it reads as cancelled.
+    pub fn with_cancel(mut self, token: Option<CancelToken>) -> Interp<'m> {
+        self.cancel = token;
+        self
+    }
+
+    /// Override the cancellation checkpoint period (builder style;
+    /// default 1024 steps, clamped to ≥ 1). Smaller intervals mean faster
+    /// reaction to [`CancelToken::cancel`] at slightly higher per-step
+    /// cost.
+    pub fn with_cancel_interval(mut self, steps: u64) -> Interp<'m> {
+        self.cancel_interval = steps.max(1);
+        self
+    }
+
+    /// Replace the cancel token on an existing interpreter (long-lived
+    /// workers re-arm a warm, already-decoded `Interp` per request).
+    pub fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// Dynamic steps consumed by the most recent successful run.
@@ -415,14 +582,13 @@ impl<'m> Interp<'m> {
         let ctx = ExecCtx {
             engine,
             pool: &self.pool,
-            max_steps: self.max_steps,
             max_depth: self.max_depth,
             max_pages: self.max_pages,
         };
         let vals: Vec<Val> = args.iter().map(|c| Val::from(*c)).collect();
-        let mut budget = self.max_steps;
-        ctx.call(func, &vals, mem, sink, 0, &mut budget)
-            .inspect(|_| self.steps.set(self.max_steps - budget))
+        let mut fuel = Fuel::new(self.max_steps, self.cancel.as_ref(), self.cancel_interval);
+        ctx.call(func, &vals, mem, sink, 0, &mut fuel)
+            .inspect(|_| self.steps.set(fuel.used()))
     }
 
     /// Execute with the original tree-walking interpreter. Kept as the
@@ -441,9 +607,9 @@ impl<'m> Interp<'m> {
     ) -> Result<Option<Val>, ExecError> {
         self.steps.set(0);
         let vals: Vec<Val> = args.iter().map(|c| Val::from(*c)).collect();
-        let mut budget = self.max_steps;
-        self.call(func, &vals, mem, sink, 0, &mut budget)
-            .inspect(|_| self.steps.set(self.max_steps - budget))
+        let mut fuel = Fuel::new(self.max_steps, self.cancel.as_ref(), self.cancel_interval);
+        self.call(func, &vals, mem, sink, 0, &mut fuel)
+            .inspect(|_| self.steps.set(fuel.used()))
     }
 
     fn call(
@@ -453,7 +619,7 @@ impl<'m> Interp<'m> {
         mem: &mut Memory,
         sink: &mut dyn TraceSink,
         depth: usize,
-        budget: &mut u64,
+        fuel: &mut Fuel<'_>,
     ) -> Result<Option<Val>, ExecError> {
         if depth > self.max_depth {
             return Err(ExecError::CallDepth(self.max_depth));
@@ -515,10 +681,7 @@ impl<'m> Interp<'m> {
                 if inst.is_phi() {
                     continue;
                 }
-                if *budget == 0 {
-                    return Err(ExecError::StepLimit(self.max_steps));
-                }
-                *budget -= 1;
+                fuel.tick(func, Some(iid))?;
                 let v = match inst.op {
                     Op::Load => {
                         let addr = read(&regs, inst.args[0], iid)?.as_int() as u64;
@@ -538,7 +701,7 @@ impl<'m> Interp<'m> {
                         for a in &inst.args {
                             call_args.push(read(&regs, *a, iid)?);
                         }
-                        self.call(callee, &call_args, mem, sink, depth + 1, budget)?
+                        self.call(callee, &call_args, mem, sink, depth + 1, fuel)?
                             .unwrap_or(Val::Int(0))
                     }
                     Op::Phi => unreachable!("phis handled on block entry"),
@@ -554,11 +717,8 @@ impl<'m> Interp<'m> {
                 regs[iid.index()] = Some(v);
             }
 
-            // Terminator (one step).
-            if *budget == 0 {
-                return Err(ExecError::StepLimit(self.max_steps));
-            }
-            *budget -= 1;
+            // Terminator (one step; it has no id of its own).
+            fuel.tick(func, None)?;
             let next = match &block.term {
                 Terminator::Br(t) => *t,
                 Terminator::CondBr {

@@ -8,7 +8,7 @@
 //! event prefixes on error paths.
 
 use needle_ir::builder::FunctionBuilder;
-use needle_ir::interp::{ExecError, Interp, Memory, TraceSink, Val};
+use needle_ir::interp::{CancelToken, ExecError, Interp, Memory, TraceSink, Val};
 use needle_ir::{BlockId, Constant, FuncId, InstId, Module, Type, Value};
 
 /// One recorded trace event.
@@ -77,7 +77,19 @@ fn assert_equivalent_capped(
     let interp = Interp::new(module)
         .with_max_steps(max_steps)
         .with_max_pages(max_pages);
+    assert_equivalent_interp(ctx, &interp, func, args, mem0, max_steps);
+}
 
+/// Core comparison against a caller-configured [`Interp`] (lets tests arm
+/// cancellation tokens and intervals in addition to fuel/page budgets).
+fn assert_equivalent_interp(
+    ctx: &str,
+    interp: &Interp,
+    func: FuncId,
+    args: &[Constant],
+    mem0: &Memory,
+    max_steps: u64,
+) {
     let mut mem_fast = mem0.clone();
     let mut rec_fast = Rec::default();
     let r_fast = interp.run_with(func, args, &mut mem_fast, &mut rec_fast);
@@ -449,6 +461,146 @@ fn workload_under_mem_caps_is_equivalent() {
         assert_equivalent_capped(
             "470.lbm", &w.module, w.func, &w.args, &w.memory, 50_000_000, cap,
         );
+    }
+}
+
+#[test]
+fn cancel_points_sweep_through_fused_ops() {
+    // A pre-cancelled token with check interval `k` lets exactly `k` steps
+    // run, then fires before step k+1 — landing the cut point on every
+    // intra-fusion offset of 401.bzip2's superinstruction-dense body, just
+    // like the StepLimit sweep. Both engines must agree on the error
+    // (including the Some/None instruction attribution), the step count,
+    // the event prefix, and the final memory image.
+    let w = needle_workloads::by_name("401.bzip2").expect("known workload");
+    for k in 1..250u64 {
+        let token = CancelToken::new();
+        token.cancel();
+        let interp = Interp::new(&w.module)
+            .with_max_steps(50_000_000)
+            .with_cancel(Some(token))
+            .with_cancel_interval(k);
+        let ctx = format!("401.bzip2 cancel interval={k}");
+        assert_equivalent_interp(&ctx, &interp, w.func, &w.args, &w.memory, 50_000_000);
+
+        let mut mem = w.memory.clone();
+        let err = interp
+            .run(w.func, &w.args, &mut mem, &mut needle_ir::interp::NullSink)
+            .unwrap_err();
+        assert!(
+            matches!(err, ExecError::Cancelled(..)),
+            "{ctx}: expected Cancelled, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn cancel_points_sweep_with_calls() {
+    // Cancellation checkpoints inside nested invocations: the callee draws
+    // from the same fuel, so the cut can land mid-callee. Both engines must
+    // attribute it identically.
+    let w = needle_workloads::by_name("186.crafty").expect("workload with calls");
+    for k in 1..120u64 {
+        let token = CancelToken::new();
+        token.cancel();
+        let interp = Interp::new(&w.module)
+            .with_max_steps(50_000_000)
+            .with_cancel(Some(token))
+            .with_cancel_interval(k);
+        let ctx = format!("186.crafty cancel interval={k}");
+        assert_equivalent_interp(&ctx, &interp, w.func, &w.args, &w.memory, 50_000_000);
+    }
+}
+
+#[test]
+fn cancel_interval_beyond_run_length_completes() {
+    // A run shorter than the check interval never observes the token: both
+    // engines complete normally even though cancellation was requested.
+    let w = needle_workloads::by_name("164.gzip").expect("known workload");
+    let probe = Interp::new(&w.module);
+    let mut mem = w.memory.clone();
+    probe
+        .run(w.func, &w.args, &mut mem, &mut needle_ir::interp::NullSink)
+        .expect("gzip completes");
+    let full = probe.steps();
+
+    let token = CancelToken::new();
+    token.cancel();
+    let interp = Interp::new(&w.module)
+        .with_cancel(Some(token))
+        .with_cancel_interval(full + 1);
+    assert_equivalent_interp(
+        "164.gzip cancel beyond run",
+        &interp,
+        w.func,
+        &w.args,
+        &w.memory,
+        50_000_000,
+    );
+    let mut mem = w.memory.clone();
+    interp
+        .run(w.func, &w.args, &mut mem, &mut needle_ir::interp::NullSink)
+        .expect("interval beyond run length never trips");
+}
+
+#[test]
+fn step_limit_wins_over_cancellation_on_the_same_step() {
+    // When the fuel budget and the cancellation checkpoint land on the very
+    // same step, StepLimit takes precedence — on both engines.
+    let w = needle_workloads::by_name("999.loop").expect("pathological workload");
+    for k in [1u64, 7, 64, 1000] {
+        let token = CancelToken::new();
+        token.cancel();
+        let interp = Interp::new(&w.module)
+            .with_max_steps(k)
+            .with_cancel(Some(token))
+            .with_cancel_interval(k);
+        let ctx = format!("999.loop tie k={k}");
+        assert_equivalent_interp(&ctx, &interp, w.func, &w.args, &w.memory, k);
+        let mut mem = w.memory.clone();
+        let err = interp
+            .run(w.func, &w.args, &mut mem, &mut needle_ir::interp::NullSink)
+            .unwrap_err();
+        assert_eq!(err, ExecError::StepLimit(k), "{ctx}");
+    }
+}
+
+#[test]
+fn cancel_mid_fusion_attributes_to_constituent() {
+    // store-heavy's body fuses gep+store into one GepStore. A cancel
+    // checkpoint landing mid-superinstruction must attribute to the
+    // constituent instruction about to run, identically on both engines,
+    // and a checkpoint before a terminator must attribute `None`.
+    let (m, f, _) = store_heavy_module();
+    let args = [Constant::Int(5)];
+    let probe = Interp::new(&m);
+    let mut mem = Memory::new();
+    probe
+        .run(f, &args, &mut mem, &mut needle_ir::interp::NullSink)
+        .expect("uncancelled run completes");
+    let full = probe.steps();
+    assert!(full > 10, "run long enough to probe");
+    for k in 1..full {
+        let token = CancelToken::new();
+        token.cancel();
+        let interp = Interp::new(&m)
+            .with_max_steps(10_000)
+            .with_cancel(Some(token))
+            .with_cancel_interval(k);
+        let ctx = format!("store-heavy cancel interval={k}");
+        assert_equivalent_interp(&ctx, &interp, f, &args, &Memory::new(), 10_000);
+
+        let mut mem_fast = Memory::new();
+        let r_fast = interp.run_with(f, &args, &mut mem_fast, &mut needle_ir::interp::NullSink);
+        let mut mem_ref = Memory::new();
+        let r_ref = interp.run_reference(f, &args, &mut mem_ref, &mut needle_ir::interp::NullSink);
+        match (&r_fast, &r_ref) {
+            (Err(ExecError::Cancelled(fa, ia)), Err(ExecError::Cancelled(fb, ib))) => {
+                assert_eq!((fa, ia), (fb, ib), "{ctx}: attribution diverges");
+                assert_eq!(*fa, f, "{ctx}: wrong function");
+            }
+            other => panic!("{ctx}: expected Cancelled on both engines, got {other:?}"),
+        }
     }
 }
 

@@ -404,6 +404,50 @@ fn shipped_and_generated_modules_are_verifier_clean() {
     }
 }
 
+/// For any stream seed, a chaos soak of the execution service — worker
+/// panics, frame guard failures, deadline storms, fuel/page starvation —
+/// preserves the serving invariants: every accepted request is answered
+/// exactly once, never-accepted requests are never answered, and the
+/// terminal counters balance (`accepted == completed + failed +
+/// shed_after_accept`).
+#[test]
+fn chaos_soak_is_exactly_once_for_any_seed() {
+    use needle::{run_soak, ServeConfig, SoakConfig, StormConfig};
+    let mut rng = StdRng::seed_from_u64(0x1B16);
+    for case in 0..4 {
+        let seed = rng.gen_range(0u64..u64::MAX);
+        let cfg = SoakConfig {
+            seed,
+            requests: 120,
+            chaos: true,
+            serve: ServeConfig {
+                workers: 2,
+                queue_depth: 16,
+                breaker: StormConfig {
+                    threshold: 3,
+                    cooldown: 2,
+                    retry_budget: 4,
+                },
+                drain_ms: 5_000,
+                ..ServeConfig::default()
+            },
+        };
+        let report = run_soak(&cfg).unwrap();
+        assert!(
+            report.is_clean(),
+            "case {case} (seed {seed:#x}) violated serving invariants:\n{report}"
+        );
+        assert_eq!(
+            report.responses, report.accepted,
+            "case {case} (seed {seed:#x}): response count diverged from acceptances"
+        );
+        assert!(
+            report.metrics.trips() >= 1 && report.metrics.recoveries() >= 1,
+            "case {case} (seed {seed:#x}): breaker never cycled:\n{report}"
+        );
+    }
+}
+
 #[test]
 fn bl_numbering_counts_match_profile_on_suite_sample() {
     // Non-random cross-check: distinct profiled path ids are always within
