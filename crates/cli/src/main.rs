@@ -13,9 +13,10 @@
 use std::process::ExitCode;
 
 use needle::{
-    analyze, peek_journal, run_soak, run_supervised, simulate_offload, storm_scenario,
-    CampaignOptions, CampaignReport, CampaignUnit, ChaosConfig, NeedleConfig, PredictorKind,
-    Request, ServeConfig, Service, SoakConfig, SupervisorConfig, UnitKind, UnitPayload,
+    analyze, peek_journal, run_shard_soak, run_soak, run_supervised, simulate_offload,
+    storm_scenario, CampaignOptions, CampaignReport, CampaignUnit, ChaosConfig, NeedleConfig,
+    PredictorKind, Request, ServeConfig, Service, ShardServeConfig, ShardSoakConfig,
+    ShardedService, SoakConfig, SupervisorConfig, UnitKind, UnitPayload,
 };
 use needle_frames::build_frame;
 use needle_ir::interp::{Interp, Memory, NullSink};
@@ -76,12 +77,15 @@ USAGE:
       --journal PATH     append-only JSONL checkpoint journal
       --resume           resume from --journal instead of starting over
 
-  needle serve [--workers N] [--requests N]
+  needle serve [--workers N] [--requests N] [--shards N]
       Demo of the resident execution service: start the worker pool,
       drive a short mixed request stream through admission control
       (per-request fuel, page caps, deadlines), then drain gracefully
       and print the metrics snapshot — counters, per-function circuit
-      breaker state, and the latency histogram.
+      breaker state, and the latency histogram. With --shards N the
+      stream runs through the supervised multi-shard router instead:
+      requests hash to shard-private worker pools and the report adds
+      per-shard rows plus router/failover counters.
   needle soak [--seed N] [--requests N] [--no-chaos] [--workers N]
       Seeded soak of the execution service. With chaos (default) the
       driver injects worker panics, frame guard failures, and deadline
@@ -90,6 +94,16 @@ USAGE:
       circuit breaker both trips and recovers, and that shutdown sheds
       rather than loses the queued tail. Deterministic in --seed;
       exits non-zero on any invariant violation.
+  needle soak --shard-chaos [--seed N] [--requests N] [--shards N]
+              [--workers N] [--ledger PATH]
+      Multi-shard chaos soak: the seeded stream rides over seeded
+      shard kills (crash-style, in-flight work orphaned), a wedged
+      worker the watchdog must detect and restart, and a graceful
+      rebalance mid-burst. Failover re-routes orphaned requests with
+      jittered backoff; exactly-once is verified three independent
+      ways (driver ledger, service counters, and — with --ledger — an
+      offline replay of the durable dedup journal). Deterministic in
+      --seed; exits non-zero on any violation.
 
   needle print-ir <workload>
       Print the workload's IR in textual form.
@@ -520,6 +534,12 @@ fn cmd_serve(args: &[String]) -> CliResult {
         Some(s) => s.parse()?,
         None => 64,
     };
+    if let Some(s) = flag_value(args, "--shards") {
+        let mut scfg = ShardServeConfig::default();
+        scfg.policy.shards = s.parse()?;
+        scfg.serve = cfg;
+        return serve_sharded_demo(scfg, requests);
+    }
     let svc = Service::start(cfg)?;
     let (tx, rx) = std::sync::mpsc::channel();
     let mut accepted = 0u64;
@@ -569,7 +589,58 @@ fn cmd_serve(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// The `serve --shards N` demo: the same representative mix as the
+/// single-service demo, but routed through the supervised multi-shard
+/// service so the report shows per-shard rows and router counters.
+fn serve_sharded_demo(cfg: ShardServeConfig, requests: u64) -> CliResult {
+    let svc = ShardedService::start(cfg)?;
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut accepted = 0u64;
+    let mut answered = 0u64;
+    for id in 0..requests {
+        let mut req = match id % 8 {
+            0..=4 => Request::new(id, "svc.sum"),
+            5 => {
+                let mut r = Request::new(id, "svc.sum");
+                r.fuel = 16;
+                r
+            }
+            6 => {
+                let mut r = Request::new(id, "svc.mem");
+                r.max_pages = 3;
+                r
+            }
+            _ => Request::new(id, "999.loop"),
+        };
+        if req.workload == "999.loop" {
+            req.deadline_ms = 10;
+            req.fuel = u64::MAX / 4;
+        }
+        if svc.submit(req, &tx).is_ok() {
+            accepted += 1;
+        }
+        while rx.try_recv().is_ok() {
+            answered += 1;
+        }
+    }
+    while answered < accepted {
+        match rx.recv_timeout(std::time::Duration::from_secs(30)) {
+            Ok(_) => answered += 1,
+            Err(_) => break,
+        }
+    }
+    let m = svc.shutdown();
+    println!("served {accepted} accepted of {requests} offered\n{m}");
+    if !m.invariant_holds() {
+        return Err("exactly-once invariant violated".into());
+    }
+    Ok(())
+}
+
 fn cmd_soak(args: &[String]) -> CliResult {
+    if args.iter().any(|a| a == "--shard-chaos") {
+        return cmd_shard_soak(args);
+    }
     let mut cfg = SoakConfig::default();
     if let Some(s) = flag_value(args, "--seed") {
         cfg.seed = parse_seed(s)?;
@@ -587,6 +658,39 @@ fn cmd_soak(args: &[String]) -> CliResult {
     println!("{report}");
     if !report.is_clean() {
         return Err(format!("soak violated {} invariant(s)", report.violations.len()).into());
+    }
+    Ok(())
+}
+
+/// The `soak --shard-chaos` driver: seeded kills, a wedge, and a
+/// rebalance over the sharded service, with exactly-once verified by
+/// the driver, the service counters, and (with --ledger) an offline
+/// replay of the durable journal.
+fn cmd_shard_soak(args: &[String]) -> CliResult {
+    let mut cfg = ShardSoakConfig::default();
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = parse_seed(s)?;
+    }
+    if let Some(s) = flag_value(args, "--requests") {
+        cfg.requests = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--shards") {
+        cfg.sharded.policy.shards = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--workers") {
+        cfg.sharded.serve.workers = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--ledger") {
+        cfg.sharded.ledger = Some(std::path::PathBuf::from(s));
+    }
+    let report = run_shard_soak(&cfg)?;
+    println!("{report}");
+    if !report.is_clean() {
+        return Err(format!(
+            "shard soak violated {} invariant(s)",
+            report.violations.len()
+        )
+        .into());
     }
     Ok(())
 }

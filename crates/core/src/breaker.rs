@@ -281,6 +281,100 @@ mod tests {
     }
 
     #[test]
+    fn two_probes_racing_from_cooldown_admit_exactly_one() {
+        // Two callers reach the breaker the instant cooldown expires.
+        // Exactly one wins the probe; the loser sheds and — per the
+        // admission contract — must NOT report an outcome. Only the
+        // probe holder's report moves the state machine.
+        let mut b = CircuitBreaker::new(cfg(2, 2, 3));
+        b.on_failure();
+        b.on_failure();
+        drain_cooldown(&mut b, 2);
+        let first = b.admit();
+        let second = b.admit();
+        assert_eq!(first, Admission::Probe);
+        assert_eq!(second, Admission::Shed, "no stacked probes");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Every further racer sheds until the in-flight probe reports.
+        for _ in 0..10 {
+            assert_eq!(b.admit(), Admission::Shed);
+        }
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries(), 1);
+        assert_eq!(b.retries_left(), 3, "losers spent no budget");
+    }
+
+    #[test]
+    fn probe_success_racing_a_trip_reopens_cleanly() {
+        // A probe is dispatched, and while it runs, enough post-recovery
+        // failures arrive (from requests admitted before the earlier
+        // trip) to matter. Sequence: probe succeeds -> breaker closes ->
+        // stale failures now count against the fresh closed state and
+        // can legitimately re-trip. The race must never leave the
+        // breaker half-open with no probe in flight.
+        let mut b = CircuitBreaker::new(cfg(2, 1, 2));
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.trips(), 1);
+        drain_cooldown(&mut b, 1);
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Two stale failures land right after the recovery: a real
+        // second trip, not a wedge.
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!((b.trips(), b.recoveries()), (2, 1));
+        // And the re-opened breaker still probes out of cooldown.
+        drain_cooldown(&mut b, 1);
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.retries_left(), 2);
+    }
+
+    #[test]
+    fn trip_reported_while_probing_spends_probe_budget_once() {
+        // The inverse interleaving: the probe FAILS while stale traffic
+        // also fails. The probe failure spends exactly one budget unit
+        // and restarts cooldown; the stale failures (reported while
+        // open, not probing) are inert.
+        let mut b = CircuitBreaker::new(cfg(1, 2, 2));
+        b.on_failure();
+        drain_cooldown(&mut b, 2);
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_failure(); // probe outcome
+        b.on_failure(); // stale, while open
+        b.on_failure(); // stale, while open
+        assert_eq!(b.retries_left(), 1, "only the probe spent budget");
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn permanent_open_reentry_stays_shed_across_success_reports() {
+        // Once the retry budget hits zero the breaker is permanently
+        // open: re-entering admit() forever sheds, and even a stray
+        // success report (e.g. a late fallback completion) must not
+        // resurrect it — only a successful PROBE closes a breaker, and
+        // a permanently-open breaker never grants one.
+        let mut b = CircuitBreaker::new(cfg(1, 0, 1));
+        b.on_failure();
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_failure();
+        assert_eq!(b.retries_left(), 0);
+        for _ in 0..3 {
+            assert_eq!(b.admit(), Admission::Shed);
+            b.on_success(); // stray report while open, not probing
+            assert!(b.is_open(), "stray success must not close the breaker");
+            assert_eq!(b.state(), BreakerState::Open);
+        }
+        assert_eq!(b.recoveries(), 0);
+    }
+
+    #[test]
     fn open_failure_reports_do_not_double_trip() {
         // Failures reported while open (e.g. a fallback leg failing) must
         // not consume budget or re-trip.

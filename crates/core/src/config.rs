@@ -83,6 +83,51 @@ impl Default for SupervisorConfig {
     }
 }
 
+/// Multi-shard serving policy: failure detection, restart, and failover
+/// (see [`crate::shard`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Shard count (each shard is its own worker pool + queue +
+    /// breakers + decode caches).
+    pub shards: usize,
+    /// Virtual nodes per shard on the consistent-hash ring; more vnodes
+    /// smooth the key distribution at the cost of a larger ring.
+    pub virtual_nodes: usize,
+    /// Expected worker heartbeat interval, milliseconds. Workers beat on
+    /// every queue interaction; the supervisor reads the beats.
+    pub heartbeat_ms: u64,
+    /// Consecutive missed heartbeats before a shard is declared wedged.
+    pub missed_heartbeats: u32,
+    /// Grace past a request's deadline before an unresponsive in-flight
+    /// worker (one that ignored cooperative cancellation) is treated as
+    /// wedged and its shard restarted.
+    pub wedge_grace_ms: u64,
+    /// Failover re-route attempts per orphaned request before it is
+    /// failed back to the caller.
+    pub failover_attempts: u32,
+    /// Base of the jittered exponential backoff between failover
+    /// attempts, milliseconds.
+    pub failover_backoff_ms: u64,
+    /// Shard supervisor poll interval, milliseconds (heartbeat scan,
+    /// watchdog, retry queue).
+    pub supervisor_poll_ms: u64,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> ShardPolicy {
+        ShardPolicy {
+            shards: 4,
+            virtual_nodes: 16,
+            heartbeat_ms: 50,
+            missed_heartbeats: 4,
+            wedge_grace_ms: 100,
+            failover_attempts: 5,
+            failover_backoff_ms: 2,
+            supervisor_poll_ms: 5,
+        }
+    }
+}
+
 /// Analysis-phase tuning.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisConfig {

@@ -46,6 +46,9 @@ pub enum NeedleError {
     /// The execution service could not start or operate (bad catalog,
     /// worker spawn failure).
     Serve(String),
+    /// The sharded serving layer failed structurally (ledger I/O, no
+    /// live shard to route to, supervisor spawn failure).
+    Shard(String),
 }
 
 impl fmt::Display for NeedleError {
@@ -62,6 +65,7 @@ impl fmt::Display for NeedleError {
             NeedleError::Journal(e) => write!(f, "campaign journal failed: {e}"),
             NeedleError::Canceled => write!(f, "attempt cancelled by supervisor"),
             NeedleError::Serve(what) => write!(f, "execution service failed: {what}"),
+            NeedleError::Shard(what) => write!(f, "sharded service failed: {what}"),
         }
     }
 }

@@ -50,12 +50,13 @@ pub mod journal;
 pub mod multi;
 pub mod offload;
 pub mod serve;
+pub mod shard;
 pub mod supervisor;
 
 pub use analysis::{analyze, analyze_hottest, Analysis, AnalysisError};
 pub use breaker::{Admission, BreakerState, CircuitBreaker};
 pub use chaos::{run_campaign, storm_scenario, ChaosConfig, ChaosReport, RegionCampaign};
-pub use config::{NeedleConfig, StormConfig, SupervisorConfig};
+pub use config::{NeedleConfig, ShardPolicy, StormConfig, SupervisorConfig};
 pub use error::NeedleError;
 pub use fuzz::{
     check_case, parse_case_file, run_fuzz, shrink_case, FrameLeg, FuzzConfig, FuzzFailure,
@@ -70,5 +71,9 @@ pub use multi::{simulate_multi_offload, MultiOffloadReport, RegionSpec};
 pub use serve::{
     run_soak, FailReason, InjectedFault, MetricsSnapshot, Outcome, Request, Response, ServeConfig,
     Service, ShedReason, SoakConfig, SoakReport,
+};
+pub use shard::{
+    audit_ledger, run_shard_soak, LedgerAudit, RouterMetrics, ShardRow, ShardSoakConfig,
+    ShardSoakReport, ShardServeConfig, ShardedMetrics, ShardedService,
 };
 pub use offload::{simulate_offload, simulate_offload_with, OffloadReport, PredictorKind};

@@ -44,7 +44,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -129,6 +129,14 @@ pub enum InjectedFault {
     /// (rollback + host re-execution path). Ignored when the service has
     /// no frame leg or the request targets a different workload.
     GuardFail,
+    /// Wedge the worker: spin in-flight, *ignoring* cooperative
+    /// cancellation — the stuck-process model. Only the service's
+    /// hard-kill escalation (shutdown past the drain deadline, or a
+    /// shard supervisor's crash-style [`Service::abort`]) releases the
+    /// worker, which then answers [`FailReason::Cancelled`]. The shard
+    /// watchdog detects the wedge as a deadline overrun past its grace
+    /// window.
+    WedgeWorker,
 }
 
 /// One unit of work submitted to the service.
@@ -174,8 +182,13 @@ pub enum ShedReason {
     Unmeetable,
     /// Accepted, but the deadline passed while queued.
     Expired,
-    /// The service is shutting down.
+    /// The service is shutting down, or the target shard is restarting
+    /// with no live successor.
     Draining,
+    /// The idempotency key was already executed-and-responded (or is
+    /// currently pending) — the sharded router's dedup ledger refused a
+    /// second execution.
+    Duplicate,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -185,6 +198,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::Unmeetable => write!(f, "deadline unmeetable"),
             ShedReason::Expired => write!(f, "expired in queue"),
             ShedReason::Draining => write!(f, "service draining"),
+            ShedReason::Duplicate => write!(f, "duplicate idempotency key"),
         }
     }
 }
@@ -204,6 +218,9 @@ pub enum FailReason {
     BreakerOpen,
     /// The workload is not in the service catalog.
     UnknownWorkload,
+    /// The owning shard died and failover exhausted its bounded retry
+    /// budget without re-placing the request.
+    ShardLost,
     /// Any other typed execution error.
     Exec(String),
 }
@@ -217,6 +234,7 @@ impl std::fmt::Display for FailReason {
             FailReason::StepLimit => write!(f, "step limit"),
             FailReason::BreakerOpen => write!(f, "circuit breaker open"),
             FailReason::UnknownWorkload => write!(f, "unknown workload"),
+            FailReason::ShardLost => write!(f, "shard lost, failover exhausted"),
             FailReason::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
@@ -343,6 +361,40 @@ impl MetricsSnapshot {
     pub fn recoveries(&self) -> u64 {
         self.breakers.iter().map(|b| b.recoveries).sum()
     }
+
+    /// Accumulate another snapshot into this one (cross-shard rollup,
+    /// and dead-generation metrics folded into their shard's totals).
+    /// Breaker rows merge by function name; counter fields add.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        self.accepted += other.accepted;
+        self.shed_queue_full += other.shed_queue_full;
+        self.shed_unmeetable += other.shed_unmeetable;
+        self.shed_pre_draining += other.shed_pre_draining;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.shed_after_accept += other.shed_after_accept;
+        self.cancelled += other.cancelled;
+        self.panics += other.panics;
+        self.mem_limits += other.mem_limits;
+        self.step_limits += other.step_limits;
+        self.breaker_shed += other.breaker_shed;
+        self.fallbacks += other.fallbacks;
+        self.frame_aborts += other.frame_aborts;
+        self.recycles += other.recycles;
+        for (k, n) in other.latency.buckets.iter().enumerate() {
+            self.latency.buckets[k] += n;
+        }
+        for row in &other.breakers {
+            match self.breakers.iter_mut().find(|r| r.func == row.func) {
+                Some(mine) => {
+                    mine.trips += row.trips;
+                    mine.recoveries += row.recoveries;
+                    mine.state = row.state;
+                }
+                None => self.breakers.push(row.clone()),
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -425,14 +477,35 @@ struct Inner {
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     draining: AtomicBool,
+    /// The SIGKILL analogue: releases wedged workers (those ignoring
+    /// their cancellation token). Set by shutdown once the drain
+    /// deadline passes, or immediately by [`Service::abort`].
+    hard_kill: AtomicBool,
     metrics: Mutex<MetricsSnapshot>,
     breakers: Mutex<HashMap<String, CircuitBreaker>>,
     inflight: Vec<Mutex<Option<Inflight>>>,
+    /// Per-worker heartbeat, milliseconds since `epoch`. Workers beat on
+    /// every queue interaction; a shard supervisor reads the ages to
+    /// detect wedged-while-idle workers (busy workers are judged by
+    /// in-flight deadline overrun instead, so long legitimate jobs don't
+    /// false-positive).
+    beats: Vec<AtomicU64>,
+    epoch: Instant,
     active_workers: AtomicUsize,
     /// EWMA of observed service time, microseconds (admission estimate).
     ewma_us: Mutex<f64>,
     /// Frame leg: `(workload, frame)` built once at start.
     frame: Option<(String, Arc<Frame>)>,
+}
+
+/// How often an idle worker wakes from the queue condvar to beat.
+const IDLE_BEAT_MS: u64 = 20;
+
+fn beat(inner: &Inner, wi: usize) {
+    inner.beats[wi].store(
+        inner.epoch.elapsed().as_millis() as u64,
+        Ordering::Relaxed,
+    );
 }
 
 /// A catalog entry resolved into executable form (worker-local; the
@@ -478,9 +551,12 @@ impl Service {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
+            hard_kill: AtomicBool::new(false),
             metrics: Mutex::new(MetricsSnapshot::default()),
             breakers: Mutex::new(HashMap::new()),
             inflight: (0..workers_n).map(|_| Mutex::new(None)).collect(),
+            beats: (0..workers_n).map(|_| AtomicU64::new(0)).collect(),
+            epoch: Instant::now(),
             active_workers: AtomicUsize::new(0),
             ewma_us: Mutex::new(0.0),
             frame,
@@ -606,10 +682,20 @@ impl Service {
     /// wait up to `drain_ms` for in-flight work, cancel whatever is still
     /// running, join the pool, and return the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
-        self.shutdown_inner()
+        self.shutdown_inner(true)
     }
 
-    fn shutdown_inner(&mut self) -> MetricsSnapshot {
+    /// Crash-style teardown — the shard supervisor's kill path. Queued
+    /// jobs are still answered as shed (the accounting invariant holds
+    /// per shard), but in-flight work is cancelled immediately and
+    /// wedged workers are hard-killed instead of waiting out the drain
+    /// deadline. The sharded router re-routes the shed/cancelled
+    /// responses to a successor shard.
+    pub(crate) fn abort(mut self) -> MetricsSnapshot {
+        self.shutdown_inner(false)
+    }
+
+    fn shutdown_inner(&mut self, graceful: bool) -> MetricsSnapshot {
         let inner = &self.inner;
         inner.draining.store(true, Ordering::SeqCst);
         inner.queue_cv.notify_all();
@@ -626,9 +712,14 @@ impl Service {
 
         // Bounded wait for in-flight work; past the drain deadline,
         // cancel the tokens — the engine stops within its check interval
-        // and the worker answers the request as cancelled.
+        // and the worker answers the request as cancelled. Workers that
+        // ignore their token (wedges) get the hard-kill escalation.
         let t0 = Instant::now();
-        let drain = Duration::from_millis(inner.cfg.drain_ms);
+        let drain = if graceful {
+            Duration::from_millis(inner.cfg.drain_ms)
+        } else {
+            Duration::ZERO
+        };
         while inner.active_workers.load(Ordering::SeqCst) > 0 {
             if t0.elapsed() >= drain {
                 for slot in &inner.inflight {
@@ -638,6 +729,7 @@ impl Service {
                         }
                     }
                 }
+                inner.hard_kill.store(true, Ordering::SeqCst);
             }
             inner.queue_cv.notify_all();
             std::thread::sleep(Duration::from_millis(1));
@@ -651,12 +743,50 @@ impl Service {
         }
         snapshot(inner)
     }
+
+    /// Heartbeat age of each worker, milliseconds. A large age on a
+    /// worker with nothing in flight means its pop loop stopped turning.
+    pub(crate) fn beat_ages_ms(&self) -> Vec<u64> {
+        let now = self.inner.epoch.elapsed().as_millis() as u64;
+        self.inner
+            .beats
+            .iter()
+            .map(|b| now.saturating_sub(b.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Whether each worker currently has a request in flight.
+    pub(crate) fn busy_slots(&self) -> Vec<bool> {
+        self.inner
+            .inflight
+            .iter()
+            .map(|s| s.lock().map(|g| g.is_some()).unwrap_or(false))
+            .collect()
+    }
+
+    /// Largest in-flight deadline overrun across workers, milliseconds.
+    /// The watchdog cancels at the deadline; an overrun that keeps
+    /// growing means the worker is ignoring cancellation — wedged.
+    pub(crate) fn max_overrun_ms(&self) -> u64 {
+        let now = Instant::now();
+        let mut worst = 0u64;
+        for slot in &self.inner.inflight {
+            if let Ok(guard) = slot.lock() {
+                if let Some(inf) = guard.as_ref() {
+                    if now > inf.deadline {
+                        worst = worst.max((now - inf.deadline).as_millis() as u64);
+                    }
+                }
+            }
+        }
+        worst
+    }
 }
 
 impl Drop for Service {
     fn drop(&mut self) {
         if !self.workers.is_empty() {
-            let _ = self.shutdown_inner();
+            let _ = self.shutdown_inner(true);
         }
     }
 }
@@ -704,7 +834,9 @@ fn respond(inner: &Inner, job: Job, outcome: Outcome) {
                     FailReason::MemLimit => m.mem_limits += 1,
                     FailReason::StepLimit => m.step_limits += 1,
                     FailReason::BreakerOpen => m.breaker_shed += 1,
-                    FailReason::UnknownWorkload | FailReason::Exec(_) => {}
+                    FailReason::UnknownWorkload
+                    | FailReason::ShardLost
+                    | FailReason::Exec(_) => {}
                 }
             }
             Outcome::Shed(_) => m.shed_after_accept += 1,
@@ -719,17 +851,24 @@ fn respond(inner: &Inner, job: Job, outcome: Outcome) {
 }
 
 /// Pop the next job, blocking on the queue condvar. `None` means the
-/// service is draining and the worker should exit.
-fn pop(inner: &Inner) -> Option<Job> {
+/// service is draining and the worker should exit. Each wait wakes
+/// within [`IDLE_BEAT_MS`] to refresh the worker's heartbeat, so an
+/// idle-but-alive worker is distinguishable from a wedged one.
+fn pop(inner: &Inner, wi: usize) -> Option<Job> {
     let mut q = inner.queue.lock().unwrap();
     loop {
+        beat(inner, wi);
         if inner.draining.load(Ordering::SeqCst) {
             return None;
         }
         if let Some(j) = q.pop_front() {
             return Some(j);
         }
-        q = inner.queue_cv.wait(q).unwrap();
+        q = inner
+            .queue_cv
+            .wait_timeout(q, Duration::from_millis(IDLE_BEAT_MS))
+            .unwrap()
+            .0;
     }
 }
 
@@ -764,7 +903,28 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         })
         .collect();
 
-    while let Some(job) = pop(inner) {
+    while let Some(job) = pop(inner, wi) {
+        // Wedge fault: a stuck process ignores everything — the expiry
+        // check, the breaker gate, the execution legs, and the
+        // cancellation token. Spin in-flight so the slot stays occupied
+        // past the deadline (that overrun is exactly what the shard
+        // watchdog detects); only the hard-kill escalation releases the
+        // worker, which then answers Cancelled so the shard's
+        // accounting still balances.
+        if job.req.fault == Some(InjectedFault::WedgeWorker) {
+            *inner.inflight[wi].lock().unwrap() = Some(Inflight {
+                deadline: job.deadline,
+                token: CancelToken::new(),
+            });
+            while !inner.hard_kill.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            *inner.inflight[wi].lock().unwrap() = None;
+            beat(inner, wi);
+            respond(inner, job, Outcome::Failed(FailReason::Cancelled));
+            continue;
+        }
+
         // Expiry: accepted but the deadline passed while queued. Sheds
         // don't feed the breaker — the function never ran.
         if Instant::now() >= job.deadline {
@@ -865,6 +1025,7 @@ fn execute_engine(
         token,
     });
 
+
     let panic_me = job.req.fault == Some(InjectedFault::PanicWorker);
     let t0 = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -876,6 +1037,10 @@ fn execute_engine(
     }));
     let service_us = t0.elapsed().as_micros() as f64;
     *inner.inflight[wi].lock().unwrap() = None;
+    // Beat immediately: the heartbeat went stale during execution, and
+    // the busy flag just cleared — without this, a supervisor sampling
+    // the gap would see an idle worker with a stale beat.
+    beat(inner, wi);
     interp.set_cancel(None);
 
     // Admission estimate: EWMA over observed service times.
@@ -915,6 +1080,7 @@ fn execute_walker(inner: &Inner, wi: usize, entry: &Entry, job: &Job) -> (Outcom
         interp.run_reference(entry.func, &entry.args, &mut mem, &mut NullSink)
     }));
     *inner.inflight[wi].lock().unwrap() = None;
+    beat(inner, wi);
     inner.metrics.lock().unwrap().breaker_shed += 1;
     match result {
         Ok(r) => (classify(r, true, false), false),
@@ -1178,15 +1344,16 @@ impl std::fmt::Display for SoakReport {
 }
 
 /// Book-keeping for the exactly-once check: ids the driver knows were
-/// accepted, and how many responses each has received.
-struct Ledger {
-    accepted: HashMap<u64, u64>,
-    responses: u64,
-    violations: Vec<String>,
+/// accepted, and how many responses each has received. Shared with the
+/// shard-chaos soak driver ([`crate::shard`]).
+pub(crate) struct Ledger {
+    pub(crate) accepted: HashMap<u64, u64>,
+    pub(crate) responses: u64,
+    pub(crate) violations: Vec<String>,
 }
 
 impl Ledger {
-    fn new() -> Ledger {
+    pub(crate) fn new() -> Ledger {
         Ledger {
             accepted: HashMap::new(),
             responses: 0,
@@ -1194,11 +1361,11 @@ impl Ledger {
         }
     }
 
-    fn accept(&mut self, id: u64) {
+    pub(crate) fn accept(&mut self, id: u64) {
         self.accepted.insert(id, 0);
     }
 
-    fn on_response(&mut self, r: &Response) {
+    pub(crate) fn on_response(&mut self, r: &Response) {
         self.responses += 1;
         match self.accepted.get_mut(&r.id) {
             Some(n) => {
@@ -1214,7 +1381,7 @@ impl Ledger {
         }
     }
 
-    fn drain(&mut self, rx: &Receiver<Response>) {
+    pub(crate) fn drain(&mut self, rx: &Receiver<Response>) {
         loop {
             match rx.try_recv() {
                 Ok(r) => self.on_response(&r),
@@ -1225,7 +1392,7 @@ impl Ledger {
 
     /// Block until the given id has a response (drains everything else
     /// it sees on the way).
-    fn wait_for(&mut self, rx: &Receiver<Response>, id: u64) {
+    pub(crate) fn wait_for(&mut self, rx: &Receiver<Response>, id: u64) {
         while self.accepted.get(&id).copied().unwrap_or(1) == 0 {
             match rx.recv_timeout(Duration::from_secs(30)) {
                 Ok(r) => self.on_response(&r),

@@ -855,6 +855,30 @@ fn failure_outcome(e: &NeedleError) -> (UnitOutcome, String) {
     }
 }
 
+/// Deterministic jittered exponential backoff, in milliseconds.
+///
+/// The exponential window is `base * 2^(attempt-1)` (exponent capped at
+/// 16); the returned delay is drawn uniformly from `[window/2, window]`
+/// by hashing `(salt, attempt, base)`. Full-window jitter keyed on the
+/// caller's identity (`salt` — unit index, shard id, request key) means
+/// many peers that fail at the same instant spread their retries across
+/// half the window instead of thundering back in lockstep, while the
+/// half-window floor preserves the exponential character of the
+/// schedule. Deterministic (no clock, no RNG state) so supervised
+/// campaigns and seeded soaks stay reproducible.
+pub fn jittered_backoff(base_ms: u64, attempt: u32, salt: u64) -> u64 {
+    let window = base_ms.saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+    if window <= 1 {
+        return window;
+    }
+    let half = window / 2;
+    let mut seed = [0u8; 24];
+    seed[..8].copy_from_slice(&salt.to_le_bytes());
+    seed[8..16].copy_from_slice(&(attempt as u64).to_le_bytes());
+    seed[16..].copy_from_slice(&base_ms.to_le_bytes());
+    half + journal::fnv1a64(&seed) % (window - half + 1)
+}
+
 fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     p.downcast_ref::<&str>()
         .map(|s| (*s).to_string())
@@ -985,7 +1009,7 @@ fn run_unit(
             }
         }
         if attempt < max_attempts {
-            let backoff = sup.backoff_base_ms.saturating_mul(1u64 << (attempt - 1).min(16));
+            let backoff = jittered_backoff(sup.backoff_base_ms, attempt, idx as u64);
             std::thread::sleep(Duration::from_millis(backoff));
         }
     }
@@ -1236,6 +1260,47 @@ mod tests {
             max_attempts: 3,
             backoff_base_ms: 1,
         }
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_half_to_full_window() {
+        for base in [1u64, 25, 100, 1000] {
+            for attempt in 1u32..=8 {
+                let window = base * (1u64 << (attempt - 1));
+                for salt in 0u64..32 {
+                    let b = jittered_backoff(base, attempt, salt);
+                    assert!(
+                        b >= window / 2 && b <= window,
+                        "base={base} attempt={attempt} salt={salt}: {b} outside [{}, {window}]",
+                        window / 2
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_spreads_peers() {
+        assert_eq!(jittered_backoff(25, 3, 7), jittered_backoff(25, 3, 7));
+        // Peers retrying at the same attempt must not all land on the
+        // same instant — that is the thundering herd this exists to
+        // break. 16 salts over a 100ms window: demand at least 4
+        // distinct delays.
+        let delays: std::collections::HashSet<u64> =
+            (0..16).map(|salt| jittered_backoff(200, 1, salt)).collect();
+        assert!(delays.len() >= 4, "only {} distinct delays", delays.len());
+    }
+
+    #[test]
+    fn jittered_backoff_edges() {
+        assert_eq!(jittered_backoff(0, 1, 9), 0, "zero base never sleeps");
+        assert_eq!(jittered_backoff(1, 1, 9), 1, "tiny window degenerates");
+        // The exponent cap keeps huge attempts finite and monotone
+        // windows from overflowing.
+        let b = jittered_backoff(10, u32::MAX, 3);
+        assert!(b <= 10u64 << 16);
+        // attempt 0 is treated as attempt 1 (window = base).
+        assert!(jittered_backoff(100, 0, 5) <= 100);
     }
 
     #[test]

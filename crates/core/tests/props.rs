@@ -1,0 +1,242 @@
+//! Seeded property tests.
+//!
+//! Each test drives randomized operation sequences from a fixed set of
+//! seeds, so failures reproduce exactly. The circuit-breaker properties
+//! pit the implementation against an independent reference model written
+//! from the documented semantics in `breaker.rs`, and additionally check
+//! the machine-independent invariants (probe exclusivity, budget bounds,
+//! counter monotonicity) along every walk.
+
+use needle::{Admission, BreakerState, CircuitBreaker, StormConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reference model of the breaker, written from the module docs rather
+/// than the implementation: Closed counts consecutive failures and trips
+/// at `threshold`; Open sheds for `cooldown` decisions then grants one
+/// probe; a successful probe closes and refills the budget, a failed
+/// probe spends one retry and restarts cooldown; reports that arrive
+/// while open and not probing are inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Model {
+    threshold: u32,
+    cooldown: u64,
+    budget: u32,
+    consecutive: u32,
+    open: bool,
+    probing: bool,
+    cooldown_left: u64,
+    retries_left: u32,
+    trips: u64,
+    recoveries: u64,
+}
+
+impl Model {
+    fn new(cfg: StormConfig) -> Model {
+        Model {
+            threshold: cfg.threshold,
+            cooldown: cfg.cooldown,
+            budget: cfg.retry_budget,
+            consecutive: 0,
+            open: false,
+            probing: false,
+            cooldown_left: 0,
+            retries_left: cfg.retry_budget,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    fn admit(&mut self) -> Admission {
+        if !self.open {
+            return Admission::Execute;
+        }
+        if self.probing {
+            return Admission::Shed;
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return Admission::Shed;
+        }
+        if self.retries_left == 0 {
+            return Admission::Shed;
+        }
+        self.probing = true;
+        Admission::Probe
+    }
+
+    fn on_success(&mut self) {
+        self.consecutive = 0;
+        if self.probing {
+            self.probing = false;
+            self.open = false;
+            self.retries_left = self.budget;
+            self.recoveries += 1;
+        }
+    }
+
+    fn on_failure(&mut self) {
+        if self.probing {
+            self.probing = false;
+            self.retries_left -= 1;
+            self.cooldown_left = self.cooldown;
+        } else if !self.open {
+            self.consecutive += 1;
+            if self.threshold > 0 && self.consecutive >= self.threshold {
+                self.open = true;
+                self.trips += 1;
+                self.cooldown_left = self.cooldown;
+                self.consecutive = 0;
+            }
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        if !self.open {
+            BreakerState::Closed
+        } else if self.probing {
+            BreakerState::HalfOpen
+        } else {
+            BreakerState::Open
+        }
+    }
+}
+
+fn random_cfg(rng: &mut StdRng) -> StormConfig {
+    StormConfig {
+        threshold: rng.gen_range(0u32..5),
+        cooldown: rng.gen_range(0u64..6),
+        retry_budget: rng.gen_range(0u32..4),
+    }
+}
+
+/// Random traffic, honest callers: the breaker and the doc-derived model
+/// agree on every admission decision and every observable counter.
+#[test]
+fn breaker_matches_reference_model_under_random_traffic() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xB4EA_4E50 ^ seed);
+        let cfg = random_cfg(&mut rng);
+        let mut real = CircuitBreaker::new(cfg);
+        let mut model = Model::new(cfg);
+        for step in 0..500 {
+            // Mostly admissions with reported outcomes; sometimes a
+            // stray report from a fallback leg that never admitted.
+            if rng.gen_bool(0.15) {
+                if rng.gen_bool(0.5) {
+                    real.on_success();
+                    model.on_success();
+                } else {
+                    real.on_failure();
+                    model.on_failure();
+                }
+            } else {
+                let a = real.admit();
+                let b = model.admit();
+                assert_eq!(a, b, "seed {seed} step {step}: admit diverged ({cfg:?})");
+                if a != Admission::Shed {
+                    if rng.gen_bool(0.45) {
+                        real.on_success();
+                        model.on_success();
+                    } else {
+                        real.on_failure();
+                        model.on_failure();
+                    }
+                }
+            }
+            assert_eq!(
+                real.state(),
+                model.state(),
+                "seed {seed} step {step}: state diverged ({cfg:?})"
+            );
+            assert_eq!(real.trips(), model.trips, "seed {seed} step {step}");
+            assert_eq!(real.recoveries(), model.recoveries, "seed {seed} step {step}");
+            assert_eq!(real.retries_left(), model.retries_left, "seed {seed} step {step}");
+        }
+    }
+}
+
+/// Machine-independent invariants along random walks:
+///
+/// * at most one probe is ever outstanding — once `Probe` is granted,
+///   every admission sheds until the probe holder reports;
+/// * `retries_left` never exceeds the configured budget and only moves
+///   by single probe failures or full refills;
+/// * a recovery requires a prior trip (`recoveries <= trips`);
+/// * a breaker with zero budget left, out of cooldown and not probing,
+///   is permanently open.
+#[test]
+fn breaker_probe_is_exclusive_and_budget_bounded() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EED_CAFE ^ seed);
+        let cfg = random_cfg(&mut rng);
+        let mut b = CircuitBreaker::new(cfg);
+        let mut probe_outstanding = false;
+        for step in 0..500 {
+            match b.admit() {
+                Admission::Probe => {
+                    assert!(
+                        !probe_outstanding,
+                        "seed {seed} step {step}: stacked probe ({cfg:?})"
+                    );
+                    probe_outstanding = true;
+                    assert_eq!(b.state(), BreakerState::HalfOpen);
+                }
+                Admission::Execute => {
+                    assert!(
+                        !probe_outstanding,
+                        "seed {seed} step {step}: Execute while a probe is in flight"
+                    );
+                    assert_eq!(b.state(), BreakerState::Closed);
+                }
+                Admission::Shed => {
+                    assert!(b.is_open(), "seed {seed} step {step}: shed while closed");
+                }
+            }
+            // The holder reports the outcome with some delay: while it
+            // is outstanding, further admissions must keep shedding.
+            if probe_outstanding {
+                for _ in 0..rng.gen_range(0usize..3) {
+                    assert_eq!(b.admit(), Admission::Shed, "seed {seed} step {step}");
+                }
+                if rng.gen_bool(0.5) {
+                    b.on_success();
+                } else {
+                    b.on_failure();
+                }
+                probe_outstanding = false;
+            } else if b.state() == BreakerState::Closed && rng.gen_bool(0.6) {
+                // Closed-state traffic reports freely.
+                if rng.gen_bool(0.4) {
+                    b.on_success();
+                } else {
+                    b.on_failure();
+                }
+            }
+            assert!(
+                b.retries_left() <= cfg.retry_budget,
+                "seed {seed} step {step}: budget overflow ({cfg:?})"
+            );
+            assert!(
+                b.recoveries() <= b.trips(),
+                "seed {seed} step {step}: recovered without tripping"
+            );
+        }
+        // Drain any cooldown and burn the remaining budget; the breaker
+        // must then be permanently open.
+        if b.is_open() {
+            let mut guard = 0;
+            while b.retries_left() > 0 {
+                if b.admit() == Admission::Probe {
+                    b.on_failure();
+                }
+                guard += 1;
+                assert!(guard < 10_000, "seed {seed}: budget never drained");
+            }
+            for _ in 0..cfg.cooldown + 8 {
+                assert_eq!(b.admit(), Admission::Shed, "seed {seed}: permanent open");
+            }
+            assert_eq!(b.state(), BreakerState::Open);
+        }
+    }
+}
