@@ -13,10 +13,11 @@
 use std::process::ExitCode;
 
 use needle::{
-    analyze, peek_journal, run_shard_soak, run_soak, run_supervised, simulate_offload,
-    storm_scenario, CampaignOptions, CampaignReport, CampaignUnit, ChaosConfig, NeedleConfig,
-    PredictorKind, Request, ServeConfig, Service, ShardServeConfig, ShardSoakConfig,
-    ShardedService, SoakConfig, SupervisorConfig, UnitKind, UnitPayload,
+    analyze, audit_ledger, peek_journal, run_adaptive_soak, run_shard_soak, run_soak,
+    run_supervised, simulate_offload, storm_scenario, AdaptiveSoakConfig, CampaignOptions,
+    CampaignReport, CampaignUnit, ChaosConfig, GovernorConfig, NeedleConfig, PredictorKind,
+    Request, ServeConfig, Service, ShardServeConfig, ShardSoakConfig, ShardedService, SoakConfig,
+    SupervisorConfig, UnitKind, UnitPayload,
 };
 use needle_frames::build_frame;
 use needle_ir::interp::{Interp, Memory, NullSink};
@@ -77,7 +78,7 @@ USAGE:
       --journal PATH     append-only JSONL checkpoint journal
       --resume           resume from --journal instead of starting over
 
-  needle serve [--workers N] [--requests N] [--shards N]
+  needle serve [--workers N] [--requests N] [--shards N] [--adaptive]
       Demo of the resident execution service: start the worker pool,
       drive a short mixed request stream through admission control
       (per-request fuel, page caps, deadlines), then drain gracefully
@@ -85,7 +86,9 @@ USAGE:
       breaker state, and the latency histogram. With --shards N the
       stream runs through the supervised multi-shard router instead:
       requests hash to shard-private worker pools and the report adds
-      per-shard rows plus router/failover counters.
+      per-shard rows plus router/failover counters. --adaptive arms the
+      offload governor: sampled path profiles re-rank regions per epoch
+      and the report adds the governor counters and timeline.
   needle soak [--seed N] [--requests N] [--no-chaos] [--workers N]
       Seeded soak of the execution service. With chaos (default) the
       driver injects worker panics, frame guard failures, and deadline
@@ -104,6 +107,22 @@ USAGE:
       ways (driver ledger, service counters, and — with --ledger — an
       offline replay of the durable dedup journal). Deterministic in
       --seed; exits non-zero on any violation.
+  needle soak --adaptive [--seed N] [--requests N] [--shards N]
+              [--workers N] [--out PATH]
+      Phase-shift soak of the adaptive offload governor: the request
+      stream promotes a hot path, flips the branch bias so a different
+      path dominates (forcing a live region hot-swap with zero drain),
+      storms the guards until the breaker-informed re-ranker demotes
+      the aborting region, then recovers. An injected re-ranker panic
+      must be absorbed by pinning the last-known-good region table.
+      With --shards N the stream runs through the multi-shard router.
+      --out writes the report (counters + governor timeline) as JSON.
+      Deterministic in --seed; exits non-zero on any violation.
+  needle audit <journal>
+      Offline exactly-once audit of a durable dedup journal written by
+      `soak --shard-chaos --ledger PATH`: replays the journal, checks
+      every accepted request resolved exactly once, and prints the
+      verdict. Exits non-zero if the ledger shows any violation.
 
   needle print-ir <workload>
       Print the workload's IR in textual form.
@@ -123,6 +142,7 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args),
         Some("serve") => cmd_serve(&args),
         Some("soak") => cmd_soak(&args),
+        Some("audit") => cmd_audit(&args),
         Some("print-ir") => with_workload(&args, cmd_print_ir),
         Some("run-ir") => cmd_run_ir(&args),
         _ => {
@@ -530,6 +550,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(s) = flag_value(args, "--workers") {
         cfg.workers = s.parse()?;
     }
+    if args.iter().any(|a| a == "--adaptive") {
+        cfg.adaptive = Some(GovernorConfig::default());
+    }
     let requests: u64 = match flag_value(args, "--requests") {
         Some(s) => s.parse()?,
         None => 64,
@@ -641,6 +664,9 @@ fn cmd_soak(args: &[String]) -> CliResult {
     if args.iter().any(|a| a == "--shard-chaos") {
         return cmd_shard_soak(args);
     }
+    if args.iter().any(|a| a == "--adaptive") {
+        return cmd_adaptive_soak(args);
+    }
     let mut cfg = SoakConfig::default();
     if let Some(s) = flag_value(args, "--seed") {
         cfg.seed = parse_seed(s)?;
@@ -689,6 +715,60 @@ fn cmd_shard_soak(args: &[String]) -> CliResult {
         return Err(format!(
             "shard soak violated {} invariant(s)",
             report.violations.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// The `soak --adaptive` driver: a phase-shift request stream over the
+/// governed service (single or sharded), asserting live hot-swap,
+/// breaker-informed demotion, and panic-pinned degradation.
+fn cmd_adaptive_soak(args: &[String]) -> CliResult {
+    let mut cfg = AdaptiveSoakConfig::default();
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = parse_seed(s)?;
+    }
+    if let Some(s) = flag_value(args, "--requests") {
+        // The soak runs four phases; spread the budget across them.
+        let requests: u64 = s.parse()?;
+        cfg.phase_requests = (requests / 4).max(200);
+    }
+    if let Some(s) = flag_value(args, "--shards") {
+        cfg.shards = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--workers") {
+        cfg.serve.workers = s.parse()?;
+    }
+    let report = run_adaptive_soak(&cfg)?;
+    println!("{report}");
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, report.to_json().encode())?;
+        println!("report written to {path}");
+    }
+    if !report.is_clean() {
+        return Err(format!(
+            "adaptive soak violated {} invariant(s)",
+            report.violations.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// The `audit <journal>` subcommand: offline exactly-once replay of a
+/// durable dedup journal, independent of the service that wrote it.
+fn cmd_audit(args: &[String]) -> CliResult {
+    let path = args
+        .get(1)
+        .filter(|p| !p.starts_with('-'))
+        .ok_or("audit needs a journal path (written via `soak --shard-chaos --ledger PATH`)")?;
+    let audit = audit_ledger(std::path::Path::new(path))?;
+    println!("{audit}");
+    if !audit.is_clean() {
+        return Err(format!(
+            "ledger audit found {} violation(s)",
+            audit.violations.len()
         )
         .into());
     }

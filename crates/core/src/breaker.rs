@@ -18,6 +18,8 @@
 //! abort-storm gate in [`crate::offload`], which now delegates to this
 //! type so the two policies can never drift.
 
+use std::time::Instant;
+
 use crate::config::StormConfig;
 
 /// What the breaker allows for the next request on a function.
@@ -65,6 +67,22 @@ pub struct CircuitBreaker {
     probing: bool,
     trips: u64,
     recoveries: u64,
+    /// When the current coarse state was entered.
+    entered_state_at: Instant,
+    /// Cumulative milliseconds spent in each completed residency of
+    /// [closed, open, half-open] (the current residency is added lazily
+    /// by [`CircuitBreaker::time_in_state_ms`]).
+    ms_in: [u64; 3],
+    /// Coarse-state transitions (closed→open, open→half-open, …).
+    transitions: u64,
+}
+
+fn state_idx(s: BreakerState) -> usize {
+    match s {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    }
 }
 
 impl CircuitBreaker {
@@ -79,7 +97,20 @@ impl CircuitBreaker {
             probing: false,
             trips: 0,
             recoveries: 0,
+            entered_state_at: Instant::now(),
+            ms_in: [0; 3],
+            transitions: 0,
         }
+    }
+
+    /// Close out the residency of the *current* coarse state and start a
+    /// new one. Must be called before the fields defining `state()` flip.
+    fn note_transition(&mut self) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.entered_state_at).as_millis() as u64;
+        self.ms_in[state_idx(self.state())] += elapsed;
+        self.entered_state_at = now;
+        self.transitions += 1;
     }
 
     /// Decide the next request. Open-state calls consume cooldown, so
@@ -99,6 +130,7 @@ impl CircuitBreaker {
         if self.retries_left == 0 {
             return Admission::Shed;
         }
+        self.note_transition(); // open → half-open
         self.probing = true;
         Admission::Probe
     }
@@ -107,6 +139,7 @@ impl CircuitBreaker {
     pub fn on_success(&mut self) {
         self.consecutive_failures = 0;
         if self.probing {
+            self.note_transition(); // half-open → closed
             self.probing = false;
             self.open = false;
             self.retries_left = self.cfg.retry_budget;
@@ -117,12 +150,14 @@ impl CircuitBreaker {
     /// Report a failed execution (normal or probe).
     pub fn on_failure(&mut self) {
         if self.probing {
+            self.note_transition(); // half-open → open
             self.probing = false;
             self.retries_left -= 1;
             self.cooldown_left = self.cfg.cooldown;
         } else if !self.open {
             self.consecutive_failures += 1;
             if self.cfg.threshold > 0 && self.consecutive_failures >= self.cfg.threshold {
+                self.note_transition(); // closed → open
                 self.open = true;
                 self.trips += 1;
                 self.cooldown_left = self.cfg.cooldown;
@@ -160,6 +195,22 @@ impl CircuitBreaker {
     /// Failed probes still allowed before the breaker is permanently open.
     pub fn retries_left(&self) -> u32 {
         self.retries_left
+    }
+
+    /// Total coarse-state transitions since construction.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Cumulative milliseconds spent in `state`, including the current
+    /// residency if the breaker is in `state` right now. A state the
+    /// breaker never entered reports zero.
+    pub fn time_in_state_ms(&self, state: BreakerState) -> u64 {
+        let mut ms = self.ms_in[state_idx(state)];
+        if self.state() == state {
+            ms += self.entered_state_at.elapsed().as_millis() as u64;
+        }
+        ms
     }
 }
 
@@ -372,6 +423,74 @@ mod tests {
             assert_eq!(b.state(), BreakerState::Open);
         }
         assert_eq!(b.recoveries(), 0);
+    }
+
+    #[test]
+    fn transition_counter_tracks_every_coarse_state_change() {
+        // trip (closed→open), cooldown, probe (open→half-open), probe
+        // fails (half-open→open), cooldown, probe (open→half-open),
+        // probe succeeds (half-open→closed): 5 transitions, and they
+        // reconcile with trips/recoveries/budget.
+        let mut b = CircuitBreaker::new(cfg(2, 1, 2));
+        assert_eq!(b.transitions(), 0);
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.transitions(), 1);
+        drain_cooldown(&mut b, 1);
+        assert_eq!(b.transitions(), 1, "cooldown sheds are not transitions");
+        assert_eq!(b.admit(), Admission::Probe);
+        assert_eq!(b.transitions(), 2);
+        b.on_failure();
+        assert_eq!(b.transitions(), 3);
+        drain_cooldown(&mut b, 1);
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_success();
+        assert_eq!(b.transitions(), 5);
+        assert_eq!((b.trips(), b.recoveries()), (1, 1));
+    }
+
+    #[test]
+    fn stale_reports_and_sheds_do_not_count_as_transitions() {
+        let mut b = CircuitBreaker::new(cfg(1, 5, 1));
+        b.on_failure(); // closed→open
+        assert_eq!(b.transitions(), 1);
+        b.on_failure(); // stale while open: inert
+        b.on_success(); // stray while open: inert
+        for _ in 0..3 {
+            assert_eq!(b.admit(), Admission::Shed);
+        }
+        assert_eq!(b.transitions(), 1);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn time_in_state_is_zero_for_states_never_entered() {
+        let b = CircuitBreaker::new(cfg(3, 4, 2));
+        assert_eq!(b.time_in_state_ms(BreakerState::Open), 0);
+        assert_eq!(b.time_in_state_ms(BreakerState::HalfOpen), 0);
+
+        let mut b = CircuitBreaker::new(cfg(1, 0, 1));
+        b.on_failure();
+        // Never probed yet: half-open residency must still be zero, and
+        // open time only covers the current (live) residency.
+        assert_eq!(b.time_in_state_ms(BreakerState::HalfOpen), 0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(b.time_in_state_ms(BreakerState::Open) >= 4);
+    }
+
+    #[test]
+    fn time_accumulates_across_reentries_of_a_state() {
+        let mut b = CircuitBreaker::new(cfg(1, 0, 4));
+        b.on_failure(); // open
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_failure(); // back to open
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_success(); // closed
+        // Two completed open residencies of ≥3ms each.
+        assert!(b.time_in_state_ms(BreakerState::Open) >= 5);
+        assert_eq!(b.transitions(), 5);
     }
 
     #[test]

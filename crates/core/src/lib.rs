@@ -46,6 +46,7 @@ pub mod chaos;
 pub mod config;
 pub mod error;
 pub mod fuzz;
+pub mod governor;
 pub mod journal;
 pub mod multi;
 pub mod offload;
@@ -62,6 +63,10 @@ pub use fuzz::{
     check_case, parse_case_file, run_fuzz, shrink_case, FrameLeg, FuzzConfig, FuzzFailure,
     FuzzReport, Invocation, OracleFailure,
 };
+pub use governor::{
+    plan_epoch, CurrentChoice, Decision, DemotionLedger, EpochEvent, EventKind, GovernorConfig,
+    GovernorStats, PathCandidate, WorkloadObservation,
+};
 pub use journal::JournalError;
 pub use supervisor::{
     peek_journal, run_supervised, CampaignOptions, CampaignReport, CampaignUnit, UnitKind,
@@ -69,8 +74,9 @@ pub use supervisor::{
 };
 pub use multi::{simulate_multi_offload, MultiOffloadReport, RegionSpec};
 pub use serve::{
-    run_soak, FailReason, InjectedFault, MetricsSnapshot, Outcome, Request, Response, ServeConfig,
-    Service, ShedReason, SoakConfig, SoakReport,
+    run_adaptive_soak, run_soak, AdaptiveSoakConfig, FailReason, FuncStatRow, InjectedFault,
+    MetricsSnapshot, Outcome, Request, Response, ServeConfig, Service, ShedReason, SoakConfig,
+    SoakReport,
 };
 pub use shard::{
     audit_ledger, run_shard_soak, LedgerAudit, RouterMetrics, ShardRow, ShardSoakConfig,

@@ -53,16 +53,29 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use needle_frames::{build_frame, run_frame_with, FaultInjector, FaultKind, Frame, InjectorConfig};
+use needle_frames::{
+    build_frame, run_frame_with, verify_invocation, FaultInjector, FaultKind, Frame,
+    InjectorConfig,
+};
 use needle_ir::builder::FunctionBuilder;
 use needle_ir::interp::{CancelToken, ExecError, Interp, Memory, NullSink, Val};
 use needle_ir::{Constant, FuncId, Module, Type, Value};
+use needle_profile::bl::BlNumbering;
+use needle_profile::{
+    control_flow_stats, rank_paths, EpochProfile, PathProfile, StreamingProfiler,
+};
 use needle_regions::path::PathRegion;
+use needle_regions::region::OffloadRegion;
 
 use crate::analysis::analyze;
 use crate::breaker::{Admission, BreakerState, CircuitBreaker};
 use crate::config::{AnalysisConfig, NeedleConfig, StormConfig};
 use crate::error::NeedleError;
+use crate::governor::{
+    plan_epoch, CurrentChoice, Decision, DemotionLedger, EpochEvent, EventKind, GovernorConfig,
+    GovernorStats, PathCandidate, WorkloadObservation,
+};
+use crate::journal::Json;
 use crate::supervisor::silence_supervised_panics;
 
 /// Service policy knobs.
@@ -95,6 +108,12 @@ pub struct ServeConfig {
     /// Workload to build the frame-offload leg from (guard-fail chaos);
     /// `None` disables the leg.
     pub frame_workload: Option<String>,
+    /// Adaptive offload governor. `Some` starts a governor thread that
+    /// samples requests through the streaming Ball-Larus profiler,
+    /// re-ranks paths every epoch, and hot-swaps the live region table
+    /// (RCU-style — in-flight executions finish on the old epoch's
+    /// frames) with breaker-informed demotion of aborting regions.
+    pub adaptive: Option<GovernorConfig>,
 }
 
 impl Default for ServeConfig {
@@ -113,9 +132,11 @@ impl Default for ServeConfig {
                 "svc.sum".into(),
                 "svc.mem".into(),
                 "svc.flaky".into(),
+                "svc.phase".into(),
                 "999.loop".into(),
             ],
             frame_workload: Some("svc.sum".into()),
+            adaptive: None,
         }
     }
 }
@@ -155,6 +176,11 @@ pub struct Request {
     pub deadline_ms: u64,
     /// Optional injected fault (soak/chaos only).
     pub fault: Option<InjectedFault>,
+    /// Optional override for the workload's *last* argument — its bias
+    /// knob for phase workloads (`svc.phase`'s threshold). Lets a
+    /// driver flip the hot path per request without regenerating the
+    /// module, which is how the phase-shift soak steers traffic.
+    pub arg: Option<i64>,
 }
 
 impl Request {
@@ -167,6 +193,7 @@ impl Request {
             max_pages: 0,
             deadline_ms: 0,
             fault: None,
+            arg: None,
         }
     }
 }
@@ -300,6 +327,29 @@ pub struct BreakerRow {
     pub trips: u64,
     /// Probe-driven open→closed transitions.
     pub recoveries: u64,
+    /// Every coarse state change (closed↔open↔half-open).
+    pub transitions: u64,
+    /// Wall-clock residency in the closed state, milliseconds.
+    pub ms_closed: u64,
+    /// Wall-clock residency in the open state, milliseconds.
+    pub ms_open: u64,
+    /// Wall-clock residency half-open (probing), milliseconds.
+    pub ms_half_open: u64,
+}
+
+/// Cumulative per-function analysis counters, carried in [`Inner`] so
+/// they survive worker recycles (a recycled worker rebuilds its decode
+/// caches, and previously these counts died with the incarnation).
+#[derive(Debug, Clone)]
+pub struct FuncStatRow {
+    /// Workload/function name.
+    pub func: String,
+    /// Decode-cache warmups: one per worker incarnation that resolved
+    /// this entry (monotonically non-decreasing across recycles).
+    pub decode_warmups: u64,
+    /// Post-dominator walks truncated while computing this entry's
+    /// control-flow statistics, summed over incarnations.
+    pub walk_truncations: u64,
 }
 
 /// Service counters. The core invariant, checked by
@@ -342,6 +392,15 @@ pub struct MetricsSnapshot {
     pub latency: LatencyHistogram,
     /// Per-function breaker rows (filled at snapshot time).
     pub breakers: Vec<BreakerRow>,
+    /// Adaptive governor counters + promote/demote timeline (all zero
+    /// when the service runs without [`ServeConfig::adaptive`]).
+    pub governor: GovernorStats,
+    /// Epoch of the live region table at snapshot time.
+    pub region_epoch: u64,
+    /// Currently offloaded regions: `(workload, BL path id)`.
+    pub active_regions: Vec<(String, u64)>,
+    /// Cumulative per-function counters that survive worker recycles.
+    pub funcs: Vec<FuncStatRow>,
 }
 
 impl MetricsSnapshot {
@@ -389,9 +448,29 @@ impl MetricsSnapshot {
                 Some(mine) => {
                     mine.trips += row.trips;
                     mine.recoveries += row.recoveries;
+                    mine.transitions += row.transitions;
+                    mine.ms_closed += row.ms_closed;
+                    mine.ms_open += row.ms_open;
+                    mine.ms_half_open += row.ms_half_open;
                     mine.state = row.state;
                 }
                 None => self.breakers.push(row.clone()),
+            }
+        }
+        self.governor.merge_from(&other.governor);
+        self.region_epoch = self.region_epoch.max(other.region_epoch);
+        for r in &other.active_regions {
+            if !self.active_regions.contains(r) {
+                self.active_regions.push(r.clone());
+            }
+        }
+        for row in &other.funcs {
+            match self.funcs.iter_mut().find(|r| r.func == row.func) {
+                Some(mine) => {
+                    mine.decode_warmups += row.decode_warmups;
+                    mine.walk_truncations += row.walk_truncations;
+                }
+                None => self.funcs.push(row.clone()),
             }
         }
     }
@@ -430,9 +509,36 @@ impl std::fmt::Display for MetricsSnapshot {
         for b in &self.breakers {
             writeln!(
                 f,
-                "  breaker[{}]: {} ({} trips, {} recoveries)",
-                b.func, b.state, b.trips, b.recoveries
+                "  breaker[{}]: {} ({} trips, {} recoveries, {} transitions; \
+                 ms closed/open/half-open {}/{}/{})",
+                b.func,
+                b.state,
+                b.trips,
+                b.recoveries,
+                b.transitions,
+                b.ms_closed,
+                b.ms_open,
+                b.ms_half_open
             )?;
+        }
+        for fr in &self.funcs {
+            writeln!(
+                f,
+                "  func[{}]: {} decode warmups, {} pdom-walk truncations",
+                fr.func, fr.decode_warmups, fr.walk_truncations
+            )?;
+        }
+        if self.governor.active() {
+            writeln!(f, "  {}", self.governor)?;
+            write!(f, "  regions(epoch {}):", self.region_epoch)?;
+            if self.active_regions.is_empty() {
+                writeln!(f, " none")?;
+            } else {
+                for (w, id) in &self.active_regions {
+                    write!(f, " {w}#{id}")?;
+                }
+                writeln!(f)?;
+            }
         }
         write!(f, "  latency µs:")?;
         for (k, n) in self.buckets_nonzero() {
@@ -494,8 +600,49 @@ struct Inner {
     active_workers: AtomicUsize,
     /// EWMA of observed service time, microseconds (admission estimate).
     ewma_us: Mutex<f64>,
-    /// Frame leg: `(workload, frame)` built once at start.
-    frame: Option<(String, Arc<Frame>)>,
+    /// The live region table, RCU-style: readers clone the `Arc` under a
+    /// brief lock and then run lock-free on that epoch's frames; the
+    /// governor publishes a whole new [`RegionEpoch`] in one swap, so
+    /// in-flight executions finish on the old epoch without draining.
+    regions: Mutex<Arc<RegionEpoch>>,
+    /// Sampled streaming Ball-Larus epochs, merged by workers, drained by
+    /// the governor each epoch. Keyed by workload name.
+    profiles: Mutex<HashMap<String, EpochProfile>>,
+    /// Per-workload offload observations (runs, aborts) since the last
+    /// epoch drain — the breaker-adjacent feedback the re-ranker uses to
+    /// demote aborting regions.
+    region_stats: Mutex<HashMap<String, RegionStat>>,
+    /// Governor counters + promote/demote timeline.
+    governor_stats: Mutex<GovernorStats>,
+    /// Cumulative per-function analysis counters (decode warmups,
+    /// pdom-walk truncations) that must survive worker recycles.
+    func_stats: Mutex<HashMap<String, FuncStat>>,
+}
+
+/// One published generation of the offload region table. Immutable once
+/// published; swapped whole under [`Inner::regions`].
+struct RegionEpoch {
+    /// Monotonic epoch counter (0 = the start-time table).
+    epoch: u64,
+    /// Workload name → offload frame for its currently chosen path.
+    frames: HashMap<String, Arc<Frame>>,
+    /// Workload name → which path the frame covers (governor hysteresis
+    /// input).
+    chosen: HashMap<String, CurrentChoice>,
+}
+
+/// Offload feedback accumulated between governor epochs.
+#[derive(Debug, Clone, Copy, Default)]
+struct RegionStat {
+    runs: u64,
+    aborts: u64,
+}
+
+/// Cumulative per-function counters backing [`FuncStatRow`].
+#[derive(Debug, Clone, Copy, Default)]
+struct FuncStat {
+    decode_warmups: u64,
+    walk_truncations: u64,
 }
 
 /// How often an idle worker wakes from the queue condvar to beat.
@@ -526,6 +673,8 @@ pub struct Service {
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
     watchdog_stop: Arc<AtomicBool>,
+    governor: Option<JoinHandle<()>>,
+    governor_stop: Arc<AtomicBool>,
 }
 
 impl Service {
@@ -541,10 +690,23 @@ impl Service {
             resolve_workload(name)
                 .ok_or_else(|| NeedleError::Serve(format!("unknown catalog workload {name:?}")))?;
         }
-        let frame = match &cfg.frame_workload {
-            Some(name) => build_frame_leg(name)?.map(|f| (name.clone(), Arc::new(f))),
-            None => None,
-        };
+        // The epoch-0 region table: the configured frame workload's top
+        // static path, exactly the old fixed frame leg. The governor (if
+        // enabled) re-derives and swaps this live.
+        let mut frames = HashMap::new();
+        let mut chosen = HashMap::new();
+        if let Some(name) = &cfg.frame_workload {
+            if let Some((frame, path_id, weight)) = build_frame_leg(name)? {
+                frames.insert(name.clone(), Arc::new(frame));
+                chosen.insert(
+                    name.clone(),
+                    CurrentChoice {
+                        path_id,
+                        weight,
+                    },
+                );
+            }
+        }
 
         let workers_n = cfg.workers.max(1);
         let inner = Arc::new(Inner {
@@ -559,7 +721,15 @@ impl Service {
             epoch: Instant::now(),
             active_workers: AtomicUsize::new(0),
             ewma_us: Mutex::new(0.0),
-            frame,
+            regions: Mutex::new(Arc::new(RegionEpoch {
+                epoch: 0,
+                frames,
+                chosen,
+            })),
+            profiles: Mutex::new(HashMap::new()),
+            region_stats: Mutex::new(HashMap::new()),
+            governor_stats: Mutex::new(GovernorStats::default()),
+            func_stats: Mutex::new(HashMap::new()),
             cfg,
         });
 
@@ -601,11 +771,27 @@ impl Service {
             })
             .map_err(|e| NeedleError::Serve(format!("watchdog spawn failed: {e}")))?;
 
+        let governor_stop = Arc::new(AtomicBool::new(false));
+        let governor = if inner.cfg.adaptive.is_some() {
+            let stop = Arc::clone(&governor_stop);
+            let inner4 = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("needle-usrv-governor".into())
+                    .spawn(move || governor_main(&inner4, &stop))
+                    .map_err(|e| NeedleError::Serve(format!("governor spawn failed: {e}")))?,
+            )
+        } else {
+            None
+        };
+
         Ok(Service {
             inner,
             workers,
             watchdog: Some(watchdog),
             watchdog_stop,
+            governor,
+            governor_stop,
         })
     }
 
@@ -737,6 +923,10 @@ impl Service {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.governor_stop.store(true, Ordering::SeqCst);
+        if let Some(g) = self.governor.take() {
+            let _ = g.join();
+        }
         self.watchdog_stop.store(true, Ordering::SeqCst);
         if let Some(w) = self.watchdog.take() {
             let _ = w.join();
@@ -802,10 +992,39 @@ fn snapshot(inner: &Inner) -> MetricsSnapshot {
             state: b.state(),
             trips: b.trips(),
             recoveries: b.recoveries(),
+            transitions: b.transitions(),
+            ms_closed: b.time_in_state_ms(BreakerState::Closed),
+            ms_open: b.time_in_state_ms(BreakerState::Open),
+            ms_half_open: b.time_in_state_ms(BreakerState::HalfOpen),
         })
         .collect();
+    drop(breakers);
     rows.sort_by(|a, b| a.func.cmp(&b.func));
     m.breakers = rows;
+    m.governor = inner.governor_stats.lock().unwrap().clone();
+    {
+        let regions = inner.regions.lock().unwrap().clone();
+        m.region_epoch = regions.epoch;
+        m.active_regions = regions
+            .chosen
+            .iter()
+            .map(|(w, c)| (w.clone(), c.path_id))
+            .collect();
+        m.active_regions.sort();
+    }
+    m.funcs = {
+        let stats = inner.func_stats.lock().unwrap();
+        let mut rows: Vec<FuncStatRow> = stats
+            .iter()
+            .map(|(name, s)| FuncStatRow {
+                func: name.clone(),
+                decode_warmups: s.decode_warmups,
+                walk_truncations: s.walk_truncations,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.func.cmp(&b.func));
+        rows
+    };
     m
 }
 
@@ -894,6 +1113,19 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         .iter()
         .filter_map(|n| resolve_workload(n))
         .collect();
+    // Satellite fix: these counters used to live in the worker
+    // incarnation and silently reset on every recycle. They now
+    // accumulate in `Inner`, so a snapshot taken after a recycle still
+    // sees every warmup and every truncated post-dominator walk.
+    {
+        let mut stats = inner.func_stats.lock().unwrap();
+        for e in &entries {
+            let s = stats.entry(e.name.clone()).or_default();
+            s.decode_warmups += 1;
+            s.walk_truncations +=
+                control_flow_stats(e.module.func(e.func)).walk_truncations as u64;
+        }
+    }
     let mut interps: HashMap<String, (usize, Interp<'_>)> = entries
         .iter()
         .enumerate()
@@ -969,16 +1201,55 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
 
         // Frame-offload leg first, when requested: one invocation with a
         // forced guard failure — rollback, then host re-execution below.
+        // The frame comes from the *current* region epoch; the Arc clone
+        // pins that epoch for this invocation even if the governor swaps
+        // the table mid-run.
+        let mut frame_ran = false;
         let mut frame_abort = false;
         if job.req.fault == Some(InjectedFault::GuardFail) {
-            if let Some((fname, frame)) = &inner.frame {
-                if *fname == entry.name {
-                    frame_abort = run_frame_abort(frame, &entry.memory, job.req.id);
-                }
+            let regions = inner.regions.lock().unwrap().clone();
+            if let Some(frame) = regions.frames.get(&entry.name) {
+                frame_ran = true;
+                frame_abort = run_frame_abort(frame, &entry.memory, job.req.id);
             }
         }
 
-        let (outcome, poisoned) = execute_engine(inner, wi, entry, interp, &job, frame_abort);
+        // Sampled streaming profile: every Nth request runs with a
+        // Ball-Larus trace sink feeding the governor's epoch profile. A
+        // fresh profiler per sampled request keeps a cancelled or
+        // panicked run from leaking a half-built path into the stream.
+        let adaptive = inner.cfg.adaptive.as_ref();
+        let sampled = adaptive.is_some_and(|g| job.req.id % g.sample_period.max(1) == 0);
+        let mut profiler = sampled.then(|| StreamingProfiler::new(&entry.module));
+
+        let (outcome, poisoned) =
+            execute_engine(inner, wi, entry, interp, &job, frame_abort, profiler.as_mut());
+
+        if let Some(mut p) = profiler.take() {
+            if let Some(epoch) = p.take_epoch().remove(&entry.func) {
+                if !epoch.is_empty() {
+                    inner
+                        .profiles
+                        .lock()
+                        .unwrap()
+                        .entry(entry.name.clone())
+                        .or_default()
+                        .merge(&epoch);
+                }
+            }
+        }
+        // Region feedback counts *frame* invocations only: aborts can
+        // only come from frame executions, so letting plain engine runs
+        // into the denominator would dilute an abort storm below any
+        // demotion threshold.
+        if adaptive.is_some() && frame_ran {
+            let mut stats = inner.region_stats.lock().unwrap();
+            let s = stats.entry(entry.name.clone()).or_default();
+            s.runs += 1;
+            if frame_abort {
+                s.aborts += 1;
+            }
+        }
 
         // Feed the breaker: panics, cancellations, and budget
         // exhaustions on this function count against it, as does an
@@ -1005,6 +1276,17 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
     false
 }
 
+/// The request's effective argument vector: the catalog entry's args
+/// with the *last* one replaced by [`Request::arg`] when set (the bias
+/// knob for phase workloads).
+fn job_args(entry: &Entry, job: &Job) -> Vec<Constant> {
+    let mut args = entry.args.clone();
+    if let (Some(v), Some(last)) = (job.req.arg, args.last_mut()) {
+        *last = Constant::Int(v);
+    }
+    args
+}
+
 /// Engine leg: set the request budget on the warm interpreter, register
 /// the in-flight slot for the watchdog, run under `catch_unwind`, and
 /// classify. Returns `(outcome, poisoned)`.
@@ -1015,6 +1297,7 @@ fn execute_engine(
     interp: &mut Interp<'_>,
     job: &Job,
     frame_abort: bool,
+    profiler: Option<&mut StreamingProfiler>,
 ) -> (Outcome, bool) {
     interp.max_steps = job.fuel;
     interp.max_pages = job.max_pages;
@@ -1025,7 +1308,7 @@ fn execute_engine(
         token,
     });
 
-
+    let args = job_args(entry, job);
     let panic_me = job.req.fault == Some(InjectedFault::PanicWorker);
     let t0 = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -1033,7 +1316,10 @@ fn execute_engine(
             panic!("injected worker panic (request {})", job.req.id);
         }
         let mut mem = entry.memory.clone();
-        interp.run_with(entry.func, &entry.args, &mut mem, &mut NullSink)
+        match profiler {
+            Some(p) => interp.run_with(entry.func, &args, &mut mem, p),
+            None => interp.run_with(entry.func, &args, &mut mem, &mut NullSink),
+        }
     }));
     let service_us = t0.elapsed().as_micros() as f64;
     *inner.inflight[wi].lock().unwrap() = None;
@@ -1075,9 +1361,10 @@ fn execute_walker(inner: &Inner, wi: usize, entry: &Entry, job: &Job) -> (Outcom
         deadline: job.deadline,
         token,
     });
+    let args = job_args(entry, job);
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut mem = entry.memory.clone();
-        interp.run_reference(entry.func, &entry.args, &mut mem, &mut NullSink)
+        interp.run_reference(entry.func, &args, &mut mem, &mut NullSink)
     }));
     *inner.inflight[wi].lock().unwrap() = None;
     beat(inner, wi);
@@ -1149,6 +1436,20 @@ fn resolve_workload(name: &str) -> Option<Entry> {
         "svc.sum" => Some(builtin_loop("svc.sum", 256)),
         "svc.flaky" => Some(builtin_loop("svc.flaky", 64)),
         "svc.mem" => Some(builtin_store_stride("svc.mem", 8)),
+        // Phase workload: a data-thresholded loop whose hot arm is a pure
+        // function of the threshold argument — the last arg, overridable
+        // per request via [`Request::arg`]. The adaptive soak flips it to
+        // move the top Ball-Larus path under live traffic.
+        "svc.phase" => {
+            let w = needle_workloads::phase_workload(192, 50);
+            Some(Entry {
+                name: name.to_string(),
+                module: w.module,
+                func: w.func,
+                args: w.args,
+                memory: w.memory,
+            })
+        }
         _ => needle_workloads::by_name(name).map(|w| Entry {
             name: name.to_string(),
             module: w.module,
@@ -1234,13 +1535,15 @@ fn builtin_store_stride(name: &str, n: i64) -> Entry {
     }
 }
 
-/// Build the frame leg: analyze the workload with a modest budget,
-/// lower its top Ball-Larus path into a frame. A workload that cannot
-/// be framed disables the leg gracefully (`Ok(None)`).
+/// Build the epoch-0 frame leg: analyze the workload with a modest
+/// budget, lower its top Ball-Larus path into a frame. Returns the
+/// frame plus the chosen path's id and its `Pwt` weight (the governor's
+/// incumbent record). A workload that cannot be framed disables the leg
+/// gracefully (`Ok(None)`).
 ///
 /// # Errors
 /// Fails only on an unknown workload name.
-fn build_frame_leg(name: &str) -> Result<Option<Frame>, NeedleError> {
+fn build_frame_leg(name: &str) -> Result<Option<(Frame, u64, u128)>, NeedleError> {
     let entry = resolve_workload(name)
         .ok_or_else(|| NeedleError::Serve(format!("unknown frame workload {name:?}")))?;
     let cfg = NeedleConfig {
@@ -1256,7 +1559,354 @@ fn build_frame_leg(name: &str) -> Result<Option<Frame>, NeedleError> {
     let Some(p) = PathRegion::from_rank(&a.rank, 0) else {
         return Ok(None);
     };
-    Ok(build_frame(a.module.func(a.func), &p.region).ok())
+    let weight = a.rank.paths.first().map(|rp| rp.pwt).unwrap_or(0);
+    Ok(build_frame(a.module.func(a.func), &p.region)
+        .ok()
+        .map(|f| (f, p.id, weight)))
+}
+
+// ---------------------------------------------------------------------
+// Adaptive governor
+// ---------------------------------------------------------------------
+
+/// How many recent epochs of offload run/abort feedback the governor
+/// judges demotion over. A single drain window is too fragile: an abort
+/// burst that trips the breaker yields only `threshold + retry_budget`
+/// full-leg runs in total, and under flood those few runs can straddle
+/// several epoch drains, each individually below
+/// `min_runs_for_demotion`. Summing a short window makes the demotion
+/// verdict independent of where the epoch boundaries happen to fall.
+const STATS_WINDOW_EPOCHS: usize = 8;
+
+/// A workload the governor can re-select offload regions for: its
+/// resolved entry, the persistent Ball-Larus numbering, the decayed
+/// accumulator of drained streaming epochs, and the recent-epoch window
+/// of offload run/abort feedback.
+struct Governed {
+    entry: Entry,
+    numbering: BlNumbering,
+    acc: EpochProfile,
+    stats_window: VecDeque<RegionStat>,
+}
+
+impl Governed {
+    /// Push one epoch's drained feedback and return the *demotion view*
+    /// of the window: the most recent run of epochs with the worst abort
+    /// rate that still clears the `min_runs` evidence floor. A suffix,
+    /// not the whole window — a breaker-throttled abort burst yields few
+    /// runs, and summing them with the thousands of clean runs a healthy
+    /// region banked just before would dilute the storm below any
+    /// demotion threshold. If no suffix reaches `min_runs`, the full
+    /// window totals are returned (which then fail the floor upstream).
+    fn roll_stats(&mut self, fresh: RegionStat, min_runs: u64) -> RegionStat {
+        self.stats_window.push_back(fresh);
+        while self.stats_window.len() > STATS_WINDOW_EPOCHS {
+            self.stats_window.pop_front();
+        }
+        let mut acc = RegionStat::default();
+        let mut worst = RegionStat::default();
+        let mut worst_rate = -1.0f64;
+        for s in self.stats_window.iter().rev() {
+            acc.runs += s.runs;
+            acc.aborts += s.aborts;
+            if acc.runs >= min_runs.max(1) {
+                let rate = acc.aborts as f64 / acc.runs as f64;
+                if rate > worst_rate {
+                    worst_rate = rate;
+                    worst = acc;
+                }
+            }
+        }
+        if worst_rate < 0.0 {
+            acc // the full window; still under the evidence floor
+        } else {
+            worst
+        }
+    }
+}
+
+/// The governor loop: watch the accepted-request counter, and every
+/// `epoch_requests` admissions drain the sampled profiles + offload
+/// feedback, re-rank, and hot-swap the region table. The epoch pipeline
+/// runs under `catch_unwind`: a re-rank panic (or any other pipeline
+/// failure) pins the last-known-good table and the service keeps
+/// serving on it — degradation, never an outage.
+fn governor_main(inner: &Arc<Inner>, stop: &AtomicBool) {
+    let cfg = inner.cfg.adaptive.clone().unwrap_or_default();
+    let mut governed: Vec<(String, Governed)> = inner
+        .cfg
+        .catalog
+        .iter()
+        .filter_map(|name| {
+            let entry = resolve_workload(name)?;
+            // Functions with an overflowing path space are never offload
+            // candidates; leave them ungoverned.
+            let numbering = BlNumbering::new(entry.module.func(entry.func)).ok()?;
+            Some((
+                name.clone(),
+                Governed {
+                    entry,
+                    numbering,
+                    acc: EpochProfile::default(),
+                    stats_window: VecDeque::new(),
+                },
+            ))
+        })
+        .collect();
+    governed.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut ledger = DemotionLedger::default();
+    let mut epoch_n = 0u64;
+    let mut last_accepted = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(cfg.tick_ms.max(1)));
+        let accepted = inner.metrics.lock().unwrap().accepted;
+        if accepted.saturating_sub(last_accepted) < cfg.epoch_requests.max(1) {
+            continue;
+        }
+        last_accepted = accepted;
+        epoch_n += 1;
+
+        let mut drained = std::mem::take(&mut *inner.profiles.lock().unwrap());
+        let stats = std::mem::take(&mut *inner.region_stats.lock().unwrap());
+        if cfg.inject_malformed_epoch_at == Some(epoch_n) {
+            // Soak-only corruption: break the `total == completed`
+            // consistency every drained profile must satisfy.
+            for p in drained.values_mut() {
+                p.completed = p.completed.wrapping_add(3);
+            }
+        }
+        inner.governor_stats.lock().unwrap().epochs = epoch_n;
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_epoch(inner, &cfg, epoch_n, &mut governed, drained, &stats, &mut ledger);
+        }));
+        if outcome.is_err() {
+            // Pipeline failure: count it, note it on the timeline, and
+            // keep serving on the last published table.
+            let mut g = inner.governor_stats.lock().unwrap();
+            g.failures += 1;
+            g.push_event(EpochEvent {
+                epoch: epoch_n,
+                kind: EventKind::Pinned,
+                workload: String::new(),
+                detail: "re-rank pipeline panicked; pinned last-known-good regions".into(),
+            });
+        }
+    }
+}
+
+/// One governor epoch: fold drained profiles into the per-workload
+/// accumulators (rejecting malformed ones), re-rank, plan, verify and
+/// publish a new region table if anything changed.
+fn run_epoch(
+    inner: &Inner,
+    cfg: &GovernorConfig,
+    epoch: u64,
+    governed: &mut [(String, Governed)],
+    mut drained: HashMap<String, EpochProfile>,
+    stats: &HashMap<String, RegionStat>,
+    ledger: &mut DemotionLedger,
+) {
+    for (name, g) in governed.iter_mut() {
+        if cfg.decay {
+            g.acc.decay();
+        }
+        let Some(epoch_profile) = drained.remove(name) else {
+            continue;
+        };
+        let in_range = epoch_profile
+            .counts
+            .iter()
+            .all(|(id, _)| id < g.numbering.num_paths());
+        let consistent = epoch_profile.counts.total() == epoch_profile.completed;
+        if !in_range || !consistent {
+            let mut gs = inner.governor_stats.lock().unwrap();
+            gs.malformed_epochs += 1;
+            gs.push_event(EpochEvent {
+                epoch,
+                kind: EventKind::Malformed,
+                workload: name.clone(),
+                detail: format!(
+                    "dropped inconsistent epoch (in-range {in_range}, totals match {consistent})"
+                ),
+            });
+            continue;
+        }
+        g.acc.merge(&epoch_profile);
+    }
+
+    if cfg.inject_rerank_panic_at_epoch == Some(epoch) {
+        panic!("injected re-rank panic at epoch {epoch}");
+    }
+
+    let current = inner.regions.lock().unwrap().clone();
+    let mut observations = Vec::new();
+    for (name, g) in governed.iter_mut() {
+        // The window rolls every epoch, traffic or not, so stale abort
+        // evidence ages out instead of anchoring a later verdict.
+        let stat = g.roll_stats(
+            stats.get(name).copied().unwrap_or_default(),
+            cfg.min_runs_for_demotion,
+        );
+        if g.acc.is_empty() && stat.runs == 0 {
+            continue;
+        }
+        let profile = PathProfile {
+            counts: g.acc.counts.clone(),
+            trace: vec![],
+        };
+        let func = g.entry.module.func(g.entry.func);
+        let rank = rank_paths(func, &g.numbering, &profile);
+        let candidates: Vec<PathCandidate> = rank
+            .paths
+            .iter()
+            .take(8)
+            .map(|p| PathCandidate {
+                id: p.id,
+                weight: p.pwt,
+                freq: p.freq,
+                stability: g.acc.stability(p.id),
+            })
+            .collect();
+        observations.push(WorkloadObservation {
+            workload: name.clone(),
+            candidates,
+            runs: stat.runs,
+            aborts: stat.aborts,
+        });
+    }
+
+    let decisions = plan_epoch(epoch, &observations, &current.chosen, ledger, cfg);
+    if decisions.is_empty() {
+        return;
+    }
+
+    let mut frames = current.frames.clone();
+    let mut chosen = current.chosen.clone();
+    let mut changed = false;
+    for d in decisions {
+        match d {
+            Decision::Demote {
+                workload,
+                until_epoch,
+            } => {
+                frames.remove(&workload);
+                chosen.remove(&workload);
+                changed = true;
+                // The verdict consumed the window; a fresh region (after
+                // cooldown) starts with a clean record.
+                if let Some((_, g)) = governed.iter_mut().find(|(n, _)| n == &workload) {
+                    g.stats_window.clear();
+                }
+                let mut gs = inner.governor_stats.lock().unwrap();
+                gs.demotions += 1;
+                gs.push_event(EpochEvent {
+                    epoch,
+                    kind: EventKind::Demoted,
+                    workload,
+                    detail: format!("abort storm; cooldown until epoch {until_epoch}"),
+                });
+            }
+            Decision::Install {
+                workload,
+                path_id,
+                weight,
+            } => {
+                let Some((_, g)) = governed.iter_mut().find(|(n, _)| n == &workload) else {
+                    continue;
+                };
+                let had_incumbent = chosen.contains_key(&workload);
+                match build_and_verify(g, path_id) {
+                    Ok(frame) => {
+                        // The newly installed region is judged on its own
+                        // feedback, not its predecessor's aborts.
+                        g.stats_window.clear();
+                        frames.insert(workload.clone(), Arc::new(frame));
+                        chosen.insert(workload.clone(), CurrentChoice { path_id, weight });
+                        changed = true;
+                        let mut gs = inner.governor_stats.lock().unwrap();
+                        let kind = if had_incumbent {
+                            gs.switches += 1;
+                            EventKind::Switched
+                        } else {
+                            gs.promotions += 1;
+                            EventKind::Promoted
+                        };
+                        gs.push_event(EpochEvent {
+                            epoch,
+                            kind,
+                            workload,
+                            detail: format!("path {path_id} (Pwt {weight})"),
+                        });
+                    }
+                    Err(e) => {
+                        // Graceful degradation: a path that decodes,
+                        // builds, or verifies badly never goes live; the
+                        // incumbent (if any) keeps serving.
+                        let mut gs = inner.governor_stats.lock().unwrap();
+                        gs.frame_build_errors += 1;
+                        gs.push_event(EpochEvent {
+                            epoch,
+                            kind: EventKind::BuildFailed,
+                            workload,
+                            detail: format!("path {path_id}: {e}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if changed {
+        // The RCU publish: one pointer swap. Workers that already cloned
+        // the old Arc finish their invocation on the old frames; no
+        // drain, no lock held across execution.
+        *inner.regions.lock().unwrap() = Arc::new(RegionEpoch {
+            epoch,
+            frames,
+            chosen,
+        });
+        inner.governor_stats.lock().unwrap().swaps += 1;
+    }
+}
+
+/// Lower a chosen path into a frame and prove it sound before it goes
+/// live: decode → region validate → build → frame validate → one
+/// differential probe through the existing rollback verifier against
+/// the reference memory semantics.
+fn build_and_verify(g: &Governed, path_id: u64) -> Result<Frame, String> {
+    let func = g.entry.module.func(g.entry.func);
+    let blocks = g
+        .numbering
+        .decode(path_id)
+        .map_err(|e| format!("decode: {e:?}"))?;
+    let freq = g.acc.counts.get(path_id);
+    let coverage = freq as f64 / g.acc.completed.max(1) as f64;
+    let region = OffloadRegion::from_path(&blocks, freq, coverage);
+    region.validate(func).map_err(|e| format!("region: {e}"))?;
+    let frame = build_frame(func, &region).map_err(|e| format!("build: {e:?}"))?;
+    frame.validate().map_err(|e| format!("frame: {e}"))?;
+
+    let mut rng = StdRng::seed_from_u64(path_id ^ 0xA5A5_5A5A);
+    let live_ins: Vec<Val> = frame
+        .live_ins
+        .iter()
+        .map(|li| draw_live_in(&mut rng, li.ty))
+        .collect();
+    let mut mem = g.entry.memory.clone();
+    let snap = mem.snapshot();
+    let outcome = run_frame_with(&frame, &live_ins, &mut mem, None)
+        .map_err(|e| format!("probe exec: {e:?}"))?;
+    let verdict = verify_invocation(func, &frame, &live_ins, &snap, &mem, &outcome)
+        .map_err(|e| format!("probe verify: {e:?}"))?;
+    if !verdict.is_clean() {
+        return Err(format!(
+            "differential probe diverged at {} site(s)",
+            verdict.divergences.len()
+        ));
+    }
+    Ok(frame)
 }
 
 // ---------------------------------------------------------------------
@@ -1321,6 +1971,63 @@ impl SoakReport {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// The report as a JSON value — the benchmark artifact the adaptive
+    /// soak writes (`results/BENCH_adapt.json`): headline counters plus
+    /// the governor's promote/demote timeline.
+    pub fn to_json(&self) -> Json {
+        let g = &self.metrics.governor;
+        let timeline = Json::Arr(
+            g.timeline
+                .iter()
+                .map(|e| {
+                    Json::Obj(vec![
+                        ("epoch".into(), Json::Int(e.epoch as i64)),
+                        ("kind".into(), Json::Str(e.kind.to_string())),
+                        ("workload".into(), Json::Str(e.workload.clone())),
+                        ("detail".into(), Json::Str(e.detail.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        let regions = Json::Arr(
+            self.metrics
+                .active_regions
+                .iter()
+                .map(|(w, id)| {
+                    Json::Obj(vec![
+                        ("workload".into(), Json::Str(w.clone())),
+                        ("path_id".into(), Json::Int(*id as i64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("seed".into(), Json::Int(self.seed as i64)),
+            ("submitted".into(), Json::Int(self.submitted as i64)),
+            ("accepted".into(), Json::Int(self.accepted as i64)),
+            ("responses".into(), Json::Int(self.responses as i64)),
+            ("completed".into(), Json::Int(self.metrics.completed as i64)),
+            ("failed".into(), Json::Int(self.metrics.failed as i64)),
+            ("frame_aborts".into(), Json::Int(self.metrics.frame_aborts as i64)),
+            ("clean".into(), Json::Bool(self.is_clean())),
+            (
+                "violations".into(),
+                Json::Arr(self.violations.iter().map(|v| Json::Str(v.clone())).collect()),
+            ),
+            ("epochs".into(), Json::Int(g.epochs as i64)),
+            ("swaps".into(), Json::Int(g.swaps as i64)),
+            ("promotions".into(), Json::Int(g.promotions as i64)),
+            ("switches".into(), Json::Int(g.switches as i64)),
+            ("demotions".into(), Json::Int(g.demotions as i64)),
+            ("failures_pinned".into(), Json::Int(g.failures as i64)),
+            ("malformed_epochs".into(), Json::Int(g.malformed_epochs as i64)),
+            ("frame_build_errors".into(), Json::Int(g.frame_build_errors as i64)),
+            ("region_epoch".into(), Json::Int(self.metrics.region_epoch as i64)),
+            ("active_regions".into(), regions),
+            ("timeline".into(), timeline),
+        ])
+    }
 }
 
 impl std::fmt::Display for SoakReport {
@@ -1331,6 +2038,16 @@ impl std::fmt::Display for SoakReport {
             self.seed, self.submitted, self.accepted, self.responses
         )?;
         writeln!(f, "{}", self.metrics)?;
+        if self.metrics.governor.active() {
+            writeln!(f, "governor timeline:")?;
+            for e in &self.metrics.governor.timeline {
+                writeln!(
+                    f,
+                    "  epoch {:>3} {} {} {}",
+                    e.epoch, e.kind, e.workload, e.detail
+                )?;
+            }
+        }
         if self.is_clean() {
             write!(f, "verdict: CLEAN — every accepted request answered exactly once")
         } else {
@@ -1573,6 +2290,402 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, NeedleError> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Adaptive phase-shift soak
+// ---------------------------------------------------------------------
+
+/// Parameters for the adaptive (governor-enabled) phase-shift soak.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSoakConfig {
+    /// Stream seed (the request mix is a pure function of it).
+    pub seed: u64,
+    /// `0` or `1` = a single service; `>= 2` = the sharded router with
+    /// one governor per shard.
+    pub shards: usize,
+    /// Per-stage request budget: each milestone stage records a
+    /// violation and moves on once it has pumped this many requests
+    /// without reaching its milestone.
+    pub phase_requests: u64,
+    /// Governor policy under test (the default injects a re-rank panic
+    /// at epoch 2 as the graceful-degradation drill).
+    pub governor: GovernorConfig,
+    /// Service template.
+    pub serve: ServeConfig,
+}
+
+impl Default for AdaptiveSoakConfig {
+    fn default() -> AdaptiveSoakConfig {
+        AdaptiveSoakConfig {
+            seed: 42,
+            shards: 0,
+            phase_requests: 3_000,
+            governor: GovernorConfig {
+                epoch_requests: 120,
+                sample_period: 2,
+                demote_abort_rate: 0.35,
+                cooldown_epochs: 2,
+                min_stability: 0.2,
+                min_path_freq: 4,
+                tick_ms: 1,
+                inject_rerank_panic_at_epoch: Some(2),
+                ..GovernorConfig::default()
+            },
+            serve: ServeConfig {
+                workers: 2,
+                breaker: StormConfig {
+                    threshold: 3,
+                    cooldown: 2,
+                    retry_budget: 4,
+                },
+                default_deadline_ms: 2_000,
+                drain_ms: 5_000,
+                // The governor owns region selection end to end: start
+                // with an empty epoch-0 table so stage 1 observes the
+                // promotion happen live.
+                frame_workload: None,
+                ..ServeConfig::default()
+            },
+        }
+    }
+}
+
+/// The service under adaptive soak: one resident service or the sharded
+/// router (each shard running its own governor).
+enum AdaptiveSvc {
+    One(Service),
+    Sharded(crate::shard::ShardedService),
+}
+
+impl AdaptiveSvc {
+    fn start(cfg: &AdaptiveSoakConfig) -> Result<AdaptiveSvc, NeedleError> {
+        let mut serve = cfg.serve.clone();
+        serve.adaptive = Some(cfg.governor.clone());
+        if cfg.shards >= 2 {
+            let shard_cfg = crate::shard::ShardServeConfig {
+                policy: crate::config::ShardPolicy {
+                    shards: cfg.shards,
+                    ..crate::config::ShardPolicy::default()
+                },
+                serve,
+                ledger: None,
+            };
+            Ok(AdaptiveSvc::Sharded(crate::shard::ShardedService::start(
+                shard_cfg,
+            )?))
+        } else {
+            Ok(AdaptiveSvc::One(Service::start(serve)?))
+        }
+    }
+
+    fn submit(&self, req: Request, reply: &Sender<Response>) -> Result<(), ShedReason> {
+        match self {
+            AdaptiveSvc::One(s) => s.submit(req, reply),
+            AdaptiveSvc::Sharded(s) => s.submit(req, reply),
+        }
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        match self {
+            AdaptiveSvc::One(s) => s.metrics(),
+            AdaptiveSvc::Sharded(s) => s.metrics().rollup(),
+        }
+    }
+
+    fn shutdown(self) -> MetricsSnapshot {
+        match self {
+            AdaptiveSvc::One(s) => s.shutdown(),
+            AdaptiveSvc::Sharded(s) => s.shutdown().rollup(),
+        }
+    }
+}
+
+/// Path ids currently offloaded for `workload` (union across shards).
+fn region_ids(m: &MetricsSnapshot, workload: &str) -> Vec<u64> {
+    m.active_regions
+        .iter()
+        .filter(|(w, _)| w == workload)
+        .map(|(_, id)| *id)
+        .collect()
+}
+
+/// Pump seeded request batches until `done` is true or the stage budget
+/// runs out. Returns whether the milestone was reached.
+#[allow(clippy::too_many_arguments)]
+fn pump_stage(
+    svc: &AdaptiveSvc,
+    tx: &Sender<Response>,
+    rx: &Receiver<Response>,
+    ledger: &mut Ledger,
+    submitted: &mut u64,
+    next_id: &mut u64,
+    rng: &mut StdRng,
+    budget: u64,
+    mut make: impl FnMut(u64, &mut StdRng) -> Request,
+    done: impl Fn(&MetricsSnapshot) -> bool,
+) -> bool {
+    let mut sent = 0u64;
+    while sent < budget {
+        for _ in 0..32 {
+            if sent >= budget {
+                break;
+            }
+            let req = make(*next_id, rng);
+            *next_id += 1;
+            *submitted += 1;
+            sent += 1;
+            let t0 = Instant::now();
+            loop {
+                match svc.submit(req.clone(), tx) {
+                    Ok(()) => {
+                        ledger.accept(req.id);
+                        break;
+                    }
+                    Err(ShedReason::QueueFull)
+                        if t0.elapsed() < Duration::from_secs(30) =>
+                    {
+                        ledger.drain(rx);
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(_) => break,
+                }
+            }
+            ledger.drain(rx);
+        }
+        if done(&svc.metrics()) {
+            return true;
+        }
+    }
+    done(&svc.metrics())
+}
+
+/// The adaptive offload soak: a four-stage, milestone-driven drive of
+/// the governor under live traffic.
+///
+/// 1. **Promote** — `svc.phase` traffic with a fat-arm-hot threshold;
+///    the governor must observe it through the sampled streaming
+///    profiler and hot-swap its top path in.
+/// 2. **Flip** — the per-request bias knob moves the hot arm; the
+///    governor must *re-select* live, displacing the installed region
+///    past the switch margin without draining the service.
+/// 3. **Storm** — injected guard failures abort every frame invocation;
+///    the abort-rate feedback must demote the region within an epoch,
+///    and the cooldown ledger must bar immediate re-promotion.
+/// 4. **Recover** — clean traffic after the cooldown re-promotes.
+///
+/// Along the way the default config injects a re-rank panic (epoch 2):
+/// the governor thread must absorb it, pin last-known-good, and keep
+/// the service answering. The exactly-once ledger runs the whole time;
+/// any lost/duplicate response, counter imbalance, missed milestone, or
+/// hysteresis violation lands in [`SoakReport::violations`].
+///
+/// # Errors
+/// Propagates service/router startup failures only; everything after
+/// startup is reported through the verdict.
+pub fn run_adaptive_soak(cfg: &AdaptiveSoakConfig) -> Result<SoakReport, NeedleError> {
+    let sharded = cfg.shards >= 2;
+    let svc = AdaptiveSvc::start(cfg)?;
+    let (tx, rx) = std::sync::mpsc::channel::<Response>();
+    let mut ledger = Ledger::new();
+    let mut submitted = 0u64;
+    let mut next_id = 1u64;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut violations: Vec<String> = Vec::new();
+    let budget = cfg.phase_requests.max(64);
+
+    // Stage 1: promote. Fat-arm-hot phase traffic plus background mix.
+    let reached = pump_stage(
+        &svc,
+        &tx,
+        &rx,
+        &mut ledger,
+        &mut submitted,
+        &mut next_id,
+        &mut rng,
+        budget,
+        |id, rng| {
+            let mut r = if rng.gen_bool(0.8) {
+                let mut r = Request::new(id, "svc.phase");
+                r.arg = Some(90);
+                r
+            } else {
+                Request::new(id, "svc.sum")
+            };
+            r.deadline_ms = 0;
+            r
+        },
+        |m| m.governor.promotions >= 1 && !region_ids(m, "svc.phase").is_empty(),
+    );
+    if !reached {
+        violations.push("stage 1 (promote): svc.phase never offloaded within budget".into());
+    }
+    let initial_ids = region_ids(&svc.metrics(), "svc.phase");
+
+    // Stage 2: flip the bias knob; the hot Ball-Larus path moves and the
+    // governor must switch the live region without a drain.
+    let reached = pump_stage(
+        &svc,
+        &tx,
+        &rx,
+        &mut ledger,
+        &mut submitted,
+        &mut next_id,
+        &mut rng,
+        budget,
+        |id, rng| {
+            let mut r = if rng.gen_bool(0.8) {
+                let mut r = Request::new(id, "svc.phase");
+                r.arg = Some(8);
+                r
+            } else {
+                Request::new(id, "svc.sum")
+            };
+            r.deadline_ms = 0;
+            r
+        },
+        |m| {
+            m.governor.switches >= 1
+                && region_ids(m, "svc.phase")
+                    .iter()
+                    .any(|id| !initial_ids.contains(id))
+        },
+    );
+    if !reached {
+        violations.push(
+            "stage 2 (flip): phase shift never re-selected the svc.phase region".into(),
+        );
+    }
+
+    // Stage 3: guard-failure storm. Every frame invocation for svc.phase
+    // aborts; the abort-rate feedback must tear the region out.
+    let demotions_before = svc.metrics().governor.demotions;
+    let reached = pump_stage(
+        &svc,
+        &tx,
+        &rx,
+        &mut ledger,
+        &mut submitted,
+        &mut next_id,
+        &mut rng,
+        budget,
+        |id, _| {
+            let mut r = Request::new(id, "svc.phase");
+            r.arg = Some(8);
+            r.fault = Some(InjectedFault::GuardFail);
+            r
+        },
+        |m| {
+            m.governor.demotions > demotions_before
+                && (sharded || region_ids(m, "svc.phase").is_empty())
+        },
+    );
+    if !reached {
+        violations.push("stage 3 (storm): aborting region was never demoted".into());
+    }
+
+    // Stage 4: clean traffic again. After the cooldown the governor must
+    // re-promote (single-service mode; the sharded union can't observe
+    // one shard's absence, so there the stage just exercises recovery).
+    let promotions_before = svc.metrics().governor.promotions;
+    let reached = pump_stage(
+        &svc,
+        &tx,
+        &rx,
+        &mut ledger,
+        &mut submitted,
+        &mut next_id,
+        &mut rng,
+        budget,
+        |id, _| {
+            let mut r = Request::new(id, "svc.phase");
+            r.arg = Some(8);
+            r
+        },
+        |m| {
+            m.governor.promotions > promotions_before
+                && !region_ids(m, "svc.phase").is_empty()
+        },
+    );
+    if !sharded && !reached {
+        violations.push("stage 4 (recover): region never re-promoted after cooldown".into());
+    }
+
+    let metrics = svc.shutdown();
+    ledger.drain(&rx);
+
+    // Exactly-once verification, same discipline as `run_soak`.
+    let mut ledger_violations = std::mem::take(&mut ledger.violations);
+    violations.append(&mut ledger_violations);
+    for (id, n) in &ledger.accepted {
+        if *n == 0 {
+            violations.push(format!("request {id} accepted but never answered (lost)"));
+        }
+    }
+    if !metrics.invariant_holds() {
+        violations.push(format!(
+            "counter imbalance: accepted {} != completed {} + failed {} + shed {}",
+            metrics.accepted, metrics.completed, metrics.failed, metrics.shed_after_accept
+        ));
+    }
+    if !sharded && metrics.accepted != ledger.accepted.len() as u64 {
+        violations.push(format!(
+            "service accepted {} but driver recorded {}",
+            metrics.accepted,
+            ledger.accepted.len()
+        ));
+    }
+
+    // Governor-specific verdicts.
+    let g = &metrics.governor;
+    if g.swaps < 2 {
+        violations.push(format!(
+            "expected at least 2 live region swaps (promote + re-select), saw {}",
+            g.swaps
+        ));
+    }
+    if cfg.governor.inject_rerank_panic_at_epoch.is_some() {
+        if g.failures == 0 {
+            violations.push("injected re-rank panic was never absorbed".into());
+        }
+        if !g.timeline.iter().any(|e| e.kind == EventKind::Pinned) {
+            violations.push("no pinned-last-known-good event on the timeline".into());
+        }
+    }
+    if cfg.governor.inject_malformed_epoch_at.is_some() && g.malformed_epochs == 0 {
+        violations.push("injected malformed epoch was never detected".into());
+    }
+    // Hysteresis: no svc.phase promotion may land inside a demotion
+    // cooldown window. Single-service only: a sharded rollup interleaves
+    // independent per-shard epoch counters, so cross-shard comparisons
+    // are meaningless.
+    let mut barred_until = 0u64;
+    for e in g.timeline.iter().filter(|_| !sharded) {
+        if e.workload != "svc.phase" {
+            continue;
+        }
+        match e.kind {
+            EventKind::Demoted => {
+                barred_until = barred_until.max(e.epoch + cfg.governor.cooldown_epochs);
+            }
+            EventKind::Promoted | EventKind::Switched if e.epoch < barred_until => {
+                violations.push(format!(
+                    "hysteresis violated: {} at epoch {} inside cooldown (until {})",
+                    e.kind, e.epoch, barred_until
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    Ok(SoakReport {
+        seed: cfg.seed,
+        submitted,
+        accepted: metrics.accepted,
+        responses: ledger.responses,
+        metrics,
+        violations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1734,6 +2847,120 @@ mod tests {
         assert!(r.metrics.recoveries() >= 1, "{r}");
         assert!(r.metrics.panics >= 1, "{r}");
         assert!(r.metrics.cancelled >= 1, "{r}");
+    }
+
+    #[test]
+    fn breaker_rows_surface_transitions_and_residency() {
+        let svc = Service::start(quick_serve()).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut id = 0u64;
+        // Trip the svc.flaky breaker with a sequential panic streak…
+        for _ in 0..3 {
+            let mut req = Request::new(id, "svc.flaky");
+            req.fault = Some(InjectedFault::PanicWorker);
+            svc.submit(req, &tx).unwrap();
+            let _ = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            id += 1;
+        }
+        // …then clean traffic through cooldown + probe to recover it.
+        for _ in 0..6 {
+            svc.submit(Request::new(id, "svc.flaky"), &tx).unwrap();
+            let _ = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            id += 1;
+        }
+        let m = svc.shutdown();
+        let row = m
+            .breakers
+            .iter()
+            .find(|b| b.func == "svc.flaky")
+            .expect("breaker row");
+        assert!(row.trips >= 1, "{row:?}");
+        assert!(row.recoveries >= 1, "{row:?}");
+        // trip (closed→open), probe (open→half-open), recovery
+        // (half-open→closed): at least three coarse transitions.
+        assert!(row.transitions >= 3, "{row:?}");
+    }
+
+    #[test]
+    fn func_stats_survive_worker_recycles() {
+        let mut cfg = quick_serve();
+        cfg.workers = 1;
+        let svc = Service::start(cfg).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        svc.submit(Request::new(1, "svc.sum"), &tx).unwrap();
+        let _ = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let before = svc.metrics();
+        let warmups = |m: &MetricsSnapshot| {
+            m.funcs
+                .iter()
+                .find(|r| r.func == "svc.sum")
+                .map(|r| r.decode_warmups)
+                .unwrap_or(0)
+        };
+        assert!(warmups(&before) >= 1, "{before}");
+
+        // Force a recycle; the fresh incarnation warms its caches again,
+        // so the cumulative counter must *grow*, never reset.
+        let mut req = Request::new(2, "svc.sum");
+        req.fault = Some(InjectedFault::PanicWorker);
+        svc.submit(req, &tx).unwrap();
+        let _ = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        svc.submit(Request::new(3, "svc.sum"), &tx).unwrap();
+        let _ = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let after = svc.shutdown();
+        assert!(after.recycles >= 1, "{after}");
+        assert!(
+            warmups(&after) > warmups(&before),
+            "decode warmups must be cumulative across recycles: {} -> {}",
+            warmups(&before),
+            warmups(&after)
+        );
+        for row in &before.funcs {
+            let later = after
+                .funcs
+                .iter()
+                .find(|r| r.func == row.func)
+                .expect("rows never disappear");
+            assert!(later.decode_warmups >= row.decode_warmups);
+            assert!(later.walk_truncations >= row.walk_truncations);
+        }
+    }
+
+    #[test]
+    fn request_arg_overrides_last_argument() {
+        let svc = Service::start(quick_serve()).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        // svc.phase's last arg is the branch-bias threshold; any value
+        // must still complete cleanly.
+        for (id, arg) in [(1u64, 95i64), (2, 5)] {
+            let mut req = Request::new(id, "svc.phase");
+            req.arg = Some(arg);
+            svc.submit(req, &tx).unwrap();
+            let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert!(matches!(r.outcome, Outcome::Completed { .. }), "{r:?}");
+        }
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn adaptive_soak_hot_swaps_demotes_and_survives_rerank_panic() {
+        let cfg = AdaptiveSoakConfig {
+            seed: 7,
+            phase_requests: 1_500,
+            governor: GovernorConfig {
+                epoch_requests: 60,
+                ..AdaptiveSoakConfig::default().governor
+            },
+            ..AdaptiveSoakConfig::default()
+        };
+        let r = run_adaptive_soak(&cfg).unwrap();
+        assert!(r.is_clean(), "{r}");
+        let g = &r.metrics.governor;
+        assert!(g.swaps >= 2, "{r}");
+        assert!(g.promotions >= 1, "{r}");
+        assert!(g.switches >= 1, "{r}");
+        assert!(g.demotions >= 1, "{r}");
+        assert!(g.failures >= 1, "injected panic must be absorbed: {r}");
     }
 
     #[test]

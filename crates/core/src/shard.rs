@@ -1086,6 +1086,24 @@ impl LedgerAudit {
     }
 }
 
+impl std::fmt::Display for LedgerAudit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ledger audit: {} accepted, {} resolved, {} unresolved",
+            self.accepted, self.resolved, self.unresolved
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  violation: {v}")?;
+        }
+        if self.is_clean() {
+            write!(f, "verdict: CLEAN — exactly-once holds across the journal")
+        } else {
+            write!(f, "verdict: VIOLATED")
+        }
+    }
+}
+
 /// Replay a shard ledger and check exactly-once from the outside:
 /// every admitted key resolved exactly once, no key resolved twice or
 /// out of thin air. This is the external verifier the chaos soak and

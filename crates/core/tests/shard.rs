@@ -200,6 +200,11 @@ fn ledger_survives_service_restart_and_refuses_duplicates() {
     let audit = audit_ledger(&path).unwrap();
     assert!(audit.is_clean(), "{:?}", audit.violations);
     assert_eq!(audit.accepted, 11);
+    // The `needle audit` subcommand prints this report verbatim; the
+    // CI gate greps for the verdict line.
+    let rendered = audit.to_string();
+    assert!(rendered.contains("11 accepted"), "{rendered}");
+    assert!(rendered.contains("verdict: CLEAN"), "{rendered}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

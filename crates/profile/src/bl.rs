@@ -379,6 +379,23 @@ impl PathCounts {
         }
     }
 
+    /// Record `n` completions of path `id` at once (epoch merging).
+    pub fn add(&mut self, id: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self {
+            PathCounts::Dense(v) => {
+                let ix = id as usize;
+                if v.len() <= ix {
+                    v.resize(ix + 1, 0);
+                }
+                v[ix] += n;
+            }
+            PathCounts::Sparse(m) => *m.entry(id).or_insert(0) += n,
+        }
+    }
+
     /// The completion count of path `id` (0 if never completed).
     pub fn get(&self, id: u64) -> u64 {
         match self {

@@ -20,9 +20,11 @@ pub mod profiler;
 pub mod rank;
 pub mod sampling;
 pub mod stats;
+pub mod streaming;
 
 pub use bl::{BlError, BlNumbering, DagEdge};
 pub use profiler::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler};
 pub use rank::{rank_functions, rank_paths, FunctionRank, RankedPath};
 pub use sampling::SamplingProfiler;
 pub use stats::{bias_histogram, control_flow_stats, BiasHistogram, ControlFlowStats};
+pub use streaming::{EpochProfile, StreamingProfiler};

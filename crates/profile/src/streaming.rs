@@ -1,0 +1,436 @@
+//! Streaming epoch-based Ball-Larus profiling for the serving layer.
+//!
+//! The offline [`PathProfiler`](crate::profiler::PathProfiler) accumulates
+//! one profile for the lifetime of a run. A *serving* process instead wants
+//! cheap, sampled counters it can drain every epoch and feed to an online
+//! re-ranker. This module provides that: a [`StreamingProfiler`] trace sink
+//! whose accumulated state is taken wholesale by [`StreamingProfiler::
+//! take_epoch`], plus the [`EpochProfile`] unit the governor merges,
+//! decays, and ranks.
+//!
+//! Beyond plain BL counts, the sink keeps *cross-loop-iteration* accounting
+//! in the style of D'Elia & Demetrescu's multi-iteration path profiling:
+//! for every pair of consecutively completed paths within one invocation it
+//! bumps a `(prev, next)` pair counter. The self-pair ratio
+//! [`EpochProfile::stability`] separates steadily cyclic hot paths
+//! (`AAAA…`, ratio → 1) from alternating ones (`ABAB…`, ratio → 0) that a
+//! flat frequency count would rank identically — the governor uses it as a
+//! promotion gate so only genuinely stable paths become offload regions.
+
+use std::collections::HashMap;
+
+use needle_ir::interp::TraceSink;
+use needle_ir::{BlockId, FuncId, Module};
+
+use crate::bl::{BlNumbering, PathCounts};
+
+/// One epoch's worth of sampled path observations for a single function.
+#[derive(Debug, Clone, Default)]
+pub struct EpochProfile {
+    /// `path id -> completions` this epoch.
+    pub counts: PathCounts,
+    /// `(prev path id, next path id) -> occurrences`: consecutive path
+    /// completions within one invocation (cross-loop-iteration pairs).
+    pub pairs: HashMap<(u64, u64), u64>,
+    /// Total completed paths this epoch (= `counts.total()`, cached).
+    pub completed: u64,
+    /// Function invocations observed this epoch.
+    pub invocations: u64,
+}
+
+impl EpochProfile {
+    /// Fold `other` into `self` (used when merging worker-local epochs).
+    pub fn merge(&mut self, other: &EpochProfile) {
+        for (id, n) in other.counts.iter() {
+            self.counts.add(id, n);
+        }
+        for (k, n) in &other.pairs {
+            *self.pairs.entry(*k).or_insert(0) += n;
+        }
+        self.completed += other.completed;
+        self.invocations += other.invocations;
+    }
+
+    /// Decay every counter by half (integer floor), dropping entries that
+    /// reach zero. Exponential decay keeps the governor's accumulated view
+    /// responsive to traffic shifts without forgetting instantly.
+    pub fn decay(&mut self) {
+        let halved: Vec<(u64, u64)> = self.counts.iter().map(|(id, n)| (id, n / 2)).collect();
+        let mut counts = PathCounts::default();
+        for (id, n) in halved {
+            counts.add(id, n);
+        }
+        self.counts = counts;
+        self.pairs.retain(|_, n| {
+            *n /= 2;
+            *n > 0
+        });
+        self.completed = self.counts.total();
+        self.invocations /= 2;
+    }
+
+    /// Self-succession ratio of path `id` in `[0, 1]`: the fraction of its
+    /// completions immediately followed by another completion of itself.
+    /// Steady cyclic paths score near 1; alternating paths near 0. Paths
+    /// never observed score 0.
+    pub fn stability(&self, id: u64) -> f64 {
+        let n = self.counts.get(id);
+        if n == 0 {
+            return 0.0;
+        }
+        let own = self.pairs.get(&(id, id)).copied().unwrap_or(0);
+        own as f64 / n as f64
+    }
+
+    /// Whether the epoch saw no activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.completed == 0 && self.invocations == 0
+    }
+}
+
+/// Sampled streaming profiler: a [`TraceSink`] attached to a fraction of
+/// requests in the serving worker loop. Epochs are drained (not copied)
+/// with [`StreamingProfiler::take_epoch`]; the BL numberings persist across
+/// epochs so the per-request cost is the same counter discipline as the
+/// offline profiler.
+#[derive(Debug)]
+pub struct StreamingProfiler {
+    numberings: HashMap<FuncId, BlNumbering>,
+    epoch: HashMap<FuncId, EpochProfile>,
+    /// Per-invocation register stack: `(func, r, last block, previously
+    /// completed path id within this invocation)`.
+    stack: Vec<(FuncId, u64, BlockId, Option<u64>)>,
+}
+
+impl StreamingProfiler {
+    /// Build numberings for every function of `module`; functions with an
+    /// overflowing path space are skipped (never offload candidates).
+    pub fn new(module: &Module) -> StreamingProfiler {
+        let mut numberings = HashMap::new();
+        for (id, f) in module.iter() {
+            if let Ok(bl) = BlNumbering::new(f) {
+                numberings.insert(id, bl);
+            }
+        }
+        StreamingProfiler {
+            numberings,
+            epoch: HashMap::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// The numbering for `func`, if constructible.
+    pub fn numbering(&self, func: FuncId) -> Option<&BlNumbering> {
+        self.numberings.get(&func)
+    }
+
+    /// Drain the accumulated epoch, leaving the profiler empty but warm
+    /// (numberings retained). Any half-recorded invocation still on the
+    /// stack keeps its register state and completes into the next epoch.
+    pub fn take_epoch(&mut self) -> HashMap<FuncId, EpochProfile> {
+        std::mem::take(&mut self.epoch)
+    }
+
+    /// Whether anything has been recorded since the last drain.
+    pub fn has_data(&self) -> bool {
+        !self.epoch.is_empty()
+    }
+
+    fn complete(&mut self, func: FuncId, id: u64, prev: Option<u64>) {
+        let p = epoch_entry(&self.numberings, &mut self.epoch, func);
+        p.counts.bump(id);
+        p.completed += 1;
+        if let Some(prev) = prev {
+            *p.pairs.entry((prev, id)).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Get-or-create the epoch slot for `func`, sizing the counter
+/// representation off the numbering (dense for small path spaces).
+fn epoch_entry<'a>(
+    numberings: &HashMap<FuncId, BlNumbering>,
+    epoch: &'a mut HashMap<FuncId, EpochProfile>,
+    func: FuncId,
+) -> &'a mut EpochProfile {
+    match epoch.entry(func) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => {
+            let counts = numberings
+                .get(&func)
+                .map(PathCounts::for_numbering)
+                .unwrap_or_default();
+            v.insert(EpochProfile {
+                counts,
+                ..EpochProfile::default()
+            })
+        }
+    }
+}
+
+impl TraceSink for StreamingProfiler {
+    fn enter(&mut self, func: FuncId) {
+        let r = self
+            .numberings
+            .get(&func)
+            .map(|n| n.enter_increment())
+            .unwrap_or(0);
+        self.stack.push((func, r, BlockId(0), None));
+        epoch_entry(&self.numberings, &mut self.epoch, func).invocations += 1;
+    }
+
+    fn exit(&mut self, func: FuncId) {
+        let Some((f, r, last, prev)) = self.stack.pop() else {
+            return;
+        };
+        debug_assert_eq!(f, func, "unbalanced enter/exit events");
+        if let Some(n) = self.numberings.get(&func) {
+            if let Ok(inc) = n.exit_increment(last) {
+                self.complete(func, r + inc, prev);
+            }
+        }
+    }
+
+    fn block(&mut self, _func: FuncId, bb: BlockId) {
+        if let Some(top) = self.stack.last_mut() {
+            top.2 = bb;
+        }
+    }
+
+    fn edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        let Some(n) = self.numberings.get(&func) else {
+            return;
+        };
+        let Some(top) = self.stack.last_mut() else {
+            return;
+        };
+        debug_assert_eq!(top.0, func);
+        if n.is_back_edge(from, to) {
+            let exit_inc = n
+                .exit_increment(from)
+                .expect("back-edge source has a fake exit edge");
+            let id = top.1 + exit_inc;
+            let restart = n
+                .restart_increment(to)
+                .expect("back-edge target has a fake entry edge");
+            let prev = top.3.replace(id);
+            top.1 = restart;
+            self.complete(func, id, prev);
+        } else if let Ok(inc) = n.edge_increment(from, to) {
+            top.1 += inc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use needle_ir::builder::FunctionBuilder;
+    use needle_ir::interp::{Interp, Memory};
+    use needle_ir::{Constant, Type, Value};
+
+    use crate::profiler::{PathProfile, PathProfiler};
+    use crate::rank::rank_paths;
+
+    /// for i in 0..n { if load(DATA + (i&mask)*8) < thr { fat } else { thin } }
+    fn thresholded_loop() -> (Module, FuncId) {
+        let mut fb = FunctionBuilder::new("phase", &[Type::I64, Type::I64], Some(Type::I64));
+        let entry = fb.entry();
+        let head = fb.block("head");
+        let fat = fb.block("fat");
+        let thin = fb.block("thin");
+        let latch = fb.block("latch");
+        let exit = fb.block("exit");
+        fb.switch_to(entry);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let acc = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+        let c = fb.icmp_slt(i, fb.arg(0));
+        let body = fb.block("body");
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let ix = fb.and(i, Value::int(63));
+        let addr = fb.gep(Value::ptr(0x1_0000), ix, 8);
+        let v = fb.load(Type::I64, addr);
+        let hot = fb.icmp_slt(v, fb.arg(1));
+        fb.cond_br(hot, fat, thin);
+        fb.switch_to(fat);
+        let mut a = acc;
+        for _ in 0..8 {
+            a = fb.add(a, Value::int(3));
+        }
+        fb.br(latch);
+        fb.switch_to(thin);
+        let t = fb.add(acc, Value::int(1));
+        fb.br(latch);
+        fb.switch_to(latch);
+        let merged = fb.phi(Type::I64, &[(fat, a), (thin, t)]);
+        let i2 = fb.add(i, Value::int(1));
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(acc));
+        let mut f = fb.finish();
+        let i_id = i.as_inst().unwrap();
+        f.inst_mut(i_id).args.push(i2);
+        f.inst_mut(i_id).phi_blocks.push(latch);
+        let a_id = acc.as_inst().unwrap();
+        f.inst_mut(a_id).args.push(merged);
+        f.inst_mut(a_id).phi_blocks.push(latch);
+        let mut m = Module::new("t");
+        let id = m.push(f);
+        (m, id)
+    }
+
+    fn run_with_data(
+        m: &Module,
+        f: FuncId,
+        prof: &mut StreamingProfiler,
+        trips: i64,
+        thr: i64,
+        data: impl Fn(u64) -> i64,
+    ) {
+        let mut mem = Memory::new();
+        for i in 0..64u64 {
+            mem.store(0x1_0000 + i * 8, needle_ir::interp::Val::Int(data(i)));
+        }
+        Interp::new(m)
+            .run(f, &[Constant::Int(trips), Constant::Int(thr)], &mut mem, prof)
+            .unwrap();
+    }
+
+    #[test]
+    fn epoch_counts_match_offline_profiler() {
+        let (m, f) = thresholded_loop();
+        let mut streaming = StreamingProfiler::new(&m);
+        let mut offline = PathProfiler::new(&m);
+        let mut mem1 = Memory::new();
+        let mut mem2 = Memory::new();
+        for i in 0..64u64 {
+            mem1.store(0x1_0000 + i * 8, needle_ir::interp::Val::Int((i % 3) as i64));
+            mem2.store(0x1_0000 + i * 8, needle_ir::interp::Val::Int((i % 3) as i64));
+        }
+        let args = [Constant::Int(100), Constant::Int(2)];
+        Interp::new(&m).run(f, &args, &mut mem1, &mut streaming).unwrap();
+        Interp::new(&m).run(f, &args, &mut mem2, &mut offline).unwrap();
+        let epoch = &streaming.take_epoch()[&f];
+        let base = offline.profile(f);
+        assert_eq!(epoch.completed, base.total());
+        assert_eq!(epoch.invocations, 1);
+        for (id, n) in base.counts.iter() {
+            assert_eq!(epoch.counts.get(id), n, "path {id}");
+        }
+    }
+
+    #[test]
+    fn take_epoch_drains_and_profiler_stays_warm() {
+        let (m, f) = thresholded_loop();
+        let mut p = StreamingProfiler::new(&m);
+        run_with_data(&m, f, &mut p, 50, 100, |_| 0);
+        let e1 = p.take_epoch();
+        assert!(e1[&f].completed > 0);
+        assert!(!p.has_data());
+        run_with_data(&m, f, &mut p, 50, 100, |_| 0);
+        let e2 = p.take_epoch();
+        assert_eq!(e1[&f].completed, e2[&f].completed, "warm restart is identical");
+    }
+
+    #[test]
+    fn stability_separates_steady_from_alternating_paths() {
+        let (m, f) = thresholded_loop();
+        // Steady: every iteration takes the fat arm.
+        let mut p = StreamingProfiler::new(&m);
+        run_with_data(&m, f, &mut p, 200, 100, |_| 0);
+        let steady = &p.take_epoch()[&f];
+        let hot = steady
+            .counts
+            .iter()
+            .max_by_key(|(_, n)| *n)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(
+            steady.stability(hot) > 0.9,
+            "steady path should self-succeed: {}",
+            steady.stability(hot)
+        );
+
+        // Alternating: data flips fat/thin every iteration.
+        let mut p = StreamingProfiler::new(&m);
+        run_with_data(&m, f, &mut p, 200, 1, |i| (i % 2) as i64);
+        let alt = &p.take_epoch()[&f];
+        let (top, _) = alt.counts.iter().max_by_key(|(_, n)| *n).unwrap();
+        assert!(
+            alt.stability(top) < 0.2,
+            "alternating path must not look steady: {}",
+            alt.stability(top)
+        );
+    }
+
+    #[test]
+    fn merged_epochs_rank_like_one_big_profile() {
+        let (m, f) = thresholded_loop();
+        let mut p = StreamingProfiler::new(&m);
+        run_with_data(&m, f, &mut p, 60, 100, |_| 0);
+        let mut acc = p.take_epoch().remove(&f).unwrap();
+        run_with_data(&m, f, &mut p, 60, 100, |_| 0);
+        let second = p.take_epoch().remove(&f).unwrap();
+        acc.merge(&second);
+        assert_eq!(acc.invocations, 2);
+
+        let profile = PathProfile {
+            counts: acc.counts.clone(),
+            trace: vec![],
+        };
+        let rank = rank_paths(m.func(f), p.numbering(f).unwrap(), &profile);
+        assert!(!rank.paths.is_empty());
+        let top = rank.top().unwrap();
+        // The fat-arm path dominates and its freq covers both epochs.
+        assert!(top.freq >= 100, "freq {} spans merged epochs", top.freq);
+        assert!(top.ops >= 8);
+    }
+
+    #[test]
+    fn decay_halves_and_eventually_forgets() {
+        let (m, f) = thresholded_loop();
+        let mut p = StreamingProfiler::new(&m);
+        run_with_data(&m, f, &mut p, 40, 100, |_| 0);
+        let mut e = p.take_epoch().remove(&f).unwrap();
+        let before = e.completed;
+        assert!(before > 0);
+        e.decay();
+        assert!(e.completed <= before / 2 + 1);
+        for _ in 0..40 {
+            e.decay();
+        }
+        assert!(e.is_empty(), "decay must converge to empty");
+        assert!(e.pairs.is_empty());
+    }
+
+    #[test]
+    fn phase_flip_moves_the_top_ranked_path() {
+        // The governor's core premise: when traffic shifts, the drained
+        // epochs must rank a different path on top.
+        let (m, f) = thresholded_loop();
+        let mut p = StreamingProfiler::new(&m);
+        run_with_data(&m, f, &mut p, 200, 100, |_| 0); // all fat
+        let fat_epoch = p.take_epoch().remove(&f).unwrap();
+        run_with_data(&m, f, &mut p, 200, -1, |_| 0); // all thin
+        let thin_epoch = p.take_epoch().remove(&f).unwrap();
+
+        let rank_of = |e: &EpochProfile| {
+            let profile = PathProfile {
+                counts: e.counts.clone(),
+                trace: vec![],
+            };
+            rank_paths(m.func(f), p.numbering(f).unwrap(), &profile)
+                .top()
+                .unwrap()
+                .id
+        };
+        assert_ne!(
+            rank_of(&fat_epoch),
+            rank_of(&thin_epoch),
+            "bias flip must change the top path"
+        );
+    }
+}

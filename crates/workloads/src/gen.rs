@@ -366,6 +366,98 @@ fn emit_store(
     fb.store(v, addr);
 }
 
+/// A phase-steerable serving workload: branch bias is a pure function of
+/// the kernel's *second argument*, so a server can flip the hot path
+/// per-request without regenerating the module or its memory image.
+///
+/// ```text
+/// phase_kernel(n, thr):
+///   for i in 0..n:
+///     x = (i * 37) % 100
+///     if x < thr: acc = fat(acc, i); out[i & 63] = acc   // ~12 ops
+///     else:       acc = acc + 1                          // 1 op
+/// ```
+///
+/// With `thr ≈ 95` nearly every iteration takes the fat arm (its BL path
+/// dominates `Pwt`); with `thr ≈ 5` the thin arm dominates. The adaptive
+/// soak drives exactly this flip mid-run and expects the governor to
+/// re-select the offloaded region.
+pub fn phase_workload(trips: i64, thr: i64) -> Workload {
+    let mut module = Module::new("svc.phase");
+    let mut fb = FunctionBuilder::new("phase_kernel", &[Type::I64, Type::I64], Some(Type::I64));
+    let entry = fb.entry();
+    let head = fb.block("head");
+    let body = fb.block("body");
+    let fat = fb.block("fat");
+    let thin = fb.block("thin");
+    let latch = fb.block("latch");
+    let exit = fb.block("exit");
+
+    fb.switch_to(entry);
+    fb.br(head);
+
+    fb.switch_to(head);
+    let i = fb.phi(Type::I64, &[(entry, Value::int(0))]);
+    let acc = fb.phi(Type::I64, &[(entry, Value::int(1))]);
+    let n = fb.arg(0);
+    let c = fb.icmp_slt(i, n);
+    fb.cond_br(c, body, exit);
+
+    fb.switch_to(body);
+    let x0 = fb.mul(i, Value::int(37));
+    let x = fb.rem(x0, Value::int(100));
+    let hot = fb.icmp_slt(x, fb.arg(1));
+    fb.cond_br(hot, fat, thin);
+
+    // Fat arm: a chain of mixed int ops plus a store.
+    fb.switch_to(fat);
+    let mut a = acc;
+    a = fb.add(a, i);
+    a = fb.xor(a, Value::int(0x5D));
+    a = fb.mul(a, Value::int(3));
+    a = fb.add(a, Value::int(17));
+    a = fb.and(a, Value::int(0x0FFF_FFFF));
+    a = fb.sub(a, i);
+    a = fb.xor(a, Value::int(0x2A));
+    a = fb.add(a, Value::int(5));
+    let ix = fb.and(i, Value::int(63));
+    let addr = fb.gep(Value::ptr(OUT_BASE), ix, 8);
+    fb.store(a, addr);
+    fb.br(latch);
+
+    // Thin arm: one op.
+    fb.switch_to(thin);
+    let t = fb.add(acc, Value::int(1));
+    fb.br(latch);
+
+    fb.switch_to(latch);
+    let merged = fb.phi(Type::I64, &[(fat, a), (thin, t)]);
+    let i2 = fb.add(i, Value::int(1));
+    fb.br(head);
+
+    fb.switch_to(exit);
+    fb.ret(Some(acc));
+
+    let mut func = fb.finish();
+    let patch = |func: &mut needle_ir::Function, phi: Value, v: Value| {
+        let id = phi.as_inst().expect("phi is an instruction");
+        func.inst_mut(id).args.push(v);
+        func.inst_mut(id).phi_blocks.push(latch);
+    };
+    patch(&mut func, i, i2);
+    patch(&mut func, acc, merged);
+    let func_id = module.push(func);
+
+    Workload {
+        name: "svc.phase".to_string(),
+        suite: crate::spec::Suite::SpecInt,
+        module,
+        func: func_id,
+        args: vec![Constant::Int(trips), Constant::Int(thr)],
+        memory: Memory::new(),
+    }
+}
+
 /// A small helper routine used by `helper_call` workloads: the pipeline
 /// inlines it before profiling (the paper's aggressive inlining).
 fn build_helper(module: &mut Module) -> FuncId {
@@ -410,6 +502,13 @@ pub struct FuzzSpec {
     pub max_straight: usize,
     /// Whether the module may contain a callee helper function.
     pub allow_calls: bool,
+    /// Branch-bias phases per counted loop (the phase *schedule*). With
+    /// `phases > 1` every counted loop gets an induction-steered diamond
+    /// whose taken side flips as the induction variable crosses phase
+    /// boundaries — time-varying branch bias within a single run, fully
+    /// deterministic in `seed`, so adaptive soaks replay exactly.
+    /// `phases <= 1` reproduces the classic static-bias shapes.
+    pub phases: usize,
 }
 
 impl Default for FuzzSpec {
@@ -419,6 +518,7 @@ impl Default for FuzzSpec {
             segments: 5,
             max_straight: 6,
             allow_calls: true,
+            phases: 1,
         }
     }
 }
@@ -514,6 +614,8 @@ struct FuzzGen {
     /// φs that need a loop-latch incoming patched in after `finish()`.
     patches: Vec<(Value, needle_ir::BlockId, Value)>,
     helper: Option<FuncId>,
+    /// Bias phases per counted loop (see [`FuzzSpec::phases`]).
+    phases: usize,
 }
 
 impl FuzzGen {
@@ -795,10 +897,18 @@ impl FuzzGen {
 
     /// A counted loop with loop-carried φs (patched after `finish()`); trip
     /// counts include 0 and 1 so header-only and single-iteration paths are
-    /// exercised.
+    /// exercised. With a phase schedule ([`FuzzSpec::phases`] > 1) the trip
+    /// count stretches to cover every phase and the body carries a
+    /// phase-steered diamond whose bias flips at phase boundaries.
     fn counted_loop(&mut self, fb: &mut FunctionBuilder, scope: &mut Scope, max: usize) {
         let pre = fb.current();
-        let trips = Value::int(self.rng.gen_range(0..=12));
+        let trip_count: i64 = if self.phases > 1 {
+            let p = self.phases as i64;
+            self.rng.gen_range(4 * p..=8 * p)
+        } else {
+            self.rng.gen_range(0..=12)
+        };
+        let trips = Value::int(trip_count);
         let header = fb.block("fz.head");
         let body = fb.block("fz.body");
         let after = fb.block("fz.after");
@@ -816,6 +926,9 @@ impl FuzzGen {
         sb.ints.push(phi_i);
         sb.ints.push(phi_a);
         self.straight(fb, &mut sb, max);
+        if self.phases > 1 {
+            self.phase_diamond(fb, &mut sb, max, phi_i, trip_count);
+        }
         if self.rng.gen_bool(0.4) {
             self.diamond(fb, &mut sb, max);
         }
@@ -830,6 +943,45 @@ impl FuzzGen {
         scope.ints.push(phi_i);
         scope.ints.push(phi_a);
     }
+
+    /// A diamond steered by the *phase* of the enclosing loop rather than
+    /// data: `(i / phase_len) % 2` picks the arm, so the taken side flips
+    /// deterministically every `phase_len` iterations. The arms are
+    /// asymmetric (one heavy, one light) so the flip moves the hot BL path.
+    fn phase_diamond(
+        &mut self,
+        fb: &mut FunctionBuilder,
+        scope: &mut Scope,
+        max: usize,
+        phi_i: Value,
+        trip_count: i64,
+    ) {
+        let phase_len = (trip_count / self.phases as i64).max(1);
+        let ph = fb.div(phi_i, Value::int(phase_len));
+        let par = fb.rem(ph, Value::int(2));
+        let cond = fb.icmp_eq(par, Value::int(0));
+        let then_bb = fb.block("fz.phase_hot");
+        let else_bb = fb.block("fz.phase_cold");
+        let merge_bb = fb.block("fz.phase_merge");
+        fb.cond_br(cond, then_bb, else_bb);
+
+        // Heavy arm: a full straight-line burst.
+        fb.switch_to(then_bb);
+        let mut st = scope.clone();
+        self.straight(fb, &mut st, max);
+        let vt = self.int(&st);
+        fb.br(merge_bb);
+
+        // Light arm: a single op.
+        fb.switch_to(else_bb);
+        let base = self.int(scope);
+        let ve = fb.add(base, Value::int(1));
+        fb.br(merge_bb);
+
+        fb.switch_to(merge_bb);
+        let p = fb.phi(Type::I64, &[(then_bb, vt), (else_bb, ve)]);
+        scope.ints.push(p);
+    }
 }
 
 /// Generate one fuzz case. The module is guaranteed `ir::verify`-clean; a
@@ -842,6 +994,7 @@ pub fn fuzz_case(spec: &FuzzSpec) -> FuzzCase {
         budget: spec.segments * spec.max_straight.max(1) * 3 + 8,
         patches: Vec::new(),
         helper: None,
+        phases: spec.phases,
     };
     if spec.allow_calls && g.rng.gen_bool(0.4) {
         g.helper = Some(build_helper(&mut module));
@@ -1286,5 +1439,85 @@ mod tests {
                 b.memory.peek(DATA_BASE + idx * 8)
             );
         }
+    }
+
+    #[test]
+    fn phase_workload_bias_is_argument_steered() {
+        // Blocks by construction order: entry 0, head 1, body 2, fat 3,
+        // thin 4, latch 5, exit 6.
+        let count_arms = |thr: i64| {
+            let w = phase_workload(200, thr);
+            verify_module(&w.module).unwrap();
+            let mut sink = BlockCountSink::default();
+            w.run(&mut sink).unwrap();
+            (
+                sink.count(w.func, needle_ir::BlockId(3)),
+                sink.count(w.func, needle_ir::BlockId(4)),
+            )
+        };
+        let (fat_hi, thin_hi) = count_arms(95);
+        assert!(fat_hi > thin_hi * 5, "thr=95 must favour the fat arm: {fat_hi}/{thin_hi}");
+        let (fat_lo, thin_lo) = count_arms(5);
+        assert!(thin_lo > fat_lo * 5, "thr=5 must favour the thin arm: {fat_lo}/{thin_lo}");
+        // Same kernel, different args — the flip needs no regeneration.
+        let a = phase_workload(200, 95);
+        let b = phase_workload(200, 5);
+        assert_eq!(
+            needle_ir::print::module_to_string(&a.module),
+            needle_ir::print::module_to_string(&b.module)
+        );
+    }
+
+    #[test]
+    fn phased_fuzz_cases_are_clean_and_seed_deterministic() {
+        for seed in 0..60u64 {
+            let spec = FuzzSpec {
+                seed,
+                phases: 4,
+                ..FuzzSpec::default()
+            };
+            let a = fuzz_case(&spec);
+            verify_module(&a.module).unwrap();
+            let b = fuzz_case(&spec);
+            assert_eq!(
+                needle_ir::print::module_to_string(&a.module),
+                needle_ir::print::module_to_string(&b.module)
+            );
+            assert_eq!(a.args, b.args);
+            assert!(a.memory.same_as(&b.memory.snapshot()));
+        }
+    }
+
+    #[test]
+    fn phase_schedule_executes_both_bias_phases() {
+        // Across a handful of seeds at least one module must carry a
+        // phase diamond whose BOTH arms execute — i.e. the branch bias
+        // really flips mid-run rather than staying static.
+        let mut flipped = 0usize;
+        for seed in 0..40u64 {
+            let case = fuzz_case(&FuzzSpec {
+                seed,
+                phases: 3,
+                ..FuzzSpec::default()
+            });
+            let f = case.module.func(case.func);
+            let hot = f.block_ids().find(|b| f.block(*b).name.starts_with("fz.phase_hot"));
+            let cold = f.block_ids().find(|b| f.block(*b).name.starts_with("fz.phase_cold"));
+            let (Some(hot), Some(cold)) = (hot, cold) else {
+                continue;
+            };
+            let mut sink = BlockCountSink::default();
+            let mut mem = case.memory.clone();
+            let r = needle_ir::interp::Interp::new(&case.module)
+                .with_max_steps(2_000_000)
+                .run(case.func, &case.args, &mut mem, &mut sink);
+            if r.is_err() {
+                continue; // boundary-constant args can legitimately trap
+            }
+            if sink.count(case.func, hot) > 0 && sink.count(case.func, cold) > 0 {
+                flipped += 1;
+            }
+        }
+        assert!(flipped > 0, "no seed exercised a mid-run bias flip");
     }
 }

@@ -24,7 +24,7 @@ pub mod spec;
 use needle_ir::interp::{ExecError, Interp, Memory, TraceSink, Val};
 use needle_ir::{Constant, FuncId, Module};
 
-pub use gen::{fuzz_case, generate, mutate_module, FuzzCase, FuzzSpec};
+pub use gen::{fuzz_case, generate, mutate_module, phase_workload, FuzzCase, FuzzSpec};
 pub use spec::{pathological_specs, specs, BiasKind, GenSpec, Suite};
 
 /// A ready-to-run workload: module, entry function, arguments and
