@@ -13,11 +13,12 @@
 use std::process::ExitCode;
 
 use needle::{
-    analyze, audit_ledger, peek_journal, run_adaptive_soak, run_shard_soak, run_soak,
-    run_supervised, simulate_offload, storm_scenario, AdaptiveSoakConfig, CampaignOptions,
-    CampaignReport, CampaignUnit, ChaosConfig, GovernorConfig, NeedleConfig, PredictorKind,
-    Request, ServeConfig, Service, ShardServeConfig, ShardSoakConfig, ShardedService, SoakConfig,
-    SupervisorConfig, UnitKind, UnitPayload,
+    analyze, audit_ledger, certify_workload, peek_journal, run_adaptive_soak, run_shard_soak,
+    run_soak, run_supervised, simulate_offload, storm_scenario, AdaptiveSoakConfig,
+    CampaignOptions, CampaignReport, CampaignUnit, CertStats, ChaosConfig, GovernorConfig,
+    NeedleConfig, PredictorKind, Request, ServeConfig, Service, ShardServeConfig, ShardSoakConfig,
+    ShardedService, SoakConfig, SupervisorConfig, UnitKind, UnitPayload, VerdictJournal,
+    VerifyPolicy,
 };
 use needle_frames::build_frame;
 use needle_ir::interp::{Interp, Memory, NullSink};
@@ -108,7 +109,8 @@ USAGE:
       offline replay of the durable dedup journal). Deterministic in
       --seed; exits non-zero on any violation.
   needle soak --adaptive [--seed N] [--requests N] [--shards N]
-              [--workers N] [--out PATH]
+              [--workers N] [--out PATH] [--verify-policy P]
+              [--inject-miscompile EPOCH]
       Phase-shift soak of the adaptive offload governor: the request
       stream promotes a hot path, flips the branch bias so a different
       path dominates (forcing a live region hot-swap with zero drain),
@@ -117,12 +119,28 @@ USAGE:
       must be absorbed by pinning the last-known-good region table.
       With --shards N the stream runs through the multi-shard router.
       --out writes the report (counters + governor timeline) as JSON.
+      --verify-policy picks the publish gate (differential,
+      prefer-symbolic, require-proof); under require-proof only
+      symbolically proved frames go live. --inject-miscompile EPOCH
+      miscompiles the first frame built at or after that epoch (a
+      dropped store) — the cert gate must refuse it and keep the
+      incumbent serving, and the soak verdict checks that it did.
       Deterministic in --seed; exits non-zero on any violation.
   needle audit <journal>
       Offline exactly-once audit of a durable dedup journal written by
       `soak --shard-chaos --ledger PATH`: replays the journal, checks
       every accepted request resolved exactly once, and prints the
       verdict. Exits non-zero if the ledger shows any violation.
+  needle certify <workload|all> [--top N] [--cache PATH] [--json PATH]
+      Symbolically certify the workload's hottest frames: lower the top
+      N executed paths (default 3) to frames and prove each equivalent
+      to its source region over ALL live-in values with the in-house
+      bit-vector checker — no external solver. Prints per-frame
+      verdicts (proved / refuted / timeout / unsupported) with solver
+      stats. --cache keeps a durable verdict journal keyed by frame
+      fingerprint, so a second run answers from the cache; --json
+      writes the full report for the benchmark artifact. Exits non-zero
+      if any frame is refuted.
 
   needle print-ir <workload>
       Print the workload's IR in textual form.
@@ -143,6 +161,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args),
         Some("soak") => cmd_soak(&args),
         Some("audit") => cmd_audit(&args),
+        Some("certify") => cmd_certify(&args),
         Some("print-ir") => with_workload(&args, cmd_print_ir),
         Some("run-ir") => cmd_run_ir(&args),
         _ => {
@@ -551,7 +570,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
         cfg.workers = s.parse()?;
     }
     if args.iter().any(|a| a == "--adaptive") {
-        cfg.adaptive = Some(GovernorConfig::default());
+        let mut g = GovernorConfig::default();
+        if let Some(s) = flag_value(args, "--verify-policy") {
+            g.verify = s.parse::<VerifyPolicy>()?;
+        }
+        cfg.adaptive = Some(g);
     }
     let requests: u64 = match flag_value(args, "--requests") {
         Some(s) => s.parse()?,
@@ -740,6 +763,19 @@ fn cmd_adaptive_soak(args: &[String]) -> CliResult {
     if let Some(s) = flag_value(args, "--workers") {
         cfg.serve.workers = s.parse()?;
     }
+    if let Some(s) = flag_value(args, "--verify-policy") {
+        cfg.governor.verify = s.parse::<VerifyPolicy>()?;
+    }
+    if let Some(s) = flag_value(args, "--inject-miscompile") {
+        cfg.governor.inject_miscompile_at_epoch = Some(s.parse()?);
+        if cfg.governor.verify == VerifyPolicy::Differential {
+            return Err(
+                "--inject-miscompile needs --verify-policy prefer-symbolic or require-proof \
+                 (the differential probe alone may publish the miscompiled frame)"
+                    .into(),
+            );
+        }
+    }
     let report = run_adaptive_soak(&cfg)?;
     println!("{report}");
     if let Some(path) = flag_value(args, "--out") {
@@ -771,6 +807,83 @@ fn cmd_audit(args: &[String]) -> CliResult {
             audit.violations.len()
         )
         .into());
+    }
+    Ok(())
+}
+
+/// The `certify` subcommand: per-frame symbolic equivalence verdicts
+/// for a workload's hottest paths, with an optional durable verdict
+/// cache and a JSON artifact for CI.
+fn cmd_certify(args: &[String]) -> CliResult {
+    let target = args
+        .get(1)
+        .filter(|p| !p.starts_with('-'))
+        .ok_or("certify needs a workload name or `all` (try `needle list`)")?;
+    let top: usize = match flag_value(args, "--top") {
+        Some(s) => s.parse()?,
+        None => 3,
+    };
+    let cert_cfg = needle_frames::CertConfig::default();
+    let mut cache = match flag_value(args, "--cache") {
+        Some(p) => Some(VerdictJournal::open(std::path::Path::new(p))?),
+        None => None,
+    };
+    let names: Vec<String> = if target == "all" {
+        needle_workloads::specs()
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect()
+    } else {
+        vec![target.clone()]
+    };
+
+    let mut total = CertStats::default();
+    let mut reports = Vec::new();
+    for name in &names {
+        let report = certify_workload(name, top, &cert_cfg, cache.as_mut())?;
+        println!("workload {name}: {} frame(s)", report.frames.len());
+        println!(
+            "  {:>8} {:>7} {:>5} {:<12} {:>6} {:>9} {:>6}/{:<6} {:>8} {:>9}",
+            "path", "blocks", "ops", "verdict", "cache", "solve µs", "oblig", "syn", "clauses", "conflicts"
+        );
+        for r in &report.frames {
+            println!(
+                "  {:>8} {:>7} {:>5} {:<12} {:>6} {:>9} {:>6}/{:<6} {:>8} {:>9}{}",
+                r.path_id,
+                r.blocks,
+                r.ops,
+                r.verdict,
+                if r.cached { "hit" } else { "-" },
+                r.solve_us,
+                r.obligations,
+                r.discharged,
+                r.sat_clauses,
+                r.conflicts,
+                if r.why.is_empty() {
+                    String::new()
+                } else {
+                    format!("  ({})", r.why)
+                }
+            );
+        }
+        total.merge_from(&report.stats);
+        reports.push(report);
+    }
+    println!("\n{total}");
+    if let Some(path) = flag_value(args, "--json") {
+        use needle::journal::Json;
+        let arr = Json::Arr(reports.iter().map(|r| r.to_json()).collect());
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, arr.encode())?;
+        println!("report written to {path}");
+    }
+    let refuted: usize = reports.iter().map(|r| r.refuted()).sum();
+    if refuted > 0 {
+        return Err(format!("{refuted} frame(s) refuted — miscompile detected").into());
     }
     Ok(())
 }

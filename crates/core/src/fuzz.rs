@@ -31,7 +31,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
 use needle_frames::verify::Divergence;
-use needle_frames::{build_frame, run_frame, verify_invocation};
+use needle_frames::{build_frame, certify_frame, run_frame, verify_invocation, CertConfig, CertVerdict};
 use needle_ir::interp::{ExecError, Interp, Memory, TraceSink, Val};
 use needle_ir::print::module_to_string;
 use needle_ir::verify::verify_module;
@@ -283,9 +283,38 @@ pub enum FrameLeg {
     Skipped,
 }
 
+/// Outcome of the symbolic-certification (fourth) oracle leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymLeg {
+    /// The checker proved the frame equivalent to its region.
+    Proved,
+    /// Budget exhaustion or an unsupported construct — cross-checked
+    /// nothing, counted for campaign visibility.
+    Inconclusive,
+    /// The frame leg itself was skipped, so there was nothing to certify.
+    Skipped,
+}
+
+/// Successful outcome of [`check_case`]: what each optional leg did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseOutcome {
+    /// Frame build/exec/rollback leg.
+    pub frame: FrameLeg,
+    /// Symbolic certification leg.
+    pub symeq: SymLeg,
+}
+
 /// Run the frame build/exec/rollback leg over the longest acyclic
-/// entry path of the module and differentially verify the invocation.
-fn frame_leg(inv: &Invocation) -> Result<FrameLeg, OracleFailure> {
+/// entry path of the module, differentially verify the invocation, and
+/// cross-check the symbolic certifier's verdict against the concrete
+/// one: `Proved` on a frame the differential verifier refutes (or
+/// `Refuted` on a freshly built frame the verifier accepts) is an
+/// oracle disagreement and fails the case.
+fn frame_leg(inv: &Invocation) -> Result<CaseOutcome, OracleFailure> {
+    const SKIPPED: CaseOutcome = CaseOutcome {
+        frame: FrameLeg::Skipped,
+        symeq: SymLeg::Skipped,
+    };
     let func = inv.module.func(inv.func);
     // Longest acyclic path from the entry, following the then-edge.
     let mut path = vec![func.entry()];
@@ -302,11 +331,11 @@ fn frame_leg(inv: &Invocation) -> Result<FrameLeg, OracleFailure> {
         path.push(next);
     }
     if path.len() < 2 {
-        return Ok(FrameLeg::Skipped);
+        return Ok(SKIPPED);
     }
     let region = OffloadRegion::from_path(&path, 1, 1.0);
     let Ok(frame) = build_frame(func, &region) else {
-        return Ok(FrameLeg::Skipped);
+        return Ok(SKIPPED);
     };
     // Bind live-ins: with the region anchored at the entry block they can
     // only be arguments or constants.
@@ -317,12 +346,12 @@ fn frame_leg(inv: &Invocation) -> Result<FrameLeg, OracleFailure> {
                 Some(Constant::Int(v)) => Val::Int(*v),
                 Some(Constant::Float(v)) => Val::Float(*v),
                 Some(Constant::Ptr(p)) => Val::Int(*p as i64),
-                None => return Ok(FrameLeg::Skipped),
+                None => return Ok(SKIPPED),
             },
             Value::Const(Constant::Int(v)) => Val::Int(v),
             Value::Const(Constant::Float(v)) => Val::Float(v),
             Value::Const(Constant::Ptr(p)) => Val::Int(p as i64),
-            Value::Inst(_) => return Ok(FrameLeg::Skipped),
+            Value::Inst(_) => return Ok(SKIPPED),
         };
         live_ins.push(v);
     }
@@ -330,7 +359,7 @@ fn frame_leg(inv: &Invocation) -> Result<FrameLeg, OracleFailure> {
     let snap = mem.snapshot();
     let outcome = match catch_unwind(AssertUnwindSafe(|| run_frame(&frame, &live_ins, &mut mem))) {
         Ok(Ok(o)) => o,
-        Ok(Err(_)) => return Ok(FrameLeg::Skipped),
+        Ok(Err(_)) => return Ok(SKIPPED),
         Err(p) => {
             return Err(OracleFailure {
                 signature: "panic:frame".into(),
@@ -340,7 +369,7 @@ fn frame_leg(inv: &Invocation) -> Result<FrameLeg, OracleFailure> {
     };
     let mut verdict = match verify_invocation(func, &frame, &live_ins, &snap, &mem, &outcome) {
         Ok(v) => v,
-        Err(_) => return Ok(FrameLeg::Skipped),
+        Err(_) => return Ok(SKIPPED),
     };
     // `Val: PartialEq` treats NaN != NaN; keep only bit-real mismatches.
     verdict.divergences.retain(|d| match d {
@@ -349,32 +378,85 @@ fn frame_leg(inv: &Invocation) -> Result<FrameLeg, OracleFailure> {
         } => frame.to_bits() != reference.to_bits(),
         _ => true,
     });
-    match verdict.divergences.first() {
-        None => Ok(FrameLeg::Checked),
-        Some(d) => {
-            let kind = match d {
-                Divergence::AbortLeak(_) => "AbortLeak",
-                Divergence::CommitMemMismatch(_) => "CommitMemMismatch",
-                Divergence::LiveOutMismatch { .. } => "LiveOutMismatch",
-                Divergence::CommitDisagreement { .. } => "CommitDisagreement",
-            };
-            Err(OracleFailure {
-                signature: format!("frame:{kind}"),
+    let diff_failure = verdict.divergences.first().map(|d| {
+        let kind = match d {
+            Divergence::AbortLeak(_) => "AbortLeak",
+            Divergence::CommitMemMismatch(_) => "CommitMemMismatch",
+            Divergence::LiveOutMismatch { .. } => "LiveOutMismatch",
+            Divergence::CommitDisagreement { .. } => "CommitDisagreement",
+        };
+        OracleFailure {
+            signature: format!("frame:{kind}"),
+            detail: format!(
+                "frame leg diverged over entry path {path:?}: {:?}",
+                verdict.divergences
+            ),
+        }
+    });
+
+    // Fourth leg: symbolic certification against the same region, with
+    // its verdict cross-checked against the differential one above.
+    let sym = match catch_unwind(AssertUnwindSafe(|| {
+        certify_frame(func, &frame, &CertConfig::quick())
+    })) {
+        Err(p) => {
+            return Err(OracleFailure {
+                signature: "panic:symeq".into(),
+                detail: format!("symbolic certifier panicked: {}", panic_text(p)),
+            })
+        }
+        Ok(Err(e)) => {
+            // `build_frame` must never emit a structurally broken frame.
+            return Err(OracleFailure {
+                signature: "symeq:malformed-frame".into(),
+                detail: format!("certifier rejected a freshly built frame: {e}"),
+            });
+        }
+        Ok(Ok(c)) => c.verdict,
+    };
+    match (&diff_failure, &sym) {
+        (Some(f), CertVerdict::Proved) => {
+            return Err(OracleFailure {
+                signature: "symeq:proved-vs-diverged".into(),
                 detail: format!(
-                    "frame leg diverged over entry path {path:?}: {:?}",
-                    verdict.divergences
+                    "symbolic checker proved a frame the concrete oracle refutes\n{}",
+                    f.detail
                 ),
             })
         }
+        (None, CertVerdict::Refuted(cex)) => {
+            // The certifier only answers `Refuted` after replaying its
+            // counterexample as a concrete divergence, so this is a real
+            // miscompile the single differential probe happened to miss.
+            return Err(OracleFailure {
+                signature: "symeq:refuted".into(),
+                detail: format!(
+                    "symbolic checker refuted a freshly built frame over entry \
+                     path {path:?}; counterexample live-ins {:?}, mem seeds {:?}",
+                    cex.live_ins, cex.mem_seed
+                ),
+            });
+        }
+        _ => {}
     }
+    if let Some(f) = diff_failure {
+        return Err(f);
+    }
+    Ok(CaseOutcome {
+        frame: FrameLeg::Checked,
+        symeq: match sym {
+            CertVerdict::Proved => SymLeg::Proved,
+            _ => SymLeg::Inconclusive,
+        },
+    })
 }
 
 /// Run the full oracle over one invocation: the baseline comparison, the
 /// `StepLimit` boundary sweep, the memory-governor cap sweep, and (when
-/// extractable) the frame leg.
+/// extractable) the frame and symbolic-certification legs.
 ///
-/// Returns the frame-leg status on success, or the first failure.
-pub fn check_case(inv: &Invocation, max_steps: u64) -> Result<FrameLeg, OracleFailure> {
+/// Returns the per-leg status on success, or the first failure.
+pub fn check_case(inv: &Invocation, max_steps: u64) -> Result<CaseOutcome, OracleFailure> {
     // Baseline, governor disarmed.
     if let Some(f) = compare_legs(inv, max_steps, usize::MAX) {
         return Err(f);
@@ -667,6 +749,10 @@ pub struct FuzzReport {
     pub frame_checked: u64,
     /// Cases where the frame leg was skipped (no extractable region).
     pub frame_skipped: u64,
+    /// Cases whose frame the symbolic leg proved equivalent.
+    pub symeq_proved: u64,
+    /// Cases where the symbolic leg stopped short (budget/unsupported).
+    pub symeq_inconclusive: u64,
     /// Confirmed failures (deduplicated by signature).
     pub failures: Vec<FuzzFailure>,
 }
@@ -682,8 +768,15 @@ impl std::fmt::Display for FuzzReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "fuzz: {} iterations ({} generated, {} mutated), frame leg {} checked / {} skipped",
-            self.iters_run, self.generated, self.mutated, self.frame_checked, self.frame_skipped
+            "fuzz: {} iterations ({} generated, {} mutated), frame leg {} checked / {} skipped, \
+             symbolic leg {} proved / {} inconclusive",
+            self.iters_run,
+            self.generated,
+            self.mutated,
+            self.frame_checked,
+            self.frame_skipped,
+            self.symeq_proved,
+            self.symeq_inconclusive
         )?;
         if self.failures.is_empty() {
             write!(f, "no divergence found")
@@ -852,8 +945,17 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport, NeedleError> {
         }
         report.iters_run += 1;
         match check_case(&inv, cfg.max_steps) {
-            Ok(FrameLeg::Checked) => report.frame_checked += 1,
-            Ok(FrameLeg::Skipped) => report.frame_skipped += 1,
+            Ok(out) => {
+                match out.frame {
+                    FrameLeg::Checked => report.frame_checked += 1,
+                    FrameLeg::Skipped => report.frame_skipped += 1,
+                }
+                match out.symeq {
+                    SymLeg::Proved => report.symeq_proved += 1,
+                    SymLeg::Inconclusive => report.symeq_inconclusive += 1,
+                    SymLeg::Skipped => {}
+                }
+            }
             Err(fail) => {
                 if report.failures.iter().any(|f| f.signature == fail.signature) {
                     continue; // one repro per distinct signature

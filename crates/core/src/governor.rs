@@ -59,6 +59,12 @@ pub struct GovernorConfig {
     /// Chaos: corrupt the drained profiles when this epoch closes (the
     /// governor must detect the malformed epoch and discard it).
     pub inject_malformed_epoch_at: Option<u64>,
+    /// How promotion candidates are verified before publishing (see
+    /// [`crate::certify::VerifyPolicy`]).
+    pub verify: crate::certify::VerifyPolicy,
+    /// Chaos: miscompile (drop one store from) the first frame built at
+    /// or after this epoch — the certification gate must refuse it.
+    pub inject_miscompile_at_epoch: Option<u64>,
 }
 
 impl Default for GovernorConfig {
@@ -76,6 +82,8 @@ impl Default for GovernorConfig {
             tick_ms: 2,
             inject_rerank_panic_at_epoch: None,
             inject_malformed_epoch_at: None,
+            verify: crate::certify::VerifyPolicy::Differential,
+            inject_miscompile_at_epoch: None,
         }
     }
 }
@@ -298,6 +306,9 @@ pub enum EventKind {
     /// A frame build or differential verification failed; the incumbent
     /// (or nothing) stayed installed.
     BuildFailed,
+    /// The certification gate refused to publish a frame (refuted, or
+    /// unproven under `RequireProof`); the incumbent stayed installed.
+    CertRefused,
 }
 
 impl std::fmt::Display for EventKind {
@@ -309,6 +320,7 @@ impl std::fmt::Display for EventKind {
             EventKind::Pinned => "pinned",
             EventKind::Malformed => "malformed-epoch",
             EventKind::BuildFailed => "build-failed",
+            EventKind::CertRefused => "cert-refused",
         };
         write!(f, "{s}")
     }
@@ -339,6 +351,10 @@ pub struct GovernorStats {
     pub malformed_epochs: u64,
     /// Frame builds or verifications that failed during promotion.
     pub frame_build_errors: u64,
+    /// Publishes refused by the certification gate.
+    pub cert_refusals: u64,
+    /// Symbolic certification counters + solve-time distribution.
+    pub cert: crate::certify::CertStats,
     /// Promote/demote timeline (capped at [`TIMELINE_CAP`]).
     pub timeline: Vec<EpochEvent>,
 }
@@ -362,6 +378,8 @@ impl GovernorStats {
         self.failures += other.failures;
         self.malformed_epochs += other.malformed_epochs;
         self.frame_build_errors += other.frame_build_errors;
+        self.cert_refusals += other.cert_refusals;
+        self.cert.merge_from(&other.cert);
         for e in &other.timeline {
             self.push_event(e.clone());
         }
@@ -378,7 +396,8 @@ impl std::fmt::Display for GovernorStats {
         write!(
             f,
             "governor: {} epochs, swaps: {} ({} promotions, {} switches), \
-             {} demotions, {} failures pinned, {} malformed epochs, {} build errors",
+             {} demotions, {} failures pinned, {} malformed epochs, {} build errors, \
+             {} cert refusals",
             self.epochs,
             self.swaps,
             self.promotions,
@@ -386,8 +405,13 @@ impl std::fmt::Display for GovernorStats {
             self.demotions,
             self.failures,
             self.malformed_epochs,
-            self.frame_build_errors
-        )
+            self.frame_build_errors,
+            self.cert_refusals
+        )?;
+        if self.cert.active() {
+            write!(f, "\n  {}", self.cert)?;
+        }
+        Ok(())
     }
 }
 

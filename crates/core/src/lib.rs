@@ -42,6 +42,7 @@
 
 pub mod analysis;
 pub mod breaker;
+pub mod certify;
 pub mod chaos;
 pub mod config;
 pub mod error;
@@ -58,10 +59,14 @@ pub use analysis::{analyze, analyze_hottest, Analysis, AnalysisError};
 pub use breaker::{Admission, BreakerState, CircuitBreaker};
 pub use chaos::{run_campaign, storm_scenario, ChaosConfig, ChaosReport, RegionCampaign};
 pub use config::{NeedleConfig, ShardPolicy, StormConfig, SupervisorConfig};
+pub use certify::{
+    certify_cached, certify_workload, CachedVerdict, CertStats, CertifyReport, VerdictJournal,
+    VerifyPolicy,
+};
 pub use error::NeedleError;
 pub use fuzz::{
-    check_case, parse_case_file, run_fuzz, shrink_case, FrameLeg, FuzzConfig, FuzzFailure,
-    FuzzReport, Invocation, OracleFailure,
+    check_case, parse_case_file, run_fuzz, shrink_case, CaseOutcome, FrameLeg, FuzzConfig,
+    FuzzFailure, FuzzReport, Invocation, OracleFailure, SymLeg,
 };
 pub use governor::{
     plan_epoch, CurrentChoice, Decision, DemotionLedger, EpochEvent, EventKind, GovernorConfig,

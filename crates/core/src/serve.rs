@@ -54,8 +54,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use needle_frames::{
-    build_frame, run_frame_with, verify_invocation, FaultInjector, FaultKind, Frame,
-    InjectorConfig,
+    build_frame, certify_frame, run_frame_with, verify_invocation, CertConfig, CertVerdict,
+    FaultInjector, FaultKind, Frame, FrameOpKind, FrameValue, InjectorConfig,
 };
 use needle_ir::builder::FunctionBuilder;
 use needle_ir::interp::{CancelToken, ExecError, Interp, Memory, NullSink, Val};
@@ -69,6 +69,7 @@ use needle_regions::region::OffloadRegion;
 
 use crate::analysis::analyze;
 use crate::breaker::{Admission, BreakerState, CircuitBreaker};
+use crate::certify::{CertStats, VerifyPolicy};
 use crate::config::{AnalysisConfig, NeedleConfig, StormConfig};
 use crate::error::NeedleError;
 use crate::governor::{
@@ -1658,6 +1659,7 @@ fn governor_main(inner: &Arc<Inner>, stop: &AtomicBool) {
     let mut ledger = DemotionLedger::default();
     let mut epoch_n = 0u64;
     let mut last_accepted = 0u64;
+    let mut miscompile_armed = cfg.inject_miscompile_at_epoch.is_some();
     while !stop.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(cfg.tick_ms.max(1)));
         let accepted = inner.metrics.lock().unwrap().accepted;
@@ -1679,7 +1681,16 @@ fn governor_main(inner: &Arc<Inner>, stop: &AtomicBool) {
         inner.governor_stats.lock().unwrap().epochs = epoch_n;
 
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_epoch(inner, &cfg, epoch_n, &mut governed, drained, &stats, &mut ledger);
+            run_epoch(
+                inner,
+                &cfg,
+                epoch_n,
+                &mut governed,
+                drained,
+                &stats,
+                &mut ledger,
+                &mut miscompile_armed,
+            );
         }));
         if outcome.is_err() {
             // Pipeline failure: count it, note it on the timeline, and
@@ -1699,6 +1710,7 @@ fn governor_main(inner: &Arc<Inner>, stop: &AtomicBool) {
 /// One governor epoch: fold drained profiles into the per-workload
 /// accumulators (rejecting malformed ones), re-rank, plan, verify and
 /// publish a new region table if anything changed.
+#[allow(clippy::too_many_arguments)]
 fn run_epoch(
     inner: &Inner,
     cfg: &GovernorConfig,
@@ -1707,6 +1719,7 @@ fn run_epoch(
     mut drained: HashMap<String, EpochProfile>,
     stats: &HashMap<String, RegionStat>,
     ledger: &mut DemotionLedger,
+    miscompile_armed: &mut bool,
 ) {
     for (name, g) in governed.iter_mut() {
         if cfg.decay {
@@ -1817,7 +1830,17 @@ fn run_epoch(
                     continue;
                 };
                 let had_incumbent = chosen.contains_key(&workload);
-                match build_and_verify(g, path_id) {
+                let mut cert = CertStats::default();
+                let inject = *miscompile_armed
+                    && cfg.inject_miscompile_at_epoch.is_some_and(|n| epoch >= n);
+                if inject {
+                    *miscompile_armed = false;
+                }
+                let built = build_and_verify(g, path_id, cfg, inject, &mut cert);
+                if cert.active() {
+                    inner.governor_stats.lock().unwrap().cert.merge_from(&cert);
+                }
+                match built {
                     Ok(frame) => {
                         // The newly installed region is judged on its own
                         // feedback, not its predecessor's aborts.
@@ -1840,17 +1863,20 @@ fn run_epoch(
                             detail: format!("path {path_id} (Pwt {weight})"),
                         });
                     }
-                    Err(e) => {
+                    Err(refusal) => {
                         // Graceful degradation: a path that decodes,
-                        // builds, or verifies badly never goes live; the
-                        // incumbent (if any) keeps serving.
+                        // builds, verifies, or certifies badly never goes
+                        // live; the incumbent (if any) keeps serving.
                         let mut gs = inner.governor_stats.lock().unwrap();
-                        gs.frame_build_errors += 1;
+                        match refusal.kind {
+                            EventKind::CertRefused => gs.cert_refusals += 1,
+                            _ => gs.frame_build_errors += 1,
+                        }
                         gs.push_event(EpochEvent {
                             epoch,
-                            kind: EventKind::BuildFailed,
+                            kind: refusal.kind,
                             workload,
-                            detail: format!("path {path_id}: {e}"),
+                            detail: format!("path {path_id}: {}", refusal.detail),
                         });
                     }
                 }
@@ -1871,40 +1897,142 @@ fn run_epoch(
     }
 }
 
+/// Why a frame was refused publication, and which timeline event class
+/// records it.
+struct PublishRefusal {
+    kind: EventKind,
+    detail: String,
+}
+
+fn refuse(kind: EventKind, detail: impl Into<String>) -> PublishRefusal {
+    PublishRefusal {
+        kind,
+        detail: detail.into(),
+    }
+}
+
+/// Chaos drill: miscompile a built frame the way a broken optimizer
+/// would — drop its first store (or, storeless, wire the first live-out
+/// to a constant). The certification gate must catch this.
+fn inject_miscompile(frame: &mut Frame) {
+    if let Some(at) = frame
+        .ops
+        .iter()
+        .position(|o| matches!(o.kind, FrameOpKind::Store))
+    {
+        frame.ops[at].kind = FrameOpKind::Compute(needle_ir::Op::Add);
+        frame.ops[at].args = vec![
+            FrameValue::Const(Constant::Int(0)),
+            FrameValue::Const(Constant::Int(0)),
+        ];
+        frame.ops[at].pred = None;
+        frame.undo_log_size = frame
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, FrameOpKind::Store))
+            .count();
+    } else if let Some(lo) = frame.live_outs.first_mut() {
+        lo.value = FrameValue::Const(Constant::Int(0x5EED));
+    }
+}
+
 /// Lower a chosen path into a frame and prove it sound before it goes
-/// live: decode → region validate → build → frame validate → one
-/// differential probe through the existing rollback verifier against
-/// the reference memory semantics.
-fn build_and_verify(g: &Governed, path_id: u64) -> Result<Frame, String> {
+/// live: decode → region validate → build → frame validate → the
+/// configured verification gate. Under [`VerifyPolicy::Differential`]
+/// that gate is one seeded probe through the rollback verifier; under
+/// [`VerifyPolicy::PreferSymbolic`] the symbolic checker runs first and
+/// the probe only backstops `Timeout`/`Unsupported`; under
+/// [`VerifyPolicy::RequireProof`] nothing short of `Proved` publishes.
+fn build_and_verify(
+    g: &Governed,
+    path_id: u64,
+    cfg: &GovernorConfig,
+    inject: bool,
+    cert: &mut CertStats,
+) -> Result<Frame, PublishRefusal> {
+    let build_err = |detail: String| refuse(EventKind::BuildFailed, detail);
     let func = g.entry.module.func(g.entry.func);
     let blocks = g
         .numbering
         .decode(path_id)
-        .map_err(|e| format!("decode: {e:?}"))?;
+        .map_err(|e| build_err(format!("decode: {e:?}")))?;
     let freq = g.acc.counts.get(path_id);
     let coverage = freq as f64 / g.acc.completed.max(1) as f64;
     let region = OffloadRegion::from_path(&blocks, freq, coverage);
-    region.validate(func).map_err(|e| format!("region: {e}"))?;
-    let frame = build_frame(func, &region).map_err(|e| format!("build: {e:?}"))?;
-    frame.validate().map_err(|e| format!("frame: {e}"))?;
+    region
+        .validate(func)
+        .map_err(|e| build_err(format!("region: {e}")))?;
+    let mut frame = build_frame(func, &region).map_err(|e| build_err(format!("build: {e:?}")))?;
+    if inject {
+        inject_miscompile(&mut frame);
+    }
+    let frame = frame;
+    frame
+        .validate()
+        .map_err(|e| build_err(format!("frame: {e}")))?;
 
-    let mut rng = StdRng::seed_from_u64(path_id ^ 0xA5A5_5A5A);
-    let live_ins: Vec<Val> = frame
-        .live_ins
-        .iter()
-        .map(|li| draw_live_in(&mut rng, li.ty))
-        .collect();
-    let mut mem = g.entry.memory.clone();
-    let snap = mem.snapshot();
-    let outcome = run_frame_with(&frame, &live_ins, &mut mem, None)
-        .map_err(|e| format!("probe exec: {e:?}"))?;
-    let verdict = verify_invocation(func, &frame, &live_ins, &snap, &mem, &outcome)
-        .map_err(|e| format!("probe verify: {e:?}"))?;
-    if !verdict.is_clean() {
-        return Err(format!(
-            "differential probe diverged at {} site(s)",
-            verdict.divergences.len()
-        ));
+    let differential_probe = |frame: &Frame| -> Result<(), PublishRefusal> {
+        let mut rng = StdRng::seed_from_u64(path_id ^ 0xA5A5_5A5A);
+        let live_ins: Vec<Val> = frame
+            .live_ins
+            .iter()
+            .map(|li| draw_live_in(&mut rng, li.ty))
+            .collect();
+        let mut mem = g.entry.memory.clone();
+        let snap = mem.snapshot();
+        let outcome = run_frame_with(frame, &live_ins, &mut mem, None)
+            .map_err(|e| build_err(format!("probe exec: {e:?}")))?;
+        let verdict = verify_invocation(func, frame, &live_ins, &snap, &mem, &outcome)
+            .map_err(|e| build_err(format!("probe verify: {e:?}")))?;
+        if !verdict.is_clean() {
+            return Err(build_err(format!(
+                "differential probe diverged at {} site(s)",
+                verdict.divergences.len()
+            )));
+        }
+        Ok(())
+    };
+
+    match cfg.verify {
+        VerifyPolicy::Differential => differential_probe(&frame)?,
+        VerifyPolicy::PreferSymbolic | VerifyPolicy::RequireProof => {
+            let start = Instant::now();
+            let attempt = certify_frame(func, &frame, &CertConfig::default());
+            let solve_us = start.elapsed().as_micros() as u64;
+            let verdict = match attempt {
+                Ok(c) => {
+                    cert.record(&c.verdict, solve_us);
+                    c.verdict
+                }
+                Err(e) => return Err(build_err(format!("certifier: {e}"))),
+            };
+            match (cfg.verify, verdict) {
+                (_, CertVerdict::Proved) => {}
+                (_, CertVerdict::Refuted(cex)) => {
+                    return Err(refuse(
+                        EventKind::CertRefused,
+                        format!(
+                            "symbolically refuted: counterexample over {} live-in(s) \
+                             replays as a divergence",
+                            cex.live_ins.len()
+                        ),
+                    ));
+                }
+                (VerifyPolicy::RequireProof, CertVerdict::Timeout { why })
+                | (VerifyPolicy::RequireProof, CertVerdict::Unsupported { why }) => {
+                    return Err(refuse(
+                        EventKind::CertRefused,
+                        format!("unproven under require-proof: {why}"),
+                    ));
+                }
+                (_, CertVerdict::Timeout { why }) | (_, CertVerdict::Unsupported { why }) => {
+                    // PreferSymbolic: fall back to the concrete probe,
+                    // recording why the proof attempt stopped short.
+                    let _ = why;
+                    differential_probe(&frame)?;
+                }
+            }
+        }
     }
     Ok(frame)
 }
@@ -2653,6 +2781,20 @@ pub fn run_adaptive_soak(cfg: &AdaptiveSoakConfig) -> Result<SoakReport, NeedleE
     if cfg.governor.inject_malformed_epoch_at.is_some() && g.malformed_epochs == 0 {
         violations.push("injected malformed epoch was never detected".into());
     }
+    if cfg.governor.verify != VerifyPolicy::Differential && g.cert.proved == 0 {
+        violations.push(format!(
+            "verify policy {} published regions but never proved a frame",
+            cfg.governor.verify
+        ));
+    }
+    if cfg.governor.inject_miscompile_at_epoch.is_some() {
+        if g.cert_refusals == 0 {
+            violations.push("injected miscompile was never refused by the cert gate".into());
+        }
+        if !g.timeline.iter().any(|e| e.kind == EventKind::CertRefused) {
+            violations.push("no cert-refused event on the timeline".into());
+        }
+    }
     // Hysteresis: no svc.phase promotion may land inside a demotion
     // cooldown window. Single-service only: a sharded rollup interleaves
     // independent per-shard epoch counters, so cross-shard comparisons
@@ -2961,6 +3103,36 @@ mod tests {
         assert!(g.switches >= 1, "{r}");
         assert!(g.demotions >= 1, "{r}");
         assert!(g.failures >= 1, "injected panic must be absorbed: {r}");
+    }
+
+    #[test]
+    fn require_proof_soak_refuses_miscompile_and_stays_clean() {
+        // RequireProof end to end: every published region carries a
+        // symbolic proof, and the one deliberately miscompiled build is
+        // refuted at the gate — the incumbent keeps serving and the
+        // soak still hits every milestone.
+        let cfg = AdaptiveSoakConfig {
+            seed: 11,
+            phase_requests: 1_500,
+            governor: GovernorConfig {
+                epoch_requests: 60,
+                inject_rerank_panic_at_epoch: None,
+                verify: VerifyPolicy::RequireProof,
+                inject_miscompile_at_epoch: Some(1),
+                ..AdaptiveSoakConfig::default().governor
+            },
+            ..AdaptiveSoakConfig::default()
+        };
+        let r = run_adaptive_soak(&cfg).unwrap();
+        assert!(r.is_clean(), "{r}");
+        let g = &r.metrics.governor;
+        assert!(g.cert.proved >= 1, "{r}");
+        assert!(g.cert_refusals >= 1, "miscompile must be refused: {r}");
+        assert!(g.cert.refuted >= 1, "refusal must come from a refutation: {r}");
+        assert!(
+            g.timeline.iter().any(|e| e.kind == EventKind::CertRefused),
+            "{r}"
+        );
     }
 
     #[test]

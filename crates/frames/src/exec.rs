@@ -189,6 +189,15 @@ pub fn run_frame_with(
         };
         match op.kind {
             FrameOpKind::Compute(o) => {
+                // `eval_pure` indexes its argument slice directly; check the
+                // arity up front so a truncated op is a typed error, not a
+                // panic inside the interpreter.
+                if op.args.len() < o.arity() {
+                    return Err(ExecFrameError::MalformedFrame {
+                        op: i,
+                        what: "compute op is missing arguments",
+                    });
+                }
                 let mut args = Vec::with_capacity(op.args.len());
                 for a in &op.args {
                     args.push(read(&vals[..i], *a, i)?);

@@ -147,7 +147,8 @@ impl Frame {
         depth.into_iter().max().unwrap_or(0)
     }
 
-    /// Structural sanity check: every operand refers backwards.
+    /// Structural sanity check: every operand refers backwards and every
+    /// op carries the arguments its kind requires.
     pub fn validate(&self) -> Result<(), String> {
         for (i, op) in self.ops.iter().enumerate() {
             for a in op.args.iter().chain(op.pred.iter()) {
@@ -160,6 +161,18 @@ impl Frame {
                     }
                     _ => {}
                 }
+            }
+            let required = match op.kind {
+                FrameOpKind::Compute(o) => o.arity(),
+                FrameOpKind::Load => 1,
+                FrameOpKind::Store => 2,
+                FrameOpKind::Guard { .. } => 1,
+            };
+            if op.args.len() < required {
+                return Err(format!(
+                    "op {i} has {} args, needs {required}",
+                    op.args.len()
+                ));
             }
         }
         for g in &self.guards {

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::frame::{Frame, FrameOp, FrameOpKind, FrameValue, LiveOut};
+use crate::symeq::{certify_frame_pair, CertConfig, CertVerdict, Certificate, SymEqError};
 
 /// Frame transformation failures (all indicate a structurally broken
 /// frame; valid frames never produce them).
@@ -124,11 +125,20 @@ pub fn dce_frame(frame: &mut Frame) -> Result<usize, OptError> {
     for lo in &mut frame.live_outs {
         fix(&mut lo.value)?;
     }
-    frame.guards = frame
-        .guards
-        .iter()
-        .filter_map(|g| remap.get(*g).copied().flatten())
-        .collect();
+    // Every genuine guard op was rooted above, so a guard index that
+    // fails to remap is a structural lie (out of range, or pointing at a
+    // non-guard op that was eliminated) — report it instead of silently
+    // dropping the entry and letting a corrupt frame escape.
+    let mut new_guards = Vec::with_capacity(frame.guards.len());
+    for &g in &frame.guards {
+        let idx = remap
+            .get(g)
+            .copied()
+            .flatten()
+            .ok_or(OptError::BrokenDataflow { index: g })?;
+        new_guards.push(idx);
+    }
+    frame.guards = new_guards;
     let removed = n - new_ops.len();
     frame.undo_log_size = new_ops
         .iter()
@@ -161,12 +171,40 @@ pub enum GuardPolicy {
 /// [`OptError::CyclicDataflow`] if the op graph has no valid schedule;
 /// [`OptError::BrokenDataflow`] on dangling references.
 pub fn apply_guard_policy(frame: &mut Frame, policy: GuardPolicy) -> Result<Vec<usize>, OptError> {
+    let ready = |i: usize, placed: &[bool], ops: &[FrameOp]| {
+        ops[i]
+            .args
+            .iter()
+            .chain(ops[i].pred.iter())
+            .all(|a| match a {
+                FrameValue::Op(j) => placed.get(*j).copied().unwrap_or(false),
+                _ => true,
+            })
+    };
     match policy {
         GuardPolicy::AsEmitted => Ok(frame.guards.clone()),
         GuardPolicy::Late => {
-            // Stable-partition guards to the end.
-            let mut order: Vec<usize> = (0..frame.ops.len()).collect();
-            order.sort_by_key(|i| matches!(frame.ops[*i].kind, FrameOpKind::Guard { .. }));
+            // Sink each guard as late as its consumers allow. A blind
+            // stable partition would move a guard past an op that reads
+            // its pass bit (e.g. a store predicated on the guard result),
+            // turning a valid frame into one with forward references —
+            // schedule non-guards first but respect dataflow instead.
+            let n = frame.ops.len();
+            let mut placed = vec![false; n];
+            let mut order: Vec<usize> = Vec::with_capacity(n);
+            while order.len() < n {
+                let next_plain = (0..n).find(|i| {
+                    !placed[*i]
+                        && !matches!(frame.ops[*i].kind, FrameOpKind::Guard { .. })
+                        && ready(*i, &placed, &frame.ops)
+                });
+                let pick = next_plain.or_else(|| {
+                    (0..n).find(|i| !placed[*i] && ready(*i, &placed, &frame.ops))
+                });
+                let i = pick.ok_or(OptError::CyclicDataflow)?;
+                placed[i] = true;
+                order.push(i);
+            }
             permute(frame, &order)
         }
         GuardPolicy::Early => {
@@ -176,16 +214,6 @@ pub fn apply_guard_policy(frame: &mut Frame, policy: GuardPolicy) -> Result<Vec<
             let mut placed = vec![false; n];
             let mut order: Vec<usize> = Vec::with_capacity(n);
             // Repeatedly emit any ready guard first, else the next ready op.
-            let ready = |i: usize, placed: &[bool], ops: &[FrameOp]| {
-                ops[i]
-                    .args
-                    .iter()
-                    .chain(ops[i].pred.iter())
-                    .all(|a| match a {
-                        FrameValue::Op(j) => placed.get(*j).copied().unwrap_or(false),
-                        _ => true,
-                    })
-            };
             while order.len() < n {
                 let next_guard = (0..n).find(|i| {
                     !placed[*i]
@@ -299,6 +327,75 @@ pub fn concat_frames(frame: &Frame, copies: usize) -> Result<Frame, OptError> {
         out.undo_log_size += frame.undo_log_size;
     }
     Ok(out)
+}
+
+/// Result of a certified transformation: the pass output (when the
+/// mutation was kept) plus the equivalence certificate behind it.
+#[derive(Debug, Clone)]
+pub struct CertifiedPass<T> {
+    /// The underlying pass result; `None` when the transformation was
+    /// rolled back because the checker refuted it.
+    pub result: Option<T>,
+    /// The before/after equivalence certificate.
+    pub cert: Certificate,
+}
+
+impl<T> CertifiedPass<T> {
+    /// Whether the transformed frame was kept.
+    pub fn applied(&self) -> bool {
+        self.result.is_some()
+    }
+}
+
+fn certified<T>(
+    frame: &mut Frame,
+    cfg: &CertConfig,
+    pass: impl FnOnce(&mut Frame) -> Result<T, OptError>,
+) -> Result<CertifiedPass<T>, OptError> {
+    let before = frame.clone();
+    let result = pass(frame)?;
+    let cert = certify_frame_pair(&before, frame, cfg).map_err(|e| match e {
+        SymEqError::Malformed { op, .. } => OptError::BrokenDataflow { index: op },
+    })?;
+    if matches!(cert.verdict, CertVerdict::Refuted(_)) {
+        // The checker found a concrete input where the transformed frame
+        // diverges: undo the miscompile and surface the evidence.
+        *frame = before;
+        return Ok(CertifiedPass { result: None, cert });
+    }
+    // Proved, or unproven-but-not-disproven (Timeout/Unsupported): keep
+    // the transformation; the caller decides whether an unproven frame
+    // is publishable under its verification policy.
+    Ok(CertifiedPass {
+        result: Some(result),
+        cert,
+    })
+}
+
+/// [`dce_frame`] with a symbolic proof obligation: the eliminated frame
+/// must be provably equivalent to the original, or the elimination is
+/// rolled back and the refutation returned.
+///
+/// # Errors
+/// Propagates [`dce_frame`]'s structural errors.
+pub fn dce_frame_certified(
+    frame: &mut Frame,
+    cfg: &CertConfig,
+) -> Result<CertifiedPass<usize>, OptError> {
+    certified(frame, cfg, dce_frame)
+}
+
+/// [`apply_guard_policy`] with a symbolic proof obligation, rolling the
+/// repositioning back if the checker refutes it.
+///
+/// # Errors
+/// Propagates [`apply_guard_policy`]'s structural errors.
+pub fn apply_guard_policy_certified(
+    frame: &mut Frame,
+    policy: GuardPolicy,
+    cfg: &CertConfig,
+) -> Result<CertifiedPass<Vec<usize>>, OptError> {
+    certified(frame, cfg, |f| apply_guard_policy(f, policy))
 }
 
 #[cfg(test)]
@@ -424,6 +521,128 @@ mod tests {
         };
         assert!(live_outs.contains(&Val::Int(2)), "i after 2 iters: {live_outs:?}");
         assert!(live_outs.contains(&Val::Int(3)), "s after 2 iters: {live_outs:?}");
+    }
+
+    /// A frame whose store is predicated on a guard's pass bit — legal
+    /// dataflow, but the old `Late` partition moved the guard past its
+    /// consumer and corrupted the frame.
+    fn guard_consuming_frame() -> Frame {
+        use crate::frame::{FrameOp, FrameOpKind, LiveIn};
+        use needle_ir::{Constant, InstId, Op, Value};
+        let cmp = FrameOp {
+            kind: FrameOpKind::Compute(Op::ICmp(needle_ir::CmpOp::Gt)),
+            args: vec![FrameValue::LiveIn(0), FrameValue::Const(Constant::Int(0))],
+            ty: Type::I1,
+            pred: None,
+            src: None,
+            imm: 0,
+        };
+        let guard = FrameOp {
+            kind: FrameOpKind::Guard { expected: true },
+            args: vec![FrameValue::Op(0)],
+            ty: Type::I1,
+            pred: None,
+            src: None,
+            imm: 0,
+        };
+        let store = FrameOp {
+            kind: FrameOpKind::Store,
+            args: vec![FrameValue::LiveIn(0), FrameValue::LiveIn(1)],
+            ty: Type::I64,
+            pred: Some(FrameValue::Op(1)), // fires only if the guard passed
+            src: None,
+            imm: 0,
+        };
+        Frame {
+            ops: vec![cmp, guard, store],
+            live_ins: vec![
+                LiveIn {
+                    value: Value::Arg(0),
+                    ty: Type::I64,
+                },
+                LiveIn {
+                    value: Value::Arg(1),
+                    ty: Type::I64,
+                },
+            ],
+            live_outs: vec![LiveOut {
+                inst: InstId(0),
+                value: FrameValue::Op(0),
+            }],
+            guards: vec![1],
+            phis_cancelled: 0,
+            undo_log_size: 1,
+            loop_carried: vec![],
+            region: OffloadRegion::from_path(&[BlockId(0)], 1, 1.0),
+        }
+    }
+
+    #[test]
+    fn late_policy_respects_guard_consumers() {
+        let mut frame = guard_consuming_frame();
+        let before = frame.clone();
+        apply_guard_policy(&mut frame, GuardPolicy::Late).unwrap();
+        frame
+            .validate()
+            .expect("late placement must keep dataflow valid");
+        // The reposition must also be semantically invisible — prove it.
+        let cert =
+            crate::symeq::certify_frame_pair(&before, &frame, &CertConfig::default()).unwrap();
+        assert_eq!(cert.verdict, CertVerdict::Proved, "{:?}", cert.stats);
+    }
+
+    #[test]
+    fn dce_reports_bogus_guard_indices() {
+        let mut frame = iteration_frame();
+        frame.guards.push(9999);
+        let err = dce_frame(&mut frame).unwrap_err();
+        assert_eq!(err, OptError::BrokenDataflow { index: 9999 });
+    }
+
+    #[test]
+    fn certified_passes_prove_and_keep_valid_transformations() {
+        let mut frame = iteration_frame();
+        let dce = dce_frame_certified(&mut frame, &CertConfig::default()).unwrap();
+        assert!(dce.applied(), "{:?}", dce.cert.verdict);
+        assert_eq!(dce.cert.verdict, CertVerdict::Proved);
+        assert!(dce.result.unwrap() >= 1);
+        for policy in [GuardPolicy::Late, GuardPolicy::Early] {
+            let mut frame = iteration_frame();
+            let p = apply_guard_policy_certified(&mut frame, policy, &CertConfig::default())
+                .unwrap();
+            assert!(p.applied());
+            assert_eq!(p.cert.verdict, CertVerdict::Proved, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn certified_pass_rolls_back_a_refuted_miscompile() {
+        use crate::frame::FrameOpKind;
+        use needle_ir::{Constant, Op};
+        // A deliberately broken "pass": drops the store by rewriting it to
+        // a no-op add — exactly the miscompile class DCE could commit if
+        // it ever treated a side-effecting op as dead.
+        let drop_store = |f: &mut Frame| -> Result<usize, OptError> {
+            let at = f
+                .ops
+                .iter()
+                .position(|o| matches!(o.kind, FrameOpKind::Store))
+                .ok_or(OptError::ZeroCopies)?;
+            f.ops[at].kind = FrameOpKind::Compute(Op::Add);
+            f.ops[at].args = vec![
+                FrameValue::Const(Constant::Int(0)),
+                FrameValue::Const(Constant::Int(0)),
+            ];
+            f.ops[at].pred = None;
+            f.undo_log_size = 0;
+            Ok(1)
+        };
+        let mut frame = guard_consuming_frame();
+        let original = frame.clone();
+        let out = super::certified(&mut frame, &CertConfig::default(), drop_store).unwrap();
+        assert!(!out.applied(), "miscompile must not be kept");
+        assert!(matches!(out.cert.verdict, CertVerdict::Refuted(_)));
+        assert_eq!(frame, original, "frame must be rolled back");
     }
 
     #[test]

@@ -1,0 +1,574 @@
+//! Tseitin bit-blasting of 64-bit terms to CNF.
+//!
+//! Each term becomes a vector of 64 literals (LSB first); constants map
+//! to a reserved always-true variable so constant bits cost no clauses.
+//! Adders are ripple-carry, multiplication is shift-and-add over the
+//! partial-product triangle, variable shifts are 6-stage barrel
+//! shifters over the masked amount bits (`rhs & 63`), and signed
+//! comparisons combine the sign bits with an unsigned borrow chain —
+//! all exactly matching the wrapping `i64` semantics of
+//! [`super::term::fold_bin`].
+//!
+//! A clause budget turns oversized encodings into
+//! [`BlastError::ClauseBudget`], which the certifier reports as a
+//! `Timeout` (fall back to the differential probe) rather than an
+//! unbounded memory grab.
+
+use std::collections::HashMap;
+
+use super::term::{Bin, Node, Pool, TermId};
+use needle_ir::CmpOp;
+
+/// Why an obligation could not be blasted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlastError {
+    /// The CNF grew past the configured clause budget.
+    ClauseBudget,
+    /// The term graph contains something the blaster cannot encode
+    /// (symbolic division, an unlowered memory read).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for BlastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlastError::ClauseBudget => write!(f, "clause budget exhausted"),
+            BlastError::Unsupported(what) => write!(f, "unsupported term: {what}"),
+        }
+    }
+}
+
+type Bits = [i32; 64];
+
+/// The CNF under construction plus the term → literal maps.
+pub struct Blaster<'p> {
+    pool: &'p Pool,
+    n_vars: i32,
+    lit_true: i32,
+    clauses: Vec<Vec<i32>>,
+    max_clauses: usize,
+    bits: HashMap<TermId, Bits>,
+    truth_memo: HashMap<TermId, i32>,
+    var_bits: HashMap<u32, Bits>,
+}
+
+impl<'p> Blaster<'p> {
+    /// A blaster over `pool`'s terms with a clause budget.
+    pub fn new(pool: &'p Pool, max_clauses: usize) -> Blaster<'p> {
+        let mut b = Blaster {
+            pool,
+            n_vars: 1,
+            lit_true: 1,
+            clauses: Vec::new(),
+            max_clauses,
+            bits: HashMap::new(),
+            truth_memo: HashMap::new(),
+            var_bits: HashMap::new(),
+        };
+        b.clauses.push(vec![b.lit_true]);
+        b
+    }
+
+    /// Variables allocated so far.
+    pub fn var_count(&self) -> usize {
+        self.n_vars as usize
+    }
+
+    /// Clauses emitted so far.
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    fn fresh(&mut self) -> i32 {
+        self.n_vars += 1;
+        self.n_vars
+    }
+
+    fn clause(&mut self, lits: Vec<i32>) -> Result<(), BlastError> {
+        if self.clauses.len() >= self.max_clauses {
+            return Err(BlastError::ClauseBudget);
+        }
+        self.clauses.push(lits);
+        Ok(())
+    }
+
+    fn const_lit(&self, v: bool) -> i32 {
+        if v {
+            self.lit_true
+        } else {
+            -self.lit_true
+        }
+    }
+
+    fn is_const(&self, l: i32) -> Option<bool> {
+        if l == self.lit_true {
+            Some(true)
+        } else if l == -self.lit_true {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn and_gate(&mut self, a: i32, b: i32) -> Result<i32, BlastError> {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return Ok(self.const_lit(false)),
+            (Some(true), _) => return Ok(b),
+            (_, Some(true)) => return Ok(a),
+            _ => {}
+        }
+        if a == b {
+            return Ok(a);
+        }
+        if a == -b {
+            return Ok(self.const_lit(false));
+        }
+        let g = self.fresh();
+        self.clause(vec![-g, a])?;
+        self.clause(vec![-g, b])?;
+        self.clause(vec![g, -a, -b])?;
+        Ok(g)
+    }
+
+    fn or_gate(&mut self, a: i32, b: i32) -> Result<i32, BlastError> {
+        let g = self.and_gate(-a, -b)?;
+        Ok(-g)
+    }
+
+    fn xor_gate(&mut self, a: i32, b: i32) -> Result<i32, BlastError> {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) => return Ok(b),
+            (_, Some(false)) => return Ok(a),
+            (Some(true), _) => return Ok(-b),
+            (_, Some(true)) => return Ok(-a),
+            _ => {}
+        }
+        if a == b {
+            return Ok(self.const_lit(false));
+        }
+        if a == -b {
+            return Ok(self.const_lit(true));
+        }
+        let g = self.fresh();
+        self.clause(vec![-g, a, b])?;
+        self.clause(vec![-g, -a, -b])?;
+        self.clause(vec![g, a, -b])?;
+        self.clause(vec![g, -a, b])?;
+        Ok(g)
+    }
+
+    fn mux(&mut self, c: i32, t: i32, e: i32) -> Result<i32, BlastError> {
+        match self.is_const(c) {
+            Some(true) => return Ok(t),
+            Some(false) => return Ok(e),
+            None => {}
+        }
+        if t == e {
+            return Ok(t);
+        }
+        let ct = self.and_gate(c, t)?;
+        let ce = self.and_gate(-c, e)?;
+        self.or_gate(ct, ce)
+    }
+
+    fn or_many(&mut self, lits: &[i32]) -> Result<i32, BlastError> {
+        let mut live: Vec<i32> = Vec::new();
+        for &l in lits {
+            match self.is_const(l) {
+                Some(true) => return Ok(self.const_lit(true)),
+                Some(false) => {}
+                None => {
+                    if !live.contains(&l) {
+                        live.push(l);
+                    }
+                }
+            }
+        }
+        match live.len() {
+            0 => Ok(self.const_lit(false)),
+            1 => Ok(live[0]),
+            _ => {
+                let g = self.fresh();
+                for &l in &live {
+                    self.clause(vec![-l, g])?;
+                }
+                let mut big = live;
+                big.push(-g);
+                self.clause(big)?;
+                Ok(g)
+            }
+        }
+    }
+
+    /// `(sum, carry_out)` of a full adder.
+    fn full_adder(&mut self, a: i32, b: i32, cin: i32) -> Result<(i32, i32), BlastError> {
+        let ab = self.xor_gate(a, b)?;
+        let sum = self.xor_gate(ab, cin)?;
+        let c1 = self.and_gate(a, b)?;
+        let c2 = self.and_gate(ab, cin)?;
+        let cout = self.or_gate(c1, c2)?;
+        Ok((sum, cout))
+    }
+
+    /// `a + b + cin`; returns the 64 sum bits and the final carry.
+    fn add_vec(&mut self, a: &Bits, b: &Bits, mut carry: i32) -> Result<(Bits, i32), BlastError> {
+        let mut out = [self.const_lit(false); 64];
+        for i in 0..64 {
+            let (s, c) = self.full_adder(a[i], b[i], carry)?;
+            out[i] = s;
+            carry = c;
+        }
+        Ok((out, carry))
+    }
+
+    fn neg_bits(&self, a: &Bits) -> Bits {
+        let mut out = *a;
+        for l in &mut out {
+            *l = -*l;
+        }
+        out
+    }
+
+    /// `a <u b` via the borrow chain of `a + ¬b + 1`.
+    fn ult(&mut self, a: &Bits, b: &Bits) -> Result<i32, BlastError> {
+        let nb = self.neg_bits(b);
+        let one = self.const_lit(true);
+        let (_, cout) = self.add_vec(a, &nb, one)?;
+        Ok(-cout)
+    }
+
+    fn slt(&mut self, a: &Bits, b: &Bits) -> Result<i32, BlastError> {
+        let signs_differ = self.xor_gate(a[63], b[63])?;
+        let u = self.ult(a, b)?;
+        self.mux(signs_differ, a[63], u)
+    }
+
+    fn eq_bits(&mut self, a: &Bits, b: &Bits) -> Result<i32, BlastError> {
+        let mut diffs = Vec::with_capacity(64);
+        for i in 0..64 {
+            diffs.push(self.xor_gate(a[i], b[i])?);
+        }
+        let ne = self.or_many(&diffs)?;
+        Ok(-ne)
+    }
+
+    fn const_bits(&self, v: u64) -> Bits {
+        let mut out = [0i32; 64];
+        for (i, l) in out.iter_mut().enumerate() {
+            *l = self.const_lit(v >> i & 1 == 1);
+        }
+        out
+    }
+
+    fn shift_const(&self, a: &Bits, amt: u32, op: Bin) -> Bits {
+        let amt = (amt & 63) as usize;
+        let mut out = [self.const_lit(false); 64];
+        match op {
+            Bin::Shl => {
+                out[amt..64].copy_from_slice(&a[..64 - amt]);
+            }
+            Bin::LShr => {
+                out[..64 - amt].copy_from_slice(&a[amt..]);
+            }
+            _ => {
+                // Arithmetic right shift: replicate the sign bit.
+                for i in 0..64 {
+                    out[i] = if i + amt < 64 { a[i + amt] } else { a[63] };
+                }
+            }
+        }
+        out
+    }
+
+    fn shift_barrel(&mut self, a: &Bits, b: &Bits, op: Bin) -> Result<Bits, BlastError> {
+        let mut cur = *a;
+        for stage in 0..6u32 {
+            let shifted = self.shift_const(&cur, 1 << stage, op);
+            let sel = b[stage as usize];
+            let mut next = [self.const_lit(false); 64];
+            for i in 0..64 {
+                next[i] = self.mux(sel, shifted[i], cur[i])?;
+            }
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    fn mul(&mut self, a: &Bits, b: &Bits) -> Result<Bits, BlastError> {
+        let mut acc = self.const_bits(0);
+        for i in 0..64 {
+            if self.is_const(b[i]) == Some(false) {
+                continue;
+            }
+            // Row i contributes to bits i..64 only (wrapping multiply).
+            let mut carry = self.const_lit(false);
+            let mut next = acc;
+            for j in 0..64 - i {
+                let pp = self.and_gate(b[i], a[j])?;
+                let (s, c) = self.full_adder(acc[i + j], pp, carry)?;
+                next[i + j] = s;
+                carry = c;
+            }
+            acc = next;
+        }
+        Ok(acc)
+    }
+
+    /// Single literal for `t ≠ 0`.
+    pub fn truth(&mut self, t: TermId) -> Result<i32, BlastError> {
+        if let Some(&l) = self.truth_memo.get(&t) {
+            return Ok(l);
+        }
+        let bits = self.bits(t)?;
+        let l = if self.pool.term_is_bool(t) {
+            bits[0]
+        } else {
+            self.or_many(&bits)?
+        };
+        self.truth_memo.insert(t, l);
+        Ok(l)
+    }
+
+    /// The 64 literals of `t` (LSB first), building CNF on demand.
+    pub fn bits(&mut self, t: TermId) -> Result<Bits, BlastError> {
+        if let Some(b) = self.bits.get(&t) {
+            return Ok(*b);
+        }
+        let out: Bits = match self.pool.node(t) {
+            Node::Const(v) => self.const_bits(v),
+            Node::Var(i) => {
+                let mut out = [0i32; 64];
+                for l in &mut out {
+                    *l = self.fresh();
+                }
+                self.var_bits.insert(i, out);
+                out
+            }
+            Node::Bin(op, a, b) => {
+                let av = self.bits(a)?;
+                match op {
+                    Bin::Add => {
+                        let bv = self.bits(b)?;
+                        let zero = self.const_lit(false);
+                        self.add_vec(&av, &bv, zero)?.0
+                    }
+                    Bin::Sub => {
+                        let bv = self.bits(b)?;
+                        let nb = self.neg_bits(&bv);
+                        let one = self.const_lit(true);
+                        self.add_vec(&av, &nb, one)?.0
+                    }
+                    Bin::Mul => {
+                        let bv = self.bits(b)?;
+                        self.mul(&av, &bv)?
+                    }
+                    Bin::And | Bin::Or | Bin::Xor => {
+                        let bv = self.bits(b)?;
+                        let mut out = [0i32; 64];
+                        for i in 0..64 {
+                            out[i] = match op {
+                                Bin::And => self.and_gate(av[i], bv[i])?,
+                                Bin::Or => self.or_gate(av[i], bv[i])?,
+                                _ => self.xor_gate(av[i], bv[i])?,
+                            };
+                        }
+                        out
+                    }
+                    Bin::Shl | Bin::Shr | Bin::LShr => {
+                        if let Node::Const(amt) = self.pool.node(b) {
+                            self.shift_const(&av, amt as u32, op)
+                        } else {
+                            let bv = self.bits(b)?;
+                            self.shift_barrel(&av, &bv, op)?
+                        }
+                    }
+                    Bin::Div | Bin::Rem => {
+                        return Err(BlastError::Unsupported("symbolic division"));
+                    }
+                }
+            }
+            Node::Cmp(rel, a, b) => {
+                let av = self.bits(a)?;
+                let bv = self.bits(b)?;
+                let l = match rel {
+                    CmpOp::Eq => self.eq_bits(&av, &bv)?,
+                    CmpOp::Ne => -self.eq_bits(&av, &bv)?,
+                    CmpOp::Lt => self.slt(&av, &bv)?,
+                    CmpOp::Gt => self.slt(&bv, &av)?,
+                    CmpOp::Le => -self.slt(&bv, &av)?,
+                    CmpOp::Ge => -self.slt(&av, &bv)?,
+                };
+                let mut out = [self.const_lit(false); 64];
+                out[0] = l;
+                out
+            }
+            Node::Ite(c, th, el) => {
+                let ct = self.truth(c)?;
+                let tv = self.bits(th)?;
+                let ev = self.bits(el)?;
+                let mut out = [0i32; 64];
+                for i in 0..64 {
+                    out[i] = self.mux(ct, tv[i], ev[i])?;
+                }
+                out
+            }
+            Node::Sel(..) => {
+                return Err(BlastError::Unsupported("memory read survived lowering"));
+            }
+        };
+        self.bits.insert(t, out);
+        Ok(out)
+    }
+
+    /// Assert that `t` is true (≠ 0).
+    pub fn assert_truth(&mut self, t: TermId) -> Result<(), BlastError> {
+        let l = self.truth(t)?;
+        self.clause(vec![l])
+    }
+
+    /// Tear down into `(variable count, clauses, per-variable literal map)`.
+    pub fn finish(self) -> (usize, Vec<Vec<i32>>, HashMap<u32, Bits>) {
+        (self.n_vars as usize, self.clauses, self.var_bits)
+    }
+}
+
+/// Read variable `i`'s 64-bit value out of a SAT model.
+pub fn decode_var(var_bits: &HashMap<u32, Bits>, model: &[bool], i: u32) -> u64 {
+    let Some(bits) = var_bits.get(&i) else {
+        return 0; // variable never constrained the formula
+    };
+    let mut v = 0u64;
+    for (k, &l) in bits.iter().enumerate() {
+        let idx = (l.unsigned_abs() - 1) as usize;
+        let b = model.get(idx).copied().unwrap_or(false);
+        let b = if l > 0 { b } else { !b };
+        if b {
+            v |= 1 << k;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sat::{SatResult, Solver};
+    use super::super::term::{fold_bin, fold_cmp, Bin, Pool};
+    use super::*;
+
+    /// Assert `lhs == want` is UNSAT to refute / SAT to witness, by
+    /// checking the equation `t ≠ expected` has no model.
+    fn assert_valid_equation(pool: &Pool, t: TermId, vars: &[(u32, u64)], want: u64) {
+        let mut b = Blaster::new(pool, 200_000);
+        let bits = b.bits(t).expect("blast");
+        // Pin the variables, then assert some output bit differs.
+        let mut pins: Vec<(u32, u64)> = vars.to_vec();
+        pins.sort_unstable();
+        let mut diff = Vec::new();
+        let want_bits: Vec<bool> = (0..64).map(|i| want >> i & 1 == 1).collect();
+        for i in 0..64 {
+            diff.push(if want_bits[i] { -bits[i] } else { bits[i] });
+        }
+        let (nv, mut clauses, var_bits) = {
+            let g = b.or_many(&diff).expect("or");
+            b.clause(vec![g]).expect("clause");
+            b.finish()
+        };
+        let mut s = Solver::new(nv);
+        let mut ok = true;
+        for c in &mut clauses {
+            if !s.add_clause(c) {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            for (v, val) in pins {
+                if let Some(bl) = var_bits.get(&v) {
+                    for (i, &l) in bl.iter().enumerate() {
+                        let on = val >> i & 1 == 1;
+                        if !s.add_clause(&[if on { l } else { -l }]) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let res = if ok { s.solve(200_000) } else { SatResult::Unsat };
+        assert_eq!(res, SatResult::Unsat, "circuit disagrees with concrete fold");
+    }
+
+    #[test]
+    fn circuits_match_concrete_folds() {
+        let ops = [
+            Bin::Add,
+            Bin::Sub,
+            Bin::Mul,
+            Bin::And,
+            Bin::Or,
+            Bin::Xor,
+            Bin::Shl,
+            Bin::Shr,
+            Bin::LShr,
+        ];
+        let samples: &[(u64, u64)] = &[
+            (0, 0),
+            (1, 63),
+            (u64::MAX, 1),
+            (i64::MIN as u64, 65),
+            (0xDEAD_BEEF_0123_4567, 0x8000_0000_0000_0001),
+        ];
+        for &op in &ops {
+            for &(x, y) in samples {
+                let mut p = Pool::new();
+                let (a, b) = (p.var(0), p.var(1));
+                let t = p.bin(op, a, b);
+                assert_valid_equation(&p, t, &[(0, x), (1, y)], fold_bin(op, x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_match_concrete_folds() {
+        use needle_ir::CmpOp::*;
+        let samples: &[(u64, u64)] = &[
+            (0, 0),
+            (1, u64::MAX),            // 1 vs -1 signed
+            (i64::MIN as u64, 0),     // MIN vs 0
+            (5, 5),
+            (u64::MAX, i64::MIN as u64),
+        ];
+        for rel in [Eq, Ne, Lt, Le, Gt, Ge] {
+            for &(x, y) in samples {
+                let mut p = Pool::new();
+                let (a, b) = (p.var(0), p.var(1));
+                let t = p.cmp(rel, a, b);
+                assert_valid_equation(&p, t, &[(0, x), (1, y)], fold_cmp(rel, x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn sat_model_decodes_back_to_witness() {
+        // x + 1 == 0 has exactly one solution: x == u64::MAX.
+        let mut p = Pool::new();
+        let x = p.var(0);
+        let one = p.cst(1);
+        let zero = p.cst(0);
+        let sum = p.bin(Bin::Add, x, one);
+        let eq = p.cmp(needle_ir::CmpOp::Eq, sum, zero);
+        let mut b = Blaster::new(&p, 100_000);
+        b.assert_truth(eq).expect("assert");
+        let (nv, clauses, var_bits) = b.finish();
+        let mut s = Solver::new(nv);
+        for c in &clauses {
+            assert!(s.add_clause(c));
+        }
+        match s.solve(100_000) {
+            SatResult::Sat(model) => {
+                assert_eq!(decode_var(&var_bits, &model, 0), u64::MAX);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! Translation of frames and regions into the shared term language.
+//!
+//! Both encoders mirror their concrete twin instruction-for-instruction:
+//! [`encode_frame`] follows `exec::run_frame_with` (loads execute
+//! unconditionally, stores are predicated, the commit condition is the
+//! conjunction of every guard's pass bit), and [`encode_region`] follows
+//! `verify::run_reference` (simultaneous φ evaluation on block entry,
+//! entry-block φs bound as live-ins, commit = reaching the region exit
+//! while staying on region edges). Addresses are reduced to cell
+//! indices (`addr >> 3` logical) because [`needle_ir::Memory`] stores
+//! whole 8-byte words.
+//!
+//! Anything outside the integer fragment — float ops, symbolic
+//! divisors, calls, loop-carried frames — is reported as
+//! [`EncodeStop::Unsupported`] so the certifier can fall back to the
+//! differential probe instead of guessing.
+
+use std::collections::HashMap;
+
+use needle_ir::{Function, InstId, Op, Terminator, Type, Value};
+
+use super::term::{Bin, MemId, Node, Pool, TermId};
+use crate::frame::{Frame, FrameOpKind, FrameValue};
+
+/// Why encoding stopped without producing obligations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeStop {
+    /// The fragment is outside the checker's theory; fall back to the
+    /// differential probe.
+    Unsupported(String),
+    /// A structural budget (paths, steps, terms) was exhausted.
+    Budget(String),
+    /// The frame itself is malformed (undefined slot, forward/cyclic
+    /// reference, missing argument) — a typed error, never a panic.
+    Malformed {
+        /// Index of the offending op.
+        op: usize,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+}
+
+/// Symbolic summary of one frame execution.
+pub struct FrameEnc {
+    /// 0/1 term: every guard passed.
+    pub commit: TermId,
+    /// One term per [`Frame::live_outs`] entry.
+    pub live_outs: Vec<TermId>,
+    /// Memory after the op loop (pre-rollback; meaningful under commit).
+    pub mem: MemId,
+    /// Cell-index terms of every store op (superset of touched cells).
+    pub store_cells: Vec<TermId>,
+}
+
+/// Symbolic summary of one acyclic control-flow path through a region.
+pub struct PathEnc {
+    /// 0/1 term: the branch conditions that select this path.
+    pub cond: TermId,
+    /// Per-live-out term, `None` where the walk does not define it.
+    pub live_outs: Vec<Option<TermId>>,
+    /// Memory at the region exit along this path.
+    pub mem: MemId,
+    /// Cell-index terms of the stores executed on this path.
+    pub store_cells: Vec<TermId>,
+}
+
+/// Symbolic summary of the whole region.
+pub struct RegionEnc {
+    /// 0/1 term: disjunction of every committing path's condition.
+    pub commit: TermId,
+    /// The committing paths.
+    pub paths: Vec<PathEnc>,
+}
+
+fn unsup(what: impl Into<String>) -> EncodeStop {
+    EncodeStop::Unsupported(what.into())
+}
+
+/// Bits of a constant, or `None` for floats (whose `Val` arithmetic
+/// semantics differ from their raw bit pattern).
+fn const_bits(c: needle_ir::Constant) -> Option<u64> {
+    match c {
+        needle_ir::Constant::Int(v) => Some(v as u64),
+        needle_ir::Constant::Ptr(p) => Some(p),
+        needle_ir::Constant::Float(_) => None,
+    }
+}
+
+/// Lower a pure integer opcode over term arguments. Returns `None` for
+/// anything float-flavoured.
+fn pure_term(
+    pool: &mut Pool,
+    op: Op,
+    args: &[TermId],
+    imm: i64,
+) -> Option<Result<TermId, EncodeStop>> {
+    let need = match op {
+        Op::Select => 3,
+        Op::FSqrt | Op::IToF | Op::FToI => 1,
+        _ => 2,
+    };
+    if args.len() < need {
+        return Some(Err(unsup("compute op is missing a required argument")));
+    }
+    let t = match op {
+        Op::Add => pool.bin(Bin::Add, args[0], args[1]),
+        Op::Sub => pool.bin(Bin::Sub, args[0], args[1]),
+        Op::Mul => pool.bin(Bin::Mul, args[0], args[1]),
+        Op::Div => pool.bin(Bin::Div, args[0], args[1]),
+        Op::Rem => pool.bin(Bin::Rem, args[0], args[1]),
+        Op::And => pool.bin(Bin::And, args[0], args[1]),
+        Op::Or => pool.bin(Bin::Or, args[0], args[1]),
+        Op::Xor => pool.bin(Bin::Xor, args[0], args[1]),
+        Op::Shl => pool.bin(Bin::Shl, args[0], args[1]),
+        Op::Shr => pool.bin(Bin::Shr, args[0], args[1]),
+        Op::ICmp(rel) => pool.cmp(rel, args[0], args[1]),
+        Op::Select => {
+            let c = pool.boolify(args[0]);
+            pool.ite(c, args[1], args[2])
+        }
+        Op::Gep => {
+            let scale = pool.cst(imm as u64);
+            let off = pool.bin(Bin::Mul, args[1], scale);
+            pool.bin(Bin::Add, args[0], off)
+        }
+        _ => return None,
+    };
+    // Residual Div/Rem nodes (symbolic operands) survive here on
+    // purpose: [`crate::symeq::term::lower`] Ackermannizes them into
+    // fresh variables under congruence + div-by-zero axioms, which keeps
+    // proofs sound while the concrete-replay gate screens any spurious
+    // models the abstraction admits.
+    Some(Ok(t))
+}
+
+fn cell_of(pool: &mut Pool, addr: TermId) -> TermId {
+    let three = pool.cst(3);
+    pool.bin(Bin::LShr, addr, three)
+}
+
+/// Encode `frame` over live-in variables `Var(0..n)`.
+///
+/// `loop_carried` pairs are deliberately ignored: they describe how
+/// live-outs feed live-ins across *successive* invocations, while every
+/// certification obligation (frame-vs-region and frame-vs-frame) compares
+/// single invocations — exactly what the differential verifier compares.
+pub fn encode_frame(pool: &mut Pool, frame: &Frame) -> Result<FrameEnc, EncodeStop> {
+    for (i, li) in frame.live_ins.iter().enumerate() {
+        if li.ty == Type::F64 {
+            return Err(unsup(format!("float live-in {i}")));
+        }
+        pool.var(i as u32); // reserve the slot
+    }
+    let n_live = frame.live_ins.len();
+    let init = pool.mem_init();
+
+    let mut vals: Vec<TermId> = Vec::with_capacity(frame.ops.len());
+    let mut mem = init;
+    let mut commit = pool.cst(1);
+    let mut store_cells = Vec::new();
+
+    let read = |pool: &mut Pool, vals: &[TermId], v: FrameValue, at: usize| -> Result<TermId, EncodeStop> {
+        match v {
+            FrameValue::Op(j) => vals.get(j).copied().ok_or(EncodeStop::Malformed {
+                op: at,
+                what: "operand references an op outside the evaluated prefix",
+            }),
+            FrameValue::LiveIn(j) => {
+                if j < n_live {
+                    Ok(pool.var(j as u32))
+                } else {
+                    Err(EncodeStop::Malformed {
+                        op: at,
+                        what: "operand references an out-of-range live-in",
+                    })
+                }
+            }
+            FrameValue::Const(c) => const_bits(c)
+                .map(|b| pool.cst(b))
+                .ok_or_else(|| unsup("float constant")),
+        }
+    };
+    let arg = |op: &crate::frame::FrameOp, n: usize, at: usize| -> Result<FrameValue, EncodeStop> {
+        op.args.get(n).copied().ok_or(EncodeStop::Malformed {
+            op: at,
+            what: "op is missing a required argument",
+        })
+    };
+
+    for (i, op) in frame.ops.iter().enumerate() {
+        if op.ty == Type::F64 {
+            return Err(unsup(format!("float-typed op {i}")));
+        }
+        let pred = match op.pred {
+            Some(p) => {
+                let t = read(pool, &vals, p, i)?;
+                pool.boolify(t)
+            }
+            None => pool.cst(1),
+        };
+        let slot = match op.kind {
+            FrameOpKind::Compute(o) => {
+                let mut args = Vec::with_capacity(op.args.len());
+                for a in &op.args {
+                    args.push(read(pool, &vals, *a, i)?);
+                }
+                let need = match o {
+                    Op::Select => 3,
+                    Op::FSqrt | Op::IToF | Op::FToI => 1,
+                    _ => 2,
+                };
+                if args.len() < need {
+                    return Err(EncodeStop::Malformed {
+                        op: i,
+                        what: "op is missing a required argument",
+                    });
+                }
+                match pure_term(pool, o, &args, op.imm) {
+                    Some(Ok(t)) => t,
+                    Some(Err(stop)) => return Err(stop),
+                    None => {
+                        if matches!(o, Op::Load | Op::Store | Op::Call(_) | Op::Phi) {
+                            return Err(EncodeStop::Malformed {
+                                op: i,
+                                what: "compute op is not pure",
+                            });
+                        }
+                        return Err(unsup(format!("float op at {i}")));
+                    }
+                }
+            }
+            FrameOpKind::Load => {
+                let addr = read(pool, &vals, arg(op, 0, i)?, i)?;
+                let cell = cell_of(pool, addr);
+                pool.sel(mem, cell)
+            }
+            FrameOpKind::Store => {
+                let v = read(pool, &vals, arg(op, 0, i)?, i)?;
+                let addr = read(pool, &vals, arg(op, 1, i)?, i)?;
+                let cell = cell_of(pool, addr);
+                let stored = pool.mem_store(mem, cell, v);
+                mem = pool.mem_ite(pred, stored, mem);
+                store_cells.push(cell);
+                pool.cst(0)
+            }
+            FrameOpKind::Guard { expected } => {
+                let actual = read(pool, &vals, arg(op, 0, i)?, i)?;
+                let want = pool.cst(expected as u64);
+                let b = pool.boolify(actual);
+                let hit = pool.cmp(needle_ir::CmpOp::Eq, b, want);
+                let pass = {
+                    let np = pool.not(pred);
+                    pool.or2(np, hit)
+                };
+                commit = pool.and2(commit, pass);
+                pass
+            }
+        };
+        vals.push(slot);
+    }
+
+    let mut live_outs = Vec::with_capacity(frame.live_outs.len());
+    for (k, lo) in frame.live_outs.iter().enumerate() {
+        // Mirror exec: live-outs read from the full value array.
+        live_outs.push(read(pool, &vals, lo.value, frame.ops.len() + k)?);
+    }
+    Ok(FrameEnc {
+        commit,
+        live_outs,
+        mem,
+        store_cells,
+    })
+}
+
+/// Budget knobs for region path enumeration.
+pub struct RegionBudget {
+    /// Maximum control-flow paths explored.
+    pub max_paths: usize,
+    /// Maximum instructions walked across all paths.
+    pub max_steps: usize,
+}
+
+/// Enumerate every control-flow path of `frame.region` symbolically,
+/// mirroring the reference walker's semantics.
+pub fn encode_region(
+    pool: &mut Pool,
+    func: &Function,
+    frame: &Frame,
+    budget: &RegionBudget,
+) -> Result<RegionEnc, EncodeStop> {
+    let region = &frame.region;
+    if region.blocks.is_empty() {
+        return Err(unsup("empty region"));
+    }
+    for &b in &region.blocks {
+        if b.0 as usize >= func.blocks.len() {
+            return Err(unsup(format!("region references missing block {}", b.0)));
+        }
+    }
+
+    // Live-in bindings, mirroring run_reference.
+    let mut bound_args: HashMap<u32, TermId> = HashMap::new();
+    let mut bound_insts: HashMap<InstId, TermId> = HashMap::new();
+    for (i, li) in frame.live_ins.iter().enumerate() {
+        let var = pool.var(i as u32);
+        match li.value {
+            Value::Arg(n) => {
+                bound_args.insert(n, var);
+            }
+            Value::Inst(id) => {
+                bound_insts.insert(id, var);
+            }
+            Value::Const(_) => {}
+        }
+    }
+
+    struct Walker<'a> {
+        pool: &'a mut Pool,
+        func: &'a Function,
+        frame: &'a Frame,
+        bound_args: HashMap<u32, TermId>,
+        bound_insts: HashMap<InstId, TermId>,
+        steps: usize,
+        paths: usize,
+        budget: &'a RegionBudget,
+        committing: Vec<PathEnc>,
+    }
+
+    struct PathState {
+        regs: HashMap<InstId, TermId>,
+        mem: MemId,
+        cond: TermId,
+        store_cells: Vec<TermId>,
+    }
+
+    impl Walker<'_> {
+        fn read(&mut self, regs: &HashMap<InstId, TermId>, v: Value) -> Result<TermId, EncodeStop> {
+            match v {
+                Value::Const(c) => const_bits(c)
+                    .map(|b| self.pool.cst(b))
+                    .ok_or_else(|| unsup("float constant")),
+                Value::Inst(id) => regs
+                    .get(&id)
+                    .or_else(|| self.bound_insts.get(&id))
+                    .copied()
+                    .ok_or_else(|| unsup(format!("unbound value %{}", id.0))),
+                Value::Arg(n) => self
+                    .bound_args
+                    .get(&n)
+                    .copied()
+                    .ok_or_else(|| unsup(format!("unbound argument {n}"))),
+            }
+        }
+
+        fn walk(
+            &mut self,
+            cur: needle_ir::BlockId,
+            pred: Option<needle_ir::BlockId>,
+            mut st: PathState,
+        ) -> Result<(), EncodeStop> {
+            let region = &self.frame.region;
+            let block = self.func.block(cur);
+
+            // Each block visit costs a step so even empty-block cycles
+            // hit the budget instead of recursing forever.
+            self.steps += 1;
+            if self.steps > self.budget.max_steps {
+                return Err(EncodeStop::Budget(format!(
+                    "region walk exceeded {} steps",
+                    self.budget.max_steps
+                )));
+            }
+
+            // φs evaluate simultaneously on block entry; entry-block φs
+            // are live-ins and are skipped.
+            let mut phi_vals: Vec<(InstId, TermId)> = Vec::new();
+            for &iid in &block.insts {
+                let inst = self.func.inst(iid);
+                if !inst.is_phi() {
+                    break;
+                }
+                if cur == region.entry() {
+                    continue;
+                }
+                let p = pred.ok_or_else(|| unsup("φ without incoming edge"))?;
+                let v = inst
+                    .phi_incoming(p)
+                    .ok_or_else(|| unsup("φ missing incoming value"))?;
+                phi_vals.push((iid, self.read(&st.regs, v)?));
+            }
+            for (iid, v) in phi_vals {
+                st.regs.insert(iid, v);
+            }
+
+            for &iid in &block.insts {
+                let inst = self.func.inst(iid);
+                if inst.is_phi() {
+                    continue;
+                }
+                self.steps += 1;
+                if self.steps > self.budget.max_steps {
+                    return Err(EncodeStop::Budget(format!(
+                        "region walk exceeded {} steps",
+                        self.budget.max_steps
+                    )));
+                }
+                if inst.ty == Type::F64 {
+                    return Err(unsup(format!("float-typed inst %{}", iid.0)));
+                }
+                let t = match inst.op {
+                    Op::Load => {
+                        let addr = self.read(&st.regs, inst.args[0])?;
+                        let cell = cell_of(self.pool, addr);
+                        self.pool.sel(st.mem, cell)
+                    }
+                    Op::Store => {
+                        let v = self.read(&st.regs, inst.args[0])?;
+                        let addr = self.read(&st.regs, inst.args[1])?;
+                        let cell = cell_of(self.pool, addr);
+                        st.mem = self.pool.mem_store(st.mem, cell, v);
+                        st.store_cells.push(cell);
+                        self.pool.cst(0)
+                    }
+                    Op::Call(_) => return Err(unsup(format!("call at %{}", iid.0))),
+                    Op::Phi => unreachable!("phis handled on block entry"),
+                    pure => {
+                        let mut args = Vec::with_capacity(inst.args.len());
+                        for a in &inst.args {
+                            args.push(self.read(&st.regs, *a)?);
+                        }
+                        match pure_term(self.pool, pure, &args, inst.imm) {
+                            Some(Ok(t)) => t,
+                            Some(Err(stop)) => return Err(stop),
+                            None => return Err(unsup(format!("float op at %{}", iid.0))),
+                        }
+                    }
+                };
+                st.regs.insert(iid, t);
+            }
+
+            if cur == region.exit() {
+                let live_outs = self
+                    .frame
+                    .live_outs
+                    .iter()
+                    .map(|lo| st.regs.get(&lo.inst).copied())
+                    .collect();
+                self.committing.push(PathEnc {
+                    cond: st.cond,
+                    live_outs,
+                    mem: st.mem,
+                    store_cells: st.store_cells,
+                });
+                return Ok(());
+            }
+
+            match block.term.clone() {
+                Terminator::Br(next) => {
+                    if region.edges.contains(&(cur, next)) {
+                        self.descend(cur, next, st)
+                    } else {
+                        Ok(()) // aborting leaf
+                    }
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.read(&st.regs, cond)?;
+                    let cb = self.pool.boolify(c);
+                    let nc = self.pool.not(cb);
+                    for (branch_cond, next) in [(cb, then_bb), (nc, else_bb)] {
+                        // A constant-false arm is unreachable: skip it.
+                        if let Node::Const(0) = self.pool.node(branch_cond) {
+                            continue;
+                        }
+                        if !region.edges.contains(&(cur, next)) {
+                            continue; // aborting leaf
+                        }
+                        let sub = PathState {
+                            regs: st.regs.clone(),
+                            mem: st.mem,
+                            cond: self.pool.and2(st.cond, branch_cond),
+                            store_cells: st.store_cells.clone(),
+                        };
+                        self.descend(cur, next, sub)?;
+                    }
+                    Ok(())
+                }
+                Terminator::Ret(_) | Terminator::Unreachable => Ok(()), // aborting leaf
+            }
+        }
+
+        fn descend(
+            &mut self,
+            cur: needle_ir::BlockId,
+            next: needle_ir::BlockId,
+            st: PathState,
+        ) -> Result<(), EncodeStop> {
+            self.paths += 1;
+            if self.paths > self.budget.max_paths {
+                return Err(EncodeStop::Budget(format!(
+                    "region has more than {} paths",
+                    self.budget.max_paths
+                )));
+            }
+            if next.0 as usize >= self.func.blocks.len() {
+                return Err(unsup(format!("edge to missing block {}", next.0)));
+            }
+            self.walk(next, Some(cur), st)
+        }
+    }
+
+    let init = pool.mem_init();
+    let start_cond = pool.cst(1);
+    let mut w = Walker {
+        pool,
+        func,
+        frame,
+        bound_args,
+        bound_insts,
+        steps: 0,
+        paths: 1,
+        budget,
+        committing: Vec::new(),
+    };
+    w.walk(
+        region.entry(),
+        None,
+        PathState {
+            regs: HashMap::new(),
+            mem: init,
+            cond: start_cond,
+            store_cells: Vec::new(),
+        },
+    )?;
+
+    let paths = w.committing;
+    let mut commit = pool.cst(0);
+    for p in &paths {
+        commit = pool.or2(commit, p.cond);
+    }
+    Ok(RegionEnc { commit, paths })
+}

@@ -1,0 +1,500 @@
+//! A small in-house CDCL SAT solver.
+//!
+//! Just enough solver to discharge bit-blasted equivalence obligations
+//! offline: two-watched-literal propagation, first-UIP conflict
+//! analysis with clause learning and non-chronological backjumping,
+//! VSIDS-style activity decisions, geometric restarts, and a conflict
+//! budget that turns "too hard" into an honest [`SatResult::Unknown`]
+//! instead of an unbounded search.
+//!
+//! Literals use the DIMACS convention at the API boundary: variable `v`
+//! (1-based) appears as `+v` / `-v`.
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; `model[v-1]` is the value of variable `v`.
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted before a verdict.
+    Unknown,
+}
+
+/// Cumulative search statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Conflicts hit.
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Clauses learned.
+    pub learned: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+const UNASSIGNED: i8 = 2;
+
+/// The CDCL solver. Add clauses, then call [`Solver::solve`] once.
+pub struct Solver {
+    n_vars: usize,
+    clauses: Vec<Vec<u32>>,       // literal encoding: var<<1 | sign (1 = negated)
+    watches: Vec<Vec<u32>>,       // per-literal watched clause indices
+    assign: Vec<i8>,              // 0 false, 1 true, 2 unassigned (per var)
+    level: Vec<u32>,
+    reason: Vec<i32>,             // clause index, or -1 for decisions/units
+    trail: Vec<u32>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    order: Vec<(u64, u32)>,       // lazy max-heap of (activity bits, var)
+    unsat_at_root: bool,
+    /// Search statistics, valid after `solve`.
+    pub stats: SolverStats,
+}
+
+fn lit_of(dimacs: i32) -> u32 {
+    let v = dimacs.unsigned_abs() - 1;
+    (v << 1) | u32::from(dimacs < 0)
+}
+
+fn var(lit: u32) -> usize {
+    (lit >> 1) as usize
+}
+
+fn sign(lit: u32) -> i8 {
+    // The value that makes this literal true.
+    if lit & 1 == 0 {
+        1
+    } else {
+        0
+    }
+}
+
+impl Solver {
+    /// A solver over `n_vars` variables (DIMACS ids `1..=n_vars`).
+    pub fn new(n_vars: usize) -> Solver {
+        Solver {
+            n_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); n_vars * 2],
+            assign: vec![UNASSIGNED; n_vars],
+            level: vec![0; n_vars],
+            reason: vec![-1; n_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: vec![0.0; n_vars],
+            act_inc: 1.0,
+            order: Vec::new(),
+            unsat_at_root: false,
+            stats: SolverStats::default(),
+        }
+    }
+
+    fn value(&self, lit: u32) -> i8 {
+        let a = self.assign[var(lit)];
+        if a == UNASSIGNED {
+            UNASSIGNED
+        } else if a == sign(lit) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Add a clause of DIMACS literals. Returns `false` if the clause
+    /// set is already unsatisfiable at the root level.
+    pub fn add_clause(&mut self, lits: &[i32]) -> bool {
+        if self.unsat_at_root {
+            return false;
+        }
+        let mut clause: Vec<u32> = Vec::with_capacity(lits.len());
+        for &d in lits {
+            debug_assert!(d != 0 && d.unsigned_abs() as usize <= self.n_vars);
+            let l = lit_of(d);
+            if clause.contains(&(l ^ 1)) {
+                return true; // tautology
+            }
+            if !clause.contains(&l) {
+                clause.push(l);
+            }
+        }
+        // Root-level simplification: drop false literals, detect sat.
+        clause.retain(|&l| self.value(l) != 0);
+        if clause.iter().any(|&l| self.value(l) == 1) {
+            return true;
+        }
+        match clause.len() {
+            0 => {
+                self.unsat_at_root = true;
+                false
+            }
+            1 => {
+                self.enqueue(clause[0], -1);
+                if self.propagate().is_some() {
+                    self.unsat_at_root = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[clause[0] as usize].push(ci);
+                self.watches[clause[1] as usize].push(ci);
+                self.clauses.push(clause);
+                true
+            }
+        }
+    }
+
+    fn enqueue(&mut self, lit: u32, reason: i32) {
+        let v = var(lit);
+        self.assign[v] = sign(lit);
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Propagate; returns a conflicting clause index if one arises.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let lit = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.stats.propagations += 1;
+            let falsified = lit ^ 1;
+            let mut ws = std::mem::take(&mut self.watches[falsified as usize]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                // Ensure the falsified literal sits at slot 1.
+                let (sat, new_watch) = {
+                    let c = &mut self.clauses[ci as usize];
+                    if c[0] == falsified {
+                        c.swap(0, 1);
+                    }
+                    if self.assign[var(c[0])] != UNASSIGNED
+                        && self.assign[var(c[0])] == sign(c[0])
+                    {
+                        (true, None)
+                    } else {
+                        let found = c.iter().enumerate().skip(2).find_map(|(k, &lit)| {
+                            let a = self.assign[var(lit)];
+                            (a == UNASSIGNED || a == sign(lit)).then_some(k)
+                        });
+                        (false, found)
+                    }
+                };
+                if sat {
+                    i += 1;
+                    continue;
+                }
+                if let Some(k) = new_watch {
+                    let c = &mut self.clauses[ci as usize];
+                    c.swap(1, k);
+                    let moved = c[1];
+                    self.watches[moved as usize].push(ci);
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Unit or conflicting on c[0].
+                let first = self.clauses[ci as usize][0];
+                match self.value(first) {
+                    UNASSIGNED => {
+                        self.enqueue(first, ci as i32);
+                        i += 1;
+                    }
+                    0 => {
+                        // Conflict: restore remaining watches and report.
+                        self.watches[falsified as usize].append(&mut ws);
+                        return Some(ci);
+                    }
+                    _ => {
+                        i += 1;
+                    }
+                }
+            }
+            self.watches[falsified as usize] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.act_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+        self.order.push((self.activity[v].to_bits(), v as u32));
+    }
+
+    /// First-UIP conflict analysis; returns (learned clause, backjump level).
+    fn analyze(&mut self, conflict: u32) -> (Vec<u32>, u32) {
+        let cur_level = self.trail_lim.len() as u32;
+        let mut seen = vec![false; self.n_vars];
+        let mut learned: Vec<u32> = vec![0]; // slot 0 = asserting literal
+        let mut counter = 0usize;
+        let mut ci = conflict as i32;
+        let mut trail_idx = self.trail.len();
+        let mut p_var = usize::MAX; // variable being resolved on
+
+        loop {
+            debug_assert!(ci >= 0);
+            let clause = self.clauses[ci as usize].clone();
+            for &l in &clause {
+                let v = var(l);
+                // Skip the pivot and anything already seen or root-level.
+                if v == p_var || seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                seen[v] = true;
+                self.bump(v);
+                if self.level[v] == cur_level {
+                    counter += 1;
+                } else {
+                    learned.push(l);
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                trail_idx -= 1;
+                if seen[var(self.trail[trail_idx])] {
+                    break;
+                }
+            }
+            let lit = self.trail[trail_idx];
+            p_var = var(lit);
+            seen[p_var] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = lit ^ 1;
+                break;
+            }
+            ci = self.reason[p_var];
+        }
+        let backjump = learned[1..]
+            .iter()
+            .map(|&l| self.level[var(l)])
+            .max()
+            .unwrap_or(0);
+        (learned, backjump)
+    }
+
+    fn backtrack(&mut self, to_level: u32) {
+        while self.trail_lim.len() as u32 > to_level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().unwrap();
+                let v = var(lit);
+                self.assign[v] = UNASSIGNED;
+                self.reason[v] = -1;
+                self.order.push((self.activity[v].to_bits(), v as u32));
+            }
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<u32> {
+        while let Some((act, v)) = self.order.pop() {
+            let vu = v as usize;
+            if self.assign[vu] == UNASSIGNED && act == self.activity[vu].to_bits() {
+                return Some(v);
+            }
+        }
+        // Heap drained (stale entries only): linear fallback.
+        (0..self.n_vars as u32).find(|&v| self.assign[v as usize] == UNASSIGNED)
+    }
+
+    /// Run the search with a conflict budget.
+    pub fn solve(&mut self, max_conflicts: u64) -> SatResult {
+        if self.unsat_at_root {
+            return SatResult::Unsat;
+        }
+        for v in 0..self.n_vars as u32 {
+            self.order.push((self.activity[v as usize].to_bits(), v));
+        }
+        self.order.sort_unstable();
+        let mut restart_limit = 128u64;
+        let mut conflicts_here = 0u64;
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.stats.conflicts >= max_conflicts {
+                    return SatResult::Unknown;
+                }
+                if self.trail_lim.is_empty() {
+                    return SatResult::Unsat;
+                }
+                let (mut learned, backjump) = self.analyze(conflict);
+                self.backtrack(backjump);
+                self.act_inc *= 1.05;
+                self.stats.learned += 1;
+                let assert_lit = learned[0];
+                if learned.len() == 1 {
+                    self.enqueue(assert_lit, -1);
+                } else {
+                    // Watch the asserting literal plus one literal from the
+                    // backjump level, so the clause stays asserting.
+                    if let Some(k) =
+                        (1..learned.len()).find(|&k| self.level[var(learned[k])] == backjump)
+                    {
+                        learned.swap(1, k);
+                    }
+                    let ci = self.clauses.len() as u32;
+                    self.watches[learned[0] as usize].push(ci);
+                    self.watches[learned[1] as usize].push(ci);
+                    self.clauses.push(learned);
+                    self.enqueue(assert_lit, ci as i32);
+                }
+                if conflicts_here >= restart_limit {
+                    conflicts_here = 0;
+                    restart_limit = restart_limit.saturating_mul(3) / 2;
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                }
+            } else {
+                match self.pick_branch() {
+                    None => {
+                        let model = (0..self.n_vars).map(|v| self.assign[v] == 1).collect();
+                        return SatResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        // Negative phase first: bit-vectors love zeros.
+                        self.enqueue((v << 1) | 1, -1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(n: usize, clauses: &[Vec<i32>]) -> Option<Vec<bool>> {
+        'outer: for bits in 0u32..(1 << n) {
+            let val = |d: i32| -> bool {
+                let v = (d.unsigned_abs() - 1) as usize;
+                let b = bits >> v & 1 == 1;
+                if d > 0 {
+                    b
+                } else {
+                    !b
+                }
+            };
+            for c in clauses {
+                if !c.iter().any(|&d| val(d)) {
+                    continue 'outer;
+                }
+            }
+            return Some((0..n).map(|v| bits >> v & 1 == 1).collect());
+        }
+        None
+    }
+
+    fn check(n: usize, clauses: &[Vec<i32>]) {
+        let mut s = Solver::new(n);
+        let mut root_unsat = false;
+        for c in clauses {
+            if !s.add_clause(c) {
+                root_unsat = true;
+                break;
+            }
+        }
+        let got = if root_unsat {
+            SatResult::Unsat
+        } else {
+            s.solve(100_000)
+        };
+        match (brute_force(n, clauses), got) {
+            (Some(_), SatResult::Sat(model)) => {
+                for c in clauses {
+                    assert!(
+                        c.iter().any(|&d| {
+                            let v = (d.unsigned_abs() - 1) as usize;
+                            if d > 0 {
+                                model[v]
+                            } else {
+                                !model[v]
+                            }
+                        }),
+                        "model violates clause {c:?}"
+                    );
+                }
+            }
+            (None, SatResult::Unsat) => {}
+            (expected, got) => panic!("brute force {expected:?} vs solver {got:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        check(1, &[vec![1]]);
+        check(1, &[vec![1], vec![-1]]);
+        check(2, &[vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]]);
+        check(3, &[vec![1, 2, 3], vec![-1], vec![-2]]);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Pigeon i in hole j = var 1 + i*2 + j (3 pigeons, 2 holes).
+        let p = |i: i32, j: i32| 1 + i * 2 + j;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    clauses.push(vec![-p(a, j), -p(b, j)]);
+                }
+            }
+        }
+        check(6, &clauses);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        // Deterministic xorshift instance generator.
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..200 {
+            let n = 4 + (next() % 9) as usize; // 4..=12 vars
+            let m = n * 4;
+            let clauses: Vec<Vec<i32>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = (next() % n as u64) as i32 + 1;
+                            if next() & 1 == 0 {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            check(n, &clauses);
+            let _ = round;
+        }
+    }
+}

@@ -1,0 +1,811 @@
+//! Hash-consed 64-bit bit-vector terms with a select/store memory theory.
+//!
+//! Every value the frame executor or the reference walker can produce is
+//! a 64-bit pattern (`Val::to_bits`), so one sort suffices: a term
+//! denotes a `u64`, interpreted as `i64` by the arithmetic operators —
+//! the folding rules here mirror `needle_ir::interp::eval_pure`
+//! bit-for-bit. Boolean contexts test "≠ 0" exactly like
+//! `Val::as_bool`; comparison terms always produce 0/1.
+//!
+//! Memory is a second sort keyed by **cell index** (`addr >> 3` — the
+//! paged [`needle_ir::Memory`] stores whole 8-byte words, so two byte
+//! addresses alias iff they share a cell). [`Pool::lower`] eliminates
+//! the memory sort before bit-blasting: selects are pushed through
+//! store/ite chains down to the initial memory, whose reads are
+//! Ackermannized into fresh variables plus congruence axioms.
+
+use std::collections::HashMap;
+
+use needle_ir::CmpOp;
+
+/// Index of a hash-consed value term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// Index of a hash-consed memory term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemId(pub u32);
+
+/// Binary bit-vector operators. `LShr` is internal (cell addressing);
+/// the others mirror the integer subset of [`needle_ir::Op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bin {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Signed divide; divisor 0 yields 0.
+    Div,
+    /// Signed remainder; divisor 0 yields 0.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left by `rhs & 63`.
+    Shl,
+    /// Arithmetic shift right by `rhs & 63`.
+    Shr,
+    /// Logical shift right by `rhs & 63` (internal: cell = addr >> 3).
+    LShr,
+}
+
+/// A value term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Literal 64-bit pattern.
+    Const(u64),
+    /// Free variable (live-in slot, or an Ackermannized initial read).
+    Var(u32),
+    /// Binary operator.
+    Bin(Bin, TermId, TermId),
+    /// Signed comparison producing 0/1.
+    Cmp(CmpOp, TermId, TermId),
+    /// `if cond ≠ 0 then t else e`.
+    Ite(TermId, TermId, TermId),
+    /// Read of memory cell `addr` (cell index, not byte address).
+    Sel(MemId, TermId),
+}
+
+/// A memory term (cell-indexed array of 64-bit words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemNode {
+    /// The initial (pre-invocation) memory, fully symbolic.
+    Init,
+    /// `base` with cell `addr` overwritten by `val`.
+    Store(MemId, TermId, TermId),
+    /// `if cond ≠ 0 then m1 else m2`.
+    Ite(TermId, MemId, MemId),
+}
+
+/// Fold a binary operator over concrete bits, mirroring `eval_pure`.
+pub fn fold_bin(op: Bin, a: u64, b: u64) -> u64 {
+    let (x, y) = (a as i64, b as i64);
+    let v = match op {
+        Bin::Add => x.wrapping_add(y),
+        Bin::Sub => x.wrapping_sub(y),
+        Bin::Mul => x.wrapping_mul(y),
+        Bin::Div => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        Bin::Rem => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
+        }
+        Bin::And => x & y,
+        Bin::Or => x | y,
+        Bin::Xor => x ^ y,
+        Bin::Shl => x.wrapping_shl(y as u32 & 63),
+        Bin::Shr => x.wrapping_shr(y as u32 & 63),
+        Bin::LShr => return a >> (y as u32 & 63),
+    };
+    v as u64
+}
+
+/// Fold a comparison over concrete bits, mirroring `eval_pure`.
+pub fn fold_cmp(op: CmpOp, a: u64, b: u64) -> u64 {
+    op.eval((a as i64).cmp(&(b as i64))) as u64
+}
+
+fn negate_rel(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+    }
+}
+
+/// The hash-consing arena for value and memory terms.
+///
+/// Smart constructors fold constants and apply light algebraic
+/// rewrites, so syntactic equality of [`TermId`]s discharges many
+/// obligations before any SAT work.
+#[derive(Default)]
+pub struct Pool {
+    nodes: Vec<Node>,
+    mems: Vec<MemNode>,
+    intern: HashMap<Node, TermId>,
+    intern_mem: HashMap<MemNode, MemId>,
+    is_bool: Vec<bool>,
+    n_vars: u32,
+}
+
+impl Pool {
+    /// Fresh empty pool.
+    pub fn new() -> Pool {
+        Pool::default()
+    }
+
+    /// Number of distinct value terms.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of variables allocated so far.
+    pub fn var_count(&self) -> u32 {
+        self.n_vars
+    }
+
+    /// The node behind a term.
+    pub fn node(&self, t: TermId) -> Node {
+        self.nodes[t.0 as usize]
+    }
+
+    /// The node behind a memory term.
+    pub fn mem_node(&self, m: MemId) -> MemNode {
+        self.mems[m.0 as usize]
+    }
+
+    fn intern(&mut self, node: Node) -> TermId {
+        if let Some(&t) = self.intern.get(&node) {
+            return t;
+        }
+        let boolish = match node {
+            Node::Const(v) => v <= 1,
+            Node::Cmp(..) => true,
+            Node::Bin(Bin::And | Bin::Or | Bin::Xor, a, b) => {
+                self.is_bool[a.0 as usize] && self.is_bool[b.0 as usize]
+            }
+            Node::Ite(_, t, e) => self.is_bool[t.0 as usize] && self.is_bool[e.0 as usize],
+            _ => false,
+        };
+        let t = TermId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.is_bool.push(boolish);
+        self.intern.insert(node, t);
+        t
+    }
+
+    fn intern_mem(&mut self, node: MemNode) -> MemId {
+        if let Some(&m) = self.intern_mem.get(&node) {
+            return m;
+        }
+        let m = MemId(self.mems.len() as u32);
+        self.mems.push(node);
+        self.intern_mem.insert(node, m);
+        m
+    }
+
+    /// Constant term.
+    pub fn cst(&mut self, v: u64) -> TermId {
+        self.intern(Node::Const(v))
+    }
+
+    /// Variable `i`, registering it with the pool.
+    pub fn var(&mut self, i: u32) -> TermId {
+        self.n_vars = self.n_vars.max(i + 1);
+        self.intern(Node::Var(i))
+    }
+
+    /// Allocate a variable index never used before.
+    pub fn fresh_var(&mut self) -> TermId {
+        let i = self.n_vars;
+        self.var(i)
+    }
+
+    /// Whether `t` always evaluates to 0 or 1.
+    pub fn term_is_bool(&self, t: TermId) -> bool {
+        self.is_bool[t.0 as usize]
+    }
+
+    fn as_const(&self, t: TermId) -> Option<u64> {
+        match self.node(t) {
+            Node::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Binary operator with constant folding and identities.
+    pub fn bin(&mut self, op: Bin, a: TermId, b: TermId) -> TermId {
+        let (ca, cb) = (self.as_const(a), self.as_const(b));
+        if let (Some(x), Some(y)) = (ca, cb) {
+            return self.cst(fold_bin(op, x, y));
+        }
+        match op {
+            Bin::Add => {
+                if ca == Some(0) {
+                    return b;
+                }
+                if cb == Some(0) {
+                    return a;
+                }
+            }
+            Bin::Sub => {
+                if cb == Some(0) {
+                    return a;
+                }
+                if a == b {
+                    return self.cst(0);
+                }
+            }
+            Bin::Mul => {
+                if ca == Some(0) || cb == Some(0) {
+                    return self.cst(0);
+                }
+                if ca == Some(1) {
+                    return b;
+                }
+                if cb == Some(1) {
+                    return a;
+                }
+            }
+            Bin::Div => {
+                if cb == Some(0) {
+                    return self.cst(0);
+                }
+                if cb == Some(1) {
+                    return a;
+                }
+            }
+            Bin::Rem => {
+                if cb == Some(0) || cb == Some(1) || a == b {
+                    return self.cst(0);
+                }
+            }
+            Bin::And => {
+                if ca == Some(0) || cb == Some(0) {
+                    return self.cst(0);
+                }
+                if ca == Some(u64::MAX) {
+                    return b;
+                }
+                if cb == Some(u64::MAX) || a == b {
+                    return a;
+                }
+            }
+            Bin::Or => {
+                if ca == Some(0) {
+                    return b;
+                }
+                if cb == Some(0) || a == b {
+                    return a;
+                }
+                if ca == Some(u64::MAX) || cb == Some(u64::MAX) {
+                    return self.cst(u64::MAX);
+                }
+            }
+            Bin::Xor => {
+                if ca == Some(0) {
+                    return b;
+                }
+                if cb == Some(0) {
+                    return a;
+                }
+                if a == b {
+                    return self.cst(0);
+                }
+            }
+            Bin::Shl | Bin::Shr | Bin::LShr => {
+                if let Some(y) = cb {
+                    if y as u32 & 63 == 0 {
+                        return a;
+                    }
+                }
+                if ca == Some(0) {
+                    return self.cst(0);
+                }
+            }
+        }
+        self.intern(Node::Bin(op, a, b))
+    }
+
+    /// Comparison with folding; `eq(cmp, 0)` flips the relation.
+    pub fn cmp(&mut self, op: CmpOp, a: TermId, b: TermId) -> TermId {
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.cst(fold_cmp(op, x, y));
+        }
+        if a == b {
+            return self.cst(fold_cmp(op, 0, 0));
+        }
+        if self.as_const(b) == Some(0) {
+            // ¬bool and double-negation normalization.
+            if let Node::Cmp(r, x, y) = self.node(a) {
+                match op {
+                    CmpOp::Eq => return self.cmp(negate_rel(r), x, y),
+                    CmpOp::Ne => return a,
+                    _ => {}
+                }
+            }
+            if op == CmpOp::Ne && self.term_is_bool(a) {
+                return a;
+            }
+        }
+        self.intern(Node::Cmp(op, a, b))
+    }
+
+    /// `if c ≠ 0 then t else e`.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        if let Some(cv) = self.as_const(c) {
+            return if cv != 0 { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        self.intern(Node::Ite(c, t, e))
+    }
+
+    /// Normalize a term to 0/1 truthiness (`≠ 0`).
+    pub fn boolify(&mut self, t: TermId) -> TermId {
+        if self.term_is_bool(t) {
+            return t;
+        }
+        let z = self.cst(0);
+        self.cmp(CmpOp::Ne, t, z)
+    }
+
+    /// Logical negation of a term's truthiness.
+    pub fn not(&mut self, t: TermId) -> TermId {
+        let z = self.cst(0);
+        self.cmp(CmpOp::Eq, t, z)
+    }
+
+    /// Logical and of two truthiness values.
+    pub fn and2(&mut self, a: TermId, b: TermId) -> TermId {
+        let (ba, bb) = (self.boolify(a), self.boolify(b));
+        self.bin(Bin::And, ba, bb)
+    }
+
+    /// Logical or of two truthiness values.
+    pub fn or2(&mut self, a: TermId, b: TermId) -> TermId {
+        let (ba, bb) = (self.boolify(a), self.boolify(b));
+        self.bin(Bin::Or, ba, bb)
+    }
+
+    /// `a ⇒ b` over truthiness values.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        let na = self.not(a);
+        self.or2(na, b)
+    }
+
+    /// The initial symbolic memory.
+    pub fn mem_init(&mut self) -> MemId {
+        self.intern_mem(MemNode::Init)
+    }
+
+    /// Store `val` into cell `addr` of `base`.
+    pub fn mem_store(&mut self, base: MemId, addr: TermId, val: TermId) -> MemId {
+        // Store-over-store to the same cell keeps only the newer value.
+        if let MemNode::Store(b2, a2, _) = self.mem_node(base) {
+            if a2 == addr {
+                return self.intern_mem(MemNode::Store(b2, addr, val));
+            }
+        }
+        self.intern_mem(MemNode::Store(base, addr, val))
+    }
+
+    /// `if c ≠ 0 then m1 else m2`.
+    pub fn mem_ite(&mut self, c: TermId, m1: MemId, m2: MemId) -> MemId {
+        if let Some(cv) = self.as_const(c) {
+            return if cv != 0 { m1 } else { m2 };
+        }
+        if m1 == m2 {
+            return m1;
+        }
+        self.intern_mem(MemNode::Ite(c, m1, m2))
+    }
+
+    /// Read cell `addr` of `mem`, resolving through the store chain
+    /// where addresses are syntactically equal or provably distinct.
+    pub fn sel(&mut self, mem: MemId, addr: TermId) -> TermId {
+        match self.mem_node(mem) {
+            MemNode::Store(base, a2, v) => {
+                if a2 == addr {
+                    return v;
+                }
+                if let (Some(x), Some(y)) = (self.as_const(a2), self.as_const(addr)) {
+                    if x != y {
+                        return self.sel(base, addr);
+                    }
+                }
+                self.intern(Node::Sel(mem, addr))
+            }
+            MemNode::Ite(c, m1, m2) => {
+                let t = self.sel(m1, addr);
+                let e = self.sel(m2, addr);
+                self.ite(c, t, e)
+            }
+            MemNode::Init => self.intern(Node::Sel(mem, addr)),
+        }
+    }
+
+    /// Evaluate `t` concretely: `vars[i]` binds `Var(i)` (missing vars
+    /// read as 0), `init` is the initial memory image by cell index
+    /// (missing cells read as 0, like a fresh [`needle_ir::Memory`]).
+    pub fn eval(&self, t: TermId, vars: &[u64], init: &HashMap<u64, u64>) -> u64 {
+        let mut memo: HashMap<TermId, u64> = HashMap::new();
+        self.eval_memo(t, vars, init, &mut memo)
+    }
+
+    fn eval_memo(
+        &self,
+        t: TermId,
+        vars: &[u64],
+        init: &HashMap<u64, u64>,
+        memo: &mut HashMap<TermId, u64>,
+    ) -> u64 {
+        if let Some(&v) = memo.get(&t) {
+            return v;
+        }
+        let v = match self.node(t) {
+            Node::Const(v) => v,
+            Node::Var(i) => vars.get(i as usize).copied().unwrap_or(0),
+            Node::Bin(op, a, b) => {
+                let x = self.eval_memo(a, vars, init, memo);
+                let y = self.eval_memo(b, vars, init, memo);
+                fold_bin(op, x, y)
+            }
+            Node::Cmp(op, a, b) => {
+                let x = self.eval_memo(a, vars, init, memo);
+                let y = self.eval_memo(b, vars, init, memo);
+                fold_cmp(op, x, y)
+            }
+            Node::Ite(c, th, el) => {
+                if self.eval_memo(c, vars, init, memo) != 0 {
+                    self.eval_memo(th, vars, init, memo)
+                } else {
+                    self.eval_memo(el, vars, init, memo)
+                }
+            }
+            Node::Sel(m, a) => {
+                let cell = self.eval_memo(a, vars, init, memo);
+                self.eval_mem(m, cell, vars, init, memo)
+            }
+        };
+        memo.insert(t, v);
+        v
+    }
+
+    fn eval_mem(
+        &self,
+        m: MemId,
+        cell: u64,
+        vars: &[u64],
+        init: &HashMap<u64, u64>,
+        memo: &mut HashMap<TermId, u64>,
+    ) -> u64 {
+        match self.mem_node(m) {
+            MemNode::Init => init.get(&cell).copied().unwrap_or(0),
+            MemNode::Store(base, a, v) => {
+                if self.eval_memo(a, vars, init, memo) == cell {
+                    self.eval_memo(v, vars, init, memo)
+                } else {
+                    self.eval_mem(base, cell, vars, init, memo)
+                }
+            }
+            MemNode::Ite(c, m1, m2) => {
+                if self.eval_memo(c, vars, init, memo) != 0 {
+                    self.eval_mem(m1, cell, vars, init, memo)
+                } else {
+                    self.eval_mem(m2, cell, vars, init, memo)
+                }
+            }
+        }
+    }
+}
+
+/// Result of [`lower`]: pure bit-vector roots plus the Ackermann
+/// expansion of initial-memory reads.
+pub struct Lowered {
+    /// Rewritten roots, memory-free.
+    pub roots: Vec<TermId>,
+    /// `(cell-address term, fresh read variable)` pairs, one per
+    /// distinct initial read.
+    pub reads: Vec<(TermId, TermId)>,
+    /// `(op, dividend, divisor, fresh result variable)` tuples, one per
+    /// distinct residual Div/Rem application.
+    pub divs: Vec<(Bin, TermId, TermId, TermId)>,
+    /// Congruence axioms: `addrᵢ = addrⱼ ⇒ readᵢ = readⱼ` for reads,
+    /// `aᵢ = aⱼ ∧ bᵢ = bⱼ ⇒ rᵢ = rⱼ` plus `b = 0 ⇒ r = 0` for
+    /// divisions; all must be assumed true alongside the roots.
+    pub axioms: Vec<TermId>,
+}
+
+/// Eliminate the memory sort from `roots`: push every select through
+/// its store chain (branching on address equality) and replace reads of
+/// the initial memory with fresh variables under congruence axioms.
+/// Residual `Div`/`Rem` nodes (the blaster has no divider circuit) are
+/// Ackermannized the same way: identical applications hash-cons to the
+/// same fresh variable, congruence covers structurally different but
+/// equal operands, and the `divisor = 0 ⇒ result = 0` axiom pins the
+/// one boundary case the concrete semantics define specially. The
+/// abstraction over-approximates, so UNSAT (a proof) stays sound; any
+/// spurious model is screened by the caller's concrete-replay gate.
+pub fn lower(pool: &mut Pool, roots: &[TermId]) -> Lowered {
+    struct Lowerer {
+        memo: HashMap<TermId, TermId>,
+        sel_memo: HashMap<(MemId, TermId), TermId>,
+        read_by_addr: HashMap<TermId, TermId>,
+        reads: Vec<(TermId, TermId)>,
+        div_by_app: HashMap<(Bin, TermId, TermId), TermId>,
+        divs: Vec<(Bin, TermId, TermId, TermId)>,
+    }
+    impl Lowerer {
+        fn term(&mut self, pool: &mut Pool, t: TermId) -> TermId {
+            if let Some(&r) = self.memo.get(&t) {
+                return r;
+            }
+            let r = match pool.node(t) {
+                Node::Const(_) | Node::Var(_) => t,
+                Node::Bin(op, a, b) => {
+                    let (x, y) = (self.term(pool, a), self.term(pool, b));
+                    let folded = pool.bin(op, x, y);
+                    if matches!(op, Bin::Div | Bin::Rem)
+                        && matches!(pool.node(folded), Node::Bin(Bin::Div | Bin::Rem, _, _))
+                    {
+                        *self.div_by_app.entry((op, x, y)).or_insert_with(|| {
+                            let v = pool.fresh_var();
+                            self.divs.push((op, x, y, v));
+                            v
+                        })
+                    } else {
+                        folded
+                    }
+                }
+                Node::Cmp(op, a, b) => {
+                    let (x, y) = (self.term(pool, a), self.term(pool, b));
+                    pool.cmp(op, x, y)
+                }
+                Node::Ite(c, th, el) => {
+                    let (c2, t2, e2) = (self.term(pool, c), self.term(pool, th), self.term(pool, el));
+                    pool.ite(c2, t2, e2)
+                }
+                Node::Sel(m, a) => {
+                    let a2 = self.term(pool, a);
+                    self.sel(pool, m, a2)
+                }
+            };
+            self.memo.insert(t, r);
+            r
+        }
+
+        fn sel(&mut self, pool: &mut Pool, m: MemId, addr: TermId) -> TermId {
+            if let Some(&r) = self.sel_memo.get(&(m, addr)) {
+                return r;
+            }
+            let r = match pool.mem_node(m) {
+                MemNode::Init => *self.read_by_addr.entry(addr).or_insert_with(|| {
+                    let v = pool.fresh_var();
+                    self.reads.push((addr, v));
+                    v
+                }),
+                MemNode::Store(base, a2, v) => {
+                    let a2l = self.term(pool, a2);
+                    let vl = self.term(pool, v);
+                    let hit = pool.cmp(CmpOp::Eq, addr, a2l);
+                    let miss = self.sel(pool, base, addr);
+                    pool.ite(hit, vl, miss)
+                }
+                MemNode::Ite(c, m1, m2) => {
+                    let cl = self.term(pool, c);
+                    let t = self.sel(pool, m1, addr);
+                    let e = self.sel(pool, m2, addr);
+                    pool.ite(cl, t, e)
+                }
+            };
+            self.sel_memo.insert((m, addr), r);
+            r
+        }
+    }
+
+    let mut lw = Lowerer {
+        memo: HashMap::new(),
+        sel_memo: HashMap::new(),
+        read_by_addr: HashMap::new(),
+        reads: Vec::new(),
+        div_by_app: HashMap::new(),
+        divs: Vec::new(),
+    };
+    let roots: Vec<TermId> = roots.iter().map(|&t| lw.term(pool, t)).collect();
+    let mut axioms = Vec::new();
+    for i in 0..lw.reads.len() {
+        for j in (i + 1)..lw.reads.len() {
+            let (ai, ri) = lw.reads[i];
+            let (aj, rj) = lw.reads[j];
+            let same_addr = pool.cmp(CmpOp::Eq, ai, aj);
+            let same_val = pool.cmp(CmpOp::Eq, ri, rj);
+            axioms.push(pool.implies(same_addr, same_val));
+        }
+    }
+    let zero = pool.cst(0);
+    for i in 0..lw.divs.len() {
+        let (_, _, bi, ri) = lw.divs[i];
+        let div_by_zero = pool.cmp(CmpOp::Eq, bi, zero);
+        let zero_result = pool.cmp(CmpOp::Eq, ri, zero);
+        axioms.push(pool.implies(div_by_zero, zero_result));
+        for j in (i + 1)..lw.divs.len() {
+            let (opi, ai, bi, ri) = lw.divs[i];
+            let (opj, aj, bj, rj) = lw.divs[j];
+            if opi != opj {
+                continue;
+            }
+            let same_a = pool.cmp(CmpOp::Eq, ai, aj);
+            let same_b = pool.cmp(CmpOp::Eq, bi, bj);
+            let same_app = pool.and2(same_a, same_b);
+            let same_val = pool.cmp(CmpOp::Eq, ri, rj);
+            axioms.push(pool.implies(same_app, same_val));
+        }
+    }
+    Lowered {
+        roots,
+        reads: lw.reads,
+        divs: lw.divs,
+        axioms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_mirrors_eval_pure() {
+        let cases: &[(Bin, u64, u64)] = &[
+            (Bin::Add, u64::MAX, 1),
+            (Bin::Sub, 0, 1),
+            (Bin::Mul, 0x8000_0000_0000_0000, 3),
+            (Bin::Div, 7, 0),
+            (Bin::Div, i64::MIN as u64, u64::MAX), // MIN / -1 wraps
+            (Bin::Rem, 7, 0),
+            (Bin::Rem, i64::MIN as u64, u64::MAX),
+            (Bin::Shl, 1, 64),  // amount masked to 0
+            (Bin::Shr, u64::MAX, 1), // arithmetic: stays all-ones
+        ];
+        let expect: &[u64] = &[
+            0,
+            (-1i64) as u64,
+            0x8000_0000_0000_0000u64.wrapping_mul(3),
+            0,
+            i64::MIN as u64, // wrapping_div(MIN, -1) == MIN
+            0,
+            0,
+            1,
+            u64::MAX,
+        ];
+        for ((op, a, b), want) in cases.iter().zip(expect) {
+            assert_eq!(fold_bin(*op, *a, *b), *want, "{op:?}({a:#x},{b:#x})");
+        }
+    }
+
+    #[test]
+    fn hash_consing_dedups_and_rewrites() {
+        let mut p = Pool::new();
+        let x = p.var(0);
+        let zero = p.cst(0);
+        assert_eq!(p.bin(Bin::Add, x, zero), x);
+        assert_eq!(p.bin(Bin::Xor, x, x), zero);
+        let a = p.bin(Bin::Add, x, x);
+        let b = p.bin(Bin::Add, x, x);
+        assert_eq!(a, b);
+        // ¬¬b normalizes back to b for comparison terms.
+        let c = p.cmp(CmpOp::Lt, x, zero);
+        let nc = p.not(c);
+        assert_eq!(p.not(nc), c);
+    }
+
+    #[test]
+    fn select_resolves_through_stores() {
+        let mut p = Pool::new();
+        let init = p.mem_init();
+        let (a1, a2) = (p.cst(1), p.cst(2));
+        let v = p.var(0);
+        let m = p.mem_store(init, a1, v);
+        assert_eq!(p.sel(m, a1), v);
+        // Distinct constant cells see through the store.
+        let under = p.sel(m, a2);
+        assert_eq!(under, p.sel(init, a2));
+    }
+
+    #[test]
+    fn lower_ackermannizes_init_reads() {
+        let mut p = Pool::new();
+        let init = p.mem_init();
+        let (x, y) = (p.var(0), p.var(1));
+        let r1 = p.sel(init, x);
+        let r2 = p.sel(init, y);
+        let diff = p.bin(Bin::Sub, r1, r2);
+        let lowered = lower(&mut p, &[diff]);
+        assert_eq!(lowered.reads.len(), 2);
+        assert_eq!(lowered.axioms.len(), 1);
+        // The lowered root is memory-free.
+        fn mem_free(p: &Pool, t: TermId) -> bool {
+            match p.node(t) {
+                Node::Sel(..) => false,
+                Node::Const(_) | Node::Var(_) => true,
+                Node::Bin(_, a, b) | Node::Cmp(_, a, b) => mem_free(p, a) && mem_free(p, b),
+                Node::Ite(c, a, b) => mem_free(p, c) && mem_free(p, a) && mem_free(p, b),
+            }
+        }
+        assert!(mem_free(&p, lowered.roots[0]));
+    }
+
+    #[test]
+    fn lower_ackermannizes_symbolic_division() {
+        let mut p = Pool::new();
+        let (x, y, z) = (p.var(0), p.var(1), p.var(2));
+        let d1 = p.bin(Bin::Div, x, y);
+        let d2 = p.bin(Bin::Div, x, z);
+        let r1 = p.bin(Bin::Rem, x, y);
+        let diff = p.bin(Bin::Sub, d1, d2);
+        let sum = p.bin(Bin::Add, diff, r1);
+        let lowered = lower(&mut p, &[sum]);
+        // Three distinct applications, each with a div-by-zero axiom,
+        // plus one same-op congruence pair (the two Divs).
+        assert_eq!(lowered.divs.len(), 3);
+        assert_eq!(lowered.axioms.len(), 4);
+        // Identical applications share one fresh variable: the two Div
+        // entries are distinct, but re-lowering d1 hits the memo.
+        fn div_free(p: &Pool, t: TermId) -> bool {
+            match p.node(t) {
+                Node::Bin(Bin::Div | Bin::Rem, _, _) => false,
+                Node::Const(_) | Node::Var(_) => true,
+                Node::Bin(_, a, b) | Node::Cmp(_, a, b) => div_free(p, a) && div_free(p, b),
+                Node::Ite(c, a, b) => div_free(p, c) && div_free(p, a) && div_free(p, b),
+                Node::Sel(..) => true,
+            }
+        }
+        assert!(div_free(&p, lowered.roots[0]));
+        // Constant divisions still fold instead of abstracting.
+        let c1 = p.cst(84);
+        let c2 = p.cst(2);
+        let folded = p.bin(Bin::Div, c1, c2);
+        let l2 = lower(&mut p, &[folded]);
+        assert_eq!(l2.divs.len(), 0);
+        assert!(matches!(p.node(l2.roots[0]), Node::Const(42)));
+    }
+
+    #[test]
+    fn eval_walks_store_chains() {
+        let mut p = Pool::new();
+        let init = p.mem_init();
+        let a = p.var(0);
+        let v = p.cst(7);
+        let m = p.mem_store(init, a, v);
+        let b = p.var(1);
+        let read = p.sel(m, b);
+        let mut image = HashMap::new();
+        image.insert(5u64, 99u64);
+        // b == a → sees the store; b elsewhere → sees the image.
+        assert_eq!(p.eval(read, &[3, 3], &image), 7);
+        assert_eq!(p.eval(read, &[3, 5], &image), 99);
+        assert_eq!(p.eval(read, &[3, 6], &image), 0);
+    }
+}

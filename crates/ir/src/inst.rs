@@ -120,6 +120,19 @@ impl Op {
         matches!(self, Op::Load | Op::Store)
     }
 
+    /// Minimum argument count [`eval_pure`](crate::interp::eval_pure)
+    /// reads. Callers must check this before evaluating: `eval_pure`
+    /// indexes its slice directly. Ops `eval_pure` rejects outright
+    /// (memory, calls, φ) report 0.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Select => 3,
+            Op::FSqrt | Op::IToF | Op::FToI => 1,
+            Op::Load | Op::Store | Op::Call(_) | Op::Phi => 0,
+            _ => 2,
+        }
+    }
+
     /// Mnemonic for printing.
     pub fn mnemonic(self) -> &'static str {
         match self {

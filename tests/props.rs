@@ -468,3 +468,130 @@ fn bl_numbering_counts_match_profile_on_suite_sample() {
         }
     }
 }
+
+/// Symbolic-vs-differential verdict agreement: for 300 seeded fuzz
+/// cases, the four-legged oracle in `check_case` must never report a
+/// `symeq:*` disagreement — in particular, any frame the certifier
+/// *proves* equivalent must never diverge under the concrete
+/// differential frame leg. The tally assertion keeps the property
+/// non-vacuous: a healthy share of seeds must actually reach `Proved`
+/// rather than skipping or timing out.
+#[test]
+fn symbolic_and_differential_verdicts_agree_over_fuzz_seeds() {
+    use needle::fuzz::FUZZ_MAX_STEPS;
+    use needle::{check_case, Invocation, SymLeg};
+    use needle_workloads::{fuzz_case, FuzzSpec};
+
+    let mut proved = 0u32;
+    let mut inconclusive = 0u32;
+    for seed in 0..300u64 {
+        let case = fuzz_case(&FuzzSpec {
+            seed,
+            ..FuzzSpec::default()
+        });
+        let inv = Invocation {
+            module: case.module,
+            func: case.func,
+            args: case.args,
+            memory: case.memory,
+        };
+        let out = check_case(&inv, FUZZ_MAX_STEPS)
+            .unwrap_or_else(|f| panic!("seed {seed}: oracle disagreement:\n{f:#?}"));
+        match out.symeq {
+            SymLeg::Proved => proved += 1,
+            SymLeg::Inconclusive => inconclusive += 1,
+            SymLeg::Skipped => {}
+        }
+    }
+    assert!(
+        proved >= 10,
+        "property is vacuous: {proved} of 300 seeds proved, {inconclusive} inconclusive"
+    );
+}
+
+/// The verdict cache round-trips decided verdicts across restarts and
+/// recovers from a torn tail: a crash mid-append costs at most the torn
+/// record, never the cache, and the recovered journal keeps accepting
+/// appends.
+#[test]
+fn verdict_cache_roundtrip_and_corruption_recovery() {
+    use needle::{certify_cached, CertStats, VerdictJournal};
+    use needle_frames::{frame_fingerprint, CertConfig, CertVerdict, FrameValue};
+
+    let dir = std::env::temp_dir().join(format!("needle-props-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("verdicts.jsonl");
+
+    let f = diamond_chain(&[(2, 1, 5)]);
+    let region = OffloadRegion::from_path(&[BlockId(0), BlockId(1), BlockId(3)], 1, 1.0);
+    let good = build_frame(&f, &region).unwrap();
+    // A miscompiled sibling: the live-out is pinned to a constant the
+    // region does not compute, so certification must refute it.
+    let mut bad = good.clone();
+    bad.live_outs[0].value = FrameValue::Const(Constant::Int(0x5EED));
+
+    let cfg = CertConfig::default();
+    let mut stats = CertStats::default();
+    {
+        let mut j = VerdictJournal::open(&path).unwrap();
+        let r = certify_cached(&f, &good, &cfg, Some(&mut j), &mut stats).unwrap();
+        assert!(!r.cached, "first certification cannot be a cache hit");
+        assert!(
+            matches!(r.cert.verdict, CertVerdict::Proved),
+            "clean frame must prove, got {:?}",
+            r.cert.verdict
+        );
+        let r = certify_cached(&f, &good, &cfg, Some(&mut j), &mut stats).unwrap();
+        assert!(r.cached && matches!(r.cert.verdict, CertVerdict::Proved));
+
+        let r = certify_cached(&f, &bad, &cfg, Some(&mut j), &mut stats).unwrap();
+        assert!(!r.cached);
+        assert!(
+            matches!(r.cert.verdict, CertVerdict::Refuted(_)),
+            "pinned live-out must be refuted, got {:?}",
+            r.cert.verdict
+        );
+        assert_eq!(j.len(), 2, "both decided verdicts recorded");
+    }
+    assert_eq!(stats.cache_hits, 1);
+
+    // Restart: both verdicts survive and answer from the cache; the
+    // refutation rehydrates with a full-width counterexample.
+    {
+        let mut j = VerdictJournal::open(&path).unwrap();
+        assert_eq!(j.recovered_drops, 0);
+        assert_eq!(j.len(), 2);
+        let r = certify_cached(&f, &good, &cfg, Some(&mut j), &mut stats).unwrap();
+        assert!(r.cached && matches!(r.cert.verdict, CertVerdict::Proved));
+        let r = certify_cached(&f, &bad, &cfg, Some(&mut j), &mut stats).unwrap();
+        assert!(r.cached);
+        let CertVerdict::Refuted(cex) = r.cert.verdict else {
+            panic!("refutation lost in round-trip");
+        };
+        assert_eq!(cex.live_ins.len(), bad.live_ins.len());
+    }
+
+    // Crash mid-append: a torn half-record on the tail.
+    {
+        use std::io::Write;
+        let mut fh = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        fh.write_all(b"{\"fp\":\"dead").unwrap();
+    }
+    let mut j = VerdictJournal::open(&path).unwrap();
+    assert_eq!(j.recovered_drops, 1, "torn tail record must be dropped");
+    assert_eq!(j.len(), 2, "valid prefix must survive the torn tail");
+    assert!(j.lookup(frame_fingerprint(&good)).is_some());
+
+    // The recovered journal keeps accepting appends: a third decided
+    // verdict lands and survives yet another restart.
+    let mut worse = good.clone();
+    worse.live_outs[0].value = FrameValue::Const(Constant::Int(0x0BAD));
+    let r = certify_cached(&f, &worse, &cfg, Some(&mut j), &mut stats).unwrap();
+    assert!(!r.cached && matches!(r.cert.verdict, CertVerdict::Refuted(_)));
+    drop(j);
+    let j = VerdictJournal::open(&path).unwrap();
+    assert_eq!(j.recovered_drops, 0, "recovery must leave a clean file");
+    assert_eq!(j.len(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
