@@ -126,6 +126,26 @@ USAGE:
       dropped store) — the cert gate must refuse it and keep the
       incumbent serving, and the soak verdict checks that it did.
       Deterministic in --seed; exits non-zero on any violation.
+  needle loadgen [--scenario S|all] [--seed N] [--shards N] [--workers N]
+                 [--no-adaptive-admission] [--out PATH] [--check]
+      Deterministic open-loop load generation against a virtual-time
+      simulation of the hardened serving stack (EDF queue + expired
+      sweep, AIMD adaptive admission, brownout ladder, metastable
+      detector + shed pulse). Arrivals follow the scenario curve
+      (steady | diurnal | burst | adversarial | retry-storm) regardless
+      of service health; clients retry under per-client budgets with
+      jittered exponential backoff, and the retry-storm scenario adds a
+      misbehaving-client population with near-zero backoff. retry-storm
+      always runs the hardened and baseline (FIFO + queue-full only)
+      models side by side; other scenarios honour
+      --no-adaptive-admission. Reports offered load, goodput, the shed
+      breakdown (queue-full / throttled / unmeetable), and exact
+      p50/p99/p999 latency per phase. Same seed → identical report
+      (modulo the generated_unix_ms stamp). --out writes the
+      needle-report/v1 JSON artifact; --check enforces the overload
+      gates (steady p999 ceiling; retry-storm goodput floor, detector
+      fire + recover, post-storm p99 recovery, and the
+      hardened-vs-baseline goodput gap) and exits non-zero on failure.
   needle audit <journal>
       Offline exactly-once audit of a durable dedup journal written by
       `soak --shard-chaos --ledger PATH`: replays the journal, checks
@@ -160,6 +180,7 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args),
         Some("serve") => cmd_serve(&args),
         Some("soak") => cmd_soak(&args),
+        Some("loadgen") => cmd_loadgen(&args),
         Some("audit") => cmd_audit(&args),
         Some("certify") => cmd_certify(&args),
         Some("print-ir") => with_workload(&args, cmd_print_ir),
@@ -779,7 +800,7 @@ fn cmd_adaptive_soak(args: &[String]) -> CliResult {
     let report = run_adaptive_soak(&cfg)?;
     println!("{report}");
     if let Some(path) = flag_value(args, "--out") {
-        std::fs::write(path, report.to_json().encode())?;
+        needle::report::write_report(std::path::Path::new(path), &report.to_json())?;
         println!("report written to {path}");
     }
     if !report.is_clean() {
@@ -788,6 +809,69 @@ fn cmd_adaptive_soak(args: &[String]) -> CliResult {
             report.violations.len()
         )
         .into());
+    }
+    Ok(())
+}
+
+/// The `loadgen` subcommand: deterministic open-loop arrival curves
+/// over the virtual-time simulation of the hardened serving stack, with
+/// retry-storm chaos and the overload gates behind --check.
+fn cmd_loadgen(args: &[String]) -> CliResult {
+    use needle::journal::Json;
+    use needle::{check_loadgen, run_loadgen, LoadgenConfig, Scenario};
+
+    let mut cfg = LoadgenConfig::default();
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = parse_seed(s)?;
+    }
+    if let Some(s) = flag_value(args, "--shards") {
+        cfg.shards = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--workers") {
+        cfg.workers_per_shard = s.parse()?;
+    }
+    if let Some(s) = flag_value(args, "--queue-depth") {
+        cfg.queue_depth = s.parse()?;
+    }
+    if args.iter().any(|a| a == "--no-adaptive-admission") {
+        cfg.adaptive_admission = false;
+    }
+    let scenarios: Vec<Scenario> = match flag_value(args, "--scenario") {
+        None | Some("all") => Scenario::all().to_vec(),
+        Some(s) => vec![s.parse()?],
+    };
+
+    let mut payloads = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for scenario in &scenarios {
+        cfg.scenario = *scenario;
+        let report = run_loadgen(&cfg);
+        print!("{report}");
+        let fails = check_loadgen(&report);
+        if fails.is_empty() {
+            println!("loadgen {scenario}: CLEAN");
+        } else {
+            for f in &fails {
+                println!("loadgen {scenario}: GATE FAILED: {f}");
+                failures.push(format!("{scenario}: {f}"));
+            }
+        }
+        println!();
+        payloads.push(report.data_json());
+    }
+
+    if let Some(path) = flag_value(args, "--out") {
+        let data = Json::Obj(vec![("scenarios".into(), Json::Arr(payloads))]);
+        let env = needle::report::envelope("loadgen", cfg.seed, &failures, data);
+        needle::report::write_report(std::path::Path::new(path), &env)?;
+        println!("report written to {path}");
+    }
+    println!(
+        "loadgen verdict: {}",
+        if failures.is_empty() { "CLEAN" } else { "GATES FAILED" }
+    );
+    if args.iter().any(|a| a == "--check") && !failures.is_empty() {
+        return Err(format!("loadgen failed {} overload gate(s)", failures.len()).into());
     }
     Ok(())
 }
@@ -872,13 +956,21 @@ fn cmd_certify(args: &[String]) -> CliResult {
     println!("\n{total}");
     if let Some(path) = flag_value(args, "--json") {
         use needle::journal::Json;
-        let arr = Json::Arr(reports.iter().map(|r| r.to_json()).collect());
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        std::fs::write(path, arr.encode())?;
+        let violations: Vec<String> = reports
+            .iter()
+            .flat_map(|r| {
+                r.frames
+                    .iter()
+                    .filter(|f| f.verdict == "refuted")
+                    .map(|f| format!("{}: path {} refuted", r.workload, f.path_id))
+            })
+            .collect();
+        let data = Json::Obj(vec![(
+            "workloads".into(),
+            Json::Arr(reports.iter().map(|r| r.to_json()).collect()),
+        )]);
+        let env = needle::report::envelope("certify", 0, &violations, data);
+        needle::report::write_report(std::path::Path::new(path), &env)?;
         println!("report written to {path}");
     }
     let refuted: usize = reports.iter().map(|r| r.refuted()).sum();

@@ -49,11 +49,15 @@ pub mod error;
 pub mod fuzz;
 pub mod governor;
 pub mod journal;
+pub mod loadgen;
 pub mod multi;
 pub mod offload;
+pub mod overload;
+pub mod report;
 pub mod serve;
 pub mod shard;
 pub mod supervisor;
+mod sync;
 
 pub use analysis::{analyze, analyze_hottest, Analysis, AnalysisError};
 pub use breaker::{Admission, BreakerState, CircuitBreaker};
@@ -73,6 +77,14 @@ pub use governor::{
     GovernorStats, PathCandidate, WorkloadObservation,
 };
 pub use journal::JournalError;
+pub use loadgen::{
+    check_loadgen, run_loadgen, ClientConfig, LoadgenConfig, LoadgenReport, LoadgenRun,
+    PhaseStats, Scenario,
+};
+pub use overload::{
+    AimdAdmission, AimdConfig, BrownoutConfig, BrownoutLadder, BrownoutLevel,
+    BrownoutTransition, DeadlineQueue, MetastableConfig, MetastableDetector, MetastableSignal,
+};
 pub use supervisor::{
     peek_journal, run_supervised, CampaignOptions, CampaignReport, CampaignUnit, UnitKind,
     UnitOutcome, UnitPayload, UnitReport,

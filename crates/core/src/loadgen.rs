@@ -1,0 +1,1407 @@
+//! `needle loadgen` — a deterministic, virtual-time, **open-loop** arrival
+//! driver for the serving stack.
+//!
+//! Every existing soak is closed-loop: the driver waits for a response
+//! before (re)submitting, so offered load can never exceed service
+//! capacity and the system is never observed where queueing theory says it
+//! actually breaks. This module is the complement: arrivals follow a
+//! scenario curve ([`Scenario`]) regardless of how the service is doing,
+//! clients retry with jittered exponential backoff under per-client retry
+//! budgets, and a *misbehaving-client* model can be configured into a full
+//! retry storm.
+//!
+//! The service under load is a single-threaded discrete-event simulation
+//! in virtual microseconds — no threads, no wall clock — built from the
+//! *same* overload-control components the threaded service runs
+//! ([`DeadlineQueue`], [`AimdAdmission`], [`BrownoutLadder`],
+//! [`MetastableDetector`]; see [`crate::overload`]). Same seed → identical
+//! report, bit for bit, modulo the envelope's `generated_unix_ms`.
+//!
+//! Two service models are simulated:
+//!
+//! * **hardened** — EDF queue with expired-entry sweep, AIMD adaptive
+//!   admission, the unmeetable-deadline estimate, the brownout ladder, and
+//!   the metastable detector + shed pulse: the post-hardening stack.
+//! * **baseline** — bounded FIFO with expiry checked at pop and
+//!   queue-full as the only admission signal: the pre-hardening stack
+//!   (`--no-adaptive-admission`).
+//!
+//! The [`Scenario::RetryStorm`] scenario always runs both side by side so
+//! the report carries the direct comparison the CI gate asserts: hardened
+//! goodput holds through the storm and recovers; baseline collapses.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::journal::Json;
+use crate::overload::{
+    AimdAdmission, AimdConfig, BrownoutConfig, BrownoutLadder, BrownoutLevel, DeadlineQueue,
+    MetastableConfig, MetastableDetector, MetastableSignal,
+};
+use crate::report;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Arrival-curve scenarios. Every scenario spans three equal virtual-time
+/// phases of [`LoadgenConfig::phase_us`] each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Constant offered load at comfortable utilization.
+    Steady,
+    /// Slow sinusoid between trough and peak (a day in three phases).
+    Diurnal,
+    /// Square-wave bursts to ~2× capacity over a calm baseline.
+    Burst,
+    /// Fast load oscillation around capacity, plus misbehaving clients
+    /// and an injected frame-abort storm in the middle phase.
+    Adversarial,
+    /// The headline chaos drill: normal load, then a storm phase at
+    /// several times capacity dominated by misbehaving clients, then
+    /// normal load again — the classic recipe for metastable collapse.
+    RetryStorm,
+}
+
+impl Scenario {
+    /// Every scenario, in report order.
+    pub fn all() -> [Scenario; 5] {
+        [
+            Scenario::Steady,
+            Scenario::Diurnal,
+            Scenario::Burst,
+            Scenario::Adversarial,
+            Scenario::RetryStorm,
+        ]
+    }
+
+    /// Per-phase display names.
+    fn phase_names(self) -> [&'static str; 3] {
+        match self {
+            Scenario::Steady => ["steady-a", "steady-b", "steady-c"],
+            Scenario::Diurnal => ["trough", "peak", "decline"],
+            Scenario::Burst => ["calm", "bursts", "calm-again"],
+            Scenario::Adversarial => ["probe", "assault", "aftermath"],
+            Scenario::RetryStorm => ["pre", "storm", "post"],
+        }
+    }
+}
+
+impl std::str::FromStr for Scenario {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Scenario, String> {
+        match s {
+            "steady" => Ok(Scenario::Steady),
+            "diurnal" => Ok(Scenario::Diurnal),
+            "burst" => Ok(Scenario::Burst),
+            "adversarial" => Ok(Scenario::Adversarial),
+            "retry-storm" => Ok(Scenario::RetryStorm),
+            other => Err(format!(
+                "unknown scenario {other:?} (steady|diurnal|burst|adversarial|retry-storm)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scenario::Steady => "steady",
+            Scenario::Diurnal => "diurnal",
+            Scenario::Burst => "burst",
+            Scenario::Adversarial => "adversarial",
+            Scenario::RetryStorm => "retry-storm",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Client retry behaviour. "Normal" clients respect their end-to-end
+/// deadline and a small retry budget with real exponential backoff;
+/// "storm" clients are the misbehaving population — a bigger budget,
+/// near-zero backoff, and they retry on *any* failure, deadline be damned.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Retries a normal client will attempt after its first failure.
+    pub retry_budget: u32,
+    /// Normal-client initial backoff (doubles per retry, jittered).
+    pub backoff_base_us: u64,
+    /// Backoff cap for both populations.
+    pub backoff_cap_us: u64,
+    /// Retries a misbehaving client will attempt.
+    pub storm_retry_budget: u32,
+    /// Misbehaving-client initial backoff — near zero is what makes the
+    /// storm a storm.
+    pub storm_backoff_us: u64,
+    /// Fraction of fresh arrivals that are misbehaving clients during a
+    /// storm/assault phase.
+    pub storm_fraction: f64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            retry_budget: 2,
+            backoff_base_us: 4_000,
+            backoff_cap_us: 64_000,
+            storm_retry_budget: 6,
+            storm_backoff_us: 500,
+            storm_fraction: 0.6,
+        }
+    }
+}
+
+/// Load-generator configuration. Everything is virtual time; `phase_us`
+/// of 3 s and a 1 ms mean service time simulate tens of thousands of
+/// requests in well under a CI second.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Seed for the arrival/service randomness (same seed → identical
+    /// report).
+    pub seed: u64,
+    /// Arrival curve.
+    pub scenario: Scenario,
+    /// Shards (requests route by `request id % shards`).
+    pub shards: usize,
+    /// Workers per shard.
+    pub workers_per_shard: usize,
+    /// Per-shard queue depth.
+    pub queue_depth: usize,
+    /// Mean service time, µs (uniform in `[0.5, 1.5) ×` mean).
+    pub service_us: u64,
+    /// Per-attempt deadline budget, µs.
+    pub deadline_us: u64,
+    /// Virtual duration of each of the three phases, µs.
+    pub phase_us: u64,
+    /// Overload-control window (ladder tick + metastable window), µs.
+    pub window_us: u64,
+    /// Every Nth request carries the streaming-profiler sampling cost.
+    pub sample_period: u64,
+    /// Hardened (true) or baseline (false) service model for scenarios
+    /// other than [`Scenario::RetryStorm`], which always runs both.
+    pub adaptive_admission: bool,
+    /// Client populations.
+    pub client: ClientConfig,
+    /// Pin the brownout ladder at a level (property tests); `None` lets
+    /// the ladder run.
+    pub force_brownout: Option<BrownoutLevel>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            seed: 42,
+            scenario: Scenario::Steady,
+            shards: 3,
+            workers_per_shard: 4,
+            queue_depth: 256,
+            service_us: 1_000,
+            deadline_us: 8_000,
+            phase_us: 3_000_000,
+            window_us: 100_000,
+            sample_period: 16,
+            adaptive_admission: true,
+            client: ClientConfig::default(),
+            force_brownout: None,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// A shrunken configuration for unit/property tests: same shape,
+    /// ~20× fewer events.
+    pub fn quick(seed: u64, scenario: Scenario) -> LoadgenConfig {
+        LoadgenConfig {
+            seed,
+            scenario,
+            shards: 2,
+            workers_per_shard: 2,
+            queue_depth: 64,
+            service_us: 500,
+            deadline_us: 4_000,
+            phase_us: 300_000,
+            window_us: 25_000,
+            ..LoadgenConfig::default()
+        }
+    }
+}
+
+// Service-model constants (virtual-time cost model).
+/// Sampled requests carry the streaming-profiler overhead.
+const SAMPLE_FACTOR: f64 = 1.25;
+/// Frame offload speeds an offloadable request up…
+const OFFLOAD_FACTOR: f64 = 0.85;
+/// …unless the frame aborts, which costs rollback + host re-execution.
+const ABORT_PENALTY: f64 = 1.4;
+/// Baseline abort probability for offloaded invocations.
+const ABORT_RATE: f64 = 0.02;
+/// Injected abort probability during the adversarial assault phase.
+const ABORT_RATE_ADVERSARIAL: f64 = 0.25;
+/// Governor re-rank maintenance: period and per-shard worker cost.
+const RERANK_PERIOD_US: u64 = 500_000;
+const RERANK_COST_US: u64 = 2_000;
+/// Metastable shed pulse duration.
+const PULSE_US: u64 = 150_000;
+
+// ---------------------------------------------------------------------------
+// Report types
+// ---------------------------------------------------------------------------
+
+/// Counters and latency percentiles for one phase of one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Phase display name.
+    pub name: String,
+    /// Attempts offered (fresh + retries).
+    pub offered: u64,
+    /// First attempts.
+    pub fresh: u64,
+    /// Retry attempts.
+    pub retries: u64,
+    /// Attempts admitted into a queue.
+    pub accepted: u64,
+    /// Admitted attempts that completed within deadline.
+    pub completed: u64,
+    /// Admitted attempts cancelled mid-run at their deadline (pure waste:
+    /// the worker time is spent, nothing is produced).
+    pub cancelled: u64,
+    /// Admitted attempts that expired in queue (swept or found dead at
+    /// pop).
+    pub expired: u64,
+    /// Shed at admission: queue full.
+    pub shed_queue_full: u64,
+    /// Shed at admission: AIMD gate or active shed pulse.
+    pub shed_throttled: u64,
+    /// Shed at admission: estimated wait says the deadline is unmeetable.
+    pub shed_unmeetable: u64,
+    /// Admitted attempts flushed by a metastable shed pulse.
+    pub pulse_flushed: u64,
+    /// Exact completion-latency percentiles (accept→complete), µs.
+    pub p50_us: u64,
+    /// 99th percentile latency, µs.
+    pub p99_us: u64,
+    /// 99.9th percentile latency, µs.
+    pub p999_us: u64,
+}
+
+impl PhaseStats {
+    /// Everything that happened to an *accepted* attempt.
+    pub fn accepted_outcomes(&self) -> u64 {
+        self.completed + self.cancelled + self.expired + self.pulse_flushed
+    }
+
+    /// Everything shed at admission.
+    pub fn admission_sheds(&self) -> u64 {
+        self.shed_queue_full + self.shed_throttled + self.shed_unmeetable
+    }
+
+    fn to_json(&self, phase_s: f64) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("offered".into(), Json::Int(self.offered as i64)),
+            ("fresh".into(), Json::Int(self.fresh as i64)),
+            ("retries".into(), Json::Int(self.retries as i64)),
+            ("accepted".into(), Json::Int(self.accepted as i64)),
+            ("completed".into(), Json::Int(self.completed as i64)),
+            ("cancelled".into(), Json::Int(self.cancelled as i64)),
+            ("expired".into(), Json::Int(self.expired as i64)),
+            ("shed_queue_full".into(), Json::Int(self.shed_queue_full as i64)),
+            ("shed_throttled".into(), Json::Int(self.shed_throttled as i64)),
+            ("shed_unmeetable".into(), Json::Int(self.shed_unmeetable as i64)),
+            ("pulse_flushed".into(), Json::Int(self.pulse_flushed as i64)),
+            (
+                "offered_per_s".into(),
+                Json::Float(self.offered as f64 / phase_s),
+            ),
+            (
+                "goodput_per_s".into(),
+                Json::Float(self.completed as f64 / phase_s),
+            ),
+            ("p50_us".into(), Json::Int(self.p50_us as i64)),
+            ("p99_us".into(), Json::Int(self.p99_us as i64)),
+            ("p999_us".into(), Json::Int(self.p999_us as i64)),
+        ])
+    }
+}
+
+/// One simulated service run (one mode) across the three phases.
+#[derive(Clone, Debug)]
+pub struct LoadgenRun {
+    /// `"hardened"` or `"baseline"`.
+    pub mode: String,
+    /// Per-phase stats, in time order.
+    pub phases: Vec<PhaseStats>,
+    /// Virtual-time overload events (brownout transitions, metastable
+    /// fire/recover, pulse end), `(t_us, description)`.
+    pub timeline: Vec<(u64, String)>,
+    /// Brownout ladder movement over the whole run.
+    pub brownout_descents: u64,
+    /// Ladder ascents (recoveries).
+    pub brownout_ascents: u64,
+    /// Deepest level reached.
+    pub brownout_max_level: u8,
+    /// Governor re-rank ticks skipped because the ladder shed re-ranking.
+    pub rerank_skipped: u64,
+    /// Metastable detector firings.
+    pub metastable_fired: u64,
+    /// Metastable recoveries.
+    pub metastable_recovered: u64,
+    /// Mean final AIMD acceptance rate across shards (1.0 for baseline).
+    pub aimd_final_rate: f64,
+    /// Accounting-invariant violations (empty = clean).
+    pub violations: Vec<String>,
+}
+
+impl LoadgenRun {
+    /// Goodput of the disturbed phases (2+3) relative to the first phase
+    /// — the retry-storm resilience headline.
+    pub fn goodput_ratio(&self) -> f64 {
+        let pre = self.phases[0].completed.max(1) as f64;
+        let rest: u64 = self.phases[1..].iter().map(|p| p.completed).sum();
+        rest as f64 / (2.0 * pre)
+    }
+
+    fn to_json(&self, phase_s: f64) -> Json {
+        Json::Obj(vec![
+            ("mode".into(), Json::Str(self.mode.clone())),
+            (
+                "phases".into(),
+                Json::Arr(self.phases.iter().map(|p| p.to_json(phase_s)).collect()),
+            ),
+            ("goodput_ratio".into(), Json::Float(self.goodput_ratio())),
+            (
+                "brownout".into(),
+                Json::Obj(vec![
+                    ("descents".into(), Json::Int(self.brownout_descents as i64)),
+                    ("ascents".into(), Json::Int(self.brownout_ascents as i64)),
+                    ("max_level".into(), Json::Int(self.brownout_max_level as i64)),
+                    ("rerank_skipped".into(), Json::Int(self.rerank_skipped as i64)),
+                ]),
+            ),
+            (
+                "metastable".into(),
+                Json::Obj(vec![
+                    ("fired".into(), Json::Int(self.metastable_fired as i64)),
+                    ("recovered".into(), Json::Int(self.metastable_recovered as i64)),
+                ]),
+            ),
+            ("aimd_final_rate".into(), Json::Float(self.aimd_final_rate)),
+            (
+                "timeline".into(),
+                Json::Arr(
+                    self.timeline
+                        .iter()
+                        .map(|(t, s)| {
+                            Json::Obj(vec![
+                                ("t_us".into(), Json::Int(*t as i64)),
+                                ("event".into(), Json::Str(s.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "violations".into(),
+                Json::Arr(self.violations.iter().map(|v| Json::Str(v.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+/// The full loadgen report for one scenario (one or two runs).
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Scenario driven.
+    pub scenario: Scenario,
+    /// Seed.
+    pub seed: u64,
+    /// Configuration echo for the report reader.
+    pub config: LoadgenConfig,
+    /// Hardened first; baseline second when present.
+    pub runs: Vec<LoadgenRun>,
+}
+
+impl LoadgenReport {
+    /// The run for a mode, if present.
+    pub fn run(&self, mode: &str) -> Option<&LoadgenRun> {
+        self.runs.iter().find(|r| r.mode == mode)
+    }
+
+    /// Report payload (no envelope) — used directly when several
+    /// scenarios are combined into one artifact.
+    pub fn data_json(&self) -> Json {
+        let phase_s = self.config.phase_us as f64 / 1_000_000.0;
+        Json::Obj(vec![
+            ("scenario".into(), Json::Str(self.scenario.to_string())),
+            ("shards".into(), Json::Int(self.config.shards as i64)),
+            (
+                "workers_per_shard".into(),
+                Json::Int(self.config.workers_per_shard as i64),
+            ),
+            ("queue_depth".into(), Json::Int(self.config.queue_depth as i64)),
+            ("service_us".into(), Json::Int(self.config.service_us as i64)),
+            ("deadline_us".into(), Json::Int(self.config.deadline_us as i64)),
+            ("phase_us".into(), Json::Int(self.config.phase_us as i64)),
+            ("window_us".into(), Json::Int(self.config.window_us as i64)),
+            (
+                "runs".into(),
+                Json::Arr(self.runs.iter().map(|r| r.to_json(phase_s)).collect()),
+            ),
+        ])
+    }
+
+    /// The report in the shared `needle-report/v1` envelope; `violations`
+    /// carries both accounting-invariant violations and gate failures
+    /// from [`check_loadgen`].
+    pub fn to_json(&self) -> Json {
+        report::envelope("loadgen", self.seed, &check_loadgen(self), self.data_json())
+    }
+}
+
+impl std::fmt::Display for LoadgenReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "loadgen {} (seed {}): {} shard(s) × {} worker(s), service ~{}µs, deadline {}µs",
+            self.scenario,
+            self.seed,
+            self.config.shards,
+            self.config.workers_per_shard,
+            self.config.service_us,
+            self.config.deadline_us
+        )?;
+        for run in &self.runs {
+            writeln!(f, "  [{}]", run.mode)?;
+            for p in &run.phases {
+                writeln!(
+                    f,
+                    "    {:<12} offered {:>7} (fresh {:>6} + retry {:>6})  accepted {:>6}  \
+                     goodput {:>6}  shed qf/thr/unm {:>5}/{:>5}/{:>5}  exp {:>5}  cancel {:>4}  \
+                     p50/p99/p999 {:>5}/{:>5}/{:>5}µs",
+                    p.name,
+                    p.offered,
+                    p.fresh,
+                    p.retries,
+                    p.accepted,
+                    p.completed,
+                    p.shed_queue_full,
+                    p.shed_throttled,
+                    p.shed_unmeetable,
+                    p.expired,
+                    p.cancelled,
+                    p.p50_us,
+                    p.p99_us,
+                    p.p999_us
+                )?;
+            }
+            writeln!(
+                f,
+                "    goodput ratio (disturbed/pre): {:.3}; brownout {} down / {} up (max level {}); \
+                 metastable {} fired / {} recovered; aimd rate {:.2}",
+                run.goodput_ratio(),
+                run.brownout_descents,
+                run.brownout_ascents,
+                run.brownout_max_level,
+                run.metastable_fired,
+                run.metastable_recovered,
+                run.aimd_final_rate
+            )?;
+            for (t, e) in &run.timeline {
+                writeln!(f, "      t={:>9}µs {}", t, e)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gates
+// ---------------------------------------------------------------------------
+
+/// Gate the report: accounting invariants on every run, plus
+/// scenario-specific assertions. Returns failures (empty = pass); the CLI
+/// `--check` flag turns them into a non-zero exit.
+pub fn check_loadgen(report: &LoadgenReport) -> Vec<String> {
+    let mut fails = Vec::new();
+    for run in &report.runs {
+        for v in &run.violations {
+            fails.push(format!("[{}] {v}", run.mode));
+        }
+    }
+    match report.scenario {
+        Scenario::Steady => {
+            if let Some(h) = report.run("hardened") {
+                let ceiling = report.config.deadline_us / 2;
+                for p in &h.phases {
+                    if p.p999_us > ceiling {
+                        fails.push(format!(
+                            "[hardened] steady p999 {}µs exceeds ceiling {}µs in phase {}",
+                            p.p999_us, ceiling, p.name
+                        ));
+                    }
+                }
+                if h.metastable_fired > 0 {
+                    fails.push(format!(
+                        "[hardened] metastable detector fired {} time(s) under steady load",
+                        h.metastable_fired
+                    ));
+                }
+            }
+        }
+        Scenario::RetryStorm => {
+            let hardened = report.run("hardened");
+            let baseline = report.run("baseline");
+            if let Some(h) = hardened {
+                let ratio = h.goodput_ratio();
+                if ratio < 0.70 {
+                    fails.push(format!(
+                        "[hardened] storm goodput ratio {ratio:.3} below the 0.70 floor"
+                    ));
+                }
+                if h.metastable_fired == 0 {
+                    fails.push("[hardened] metastable detector never fired".into());
+                }
+                if h.metastable_recovered == 0 {
+                    fails.push("[hardened] metastable episode never recovered".into());
+                }
+                let (pre, post) = (&h.phases[0], &h.phases[2]);
+                if post.p99_us > pre.p99_us.saturating_mul(2).max(report.config.service_us * 4) {
+                    fails.push(format!(
+                        "[hardened] post-storm p99 {}µs did not recover (pre-storm {}µs)",
+                        post.p99_us, pre.p99_us
+                    ));
+                }
+            } else {
+                fails.push("retry-storm report is missing the hardened run".into());
+            }
+            if let Some(b) = baseline {
+                let ratio = b.goodput_ratio();
+                if ratio >= 0.50 {
+                    fails.push(format!(
+                        "[baseline] expected goodput collapse, got ratio {ratio:.3}"
+                    ));
+                }
+                if let Some(h) = hardened {
+                    let gap = h.goodput_ratio() - ratio;
+                    if gap < 0.25 {
+                        fails.push(format!(
+                            "hardened-vs-baseline goodput gap {gap:.3} below the 0.25 floor"
+                        ));
+                    }
+                }
+            } else {
+                fails.push("retry-storm report is missing the baseline run".into());
+            }
+        }
+        _ => {}
+    }
+    fails
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+/// One client attempt (a fresh request or a retry of one).
+#[derive(Clone, Debug)]
+struct Attempt {
+    /// Request id: routing key and offload/sampling parity (stable across
+    /// retries of the same request).
+    req: u64,
+    /// Misbehaving client?
+    storm: bool,
+    /// Retries remaining after this attempt.
+    tries_left: u32,
+    /// Backoff to apply before the *next* retry (doubles, jittered).
+    next_backoff_us: u64,
+    /// End-to-end deadline of the original request — a normal client
+    /// stops retrying past it.
+    giveup_us: u64,
+    /// Set at arrival: this attempt's admission time and deadline.
+    arrival_us: u64,
+    /// This attempt's absolute deadline (arrival + budget).
+    deadline_us: u64,
+    /// Is this a retry (for the fresh/retry split)?
+    retry: bool,
+}
+
+enum EvKind {
+    /// A fresh request arrives; also schedules the next fresh arrival.
+    Fresh,
+    /// A retry attempt arrives.
+    Retry(Attempt),
+    /// A started attempt finishes (`completed`) or is cancelled at its
+    /// deadline (`!completed`).
+    Done {
+        shard: usize,
+        attempt: Attempt,
+        completed: bool,
+    },
+    /// Overload-control window: ladder tick + metastable window.
+    Window,
+    /// Governor re-rank maintenance tick.
+    Rerank,
+    /// A shard's re-rank finished; the worker frees up.
+    RerankDone { shard: usize },
+}
+
+struct Ev {
+    t: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (t, seq): deterministic order for simultaneous events.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+enum SimQueue {
+    Edf(DeadlineQueue<Attempt>),
+    Fifo(VecDeque<Attempt>, usize),
+}
+
+impl SimQueue {
+    fn len(&self) -> usize {
+        match self {
+            SimQueue::Edf(q) => q.len(),
+            SimQueue::Fifo(q, _) => q.len(),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            SimQueue::Edf(q) => q.is_full(),
+            SimQueue::Fifo(q, cap) => q.len() >= *cap,
+        }
+    }
+
+    fn push(&mut self, a: Attempt) {
+        match self {
+            SimQueue::Edf(q) => {
+                let deadline = a.deadline_us;
+                q.push(deadline, a).ok();
+            }
+            SimQueue::Fifo(q, _) => q.push_back(a),
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Attempt> {
+        match self {
+            SimQueue::Edf(q) => q.drain_all(),
+            SimQueue::Fifo(q, _) => q.drain(..).collect(),
+        }
+    }
+}
+
+struct SimShard {
+    queue: SimQueue,
+    free_workers: usize,
+    admission: Option<AimdAdmission>,
+    /// EWMA of observed service times, µs (the unmeetable estimate).
+    ewma_us: f64,
+}
+
+/// Per-phase accumulator (latencies kept raw for exact percentiles).
+#[derive(Default)]
+struct PhaseAcc {
+    stats: PhaseStats,
+    latencies: Vec<u64>,
+}
+
+struct Sim<'a> {
+    cfg: &'a LoadgenConfig,
+    hardened: bool,
+    rng: StdRng,
+    heap: BinaryHeap<Ev>,
+    seq: u64,
+    now: u64,
+    end: u64,
+    shards: Vec<SimShard>,
+    phases: [PhaseAcc; 3],
+    ladder: BrownoutLadder,
+    level: BrownoutLevel,
+    detector: MetastableDetector,
+    pulse_until: u64,
+    timeline: Vec<(u64, String)>,
+    rerank_skipped: u64,
+    brownout_max_level: u8,
+    metastable_fired: u64,
+    metastable_recovered: u64,
+    /// Fresh arrivals / completions since the last window (the detector's
+    /// offered-vs-goodput view: *exogenous* demand vs goodput).
+    window_fresh: u64,
+    window_completed: u64,
+    next_req: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a LoadgenConfig, hardened: bool) -> Sim<'a> {
+        let seed = cfg.seed ^ if hardened { 0 } else { 0x9E37_79B9_7F4A_7C15 };
+        let shards = (0..cfg.shards.max(1))
+            .map(|_| SimShard {
+                queue: if hardened {
+                    SimQueue::Edf(DeadlineQueue::new(cfg.queue_depth.max(1)))
+                } else {
+                    SimQueue::Fifo(VecDeque::new(), cfg.queue_depth.max(1))
+                },
+                free_workers: cfg.workers_per_shard.max(1),
+                admission: hardened.then(|| {
+                    AimdAdmission::new(AimdConfig {
+                        // Tight latency target + slow additive recovery:
+                        // sustained overload winds admission down hard, and
+                        // the wind-down itself is the metastable state the
+                        // detector + pulse must break.
+                        target_fraction: 0.35,
+                        increase: 0.000_1,
+                        ..AimdConfig::default()
+                    })
+                }),
+                ewma_us: cfg.service_us as f64,
+            })
+            .collect();
+        let mut ladder = BrownoutLadder::new(BrownoutConfig::default());
+        if let Some(level) = cfg.force_brownout {
+            ladder.force_level(level);
+        }
+        let level = ladder.level();
+        let names = cfg.scenario.phase_names();
+        let mut phases: [PhaseAcc; 3] = Default::default();
+        for (i, acc) in phases.iter_mut().enumerate() {
+            acc.stats.name = names[i].to_string();
+        }
+        Sim {
+            cfg,
+            hardened,
+            rng: StdRng::seed_from_u64(seed),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            end: cfg.phase_us * 3,
+            shards,
+            phases,
+            ladder,
+            level,
+            detector: MetastableDetector::new(MetastableConfig {
+                // Post-storm offered load includes normal-client retries,
+                // so "normal" needs headroom above the pre-storm baseline;
+                // the storm itself is still far outside the band.
+                normal_load_fraction: 3.0,
+                recover_fraction: 0.6,
+                ..MetastableConfig::default()
+            }),
+            pulse_until: 0,
+            timeline: Vec::new(),
+            rerank_skipped: 0,
+            brownout_max_level: level.as_u8(),
+            metastable_fired: 0,
+            metastable_recovered: 0,
+            window_fresh: 0,
+            window_completed: 0,
+            next_req: 0,
+        }
+    }
+
+    fn schedule(&mut self, t: u64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Ev { t, seq, kind });
+    }
+
+    fn phase_idx(&self, t: u64) -> usize {
+        ((t / self.cfg.phase_us.max(1)) as usize).min(2)
+    }
+
+    /// Offered-load multiplier (× total service capacity) at `t`.
+    fn rate_multiplier(&self, t: u64) -> f64 {
+        let total = self.end as f64;
+        let x = t as f64 / total;
+        match self.cfg.scenario {
+            Scenario::Steady => 0.6,
+            Scenario::Diurnal => {
+                0.55 + 0.35 * (2.0 * std::f64::consts::PI * x - std::f64::consts::FRAC_PI_2).sin()
+            }
+            Scenario::Burst => {
+                let in_burst_phase = self.phase_idx(t) == 1;
+                let slot = (t / 250_000).is_multiple_of(2);
+                if in_burst_phase && slot {
+                    2.0
+                } else {
+                    0.45
+                }
+            }
+            Scenario::Adversarial => {
+                0.7 + 0.5 * (2.0 * std::f64::consts::PI * 8.0 * x).sin()
+            }
+            Scenario::RetryStorm => {
+                if self.phase_idx(t) == 1 {
+                    6.0
+                } else {
+                    0.7
+                }
+            }
+        }
+    }
+
+    /// Fraction of fresh arrivals that are misbehaving clients at `t`.
+    fn storm_fraction(&self, t: u64) -> f64 {
+        let mid = self.phase_idx(t) == 1;
+        match self.cfg.scenario {
+            Scenario::RetryStorm if mid => self.cfg.client.storm_fraction,
+            Scenario::Adversarial if mid => self.cfg.client.storm_fraction * 0.5,
+            _ => 0.0,
+        }
+    }
+
+    /// Frame-abort probability at `t`.
+    fn abort_rate(&self, t: u64) -> f64 {
+        if self.cfg.scenario == Scenario::Adversarial && self.phase_idx(t) == 1 {
+            ABORT_RATE_ADVERSARIAL
+        } else {
+            ABORT_RATE
+        }
+    }
+
+    /// Arrival rate in requests per µs at `t`.
+    fn lambda(&self, t: u64) -> f64 {
+        let capacity_per_us = (self.cfg.shards.max(1) * self.cfg.workers_per_shard.max(1)) as f64
+            / self.cfg.service_us.max(1) as f64;
+        self.rate_multiplier(t) * capacity_per_us
+    }
+
+    fn schedule_next_fresh(&mut self, from: u64) {
+        let lam = self.lambda(from).max(1e-9);
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let dt = (-(1.0 - u).ln() / lam).min(self.cfg.phase_us as f64) as u64;
+        let t = from + dt.max(1);
+        if t < self.end {
+            self.schedule(t, EvKind::Fresh);
+        }
+    }
+
+    /// Draw this attempt's service time, applying the brownout-dependent
+    /// cost model.
+    fn draw_service(&mut self, req: u64) -> u64 {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let mut s = self.cfg.service_us as f64 * (0.5 + u);
+        if req.is_multiple_of(self.cfg.sample_period.max(1)) && !self.level.sheds_sampling() {
+            s *= SAMPLE_FACTOR;
+        }
+        if req.is_multiple_of(2) && !self.level.sheds_offload() {
+            let a: f64 = self.rng.gen_range(0.0..1.0);
+            if a < self.abort_rate(self.now) {
+                s *= ABORT_PENALTY;
+            } else {
+                s *= OFFLOAD_FACTOR;
+            }
+        }
+        (s as u64).max(1)
+    }
+
+    /// Client reaction to a failed attempt: schedule a retry when budget,
+    /// backoff, and (for normal clients) the original deadline allow.
+    fn client_retry(&mut self, mut a: Attempt, t: u64) {
+        if a.tries_left == 0 {
+            return;
+        }
+        if !a.storm && t >= a.giveup_us {
+            return;
+        }
+        a.tries_left -= 1;
+        a.retry = true;
+        let jitter: f64 = self.rng.gen_range(0.5..1.5);
+        let wait = ((a.next_backoff_us as f64 * jitter) as u64).max(1);
+        a.next_backoff_us = (a.next_backoff_us * 2).min(self.cfg.client.backoff_cap_us);
+        self.schedule(t + wait, EvKind::Retry(a));
+    }
+
+    /// Start queued work on any free worker of `shard`.
+    fn dispatch(&mut self, si: usize) {
+        let now = self.now;
+        loop {
+            if self.shards[si].free_workers == 0 {
+                return;
+            }
+            // Expired-entry handling differs by discipline: EDF sweeps in
+            // bulk before any dequeue; FIFO discovers corpses one pop at a
+            // time.
+            let next = match &mut self.shards[si].queue {
+                SimQueue::Edf(q) => {
+                    let expired = q.sweep_expired(now);
+                    if !expired.is_empty() {
+                        let pi = self.phase_idx(now);
+                        self.phases[pi].stats.expired += expired.len() as u64;
+                        if let Some(adm) = self.shards[si].admission.as_mut() {
+                            for _ in 0..expired.len() {
+                                adm.on_expiry();
+                            }
+                        }
+                        for a in expired {
+                            self.client_retry(a, now);
+                        }
+                        continue;
+                    }
+                    q.pop()
+                }
+                SimQueue::Fifo(q, _) => match q.pop_front() {
+                    Some(a) if a.deadline_us <= now => {
+                        let pi = self.phase_idx(now);
+                        self.phases[pi].stats.expired += 1;
+                        self.client_retry(a, now);
+                        continue;
+                    }
+                    other => other,
+                },
+            };
+            let Some(attempt) = next else { return };
+            let s = self.draw_service(attempt.req);
+            self.shards[si].free_workers -= 1;
+            let (finish, completed) = if now + s <= attempt.deadline_us {
+                (now + s, true)
+            } else {
+                // Cancelled at the deadline: the worker burns the
+                // remaining budget and produces nothing.
+                (attempt.deadline_us, false)
+            };
+            self.schedule(
+                finish,
+                EvKind::Done {
+                    shard: si,
+                    attempt,
+                    completed,
+                },
+            );
+        }
+    }
+
+    /// Admission for one arriving attempt.
+    fn arrive(&mut self, mut a: Attempt) {
+        let now = self.now;
+        a.arrival_us = now;
+        a.deadline_us = now + self.cfg.deadline_us;
+        if !a.retry {
+            a.giveup_us = a.deadline_us;
+            self.window_fresh += 1;
+        }
+        let pi = self.phase_idx(now);
+        self.phases[pi].stats.offered += 1;
+        if a.retry {
+            self.phases[pi].stats.retries += 1;
+        } else {
+            self.phases[pi].stats.fresh += 1;
+        }
+        let si = (a.req as usize) % self.shards.len();
+
+        // Shed pulse: reject everything while it lasts.
+        if self.pulse_until > now {
+            self.phases[pi].stats.shed_throttled += 1;
+            self.client_retry(a, now);
+            return;
+        }
+        // AIMD gate.
+        if let Some(adm) = self.shards[si].admission.as_mut() {
+            if !adm.admit() {
+                self.phases[pi].stats.shed_throttled += 1;
+                self.client_retry(a, now);
+                return;
+            }
+        }
+        // Queue capacity.
+        if self.shards[si].queue.is_full() {
+            self.phases[pi].stats.shed_queue_full += 1;
+            self.client_retry(a, now);
+            return;
+        }
+        // Unmeetable estimate (hardened only): queue wait plus one
+        // service must fit the budget.
+        if self.hardened {
+            let sh = &self.shards[si];
+            let wait_est = sh.queue.len() as f64 / self.cfg.workers_per_shard.max(1) as f64
+                * sh.ewma_us
+                + sh.ewma_us;
+            if now + wait_est as u64 > a.deadline_us {
+                self.phases[pi].stats.shed_unmeetable += 1;
+                self.client_retry(a, now);
+                return;
+            }
+        }
+        self.phases[pi].stats.accepted += 1;
+        self.shards[si].queue.push(a);
+        self.dispatch(si);
+    }
+
+    fn on_done(&mut self, si: usize, attempt: Attempt, completed: bool) {
+        let now = self.now;
+        self.shards[si].free_workers += 1;
+        let pi = self.phase_idx(now);
+        if completed {
+            let latency = now - attempt.arrival_us;
+            let service_obs = latency.min(now.saturating_sub(attempt.arrival_us));
+            self.phases[pi].stats.completed += 1;
+            self.phases[pi].latencies.push(latency);
+            self.window_completed += 1;
+            let sh = &mut self.shards[si];
+            sh.ewma_us = 0.8 * sh.ewma_us + 0.2 * service_obs as f64;
+            if let Some(adm) = sh.admission.as_mut() {
+                adm.on_completion(latency, self.cfg.deadline_us);
+            }
+        } else {
+            self.phases[pi].stats.cancelled += 1;
+            if let Some(adm) = self.shards[si].admission.as_mut() {
+                adm.on_expiry();
+            }
+            self.client_retry(attempt, now);
+        }
+        self.dispatch(si);
+    }
+
+    fn on_window(&mut self) {
+        let now = self.now;
+        // Pulse end: reopen admission at full rate — the backlog that fed
+        // the collapse is gone.
+        if self.pulse_until != 0 && now >= self.pulse_until {
+            self.pulse_until = 0;
+            for sh in &mut self.shards {
+                if let Some(adm) = sh.admission.as_mut() {
+                    adm.reopen();
+                }
+            }
+            self.timeline.push((now, "pulse ended; admission reopened".into()));
+        }
+
+        // Brownout pressure: estimated queue wait relative to the latency
+        // target, averaged over shards.
+        if self.hardened && self.cfg.force_brownout.is_none() {
+            let workers = self.cfg.workers_per_shard.max(1) as f64;
+            let target = 0.75 * self.cfg.deadline_us as f64;
+            let pressure = self
+                .shards
+                .iter()
+                .map(|sh| sh.queue.len() as f64 / workers * sh.ewma_us / target)
+                .sum::<f64>()
+                / self.shards.len() as f64;
+            if let Some(t) = self.ladder.on_pressure(pressure) {
+                self.level = t.to;
+                self.brownout_max_level = self.brownout_max_level.max(t.to.as_u8());
+                self.timeline.push((
+                    now,
+                    format!("brownout: {} -> {} (pressure {pressure:.2})", t.from, t.to),
+                ));
+            }
+        }
+
+        // Metastable window: exogenous demand vs goodput.
+        let fresh = std::mem::take(&mut self.window_fresh);
+        let completed = std::mem::take(&mut self.window_completed);
+        if self.hardened {
+            match self.detector.on_window(fresh as f64, completed as f64) {
+                Some(MetastableSignal::Fire) => {
+                    self.metastable_fired += 1;
+                    self.pulse_until = now + PULSE_US;
+                    let mut flushed = 0u64;
+                    for si in 0..self.shards.len() {
+                        if let Some(adm) = self.shards[si].admission.as_mut() {
+                            adm.pulse();
+                        }
+                        let drained = self.shards[si].queue.drain();
+                        flushed += drained.len() as u64;
+                        for a in drained {
+                            self.client_retry(a, now);
+                        }
+                    }
+                    let pi = self.phase_idx(now);
+                    self.phases[pi].stats.pulse_flushed += flushed;
+                    self.timeline.push((
+                        now,
+                        format!(
+                            "metastable: fired (goodput collapse at normal load); \
+                             pulse flushed {flushed} queued"
+                        ),
+                    ));
+                }
+                Some(MetastableSignal::Recover) => {
+                    self.metastable_recovered += 1;
+                    self.timeline.push((now, "metastable: recovered".into()));
+                }
+                None => {}
+            }
+        }
+        let next = now + self.cfg.window_us.max(1);
+        if next < self.end {
+            self.schedule(next, EvKind::Window);
+        }
+    }
+
+    fn on_rerank(&mut self) {
+        let now = self.now;
+        for si in 0..self.shards.len() {
+            if self.hardened && self.level.sheds_rerank() {
+                self.rerank_skipped += 1;
+            } else if self.shards[si].free_workers > 0 {
+                self.shards[si].free_workers -= 1;
+                self.schedule(now + RERANK_COST_US, EvKind::RerankDone { shard: si });
+            }
+        }
+        let next = now + RERANK_PERIOD_US;
+        if next < self.end {
+            self.schedule(next, EvKind::Rerank);
+        }
+    }
+
+    fn run(mut self) -> LoadgenRun {
+        self.schedule(0, EvKind::Fresh);
+        self.schedule(self.cfg.window_us.max(1), EvKind::Window);
+        self.schedule(RERANK_PERIOD_US, EvKind::Rerank);
+        while let Some(ev) = self.heap.pop() {
+            self.now = ev.t;
+            match ev.kind {
+                EvKind::Fresh => {
+                    self.schedule_next_fresh(ev.t);
+                    let storm: f64 = self.rng.gen_range(0.0..1.0);
+                    let is_storm = storm < self.storm_fraction(ev.t);
+                    let req = self.next_req;
+                    self.next_req += 1;
+                    let a = Attempt {
+                        req,
+                        storm: is_storm,
+                        tries_left: if is_storm {
+                            self.cfg.client.storm_retry_budget
+                        } else {
+                            self.cfg.client.retry_budget
+                        },
+                        next_backoff_us: if is_storm {
+                            self.cfg.client.storm_backoff_us
+                        } else {
+                            self.cfg.client.backoff_base_us
+                        },
+                        giveup_us: 0,
+                        arrival_us: 0,
+                        deadline_us: 0,
+                        retry: false,
+                    };
+                    self.arrive(a);
+                }
+                EvKind::Retry(a) => self.arrive(a),
+                EvKind::Done {
+                    shard,
+                    attempt,
+                    completed,
+                } => self.on_done(shard, attempt, completed),
+                EvKind::Window => self.on_window(),
+                EvKind::Rerank => self.on_rerank(),
+                EvKind::RerankDone { shard } => {
+                    self.shards[shard].free_workers += 1;
+                    self.dispatch(shard);
+                }
+            }
+        }
+        // Anything still queued after the heap drains could never have
+        // started (no worker will ever free again): account it as expired
+        // so the ledger closes.
+        for si in 0..self.shards.len() {
+            let leftovers = self.shards[si].queue.drain();
+            self.phases[2].stats.expired += leftovers.len() as u64;
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> LoadgenRun {
+        let mut violations = Vec::new();
+        for acc in &mut self.phases {
+            acc.latencies.sort_unstable();
+            let pct = |lat: &[u64], q: f64| -> u64 {
+                if lat.is_empty() {
+                    return 0;
+                }
+                let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+                lat[rank - 1]
+            };
+            acc.stats.p50_us = pct(&acc.latencies, 0.50);
+            acc.stats.p99_us = pct(&acc.latencies, 0.99);
+            acc.stats.p999_us = pct(&acc.latencies, 0.999);
+        }
+        // Accounting invariants over the whole run (phase-bucketed counts
+        // can split an attempt's admission and outcome across a boundary,
+        // so the ledger is checked on the totals).
+        let tot = |f: fn(&PhaseStats) -> u64| -> u64 {
+            self.phases.iter().map(|a| f(&a.stats)).sum()
+        };
+        let offered = tot(|s| s.offered);
+        let fresh = tot(|s| s.fresh);
+        let retries = tot(|s| s.retries);
+        let accepted = tot(|s| s.accepted);
+        let sheds = tot(|s| s.admission_sheds());
+        let outcomes = tot(|s| s.accepted_outcomes());
+        if fresh + retries != offered {
+            violations.push(format!(
+                "offered split broken: fresh {fresh} + retries {retries} != offered {offered}"
+            ));
+        }
+        if accepted + sheds != offered {
+            violations.push(format!(
+                "admission split broken: accepted {accepted} + sheds {sheds} != offered {offered}"
+            ));
+        }
+        if outcomes != accepted {
+            violations.push(format!(
+                "exactly-once broken: {outcomes} outcomes for {accepted} accepted attempts"
+            ));
+        }
+        let rates: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|sh| sh.admission.as_ref().map_or(1.0, |a| a.rate()))
+            .collect();
+        LoadgenRun {
+            mode: if self.hardened { "hardened" } else { "baseline" }.to_string(),
+            phases: self.phases.into_iter().map(|a| a.stats).collect(),
+            timeline: self.timeline,
+            brownout_descents: self.ladder.descents,
+            brownout_ascents: self.ladder.ascents,
+            brownout_max_level: self.brownout_max_level,
+            rerank_skipped: self.rerank_skipped,
+            metastable_fired: self.metastable_fired,
+            metastable_recovered: self.metastable_recovered,
+            aimd_final_rate: rates.iter().sum::<f64>() / rates.len() as f64,
+            violations,
+        }
+    }
+}
+
+/// Run one scenario. [`Scenario::RetryStorm`] always simulates the
+/// hardened and baseline service models side by side (the comparison *is*
+/// the point); other scenarios run the model selected by
+/// [`LoadgenConfig::adaptive_admission`].
+pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
+    let runs = match cfg.scenario {
+        Scenario::RetryStorm => vec![
+            Sim::new(cfg, true).run(),
+            Sim::new(cfg, false).run(),
+        ],
+        _ => vec![Sim::new(cfg, cfg.adaptive_admission).run()],
+    };
+    LoadgenReport {
+        scenario: cfg.scenario,
+        seed: cfg.seed,
+        config: cfg.clone(),
+        runs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::strip_wall_clock;
+
+    #[test]
+    fn same_seed_same_report_bit_for_bit() {
+        let cfg = LoadgenConfig::quick(7, Scenario::RetryStorm);
+        let a = run_loadgen(&cfg).to_json();
+        let b = run_loadgen(&cfg).to_json();
+        assert_eq!(
+            strip_wall_clock(&a).encode(),
+            strip_wall_clock(&b).encode(),
+            "virtual-time runs must be deterministic per seed"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_loadgen(&LoadgenConfig::quick(1, Scenario::Steady)).to_json();
+        let b = run_loadgen(&LoadgenConfig::quick(2, Scenario::Steady)).to_json();
+        assert_ne!(strip_wall_clock(&a).encode(), strip_wall_clock(&b).encode());
+    }
+
+    #[test]
+    fn steady_is_healthy_and_accounted() {
+        let report = run_loadgen(&LoadgenConfig::quick(42, Scenario::Steady));
+        let run = &report.runs[0];
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+        assert_eq!(run.metastable_fired, 0);
+        let total: u64 = run.phases.iter().map(|p| p.completed).sum();
+        assert!(total > 0, "steady load must complete work");
+        for p in &run.phases {
+            assert!(
+                p.completed as f64 >= 0.9 * p.fresh as f64,
+                "steady phase {} goodput {} too low for {} fresh",
+                p.name,
+                p.completed,
+                p.fresh
+            );
+        }
+    }
+
+    #[test]
+    fn every_scenario_closes_its_ledger_in_both_modes() {
+        for scenario in Scenario::all() {
+            for adaptive in [true, false] {
+                let cfg = LoadgenConfig {
+                    adaptive_admission: adaptive,
+                    ..LoadgenConfig::quick(9, scenario)
+                };
+                let report = run_loadgen(&cfg);
+                for run in &report.runs {
+                    assert!(
+                        run.violations.is_empty(),
+                        "{scenario} [{}]: {:?}",
+                        run.mode,
+                        run.violations
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_brownout_levels_keep_the_ledger_closed() {
+        for level in [
+            BrownoutLevel::Full,
+            BrownoutLevel::NoRerank,
+            BrownoutLevel::NoSampling,
+            BrownoutLevel::NoOffload,
+        ] {
+            let cfg = LoadgenConfig {
+                force_brownout: Some(level),
+                ..LoadgenConfig::quick(13, Scenario::Burst)
+            };
+            let report = run_loadgen(&cfg);
+            assert!(
+                report.runs[0].violations.is_empty(),
+                "level {level}: {:?}",
+                report.runs[0].violations
+            );
+        }
+    }
+
+    #[test]
+    fn retry_storm_report_carries_both_modes() {
+        let report = run_loadgen(&LoadgenConfig::quick(5, Scenario::RetryStorm));
+        assert!(report.run("hardened").is_some());
+        assert!(report.run("baseline").is_some());
+        let json = report.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some(crate::report::SCHEMA)
+        );
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("loadgen"));
+    }
+}

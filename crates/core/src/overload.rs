@@ -1,0 +1,731 @@
+//! Overload-control primitives shared by the live service and the
+//! virtual-time load generator.
+//!
+//! Everything in this module is *pure* with respect to time: each component
+//! takes an explicit `now_us` (microseconds on some monotonic clock) instead
+//! of reading `Instant::now()`. That lets the exact same code run inside the
+//! threaded [`serve`](crate::serve) stack (which feeds it wall-clock
+//! microseconds) and inside the single-threaded discrete-event simulator in
+//! [`loadgen`](crate::loadgen) (which feeds it virtual time), so the
+//! behaviour the load generator certifies is the behaviour production runs.
+//!
+//! Components:
+//!
+//! * [`DeadlineQueue`] — bounded admission queue ordered by request deadline
+//!   (earliest-deadline-first) with an expired-entry sweep, replacing the old
+//!   FIFO-with-shed discipline;
+//! * [`AimdAdmission`] — additive-increase / multiplicative-decrease
+//!   admission control driven by *measured completion latency* relative to
+//!   the request deadline, replacing the static EWMA gate;
+//! * [`BrownoutLadder`] — the degradation ladder that sheds optional work
+//!   (re-ranking → profiler sampling → frame offload) under sustained
+//!   pressure and climbs back with hysteresis;
+//! * [`MetastableDetector`] — detects the classic retry-storm failure mode
+//!   where offered load has returned to normal but goodput stays collapsed,
+//!   and requests a forced load-shed pulse to break the feedback loop.
+
+use std::collections::BinaryHeap;
+
+// ---------------------------------------------------------------------------
+// Deadline-aware queue (EDF + expired sweep)
+// ---------------------------------------------------------------------------
+
+/// Internal heap entry. Ordered as a *min*-heap on `(deadline_us, seq)` by
+/// inverting `Ord`; `seq` breaks deadline ties FIFO so the dequeue order is
+/// fully deterministic.
+struct QEntry<T> {
+    deadline_us: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for QEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline_us == other.deadline_us && self.seq == other.seq
+    }
+}
+impl<T> Eq for QEntry<T> {}
+impl<T> PartialOrd for QEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for QEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline
+        // (then lowest seq) at the top.
+        (other.deadline_us, other.seq).cmp(&(self.deadline_us, self.seq))
+    }
+}
+
+/// Bounded earliest-deadline-first queue with an expired-entry sweep.
+///
+/// `push` refuses entries beyond `capacity` (returning the item to the
+/// caller, who sheds it as queue-full). `sweep_expired` removes every entry
+/// whose deadline is `<= now_us` so the caller can shed them as expired
+/// *without* burning worker time popping them one by one. `pop` returns the
+/// earliest-deadline entry; after a sweep at the same `now_us` it can never
+/// return an entry that is already expired while a meetable one waits.
+pub struct DeadlineQueue<T> {
+    heap: BinaryHeap<QEntry<T>>,
+    capacity: usize,
+    seq: u64,
+}
+
+impl<T> DeadlineQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        DeadlineQueue { heap: BinaryHeap::new(), capacity, seq: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.capacity
+    }
+
+    /// Enqueue `item` with its absolute deadline. Returns `Err(item)` when
+    /// the queue is at capacity so the caller can shed it.
+    pub fn push(&mut self, deadline_us: u64, item: T) -> Result<(), T> {
+        if self.heap.len() >= self.capacity {
+            return Err(item);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(QEntry { deadline_us, seq, item });
+        Ok(())
+    }
+
+    /// Remove and return every entry whose deadline has already passed.
+    /// The caller is responsible for responding `Shed(Expired)` to each.
+    pub fn sweep_expired(&mut self, now_us: u64) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(head) = self.heap.peek() {
+            if head.deadline_us <= now_us {
+                out.push(self.heap.pop().expect("peeked").item);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Dequeue the earliest-deadline entry. Callers should `sweep_expired`
+    /// first; entries that expired since the last sweep are still returned
+    /// (the executor re-checks expiry before running).
+    pub fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|e| e.item)
+    }
+
+    /// Deadline of the next entry that would be popped, if any.
+    pub fn peek_deadline(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.deadline_us)
+    }
+
+    /// Drain every entry (used on shutdown / shed pulses).
+    pub fn drain_all(&mut self) -> Vec<T> {
+        let mut out: Vec<QEntry<T>> = std::mem::take(&mut self.heap).into_vec();
+        out.sort_by_key(|e| (e.deadline_us, e.seq));
+        out.into_iter().map(|e| e.item).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AIMD adaptive admission
+// ---------------------------------------------------------------------------
+
+/// Tuning for [`AimdAdmission`].
+#[derive(Clone, Copy, Debug)]
+pub struct AimdConfig {
+    /// A completion counts as a latency breach when it took longer than
+    /// `target_fraction × deadline_budget`. 0.75 means "we want answers in
+    /// three quarters of the budget"; anything slower tightens admission.
+    pub target_fraction: f64,
+    /// Additive rate increase per healthy completion.
+    pub increase: f64,
+    /// Multiplicative rate decrease on a breach or an expiry.
+    pub decrease: f64,
+    /// Floor for the acceptance rate — never reject *everything* forever,
+    /// or the controller can never observe recovery.
+    pub min_rate: f64,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig { target_fraction: 0.75, increase: 0.02, decrease: 0.85, min_rate: 0.10 }
+    }
+}
+
+/// Additive-increase / multiplicative-decrease admission controller.
+///
+/// The acceptance rate lives in `[min_rate, 1.0]`. Admission decisions are
+/// *deterministic*: a credit accumulator gains `rate` per offered request
+/// and a request is admitted whenever the accumulator reaches 1. At rate
+/// 0.25 exactly every fourth request is admitted — no RNG, so seeded soaks
+/// and the virtual-time simulator reproduce bit-identically.
+#[derive(Clone, Debug)]
+pub struct AimdAdmission {
+    cfg: AimdConfig,
+    rate: f64,
+    credit: f64,
+    /// Total offers rejected by the controller.
+    pub throttled: u64,
+    /// Completion-latency breaches observed.
+    pub breaches: u64,
+}
+
+impl AimdAdmission {
+    pub fn new(cfg: AimdConfig) -> Self {
+        AimdAdmission { cfg, rate: 1.0, credit: 0.0, throttled: 0, breaches: 0 }
+    }
+
+    /// Current acceptance rate in `[min_rate, 1]`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Decide whether to admit one offered request.
+    pub fn admit(&mut self) -> bool {
+        self.credit += self.rate;
+        if self.credit >= 1.0 {
+            self.credit -= 1.0;
+            true
+        } else {
+            self.throttled += 1;
+            false
+        }
+    }
+
+    /// Feed one measured completion: latency vs the request's total deadline
+    /// budget. Healthy completions open the gate additively; breaches close
+    /// it multiplicatively.
+    pub fn on_completion(&mut self, latency_us: u64, deadline_budget_us: u64) {
+        let target = self.cfg.target_fraction * deadline_budget_us as f64;
+        if (latency_us as f64) > target {
+            self.breaches += 1;
+            self.rate = (self.rate * self.cfg.decrease).max(self.cfg.min_rate);
+        } else {
+            self.rate = (self.rate + self.cfg.increase).min(1.0);
+        }
+    }
+
+    /// An accepted request expired in queue — the strongest overload signal.
+    pub fn on_expiry(&mut self) {
+        self.breaches += 1;
+        self.rate = (self.rate * self.cfg.decrease).max(self.cfg.min_rate);
+    }
+
+    /// Metastable shed pulse: clamp the gate shut (it will climb back via
+    /// `on_completion` as soon as real work succeeds again).
+    pub fn pulse(&mut self) {
+        self.rate = self.cfg.min_rate;
+        self.credit = 0.0;
+    }
+
+    /// End of a shed pulse: the backlog that fed the collapse is gone, so
+    /// probe at full rate instead of crawling up from the floor. Any real
+    /// remaining overload re-tightens the gate within a few completions.
+    pub fn reopen(&mut self) {
+        self.rate = 1.0;
+        self.credit = 0.0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Brownout degradation ladder
+// ---------------------------------------------------------------------------
+
+/// Degradation levels, in shedding order. Each level sheds everything the
+/// previous ones shed plus one more class of optional work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum BrownoutLevel {
+    /// All optional work enabled.
+    Full = 0,
+    /// Adaptive re-ranking (governor epochs) off.
+    NoRerank = 1,
+    /// Streaming profiler sampling off as well.
+    NoSampling = 2,
+    /// Frame offload off as well — walker/flat execution only.
+    NoOffload = 3,
+}
+
+impl BrownoutLevel {
+    pub fn from_u8(v: u8) -> BrownoutLevel {
+        match v {
+            0 => BrownoutLevel::Full,
+            1 => BrownoutLevel::NoRerank,
+            2 => BrownoutLevel::NoSampling,
+            _ => BrownoutLevel::NoOffload,
+        }
+    }
+
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Governor epoch re-ranking is shed at this level.
+    pub fn sheds_rerank(self) -> bool {
+        self >= BrownoutLevel::NoRerank
+    }
+
+    /// Streaming-profiler sampling is shed at this level.
+    pub fn sheds_sampling(self) -> bool {
+        self >= BrownoutLevel::NoSampling
+    }
+
+    /// Frame offload is shed at this level (host execution only).
+    pub fn sheds_offload(self) -> bool {
+        self >= BrownoutLevel::NoOffload
+    }
+}
+
+impl std::fmt::Display for BrownoutLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrownoutLevel::Full => write!(f, "full"),
+            BrownoutLevel::NoRerank => write!(f, "no-rerank"),
+            BrownoutLevel::NoSampling => write!(f, "no-sampling"),
+            BrownoutLevel::NoOffload => write!(f, "no-offload"),
+        }
+    }
+}
+
+/// Tuning for [`BrownoutLadder`].
+#[derive(Clone, Copy, Debug)]
+pub struct BrownoutConfig {
+    /// Pressure above which the ladder descends one level (after dwell).
+    pub enter_pressure: f64,
+    /// Pressure below which it ascends one level (after dwell). Must be
+    /// well under `enter_pressure` for hysteresis.
+    pub exit_pressure: f64,
+    /// Consecutive ticks the pressure must hold beyond a threshold before
+    /// the ladder moves — debounces transient spikes.
+    pub dwell_ticks: u32,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig { enter_pressure: 0.75, exit_pressure: 0.35, dwell_ticks: 3 }
+    }
+}
+
+/// A level transition the caller should log to the timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BrownoutTransition {
+    pub from: BrownoutLevel,
+    pub to: BrownoutLevel,
+}
+
+/// The degradation ladder. Feed it one pressure sample per tick; it moves
+/// at most one level per dwell window, in either direction, with hysteresis
+/// between the enter and exit thresholds.
+///
+/// Pressure is a dimensionless "how close to missing deadlines are we"
+/// signal — the service uses `estimated queue wait / latency target`, so a
+/// full-but-fast queue is not pressure while a short-but-slow one is.
+#[derive(Clone, Debug)]
+pub struct BrownoutLadder {
+    cfg: BrownoutConfig,
+    level: BrownoutLevel,
+    above: u32,
+    below: u32,
+    /// Total descents (level got worse).
+    pub descents: u64,
+    /// Total ascents (level recovered).
+    pub ascents: u64,
+}
+
+impl BrownoutLadder {
+    pub fn new(cfg: BrownoutConfig) -> Self {
+        BrownoutLadder { cfg, level: BrownoutLevel::Full, above: 0, below: 0, descents: 0, ascents: 0 }
+    }
+
+    pub fn level(&self) -> BrownoutLevel {
+        self.level
+    }
+
+    /// For tests: pin the ladder at a level.
+    pub fn force_level(&mut self, level: BrownoutLevel) {
+        self.level = level;
+        self.above = 0;
+        self.below = 0;
+    }
+
+    /// Feed one pressure sample. Returns a transition when the level moved.
+    pub fn on_pressure(&mut self, pressure: f64) -> Option<BrownoutTransition> {
+        if pressure >= self.cfg.enter_pressure {
+            self.above += 1;
+            self.below = 0;
+        } else if pressure <= self.cfg.exit_pressure {
+            self.below += 1;
+            self.above = 0;
+        } else {
+            // Hysteresis band: hold position.
+            self.above = 0;
+            self.below = 0;
+        }
+        if self.above >= self.cfg.dwell_ticks && self.level < BrownoutLevel::NoOffload {
+            let from = self.level;
+            self.level = BrownoutLevel::from_u8(self.level.as_u8() + 1);
+            self.above = 0;
+            self.descents += 1;
+            return Some(BrownoutTransition { from, to: self.level });
+        }
+        if self.below >= self.cfg.dwell_ticks && self.level > BrownoutLevel::Full {
+            let from = self.level;
+            self.level = BrownoutLevel::from_u8(self.level.as_u8() - 1);
+            self.below = 0;
+            self.ascents += 1;
+            return Some(BrownoutTransition { from, to: self.level });
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metastable-failure detector
+// ---------------------------------------------------------------------------
+
+/// Tuning for [`MetastableDetector`].
+#[derive(Clone, Copy, Debug)]
+pub struct MetastableConfig {
+    /// Goodput below `collapse_fraction × healthy baseline` counts as
+    /// collapsed.
+    pub collapse_fraction: f64,
+    /// Offered load within `normal_load_fraction × healthy baseline` counts
+    /// as "back to normal" — collapse under genuinely extreme load is plain
+    /// overload, not metastability.
+    pub normal_load_fraction: f64,
+    /// Consecutive suspect windows before the detector fires.
+    pub confirm_windows: u32,
+    /// Goodput above `recover_fraction × baseline` ends the episode.
+    pub recover_fraction: f64,
+    /// EWMA weight for the healthy baselines.
+    pub baseline_alpha: f64,
+    /// Healthy windows required before the detector arms at all.
+    pub warmup_windows: u32,
+}
+
+impl Default for MetastableConfig {
+    fn default() -> Self {
+        MetastableConfig {
+            collapse_fraction: 0.5,
+            normal_load_fraction: 1.5,
+            confirm_windows: 3,
+            recover_fraction: 0.75,
+            baseline_alpha: 0.2,
+            warmup_windows: 5,
+        }
+    }
+}
+
+/// What the caller should do after a window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetastableSignal {
+    /// Metastable collapse confirmed: force a load-shed pulse (drain the
+    /// queue, clamp admission) and log a timeline event.
+    Fire,
+    /// Goodput recovered; log recovery.
+    Recover,
+}
+
+/// Detects metastable goodput collapse: offered load has returned to the
+/// normal band, yet goodput stays collapsed because some internal feedback
+/// loop (retry amplification, doomed queue entries, admission wind-down)
+/// sustains the bad state. The cure is a forced shed pulse that breaks the
+/// loop; the detector reports recovery once goodput returns.
+#[derive(Clone, Debug)]
+pub struct MetastableDetector {
+    cfg: MetastableConfig,
+    baseline_offered: f64,
+    baseline_goodput: f64,
+    healthy_windows: u32,
+    suspect: u32,
+    collapsed: bool,
+    /// Times the detector fired.
+    pub fired: u64,
+    /// Times a collapse episode recovered.
+    pub recovered: u64,
+}
+
+impl MetastableDetector {
+    pub fn new(cfg: MetastableConfig) -> Self {
+        MetastableDetector {
+            cfg,
+            baseline_offered: 0.0,
+            baseline_goodput: 0.0,
+            healthy_windows: 0,
+            suspect: 0,
+            collapsed: false,
+            fired: 0,
+            recovered: 0,
+        }
+    }
+
+    pub fn is_collapsed(&self) -> bool {
+        self.collapsed
+    }
+
+    pub fn baseline_goodput(&self) -> f64 {
+        self.baseline_goodput
+    }
+
+    /// Feed one observation window: `offered` requests arrived, `goodput`
+    /// completed in deadline. Rates, counts — any unit, as long as both use
+    /// the same one. Windows with no traffic are ignored.
+    pub fn on_window(&mut self, offered: f64, goodput: f64) -> Option<MetastableSignal> {
+        if offered <= 0.0 && goodput <= 0.0 {
+            return None;
+        }
+        let a = self.cfg.baseline_alpha;
+        if self.healthy_windows < self.cfg.warmup_windows {
+            // Establish the healthy baselines before judging anything.
+            if self.baseline_offered == 0.0 {
+                self.baseline_offered = offered;
+                self.baseline_goodput = goodput;
+            } else {
+                self.baseline_offered = (1.0 - a) * self.baseline_offered + a * offered;
+                self.baseline_goodput = (1.0 - a) * self.baseline_goodput + a * goodput;
+            }
+            self.healthy_windows += 1;
+            return None;
+        }
+        if self.collapsed {
+            let floor = self.cfg.recover_fraction * self.baseline_goodput.min(offered.max(1.0));
+            if goodput >= floor {
+                self.collapsed = false;
+                self.suspect = 0;
+                self.recovered += 1;
+                return Some(MetastableSignal::Recover);
+            }
+            return None;
+        }
+        let load_normal = offered <= self.cfg.normal_load_fraction * self.baseline_offered;
+        let goodput_collapsed = goodput < self.cfg.collapse_fraction * self.baseline_goodput;
+        if load_normal && goodput_collapsed {
+            self.suspect += 1;
+            if self.suspect >= self.cfg.confirm_windows {
+                self.collapsed = true;
+                self.suspect = 0;
+                self.fired += 1;
+                return Some(MetastableSignal::Fire);
+            }
+        } else {
+            self.suspect = 0;
+            if !goodput_collapsed {
+                // Healthy window: keep the baselines tracking slow drift.
+                self.baseline_offered = (1.0 - a) * self.baseline_offered + a * offered;
+                self.baseline_goodput = (1.0 - a) * self.baseline_goodput + a * goodput;
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edf_orders_by_deadline_then_fifo() {
+        let mut q = DeadlineQueue::new(8);
+        q.push(300, "c").unwrap();
+        q.push(100, "a1").unwrap();
+        q.push(200, "b").unwrap();
+        q.push(100, "a2").unwrap();
+        assert_eq!(q.pop(), Some("a1"));
+        assert_eq!(q.pop(), Some("a2"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some("c"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn edf_sweep_removes_exactly_the_expired() {
+        let mut q = DeadlineQueue::new(8);
+        q.push(100, 1u32).unwrap();
+        q.push(250, 2).unwrap();
+        q.push(150, 3).unwrap();
+        q.push(400, 4).unwrap();
+        let expired = q.sweep_expired(200);
+        assert_eq!(expired, vec![1, 3]);
+        assert_eq!(q.len(), 2);
+        // After a sweep at t, pop never yields an entry expired at t.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn edf_bounded_push_rejects_at_capacity() {
+        let mut q = DeadlineQueue::new(2);
+        assert!(q.push(1, 'x').is_ok());
+        assert!(q.push(2, 'y').is_ok());
+        assert_eq!(q.push(3, 'z'), Err('z'));
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn edf_drain_all_is_deadline_ordered() {
+        let mut q = DeadlineQueue::new(8);
+        q.push(30, 3u8).unwrap();
+        q.push(10, 1).unwrap();
+        q.push(20, 2).unwrap();
+        assert_eq!(q.drain_all(), vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn aimd_credit_admission_is_deterministic() {
+        let mut a = AimdAdmission::new(AimdConfig { min_rate: 0.25, ..AimdConfig::default() });
+        // Force the rate to the floor.
+        for _ in 0..100 {
+            a.on_expiry();
+        }
+        assert!((a.rate() - 0.25).abs() < 1e-9);
+        // At rate 0.25, exactly every 4th offer is admitted.
+        let pattern: Vec<bool> = (0..8).map(|_| a.admit()).collect();
+        assert_eq!(pattern, vec![false, false, false, true, false, false, false, true]);
+        assert_eq!(a.throttled, 6);
+    }
+
+    #[test]
+    fn aimd_breach_tightens_health_reopens() {
+        let mut a = AimdAdmission::new(AimdConfig::default());
+        assert!((a.rate() - 1.0).abs() < 1e-9);
+        // 10ms budget, 9ms completion -> breach at target_fraction 0.75.
+        a.on_completion(9_000, 10_000);
+        assert!(a.rate() < 1.0);
+        assert_eq!(a.breaches, 1);
+        let after_breach = a.rate();
+        // Healthy completions claw the rate back additively.
+        for _ in 0..100 {
+            a.on_completion(1_000, 10_000);
+        }
+        assert!(a.rate() > after_breach);
+        assert!((a.rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aimd_rate_stays_bounded() {
+        let cfg = AimdConfig::default();
+        let mut a = AimdAdmission::new(cfg);
+        for i in 0..10_000u64 {
+            match i % 3 {
+                0 => a.on_expiry(),
+                1 => a.on_completion(i % 20_000, 10_000),
+                _ => {
+                    a.admit();
+                }
+            }
+            assert!(a.rate() >= cfg.min_rate - 1e-9 && a.rate() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ladder_descends_and_recovers_with_hysteresis() {
+        let cfg = BrownoutConfig { enter_pressure: 0.8, exit_pressure: 0.3, dwell_ticks: 2 };
+        let mut l = BrownoutLadder::new(cfg);
+        assert_eq!(l.level(), BrownoutLevel::Full);
+        // One spike is debounced.
+        assert!(l.on_pressure(0.9).is_none());
+        assert!(l.on_pressure(0.1).is_none());
+        assert_eq!(l.level(), BrownoutLevel::Full);
+        // Sustained pressure descends one level per dwell.
+        assert!(l.on_pressure(0.9).is_none());
+        let t = l.on_pressure(0.9).unwrap();
+        assert_eq!((t.from, t.to), (BrownoutLevel::Full, BrownoutLevel::NoRerank));
+        l.on_pressure(0.95);
+        let t = l.on_pressure(0.95).unwrap();
+        assert_eq!(t.to, BrownoutLevel::NoSampling);
+        l.on_pressure(1.5);
+        let t = l.on_pressure(1.5).unwrap();
+        assert_eq!(t.to, BrownoutLevel::NoOffload);
+        // Saturates at the bottom.
+        assert!(l.on_pressure(1.5).is_none());
+        assert!(l.on_pressure(1.5).is_none());
+        assert_eq!(l.level(), BrownoutLevel::NoOffload);
+        // Mid-band pressure holds position (hysteresis).
+        for _ in 0..10 {
+            assert!(l.on_pressure(0.5).is_none());
+        }
+        assert_eq!(l.level(), BrownoutLevel::NoOffload);
+        // Calm pressure climbs back one level per dwell.
+        l.on_pressure(0.1);
+        let t = l.on_pressure(0.1).unwrap();
+        assert_eq!((t.from, t.to), (BrownoutLevel::NoOffload, BrownoutLevel::NoSampling));
+        l.on_pressure(0.1);
+        assert_eq!(l.on_pressure(0.1).unwrap().to, BrownoutLevel::NoRerank);
+        l.on_pressure(0.1);
+        assert_eq!(l.on_pressure(0.1).unwrap().to, BrownoutLevel::Full);
+        assert_eq!(l.descents, 3);
+        assert_eq!(l.ascents, 3);
+    }
+
+    #[test]
+    fn level_shed_classes_are_cumulative() {
+        assert!(!BrownoutLevel::Full.sheds_rerank());
+        assert!(BrownoutLevel::NoRerank.sheds_rerank());
+        assert!(!BrownoutLevel::NoRerank.sheds_sampling());
+        assert!(BrownoutLevel::NoSampling.sheds_rerank());
+        assert!(BrownoutLevel::NoSampling.sheds_sampling());
+        assert!(!BrownoutLevel::NoSampling.sheds_offload());
+        assert!(BrownoutLevel::NoOffload.sheds_offload());
+    }
+
+    #[test]
+    fn metastable_fires_on_collapse_at_normal_load_and_recovers() {
+        let cfg = MetastableConfig {
+            confirm_windows: 2,
+            warmup_windows: 3,
+            ..MetastableConfig::default()
+        };
+        let mut d = MetastableDetector::new(cfg);
+        // Warmup: healthy traffic, 100 offered / 95 good per window.
+        for _ in 0..3 {
+            assert!(d.on_window(100.0, 95.0).is_none());
+        }
+        // Overload spike: goodput collapses but offered is extreme -> plain
+        // overload, the detector must NOT fire.
+        for _ in 0..5 {
+            assert!(d.on_window(400.0, 20.0).is_none());
+        }
+        // Offered back to normal but goodput stays collapsed: metastable.
+        assert!(d.on_window(105.0, 10.0).is_none());
+        assert_eq!(d.on_window(103.0, 12.0), Some(MetastableSignal::Fire));
+        assert!(d.is_collapsed());
+        assert_eq!(d.fired, 1);
+        // Still collapsed: no duplicate fire.
+        assert!(d.on_window(100.0, 8.0).is_none());
+        // Goodput returns -> recovery.
+        assert_eq!(d.on_window(100.0, 90.0), Some(MetastableSignal::Recover));
+        assert!(!d.is_collapsed());
+        assert_eq!(d.recovered, 1);
+    }
+
+    #[test]
+    fn metastable_ignores_empty_windows_and_transients() {
+        let mut d = MetastableDetector::new(MetastableConfig::default());
+        for _ in 0..10 {
+            assert!(d.on_window(0.0, 0.0).is_none());
+        }
+        for _ in 0..MetastableConfig::default().warmup_windows {
+            d.on_window(50.0, 48.0);
+        }
+        // A single collapsed window is not confirmed.
+        assert!(d.on_window(50.0, 5.0).is_none());
+        assert!(d.on_window(50.0, 47.0).is_none());
+        assert!(d.on_window(50.0, 5.0).is_none());
+        assert!(!d.is_collapsed());
+        assert_eq!(d.fired, 0);
+    }
+}

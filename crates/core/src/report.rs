@@ -1,0 +1,113 @@
+//! Unified report envelope for every machine-readable artifact the CLI
+//! writes (`results/BENCH_*.json`).
+//!
+//! The soak, adaptive-soak, certification, and loadgen reports each grew
+//! their own ad-hoc top-level JSON shape, which meant every CI gate and
+//! downstream consumer had to special-case the file it was reading — and
+//! the shapes drifted. Every report now shares one envelope:
+//!
+//! ```json
+//! {
+//!   "schema": "needle-report/v1",
+//!   "kind": "soak" | "adaptive-soak" | "certify" | "loadgen" | ...,
+//!   "seed": 42,
+//!   "clean": true,
+//!   "violations": ["..."],
+//!   "generated_unix_ms": 1754700000000,
+//!   "data": { ...report-specific payload... }
+//! }
+//! ```
+//!
+//! `generated_unix_ms` is the only wall-clock field; determinism checks
+//! (same seed → identical report) compare envelopes with that field
+//! stripped, which [`strip_wall_clock`] does.
+
+use crate::journal::Json;
+use std::io;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Schema identifier stamped on every report.
+pub const SCHEMA: &str = "needle-report/v1";
+
+/// Wrap a report payload in the shared envelope.
+pub fn envelope(kind: &str, seed: u64, violations: &[String], data: Json) -> Json {
+    let now_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0);
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("kind".into(), Json::Str(kind.into())),
+        ("seed".into(), Json::Int(seed as i64)),
+        ("clean".into(), Json::Bool(violations.is_empty())),
+        (
+            "violations".into(),
+            Json::Arr(violations.iter().map(|v| Json::Str(v.clone())).collect()),
+        ),
+        ("generated_unix_ms".into(), Json::Int(now_ms)),
+        ("data".into(), data),
+    ])
+}
+
+/// Remove wall-clock fields so two envelopes from the same seed compare
+/// equal. Recurses in case a payload ever nests an envelope.
+pub fn strip_wall_clock(json: &Json) -> Json {
+    match json {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "generated_unix_ms")
+                .map(|(k, v)| (k.clone(), strip_wall_clock(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_wall_clock).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Write a report to `path`, creating parent directories as needed.
+pub fn write_report(path: &Path, json: &Json) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, json.encode() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_carries_schema_kind_and_verdict() {
+        let e = envelope("soak", 42, &[], Json::Obj(vec![("x".into(), Json::Int(1))]));
+        assert_eq!(e.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(e.get("kind").and_then(Json::as_str), Some("soak"));
+        assert_eq!(e.get("seed").and_then(Json::as_u64), Some(42));
+        assert_eq!(e.get("clean").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            e.get("data").and_then(|d| d.get("x")).and_then(Json::as_i64),
+            Some(1)
+        );
+        assert!(e.get("generated_unix_ms").is_some());
+    }
+
+    #[test]
+    fn violations_flip_clean() {
+        let e = envelope("loadgen", 7, &["lost response".to_string()], Json::Null);
+        assert_eq!(e.get("clean").and_then(Json::as_bool), Some(false));
+        assert_eq!(e.get("violations").and_then(Json::as_arr).map(|a| a.len()), Some(1));
+    }
+
+    #[test]
+    fn strip_wall_clock_makes_same_seed_envelopes_equal() {
+        let data = Json::Obj(vec![("k".into(), Json::Str("v".into()))]);
+        let a = envelope("certify", 1, &[], data.clone());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = envelope("certify", 1, &[], data);
+        assert_eq!(strip_wall_clock(&a), strip_wall_clock(&b));
+        assert_eq!(strip_wall_clock(&a).get("generated_unix_ms"), None);
+    }
+}

@@ -44,7 +44,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -62,7 +62,8 @@ use needle_ir::interp::{CancelToken, ExecError, Interp, Memory, NullSink, Val};
 use needle_ir::{Constant, FuncId, Module, Type, Value};
 use needle_profile::bl::BlNumbering;
 use needle_profile::{
-    control_flow_stats, rank_paths, EpochProfile, PathProfile, StreamingProfiler,
+    build_numberings, control_flow_stats, rank_paths, EpochProfile, PathProfile,
+    SharedNumberings, StreamingProfiler,
 };
 use needle_regions::path::PathRegion;
 use needle_regions::region::OffloadRegion;
@@ -77,7 +78,13 @@ use crate::governor::{
     GovernorStats, PathCandidate, WorkloadObservation,
 };
 use crate::journal::Json;
+use crate::overload::{
+    AimdAdmission, AimdConfig, BrownoutConfig, BrownoutLadder, BrownoutLevel, DeadlineQueue,
+    MetastableConfig, MetastableDetector, MetastableSignal,
+};
+use crate::report;
 use crate::supervisor::silence_supervised_panics;
+use crate::sync::{plock, pwait_timeout};
 
 /// Service policy knobs.
 #[derive(Debug, Clone)]
@@ -115,6 +122,18 @@ pub struct ServeConfig {
     /// (RCU-style — in-flight executions finish on the old epoch's
     /// frames) with breaker-informed demotion of aborting regions.
     pub adaptive: Option<GovernorConfig>,
+    /// AIMD adaptive admission: the acceptance rate tightens on measured
+    /// completion-latency breaches and queue expiries, and reopens
+    /// additively on healthy completions. `None` leaves only the static
+    /// queue-depth + EWMA-unmeetable gates.
+    pub adaptive_admission: Option<AimdConfig>,
+    /// Brownout degradation ladder: under sustained deadline pressure the
+    /// service sheds optional work level by level (re-ranking → profiler
+    /// sampling → frame offload) and climbs back with hysteresis.
+    pub brownout: Option<BrownoutConfig>,
+    /// Metastable-failure detector: goodput collapsed while offered load
+    /// is back to normal triggers a forced load-shed pulse.
+    pub metastable: Option<MetastableConfig>,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +157,9 @@ impl Default for ServeConfig {
             ],
             frame_workload: Some("svc.sum".into()),
             adaptive: None,
+            adaptive_admission: Some(AimdConfig::default()),
+            brownout: Some(BrownoutConfig::default()),
+            metastable: Some(MetastableConfig::default()),
         }
     }
 }
@@ -217,6 +239,10 @@ pub enum ShedReason {
     /// currently pending) — the sharded router's dedup ledger refused a
     /// second execution.
     Duplicate,
+    /// Refused by the AIMD admission controller (acceptance rate below
+    /// 1 after latency breaches), or shed by a metastable load-shed
+    /// pulse.
+    Throttled,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -227,6 +253,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::Expired => write!(f, "expired in queue"),
             ShedReason::Draining => write!(f, "service draining"),
             ShedReason::Duplicate => write!(f, "duplicate idempotency key"),
+            ShedReason::Throttled => write!(f, "throttled by adaptive admission"),
         }
     }
 }
@@ -315,6 +342,26 @@ impl LatencyHistogram {
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
     }
+
+    /// The latency percentile `q ∈ (0, 1]`, reported as the *upper edge*
+    /// of the log₂ bucket holding that rank — a conservative bound (the
+    /// true value is somewhere in `[2^k, 2^(k+1))`). Returns 0 with no
+    /// samples.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (k, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return 1u64 << (k + 1).min(63);
+            }
+        }
+        0
+    }
 }
 
 /// Per-function breaker state at snapshot time.
@@ -366,6 +413,9 @@ pub struct MetricsSnapshot {
     pub shed_unmeetable: u64,
     /// Refused at submission: draining.
     pub shed_pre_draining: u64,
+    /// Refused at submission: AIMD admission throttle or metastable shed
+    /// pulse.
+    pub shed_throttled: u64,
     /// Accepted requests that completed.
     pub completed: u64,
     /// Accepted requests that failed.
@@ -402,6 +452,16 @@ pub struct MetricsSnapshot {
     pub active_regions: Vec<(String, u64)>,
     /// Cumulative per-function counters that survive worker recycles.
     pub funcs: Vec<FuncStatRow>,
+    /// Brownout ladder level at snapshot time (0 = full service).
+    pub brownout_level: u8,
+    /// Ladder descents (a level of optional work was shed).
+    pub brownout_descents: u64,
+    /// Ladder ascents (a level was restored).
+    pub brownout_ascents: u64,
+    /// Metastable-failure detector firings (forced shed pulses).
+    pub metastable_fired: u64,
+    /// Metastable episodes that recovered.
+    pub metastable_recovered: u64,
 }
 
 impl MetricsSnapshot {
@@ -430,6 +490,12 @@ impl MetricsSnapshot {
         self.shed_queue_full += other.shed_queue_full;
         self.shed_unmeetable += other.shed_unmeetable;
         self.shed_pre_draining += other.shed_pre_draining;
+        self.shed_throttled += other.shed_throttled;
+        self.brownout_level = self.brownout_level.max(other.brownout_level);
+        self.brownout_descents += other.brownout_descents;
+        self.brownout_ascents += other.brownout_ascents;
+        self.metastable_fired += other.metastable_fired;
+        self.metastable_recovered += other.metastable_recovered;
         self.completed += other.completed;
         self.failed += other.failed;
         self.shed_after_accept += other.shed_after_accept;
@@ -494,8 +560,20 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "  pre-admission sheds: {} queue-full, {} unmeetable, {} draining",
-            self.shed_queue_full, self.shed_unmeetable, self.shed_pre_draining
+            "  pre-admission sheds: {} queue-full, {} unmeetable, {} draining, {} throttled",
+            self.shed_queue_full, self.shed_unmeetable, self.shed_pre_draining,
+            self.shed_throttled
+        )?;
+        writeln!(
+            f,
+            "  overload: brownout level {} ({}), {} descents / {} ascents; \
+             metastable {} fired / {} recovered",
+            self.brownout_level,
+            BrownoutLevel::from_u8(self.brownout_level),
+            self.brownout_descents,
+            self.brownout_ascents,
+            self.metastable_fired,
+            self.metastable_recovered
         )?;
         writeln!(
             f,
@@ -541,6 +619,13 @@ impl std::fmt::Display for MetricsSnapshot {
                 writeln!(f)?;
             }
         }
+        writeln!(
+            f,
+            "  latency p50/p99/p999 µs: ≤{}/≤{}/≤{} (log₂-bucket upper bounds)",
+            self.latency.percentile_us(0.50),
+            self.latency.percentile_us(0.99),
+            self.latency.percentile_us(0.999)
+        )?;
         write!(f, "  latency µs:")?;
         for (k, n) in self.buckets_nonzero() {
             write!(f, " [2^{k}]={n}")?;
@@ -567,6 +652,8 @@ struct Job {
     req: Request,
     accepted_at: Instant,
     deadline: Instant,
+    /// Total deadline budget, µs (the AIMD breach denominator).
+    budget_us: u64,
     fuel: u64,
     max_pages: usize,
     reply: Sender<Response>,
@@ -581,7 +668,9 @@ struct Inflight {
 
 struct Inner {
     cfg: ServeConfig,
-    queue: Mutex<VecDeque<Job>>,
+    /// Deadline-ordered admission queue: workers sweep expired entries
+    /// in bulk and dequeue earliest-deadline-first.
+    queue: Mutex<DeadlineQueue<Job>>,
     queue_cv: Condvar,
     draining: AtomicBool,
     /// The SIGKILL analogue: releases wedged workers (those ignoring
@@ -618,6 +707,18 @@ struct Inner {
     /// Cumulative per-function analysis counters (decode warmups,
     /// pdom-walk truncations) that must survive worker recycles.
     func_stats: Mutex<HashMap<String, FuncStat>>,
+    /// AIMD admission controller (`None` = static gates only).
+    admission: Mutex<Option<AimdAdmission>>,
+    /// Brownout ladder; its current level is mirrored into
+    /// `brownout_level` for lock-free hot-path reads.
+    ladder: Mutex<Option<BrownoutLadder>>,
+    /// Mirror of the ladder level (hot path: workers check it per job).
+    brownout_level: AtomicU8,
+    /// Metastable-failure detector, ticked by the watchdog.
+    detector: Mutex<Option<MetastableDetector>>,
+    /// While `epoch.elapsed().as_millis() < pulse_until_ms`, submissions
+    /// are shed (the metastable forced load-shed pulse).
+    pulse_until_ms: AtomicU64,
 }
 
 /// One published generation of the offload region table. Immutable once
@@ -649,11 +750,124 @@ struct FuncStat {
 /// How often an idle worker wakes from the queue condvar to beat.
 const IDLE_BEAT_MS: u64 = 20;
 
+/// The watchdog runs its cancel sweep every ~1ms; every Nth sweep it
+/// also ticks the overload controllers (ladder pressure + metastable
+/// window), i.e. every ~50ms.
+const OVERLOAD_TICK_EVERY: u64 = 50;
+
+/// How long a metastable shed pulse rejects all submissions,
+/// milliseconds.
+const PULSE_MS: u64 = 200;
+
 fn beat(inner: &Inner, wi: usize) {
     inner.beats[wi].store(
         inner.epoch.elapsed().as_millis() as u64,
         Ordering::Relaxed,
     );
+}
+
+/// Metastable-window bookkeeping carried between watchdog ticks.
+#[derive(Default)]
+struct OverloadWindow {
+    offered: u64,
+    goodput: u64,
+}
+
+/// One overload-control tick: feed the brownout ladder a pressure sample
+/// and the metastable detector an offered/goodput window, acting on what
+/// they return. Runs on the watchdog thread.
+fn overload_tick(inner: &Inner, window: &mut OverloadWindow) {
+    // A shed pulse that just elapsed reopens admission at full rate: the
+    // backlog is flushed, so probe instead of crawling up from the floor.
+    let now_ms = inner.epoch.elapsed().as_millis() as u64;
+    let pulse_until = inner.pulse_until_ms.load(Ordering::Relaxed);
+    if pulse_until != 0 && now_ms >= pulse_until {
+        inner.pulse_until_ms.store(0, Ordering::Relaxed);
+        if let Some(adm) = plock(&inner.admission).as_mut() {
+            adm.reopen();
+        }
+    }
+
+    // Pressure = estimated queue wait relative to the deadline budget: a
+    // deep-but-fast queue is not pressure, a short-but-slow one is.
+    let queue_len = plock(&inner.queue).len() as f64;
+    let ewma = *plock(&inner.ewma_us);
+    let target_us =
+        inner.cfg.default_deadline_ms.max(1) as f64 * 1_000.0 * 0.75;
+    let pressure = if ewma > 0.0 {
+        (queue_len / inner.cfg.workers.max(1) as f64) * ewma / target_us
+    } else {
+        0.0
+    };
+    if let Some(ladder) = plock(&inner.ladder).as_mut() {
+        if let Some(t) = ladder.on_pressure(pressure) {
+            inner.brownout_level.store(t.to.as_u8(), Ordering::Relaxed);
+            let mut gs = plock(&inner.governor_stats);
+            let epoch = gs.epochs;
+            gs.push_event(EpochEvent {
+                epoch,
+                kind: EventKind::Brownout,
+                workload: String::new(),
+                detail: format!("{} -> {} (pressure {pressure:.2})", t.from, t.to),
+            });
+        }
+    }
+
+    // Metastable window: offered vs goodput deltas since the last tick.
+    let (offered, goodput) = {
+        let m = plock(&inner.metrics);
+        (
+            m.accepted + m.shed_queue_full + m.shed_unmeetable + m.shed_throttled,
+            m.completed,
+        )
+    };
+    let d_offered = offered.saturating_sub(window.offered);
+    let d_goodput = goodput.saturating_sub(window.goodput);
+    window.offered = offered;
+    window.goodput = goodput;
+    let signal = plock(&inner.detector)
+        .as_mut()
+        .and_then(|d| d.on_window(d_offered as f64, d_goodput as f64));
+    match signal {
+        Some(MetastableSignal::Fire) => {
+            // The forced load-shed pulse: clamp admission, reject new
+            // submissions for PULSE_MS, and flush everything queued so
+            // the backlog feeding the collapse drains instantly.
+            inner.pulse_until_ms.store(
+                inner.epoch.elapsed().as_millis() as u64 + PULSE_MS,
+                Ordering::Relaxed,
+            );
+            if let Some(adm) = plock(&inner.admission).as_mut() {
+                adm.pulse();
+            }
+            let flushed = plock(&inner.queue).drain_all();
+            let n = flushed.len();
+            for job in flushed {
+                respond(inner, job, Outcome::Shed(ShedReason::Throttled));
+            }
+            let mut gs = plock(&inner.governor_stats);
+            let epoch = gs.epochs;
+            gs.push_event(EpochEvent {
+                epoch,
+                kind: EventKind::Metastable,
+                workload: String::new(),
+                detail: format!(
+                    "goodput collapse at normal load; shed pulse flushed {n} queued"
+                ),
+            });
+        }
+        Some(MetastableSignal::Recover) => {
+            let mut gs = plock(&inner.governor_stats);
+            let epoch = gs.epochs;
+            gs.push_event(EpochEvent {
+                epoch,
+                kind: EventKind::Metastable,
+                workload: String::new(),
+                detail: "goodput recovered; metastable episode over".into(),
+            });
+        }
+        None => {}
+    }
 }
 
 /// A catalog entry resolved into executable form (worker-local; the
@@ -664,6 +878,23 @@ struct Entry {
     func: FuncId,
     args: Vec<Constant>,
     memory: Memory,
+    /// BL numberings built once at resolve time and shared with every
+    /// sampled-request profiler — construction stays off the hot path.
+    numberings: SharedNumberings,
+}
+
+impl Entry {
+    fn new(name: &str, module: Module, func: FuncId, args: Vec<Constant>, memory: Memory) -> Entry {
+        let numberings = build_numberings(&module);
+        Entry {
+            name: name.to_string(),
+            module,
+            func,
+            args,
+            memory,
+            numberings,
+        }
+    }
 }
 
 /// The resident execution service. Dropping without
@@ -711,7 +942,7 @@ impl Service {
 
         let workers_n = cfg.workers.max(1);
         let inner = Arc::new(Inner {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(DeadlineQueue::new(cfg.queue_depth.max(1))),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
             hard_kill: AtomicBool::new(false),
@@ -731,6 +962,11 @@ impl Service {
             region_stats: Mutex::new(HashMap::new()),
             governor_stats: Mutex::new(GovernorStats::default()),
             func_stats: Mutex::new(HashMap::new()),
+            admission: Mutex::new(cfg.adaptive_admission.map(AimdAdmission::new)),
+            ladder: Mutex::new(cfg.brownout.map(BrownoutLadder::new)),
+            brownout_level: AtomicU8::new(0),
+            detector: Mutex::new(cfg.metastable.map(MetastableDetector::new)),
+            pulse_until_ms: AtomicU64::new(0),
             cfg,
         });
 
@@ -756,16 +992,21 @@ impl Service {
         let watchdog = std::thread::Builder::new()
             .name("needle-usrv-watchdog".into())
             .spawn(move || {
+                let mut window = OverloadWindow::default();
+                let mut ticks = 0u64;
                 while !stop2.load(Ordering::SeqCst) {
                     let now = Instant::now();
                     for slot in &inner3.inflight {
-                        if let Ok(guard) = slot.lock() {
-                            if let Some(inf) = guard.as_ref() {
-                                if now >= inf.deadline {
-                                    inf.token.cancel();
-                                }
+                        let guard = plock(slot);
+                        if let Some(inf) = guard.as_ref() {
+                            if now >= inf.deadline {
+                                inf.token.cancel();
                             }
                         }
+                    }
+                    ticks += 1;
+                    if ticks.is_multiple_of(OVERLOAD_TICK_EVERY) {
+                        overload_tick(&inner3, &mut window);
                     }
                     std::thread::sleep(Duration::from_millis(1));
                 }
@@ -805,8 +1046,22 @@ impl Service {
     pub fn submit(&self, req: Request, reply: &Sender<Response>) -> Result<(), ShedReason> {
         let inner = &self.inner;
         if inner.draining.load(Ordering::SeqCst) {
-            inner.metrics.lock().unwrap().shed_pre_draining += 1;
+            plock(&inner.metrics).shed_pre_draining += 1;
             return Err(ShedReason::Draining);
+        }
+        // Metastable shed pulse: reject everything while it lasts.
+        let pulse_until = inner.pulse_until_ms.load(Ordering::Relaxed);
+        if pulse_until > 0 && (inner.epoch.elapsed().as_millis() as u64) < pulse_until {
+            plock(&inner.metrics).shed_throttled += 1;
+            return Err(ShedReason::Throttled);
+        }
+        // AIMD gate: the acceptance rate reflects measured completion
+        // latency; the credit-accumulator decision is deterministic.
+        if let Some(adm) = plock(&inner.admission).as_mut() {
+            if !adm.admit() {
+                plock(&inner.metrics).shed_throttled += 1;
+                return Err(ShedReason::Throttled);
+            }
         }
         let deadline_ms = if req.deadline_ms == 0 {
             inner.cfg.default_deadline_ms
@@ -825,37 +1080,50 @@ impl Service {
         };
         let accepted_at = Instant::now();
         let deadline = accepted_at + Duration::from_millis(deadline_ms);
+        let budget_us = deadline_ms.saturating_mul(1_000);
+        let deadline_us =
+            inner.epoch.elapsed().as_micros() as u64 + budget_us;
 
-        let mut queue = inner.queue.lock().unwrap();
-        if queue.len() >= inner.cfg.queue_depth {
+        let mut queue = plock(&inner.queue);
+        if queue.is_full() {
             drop(queue);
-            inner.metrics.lock().unwrap().shed_queue_full += 1;
+            plock(&inner.metrics).shed_queue_full += 1;
             return Err(ShedReason::QueueFull);
         }
         // Deadline-aware admission: with `q` requests ahead and an
         // observed mean service time, a request that cannot start before
         // its deadline is dead on arrival — shed it now instead of
-        // queueing it to expire.
-        let ewma = *inner.ewma_us.lock().unwrap();
+        // queueing it to expire. (Under EDF this matters doubly: a
+        // doomed short-deadline entry would jump the queue and burn
+        // worker time ahead of meetable work.)
+        let ewma = *plock(&inner.ewma_us);
         if ewma > 0.0 {
             let ahead = queue.len() as f64;
             let est_start_us = ahead / inner.cfg.workers.max(1) as f64 * ewma;
             if est_start_us > deadline_ms as f64 * 1_000.0 {
                 drop(queue);
-                inner.metrics.lock().unwrap().shed_unmeetable += 1;
+                plock(&inner.metrics).shed_unmeetable += 1;
                 return Err(ShedReason::Unmeetable);
             }
         }
-        queue.push_back(Job {
-            req,
-            accepted_at,
-            deadline,
-            fuel,
-            max_pages,
-            reply: reply.clone(),
-        });
+        let pushed = queue.push(
+            deadline_us,
+            Job {
+                req,
+                accepted_at,
+                deadline,
+                budget_us,
+                fuel,
+                max_pages,
+                reply: reply.clone(),
+            },
+        );
         drop(queue);
-        inner.metrics.lock().unwrap().accepted += 1;
+        if pushed.is_err() {
+            plock(&inner.metrics).shed_queue_full += 1;
+            return Err(ShedReason::QueueFull);
+        }
+        plock(&inner.metrics).accepted += 1;
         inner.queue_cv.notify_one();
         Ok(())
     }
@@ -889,10 +1157,7 @@ impl Service {
 
         // Workers stop popping once draining is set, so every job still
         // queued belongs to shutdown: answer each exactly once as shed.
-        let drained: Vec<Job> = {
-            let mut q = inner.queue.lock().unwrap();
-            q.drain(..).collect()
-        };
+        let drained: Vec<Job> = plock(&inner.queue).drain_all();
         for job in drained {
             respond(inner, job, Outcome::Shed(ShedReason::Draining));
         }
@@ -910,10 +1175,9 @@ impl Service {
         while inner.active_workers.load(Ordering::SeqCst) > 0 {
             if t0.elapsed() >= drain {
                 for slot in &inner.inflight {
-                    if let Ok(guard) = slot.lock() {
-                        if let Some(inf) = guard.as_ref() {
-                            inf.token.cancel();
-                        }
+                    let guard = plock(slot);
+                    if let Some(inf) = guard.as_ref() {
+                        inf.token.cancel();
                     }
                 }
                 inner.hard_kill.store(true, Ordering::SeqCst);
@@ -951,7 +1215,7 @@ impl Service {
         self.inner
             .inflight
             .iter()
-            .map(|s| s.lock().map(|g| g.is_some()).unwrap_or(false))
+            .map(|s| plock(s).is_some())
             .collect()
     }
 
@@ -962,11 +1226,10 @@ impl Service {
         let now = Instant::now();
         let mut worst = 0u64;
         for slot in &self.inner.inflight {
-            if let Ok(guard) = slot.lock() {
-                if let Some(inf) = guard.as_ref() {
-                    if now > inf.deadline {
-                        worst = worst.max((now - inf.deadline).as_millis() as u64);
-                    }
+            let guard = plock(slot);
+            if let Some(inf) = guard.as_ref() {
+                if now > inf.deadline {
+                    worst = worst.max((now - inf.deadline).as_millis() as u64);
                 }
             }
         }
@@ -984,8 +1247,17 @@ impl Drop for Service {
 
 /// Breaker rows + counters under one snapshot.
 fn snapshot(inner: &Inner) -> MetricsSnapshot {
-    let mut m = inner.metrics.lock().unwrap().clone();
-    let breakers = inner.breakers.lock().unwrap();
+    let mut m = plock(&inner.metrics).clone();
+    m.brownout_level = inner.brownout_level.load(Ordering::Relaxed);
+    if let Some(ladder) = plock(&inner.ladder).as_ref() {
+        m.brownout_descents = ladder.descents;
+        m.brownout_ascents = ladder.ascents;
+    }
+    if let Some(det) = plock(&inner.detector).as_ref() {
+        m.metastable_fired = det.fired;
+        m.metastable_recovered = det.recovered;
+    }
+    let breakers = plock(&inner.breakers);
     let mut rows: Vec<BreakerRow> = breakers
         .iter()
         .map(|(name, b)| BreakerRow {
@@ -1002,9 +1274,9 @@ fn snapshot(inner: &Inner) -> MetricsSnapshot {
     drop(breakers);
     rows.sort_by(|a, b| a.func.cmp(&b.func));
     m.breakers = rows;
-    m.governor = inner.governor_stats.lock().unwrap().clone();
+    m.governor = plock(&inner.governor_stats).clone();
     {
-        let regions = inner.regions.lock().unwrap().clone();
+        let regions = plock(&inner.regions).clone();
         m.region_epoch = regions.epoch;
         m.active_regions = regions
             .chosen
@@ -1014,7 +1286,7 @@ fn snapshot(inner: &Inner) -> MetricsSnapshot {
         m.active_regions.sort();
     }
     m.funcs = {
-        let stats = inner.func_stats.lock().unwrap();
+        let stats = plock(&inner.func_stats);
         let mut rows: Vec<FuncStatRow> = stats
             .iter()
             .map(|(name, s)| FuncStatRow {
@@ -1034,8 +1306,18 @@ fn snapshot(inner: &Inner) -> MetricsSnapshot {
 /// function exactly once (worker pop xor shutdown drain).
 fn respond(inner: &Inner, job: Job, outcome: Outcome) {
     let latency_us = job.accepted_at.elapsed().as_micros() as u64;
+    // AIMD feedback: executed outcomes carry a real completion latency;
+    // breaches (latency past the target fraction of the budget) tighten
+    // the acceptance rate, healthy completions reopen it. Sheds never
+    // ran, so they don't count — except expiries, fed via `on_expiry` at
+    // the sweep site.
+    if matches!(outcome, Outcome::Completed { .. } | Outcome::Failed(_)) {
+        if let Some(adm) = plock(&inner.admission).as_mut() {
+            adm.on_completion(latency_us, job.budget_us);
+        }
+    }
     {
-        let mut m = inner.metrics.lock().unwrap();
+        let mut m = plock(&inner.metrics);
         match &outcome {
             Outcome::Completed { fallback, frame_abort } => {
                 m.completed += 1;
@@ -1070,25 +1352,39 @@ fn respond(inner: &Inner, job: Job, outcome: Outcome) {
     });
 }
 
-/// Pop the next job, blocking on the queue condvar. `None` means the
-/// service is draining and the worker should exit. Each wait wakes
-/// within [`IDLE_BEAT_MS`] to refresh the worker's heartbeat, so an
-/// idle-but-alive worker is distinguishable from a wedged one.
-fn pop(inner: &Inner, wi: usize) -> Option<Job> {
-    let mut q = inner.queue.lock().unwrap();
+/// What the queue handed a worker.
+enum Popped {
+    /// Run this job (earliest meetable deadline).
+    Job(Box<Job>),
+    /// These entries expired in queue; shed each, then pop again. The
+    /// sweep pulls them in bulk so expired backlog costs O(batch), not
+    /// one pop-execute-cycle per corpse.
+    Expired(Vec<Job>),
+    /// The service is draining; exit.
+    Drain,
+}
+
+/// Pop the next job, blocking on the queue condvar. Expired entries are
+/// swept before any dequeue, so EDF never serves a dead entry ahead of a
+/// meetable one. Each wait wakes within [`IDLE_BEAT_MS`] to refresh the
+/// worker's heartbeat, so an idle-but-alive worker is distinguishable
+/// from a wedged one.
+fn pop(inner: &Inner, wi: usize) -> Popped {
+    let mut q = plock(&inner.queue);
     loop {
         beat(inner, wi);
         if inner.draining.load(Ordering::SeqCst) {
-            return None;
+            return Popped::Drain;
         }
-        if let Some(j) = q.pop_front() {
-            return Some(j);
+        let now_us = inner.epoch.elapsed().as_micros() as u64;
+        let expired = q.sweep_expired(now_us);
+        if !expired.is_empty() {
+            return Popped::Expired(expired);
         }
-        q = inner
-            .queue_cv
-            .wait_timeout(q, Duration::from_millis(IDLE_BEAT_MS))
-            .unwrap()
-            .0;
+        if let Some(j) = q.pop() {
+            return Popped::Job(Box::new(j));
+        }
+        q = pwait_timeout(&inner.queue_cv, q, Duration::from_millis(IDLE_BEAT_MS)).0;
     }
 }
 
@@ -1100,7 +1396,7 @@ fn worker_main(inner: &Arc<Inner>, wi: usize) {
         if !poisoned {
             return;
         }
-        inner.metrics.lock().unwrap().recycles += 1;
+        plock(&inner.metrics).recycles += 1;
     }
 }
 
@@ -1119,7 +1415,7 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
     // accumulate in `Inner`, so a snapshot taken after a recycle still
     // sees every warmup and every truncated post-dominator walk.
     {
-        let mut stats = inner.func_stats.lock().unwrap();
+        let mut stats = plock(&inner.func_stats);
         for e in &entries {
             let s = stats.entry(e.name.clone()).or_default();
             s.decode_warmups += 1;
@@ -1136,7 +1432,24 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         })
         .collect();
 
-    while let Some(job) = pop(inner, wi) {
+    loop {
+        let job = match pop(inner, wi) {
+            Popped::Drain => return false,
+            Popped::Expired(batch) => {
+                // An in-queue expiry is the strongest overload signal the
+                // admission controller gets: the job never even started.
+                if let Some(adm) = plock(&inner.admission).as_mut() {
+                    for _ in 0..batch.len() {
+                        adm.on_expiry();
+                    }
+                }
+                for j in batch {
+                    respond(inner, j, Outcome::Shed(ShedReason::Expired));
+                }
+                continue;
+            }
+            Popped::Job(j) => *j,
+        };
         // Wedge fault: a stuck process ignores everything — the expiry
         // check, the breaker gate, the execution legs, and the
         // cancellation token. Spin in-flight so the slot stays occupied
@@ -1145,22 +1458,26 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         // worker, which then answers Cancelled so the shard's
         // accounting still balances.
         if job.req.fault == Some(InjectedFault::WedgeWorker) {
-            *inner.inflight[wi].lock().unwrap() = Some(Inflight {
+            *plock(&inner.inflight[wi]) = Some(Inflight {
                 deadline: job.deadline,
                 token: CancelToken::new(),
             });
             while !inner.hard_kill.load(Ordering::SeqCst) {
                 std::thread::sleep(Duration::from_micros(200));
             }
-            *inner.inflight[wi].lock().unwrap() = None;
+            *plock(&inner.inflight[wi]) = None;
             beat(inner, wi);
             respond(inner, job, Outcome::Failed(FailReason::Cancelled));
             continue;
         }
 
-        // Expiry: accepted but the deadline passed while queued. Sheds
-        // don't feed the breaker — the function never ran.
+        // Expiry: accepted but the deadline passed between the sweep and
+        // here. Sheds don't feed the breaker — the function never ran —
+        // but they do tighten admission.
         if Instant::now() >= job.deadline {
+            if let Some(adm) = plock(&inner.admission).as_mut() {
+                adm.on_expiry();
+            }
             respond(inner, job, Outcome::Shed(ShedReason::Expired));
             continue;
         }
@@ -1174,10 +1491,7 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         let entry = &entries[ei];
 
         // Per-function breaker gate.
-        let admission = inner
-            .breakers
-            .lock()
-            .unwrap()
+        let admission = plock(&inner.breakers)
             .entry(entry.name.clone())
             .or_insert_with(|| CircuitBreaker::new(inner.cfg.breaker))
             .admit();
@@ -1192,9 +1506,7 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
                     return true;
                 }
             } else {
-                let mut m = inner.metrics.lock().unwrap();
-                m.breaker_shed += 1;
-                drop(m);
+                plock(&inner.metrics).breaker_shed += 1;
                 respond(inner, job, Outcome::Failed(FailReason::BreakerOpen));
             }
             continue;
@@ -1205,10 +1517,14 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         // The frame comes from the *current* region epoch; the Arc clone
         // pins that epoch for this invocation even if the governor swaps
         // the table mid-run.
+        // Brownout ladder: deeper levels shed progressively more optional
+        // work. The level is read once per request from the mirrored
+        // atomic — the ladder itself is only touched by the watchdog.
+        let level = BrownoutLevel::from_u8(inner.brownout_level.load(Ordering::Relaxed));
         let mut frame_ran = false;
         let mut frame_abort = false;
-        if job.req.fault == Some(InjectedFault::GuardFail) {
-            let regions = inner.regions.lock().unwrap().clone();
+        if job.req.fault == Some(InjectedFault::GuardFail) && !level.sheds_offload() {
+            let regions = plock(&inner.regions).clone();
             if let Some(frame) = regions.frames.get(&entry.name) {
                 frame_ran = true;
                 frame_abort = run_frame_abort(frame, &entry.memory, job.req.id);
@@ -1219,9 +1535,13 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         // Ball-Larus trace sink feeding the governor's epoch profile. A
         // fresh profiler per sampled request keeps a cancelled or
         // panicked run from leaking a half-built path into the stream.
+        // Profiling is the first serving-path work the brownout ladder
+        // sheds: correctness never depends on it.
         let adaptive = inner.cfg.adaptive.as_ref();
-        let sampled = adaptive.is_some_and(|g| job.req.id % g.sample_period.max(1) == 0);
-        let mut profiler = sampled.then(|| StreamingProfiler::new(&entry.module));
+        let sampled = !level.sheds_sampling()
+            && adaptive.is_some_and(|g| job.req.id % g.sample_period.max(1) == 0);
+        let mut profiler =
+            sampled.then(|| StreamingProfiler::with_numberings(entry.numberings.clone()));
 
         let (outcome, poisoned) =
             execute_engine(inner, wi, entry, interp, &job, frame_abort, profiler.as_mut());
@@ -1229,10 +1549,7 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         if let Some(mut p) = profiler.take() {
             if let Some(epoch) = p.take_epoch().remove(&entry.func) {
                 if !epoch.is_empty() {
-                    inner
-                        .profiles
-                        .lock()
-                        .unwrap()
+                    plock(&inner.profiles)
                         .entry(entry.name.clone())
                         .or_default()
                         .merge(&epoch);
@@ -1244,7 +1561,7 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         // into the denominator would dilute an abort storm below any
         // demotion threshold.
         if adaptive.is_some() && frame_ran {
-            let mut stats = inner.region_stats.lock().unwrap();
+            let mut stats = plock(&inner.region_stats);
             let s = stats.entry(entry.name.clone()).or_default();
             s.runs += 1;
             if frame_abort {
@@ -1257,7 +1574,7 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
         // injected frame abort; a clean completion (probe included)
         // counts for it.
         {
-            let mut breakers = inner.breakers.lock().unwrap();
+            let mut breakers = plock(&inner.breakers);
             let b = breakers
                 .entry(entry.name.clone())
                 .or_insert_with(|| CircuitBreaker::new(inner.cfg.breaker));
@@ -1274,7 +1591,6 @@ fn worker_serve(inner: &Arc<Inner>, wi: usize) -> bool {
             return true;
         }
     }
-    false
 }
 
 /// The request's effective argument vector: the catalog entry's args
@@ -1304,7 +1620,7 @@ fn execute_engine(
     interp.max_pages = job.max_pages;
     let token = CancelToken::new();
     interp.set_cancel(Some(token.clone()));
-    *inner.inflight[wi].lock().unwrap() = Some(Inflight {
+    *plock(&inner.inflight[wi]) = Some(Inflight {
         deadline: job.deadline,
         token,
     });
@@ -1323,7 +1639,7 @@ fn execute_engine(
         }
     }));
     let service_us = t0.elapsed().as_micros() as f64;
-    *inner.inflight[wi].lock().unwrap() = None;
+    *plock(&inner.inflight[wi]) = None;
     // Beat immediately: the heartbeat went stale during execution, and
     // the busy flag just cleared — without this, a supervisor sampling
     // the gap would see an idle worker with a stale beat.
@@ -1332,7 +1648,7 @@ fn execute_engine(
 
     // Admission estimate: EWMA over observed service times.
     {
-        let mut ewma = inner.ewma_us.lock().unwrap();
+        let mut ewma = plock(&inner.ewma_us);
         *ewma = if *ewma == 0.0 {
             service_us
         } else {
@@ -1358,7 +1674,7 @@ fn execute_walker(inner: &Inner, wi: usize, entry: &Entry, job: &Job) -> (Outcom
         .with_max_pages(job.max_pages)
         .with_cancel(Some(token.clone()))
         .with_cancel_interval(inner.cfg.cancel_interval);
-    *inner.inflight[wi].lock().unwrap() = Some(Inflight {
+    *plock(&inner.inflight[wi]) = Some(Inflight {
         deadline: job.deadline,
         token,
     });
@@ -1367,9 +1683,9 @@ fn execute_walker(inner: &Inner, wi: usize, entry: &Entry, job: &Job) -> (Outcom
         let mut mem = entry.memory.clone();
         interp.run_reference(entry.func, &args, &mut mem, &mut NullSink)
     }));
-    *inner.inflight[wi].lock().unwrap() = None;
+    *plock(&inner.inflight[wi]) = None;
     beat(inner, wi);
-    inner.metrics.lock().unwrap().breaker_shed += 1;
+    plock(&inner.metrics).breaker_shed += 1;
     match result {
         Ok(r) => (classify(r, true, false), false),
         Err(_) => (Outcome::Failed(FailReason::Panicked), true),
@@ -1443,21 +1759,10 @@ fn resolve_workload(name: &str) -> Option<Entry> {
         // move the top Ball-Larus path under live traffic.
         "svc.phase" => {
             let w = needle_workloads::phase_workload(192, 50);
-            Some(Entry {
-                name: name.to_string(),
-                module: w.module,
-                func: w.func,
-                args: w.args,
-                memory: w.memory,
-            })
+            Some(Entry::new(name, w.module, w.func, w.args, w.memory))
         }
-        _ => needle_workloads::by_name(name).map(|w| Entry {
-            name: name.to_string(),
-            module: w.module,
-            func: w.func,
-            args: w.args,
-            memory: w.memory,
-        }),
+        _ => needle_workloads::by_name(name)
+            .map(|w| Entry::new(name, w.module, w.func, w.args, w.memory)),
     }
 }
 
@@ -1491,13 +1796,7 @@ fn builtin_loop(name: &str, n: i64) -> Entry {
     func.inst_mut(phi_id).phi_blocks.push(body);
     let mut m = Module::new(name);
     let f = m.push(func);
-    Entry {
-        name: name.to_string(),
-        module: m,
-        func: f,
-        args: vec![Constant::Int(n)],
-        memory: Memory::new(),
-    }
+    Entry::new(name, m, f, vec![Constant::Int(n)], Memory::new())
 }
 
 /// `f(n)`: stores to `n` consecutive fresh pages — deterministic
@@ -1527,13 +1826,7 @@ fn builtin_store_stride(name: &str, n: i64) -> Entry {
     func.inst_mut(phi_id).phi_blocks.push(body);
     let mut m = Module::new(name);
     let f = m.push(func);
-    Entry {
-        name: name.to_string(),
-        module: m,
-        func: f,
-        args: vec![Constant::Int(n)],
-        memory: Memory::new(),
-    }
+    Entry::new(name, m, f, vec![Constant::Int(n)], Memory::new())
 }
 
 /// Build the epoch-0 frame leg: analyze the workload with a modest
@@ -1662,15 +1955,27 @@ fn governor_main(inner: &Arc<Inner>, stop: &AtomicBool) {
     let mut miscompile_armed = cfg.inject_miscompile_at_epoch.is_some();
     while !stop.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(cfg.tick_ms.max(1)));
-        let accepted = inner.metrics.lock().unwrap().accepted;
+        let accepted = plock(&inner.metrics).accepted;
         if accepted.saturating_sub(last_accepted) < cfg.epoch_requests.max(1) {
             continue;
         }
         last_accepted = accepted;
         epoch_n += 1;
 
-        let mut drained = std::mem::take(&mut *inner.profiles.lock().unwrap());
-        let stats = std::mem::take(&mut *inner.region_stats.lock().unwrap());
+        // Brownout: re-ranking is the most expensive optional work the
+        // service does, and the first thing the ladder sheds. Skip the
+        // whole epoch pipeline (profiles keep accumulating for when the
+        // ladder climbs back).
+        let level = BrownoutLevel::from_u8(inner.brownout_level.load(Ordering::Relaxed));
+        if level.sheds_rerank() {
+            let mut gs = plock(&inner.governor_stats);
+            gs.epochs = epoch_n;
+            gs.brownout_skipped_epochs += 1;
+            continue;
+        }
+
+        let mut drained = std::mem::take(&mut *plock(&inner.profiles));
+        let stats = std::mem::take(&mut *plock(&inner.region_stats));
         if cfg.inject_malformed_epoch_at == Some(epoch_n) {
             // Soak-only corruption: break the `total == completed`
             // consistency every drained profile must satisfy.
@@ -1678,7 +1983,7 @@ fn governor_main(inner: &Arc<Inner>, stop: &AtomicBool) {
                 p.completed = p.completed.wrapping_add(3);
             }
         }
-        inner.governor_stats.lock().unwrap().epochs = epoch_n;
+        plock(&inner.governor_stats).epochs = epoch_n;
 
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             run_epoch(
@@ -1695,7 +2000,7 @@ fn governor_main(inner: &Arc<Inner>, stop: &AtomicBool) {
         if outcome.is_err() {
             // Pipeline failure: count it, note it on the timeline, and
             // keep serving on the last published table.
-            let mut g = inner.governor_stats.lock().unwrap();
+            let mut g = plock(&inner.governor_stats);
             g.failures += 1;
             g.push_event(EpochEvent {
                 epoch: epoch_n,
@@ -1734,7 +2039,7 @@ fn run_epoch(
             .all(|(id, _)| id < g.numbering.num_paths());
         let consistent = epoch_profile.counts.total() == epoch_profile.completed;
         if !in_range || !consistent {
-            let mut gs = inner.governor_stats.lock().unwrap();
+            let mut gs = plock(&inner.governor_stats);
             gs.malformed_epochs += 1;
             gs.push_event(EpochEvent {
                 epoch,
@@ -1753,7 +2058,7 @@ fn run_epoch(
         panic!("injected re-rank panic at epoch {epoch}");
     }
 
-    let current = inner.regions.lock().unwrap().clone();
+    let current = plock(&inner.regions).clone();
     let mut observations = Vec::new();
     for (name, g) in governed.iter_mut() {
         // The window rolls every epoch, traffic or not, so stale abort
@@ -1812,7 +2117,7 @@ fn run_epoch(
                 if let Some((_, g)) = governed.iter_mut().find(|(n, _)| n == &workload) {
                     g.stats_window.clear();
                 }
-                let mut gs = inner.governor_stats.lock().unwrap();
+                let mut gs = plock(&inner.governor_stats);
                 gs.demotions += 1;
                 gs.push_event(EpochEvent {
                     epoch,
@@ -1838,7 +2143,7 @@ fn run_epoch(
                 }
                 let built = build_and_verify(g, path_id, cfg, inject, &mut cert);
                 if cert.active() {
-                    inner.governor_stats.lock().unwrap().cert.merge_from(&cert);
+                    plock(&inner.governor_stats).cert.merge_from(&cert);
                 }
                 match built {
                     Ok(frame) => {
@@ -1848,7 +2153,7 @@ fn run_epoch(
                         frames.insert(workload.clone(), Arc::new(frame));
                         chosen.insert(workload.clone(), CurrentChoice { path_id, weight });
                         changed = true;
-                        let mut gs = inner.governor_stats.lock().unwrap();
+                        let mut gs = plock(&inner.governor_stats);
                         let kind = if had_incumbent {
                             gs.switches += 1;
                             EventKind::Switched
@@ -1867,7 +2172,7 @@ fn run_epoch(
                         // Graceful degradation: a path that decodes,
                         // builds, verifies, or certifies badly never goes
                         // live; the incumbent (if any) keeps serving.
-                        let mut gs = inner.governor_stats.lock().unwrap();
+                        let mut gs = plock(&inner.governor_stats);
                         match refusal.kind {
                             EventKind::CertRefused => gs.cert_refusals += 1,
                             _ => gs.frame_build_errors += 1,
@@ -1888,12 +2193,12 @@ fn run_epoch(
         // The RCU publish: one pointer swap. Workers that already cloned
         // the old Arc finish their invocation on the old frames; no
         // drain, no lock held across execution.
-        *inner.regions.lock().unwrap() = Arc::new(RegionEpoch {
+        *plock(&inner.regions) = Arc::new(RegionEpoch {
             epoch,
             frames,
             chosen,
         });
-        inner.governor_stats.lock().unwrap().swaps += 1;
+        plock(&inner.governor_stats).swaps += 1;
     }
 }
 
@@ -2100,10 +2405,17 @@ impl SoakReport {
         self.violations.is_empty()
     }
 
-    /// The report as a JSON value — the benchmark artifact the adaptive
-    /// soak writes (`results/BENCH_adapt.json`): headline counters plus
-    /// the governor's promote/demote timeline.
+    /// The report as a JSON value in the shared `needle-report/v1`
+    /// envelope — the benchmark artifact the adaptive soak writes
+    /// (`results/BENCH_adapt.json`): headline counters plus the
+    /// governor's promote/demote timeline.
     pub fn to_json(&self) -> Json {
+        self.to_json_as("adaptive-soak")
+    }
+
+    /// Same payload under an explicit report `kind` (the plain chaos soak
+    /// and the adaptive soak share this shape).
+    pub fn to_json_as(&self, kind: &str) -> Json {
         let g = &self.metrics.governor;
         let timeline = Json::Arr(
             g.timeline
@@ -2130,18 +2442,24 @@ impl SoakReport {
                 })
                 .collect(),
         );
-        Json::Obj(vec![
-            ("seed".into(), Json::Int(self.seed as i64)),
+        let data = Json::Obj(vec![
             ("submitted".into(), Json::Int(self.submitted as i64)),
             ("accepted".into(), Json::Int(self.accepted as i64)),
             ("responses".into(), Json::Int(self.responses as i64)),
             ("completed".into(), Json::Int(self.metrics.completed as i64)),
             ("failed".into(), Json::Int(self.metrics.failed as i64)),
             ("frame_aborts".into(), Json::Int(self.metrics.frame_aborts as i64)),
-            ("clean".into(), Json::Bool(self.is_clean())),
             (
-                "violations".into(),
-                Json::Arr(self.violations.iter().map(|v| Json::Str(v.clone())).collect()),
+                "latency_p50_us".into(),
+                Json::Int(self.metrics.latency.percentile_us(0.50) as i64),
+            ),
+            (
+                "latency_p99_us".into(),
+                Json::Int(self.metrics.latency.percentile_us(0.99) as i64),
+            ),
+            (
+                "latency_p999_us".into(),
+                Json::Int(self.metrics.latency.percentile_us(0.999) as i64),
             ),
             ("epochs".into(), Json::Int(g.epochs as i64)),
             ("swaps".into(), Json::Int(g.swaps as i64)),
@@ -2151,10 +2469,15 @@ impl SoakReport {
             ("failures_pinned".into(), Json::Int(g.failures as i64)),
             ("malformed_epochs".into(), Json::Int(g.malformed_epochs as i64)),
             ("frame_build_errors".into(), Json::Int(g.frame_build_errors as i64)),
+            (
+                "brownout_skipped_epochs".into(),
+                Json::Int(g.brownout_skipped_epochs as i64),
+            ),
             ("region_epoch".into(), Json::Int(self.metrics.region_epoch as i64)),
             ("active_regions".into(), regions),
             ("timeline".into(), timeline),
-        ])
+        ]);
+        report::envelope(kind, self.seed, &self.violations, data)
     }
 }
 

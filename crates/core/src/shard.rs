@@ -58,6 +58,7 @@ use crate::serve::{
     Service, ShedReason,
 };
 use crate::supervisor::jittered_backoff;
+use crate::sync::plock;
 
 /// Ledger appends per fsync. The journal's checksummed
 /// longest-valid-prefix recovery makes a torn batched tail safe to
@@ -479,7 +480,7 @@ impl ShardedService {
     pub fn submit(&self, req: Request, reply: &Sender<Response>) -> Result<(), ShedReason> {
         let inner = &self.inner;
         if inner.draining.load(Ordering::SeqCst) {
-            inner.metrics.lock().unwrap().shed_draining += 1;
+            plock(&inner.metrics).shed_draining += 1;
             return Err(ShedReason::Draining);
         }
         let key = req.id;
@@ -488,10 +489,10 @@ impl ShardedService {
             // racing submits of the same key cannot both pass. The
             // entry goes in *before* placement: a worker could answer
             // before `submit` returns, and the pump must find the key.
-            let mut pend = inner.pending.lock().unwrap();
-            if pend.contains_key(&key) || inner.done_keys.lock().unwrap().contains(&key) {
+            let mut pend = plock(&inner.pending);
+            if pend.contains_key(&key) || plock(&inner.done_keys).contains(&key) {
                 drop(pend);
-                inner.metrics.lock().unwrap().duplicates_refused += 1;
+                plock(&inner.metrics).duplicates_refused += 1;
                 return Err(ShedReason::Duplicate);
             }
             pend.insert(
@@ -508,16 +509,16 @@ impl ShardedService {
         }
         match route_once(inner, &req, true) {
             Ok(sid) => {
-                if let Some(p) = inner.pending.lock().unwrap().get_mut(&key) {
+                if let Some(p) = plock(&inner.pending).get_mut(&key) {
                     p.shard = sid;
                 }
                 ledger_acc(inner, key, sid);
-                inner.metrics.lock().unwrap().accepted += 1;
+                plock(&inner.metrics).accepted += 1;
                 Ok(())
             }
             Err(reason) => {
-                inner.pending.lock().unwrap().remove(&key);
-                let mut m = inner.metrics.lock().unwrap();
+                plock(&inner.pending).remove(&key);
+                let mut m = plock(&inner.metrics);
                 match reason {
                     ShedReason::Draining => m.shed_no_shard += 1,
                     _ => m.shed_backpressure += 1,
@@ -563,7 +564,7 @@ impl ShardedService {
 
     /// Router counters right now (cheap; no shard locks).
     pub fn router_metrics(&self) -> RouterMetrics {
-        self.inner.metrics.lock().unwrap().clone()
+        plock(&self.inner.metrics).clone()
     }
 
     /// Full live snapshot: router counters plus per-shard rows (live
@@ -586,7 +587,7 @@ impl ShardedService {
         // From here every dying placement's answer is final — failover
         // during shutdown would re-route work onto shards we are about
         // to drain.
-        for p in inner.pending.lock().unwrap().values_mut() {
+        for p in plock(&inner.pending).values_mut() {
             p.rerouteable = false;
         }
         inner.stop_supervisor.store(true, Ordering::SeqCst);
@@ -596,7 +597,7 @@ impl ShardedService {
         resolve_parked(&inner);
         for sid in 0..inner.cfg.policy.shards {
             let svc = {
-                let mut cell = inner.shards[sid].lock().unwrap();
+                let mut cell = plock(&inner.shards[sid]);
                 match std::mem::replace(
                     &mut cell.state,
                     CellState::Restarting {
@@ -612,7 +613,7 @@ impl ShardedService {
             };
             if let Some(svc) = svc {
                 let gone = svc.shutdown();
-                inner.shards[sid].lock().unwrap().dead.merge_from(&gone);
+                plock(&inner.shards[sid]).dead.merge_from(&gone);
             }
         }
         // A failover scheduled in the race window above now has no
@@ -622,7 +623,7 @@ impl ShardedService {
         // pump to forward the tail.
         let t0 = Instant::now();
         while t0.elapsed() < Duration::from_secs(10) {
-            if inner.pending.lock().unwrap().is_empty() {
+            if plock(&inner.pending).is_empty() {
                 break;
             }
             std::thread::sleep(Duration::from_millis(1));
@@ -632,15 +633,15 @@ impl ShardedService {
             let _ = h.join();
         }
         // Belt and braces: a caller must never hang on a lost key.
-        let leftovers: Vec<u64> = inner.pending.lock().unwrap().keys().copied().collect();
+        let leftovers: Vec<u64> = plock(&inner.pending).keys().copied().collect();
         for key in leftovers {
-            let p = inner.pending.lock().unwrap().remove(&key);
+            let p = plock(&inner.pending).remove(&key);
             if let Some(p) = p {
                 finish(&inner, key, p, Outcome::Shed(ShedReason::Draining));
             }
         }
         {
-            let mut guard = inner.ledger.lock().unwrap();
+            let mut guard = plock(&inner.ledger);
             if let Some(j) = guard.as_mut() {
                 let _ = j.sync();
             }
@@ -687,7 +688,7 @@ fn route_once(inner: &RouterInner, req: &Request, first_placement: bool) -> Resu
 /// the wedge watchdog. Returns `false` if the shard was already down.
 fn kill_shard_inner(inner: &RouterInner, sid: usize, wedge: bool) -> bool {
     let svc = {
-        let mut cell = inner.shards[sid].lock().unwrap();
+        let mut cell = plock(&inner.shards[sid]);
         match std::mem::replace(
             &mut cell.state,
             CellState::Restarting {
@@ -711,7 +712,7 @@ fn kill_shard_inner(inner: &RouterInner, sid: usize, wedge: bool) -> bool {
     // shed/cancel responses, so the pump re-routes instead of
     // forwarding a crash artefact as the final answer.
     {
-        let mut pend = inner.pending.lock().unwrap();
+        let mut pend = plock(&inner.pending);
         for p in pend.values_mut() {
             if p.shard == sid {
                 p.rerouteable = true;
@@ -719,9 +720,9 @@ fn kill_shard_inner(inner: &RouterInner, sid: usize, wedge: bool) -> bool {
         }
     }
     let gone = svc.abort();
-    inner.shards[sid].lock().unwrap().dead.merge_from(&gone);
+    plock(&inner.shards[sid]).dead.merge_from(&gone);
     {
-        let mut m = inner.metrics.lock().unwrap();
+        let mut m = plock(&inner.metrics);
         m.kills += 1;
         if wedge {
             m.wedges_detected += 1;
@@ -733,7 +734,7 @@ fn kill_shard_inner(inner: &RouterInner, sid: usize, wedge: bool) -> bool {
 /// Graceful drain of one shard (restart left to the supervisor).
 fn rebalance_inner(inner: &RouterInner, sid: usize) -> bool {
     let svc = {
-        let mut cell = inner.shards[sid].lock().unwrap();
+        let mut cell = plock(&inner.shards[sid]);
         match std::mem::replace(
             &mut cell.state,
             CellState::Restarting {
@@ -751,7 +752,7 @@ fn rebalance_inner(inner: &RouterInner, sid: usize) -> bool {
         }
     };
     {
-        let mut pend = inner.pending.lock().unwrap();
+        let mut pend = plock(&inner.pending);
         for p in pend.values_mut() {
             if p.shard == sid {
                 p.rerouteable = true;
@@ -759,8 +760,8 @@ fn rebalance_inner(inner: &RouterInner, sid: usize) -> bool {
         }
     }
     let gone = svc.shutdown();
-    inner.shards[sid].lock().unwrap().dead.merge_from(&gone);
-    inner.metrics.lock().unwrap().rebalances += 1;
+    plock(&inner.shards[sid]).dead.merge_from(&gone);
+    plock(&inner.metrics).rebalances += 1;
     true
 }
 
@@ -775,7 +776,7 @@ fn resolve_parked(inner: &RouterInner) {
         .map(|r| r.key)
         .collect();
     for key in parked {
-        let p = inner.pending.lock().unwrap().remove(&key);
+        let p = plock(&inner.pending).remove(&key);
         if let Some(p) = p {
             finish(inner, key, p, Outcome::Shed(ShedReason::Draining));
         }
@@ -804,9 +805,9 @@ fn pump_loop(inner: &Arc<RouterInner>, rx: &Receiver<Response>) {
 
 fn handle_response(inner: &Arc<RouterInner>, r: Response) {
     let key = r.id;
-    let p = inner.pending.lock().unwrap().remove(&key);
+    let p = plock(&inner.pending).remove(&key);
     let Some(p) = p else {
-        inner.metrics.lock().unwrap().orphan_responses += 1;
+        plock(&inner.metrics).orphan_responses += 1;
         return;
     };
     // A dying placement's shed/cancel is a routing artefact, not an
@@ -824,7 +825,7 @@ fn handle_response(inner: &Arc<RouterInner>, r: Response) {
         // not chase the request onto its successor.
         p.req.fault = None;
         p.rerouteable = false;
-        inner.pending.lock().unwrap().insert(key, p);
+        plock(&inner.pending).insert(key, p);
         schedule_failover(inner, key, Instant::now());
     } else {
         finish(inner, key, p, r.outcome);
@@ -835,14 +836,14 @@ fn handle_response(inner: &Arc<RouterInner>, r: Response) {
 /// with [`FailReason::ShardLost`]. Caller must not hold the pending
 /// lock.
 fn schedule_failover(inner: &RouterInner, key: u64, now: Instant) {
-    let mut pend = inner.pending.lock().unwrap();
+    let mut pend = plock(&inner.pending);
     let Some(p) = pend.get_mut(&key) else {
         return;
     };
     if p.attempts >= inner.cfg.policy.failover_attempts {
         let p = pend.remove(&key).unwrap();
         drop(pend);
-        inner.metrics.lock().unwrap().failover_exhausted += 1;
+        plock(&inner.metrics).failover_exhausted += 1;
         finish(inner, key, p, Outcome::Failed(FailReason::ShardLost));
         return;
     }
@@ -854,11 +855,11 @@ fn schedule_failover(inner: &RouterInner, key: u64, now: Instant) {
         key,
     );
     drop(pend);
-    inner.retries.lock().unwrap().push_back(Retry {
+    plock(&inner.retries).push_back(Retry {
         key,
         due: now + Duration::from_millis(delay),
     });
-    inner.metrics.lock().unwrap().failover_retries += 1;
+    plock(&inner.metrics).failover_retries += 1;
 }
 
 /// Forward the single terminal answer for an admitted key: durable
@@ -866,14 +867,14 @@ fn schedule_failover(inner: &RouterInner, key: u64, now: Instant) {
 /// spans admission to answer, across any number of placements.
 fn finish(inner: &RouterInner, key: u64, p: Pending, outcome: Outcome) {
     {
-        let mut m = inner.metrics.lock().unwrap();
+        let mut m = plock(&inner.metrics);
         match &outcome {
             Outcome::Completed { .. } => m.completed += 1,
             Outcome::Failed(_) => m.failed += 1,
             Outcome::Shed(_) => m.shed_after_accept += 1,
         }
     }
-    inner.done_keys.lock().unwrap().insert(key);
+    plock(&inner.done_keys).insert(key);
     ledger_done(inner, key, p.shard, &outcome);
     let _ = p.reply.send(Response {
         id: key,
@@ -884,14 +885,14 @@ fn finish(inner: &RouterInner, key: u64, p: Pending, outcome: Outcome) {
 
 fn ledger_append(inner: &RouterInner, rec: &Json) {
     let failed = {
-        let mut guard = inner.ledger.lock().unwrap();
+        let mut guard = plock(&inner.ledger);
         match guard.as_mut() {
             Some(j) => j.append(rec).is_err(),
             None => false,
         }
     };
     if failed {
-        inner.metrics.lock().unwrap().ledger_errors += 1;
+        plock(&inner.metrics).ledger_errors += 1;
     }
 }
 
@@ -983,14 +984,14 @@ fn restart_cell(inner: &RouterInner, sid: usize) {
         // Leave the cell restarting; retried next poll.
         return;
     };
-    let mut cell = inner.shards[sid].lock().unwrap();
+    let mut cell = plock(&inner.shards[sid]);
     if let CellState::Restarting { since } = cell.state {
         cell.downtime_ms += since.elapsed().as_millis() as u64;
         cell.state = CellState::Live(svc);
         cell.generation += 1;
         cell.restarts += 1;
         drop(cell);
-        inner.metrics.lock().unwrap().restarts += 1;
+        plock(&inner.metrics).restarts += 1;
     } else {
         drop(cell);
         let _ = svc.shutdown();
@@ -1002,7 +1003,7 @@ fn restart_cell(inner: &RouterInner, sid: usize) {
 fn process_retries(inner: &RouterInner) {
     let now = Instant::now();
     let due: Vec<u64> = {
-        let mut q = inner.retries.lock().unwrap();
+        let mut q = plock(&inner.retries);
         let mut due = Vec::new();
         q.retain(|r| {
             if r.due <= now {
@@ -1016,7 +1017,7 @@ fn process_retries(inner: &RouterInner) {
     };
     for key in due {
         let req = {
-            let pend = inner.pending.lock().unwrap();
+            let pend = plock(&inner.pending);
             match pend.get(&key) {
                 Some(p) => p.req.clone(),
                 None => continue,
@@ -1024,12 +1025,12 @@ fn process_retries(inner: &RouterInner) {
         };
         match route_once(inner, &req, false) {
             Ok(sid) => {
-                if let Some(p) = inner.pending.lock().unwrap().get_mut(&key) {
+                if let Some(p) = plock(&inner.pending).get_mut(&key) {
                     p.shard = sid;
                     p.rerouteable = false;
                 }
                 ledger_acc(inner, key, sid);
-                inner.metrics.lock().unwrap().failovers += 1;
+                plock(&inner.metrics).failovers += 1;
             }
             Err(_) => schedule_failover(inner, key, now),
         }
@@ -1039,7 +1040,7 @@ fn process_retries(inner: &RouterInner) {
 fn snapshot_sharded(inner: &RouterInner) -> ShardedMetrics {
     let mut shards = Vec::with_capacity(inner.cfg.policy.shards);
     for (sid, cell) in inner.shards.iter().enumerate() {
-        let cell = cell.lock().unwrap();
+        let cell = plock(cell);
         let mut metrics = cell.dead.clone();
         if let CellState::Live(svc) = &cell.state {
             metrics.merge_from(&svc.metrics());
@@ -1056,7 +1057,7 @@ fn snapshot_sharded(inner: &RouterInner) -> ShardedMetrics {
         });
     }
     ShardedMetrics {
-        router: inner.metrics.lock().unwrap().clone(),
+        router: plock(&inner.metrics).clone(),
         shards,
     }
 }

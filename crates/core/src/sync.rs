@@ -1,0 +1,47 @@
+//! Poison-recovering lock helpers.
+//!
+//! A panicking thread poisons every `Mutex` it holds, and the standard
+//! `lock().unwrap()` then panics in *every other* thread that touches the
+//! same lock — one crashed worker could take down the metrics snapshot, the
+//! admission queue, and ultimately the whole service. The serving stack's
+//! shared state (counters, queues, inflight slots, ledgers) is always left
+//! in a consistent state at each lock release, so the right recovery is to
+//! strip the poison marker and continue: [`plock`] does exactly that.
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Lock a mutex, recovering from poisoning instead of propagating it.
+pub(crate) fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// `Condvar::wait_timeout` with the same poison-recovery policy.
+pub(crate) fn pwait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur).unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn plock_recovers_from_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(41u32));
+        let m2 = Arc::clone(&m);
+        // Poison the mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        *plock(&m) += 1;
+        assert_eq!(*plock(&m), 42);
+    }
+}

@@ -240,3 +240,106 @@ fn breaker_probe_is_exclusive_and_budget_bounded() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Overload-control properties (loadgen + EDF queue)
+// ---------------------------------------------------------------------------
+
+use needle::{run_loadgen, BrownoutLevel, DeadlineQueue, LoadgenConfig, Scenario};
+
+/// The admission ledger must close under seeded open-loop arrival traces
+/// at every brownout level: every offered attempt is either shed at
+/// admission or accepted, and every accepted attempt resolves to exactly
+/// one outcome (completed, cancelled mid-run, expired in queue, or
+/// flushed by a shed pulse) — `accepted == completed + failed +
+/// shed_after_accept`, recomputed here from the raw phase counters
+/// rather than trusted from the run's own violation check.
+#[test]
+fn prop_loadgen_admission_invariant_across_brownout_levels() {
+    let levels = [
+        None,
+        Some(BrownoutLevel::Full),
+        Some(BrownoutLevel::NoRerank),
+        Some(BrownoutLevel::NoSampling),
+        Some(BrownoutLevel::NoOffload),
+    ];
+    for seed in [1u64, 7, 42, 0xDEAD] {
+        for scenario in [Scenario::Steady, Scenario::Burst, Scenario::RetryStorm] {
+            for level in levels {
+                let cfg = LoadgenConfig {
+                    force_brownout: level,
+                    ..LoadgenConfig::quick(seed, scenario)
+                };
+                let report = run_loadgen(&cfg);
+                for run in &report.runs {
+                    assert!(
+                        run.violations.is_empty(),
+                        "seed {seed} {scenario} level {level:?} [{}]: {:?}",
+                        run.mode,
+                        run.violations
+                    );
+                    let offered: u64 = run.phases.iter().map(|p| p.offered).sum();
+                    let accepted: u64 = run.phases.iter().map(|p| p.accepted).sum();
+                    let sheds: u64 = run.phases.iter().map(|p| p.admission_sheds()).sum();
+                    let outcomes: u64 =
+                        run.phases.iter().map(|p| p.accepted_outcomes()).sum();
+                    assert_eq!(
+                        accepted + sheds,
+                        offered,
+                        "seed {seed} {scenario} level {level:?} [{}]: admission split",
+                        run.mode
+                    );
+                    assert_eq!(
+                        outcomes, accepted,
+                        "seed {seed} {scenario} level {level:?} [{}]: exactly-once",
+                        run.mode
+                    );
+                    assert!(offered > 0, "trace generated no load");
+                }
+            }
+        }
+    }
+}
+
+/// EDF dequeue discipline: after sweeping expired entries at time `now`,
+/// the queue never serves an already-expired entry ahead of a meetable
+/// one — every pop has `deadline > now` — and pops come out in
+/// non-decreasing deadline order.
+#[test]
+fn prop_edf_never_serves_expired_ahead_of_meetable() {
+    for seed in [3u64, 11, 42, 0xBEEF, 0xC0FFEE] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q: DeadlineQueue<u64> = DeadlineQueue::new(64);
+        let mut now: u64 = 0;
+        for _ in 0..2_000 {
+            match rng.gen_range(0u32..10) {
+                // Push with a deadline around `now` (some already dead).
+                0..=5 => {
+                    let d = now.saturating_sub(50) + rng.gen_range(0u64..200);
+                    let _ = q.push(d, d);
+                }
+                // Advance time.
+                6..=7 => now += rng.gen_range(0u64..120),
+                // Sweep, then drain a few: nothing expired may surface,
+                // and deadlines must be non-decreasing.
+                _ => {
+                    let swept = q.sweep_expired(now);
+                    for d in &swept {
+                        assert!(*d <= now, "seed {seed}: sweep returned live entry {d} at {now}");
+                    }
+                    let mut last = 0u64;
+                    for _ in 0..rng.gen_range(0..6) {
+                        let Some(d) = q.pop() else { break };
+                        assert!(
+                            d > now,
+                            "seed {seed}: EDF served expired entry {d} at {now} \
+                             ahead of meetable work"
+                        );
+                        assert!(d >= last, "seed {seed}: EDF order broken ({d} < {last})");
+                        last = d;
+                    }
+                }
+            }
+        }
+    }
+}

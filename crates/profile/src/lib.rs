@@ -27,4 +27,4 @@ pub use profiler::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler};
 pub use rank::{rank_functions, rank_paths, FunctionRank, RankedPath};
 pub use sampling::SamplingProfiler;
 pub use stats::{bias_histogram, control_flow_stats, BiasHistogram, ControlFlowStats};
-pub use streaming::{EpochProfile, StreamingProfiler};
+pub use streaming::{build_numberings, EpochProfile, SharedNumberings, StreamingProfiler};

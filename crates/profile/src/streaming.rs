@@ -18,11 +18,35 @@
 //! promotion gate so only genuinely stable paths become offload regions.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use needle_ir::interp::TraceSink;
 use needle_ir::{BlockId, FuncId, Module};
 
 use crate::bl::{BlNumbering, PathCounts};
+
+/// Per-module Ball-Larus numberings, shared across profiler instances.
+///
+/// Numberings are pure functions of the module's CFG, and the serving
+/// layer creates a fresh [`StreamingProfiler`] per *sampled request* (so a
+/// cancelled run can't leak half a path into the epoch stream). Rebuilding
+/// the numberings each time made the sample cost O(module), not O(trace);
+/// building them once per resolved catalog entry and sharing the `Arc`
+/// makes profiler construction allocation-only.
+pub type SharedNumberings = Arc<HashMap<FuncId, BlNumbering>>;
+
+/// Build the shared numbering table for every function of `module`;
+/// functions with an overflowing path space are skipped (never offload
+/// candidates).
+pub fn build_numberings(module: &Module) -> SharedNumberings {
+    let mut numberings = HashMap::new();
+    for (id, f) in module.iter() {
+        if let Ok(bl) = BlNumbering::new(f) {
+            numberings.insert(id, bl);
+        }
+    }
+    Arc::new(numberings)
+}
 
 /// One epoch's worth of sampled path observations for a single function.
 #[derive(Debug, Clone, Default)]
@@ -95,7 +119,7 @@ impl EpochProfile {
 /// offline profiler.
 #[derive(Debug)]
 pub struct StreamingProfiler {
-    numberings: HashMap<FuncId, BlNumbering>,
+    numberings: SharedNumberings,
     epoch: HashMap<FuncId, EpochProfile>,
     /// Per-invocation register stack: `(func, r, last block, previously
     /// completed path id within this invocation)`.
@@ -103,15 +127,17 @@ pub struct StreamingProfiler {
 }
 
 impl StreamingProfiler {
-    /// Build numberings for every function of `module`; functions with an
-    /// overflowing path space are skipped (never offload candidates).
+    /// Build numberings for every function of `module` and attach a fresh
+    /// profiler to them. Prefer [`build_numberings`] +
+    /// [`StreamingProfiler::with_numberings`] when profilers are created
+    /// repeatedly for the same module.
     pub fn new(module: &Module) -> StreamingProfiler {
-        let mut numberings = HashMap::new();
-        for (id, f) in module.iter() {
-            if let Ok(bl) = BlNumbering::new(f) {
-                numberings.insert(id, bl);
-            }
-        }
+        StreamingProfiler::with_numberings(build_numberings(module))
+    }
+
+    /// A fresh profiler over pre-built shared numberings: no per-instance
+    /// CFG work at all.
+    pub fn with_numberings(numberings: SharedNumberings) -> StreamingProfiler {
         StreamingProfiler {
             numberings,
             epoch: HashMap::new(),
